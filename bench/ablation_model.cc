@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Model ablations (beyond the paper): shows which machine-model
+ * ingredients the headline SpMV result depends on, on one
+ * mid-suite matrix (M8) —
+ *
+ *   1. full model (Table 2)                     — the default
+ *   2. no stride prefetchers                    — streaming arrays
+ *      stop hitting, CSR gets *worse*, SMASH's relative win shrinks
+ *   3. MLP = 1 (no miss overlap)                — dependence tagging
+ *      stops mattering; the gap collapses toward the instruction
+ *      ratio
+ *   4. hierarchy depth sweep (1/2/3 levels)     — the paper's
+ *      Bitmap-hierarchy design choice (§4.1): deep hierarchies cost
+ *      nothing on dense rows and pay off on sparse ones
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+#include "isa/bmu.hh"
+#include "kernels/spmv.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+SimResult
+runWith(const MatrixBundle& bundle, SpmvScheme scheme,
+        const sim::CoreConfig& core, const sim::MemoryConfig& mem)
+{
+    sim::Machine machine(core, mem);
+    sim::SimExec e(machine);
+    std::vector<Value> x(static_cast<std::size_t>(bundle.coo.cols()),
+                         Value(1));
+    std::vector<Value> y(static_cast<std::size_t>(bundle.coo.rows()),
+                         Value(0));
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+        kern::spmvCsr(bundle.csr, x, y, e);
+        break;
+      case SpmvScheme::kSmashHw: {
+        std::vector<Value> xp = kern::padVector(
+            x, bundle.smash.paddedCols());
+        isa::Bmu bmu;
+        kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
+        break;
+      }
+      default:
+        SMASH_PANIC("ablation covers CSR and SMASH-HW only");
+    }
+    SimResult r;
+    r.cycles = machine.core().cycles();
+    r.instructions = machine.core().instructions();
+    r.dramReads = machine.memory().dram().stats().reads;
+    return r;
+}
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.25);
+    preamble("Ablation (extension)",
+             "Machine-model and hierarchy-depth ablations for the "
+             "SpMV result on M8 (pkustk07)",
+             scale);
+
+    wl::MatrixSpec spec = wl::scaleSpec(wl::table3Specs()[7], scale);
+
+    // --- Machine-model ablations. ---
+    sim::CoreConfig core_default;
+    sim::MemoryConfig mem_default;
+    sim::CoreConfig core_no_mlp;
+    core_no_mlp.mlp = 1.0;
+    sim::MemoryConfig mem_no_pf;
+    mem_no_pf.l1.prefetcher = false;
+    mem_no_pf.l2.prefetcher = false;
+    mem_no_pf.l3.prefetcher = false;
+
+    MatrixBundle bundle = buildBundle(spec);
+    TextTable table("SMASH-HW speedup over TACO-CSR under model ablations");
+    table.setHeader({"model variant", "CSR Mcycles", "SMASH Mcycles",
+                     "speedup"});
+    struct Variant
+    {
+        const char* name;
+        sim::CoreConfig core;
+        sim::MemoryConfig mem;
+    };
+    const Variant variants[] = {
+        {"full model (Table 2)", core_default, mem_default},
+        {"no prefetchers", core_default, mem_no_pf},
+        {"MLP = 1 (no overlap)", core_no_mlp, mem_default},
+    };
+    for (const Variant& v : variants) {
+        SimResult csr = runWith(bundle, SpmvScheme::kTacoCsr, v.core,
+                                v.mem);
+        SimResult hw = runWith(bundle, SpmvScheme::kSmashHw, v.core,
+                               v.mem);
+        table.addRow({v.name, formatFixed(csr.cycles / 1e6, 2),
+                      formatFixed(hw.cycles / 1e6, 2),
+                      formatFixed(csr.cycles / hw.cycles, 2)});
+    }
+    table.print(std::cout);
+
+    // --- Hierarchy-depth ablation. ---
+    TextTable depth("SMASH-HW SpMV vs hierarchy depth (same block size)");
+    depth.setHeader({"config (top-down)", "SMASH Mcycles",
+                     "BMU refills", "speedup vs CSR"});
+    SimResult csr = runWith(bundle, SpmvScheme::kTacoCsr, core_default,
+                            mem_default);
+    // Depths 1-3 (the BMU has three buffers per group, §4.2.1).
+    const std::vector<std::vector<Index>> configs = {
+        {2}, {4, 2}, {16, 4, 2}, {32, 16, 2}};
+    for (const auto& cfg : configs) {
+        MatrixBundle b = buildBundle(spec, cfg);
+        SimResult hw = runWith(b, SpmvScheme::kSmashHw, core_default,
+                               mem_default);
+        depth.addRow({b.smash.config().toString(),
+                      formatFixed(hw.cycles / 1e6, 2),
+                      std::to_string(hw.dramReads),
+                      formatFixed(csr.cycles / hw.cycles, 2)});
+    }
+    depth.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: speedup and normalized executed
+ * instructions of an *ideal indexing* scheme (non-zero positions
+ * known for free) over baseline CSR, averaged across the Table-3
+ * suite, for Sparse Matrix Addition, SpMV, and SpMM.
+ *
+ * Paper reference values: speedups 2.21x (SpMatAdd), 2.13x (SpMV),
+ * 2.81x (SpMM); instruction reductions 49%, 42%, 65%.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+#include "kernels/spadd.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+struct Ratio
+{
+    double speedup = 0;
+    double instructions = 0;
+};
+
+Ratio
+spaddRatio(const MatrixBundle& bundle)
+{
+    // The addition partner reuses the matrix's structure class with
+    // a different seed (same sparsity, disjoint-ish pattern).
+    wl::MatrixSpec spec_b = bundle.spec;
+    spec_b.seed += 7777;
+    fmt::CsrMatrix b = fmt::CsrMatrix::fromCoo(wl::generateMatrix(spec_b));
+
+    sim::Machine m1, m2;
+    {
+        sim::SimExec e(m1);
+        kern::spaddCsr(bundle.csr, b, e);
+    }
+    {
+        sim::SimExec e(m2);
+        kern::spaddCsrIdeal(bundle.csr, b, e);
+    }
+    return {m1.core().cycles() / m2.core().cycles(),
+            static_cast<double>(m2.core().instructions()) /
+                static_cast<double>(m1.core().instructions())};
+}
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.25);
+    preamble("Figure 3",
+             "Ideal indexing vs. CSR: speedup and normalized "
+             "instructions for SpMatAdd / SpMV / SpMM "
+             "(average over the 15-matrix suite)",
+             scale);
+
+    double add_speed = 0, add_instr = 0;
+    double mv_speed = 0, mv_instr = 0;
+    double mm_speed = 0, mm_instr = 0;
+    int count = 0;
+
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, scale);
+        MatrixBundle bundle = buildBundle(spec);
+
+        Ratio add = spaddRatio(bundle);
+        SimResult mv_csr = simSpmv(SpmvScheme::kTacoCsr, bundle);
+        SimResult mv_ideal = simSpmv(SpmvScheme::kIdealCsr, bundle);
+        SpmmBundle spmm = buildSpmmBundle(bundle);
+        SimResult mm_csr = simSpmm(SpmvScheme::kTacoCsr, bundle, spmm);
+        SimResult mm_ideal = simSpmm(SpmvScheme::kIdealCsr, bundle, spmm);
+
+        add_speed += add.speedup;
+        add_instr += add.instructions;
+        mv_speed += mv_csr.cycles / mv_ideal.cycles;
+        mv_instr += static_cast<double>(mv_ideal.instructions) /
+            static_cast<double>(mv_csr.instructions);
+        mm_speed += mm_csr.cycles / mm_ideal.cycles;
+        mm_instr += static_cast<double>(mm_ideal.instructions) /
+            static_cast<double>(mm_csr.instructions);
+        ++count;
+    }
+
+    TextTable table("Figure 3 — Ideal CSR over CSR (suite average)");
+    table.setHeader({"kernel", "speedup", "paper speedup",
+                     "norm. instructions", "paper norm. instr"});
+    table.addRow({"SpMatAdd", formatFixed(add_speed / count, 2), "2.21",
+                  formatFixed(add_instr / count, 2), "0.51"});
+    table.addRow({"SpMV", formatFixed(mv_speed / count, 2), "2.13",
+                  formatFixed(mv_instr / count, 2), "0.58"});
+    table.addRow({"SpMM", formatFixed(mm_speed / count, 2), "2.81",
+                  formatFixed(mm_instr / count, 2), "0.35"});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: software-only approaches on a *real*
+ * system — TACO-CSR, TACO-BCSR, MKL-like optimized CSR, and
+ * Software-only SMASH — native wall-clock, normalized to TACO-CSR,
+ * averaged over the Table-3 suite, for SpMV and SpMM.
+ *
+ * Paper reference (Xeon Gold 5118): MKL 1.15x (SpMV) / 1.25x
+ * (SpMM); TACO-BCSR ~1.12x/1.20x; Software-only SMASH 1.05x (SpMV)
+ * and 1.10x (SpMM) over TACO-CSR, below BCSR and MKL.
+ *
+ * This binary also registers google-benchmark timers for the
+ * per-scheme kernels on a representative matrix (M8) so standard
+ * tooling can consume the numbers; the summary table is printed
+ * first.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+double g_scale = 0.25;
+
+void
+summary()
+{
+    preamble("Figure 9",
+             "Software-only schemes, native wall clock, normalized to "
+             "TACO-CSR (suite average; this machine stands in for the "
+             "paper's Xeon Gold 5118)",
+             g_scale);
+
+    // Geometric mean of per-matrix speedups over TACO-CSR (a sum of
+    // raw seconds would let the largest matrix swamp the average).
+    double mv[4] = {0, 0, 0, 0};
+    double mm[4] = {0, 0, 0, 0};
+    int count = 0;
+    const SpmvScheme schemes[4] = {
+        SpmvScheme::kTacoCsr, SpmvScheme::kTacoBcsr,
+        SpmvScheme::kMklCsr, SpmvScheme::kSmashSw};
+
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, g_scale);
+        MatrixBundle bundle = buildBundle(spec);
+        SpmmBundle spmm = buildSpmmBundle(bundle);
+        double mv_csr = nativeSpmvSeconds(schemes[0], bundle, 3);
+        double mm_csr = nativeSpmmSeconds(schemes[0], bundle, spmm, 2);
+        for (int s = 0; s < 4; ++s) {
+            double mv_s = s == 0
+                ? mv_csr : nativeSpmvSeconds(schemes[s], bundle, 3);
+            double mm_s = s == 0
+                ? mm_csr : nativeSpmmSeconds(schemes[s], bundle, spmm, 2);
+            mv[s] += std::log(mv_csr / mv_s);
+            mm[s] += std::log(mm_csr / mm_s);
+        }
+        ++count;
+    }
+
+    TextTable table("Figure 9 — speedup over TACO-CSR (native)");
+    table.setHeader({"scheme", "SpMV", "paper SpMV", "SpMM",
+                     "paper SpMM"});
+    const char* names[4] = {"TACO-CSR", "TACO-BCSR", "MKL-like CSR",
+                            "Software-only SMASH"};
+    const char* paper_mv[4] = {"1.00", "~1.12", "1.15", "1.05"};
+    const char* paper_mm[4] = {"1.00", "~1.20", "1.25", "1.10"};
+    for (int s = 0; s < 4; ++s) {
+        table.addRow({names[s],
+                      formatFixed(std::exp(mv[s] / count), 2),
+                      paper_mv[s],
+                      formatFixed(std::exp(mm[s] / count), 2),
+                      paper_mm[s]});
+    }
+    table.print(std::cout);
+}
+
+/** google-benchmark registration on a representative matrix. */
+class Fig9Fixture : public ::benchmark::Fixture
+{
+  public:
+    void
+    SetUp(::benchmark::State&) override
+    {
+        if (!bundle) {
+            wl::MatrixSpec spec = wl::scaleSpec(wl::table3Specs()[7],
+                                                g_scale);
+            bundle = std::make_unique<MatrixBundle>(buildBundle(spec));
+        }
+    }
+
+    static std::unique_ptr<MatrixBundle> bundle;
+};
+
+std::unique_ptr<MatrixBundle> Fig9Fixture::bundle;
+
+#define SMASH_FIG9_BENCH(name, scheme)                                     \
+    BENCHMARK_F(Fig9Fixture, name)(::benchmark::State & state)             \
+    {                                                                      \
+        for (auto _ : state) {                                             \
+            ::benchmark::DoNotOptimize(                                    \
+                nativeSpmvSeconds(scheme, *bundle, 1));                    \
+        }                                                                  \
+    }
+
+SMASH_FIG9_BENCH(SpmvTacoCsr, SpmvScheme::kTacoCsr)
+SMASH_FIG9_BENCH(SpmvTacoBcsr, SpmvScheme::kTacoBcsr)
+SMASH_FIG9_BENCH(SpmvMklLike, SpmvScheme::kMklCsr)
+SMASH_FIG9_BENCH(SpmvSmashSw, SpmvScheme::kSmashSw)
+
+} // namespace
+} // namespace smash::bench
+
+int
+main(int argc, char** argv)
+{
+    smash::bench::g_scale = smash::wl::benchScale(0.25);
+    smash::bench::summary();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

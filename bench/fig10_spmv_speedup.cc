@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Figures 10 and 11: SpMV speedup and normalized
+ * executed instructions of TACO-BCSR, Software-only SMASH and SMASH
+ * (BMU) over TACO-CSR, per matrix, using the per-matrix bitmap
+ * configurations from the figure captions (Mi.b2.b1.b0).
+ *
+ * Paper reference: SMASH averages 1.38x over TACO-CSR (1.32x over
+ * TACO-BCSR) with ~47% fewer instructions than TACO-CSR;
+ * Software-only SMASH loses to CSR on very sparse matrices and wins
+ * on denser ones.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.4);
+    preamble("Figures 10 + 11",
+             "SpMV speedup and normalized instructions vs TACO-CSR "
+             "(per matrix, paper bitmap configs)",
+             scale);
+
+    TextTable speed("Figure 10 — SpMV speedup over TACO-CSR");
+    speed.setHeader({"matrix.config", "locality", "TACO-BCSR",
+                     "SW-SMASH", "SMASH"});
+    TextTable instr("Figure 11 — SpMV normalized instructions");
+    instr.setHeader({"matrix.config", "TACO-BCSR", "SW-SMASH", "SMASH"});
+
+    double sum_bcsr = 0, sum_sw = 0, sum_hw = 0;
+    double isum_bcsr = 0, isum_sw = 0, isum_hw = 0;
+    int count = 0;
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, scale);
+        MatrixBundle bundle = buildBundle(spec);
+
+        SimResult csr = simSpmv(SpmvScheme::kTacoCsr, bundle);
+        SimResult bcsr = simSpmv(SpmvScheme::kTacoBcsr, bundle);
+        SimResult sw = simSpmv(SpmvScheme::kSmashSw, bundle);
+        SimResult hw = simSpmv(SpmvScheme::kSmashHw, bundle);
+
+        auto inorm = [&](const SimResult& r) {
+            return static_cast<double>(r.instructions) /
+                static_cast<double>(csr.instructions);
+        };
+        std::string label = spec.name + "." +
+            bundle.smash.config().toString();
+        speed.addRow({label, formatFixed(bundle.locality, 2),
+                      formatFixed(csr.cycles / bcsr.cycles, 2),
+                      formatFixed(csr.cycles / sw.cycles, 2),
+                      formatFixed(csr.cycles / hw.cycles, 2)});
+        instr.addRow({label, formatFixed(inorm(bcsr), 2),
+                      formatFixed(inorm(sw), 2),
+                      formatFixed(inorm(hw), 2)});
+        sum_bcsr += csr.cycles / bcsr.cycles;
+        sum_sw += csr.cycles / sw.cycles;
+        sum_hw += csr.cycles / hw.cycles;
+        isum_bcsr += inorm(bcsr);
+        isum_sw += inorm(sw);
+        isum_hw += inorm(hw);
+        ++count;
+    }
+    speed.addRow({"AVG (paper: 1.06 / ~0.95 / 1.38)", "",
+                  formatFixed(sum_bcsr / count, 2),
+                  formatFixed(sum_sw / count, 2),
+                  formatFixed(sum_hw / count, 2)});
+    instr.addRow({"AVG (paper SMASH: ~0.53)",
+                  formatFixed(isum_bcsr / count, 2),
+                  formatFixed(isum_sw / count, 2),
+                  formatFixed(isum_hw / count, 2)});
+    speed.print(std::cout);
+    std::cout << "\n";
+    instr.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Figures 12 and 13: SpMM speedup and normalized
+ * executed instructions of TACO-BCSR, Software-only SMASH and SMASH
+ * (BMU) over TACO-CSR, per matrix.
+ *
+ * Paper reference: SMASH averages 1.44x over TACO-CSR and 1.30x
+ * over TACO-BCSR — larger than the SpMV gain because inner-product
+ * SpMM performs twice the indexing work per dot product.
+ *
+ * B is A^T restricted to kSpmmCols columns so the O(rows x cols)
+ * dot-product grid stays tractable (DESIGN.md §5).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.02);
+    preamble("Figures 12 + 13",
+             "SpMM speedup and normalized instructions vs TACO-CSR "
+             "(per matrix, paper bitmap configs, B = A^T[:, :64])",
+             scale);
+
+    TextTable speed("Figure 12 — SpMM speedup over TACO-CSR");
+    speed.setHeader({"matrix.config", "TACO-BCSR", "SW-SMASH", "SMASH"});
+    TextTable instr("Figure 13 — SpMM normalized instructions");
+    instr.setHeader({"matrix.config", "TACO-BCSR", "SW-SMASH", "SMASH"});
+
+    double sum_bcsr = 0, sum_sw = 0, sum_hw = 0;
+    double isum_bcsr = 0, isum_sw = 0, isum_hw = 0;
+    int count = 0;
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, scale);
+        MatrixBundle bundle = buildBundle(spec);
+        SpmmBundle spmm = buildSpmmBundle(bundle);
+
+        SimResult csr = simSpmm(SpmvScheme::kTacoCsr, bundle, spmm);
+        SimResult bcsr = simSpmm(SpmvScheme::kTacoBcsr, bundle, spmm);
+        SimResult sw = simSpmm(SpmvScheme::kSmashSw, bundle, spmm);
+        SimResult hw = simSpmm(SpmvScheme::kSmashHw, bundle, spmm);
+
+        auto inorm = [&](const SimResult& r) {
+            return static_cast<double>(r.instructions) /
+                static_cast<double>(csr.instructions);
+        };
+        std::string label = spec.name + "." +
+            bundle.smash.config().toString();
+        speed.addRow({label,
+                      formatFixed(csr.cycles / bcsr.cycles, 2),
+                      formatFixed(csr.cycles / sw.cycles, 2),
+                      formatFixed(csr.cycles / hw.cycles, 2)});
+        instr.addRow({label, formatFixed(inorm(bcsr), 2),
+                      formatFixed(inorm(sw), 2),
+                      formatFixed(inorm(hw), 2)});
+        sum_bcsr += csr.cycles / bcsr.cycles;
+        sum_sw += csr.cycles / sw.cycles;
+        sum_hw += csr.cycles / hw.cycles;
+        isum_bcsr += inorm(bcsr);
+        isum_sw += inorm(sw);
+        isum_hw += inorm(hw);
+        ++count;
+    }
+    speed.addRow({"AVG (paper: ~1.11 / ~1.05 / 1.44)",
+                  formatFixed(sum_bcsr / count, 2),
+                  formatFixed(sum_sw / count, 2),
+                  formatFixed(sum_hw / count, 2)});
+    instr.addRow({"AVG", formatFixed(isum_bcsr / count, 2),
+                  formatFixed(isum_sw / count, 2),
+                  formatFixed(isum_hw / count, 2)});
+    speed.print(std::cout);
+    std::cout << "\n";
+    instr.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

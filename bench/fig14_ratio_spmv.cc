@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: sensitivity of SMASH SpMV speedup to
+ * the Bitmap-0 : NZA compression ratio (2:1, 4:1, 8:1), normalized
+ * to the 2:1 configuration, per matrix.
+ *
+ * Paper reference: 8:1 degrades performance by ~4% on average (up
+ * to 13%) because the NZA stores more zeros, but clustered matrices
+ * (M12, M14) *gain* from the higher ratio (up to +40% on M14).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.3);
+    preamble("Figure 14",
+             "SMASH SpMV speedup vs Bitmap-0 compression ratio "
+             "(normalized to B0-2:1; hierarchy Mi.b2.b1 fixed)",
+             scale);
+
+    TextTable table("Figure 14 — SpMV sensitivity to Bitmap-0 ratio");
+    table.setHeader({"matrix.config", "B0-2:1", "B0-4:1", "B0-8:1"});
+
+    double sum4 = 0, sum8 = 0;
+    int count = 0;
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, scale);
+        // Keep the caption's upper levels (b2.b1), sweep b0.
+        std::vector<Index> upper(spec.paperConfig.begin(),
+                                 spec.paperConfig.end() - 1);
+        double cycles[3];
+        int idx = 0;
+        for (Index b0 : {2, 4, 8}) {
+            std::vector<Index> cfg = upper;
+            cfg.push_back(b0);
+            MatrixBundle bundle = buildBundle(spec, cfg);
+            cycles[idx++] = simSpmv(SpmvScheme::kSmashHw, bundle).cycles;
+        }
+        std::string label = spec.name + "." + std::to_string(upper[0]) +
+            "." + std::to_string(upper[1]);
+        table.addRow({label, "1.00",
+                      formatFixed(cycles[0] / cycles[1], 2),
+                      formatFixed(cycles[0] / cycles[2], 2)});
+        sum4 += cycles[0] / cycles[1];
+        sum8 += cycles[0] / cycles[2];
+        ++count;
+    }
+    table.addRow({"AVG (paper 8:1: ~0.96)", "1.00",
+                  formatFixed(sum4 / count, 2),
+                  formatFixed(sum8 / count, 2)});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: sensitivity of SMASH SpMM speedup to
+ * the Bitmap-0 : NZA compression ratio (2:1, 4:1, 8:1), normalized
+ * to 2:1, per matrix. Paper reference: 8:1 costs ~5% on average (up
+ * to 15%), with clustered matrices gaining.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.05);
+    preamble("Figure 15",
+             "SMASH SpMM speedup vs Bitmap-0 compression ratio "
+             "(normalized to B0-2:1; B = A^T[:, :64])",
+             scale);
+
+    TextTable table("Figure 15 — SpMM sensitivity to Bitmap-0 ratio");
+    table.setHeader({"matrix.config", "B0-2:1", "B0-4:1", "B0-8:1"});
+
+    double sum4 = 0, sum8 = 0;
+    int count = 0;
+    for (const wl::MatrixSpec& full_spec : wl::table3Specs()) {
+        wl::MatrixSpec spec = wl::scaleSpec(full_spec, scale);
+        std::vector<Index> upper(spec.paperConfig.begin(),
+                                 spec.paperConfig.end() - 1);
+        double cycles[3];
+        int idx = 0;
+        for (Index b0 : {2, 4, 8}) {
+            std::vector<Index> cfg = upper;
+            cfg.push_back(b0);
+            MatrixBundle bundle = buildBundle(spec, cfg);
+            SpmmBundle spmm = buildSpmmBundle(bundle, cfg);
+            cycles[idx++] =
+                simSpmm(SpmvScheme::kSmashHw, bundle, spmm).cycles;
+        }
+        std::string label = spec.name + "." + std::to_string(upper[0]) +
+            "." + std::to_string(upper[1]);
+        table.addRow({label, "1.00",
+                      formatFixed(cycles[0] / cycles[1], 2),
+                      formatFixed(cycles[0] / cycles[2], 2)});
+        sum4 += cycles[0] / cycles[1];
+        sum8 += cycles[0] / cycles[2];
+        ++count;
+    }
+    table.addRow({"AVG (paper 8:1: ~0.95)", "1.00",
+                  formatFixed(sum4 / count, 2),
+                  formatFixed(sum8 / count, 2)});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces paper Figure 18: speedup and normalized executed
+ * instructions of the SMASH-based PageRank and Betweenness
+ * Centrality over the CSR-based implementations, on the four
+ * Table-4 graphs (synthetic stand-ins, see DESIGN.md).
+ *
+ * Paper reference: PageRank-SMASH 1.27x, BC-SMASH 1.31x, with
+ * smaller gains than the raw kernels because indexing is a smaller
+ * share of the end-to-end run.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "graph/bc.hh"
+#include "graph/pagerank.hh"
+#include "harness.hh"
+#include "workloads/graph_suite.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.02);
+    preamble("Figure 18",
+             "PageRank + Betweenness Centrality: SMASH vs CSR "
+             "(Table-4 graph stand-ins; PageRank 5 iterations, "
+             "BC 4 sources)",
+             scale);
+
+    TextTable table("Figure 18 — graph workloads, SMASH over CSR");
+    table.setHeader({"graph", "V", "E", "PR speedup", "PR norm.instr",
+                     "BC speedup", "BC norm.instr"});
+
+    graph::PageRankParams pr_params;
+    graph::BcParams bc_params;
+    double pr_sum = 0, bc_sum = 0;
+    int count = 0;
+    for (const wl::GraphSpec& full_spec : wl::table4Specs()) {
+        wl::GraphSpec spec = wl::scaleSpec(full_spec, scale);
+        graph::Graph g = wl::generateGraph(spec);
+
+        // PageRank operates on M = A^T D^-1; BC on the adjacency.
+        fmt::CooMatrix pr_coo = g.toPageRankMatrix();
+        fmt::CsrMatrix pr_csr = fmt::CsrMatrix::fromCoo(pr_coo);
+        core::SmashMatrix pr_smash = core::SmashMatrix::fromCoo(
+            pr_coo, core::HierarchyConfig::fromPaperNotation({16, 4, 2}));
+        fmt::CsrMatrix adj = g.toAdjacencyMatrix();
+        core::SmashMatrix adj_smash = core::SmashMatrix::fromCoo(
+            adj.toCoo(),
+            core::HierarchyConfig::fromPaperNotation({16, 4, 2}));
+
+        sim::Machine m_pr_csr, m_pr_hw, m_bc_csr, m_bc_hw;
+        {
+            sim::SimExec e(m_pr_csr);
+            graph::pagerankCsr(pr_csr, pr_params, e);
+        }
+        {
+            sim::SimExec e(m_pr_hw);
+            isa::Bmu bmu;
+            graph::pagerankSmashHw(pr_smash, bmu, pr_params, e);
+        }
+        {
+            sim::SimExec e(m_bc_csr);
+            graph::bcCsr(adj, bc_params, e);
+        }
+        {
+            sim::SimExec e(m_bc_hw);
+            isa::Bmu bmu;
+            graph::bcSmashHw(adj_smash, bmu, bc_params, e);
+        }
+
+        double pr_speed = m_pr_csr.core().cycles() /
+            m_pr_hw.core().cycles();
+        double bc_speed = m_bc_csr.core().cycles() /
+            m_bc_hw.core().cycles();
+        table.addRow({spec.name,
+                      std::to_string(g.numVertices()),
+                      std::to_string(g.numEdges()),
+                      formatFixed(pr_speed, 2),
+                      formatFixed(static_cast<double>(
+                          m_pr_hw.core().instructions()) /
+                          static_cast<double>(
+                              m_pr_csr.core().instructions()), 2),
+                      formatFixed(bc_speed, 2),
+                      formatFixed(static_cast<double>(
+                          m_bc_hw.core().instructions()) /
+                          static_cast<double>(
+                              m_bc_csr.core().instructions()), 2)});
+        pr_sum += pr_speed;
+        bc_sum += bc_speed;
+        ++count;
+    }
+    table.addRow({"AVG (paper: PR 1.27, BC 1.31)", "", "",
+                  formatFixed(pr_sum / count, 2), "",
+                  formatFixed(bc_sum / count, 2), ""});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

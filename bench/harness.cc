@@ -1,0 +1,269 @@
+#include "harness.hh"
+
+#include <chrono>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "formats/convert.hh"
+#include "kernels/spmm.hh"
+#include "kernels/spmv.hh"
+
+namespace smash::bench
+{
+
+void
+preamble(const std::string& figure, const std::string& what, double scale)
+{
+    std::cout
+        << "================================================================\n"
+        << "SMASH reproduction — " << figure << "\n"
+        << what << "\n"
+        << "Simulated system (paper Table 2): 4-wide OOO core; "
+        << "L1 32KB/8w/2cyc, L2 256KB/8w/8cyc, L3 1MB/16w/20cyc,\n"
+        << "  64B lines, LRU, stride prefetchers; DDR4 1ch/16-bank "
+        << "open-row (hit 110 / miss 170 cyc); MLP 4.\n"
+        << "Workload scale factor: " << scale
+        << " (override with SMASH_BENCH_SCALE in (0,1]; rows and nnz"
+        << " shrink together, sparsity%/structure preserved)\n"
+        << "================================================================\n";
+}
+
+MatrixBundle
+buildBundle(const wl::MatrixSpec& spec,
+            const std::vector<Index>& hierarchy)
+{
+    MatrixBundle b{spec, wl::generateMatrix(spec), {}, {}, {}, 0.0};
+    b.csr = fmt::CsrMatrix::fromCoo(b.coo);
+    b.bcsr = fmt::BcsrMatrix::fromCoo(b.coo, 4, 4);
+    core::HierarchyConfig cfg = hierarchy.empty()
+        ? wl::paperHierarchy(spec)
+        : core::HierarchyConfig::fromPaperNotation(hierarchy);
+    b.smash = core::SmashMatrix::fromCoo(b.coo, cfg);
+    b.locality = b.smash.localityOfSparsity();
+    return b;
+}
+
+namespace
+{
+
+std::vector<Value>
+onesVector(Index n)
+{
+    return std::vector<Value>(static_cast<std::size_t>(n), Value(1));
+}
+
+template <typename Fn>
+SimResult
+measureSim(Fn&& fn)
+{
+    sim::Machine machine;
+    sim::SimExec exec(machine);
+    fn(exec);
+    SimResult r;
+    r.cycles = machine.core().cycles();
+    r.instructions = machine.core().instructions();
+    r.dramReads = machine.memory().dram().stats().reads;
+    return r;
+}
+
+Index
+bcsrPaddedCols(const fmt::BcsrMatrix& m)
+{
+    return static_cast<Index>(
+        roundUp(static_cast<std::uint64_t>(m.cols()),
+                static_cast<std::uint64_t>(m.blockCols())));
+}
+
+} // namespace
+
+SimResult
+simSpmv(SpmvScheme scheme, const MatrixBundle& bundle)
+{
+    const Index rows = bundle.coo.rows();
+    const Index cols = bundle.coo.cols();
+    std::vector<Value> x = onesVector(cols);
+    std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmvCsr(bundle.csr, x, y, e);
+        });
+      case SpmvScheme::kMklCsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmvCsrUnrolled(bundle.csr, x, y, e);
+        });
+      case SpmvScheme::kIdealCsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmvCsrIdeal(bundle.csr, x, y, e);
+        });
+      case SpmvScheme::kTacoBcsr: {
+        std::vector<Value> xb =
+            kern::padVector(x, bcsrPaddedCols(bundle.bcsr));
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmvBcsr(bundle.bcsr, xb, y, e);
+        });
+      }
+      case SpmvScheme::kSmashSw: {
+        std::vector<Value> xp =
+            kern::padVector(x, bundle.smash.paddedCols());
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmvSmashSw(bundle.smash, xp, y, e);
+        });
+      }
+      case SpmvScheme::kSmashHw: {
+        std::vector<Value> xp =
+            kern::padVector(x, bundle.smash.paddedCols());
+        return measureSim([&](sim::SimExec& e) {
+            isa::Bmu bmu;
+            kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
+        });
+      }
+    }
+    SMASH_PANIC("unknown SpMV scheme");
+}
+
+double
+nativeSpmvSeconds(SpmvScheme scheme, const MatrixBundle& bundle, int reps)
+{
+    const Index rows = bundle.coo.rows();
+    const Index cols = bundle.coo.cols();
+    std::vector<Value> x = onesVector(cols);
+    std::vector<Value> xb = kern::padVector(x, bcsrPaddedCols(bundle.bcsr));
+    std::vector<Value> xp = kern::padVector(x, bundle.smash.paddedCols());
+    std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+    sim::NativeExec e;
+
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        double t = secondsOf([&] {
+            switch (scheme) {
+              case SpmvScheme::kTacoCsr:
+                kern::spmvCsr(bundle.csr, x, y, e);
+                break;
+              case SpmvScheme::kMklCsr:
+                kern::spmvCsrUnrolled(bundle.csr, x, y, e);
+                break;
+              case SpmvScheme::kIdealCsr:
+                kern::spmvCsrIdeal(bundle.csr, x, y, e);
+                break;
+              case SpmvScheme::kTacoBcsr:
+                kern::spmvBcsr(bundle.bcsr, xb, y, e);
+                break;
+              case SpmvScheme::kSmashSw:
+                kern::spmvSmashSw(bundle.smash, xp, y, e);
+                break;
+              case SpmvScheme::kSmashHw: {
+                isa::Bmu bmu;
+                kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
+                break;
+              }
+            }
+        });
+        best = t < best ? t : best;
+    }
+    return best;
+}
+
+SpmmBundle
+buildSpmmBundle(const MatrixBundle& bundle,
+                const std::vector<Index>& hierarchy)
+{
+    // B = A^T restricted to its first kSpmmCols columns: exercises
+    // real index matching at tractable cost (DESIGN.md §5).
+    SpmmBundle out;
+    out.cols = std::min<Index>(kSpmmCols, bundle.coo.rows());
+    fmt::CooMatrix b_coo(bundle.coo.cols(), out.cols);
+    for (const fmt::CooEntry& entry : bundle.coo.entries()) {
+        if (entry.row < out.cols)
+            b_coo.add(entry.col, entry.row, entry.value);
+    }
+    b_coo.canonicalize();
+
+    out.bCsc = fmt::CscMatrix::fromCoo(b_coo);
+    fmt::CooMatrix bt_coo = fmt::transpose(
+        fmt::CsrMatrix::fromCoo(b_coo)).toCoo();
+    out.btBcsr = fmt::BcsrMatrix::fromCoo(bt_coo, 4, 4);
+    core::HierarchyConfig cfg = hierarchy.empty()
+        ? wl::paperHierarchy(bundle.spec)
+        : core::HierarchyConfig::fromPaperNotation(hierarchy);
+    out.btSmash = core::SmashMatrix::fromCoo(bt_coo, cfg);
+    return out;
+}
+
+SimResult
+simSpmm(SpmvScheme scheme, const MatrixBundle& a, const SpmmBundle& b)
+{
+    fmt::DenseMatrix c(a.coo.rows(), b.cols);
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+      case SpmvScheme::kMklCsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmmCsr(a.csr, b.bCsc, c, e);
+        });
+      case SpmvScheme::kIdealCsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmmCsrIdeal(a.csr, b.bCsc, c, e);
+        });
+      case SpmvScheme::kTacoBcsr:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmmBcsr(a.bcsr, b.btBcsr, c, e);
+        });
+      case SpmvScheme::kSmashSw:
+        return measureSim([&](sim::SimExec& e) {
+            kern::spmmSmashSw(a.smash, b.btSmash, c, e);
+        });
+      case SpmvScheme::kSmashHw:
+        return measureSim([&](sim::SimExec& e) {
+            isa::Bmu bmu;
+            kern::spmmSmashHw(a.smash, b.btSmash, bmu, c, e);
+        });
+    }
+    SMASH_PANIC("unknown SpMM scheme");
+}
+
+double
+nativeSpmmSeconds(SpmvScheme scheme, const MatrixBundle& a,
+                  const SpmmBundle& b, int reps)
+{
+    fmt::DenseMatrix c(a.coo.rows(), b.cols);
+    sim::NativeExec e;
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        double t = secondsOf([&] {
+            switch (scheme) {
+              case SpmvScheme::kTacoCsr:
+              case SpmvScheme::kMklCsr:
+                kern::spmmCsr(a.csr, b.bCsc, c, e);
+                break;
+              case SpmvScheme::kIdealCsr:
+                kern::spmmCsrIdeal(a.csr, b.bCsc, c, e);
+                break;
+              case SpmvScheme::kTacoBcsr:
+                kern::spmmBcsr(a.bcsr, b.btBcsr, c, e);
+                break;
+              case SpmvScheme::kSmashSw:
+                kern::spmmSmashSw(a.smash, b.btSmash, c, e);
+                break;
+              case SpmvScheme::kSmashHw: {
+                isa::Bmu bmu;
+                kern::spmmSmashHw(a.smash, b.btSmash, bmu, c, e);
+                break;
+              }
+            }
+        });
+        best = t < best ? t : best;
+    }
+    return best;
+}
+
+double
+secondsOf(const std::function<void()>& fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace smash::bench

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * §5.2.1 use case (beyond the paper's figures): sparse iterative
+ * solvers and eigenvalue calculation over interchangeable SpMV
+ * backends. Two experiments:
+ *
+ *   1. Conjugate Gradient on a 2-D Poisson system, simulated, with
+ *      CSR / SW-SMASH / SMASH-HW backends: identical iterates, so
+ *      cycle and instruction differences are pure indexing cost.
+ *   2. Preconditioning study (native): plain CG vs Jacobi-PCG vs
+ *      ILU(0)-PCG iteration counts on the same system — exercising
+ *      the sparse-LU substrate.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+#include "isa/bmu.hh"
+#include "kernels/spmv.hh"
+#include "solvers/ilu.hh"
+#include "solvers/krylov.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+struct SolveCost
+{
+    solve::SolveReport report;
+    double cycles = 0;
+    Counter instructions = 0;
+};
+
+/** Simulated CG with a chosen SpMV backend. */
+template <typename SpmvFn>
+SolveCost
+simulatedCg(sim::Machine& machine, SpmvFn&& spmv, const fmt::CsrMatrix& a,
+            int max_iters)
+{
+    sim::SimExec e(machine);
+    std::vector<Value> b(static_cast<std::size_t>(a.rows()), Value(1));
+    std::vector<Value> x(static_cast<std::size_t>(a.rows()), Value(0));
+    solve::IdentityPreconditioner ident;
+    SolveCost cost;
+    cost.report = solve::preconditionedCg(
+        spmv,
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            sim::SimExec& ee) { ident(r, z, ee); },
+        b, x, 1e-8, max_iters, e);
+    cost.cycles = machine.core().cycles();
+    cost.instructions = machine.core().instructions();
+    return cost;
+}
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.25);
+    preamble("Solver use case (extension, paper §5.2.1)",
+             "CG over CSR / SW-SMASH / SMASH-HW backends (simulated), "
+             "plus preconditioner study (native)",
+             scale);
+
+    // Grid sized so the full-scale system has ~16k unknowns.
+    const Index side = std::max<Index>(
+        8, static_cast<Index>(128 * std::sqrt(scale)));
+    fmt::CooMatrix coo = wl::genPoisson2d(side, side);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    core::SmashMatrix smash = core::SmashMatrix::fromCoo(
+        coo, core::HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    std::cout << "Poisson grid " << side << "x" << side << " ("
+              << a.rows() << " unknowns, " << a.nnz() << " non-zeros)\n\n";
+    const int max_iters = 120;
+
+    // --- Experiment 1: backend comparison under simulation. ---
+    TextTable table("Simulated CG cost per backend (identical iterates)");
+    table.setHeader({"backend", "iterations", "instructions", "cycles",
+                     "speedup vs CSR"});
+
+    sim::Machine m_csr;
+    SolveCost c_csr = simulatedCg(
+        m_csr,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            sim::SimExec ee(m_csr);
+            kern::spmvCsr(a, x, y, ee);
+        },
+        a, max_iters);
+
+    sim::Machine m_sw;
+    SolveCost c_sw = simulatedCg(
+        m_sw,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            sim::SimExec ee(m_sw);
+            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
+            kern::spmvSmashSw(smash, xp, y, ee);
+        },
+        a, max_iters);
+
+    sim::Machine m_hw;
+    isa::Bmu bmu;
+    SolveCost c_hw = simulatedCg(
+        m_hw,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            sim::SimExec ee(m_hw);
+            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
+            kern::spmvSmashHw(smash, bmu, xp, y, ee);
+        },
+        a, max_iters);
+
+    auto add = [&](const char* name, const SolveCost& c) {
+        table.addRow({name, std::to_string(c.report.iterations),
+                      std::to_string(c.instructions),
+                      formatFixed(c.cycles, 0),
+                      formatFixed(c_csr.cycles / c.cycles, 2)});
+    };
+    add("TACO-CSR", c_csr);
+    add("SW-SMASH", c_sw);
+    add("SMASH (BMU)", c_hw);
+    table.print(std::cout);
+    std::cout << "\n";
+
+    // --- Experiment 2: preconditioning (native, correctness-level). ---
+    sim::NativeExec e;
+    auto apply = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        sim::NativeExec ee;
+        kern::spmvCsr(a, x, y, ee);
+    };
+    std::vector<Value> b(static_cast<std::size_t>(a.rows()), Value(1));
+
+    TextTable pc("Preconditioner study (native; tol 1e-8)");
+    pc.setHeader({"method", "iterations", "converged"});
+
+    {
+        std::vector<Value> x(b.size(), 0.0);
+        solve::IdentityPreconditioner ident;
+        solve::SolveReport r = solve::preconditionedCg(
+            apply,
+            [&](const std::vector<Value>& rr, std::vector<Value>& z,
+                sim::NativeExec& ee) { ident(rr, z, ee); },
+            b, x, 1e-8, 2000, e);
+        pc.addRow({"CG", std::to_string(r.iterations),
+                   r.converged ? "yes" : "no"});
+    }
+    {
+        std::vector<Value> x(b.size(), 0.0);
+        std::vector<Value> diag(b.size(), 4.0);
+        solve::JacobiPreconditioner jac(diag);
+        solve::SolveReport r = solve::preconditionedCg(
+            apply,
+            [&](const std::vector<Value>& rr, std::vector<Value>& z,
+                sim::NativeExec& ee) { jac(rr, z, ee); },
+            b, x, 1e-8, 2000, e);
+        pc.addRow({"Jacobi-PCG", std::to_string(r.iterations),
+                   r.converged ? "yes" : "no"});
+    }
+    {
+        std::vector<Value> x(b.size(), 0.0);
+        solve::Ilu0Preconditioner ilu(solve::ilu0(a));
+        solve::SolveReport r = solve::preconditionedCg(
+            apply,
+            [&](const std::vector<Value>& rr, std::vector<Value>& z,
+                sim::NativeExec& ee) { ilu(rr, z, ee); },
+            b, x, 1e-8, 2000, e);
+        pc.addRow({"ILU(0)-PCG", std::to_string(r.iterations),
+                   r.converged ? "yes" : "no"});
+    }
+    pc.print(std::cout);
+    std::cout << "\nExpected shape: all backends take the same CG "
+                 "iterations (up to floating-point rounding of the "
+                 "block-order sums); the BMU backend runs them in fewer "
+                 "cycles while the software scan pays extra instructions "
+                 "(Poisson rows are very sparse — the Fig. 10 M1/M2 "
+                 "regime); ILU(0) roughly halves the iteration count. "
+                 "Jacobi matches plain CG because the Poisson diagonal "
+                 "is constant (diagonal scaling is a no-op for CG).\n";
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * General SpGEMM use case (extension; the paper's SpMM evaluation
+ * uses inner-product index matching, §5.2): row-wise Gustavson
+ * C := A B with sparse output, comparing how A's non-zeros are
+ * discovered — CSR streaming, SMASH software scan, SMASH BMU — plus
+ * the outer-product dataflow as a second baseline. All variants
+ * produce identical CSR output; differences are indexing cost.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "formats/convert.hh"
+#include "harness.hh"
+#include "isa/bmu.hh"
+#include "kernels/spgemm.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+int
+run()
+{
+    const double scale = wl::benchScale(0.02);
+    preamble("SpGEMM use case (extension)",
+             "Gustavson C := A*B with sparse output; A's non-zeros "
+             "discovered via CSR / SW-SMASH / SMASH-HW; outer-product "
+             "baseline",
+             scale);
+
+    const std::vector<wl::MatrixSpec> all = wl::table3Specs();
+    const int picks[] = {1, 7, 12}; // M2, M8, M13
+
+    TextTable table("Simulated SpGEMM (B = A^T), cost per scheme");
+    table.setHeader({"matrix", "scheme", "instructions", "cycles",
+                     "speedup vs Gustavson-CSR", "C nnz"});
+
+    for (int pick : picks) {
+        wl::MatrixSpec spec = wl::scaleSpec(all[static_cast<std::size_t>(
+            pick)], scale);
+        MatrixBundle bundle = buildBundle(spec);
+        fmt::CsrMatrix b = fmt::transpose(bundle.csr);
+        fmt::CscMatrix a_csc = fmt::csrToCsc(bundle.csr);
+
+        double csr_cycles = 0;
+        auto report = [&](const char* name, sim::Machine& m,
+                          const fmt::CsrMatrix& c) {
+            if (csr_cycles == 0)
+                csr_cycles = m.core().cycles();
+            table.addRow({spec.name, name,
+                          std::to_string(m.core().instructions()),
+                          formatFixed(m.core().cycles(), 0),
+                          formatFixed(csr_cycles / m.core().cycles(), 2),
+                          std::to_string(c.nnz())});
+        };
+
+        {
+            sim::Machine m;
+            sim::SimExec e(m);
+            fmt::CsrMatrix c = kern::spgemmGustavson(bundle.csr, b, e);
+            report("Gustavson-CSR", m, c);
+        }
+        {
+            sim::Machine m;
+            sim::SimExec e(m);
+            fmt::CsrMatrix c = kern::spgemmOuter(a_csc, b, e);
+            report("Outer-product", m, c);
+        }
+        {
+            sim::Machine m;
+            sim::SimExec e(m);
+            fmt::CsrMatrix c = kern::spgemmSmashSw(bundle.smash, b, e);
+            report("SW-SMASH", m, c);
+        }
+        {
+            sim::Machine m;
+            sim::SimExec e(m);
+            isa::Bmu bmu;
+            fmt::CsrMatrix c = kern::spgemmSmashHw(bundle.smash, bmu, b, e);
+            report("SMASH (BMU)", m, c);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: all schemes emit identical C nnz; "
+                 "SMASH-HW beats SW-SMASH; the scatter-heavy phases "
+                 "(SPA updates) bound the achievable speedup, so gains "
+                 "are smaller than in SpMV where indexing dominates.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main()
+{
+    return smash::bench::run();
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Semiring traversal example: run BFS, single-source shortest
+ * paths, and connected components on a synthetic road-network graph
+ * by swapping the semiring under one SpMV — over both CSR and the
+ * SMASH encoding — and cross-check against the classical direct
+ * algorithms.
+ *
+ * Build:  cmake -B build -G Ninja && cmake --build build
+ * Run:    ./build/examples/graph_traversal
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "formats/convert.hh"
+#include "graph/generators.hh"
+#include "graph/semiring.hh"
+#include "graph/traversal.hh"
+#include "sim/exec_model.hh"
+
+int
+main()
+{
+    using namespace smash;
+    using graph::Graph;
+
+    Graph g = graph::gridGraph(24, 24, /*seed=*/7);
+    std::cout << "Road-network stand-in: " << g.numVertices()
+              << " vertices, " << g.numEdges() << " directed edges\n\n";
+
+    fmt::CsrMatrix at = fmt::transpose(g.toAdjacencyMatrix());
+    core::SmashMatrix at_smash = core::SmashMatrix::fromCoo(
+        at.toCoo(), core::HierarchyConfig::fromPaperNotation({4, 2}));
+    sim::NativeExec e;
+
+    // --- BFS: boolean semiring. ---
+    auto bool_csr = [&](const std::vector<Value>& x,
+                        std::vector<Value>& y) {
+        graph::spmvSemiringCsr<graph::BooleanSemiring>(at, x, y, e);
+    };
+    auto bool_smash = [&](const std::vector<Value>& x,
+                          std::vector<Value>& y) {
+        std::vector<Value> xp(x);
+        xp.resize(static_cast<std::size_t>(at_smash.paddedCols()), 0.0);
+        graph::spmvSemiringSmashSw<graph::BooleanSemiring>(
+            at_smash, xp, y, e);
+    };
+    auto ref_levels = graph::bfsReference(g, 0);
+    auto csr_levels = graph::bfsSemiring(g.numVertices(), 0, bool_csr);
+    auto smash_levels = graph::bfsSemiring(g.numVertices(), 0, bool_smash);
+    Index max_level = 0;
+    for (Index lvl : ref_levels)
+        max_level = std::max(max_level, lvl);
+    std::cout << "BFS from vertex 0 (boolean semiring):\n"
+              << "  eccentricity " << max_level << "; CSR backend "
+              << (csr_levels == ref_levels ? "matches" : "DIFFERS from")
+              << " queue BFS; SMASH backend "
+              << (smash_levels == ref_levels ? "matches" : "DIFFERS from")
+              << " queue BFS\n\n";
+
+    // --- SSSP: min-plus semiring over unit weights. ---
+    auto minplus = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        graph::spmvSemiringCsr<graph::MinPlusSemiring>(at, x, y, e);
+    };
+    auto dist = graph::ssspSemiring(g.numVertices(), 0, minplus);
+    auto ref_dist = graph::ssspReference(g.toAdjacencyMatrix(), 0);
+    double max_err = 0;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+        if (std::isfinite(ref_dist[v]))
+            max_err = std::max(max_err, std::abs(dist[v] - ref_dist[v]));
+    }
+    std::cout << "SSSP (min-plus semiring, unit weights):\n"
+              << "  max |semiring - Bellman-Ford| = " << max_err << "\n\n";
+
+    // --- Connected components: min-select2nd semiring. ---
+    fmt::CooMatrix sym_coo(g.numVertices(), g.numVertices());
+    for (graph::Vertex u = 0; u < g.numVertices(); ++u) {
+        const graph::Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k) {
+            sym_coo.add(u, nbr[k], 1.0);
+            sym_coo.add(nbr[k], u, 1.0);
+        }
+    }
+    sym_coo.canonicalize();
+    fmt::CsrMatrix sym = fmt::CsrMatrix::fromCoo(sym_coo);
+    auto minlabel = [&](const std::vector<Value>& x,
+                        std::vector<Value>& y) {
+        graph::spmvSemiringCsr<graph::MinSelect2ndSemiring>(sym, x, y, e);
+    };
+    auto comp = graph::componentsSemiring(g.numVertices(), minlabel);
+    auto ref_comp = graph::componentsReference(g);
+    std::size_t distinct = 0;
+    for (std::size_t v = 0; v < comp.size(); ++v)
+        if (comp[v] == static_cast<Index>(v))
+            ++distinct;
+    std::cout << "Connected components (min-select2nd semiring):\n"
+              << "  " << distinct << " component(s); "
+              << (comp == ref_comp ? "matches" : "DIFFERS from")
+              << " union-find\n\n";
+
+    // --- Triangles. ---
+    std::cout << "Triangles (merge-intersect): "
+              << graph::trianglesMerge(g) << "\n";
+
+    bool ok = csr_levels == ref_levels && smash_levels == ref_levels &&
+        max_err == 0.0 && comp == ref_comp;
+    std::cout << (ok ? "\nall traversals agree with their oracles.\n"
+                     : "\nMISMATCH detected.\n");
+    return ok ? 0 : 1;
+}

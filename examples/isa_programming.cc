@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ISA programming example (paper §4.3): write the Algorithm-1
+ * configuration and scan loop as literal SMASH assembly, assemble
+ * it to binary, execute it against the BMU, and use the traced
+ * RDIND outputs to drive the SpMV multiply — the lowest-level view
+ * of the hardware/software contract.
+ *
+ * Build:  cmake -B build -G Ninja && cmake --build build
+ * Run:    ./build/examples/isa_programming
+ */
+
+#include <iostream>
+
+#include "core/smash_matrix.hh"
+#include "isa/program.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+int
+main()
+{
+    using namespace smash;
+
+    // A small sparse matrix encoded with a 3-level hierarchy.
+    fmt::CooMatrix coo = wl::genClustered(16, 16, 40, 4, /*seed=*/3);
+    auto cfg = core::HierarchyConfig::fromPaperNotation({4, 2, 2});
+    core::SmashMatrix a = core::SmashMatrix::fromCoo(coo, cfg);
+    std::cout << "Matrix: 16x16, " << a.nnz() << " non-zeros, "
+              << a.numBlocks() << " NZA blocks, hierarchy "
+              << cfg.toString() << "\n\n";
+
+    // --- 1. The configuration prologue, as assembly text. ---
+    const char* prologue_asm = R"(
+        # Algorithm 1, lines 2-8: configure group 0.
+        matinfo  r1,  r2,  g0   # rows, padded columns
+        bmapinfo r12, 2,  g0    # Bitmap-2 compression ratio
+        bmapinfo r11, 1,  g0    # Bitmap-1 compression ratio
+        bmapinfo r10, 0,  g0    # Bitmap-0 ratio (NZA block size)
+        rdbmap  [r22], 2,  g0   # load Bitmap-2 into SRAM buffer 2
+        rdbmap  [r21], 1,  g0   # load Bitmap-1 into SRAM buffer 1
+        rdbmap  [r20], 0,  g0   # load Bitmap-0 into SRAM buffer 0
+    )";
+    isa::BmuProgram prologue = isa::BmuProgram::assemble(prologue_asm);
+    std::cout << "Assembled prologue (" << prologue.size()
+              << " instructions):\n" << prologue.disassemble() << "\n";
+
+    // --- 2. Bind registers and the bitmap address space. ---
+    isa::Bmu bmu;
+    sim::NativeExec exec;
+    isa::BmuExecutor<sim::NativeExec> cpu(bmu, exec);
+    cpu.setRegister(1, static_cast<std::uint64_t>(a.rows()));
+    cpu.setRegister(2, static_cast<std::uint64_t>(a.paddedCols()));
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl) {
+        cpu.setRegister(10 + lvl,
+                        static_cast<std::uint64_t>(cfg.ratio(lvl)));
+        std::uint64_t addr = 0x4000u + 0x100u * static_cast<unsigned>(lvl);
+        cpu.setRegister(20 + lvl, addr);
+        cpu.mapBitmap(addr, &a.hierarchy().level(lvl));
+    }
+    std::vector<isa::TraceEntry> trace;
+    cpu.run(prologue, &trace);
+
+    // --- 3. The scan loop: PBMAP + RDIND per non-zero block,
+    //        multiplying NZA blocks against x as indices arrive. ---
+    std::vector<Value> x(static_cast<std::size_t>(a.paddedCols()), 1.0);
+    std::vector<Value> y(static_cast<std::size_t>(a.rows()), 0.0);
+    isa::Instruction pbmap = isa::parseAssembly("pbmap g0");
+    isa::Instruction rdind = isa::parseAssembly("rdind r5, r6, g0");
+
+    Index block = 0;
+    while (cpu.step(pbmap)) {
+        cpu.step(rdind);
+        Index row = static_cast<Index>(cpu.getRegister(5));
+        Index col = static_cast<Index>(cpu.getRegister(6));
+        const Value* nza = a.blockData(block);
+        Value acc = 0;
+        for (Index k = 0; k < a.blockSize(); ++k)
+            acc += nza[k] * x[static_cast<std::size_t>(col + k)];
+        y[static_cast<std::size_t>(row)] += acc;
+        ++block;
+    }
+    std::cout << "Scan loop enumerated " << block << " blocks (expected "
+              << a.numBlocks() << ")\n\n";
+
+    // --- 4. Validate against the dense product. ---
+    fmt::DenseMatrix dense = a.toDense();
+    double max_err = 0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value want = 0;
+        for (Index c = 0; c < a.cols(); ++c)
+            want += dense.at(r, c); // x is all-ones
+        max_err = std::max(max_err,
+                           std::abs(y[static_cast<std::size_t>(r)] - want));
+    }
+    std::cout << "SpMV through raw ISA: max |error| = " << max_err << "\n";
+
+    // --- 5. Show the binary encoding round trip. ---
+    std::cout << "\nBinary encodings:\n";
+    for (std::size_t i = 0; i < prologue.size(); ++i) {
+        isa::InstWord w = prologue.words()[i];
+        std::cout << "  0x" << std::hex << w << std::dec << "  "
+                  << isa::toAssembly(isa::decode(w)) << "\n";
+    }
+    return max_err < 1e-12 && block == a.numBlocks() ? 0 : 1;
+}

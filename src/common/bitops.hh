@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the bitmap hierarchy and the BMU.
+ *
+ * The software-only SMASH indexer (paper §4.4) is specified in terms
+ * of Count-Leading-Zeros and AND-mask operations; these wrappers give
+ * them well-defined behaviour for zero inputs and centralize the use
+ * of compiler intrinsics.
+ */
+
+#ifndef SMASH_COMMON_BITOPS_HH
+#define SMASH_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace smash
+{
+
+/** Number of set bits in @p w. */
+inline int
+popcount(BitWord w)
+{
+    return std::popcount(w);
+}
+
+/**
+ * Index (0 = least significant) of the lowest set bit of @p w.
+ * @pre w != 0
+ */
+inline int
+findFirstSet(BitWord w)
+{
+    assert(w != 0);
+    return std::countr_zero(w);
+}
+
+/**
+ * Index of the highest set bit of @p w (the CLZ-style scan the paper
+ * describes for software-only SMASH).
+ * @pre w != 0
+ */
+inline int
+findLastSet(BitWord w)
+{
+    assert(w != 0);
+    return kBitsPerWord - 1 - std::countl_zero(w);
+}
+
+/** Clear the lowest set bit of @p w. */
+inline BitWord
+clearLowestSet(BitWord w)
+{
+    return w & (w - 1);
+}
+
+/** True when @p v is a power of two (zero is not). */
+inline bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Smallest multiple of @p align that is >= @p v. @pre align > 0 */
+inline std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    assert(align > 0);
+    return ((v + align - 1) / align) * align;
+}
+
+/** ceil(a / b) for unsigned quantities. @pre b > 0 */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+} // namespace smash
+
+#endif // SMASH_COMMON_BITOPS_HH

@@ -1,0 +1,44 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace smash
+{
+
+namespace detail
+{
+
+namespace
+{
+
+std::string
+located(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+} // namespace
+
+void
+throwFatal(const char* file, int line, const std::string& msg)
+{
+    throw FatalError(located(file, line, "fatal: " + msg));
+}
+
+void
+throwPanic(const char* file, int line, const std::string& msg)
+{
+    throw PanicError(located(file, line, "panic: " + msg));
+}
+
+} // namespace detail
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+} // namespace smash

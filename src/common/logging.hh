@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the condition is the caller's fault (bad configuration,
+ *            malformed input); throws FatalError so library users and
+ *            tests can recover.
+ * panic()  — an internal invariant was violated (a library bug);
+ *            also throws, carrying a "panic:" prefix, so tests can
+ *            assert on misuse handling without killing the process.
+ */
+
+#ifndef SMASH_COMMON_LOGGING_HH
+#define SMASH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smash
+{
+
+/** Exception thrown for user-caused unrecoverable conditions. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Exception thrown for internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void throwFatal(const char* file, int line,
+                             const std::string& msg);
+[[noreturn]] void throwPanic(const char* file, int line,
+                             const std::string& msg);
+
+/** Fold a mixed argument pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print a one-line warning to stderr (never stops execution). */
+void warn(const std::string& msg);
+
+} // namespace smash
+
+/** Abort the operation: user error (configuration/input). */
+#define SMASH_FATAL(...)                                                    \
+    ::smash::detail::throwFatal(__FILE__, __LINE__,                         \
+        ::smash::detail::formatMessage(__VA_ARGS__))
+
+/** Abort the operation: internal bug. */
+#define SMASH_PANIC(...)                                                    \
+    ::smash::detail::throwPanic(__FILE__, __LINE__,                         \
+        ::smash::detail::formatMessage(__VA_ARGS__))
+
+/** Check a user-facing precondition; fatal() on failure. */
+#define SMASH_CHECK(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SMASH_FATAL("check failed: " #cond ": ", __VA_ARGS__);          \
+        }                                                                   \
+    } while (0)
+
+#endif // SMASH_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace smash
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    SMASH_CHECK(header_.empty() || row.size() == header_.size(),
+                "row width ", row.size(), " != header width ",
+                header_.size(), " in table '", title_, "'");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& row) {
+        if (width.size() < row.size())
+            width.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    grow(header_);
+    for (const auto& row : rows_)
+        grow(row);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& row : rows_)
+        emit(row);
+    os.flush();
+}
+
+std::string
+formatFixed(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+} // namespace smash

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal fixed-width text-table writer used by the benchmark
+ * harnesses to print paper-style rows/series.
+ */
+
+#ifndef SMASH_COMMON_TABLE_HH
+#define SMASH_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smash
+{
+
+/**
+ * Collects rows of string cells and prints them with per-column
+ * alignment. Numeric cells should be pre-formatted by the caller
+ * (the harness controls significant digits per figure).
+ */
+class TextTable
+{
+  public:
+    /** @param title Heading printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to @p os. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits digits after the decimal point. */
+std::string formatFixed(double v, int digits);
+
+} // namespace smash
+
+#endif // SMASH_COMMON_TABLE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases shared by every SMASH module.
+ *
+ * The simulator-facing code follows the gem5 convention of short,
+ * explicit integer aliases so that sizes of architectural quantities
+ * (addresses, cycle counts, instruction counts) are obvious at a
+ * glance.
+ */
+
+#ifndef SMASH_COMMON_TYPES_HH
+#define SMASH_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smash
+{
+
+/** Byte-addressable memory address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Dynamic instruction counts. */
+using Counter = std::uint64_t;
+
+/** Matrix row/column index. Signed to make reverse loops safe. */
+using Index = std::int64_t;
+
+/** Matrix element value type used throughout the library. */
+using Value = double;
+
+/** One machine word of bitmap storage. */
+using BitWord = std::uint64_t;
+
+/** Number of bits held by a single BitWord. */
+inline constexpr int kBitsPerWord = 64;
+
+/** Cache line size assumed by the memory model (bytes). */
+inline constexpr int kCacheLineBytes = 64;
+
+} // namespace smash
+
+#endif // SMASH_COMMON_TYPES_HH

@@ -1,0 +1,97 @@
+#include "core/bitmap.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace smash::core
+{
+
+Bitmap::Bitmap(Index nbits)
+    : nbits_(nbits),
+      words_(static_cast<std::size_t>(
+          ceilDiv(static_cast<std::uint64_t>(nbits), kBitsPerWord)), 0)
+{
+    SMASH_CHECK(nbits >= 0, "negative bitmap size ", nbits);
+}
+
+void
+Bitmap::set(Index bit)
+{
+    assert(bit >= 0 && bit < nbits_);
+    words_[static_cast<std::size_t>(bit / kBitsPerWord)] |=
+        BitWord(1) << (bit % kBitsPerWord);
+}
+
+void
+Bitmap::clear(Index bit)
+{
+    assert(bit >= 0 && bit < nbits_);
+    words_[static_cast<std::size_t>(bit / kBitsPerWord)] &=
+        ~(BitWord(1) << (bit % kBitsPerWord));
+}
+
+bool
+Bitmap::test(Index bit) const
+{
+    assert(bit >= 0 && bit < nbits_);
+    return (words_[static_cast<std::size_t>(bit / kBitsPerWord)] >>
+            (bit % kBitsPerWord)) & 1;
+}
+
+Index
+Bitmap::countSet() const
+{
+    Index count = 0;
+    for (BitWord w : words_)
+        count += popcount(w);
+    return count;
+}
+
+Index
+Bitmap::rankBefore(Index bit) const
+{
+    assert(bit >= 0 && bit <= nbits_);
+    Index count = 0;
+    Index full_words = bit / kBitsPerWord;
+    for (Index w = 0; w < full_words; ++w)
+        count += popcount(words_[static_cast<std::size_t>(w)]);
+    int rem = static_cast<int>(bit % kBitsPerWord);
+    if (rem > 0) {
+        BitWord mask = (BitWord(1) << rem) - 1;
+        count += popcount(words_[static_cast<std::size_t>(full_words)] & mask);
+    }
+    return count;
+}
+
+Index
+Bitmap::findNextSet(Index from) const
+{
+    if (from < 0)
+        from = 0;
+    if (from >= nbits_)
+        return -1;
+    Index w = from / kBitsPerWord;
+    int bit_in_word = static_cast<int>(from % kBitsPerWord);
+    BitWord cur = words_[static_cast<std::size_t>(w)] &
+        (~BitWord(0) << bit_in_word);
+    while (true) {
+        if (cur != 0) {
+            Index found = w * kBitsPerWord + findFirstSet(cur);
+            return found < nbits_ ? found : -1;
+        }
+        if (++w >= numWords())
+            return -1;
+        cur = words_[static_cast<std::size_t>(w)];
+    }
+}
+
+std::size_t
+Bitmap::storageBytes() const
+{
+    return static_cast<std::size_t>(
+        ceilDiv(static_cast<std::uint64_t>(nbits_), 8));
+}
+
+} // namespace smash::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-length bit array backing one level of the SMASH hierarchy.
+ *
+ * Word-granular access is exposed because both the software-only
+ * indexer (which loads 64-byte bitmap chunks and CLZ-scans them,
+ * paper §4.4) and the BMU model (which fills 256-byte SRAM buffers,
+ * §4.2) operate on raw words rather than on single bits.
+ */
+
+#ifndef SMASH_CORE_BITMAP_HH
+#define SMASH_CORE_BITMAP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::core
+{
+
+/** Dense bit array with word-level access and set-bit scanning. */
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+
+    /** Create @p nbits cleared bits. */
+    explicit Bitmap(Index nbits);
+
+    Index numBits() const { return nbits_; }
+    Index numWords() const { return static_cast<Index>(words_.size()); }
+
+    void set(Index bit);
+    void clear(Index bit);
+    bool test(Index bit) const;
+
+    /** Number of set bits in the whole bitmap. */
+    Index countSet() const;
+
+    /** Number of set bits in [0, bit). Used to locate NZA blocks. */
+    Index rankBefore(Index bit) const;
+
+    /**
+     * Index of the first set bit at or after @p from, or -1 when no
+     * further bit is set.
+     */
+    Index findNextSet(Index from) const;
+
+    /** Raw word (bits [w*64, w*64+63]); tail bits are zero. */
+    BitWord word(Index w) const { return words_[static_cast<std::size_t>(w)]; }
+
+    /** Backing words, e.g. for buffer fills in the BMU model. */
+    const std::vector<BitWord>& words() const { return words_; }
+
+    /** Bytes needed to store the bitmap densely. */
+    std::size_t storageBytes() const;
+
+    bool operator==(const Bitmap& other) const = default;
+
+  private:
+    Index nbits_ = 0;
+    std::vector<BitWord> words_;
+};
+
+} // namespace smash::core
+
+#endif // SMASH_CORE_BITMAP_HH

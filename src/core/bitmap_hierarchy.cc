@@ -1,0 +1,86 @@
+#include "core/bitmap_hierarchy.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace smash::core
+{
+
+BitmapHierarchy::BitmapHierarchy(const HierarchyConfig& cfg, Bitmap level0)
+    : cfg_(cfg)
+{
+    levels_.reserve(static_cast<std::size_t>(cfg.levels()));
+    levels_.push_back(std::move(level0));
+    for (int lvl = 1; lvl < cfg.levels(); ++lvl) {
+        const Bitmap& below = levels_.back();
+        Index ratio = cfg.ratio(lvl);
+        Bitmap up(static_cast<Index>(
+            ceilDiv(static_cast<std::uint64_t>(below.numBits()),
+                    static_cast<std::uint64_t>(ratio))));
+        Index bit = below.findNextSet(0);
+        while (bit >= 0) {
+            up.set(bit / ratio);
+            // Skip to the next group: every further set bit in this
+            // group would map to the same parent bit.
+            bit = below.findNextSet((bit / ratio + 1) * ratio);
+        }
+        levels_.push_back(std::move(up));
+    }
+}
+
+const Bitmap&
+BitmapHierarchy::level(int lvl) const
+{
+    SMASH_CHECK(lvl >= 0 && lvl < static_cast<int>(levels_.size()),
+                "bad level ", lvl);
+    return levels_[static_cast<std::size_t>(lvl)];
+}
+
+bool
+BitmapHierarchy::checkInvariants() const
+{
+    for (int lvl = 1; lvl < levels(); ++lvl) {
+        const Bitmap& up = level(lvl);
+        const Bitmap& below = level(lvl - 1);
+        Index ratio = cfg_.ratio(lvl);
+        for (Index b = 0; b < up.numBits(); ++b) {
+            bool any = false;
+            for (Index k = b * ratio;
+                 k < (b + 1) * ratio && k < below.numBits(); ++k) {
+                if (below.test(k)) {
+                    any = true;
+                    break;
+                }
+            }
+            if (any != up.test(b))
+                return false;
+        }
+    }
+    return true;
+}
+
+std::size_t
+BitmapHierarchy::denseStorageBytes() const
+{
+    std::size_t bytes = 0;
+    for (const Bitmap& level : levels_)
+        bytes += level.storageBytes();
+    return bytes;
+}
+
+std::size_t
+BitmapHierarchy::compactStorageBytes() const
+{
+    // Top level: stored whole.
+    std::uint64_t bits = static_cast<std::uint64_t>(
+        levels_.back().numBits());
+    // Lower levels: one ratio(i+1)-bit group per set parent bit.
+    for (int lvl = levels() - 1; lvl >= 1; --lvl) {
+        std::uint64_t groups = static_cast<std::uint64_t>(
+            level(lvl).countSet());
+        bits += groups * static_cast<std::uint64_t>(cfg_.ratio(lvl));
+    }
+    return static_cast<std::size_t>(ceilDiv(bits, 8));
+}
+
+} // namespace smash::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The hierarchy of bitmaps (paper §4.1): Bitmap-0 marks which NZA
+ * blocks exist; each higher level summarizes `ratio(i)` bits of the
+ * level below with one bit. Built bottom-up from a Bitmap-0
+ * occupancy pattern.
+ */
+
+#ifndef SMASH_CORE_BITMAP_HIERARCHY_HH
+#define SMASH_CORE_BITMAP_HIERARCHY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bitmap.hh"
+#include "core/hierarchy_config.hh"
+
+namespace smash::core
+{
+
+/** Multi-level bitmap with per-level compression ratios. */
+class BitmapHierarchy
+{
+  public:
+    BitmapHierarchy() = default;
+
+    /**
+     * Build all levels from the finest one.
+     * @param cfg per-level ratios
+     * @param level0 occupancy of NZA blocks (one bit per block)
+     */
+    BitmapHierarchy(const HierarchyConfig& cfg, Bitmap level0);
+
+    const HierarchyConfig& config() const { return cfg_; }
+    int levels() const { return cfg_.levels(); }
+
+    /** Bitmap at @p level (0 = finest). */
+    const Bitmap& level(int lvl) const;
+
+    /**
+     * Verify the summarization invariant: a level-i bit is set iff
+     * at least one covered level-(i-1) bit is set.
+     */
+    bool checkInvariants() const;
+
+    /**
+     * Bytes to store every level densely (the working in-memory
+     * representation).
+     */
+    std::size_t denseStorageBytes() const;
+
+    /**
+     * Bytes to store the hierarchy with the Fig. 4b compaction: the
+     * top level is kept whole; for each lower level i only the bit
+     * groups whose parent (level i+1) bit is set are materialized.
+     */
+    std::size_t compactStorageBytes() const;
+
+  private:
+    HierarchyConfig cfg_{std::vector<Index>{2}};
+    std::vector<Bitmap> levels_; // [0] = finest
+};
+
+} // namespace smash::core
+
+#endif // SMASH_CORE_BITMAP_HIERARCHY_HH

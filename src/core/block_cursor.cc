@@ -1,0 +1,136 @@
+#include "core/block_cursor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace smash::core
+{
+
+BlockCursor::BlockCursor(const SmashMatrix& matrix)
+    : matrix_(matrix)
+{
+    lastWord_.fill(-1);
+    reset();
+}
+
+void
+BlockCursor::setRange(Index from_bit, Index to_bit)
+{
+    const BitmapHierarchy& h = matrix_.hierarchy();
+    const int top = h.levels() - 1;
+    Index from = from_bit;
+    Index to = to_bit;
+    for (int l = 0; l <= top; ++l) {
+        auto sl = static_cast<std::size_t>(l);
+        if (l > 0) {
+            Index r = h.config().ratio(l);
+            from = from / r;
+            to = (to + r - 1) / r;
+        }
+        from_[sl] = from;
+        to_[sl] = std::min(to, h.level(l).numBits());
+        cur_[sl] = from_[sl];
+        end_[sl] = l == top ? to_[sl] : from_[sl]; // empty below top
+    }
+    levelPos_ = top;
+    blocksEmitted_ = 0;
+    done_ = false;
+}
+
+void
+BlockCursor::reset()
+{
+    setRange(0, matrix_.hierarchy().level(0).numBits());
+}
+
+void
+BlockCursor::beginRange(Index from_bit, Index to_bit)
+{
+    setRange(from_bit, to_bit);
+}
+
+Index
+BlockCursor::scanLevel(int level, Index from, Index end)
+{
+    const Bitmap& bm = matrix_.hierarchy().level(level);
+    end = std::min(end, bm.numBits());
+    if (from >= end)
+        return -1;
+
+    auto touch = [&](Index w) {
+        ++stats_.wordLoads;
+        if (recordTouches_)
+            touches_.push_back({level, w});
+        auto sl = static_cast<std::size_t>(level);
+        if (w != lastWord_[sl]) {
+            ++stats_.freshWords;
+            lastWord_[sl] = w;
+        }
+    };
+
+    Index w = from / kBitsPerWord;
+    const Index w_end = (end + kBitsPerWord - 1) / kBitsPerWord;
+    touch(w);
+    BitWord word = bm.word(w);
+    // Mask off bits below `from` (the AND step of §4.4).
+    word &= ~BitWord(0) << (from % kBitsPerWord);
+    ++stats_.bitOps;
+    while (true) {
+        if (word != 0) {
+            ++stats_.bitOps; // the CLZ-style scan
+            Index bit = w * kBitsPerWord + findFirstSet(word);
+            return bit < end ? bit : -1;
+        }
+        if (++w >= w_end)
+            return -1;
+        touch(w);
+        word = bm.word(w);
+    }
+}
+
+bool
+BlockCursor::next(BlockPosition& pos)
+{
+    if (done_)
+        return false;
+
+    const BitmapHierarchy& h = matrix_.hierarchy();
+    const int top = h.levels() - 1;
+    int lvl = levelPos_;
+    while (true) {
+        auto sl = static_cast<std::size_t>(lvl);
+        Index bit = scanLevel(lvl, cur_[sl], end_[sl]);
+        if (bit < 0) {
+            if (lvl == top) {
+                done_ = true;
+                return false;
+            }
+            ++lvl; // pop back to the parent level
+            continue;
+        }
+        cur_[sl] = bit + 1;
+        if (lvl == 0) {
+            // Row/column from register arithmetic; the NZA ordinal is
+            // a running count (relative to the start of the current
+            // range) — positionOfBit()'s rank scan would be O(bitmap)
+            // per block and is not needed on a sequential traversal.
+            const Index linear = bit * matrix_.blockSize();
+            pos.row = linear / matrix_.paddedCols();
+            pos.colStart = linear % matrix_.paddedCols();
+            pos.nzaBlock = blocksEmitted_++;
+            levelPos_ = 0;
+            return true;
+        }
+        // Descend into the covered range of the level below, clipped
+        // to the active range restriction.
+        Index ratio = h.config().ratio(lvl);
+        auto below = static_cast<std::size_t>(lvl - 1);
+        cur_[below] = std::max(bit * ratio, from_[below]);
+        end_[below] = std::min((bit + 1) * ratio, to_[below]);
+        --lvl;
+    }
+}
+
+} // namespace smash::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Software-only SMASH indexing (paper §4.4): a cursor that walks the
+ * bitmap hierarchy depth-first, finding Bitmap-0 set bits with
+ * word-load + CLZ + AND-mask operations — exactly the instruction
+ * pattern the paper charges to Software-only SMASH. The cursor
+ * counts those operations so the simulation can bill them.
+ *
+ * Word loads are split into *fresh* (a word not examined by the
+ * previous step at that level) and repeats. Under the paper's
+ * Fig. 4b compact storage the fresh words form each level's compact
+ * stream, consumed sequentially — the kernels bill fresh loads at
+ * consecutive synthetic addresses and repeats as re-touches of the
+ * same line (see kern::ScanBiller).
+ */
+
+#ifndef SMASH_CORE_BLOCK_CURSOR_HH
+#define SMASH_CORE_BLOCK_CURSOR_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/smash_matrix.hh"
+
+namespace smash::core
+{
+
+/** Operation counts of a software bitmap scan. */
+struct ScanStats
+{
+    Counter wordLoads = 0;  //!< 64-bit bitmap words fetched
+    Counter freshWords = 0; //!< loads of a not-just-examined word
+    Counter bitOps = 0;     //!< CLZ / AND-mask register operations
+};
+
+/** One bitmap word examined by the scan (for cost billing). */
+struct WordTouch
+{
+    int level;  //!< hierarchy level of the word
+    Index word; //!< word index within that level's bitmap
+};
+
+/**
+ * Depth-first traversal of the bitmap hierarchy that yields every
+ * non-zero block in ascending Bitmap-0 order. Regions whose parent
+ * bit is clear are skipped without touching lower-level words —
+ * the software benefit of the hierarchy.
+ *
+ * beginRange() restricts the traversal to a Bitmap-0 bit range (one
+ * matrix row, say) for the SpMM/graph per-row scans; in that mode
+ * the emitted nzaBlock ordinals restart from zero and callers keep
+ * their own block rank (see kern::rowBlockRanks()).
+ */
+class BlockCursor
+{
+  public:
+    /** @param matrix must outlive the cursor. */
+    explicit BlockCursor(const SmashMatrix& matrix);
+
+    /**
+     * Advance to the next non-zero block.
+     * @param pos filled with the block's matrix position on success
+     * @retval true a block was produced
+     * @retval false the traversal is exhausted
+     */
+    bool next(BlockPosition& pos);
+
+    /** Restart a whole-matrix traversal from the beginning. */
+    void reset();
+
+    /**
+     * Restrict the traversal to Bitmap-0 bits [fromBit, toBit) and
+     * restart it there. Scan statistics keep accumulating.
+     */
+    void beginRange(Index from_bit, Index to_bit);
+
+    /** Scan-cost counters accumulated since construction. */
+    const ScanStats& stats() const { return stats_; }
+
+    /** Words examined since the last drainTouches() call. */
+    const std::vector<WordTouch>& touches() const { return touches_; }
+
+    /** Forget the recorded touches (after billing them). */
+    void drainTouches() { touches_.clear(); }
+
+    /**
+     * Enable/disable touch recording. Native (non-simulated) runs
+     * disable it so the scan runs at full speed; the ScanStats
+     * counters are kept either way.
+     */
+    void setRecordTouches(bool record) { recordTouches_ = record; }
+
+  private:
+    /**
+     * Find the next set bit of @p level within [from, end), charging
+     * word loads and bit operations to stats_.
+     * @return bit index, or -1 when the range holds no set bit
+     */
+    Index scanLevel(int level, Index from, Index end);
+
+    /** Set per-level traversal windows for level-0 range [from, to). */
+    void setRange(Index from_bit, Index to_bit);
+
+    const SmashMatrix& matrix_;
+    ScanStats stats_;
+    std::vector<WordTouch> touches_;
+    bool recordTouches_ = true;
+
+    /** Per-level traversal window (cur inclusive, end exclusive). */
+    std::array<Index, HierarchyConfig::kMaxLevels> cur_{};
+    std::array<Index, HierarchyConfig::kMaxLevels> end_{};
+    /** Range restriction per level (whole bitmap by default). */
+    std::array<Index, HierarchyConfig::kMaxLevels> from_{};
+    std::array<Index, HierarchyConfig::kMaxLevels> to_{};
+    /** Last word examined per level (fresh-load tracking). */
+    std::array<Index, HierarchyConfig::kMaxLevels> lastWord_{};
+    int levelPos_ = 0;        //!< level the traversal is currently at
+    Index blocksEmitted_ = 0; //!< running NZA block ordinal
+    bool done_ = false;
+};
+
+} // namespace smash::core
+
+#endif // SMASH_CORE_BLOCK_CURSOR_HH

@@ -1,0 +1,59 @@
+#include "core/hierarchy_config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace smash::core
+{
+
+HierarchyConfig::HierarchyConfig(std::vector<Index> ratios_finest_first)
+    : ratios_(std::move(ratios_finest_first))
+{
+    SMASH_CHECK(!ratios_.empty() &&
+                ratios_.size() <= static_cast<std::size_t>(kMaxLevels),
+                "hierarchy must have 1..", kMaxLevels, " levels, got ",
+                ratios_.size());
+    for (Index r : ratios_) {
+        SMASH_CHECK(r >= 2, "compression ratio must be >= 2, got ", r);
+    }
+}
+
+HierarchyConfig
+HierarchyConfig::fromPaperNotation(std::vector<Index> top_down)
+{
+    std::reverse(top_down.begin(), top_down.end());
+    return HierarchyConfig(std::move(top_down));
+}
+
+Index
+HierarchyConfig::ratio(int level) const
+{
+    SMASH_CHECK(level >= 0 && level < levels(), "bad level ", level);
+    return ratios_[static_cast<std::size_t>(level)];
+}
+
+Index
+HierarchyConfig::elementsPerBit(int level) const
+{
+    SMASH_CHECK(level >= 0 && level < levels(), "bad level ", level);
+    Index elems = 1;
+    for (int i = 0; i <= level; ++i)
+        elems *= ratios_[static_cast<std::size_t>(i)];
+    return elems;
+}
+
+std::string
+HierarchyConfig::toString() const
+{
+    std::ostringstream os;
+    for (int i = levels() - 1; i >= 0; --i) {
+        os << ratios_[static_cast<std::size_t>(i)];
+        if (i > 0)
+            os << ".";
+    }
+    return os.str();
+}
+
+} // namespace smash::core

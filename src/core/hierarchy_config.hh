@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Configuration of the SMASH bitmap hierarchy (paper §3.2/§4.1).
+ *
+ * Level 0 is the finest bitmap: each Bitmap-0 bit covers
+ * `ratio(0)` consecutive matrix elements — one NZA block. Each bit
+ * of Bitmap-i (i > 0) covers `ratio(i)` bits of Bitmap-(i-1).
+ *
+ * The paper denotes a configuration for matrix Mi as
+ * `Mi.b2.b1.b0` — compression ratios from the top of the hierarchy
+ * down to Bitmap-0; fromPaperNotation() accepts that order.
+ */
+
+#ifndef SMASH_CORE_HIERARCHY_CONFIG_HH
+#define SMASH_CORE_HIERARCHY_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::core
+{
+
+/** Per-level compression ratios of a bitmap hierarchy. */
+class HierarchyConfig
+{
+  public:
+    /**
+     * @param ratios_finest_first ratios[0] = elements per Bitmap-0
+     *        bit (the NZA block size); ratios[i] = Bitmap-(i-1) bits
+     *        per Bitmap-i bit. Every ratio must be >= 2 and the
+     *        hierarchy must have 1..kMaxLevels levels.
+     */
+    explicit HierarchyConfig(std::vector<Index> ratios_finest_first);
+
+    /**
+     * Build from the paper's `b2.b1.b0` top-down notation, e.g.
+     * fromPaperNotation({16, 4, 2}) is the Mi.16.4.2 configuration:
+     * Bitmap-2 ratio 16, Bitmap-1 ratio 4, Bitmap-0 ratio 2.
+     */
+    static HierarchyConfig fromPaperNotation(std::vector<Index> top_down);
+
+    /** Number of bitmap levels (1..kMaxLevels). */
+    int levels() const { return static_cast<int>(ratios_.size()); }
+
+    /** Compression ratio of Bitmap-@p level (level 0 = finest). */
+    Index ratio(int level) const;
+
+    /** Elements covered by one NZA block (= ratio(0)). */
+    Index blockSize() const { return ratios_.front(); }
+
+    /** Matrix elements covered by one bit of Bitmap-@p level. */
+    Index elementsPerBit(int level) const;
+
+    /** Human-readable "b2.b1.b0" string (paper notation). */
+    std::string toString() const;
+
+    bool operator==(const HierarchyConfig& other) const = default;
+
+    /** Maximum supported hierarchy depth (matches the 3-buffer BMU
+     *  group plus headroom for experimentation). */
+    static constexpr int kMaxLevels = 4;
+
+  private:
+    std::vector<Index> ratios_; // [0] = finest
+};
+
+} // namespace smash::core
+
+#endif // SMASH_CORE_HIERARCHY_CONFIG_HH

@@ -1,0 +1,131 @@
+#include "formats/bcsr_matrix.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+BcsrMatrix
+BcsrMatrix::fromCoo(const CooMatrix& coo, Index blockRows, Index blockCols)
+{
+    SMASH_CHECK(coo.isCanonical(),
+                "BCSR conversion requires a canonical COO matrix");
+    SMASH_CHECK(blockRows > 0 && blockCols > 0,
+                "invalid block shape ", blockRows, "x", blockCols);
+
+    BcsrMatrix bcsr;
+    bcsr.rows_ = coo.rows();
+    bcsr.cols_ = coo.cols();
+    bcsr.blockRows_ = blockRows;
+    bcsr.blockCols_ = blockCols;
+    bcsr.nnz_ = coo.nnz();
+
+    const Index n_block_rows =
+        static_cast<Index>(ceilDiv(static_cast<std::uint64_t>(coo.rows()),
+                                   static_cast<std::uint64_t>(blockRows)));
+
+    // Group entries by (blockRow, blockCol). The map keeps tiles in
+    // row-major tile order, which is what BCSR stores.
+    std::map<std::pair<Index, Index>, std::vector<CooEntry>> tiles;
+    for (const CooEntry& e : coo.entries())
+        tiles[{e.row / blockRows, e.col / blockCols}].push_back(e);
+
+    bcsr.blockRowPtr_.assign(static_cast<std::size_t>(n_block_rows) + 1, 0);
+    bcsr.blockCol_.reserve(tiles.size());
+    bcsr.blockValues_.reserve(tiles.size() *
+                              static_cast<std::size_t>(blockRows * blockCols));
+
+    for (const auto& [key, entries] : tiles) {
+        const auto [brow, bcol] = key;
+        ++bcsr.blockRowPtr_[static_cast<std::size_t>(brow) + 1];
+        bcsr.blockCol_.push_back(static_cast<CsrIndex>(bcol));
+        std::size_t base = bcsr.blockValues_.size();
+        bcsr.blockValues_.resize(
+            base + static_cast<std::size_t>(blockRows * blockCols), Value(0));
+        for (const CooEntry& e : entries) {
+            Index lr = e.row - brow * blockRows;
+            Index lc = e.col - bcol * blockCols;
+            bcsr.blockValues_[base + static_cast<std::size_t>(
+                lr * blockCols + lc)] = e.value;
+        }
+    }
+    for (std::size_t r = 1; r < bcsr.blockRowPtr_.size(); ++r)
+        bcsr.blockRowPtr_[r] += bcsr.blockRowPtr_[r - 1];
+    return bcsr;
+}
+
+DenseMatrix
+BcsrMatrix::toDense() const
+{
+    DenseMatrix dense(rows_, cols_);
+    for (Index brow = 0; brow < numBlockRows(); ++brow) {
+        for (CsrIndex b = blockRowPtr_[static_cast<std::size_t>(brow)];
+             b < blockRowPtr_[static_cast<std::size_t>(brow) + 1]; ++b) {
+            Index bcol = blockCol_[static_cast<std::size_t>(b)];
+            std::size_t base =
+                static_cast<std::size_t>(b) *
+                static_cast<std::size_t>(blockArea());
+            for (Index lr = 0; lr < blockRows_; ++lr) {
+                for (Index lc = 0; lc < blockCols_; ++lc) {
+                    Index r = brow * blockRows_ + lr;
+                    Index c = bcol * blockCols_ + lc;
+                    if (r < rows_ && c < cols_) {
+                        dense.at(r, c) = blockValues_[
+                            base + static_cast<std::size_t>(
+                                lr * blockCols_ + lc)];
+                    }
+                }
+            }
+        }
+    }
+    return dense;
+}
+
+std::size_t
+BcsrMatrix::storageBytes() const
+{
+    return blockRowPtr_.size() * sizeof(CsrIndex) +
+        blockCol_.size() * sizeof(CsrIndex) +
+        blockValues_.size() * sizeof(Value);
+}
+
+double
+BcsrMatrix::fillEfficiency() const
+{
+    if (blockValues_.empty())
+        return 1.0;
+    return static_cast<double>(nnz_) /
+        static_cast<double>(blockValues_.size());
+}
+
+bool
+BcsrMatrix::checkInvariants() const
+{
+    if (blockRowPtr_.empty() || blockRowPtr_.front() != 0)
+        return false;
+    if (blockRowPtr_.back() != static_cast<CsrIndex>(blockCol_.size()))
+        return false;
+    if (blockValues_.size() !=
+        blockCol_.size() * static_cast<std::size_t>(blockArea())) {
+        return false;
+    }
+    for (std::size_t r = 0; r + 1 < blockRowPtr_.size(); ++r) {
+        if (blockRowPtr_[r] > blockRowPtr_[r + 1])
+            return false;
+        for (CsrIndex b = blockRowPtr_[r] + 1; b < blockRowPtr_[r + 1]; ++b) {
+            std::size_t sb = static_cast<std::size_t>(b);
+            if (blockCol_[sb - 1] >= blockCol_[sb])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace smash::fmt

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Block Compressed Sparse Row (BCSR), the paper's TACO-BCSR baseline
+ * (Im & Yelick). The matrix is tiled into fixed br x bc blocks; any
+ * tile containing at least one non-zero is stored densely (including
+ * its zeros), with CSR-style block-row pointers and block-column
+ * indices. Fewer index entries than CSR, at the cost of computing on
+ * the zeros inside stored tiles — exactly the tradeoff the paper
+ * exercises on very sparse matrices (§7.2.1).
+ */
+
+#ifndef SMASH_FORMATS_BCSR_MATRIX_HH
+#define SMASH_FORMATS_BCSR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "formats/csr_matrix.hh"
+
+namespace smash::fmt
+{
+
+class CooMatrix;
+class DenseMatrix;
+
+/** Block Compressed Sparse Row matrix with run-time block shape. */
+class BcsrMatrix
+{
+  public:
+    BcsrMatrix() = default;
+
+    /**
+     * Build from a canonical COO matrix.
+     * @param blockRows tile height (default 4, the common choice)
+     * @param blockCols tile width
+     */
+    static BcsrMatrix fromCoo(const CooMatrix& coo, Index blockRows = 4,
+                              Index blockCols = 4);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index blockRows() const { return blockRows_; }
+    Index blockCols() const { return blockCols_; }
+
+    /** Number of stored (non-empty) tiles. */
+    Index numBlocks() const { return static_cast<Index>(blockCol_.size()); }
+
+    /** Number of block rows = ceil(rows / blockRows). */
+    Index numBlockRows() const
+    {
+        return static_cast<Index>(blockRowPtr_.size()) - 1;
+    }
+
+    const std::vector<CsrIndex>& blockRowPtr() const { return blockRowPtr_; }
+    const std::vector<CsrIndex>& blockCol() const { return blockCol_; }
+
+    /** Tile payloads, numBlocks x (blockRows*blockCols), row-major. */
+    const std::vector<Value>& blockValues() const { return blockValues_; }
+
+    /** Values stored per tile (blockRows * blockCols). */
+    Index blockArea() const { return blockRows_ * blockCols_; }
+
+    /** Expand into a dense matrix (test oracle). */
+    DenseMatrix toDense() const;
+
+    /** Total bytes of pointers + block columns + tile payloads. */
+    std::size_t storageBytes() const;
+
+    /** Fraction of stored values that are actual non-zeros. */
+    double fillEfficiency() const;
+
+    /** Structural invariants. */
+    bool checkInvariants() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Index blockRows_ = 0;
+    Index blockCols_ = 0;
+    Index nnz_ = 0;
+    std::vector<CsrIndex> blockRowPtr_;
+    std::vector<CsrIndex> blockCol_;
+    std::vector<Value> blockValues_;
+};
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_BCSR_MATRIX_HH

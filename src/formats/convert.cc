@@ -1,0 +1,65 @@
+#include "formats/convert.hh"
+
+namespace smash::fmt
+{
+
+CooMatrix
+denseToCoo(const DenseMatrix& dense)
+{
+    CooMatrix coo(dense.rows(), dense.cols());
+    for (Index r = 0; r < dense.rows(); ++r) {
+        for (Index c = 0; c < dense.cols(); ++c) {
+            Value v = dense.at(r, c);
+            if (v != Value(0))
+                coo.add(r, c, v);
+        }
+    }
+    // Emitted in row-major scan order: already canonical.
+    return coo;
+}
+
+CsrMatrix
+denseToCsr(const DenseMatrix& dense)
+{
+    return CsrMatrix::fromCoo(denseToCoo(dense));
+}
+
+CscMatrix
+csrToCsc(const CsrMatrix& csr)
+{
+    return CscMatrix::fromCoo(csr.toCoo());
+}
+
+CsrMatrix
+cscToCsr(const CscMatrix& csc)
+{
+    // A CSC of M has the same arrays as a CSR of M^T; reuse the COO
+    // path for clarity (conversion speed is not on any hot path).
+    CooMatrix coo(csc.rows(), csc.cols());
+    for (Index c = 0; c < csc.cols(); ++c) {
+        for (CsrIndex j = csc.colPtr()[static_cast<std::size_t>(c)];
+             j < csc.colPtr()[static_cast<std::size_t>(c) + 1]; ++j) {
+            coo.add(csc.rowInd()[static_cast<std::size_t>(j)], c,
+                    csc.values()[static_cast<std::size_t>(j)]);
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+transpose(const CsrMatrix& csr)
+{
+    CooMatrix coo(csr.cols(), csr.rows());
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (CsrIndex j = csr.rowPtr()[static_cast<std::size_t>(r)];
+             j < csr.rowPtr()[static_cast<std::size_t>(r) + 1]; ++j) {
+            coo.add(csr.colInd()[static_cast<std::size_t>(j)], r,
+                    csr.values()[static_cast<std::size_t>(j)]);
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace smash::fmt

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cross-format conversion helpers. Each sparse format knows how to
+ * build itself from canonical COO; this header adds the remaining
+ * convenience paths (dense <-> COO, CSR <-> CSC, ...) so tests and
+ * benches can round-trip any pair of formats.
+ */
+
+#ifndef SMASH_FORMATS_CONVERT_HH
+#define SMASH_FORMATS_CONVERT_HH
+
+#include "formats/bcsr_matrix.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/csc_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+/** Extract the non-zeros of @p dense into a canonical COO matrix. */
+CooMatrix denseToCoo(const DenseMatrix& dense);
+
+/** Dense -> CSR via COO. */
+CsrMatrix denseToCsr(const DenseMatrix& dense);
+
+/** CSR -> CSC (same matrix, column-major storage). */
+CscMatrix csrToCsc(const CsrMatrix& csr);
+
+/** CSC -> CSR. */
+CsrMatrix cscToCsr(const CscMatrix& csc);
+
+/** Transpose a CSR matrix (returns CSR of the transpose). */
+CsrMatrix transpose(const CsrMatrix& csr);
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_CONVERT_HH

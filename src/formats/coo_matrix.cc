@@ -1,0 +1,84 @@
+#include "formats/coo_matrix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+CooMatrix::CooMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols)
+{
+    SMASH_CHECK(rows >= 0 && cols >= 0,
+                "negative dimensions ", rows, "x", cols);
+}
+
+bool
+CooMatrix::add(Index row, Index col, Value value)
+{
+    SMASH_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "entry (", row, ",", col, ") outside ", rows_, "x", cols_);
+    if (value == Value(0))
+        return false;
+    entries_.push_back({row, col, value});
+    return true;
+}
+
+void
+CooMatrix::canonicalize()
+{
+    auto less = [](const CooEntry& a, const CooEntry& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    };
+    std::sort(entries_.begin(), entries_.end(), less);
+
+    std::vector<CooEntry> merged;
+    merged.reserve(entries_.size());
+    for (const CooEntry& e : entries_) {
+        if (!merged.empty() && merged.back().row == e.row &&
+            merged.back().col == e.col) {
+            merged.back().value += e.value;
+        } else {
+            merged.push_back(e);
+        }
+    }
+    // Merging may have produced exact zeros; drop them to keep the
+    // "entries == non-zeros" invariant.
+    std::erase_if(merged, [](const CooEntry& e) {
+        return e.value == Value(0);
+    });
+    entries_ = std::move(merged);
+}
+
+bool
+CooMatrix::isCanonical() const
+{
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const CooEntry& prev = entries_[i - 1];
+        const CooEntry& cur = entries_[i];
+        bool ordered = prev.row < cur.row ||
+            (prev.row == cur.row && prev.col < cur.col);
+        if (!ordered)
+            return false;
+    }
+    return true;
+}
+
+DenseMatrix
+CooMatrix::toDense() const
+{
+    DenseMatrix dense(rows_, cols_);
+    for (const CooEntry& e : entries_)
+        dense.at(e.row, e.col) += e.value;
+    return dense;
+}
+
+std::size_t
+CooMatrix::storageBytes() const
+{
+    return entries_.size() * sizeof(CooEntry);
+}
+
+} // namespace smash::fmt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Coordinate-list (COO) sparse matrix. The interchange format: every
+ * generator produces COO, and every other format (CSR/CSC/BCSR/SMASH)
+ * is built from a sorted, deduplicated COO.
+ */
+
+#ifndef SMASH_FORMATS_COO_MATRIX_HH
+#define SMASH_FORMATS_COO_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::fmt
+{
+
+class DenseMatrix;
+
+/** One non-zero entry of a COO matrix. */
+struct CooEntry
+{
+    Index row;
+    Index col;
+    Value value;
+};
+
+/**
+ * Coordinate-list sparse matrix. Entries may be appended in any
+ * order; canonicalize() sorts them row-major and merges duplicates
+ * (summing values), which the conversion routines require.
+ */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Create an empty rows x cols matrix. */
+    CooMatrix(Index rows, Index cols);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** Number of stored entries (after canonicalize: the nnz). */
+    Index nnz() const { return static_cast<Index>(entries_.size()); }
+
+    /**
+     * Append one entry. Zero-valued entries are dropped so that nnz
+     * always counts true non-zeros.
+     * @return true when the entry was stored.
+     */
+    bool add(Index row, Index col, Value value);
+
+    /** Sort row-major and merge duplicate coordinates by addition. */
+    void canonicalize();
+
+    /** True once entries are sorted row-major with no duplicates. */
+    bool isCanonical() const;
+
+    const std::vector<CooEntry>& entries() const { return entries_; }
+
+    /** Expand into a dense matrix (test oracle). */
+    DenseMatrix toDense() const;
+
+    /** Bytes consumed by the COO representation. */
+    std::size_t storageBytes() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<CooEntry> entries_;
+};
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_COO_MATRIX_HH

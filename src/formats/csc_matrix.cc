@@ -1,0 +1,102 @@
+#include "formats/csc_matrix.hh"
+
+#include <cassert>
+#include <limits>
+
+#include "common/logging.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+CscMatrix
+CscMatrix::fromCoo(const CooMatrix& coo)
+{
+    SMASH_CHECK(coo.isCanonical(),
+                "CSC conversion requires a canonical COO matrix");
+    SMASH_CHECK(coo.nnz() <= std::numeric_limits<CsrIndex>::max(),
+                "nnz ", coo.nnz(), " overflows 32-bit CSC indices");
+
+    CscMatrix csc;
+    csc.rows_ = coo.rows();
+    csc.cols_ = coo.cols();
+    csc.colPtr_.assign(static_cast<std::size_t>(coo.cols()) + 1, 0);
+    csc.rowInd_.resize(coo.entries().size());
+    csc.values_.resize(coo.entries().size());
+
+    for (const CooEntry& e : coo.entries())
+        ++csc.colPtr_[static_cast<std::size_t>(e.col) + 1];
+    for (std::size_t c = 1; c < csc.colPtr_.size(); ++c)
+        csc.colPtr_[c] += csc.colPtr_[c - 1];
+
+    // COO is row-major sorted; scattering by column preserves row
+    // order within each column, so row indices stay sorted.
+    std::vector<CsrIndex> cursor(csc.colPtr_.begin(), csc.colPtr_.end() - 1);
+    for (const CooEntry& e : coo.entries()) {
+        std::size_t slot =
+            static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.col)]++);
+        csc.rowInd_[slot] = static_cast<CsrIndex>(e.row);
+        csc.values_[slot] = e.value;
+    }
+    return csc;
+}
+
+Index
+CscMatrix::colNnz(Index c) const
+{
+    assert(c >= 0 && c < cols_);
+    return colPtr_[static_cast<std::size_t>(c) + 1] -
+        colPtr_[static_cast<std::size_t>(c)];
+}
+
+DenseMatrix
+CscMatrix::toDense() const
+{
+    DenseMatrix dense(rows_, cols_);
+    for (Index c = 0; c < cols_; ++c) {
+        for (CsrIndex j = colPtr_[static_cast<std::size_t>(c)];
+             j < colPtr_[static_cast<std::size_t>(c) + 1]; ++j) {
+            dense.at(rowInd_[static_cast<std::size_t>(j)], c) =
+                values_[static_cast<std::size_t>(j)];
+        }
+    }
+    return dense;
+}
+
+std::size_t
+CscMatrix::storageBytes() const
+{
+    return colPtr_.size() * sizeof(CsrIndex) +
+        rowInd_.size() * sizeof(CsrIndex) +
+        values_.size() * sizeof(Value);
+}
+
+bool
+CscMatrix::checkInvariants() const
+{
+    if (colPtr_.size() != static_cast<std::size_t>(cols_) + 1)
+        return false;
+    if (colPtr_.front() != 0)
+        return false;
+    if (colPtr_.back() != static_cast<CsrIndex>(values_.size()))
+        return false;
+    if (rowInd_.size() != values_.size())
+        return false;
+    for (std::size_t c = 0; c + 1 < colPtr_.size(); ++c) {
+        if (colPtr_[c] > colPtr_[c + 1])
+            return false;
+        for (CsrIndex j = colPtr_[c] + 1; j < colPtr_[c + 1]; ++j) {
+            std::size_t sj = static_cast<std::size_t>(j);
+            if (rowInd_[sj - 1] >= rowInd_[sj])
+                return false;
+        }
+    }
+    for (CsrIndex r : rowInd_) {
+        if (r < 0 || r >= static_cast<CsrIndex>(rows_))
+            return false;
+    }
+    return true;
+}
+
+} // namespace smash::fmt

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compressed Sparse Column (CSC), the column-major dual of CSR
+ * (paper §2.1). Inner-product SpMM stores its B operand in CSC so
+ * that each column's row indices can be streamed during index
+ * matching (paper Fig. 2).
+ */
+
+#ifndef SMASH_FORMATS_CSC_MATRIX_HH
+#define SMASH_FORMATS_CSC_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "formats/csr_matrix.hh"
+
+namespace smash::fmt
+{
+
+class CooMatrix;
+class DenseMatrix;
+
+/** Compressed Sparse Column matrix. */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Build from a canonical COO matrix. */
+    static CscMatrix fromCoo(const CooMatrix& coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(values_.size()); }
+
+    const std::vector<CsrIndex>& colPtr() const { return colPtr_; }
+    const std::vector<CsrIndex>& rowInd() const { return rowInd_; }
+    const std::vector<Value>& values() const { return values_; }
+
+    /** Number of non-zeros in column @p c. */
+    Index colNnz(Index c) const;
+
+    /** Expand into a dense matrix (test oracle). */
+    DenseMatrix toDense() const;
+
+    /** Total bytes of col_ptr + row_ind + values. */
+    std::size_t storageBytes() const;
+
+    /** Structural invariants (monotone col_ptr, sorted rows...). */
+    bool checkInvariants() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<CsrIndex> colPtr_;
+    std::vector<CsrIndex> rowInd_;
+    std::vector<Value> values_;
+};
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_CSC_MATRIX_HH

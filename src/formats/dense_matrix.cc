@@ -1,0 +1,70 @@
+#include "formats/dense_matrix.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smash::fmt
+{
+
+DenseMatrix::DenseMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            Value(0))
+{
+    SMASH_CHECK(rows >= 0 && cols >= 0,
+                "negative dimensions ", rows, "x", cols);
+}
+
+Value&
+DenseMatrix::at(Index r, Index c)
+{
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+Value
+DenseMatrix::at(Index r, Index c) const
+{
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+const Value*
+DenseMatrix::rowData(Index r) const
+{
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+}
+
+Index
+DenseMatrix::countNonZeros() const
+{
+    Index count = 0;
+    for (Value v : data_) {
+        if (v != Value(0))
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+DenseMatrix::storageBytes() const
+{
+    return data_.size() * sizeof(Value);
+}
+
+bool
+DenseMatrix::approxEquals(const DenseMatrix& other, Value eps) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i] - other.data_[i]) > eps)
+            return false;
+    }
+    return true;
+}
+
+} // namespace smash::fmt

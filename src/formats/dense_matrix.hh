@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Row-major dense matrix. The uncompressed reference representation
+ * against which every sparse format and kernel is validated, and the
+ * denominator of the paper's "total compression ratio" metric
+ * (Fig. 19).
+ */
+
+#ifndef SMASH_FORMATS_DENSE_MATRIX_HH
+#define SMASH_FORMATS_DENSE_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::fmt
+{
+
+/** Row-major dense matrix of Value elements. */
+class DenseMatrix
+{
+  public:
+    /** Create an empty 0x0 matrix. */
+    DenseMatrix() = default;
+
+    /** Create a rows x cols matrix filled with zeros. */
+    DenseMatrix(Index rows, Index cols);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** Element accessors (no bounds checking in release builds). */
+    Value& at(Index r, Index c);
+    Value at(Index r, Index c) const;
+
+    /** Pointer to the first element of row @p r. */
+    const Value* rowData(Index r) const;
+
+    /** Number of elements with a non-zero value. */
+    Index countNonZeros() const;
+
+    /** Size of the uncompressed representation in bytes. */
+    std::size_t storageBytes() const;
+
+    /** Elementwise comparison with absolute tolerance @p eps. */
+    bool approxEquals(const DenseMatrix& other, Value eps) const;
+
+    /** Raw storage (row-major), e.g. for kernels and tests. */
+    const std::vector<Value>& data() const { return data_; }
+    std::vector<Value>& data() { return data_; }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Value> data_;
+};
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_DENSE_MATRIX_HH

@@ -1,0 +1,115 @@
+#include "formats/dia_matrix.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+DiaMatrix
+DiaMatrix::fromCoo(const CooMatrix& coo)
+{
+    SMASH_CHECK(coo.isCanonical(),
+                "DIA conversion requires a canonical COO matrix");
+
+    DiaMatrix dia;
+    dia.rows_ = coo.rows();
+    dia.cols_ = coo.cols();
+    dia.nnz_ = coo.nnz();
+
+    // Collect the populated offsets in ascending order, then assign
+    // each a lane index.
+    std::map<Index, Index> lane_of_offset;
+    for (const CooEntry& e : coo.entries())
+        lane_of_offset.emplace(e.col - e.row, 0);
+    dia.offsets_.reserve(lane_of_offset.size());
+    for (auto& [off, lane] : lane_of_offset) {
+        lane = static_cast<Index>(dia.offsets_.size());
+        dia.offsets_.push_back(off);
+    }
+
+    dia.values_.assign(lane_of_offset.size() *
+                       static_cast<std::size_t>(dia.rows_), Value(0));
+    for (const CooEntry& e : coo.entries()) {
+        Index lane = lane_of_offset[e.col - e.row];
+        dia.values_[static_cast<std::size_t>(lane * dia.rows_ + e.row)] =
+            e.value;
+    }
+    return dia;
+}
+
+const Value*
+DiaMatrix::laneData(Index d) const
+{
+    SMASH_CHECK(d >= 0 && d < numDiagonals(), "lane ", d, " out of range");
+    return &values_[static_cast<std::size_t>(d * rows_)];
+}
+
+DenseMatrix
+DiaMatrix::toDense() const
+{
+    DenseMatrix dense(rows_, cols_);
+    for (Index d = 0; d < numDiagonals(); ++d) {
+        const Index off = offsets_[static_cast<std::size_t>(d)];
+        const Value* lane = laneData(d);
+        for (Index r = 0; r < rows_; ++r) {
+            Index c = r + off;
+            if (c >= 0 && c < cols_ && lane[r] != Value(0))
+                dense.at(r, c) = lane[r];
+        }
+    }
+    return dense;
+}
+
+std::size_t
+DiaMatrix::storageBytes() const
+{
+    return offsets_.size() * sizeof(Index) + values_.size() * sizeof(Value);
+}
+
+double
+DiaMatrix::fillEfficiency() const
+{
+    if (values_.empty())
+        return 1.0;
+    return static_cast<double>(nnz_) / static_cast<double>(values_.size());
+}
+
+bool
+DiaMatrix::checkInvariants() const
+{
+    if (!std::is_sorted(offsets_.begin(), offsets_.end()))
+        return false;
+    if (std::adjacent_find(offsets_.begin(), offsets_.end()) !=
+        offsets_.end()) {
+        return false;
+    }
+    if (values_.size() != offsets_.size() * static_cast<std::size_t>(rows_))
+        return false;
+    for (Index off : offsets_) {
+        if (off <= -rows_ || off >= cols_)
+            return false;
+    }
+    // Slots outside the matrix must stay zero, and the stored
+    // non-zero count must match nnz.
+    Index count = 0;
+    for (Index d = 0; d < numDiagonals(); ++d) {
+        const Index off = offsets_[static_cast<std::size_t>(d)];
+        const Value* lane = laneData(d);
+        for (Index r = 0; r < rows_; ++r) {
+            Index c = r + off;
+            bool inside = c >= 0 && c < cols_;
+            if (!inside && lane[r] != Value(0))
+                return false;
+            if (lane[r] != Value(0))
+                ++count;
+        }
+    }
+    return count == nnz_;
+}
+
+} // namespace smash::fmt

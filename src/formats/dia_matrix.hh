@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Diagonal (DIA) sparse format, the structure-specialized scheme the
+ * paper cites as its example of trading generality for efficiency
+ * (§2.3, Saad / Belgin et al.). Every populated diagonal is stored
+ * as a dense lane of length rows; a parallel array keeps the
+ * diagonal offsets (col - row). DIA is extremely effective for
+ * banded matrices and catastrophically wasteful for unstructured
+ * ones — exactly the contrast SMASH's generality argument draws.
+ */
+
+#ifndef SMASH_FORMATS_DIA_MATRIX_HH
+#define SMASH_FORMATS_DIA_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::fmt
+{
+
+class CooMatrix;
+class DenseMatrix;
+
+/** Diagonal-storage sparse matrix. */
+class DiaMatrix
+{
+  public:
+    DiaMatrix() = default;
+
+    /**
+     * Build from a canonical COO matrix. Every diagonal holding at
+     * least one non-zero becomes a stored lane.
+     */
+    static DiaMatrix fromCoo(const CooMatrix& coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** True non-zero count of the encoded matrix. */
+    Index nnz() const { return nnz_; }
+
+    /** Number of stored diagonals. */
+    Index numDiagonals() const { return static_cast<Index>(offsets_.size()); }
+
+    /** Diagonal offsets (col - row), ascending. */
+    const std::vector<Index>& offsets() const { return offsets_; }
+
+    /**
+     * Lane payloads: numDiagonals x rows, lane-major. Lane d element
+     * r holds A(r, r + offsets[d]) or 0 when that column is outside
+     * the matrix or the element is zero.
+     */
+    const std::vector<Value>& values() const { return values_; }
+
+    /** Pointer to the first element of lane @p d. */
+    const Value* laneData(Index d) const;
+
+    /** Expand into a dense matrix (test oracle). */
+    DenseMatrix toDense() const;
+
+    /** Bytes of offsets + lane payloads. */
+    std::size_t storageBytes() const;
+
+    /** Fraction of stored lane slots holding true non-zeros. */
+    double fillEfficiency() const;
+
+    /** Structural invariants (offset ordering, lane sizing). */
+    bool checkInvariants() const;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    Index nnz_ = 0;
+    std::vector<Index> offsets_;
+    std::vector<Value> values_;
+};
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_DIA_MATRIX_HH

@@ -1,0 +1,109 @@
+#include "formats/ell_matrix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::fmt
+{
+
+EllMatrix
+EllMatrix::fromCoo(const CooMatrix& coo)
+{
+    SMASH_CHECK(coo.isCanonical(),
+                "ELL conversion requires a canonical COO matrix");
+
+    EllMatrix ell;
+    ell.rows_ = coo.rows();
+    ell.cols_ = coo.cols();
+    ell.nnz_ = coo.nnz();
+
+    std::vector<Index> degree(static_cast<std::size_t>(coo.rows()), 0);
+    for (const CooEntry& e : coo.entries())
+        ++degree[static_cast<std::size_t>(e.row)];
+    ell.width_ = degree.empty()
+        ? 0 : *std::max_element(degree.begin(), degree.end());
+
+    const std::size_t slab =
+        static_cast<std::size_t>(ell.rows_) *
+        static_cast<std::size_t>(ell.width_);
+    ell.colInd_.assign(slab, kEllPad);
+    ell.values_.assign(slab, Value(0));
+
+    std::vector<Index> fill(static_cast<std::size_t>(coo.rows()), 0);
+    for (const CooEntry& e : coo.entries()) {
+        auto r = static_cast<std::size_t>(e.row);
+        std::size_t slot = r * static_cast<std::size_t>(ell.width_) +
+            static_cast<std::size_t>(fill[r]++);
+        ell.colInd_[slot] = static_cast<CsrIndex>(e.col);
+        ell.values_[slot] = e.value;
+    }
+    return ell;
+}
+
+DenseMatrix
+EllMatrix::toDense() const
+{
+    DenseMatrix dense(rows_, cols_);
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index k = 0; k < width_; ++k) {
+            std::size_t slot = static_cast<std::size_t>(r * width_ + k);
+            if (colInd_[slot] == kEllPad)
+                break;
+            dense.at(r, static_cast<Index>(colInd_[slot])) = values_[slot];
+        }
+    }
+    return dense;
+}
+
+std::size_t
+EllMatrix::storageBytes() const
+{
+    return colInd_.size() * sizeof(CsrIndex) +
+        values_.size() * sizeof(Value);
+}
+
+double
+EllMatrix::fillEfficiency() const
+{
+    if (values_.empty())
+        return 1.0;
+    return static_cast<double>(nnz_) / static_cast<double>(values_.size());
+}
+
+bool
+EllMatrix::checkInvariants() const
+{
+    const std::size_t slab =
+        static_cast<std::size_t>(rows_) * static_cast<std::size_t>(width_);
+    if (colInd_.size() != slab || values_.size() != slab)
+        return false;
+    Index count = 0;
+    for (Index r = 0; r < rows_; ++r) {
+        bool in_padding = false;
+        for (Index k = 0; k < width_; ++k) {
+            std::size_t slot = static_cast<std::size_t>(r * width_ + k);
+            if (colInd_[slot] == kEllPad) {
+                in_padding = true;
+                if (values_[slot] != Value(0))
+                    return false;
+            } else {
+                // Real entries must precede padding and be in range.
+                if (in_padding)
+                    return false;
+                if (colInd_[slot] < 0 ||
+                    static_cast<Index>(colInd_[slot]) >= cols_) {
+                    return false;
+                }
+                ++count;
+            }
+        }
+    }
+    // Padding slots count zero values; every stored real entry is a
+    // true non-zero because COO drops zeros.
+    return count == nnz_;
+}
+
+} // namespace smash::fmt

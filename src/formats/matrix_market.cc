@@ -1,0 +1,108 @@
+#include "formats/matrix_market.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace smash::fmt
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream& in)
+{
+    std::string line;
+    SMASH_CHECK(static_cast<bool>(std::getline(in, line)),
+                "empty Matrix Market stream");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    SMASH_CHECK(tag == "%%MatrixMarket", "missing MatrixMarket banner");
+    object = toLower(object);
+    format = toLower(format);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    SMASH_CHECK(object == "matrix", "unsupported object '", object, "'");
+    SMASH_CHECK(format == "coordinate",
+                "only coordinate format is supported, got '", format, "'");
+    SMASH_CHECK(field == "real" || field == "integer" || field == "pattern",
+                "unsupported field '", field, "'");
+    SMASH_CHECK(symmetry == "general" || symmetry == "symmetric",
+                "unsupported symmetry '", symmetry, "'");
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream header(line);
+    Index rows = 0, cols = 0, entries = 0;
+    header >> rows >> cols >> entries;
+    SMASH_CHECK(rows > 0 && cols > 0 && entries >= 0,
+                "bad size line '", line, "'");
+
+    CooMatrix coo(rows, cols);
+    for (Index i = 0; i < entries; ++i) {
+        SMASH_CHECK(static_cast<bool>(std::getline(in, line)),
+                    "truncated stream: expected ", entries,
+                    " entries, got ", i);
+        std::istringstream entry(line);
+        Index r = 0, c = 0;
+        Value v = Value(1);
+        entry >> r >> c;
+        if (field != "pattern")
+            entry >> v;
+        SMASH_CHECK(!entry.fail(), "bad entry line '", line, "'");
+        coo.add(r - 1, c - 1, v); // Matrix Market is 1-based.
+        if (symmetry == "symmetric" && r != c)
+            coo.add(c - 1, r - 1, v);
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string& path)
+{
+    std::ifstream in(path);
+    SMASH_CHECK(in.good(), "cannot open '", path, "'");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const CooMatrix& coo, std::ostream& out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by smash\n";
+    out << coo.rows() << " " << coo.cols() << " " << coo.nnz() << "\n";
+    for (const CooEntry& e : coo.entries())
+        out << (e.row + 1) << " " << (e.col + 1) << " " << e.value << "\n";
+}
+
+void
+writeMatrixMarketFile(const CooMatrix& coo, const std::string& path)
+{
+    std::ofstream out(path);
+    SMASH_CHECK(out.good(), "cannot open '", path, "' for writing");
+    writeMatrixMarket(coo, out);
+    SMASH_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+} // namespace smash::fmt

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Matrix Market (.mtx) reader/writer for the "coordinate" format —
+ * the interchange format of the SuiteSparse collection the paper
+ * draws its inputs from. Supports real/integer/pattern fields and
+ * general/symmetric symmetry, which covers the matrices in Table 3.
+ */
+
+#ifndef SMASH_FORMATS_MATRIX_MARKET_HH
+#define SMASH_FORMATS_MATRIX_MARKET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/coo_matrix.hh"
+
+namespace smash::fmt
+{
+
+/** Parse a Matrix Market coordinate stream into canonical COO. */
+CooMatrix readMatrixMarket(std::istream& in);
+
+/** Load a .mtx file. Throws FatalError on I/O or parse errors. */
+CooMatrix readMatrixMarketFile(const std::string& path);
+
+/** Write @p coo as a general real coordinate Matrix Market stream. */
+void writeMatrixMarket(const CooMatrix& coo, std::ostream& out);
+
+/** Save to a .mtx file. Throws FatalError on I/O errors. */
+void writeMatrixMarketFile(const CooMatrix& coo, const std::string& path);
+
+} // namespace smash::fmt
+
+#endif // SMASH_FORMATS_MATRIX_MARKET_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Betweenness Centrality (Brandes) with frontier-based breadth-first
+ * traversal — the paper's second graph workload (§6), which
+ * "iteratively uses SpMV to perform breadth-first searches". The
+ * forward/backward passes are shared; encodings differ only in how
+ * a vertex's adjacency row is scanned:
+ *
+ *  - CsrRowScanner:   stream col_ind, then chase into per-vertex
+ *                     state (the CSR indexing cost)
+ *  - SmashRowScanner: PBMAP/RDIND over the row's Bitmap-0 range; a
+ *                     block yields up to blockSize neighbors whose
+ *                     ids come from register arithmetic
+ */
+
+#ifndef SMASH_GRAPH_BC_HH
+#define SMASH_GRAPH_BC_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/smash_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "graph/graph.hh"
+#include "isa/bmu.hh"
+#include "kernels/costs.hh"
+#include "kernels/util.hh"
+#include "sim/core_model.hh"
+
+namespace smash::graph
+{
+
+/** BC evaluation parameters. */
+struct BcParams
+{
+    /** Number of BFS sources (Brandes samples). */
+    int numSources = 4;
+};
+
+/** Adjacency-row scanner over CSR (charged like Code Listing 1). */
+template <typename E>
+class CsrRowScanner
+{
+  public:
+    explicit CsrRowScanner(const fmt::CsrMatrix& adj)
+        : adj_(adj)
+    {}
+
+    Index numVertices() const { return adj_.rows(); }
+
+    /** Invoke fn(v, Dep) for every neighbor v of @p u; Dep tells the
+     *  caller how its per-neighbor state load should be tagged. */
+    template <typename Fn>
+    void
+    forEachNeighbor(Vertex u, E& e, Fn&& fn)
+    {
+        auto su = static_cast<std::size_t>(u);
+        const auto& ptr = adj_.rowPtr();
+        const auto& ind = adj_.colInd();
+        e.load(&ptr[su + 1], sizeof(fmt::CsrIndex));
+        for (fmt::CsrIndex j = ptr[su]; j < ptr[su + 1]; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&ind[sj], sizeof(fmt::CsrIndex));
+            e.op(kern::cost::kLoop);
+            // The neighbor id was just loaded: downstream state
+            // accesses are pointer chases.
+            fn(static_cast<Vertex>(ind[sj]), sim::Dep::kDependent);
+        }
+    }
+
+  private:
+    const fmt::CsrMatrix& adj_;
+};
+
+/** Adjacency-row scanner over SMASH with BMU range scans. */
+template <typename E>
+class SmashRowScanner
+{
+  public:
+    SmashRowScanner(const core::SmashMatrix& adj, isa::Bmu& bmu, E& e,
+                    int grp = 0)
+        : adj_(adj), bmu_(bmu), grp_(grp),
+          rank_(kern::rowBlockRanks(adj)),
+          bitsPerRow_(adj.paddedCols() / adj.blockSize())
+    {
+        const core::HierarchyConfig& cfg = adj.config();
+        bmu_.clearGroup(grp_);
+        bmu_.matinfo(adj.rows(), adj.paddedCols(), grp_, e);
+        for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+            bmu_.bmapinfo(cfg.ratio(lvl), lvl, grp_, e);
+        for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+            bmu_.rdbmap(&adj.hierarchy().level(lvl), lvl, grp_, e);
+    }
+
+    Index numVertices() const { return adj_.rows(); }
+
+    template <typename Fn>
+    void
+    forEachNeighbor(Vertex u, E& e, Fn&& fn)
+    {
+        auto su = static_cast<std::size_t>(u);
+        if (rank_[su] == rank_[su + 1])
+            return;
+        const Index bs = adj_.blockSize();
+        bmu_.beginScan(u * bitsPerRow_, (u + 1) * bitsPerRow_, grp_, e);
+        Index block = rank_[su];
+        Index row = 0, col0 = 0;
+        while (bmu_.pbmap(grp_, e)) {
+            bmu_.rdind(row, col0, grp_, e);
+            const Value* data = adj_.blockData(block);
+            e.load(data, static_cast<std::size_t>(bs) * sizeof(Value));
+            e.op(kern::cost::vectorOps(bs)); // nonzero-lane test
+            for (Index k = 0; k < bs; ++k) {
+                if (data[k] != Value(0)) {
+                    // Neighbor id from BMU registers + lane offset:
+                    // no pointer chase feeds the state access.
+                    fn(static_cast<Vertex>(col0 + k),
+                       sim::Dep::kIndependent);
+                }
+            }
+            ++block;
+        }
+    }
+
+  private:
+    const core::SmashMatrix& adj_;
+    isa::Bmu& bmu_;
+    int grp_;
+    std::vector<Index> rank_;
+    Index bitsPerRow_;
+};
+
+namespace detail
+{
+
+/** Brandes' algorithm over an abstract row scanner. */
+template <typename E, typename Scanner>
+std::vector<Value>
+brandes(Scanner& scanner, const BcParams& params, E& e)
+{
+    const Index n = scanner.numVertices();
+    SMASH_CHECK(n > 0, "empty graph");
+    std::vector<Value> bc(static_cast<std::size_t>(n), Value(0));
+    std::vector<Index> dist(static_cast<std::size_t>(n));
+    std::vector<Value> sigma(static_cast<std::size_t>(n));
+    std::vector<Value> delta(static_cast<std::size_t>(n));
+    std::vector<Vertex> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    const int sources = static_cast<int>(
+        std::min<Index>(params.numSources, n));
+    for (int s = 0; s < sources; ++s) {
+        Vertex src = static_cast<Vertex>(
+            (static_cast<Index>(s) * n) / sources);
+        std::fill(dist.begin(), dist.end(), Index(-1));
+        std::fill(sigma.begin(), sigma.end(), Value(0));
+        std::fill(delta.begin(), delta.end(), Value(0));
+        order.clear();
+
+        // Forward BFS, frontier at a time (the SpMV-style sweep).
+        std::vector<Vertex> frontier{src};
+        dist[static_cast<std::size_t>(src)] = 0;
+        sigma[static_cast<std::size_t>(src)] = 1;
+        while (!frontier.empty()) {
+            std::vector<Vertex> next;
+            for (Vertex u : frontier) {
+                order.push_back(u);
+                e.op(kern::cost::kOuterLoop);
+                scanner.forEachNeighbor(u, e, [&](Vertex v, sim::Dep dep) {
+                    auto sv = static_cast<std::size_t>(v);
+                    auto su = static_cast<std::size_t>(u);
+                    e.load(&dist[sv], sizeof(Index), dep);
+                    e.op(kern::cost::kCompareBranch);
+                    if (dist[sv] < 0) {
+                        dist[sv] = dist[su] + 1;
+                        e.store(&dist[sv], sizeof(Index));
+                        next.push_back(v);
+                        e.store(&next, sizeof(Vertex));
+                    }
+                    if (dist[sv] == dist[su] + 1) {
+                        sigma[sv] += sigma[su];
+                        e.load(&sigma[sv], sizeof(Value), dep);
+                        e.store(&sigma[sv], sizeof(Value));
+                        e.op(1);
+                    }
+                });
+            }
+            frontier = std::move(next);
+        }
+
+        // Backward dependency accumulation in reverse BFS order.
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            Vertex u = *it;
+            auto su = static_cast<std::size_t>(u);
+            e.op(kern::cost::kOuterLoop);
+            scanner.forEachNeighbor(u, e, [&](Vertex v, sim::Dep dep) {
+                auto sv = static_cast<std::size_t>(v);
+                e.load(&dist[sv], sizeof(Index), dep);
+                e.op(kern::cost::kCompareBranch);
+                if (dist[sv] == dist[su] + 1 &&
+                    sigma[sv] != Value(0)) {
+                    delta[su] += sigma[su] / sigma[sv] *
+                        (Value(1) + delta[sv]);
+                    e.load(&delta[sv], sizeof(Value), dep);
+                    e.op(kern::cost::kFma + 2);
+                    e.store(&delta[su], sizeof(Value));
+                }
+            });
+            if (u != src) {
+                bc[su] += delta[su];
+                e.op(1);
+            }
+        }
+    }
+    return bc;
+}
+
+} // namespace detail
+
+/** Betweenness centrality over the CSR adjacency encoding. */
+template <typename E>
+std::vector<Value>
+bcCsr(const fmt::CsrMatrix& adj, const BcParams& params, E& e)
+{
+    SMASH_CHECK(adj.rows() == adj.cols(), "adjacency must be square");
+    CsrRowScanner<E> scanner(adj);
+    return detail::brandes(scanner, params, e);
+}
+
+/** Betweenness centrality over the SMASH adjacency encoding. */
+template <typename E>
+std::vector<Value>
+bcSmashHw(const core::SmashMatrix& adj, isa::Bmu& bmu,
+          const BcParams& params, E& e)
+{
+    SMASH_CHECK(adj.rows() == adj.cols(), "adjacency must be square");
+    SmashRowScanner<E> scanner(adj, bmu, e);
+    return detail::brandes(scanner, params, e);
+}
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_BC_HH

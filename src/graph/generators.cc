@@ -1,0 +1,115 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace smash::graph
+{
+
+Graph
+rmatGraph(Vertex num_vertices, Index num_edges, std::uint64_t seed,
+          double a, double b, double c)
+{
+    SMASH_CHECK(num_vertices > 1, "need at least two vertices");
+    SMASH_CHECK(a > 0 && b > 0 && c > 0 && a + b + c < 1.0,
+                "invalid RMAT partition probabilities");
+    int levels = 0;
+    while ((Vertex(1) << levels) < num_vertices)
+        ++levels;
+
+    Rng rng(seed);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    edges.reserve(static_cast<std::size_t>(num_edges) * 2);
+    Index made = 0;
+    Index attempts = 0;
+    const Index max_attempts = num_edges * 8;
+    while (made < num_edges && attempts < max_attempts) {
+        ++attempts;
+        Vertex u = 0, v = 0;
+        for (int l = 0; l < levels; ++l) {
+            double p = rng.uniform();
+            u <<= 1;
+            v <<= 1;
+            if (p < a) {
+                // top-left quadrant
+            } else if (p < a + b) {
+                v |= 1;
+            } else if (p < a + b + c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if (u >= num_vertices || v >= num_vertices || u == v)
+            continue;
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u); // symmetrized, like the SNAP inputs
+        ++made;
+    }
+    return Graph::fromEdges(num_vertices, std::move(edges));
+}
+
+Graph
+gridGraph(Index nx, Index ny, std::uint64_t seed, double shortcut_fraction)
+{
+    SMASH_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+    const Vertex n = nx * ny;
+    Rng rng(seed);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    edges.reserve(static_cast<std::size_t>(n) * 4);
+    auto id = [&](Index x, Index y) { return y * nx + x; };
+    for (Index y = 0; y < ny; ++y) {
+        for (Index x = 0; x < nx; ++x) {
+            Vertex u = id(x, y);
+            if (x + 1 < nx) {
+                edges.emplace_back(u, id(x + 1, y));
+                edges.emplace_back(id(x + 1, y), u);
+            }
+            if (y + 1 < ny) {
+                edges.emplace_back(u, id(x, y + 1));
+                edges.emplace_back(id(x, y + 1), u);
+            }
+        }
+    }
+    // Local shortcuts: connect to a vertex a short hop away, the way
+    // road networks have occasional diagonal/arterial links.
+    Index shortcuts = static_cast<Index>(
+        static_cast<double>(edges.size() / 2) * shortcut_fraction);
+    for (Index s = 0; s < shortcuts; ++s) {
+        Index x = rng.between(0, nx - 1);
+        Index y = rng.between(0, ny - 1);
+        Index dx = rng.between(-3, 3);
+        Index dy = rng.between(-3, 3);
+        Index x2 = std::clamp<Index>(x + dx, 0, nx - 1);
+        Index y2 = std::clamp<Index>(y + dy, 0, ny - 1);
+        if (id(x, y) != id(x2, y2)) {
+            edges.emplace_back(id(x, y), id(x2, y2));
+            edges.emplace_back(id(x2, y2), id(x, y));
+        }
+    }
+    return Graph::fromEdges(n, std::move(edges));
+}
+
+Graph
+uniformRandomGraph(Vertex num_vertices, Index num_edges, std::uint64_t seed)
+{
+    SMASH_CHECK(num_vertices > 1, "need at least two vertices");
+    Rng rng(seed);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    edges.reserve(static_cast<std::size_t>(num_edges));
+    for (Index i = 0; i < num_edges; ++i) {
+        Vertex u = static_cast<Vertex>(
+            rng.below(static_cast<std::uint64_t>(num_vertices)));
+        Vertex v = static_cast<Vertex>(
+            rng.below(static_cast<std::uint64_t>(num_vertices)));
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    return Graph::fromEdges(num_vertices, std::move(edges));
+}
+
+} // namespace smash::graph

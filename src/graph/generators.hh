@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's SNAP
+ * inputs (Table 4): an RMAT/Kronecker generator for the power-law
+ * social/co-purchase graphs (com-Youtube, com-DBLP, amazon0601) and
+ * a 2-D grid generator with local shortcuts for the road network
+ * (roadNet-CA). DESIGN.md documents the substitution.
+ */
+
+#ifndef SMASH_GRAPH_GENERATORS_HH
+#define SMASH_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+
+namespace smash::graph
+{
+
+/**
+ * RMAT (Chakrabarti et al.) generator with the standard skewed
+ * partition probabilities; produces a power-law degree
+ * distribution. Edges are emitted in both directions to mimic the
+ * symmetrized SNAP community graphs.
+ *
+ * @param num_vertices rounded up to a power of two internally; the
+ *        returned graph still reports @p num_vertices vertices
+ * @param num_edges undirected edge target (directed count is ~2x)
+ */
+Graph rmatGraph(Vertex num_vertices, Index num_edges, std::uint64_t seed,
+                double a = 0.57, double b = 0.19, double c = 0.19);
+
+/**
+ * 2-D grid (nx * ny vertices) with 4-neighbor connectivity plus a
+ * sprinkling of short local shortcuts — the road-network stand-in:
+ * near-constant degree and high locality.
+ *
+ * @param shortcut_fraction extra edges as a fraction of grid edges
+ */
+Graph gridGraph(Index nx, Index ny, std::uint64_t seed,
+                double shortcut_fraction = 0.05);
+
+/** Erdos-Renyi-style uniform random digraph (tests). */
+Graph uniformRandomGraph(Vertex num_vertices, Index num_edges,
+                         std::uint64_t seed);
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_GENERATORS_HH

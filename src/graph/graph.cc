@@ -1,0 +1,83 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace smash::graph
+{
+
+Graph
+Graph::fromEdges(Vertex num_vertices,
+                 std::vector<std::pair<Vertex, Vertex>> edges)
+{
+    SMASH_CHECK(num_vertices >= 0, "negative vertex count");
+    for (const auto& [u, v] : edges) {
+        SMASH_CHECK(u >= 0 && u < num_vertices && v >= 0 &&
+                    v < num_vertices,
+                    "edge (", u, ",", v, ") outside vertex range");
+    }
+    std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    Graph g;
+    g.numVertices_ = num_vertices;
+    g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+    g.adjacency_.reserve(edges.size());
+    for (const auto& [u, v] : edges)
+        ++g.offsets_[static_cast<std::size_t>(u) + 1];
+    for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+        g.offsets_[i] += g.offsets_[i - 1];
+    for (const auto& [u, v] : edges)
+        g.adjacency_.push_back(v);
+    return g;
+}
+
+Index
+Graph::outDegree(Vertex v) const
+{
+    assert(v >= 0 && v < numVertices_);
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+        offsets_[static_cast<std::size_t>(v)];
+}
+
+const Vertex*
+Graph::neighbors(Vertex v) const
+{
+    assert(v >= 0 && v < numVertices_);
+    return adjacency_.data() + offsets_[static_cast<std::size_t>(v)];
+}
+
+fmt::CsrMatrix
+Graph::toAdjacencyMatrix() const
+{
+    fmt::CooMatrix coo(numVertices_, numVertices_);
+    for (Vertex u = 0; u < numVertices_; ++u) {
+        const Vertex* nbr = neighbors(u);
+        for (Index k = 0; k < outDegree(u); ++k)
+            coo.add(u, nbr[k], Value(1));
+    }
+    // Built in sorted order: already canonical.
+    return fmt::CsrMatrix::fromCoo(coo);
+}
+
+fmt::CooMatrix
+Graph::toPageRankMatrix() const
+{
+    fmt::CooMatrix coo(numVertices_, numVertices_);
+    for (Vertex u = 0; u < numVertices_; ++u) {
+        Index deg = outDegree(u);
+        if (deg == 0)
+            continue;
+        const Vertex* nbr = neighbors(u);
+        Value w = Value(1) / static_cast<Value>(deg);
+        for (Index k = 0; k < deg; ++k)
+            coo.add(nbr[k], u, w);
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+} // namespace smash::graph

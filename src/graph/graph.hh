@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Directed graph stored as a CSR adjacency structure — the
+ * substrate for the paper's two graph workloads (PageRank and
+ * Betweenness Centrality, §6), which are expressed as sparse-matrix
+ * traversals over the adjacency matrix.
+ */
+
+#ifndef SMASH_GRAPH_GRAPH_HH
+#define SMASH_GRAPH_GRAPH_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/csr_matrix.hh"
+
+namespace smash::graph
+{
+
+/** Vertex identifier. */
+using Vertex = Index;
+
+/** Directed graph with CSR out-adjacency. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Build from an edge list; parallel edges and self-loops are
+     * removed.
+     */
+    static Graph fromEdges(Vertex num_vertices,
+                           std::vector<std::pair<Vertex, Vertex>> edges);
+
+    Vertex numVertices() const { return numVertices_; }
+    Index numEdges() const { return static_cast<Index>(adjacency_.size()); }
+
+    Index outDegree(Vertex v) const;
+
+    /** Neighbors of @p v: pointer + count into the adjacency array. */
+    const Vertex* neighbors(Vertex v) const;
+
+    const std::vector<Index>& offsets() const { return offsets_; }
+    const std::vector<Vertex>& adjacency() const { return adjacency_; }
+
+    /**
+     * Adjacency matrix A (A[u][v] = 1 for each edge u->v) as CSR.
+     */
+    fmt::CsrMatrix toAdjacencyMatrix() const;
+
+    /**
+     * Column-stochastic PageRank matrix M = A^T D^-1 (M[v][u] =
+     * 1/outdeg(u) for each edge u->v) as canonical COO, ready for
+     * CSR or SMASH encoding.
+     */
+    fmt::CooMatrix toPageRankMatrix() const;
+
+  private:
+    Vertex numVertices_ = 0;
+    std::vector<Index> offsets_;    //!< size numVertices + 1
+    std::vector<Vertex> adjacency_; //!< sorted within each vertex
+};
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_GRAPH_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PageRank expressed as iterated SpMV (paper §6): per iteration,
+ * rank' = (1-d)/N + d * M rank, with M the column-stochastic
+ * adjacency operator. The CSR and SMASH variants differ only in the
+ * SpMV kernel, which is exactly the comparison Fig. 18 makes.
+ */
+
+#ifndef SMASH_GRAPH_PAGERANK_HH
+#define SMASH_GRAPH_PAGERANK_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "kernels/spmv.hh"
+
+namespace smash::graph
+{
+
+/** Iteration/damping parameters for PageRank. */
+struct PageRankParams
+{
+    int iterations = 5;
+    Value damping = 0.85;
+};
+
+namespace detail
+{
+
+/**
+ * The shared power-iteration driver; @p spmv(x, y) computes
+ * y += M x for the encoding under test.
+ */
+template <typename E, typename SpmvFn>
+std::vector<Value>
+pagerankLoop(Index n, Index padded_len, const PageRankParams& params,
+             SpmvFn&& spmv, E& e)
+{
+    SMASH_CHECK(n > 0, "empty graph");
+    std::vector<Value> rank(static_cast<std::size_t>(padded_len),
+                            Value(0));
+    std::vector<Value> next(static_cast<std::size_t>(n), Value(0));
+    const Value init = Value(1) / static_cast<Value>(n);
+    for (Index v = 0; v < n; ++v)
+        rank[static_cast<std::size_t>(v)] = init;
+
+    const Value base = (Value(1) - params.damping) /
+        static_cast<Value>(n);
+    for (int it = 0; it < params.iterations; ++it) {
+        std::fill(next.begin(), next.end(), Value(0));
+        spmv(rank, next);
+        // rank = base + d * next — streaming vector update.
+        for (Index v = 0; v < n; ++v) {
+            auto sv = static_cast<std::size_t>(v);
+            rank[sv] = base + params.damping * next[sv];
+        }
+        e.load(next.data(),
+               static_cast<std::size_t>(n) * sizeof(Value));
+        e.store(rank.data(),
+                static_cast<std::size_t>(n) * sizeof(Value));
+        e.op(2 * kern::cost::vectorOps(n));
+    }
+    rank.resize(static_cast<std::size_t>(n));
+    return rank;
+}
+
+} // namespace detail
+
+/** PageRank over a CSR-encoded PageRank matrix. */
+template <typename E>
+std::vector<Value>
+pagerankCsr(const fmt::CsrMatrix& m, const PageRankParams& params, E& e)
+{
+    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
+    return detail::pagerankLoop(
+        m.rows(), m.rows(), params,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            kern::spmvCsr(m, x, y, e);
+        },
+        e);
+}
+
+/** PageRank over a SMASH-encoded matrix, software-only indexing. */
+template <typename E>
+std::vector<Value>
+pagerankSmashSw(const core::SmashMatrix& m, const PageRankParams& params,
+                E& e)
+{
+    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
+    return detail::pagerankLoop(
+        m.rows(), m.paddedCols(), params,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            kern::spmvSmashSw(m, x, y, e);
+        },
+        e);
+}
+
+/** PageRank over a SMASH-encoded matrix with BMU indexing. */
+template <typename E>
+std::vector<Value>
+pagerankSmashHw(const core::SmashMatrix& m, isa::Bmu& bmu,
+                const PageRankParams& params, E& e)
+{
+    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
+    return detail::pagerankLoop(
+        m.rows(), m.paddedCols(), params,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            kern::spmvSmashHw(m, bmu, x, y, e);
+        },
+        e);
+}
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_PAGERANK_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * GraphBLAS-style semiring abstraction over the SpMV kernels. The
+ * paper argues SMASH accelerates *any* sparse computation because
+ * the BMU only discovers non-zero positions (§5.2.1); replacing
+ * (+, x) with an arbitrary (add, mul) pair makes that concrete:
+ * BFS is SpMV over the boolean semiring, SSSP over min-plus, and
+ * connected components over min-select2nd — all running on the same CSR
+ * or SMASH traversal code.
+ */
+
+#ifndef SMASH_GRAPH_SEMIRING_HH
+#define SMASH_GRAPH_SEMIRING_HH
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/block_cursor.hh"
+#include "core/smash_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "kernels/costs.hh"
+#include "kernels/util.hh"
+#include "sim/core_model.hh"
+
+namespace smash::graph
+{
+
+/** Conventional (+, x) arithmetic: plain SpMV. */
+struct ArithmeticSemiring
+{
+    static constexpr Value kZero = 0; //!< additive identity
+    static Value add(Value a, Value b) { return a + b; }
+    static Value mul(Value a, Value b) { return a * b; }
+};
+
+/** Boolean (OR, AND): reachability / BFS frontier expansion. */
+struct BooleanSemiring
+{
+    static constexpr Value kZero = 0;
+    static Value add(Value a, Value b)
+    {
+        return (a != 0 || b != 0) ? Value(1) : Value(0);
+    }
+    static Value mul(Value a, Value b)
+    {
+        return (a != 0 && b != 0) ? Value(1) : Value(0);
+    }
+};
+
+/** Tropical (min, +): single-source shortest paths relaxation. */
+struct MinPlusSemiring
+{
+    static constexpr Value kZero = std::numeric_limits<Value>::infinity();
+    static Value add(Value a, Value b) { return std::min(a, b); }
+    static Value mul(Value a, Value b) { return a + b; }
+};
+
+/**
+ * (min, select2nd): label propagation for connected components.
+ * mul ignores the edge weight and passes the neighbour's label
+ * through, so add picks the smallest label among neighbours.
+ */
+struct MinSelect2ndSemiring
+{
+    static constexpr Value kZero = std::numeric_limits<Value>::infinity();
+    static Value add(Value a, Value b) { return std::min(a, b); }
+    static Value mul(Value /*a*/, Value b) { return b; }
+};
+
+/**
+ * Semiring SpMV over CSR: y[i] = add_j mul(a_ij, x[j]), starting
+ * from the semiring zero. Identical memory behaviour to spmvCsr —
+ * stream row_ptr/col_ind, chase into x — so the paper's indexing
+ * bottleneck carries over unchanged to graph semirings.
+ */
+template <typename S, typename E>
+void
+spmvSemiringCsr(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+                std::vector<Value>& y, E& e)
+{
+    SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
+    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
+    const auto& row_ptr = a.rowPtr();
+    const auto& col_ind = a.colInd();
+    const auto& values = a.values();
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&row_ptr[si + 1], sizeof(fmt::CsrIndex));
+        Value acc = S::kZero;
+        for (fmt::CsrIndex j = row_ptr[si]; j < row_ptr[si + 1]; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&col_ind[sj], sizeof(fmt::CsrIndex));
+            fmt::CsrIndex col = col_ind[sj];
+            e.load(&x[static_cast<std::size_t>(col)], sizeof(Value),
+                   sim::Dep::kDependent);
+            e.load(&values[sj], sizeof(Value));
+            acc = S::add(acc, S::mul(values[sj],
+                                     x[static_cast<std::size_t>(col)]));
+            e.op(kern::cost::kFma + kern::cost::kLoop);
+        }
+        y[si] = acc;
+        e.store(&y[si], sizeof(Value));
+        e.op(kern::cost::kOuterLoop);
+    }
+}
+
+/**
+ * Semiring SpMV over the SMASH encoding, scanned in software
+ * (§4.4). Semantics match spmvSemiringCsr: y is (re)computed from
+ * the semiring zero. In-block stored zeros must not contribute, so
+ * they are skipped by an explicit test (mul would not annihilate
+ * them in non-arithmetic semirings).
+ *
+ * @param x must be padded to matrix.paddedCols()
+ */
+template <typename S, typename E>
+void
+spmvSemiringSmashSw(const core::SmashMatrix& a, const std::vector<Value>& x,
+                    std::vector<Value>& y, E& e)
+{
+    SMASH_CHECK(static_cast<Index>(x.size()) >= a.paddedCols(),
+                "x must be padded to paddedCols");
+    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
+    const Index bs = a.blockSize();
+
+    for (Index i = 0; i < a.rows(); ++i)
+        y[static_cast<std::size_t>(i)] = S::kZero;
+    e.store(y.data(), y.size() * sizeof(Value));
+
+    core::BlockCursor cursor(a);
+    cursor.setRecordTouches(E::kSimulated);
+    core::BlockPosition pos;
+    kern::ScanBiller biller(kern::ScanBiller::kSoftwareStreamBase);
+    while (cursor.next(pos)) {
+        // Bill the bitmap words and CLZ/AND work of this scan step.
+        biller.charge(cursor, e);
+        e.op(2 + kern::cost::kAddrCalc);
+        const Value* block = a.blockData(pos.nzaBlock);
+        e.load(block, static_cast<std::size_t>(bs) * sizeof(Value));
+        e.load(&x[static_cast<std::size_t>(pos.colStart)],
+               static_cast<std::size_t>(bs) * sizeof(Value));
+        auto sr = static_cast<std::size_t>(pos.row);
+        Value acc = y[sr];
+        for (Index k = 0; k < bs; ++k) {
+            e.op(kern::cost::kCompareBranch);
+            if (block[k] == Value(0))
+                continue; // stored zero: not a matrix entry
+            acc = S::add(acc, S::mul(block[k],
+                x[static_cast<std::size_t>(pos.colStart + k)]));
+            e.op(kern::cost::kFma);
+        }
+        y[sr] = acc;
+        e.store(&y[sr], sizeof(Value));
+        e.op(kern::cost::kLoop);
+    }
+}
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_SEMIRING_HH

@@ -1,0 +1,194 @@
+#include "graph/traversal.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace smash::graph
+{
+
+std::vector<Index>
+bfsReference(const Graph& g, Vertex source)
+{
+    SMASH_CHECK(source >= 0 && source < g.numVertices(),
+                "source out of range");
+    std::vector<Index> level(static_cast<std::size_t>(g.numVertices()),
+                             kUnreached);
+    std::deque<Vertex> queue{source};
+    level[static_cast<std::size_t>(source)] = 0;
+    while (!queue.empty()) {
+        Vertex u = queue.front();
+        queue.pop_front();
+        const Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k) {
+            Vertex v = nbr[k];
+            if (level[static_cast<std::size_t>(v)] == kUnreached) {
+                level[static_cast<std::size_t>(v)] =
+                    level[static_cast<std::size_t>(u)] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<Value>
+ssspReference(const fmt::CsrMatrix& weights, Vertex source)
+{
+    SMASH_CHECK(weights.rows() == weights.cols(),
+                "weight matrix must be square");
+    SMASH_CHECK(source >= 0 && source < weights.rows(),
+                "source out of range");
+    const Index n = weights.rows();
+    std::vector<Value> dist(static_cast<std::size_t>(n),
+                            std::numeric_limits<Value>::infinity());
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    const auto& row_ptr = weights.rowPtr();
+    const auto& col_ind = weights.colInd();
+    const auto& values = weights.values();
+
+    for (Index round = 0; round + 1 < n; ++round) {
+        bool changed = false;
+        for (Index u = 0; u < n; ++u) {
+            auto su = static_cast<std::size_t>(u);
+            if (dist[su] == std::numeric_limits<Value>::infinity())
+                continue;
+            for (fmt::CsrIndex j = row_ptr[su]; j < row_ptr[su + 1]; ++j) {
+                auto sj = static_cast<std::size_t>(j);
+                SMASH_CHECK(values[sj] > Value(0),
+                            "SSSP requires positive edge weights");
+                auto sv = static_cast<std::size_t>(col_ind[sj]);
+                Value cand = dist[su] + values[sj];
+                if (cand < dist[sv]) {
+                    dist[sv] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return dist;
+}
+
+namespace
+{
+
+/** Path-compressing union-find. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(Index n)
+        : parent_(static_cast<std::size_t>(n))
+    {
+        std::iota(parent_.begin(), parent_.end(), Index(0));
+    }
+
+    Index
+    find(Index v)
+    {
+        while (parent_[static_cast<std::size_t>(v)] != v) {
+            parent_[static_cast<std::size_t>(v)] =
+                parent_[static_cast<std::size_t>(
+                    parent_[static_cast<std::size_t>(v)])];
+            v = parent_[static_cast<std::size_t>(v)];
+        }
+        return v;
+    }
+
+    void
+    unite(Index a, Index b)
+    {
+        Index ra = find(a), rb = find(b);
+        if (ra == rb)
+            return;
+        // Smaller id wins so roots equal the minimum member.
+        if (ra < rb)
+            parent_[static_cast<std::size_t>(rb)] = ra;
+        else
+            parent_[static_cast<std::size_t>(ra)] = rb;
+    }
+
+  private:
+    std::vector<Index> parent_;
+};
+
+} // namespace
+
+std::vector<Index>
+componentsReference(const Graph& g)
+{
+    UnionFind uf(g.numVertices());
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k)
+            uf.unite(u, nbr[k]);
+    }
+    std::vector<Index> comp(static_cast<std::size_t>(g.numVertices()));
+    for (Vertex v = 0; v < g.numVertices(); ++v)
+        comp[static_cast<std::size_t>(v)] = uf.find(v);
+    return comp;
+}
+
+std::uint64_t
+trianglesReference(const Graph& g)
+{
+    // Brute-force over vertex triples via adjacency tests. Only for
+    // small oracles — O(V * E) with the sorted-neighbour lookup.
+    auto connected = [&g](Vertex a, Vertex b) {
+        const Vertex* nbr = g.neighbors(a);
+        return std::binary_search(nbr, nbr + g.outDegree(a), b);
+    };
+    std::uint64_t count = 0;
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* nbr = g.neighbors(u);
+        for (Index i = 0; i < g.outDegree(u); ++i) {
+            Vertex v = nbr[i];
+            if (v <= u)
+                continue;
+            for (Index j = i + 1; j < g.outDegree(u); ++j) {
+                Vertex w = nbr[j];
+                if (w > v && connected(v, w))
+                    ++count;
+            }
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+trianglesMerge(const Graph& g)
+{
+    std::uint64_t count = 0;
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* u_nbr = g.neighbors(u);
+        const Index u_deg = g.outDegree(u);
+        for (Index i = 0; i < u_deg; ++i) {
+            Vertex v = u_nbr[i];
+            if (v <= u)
+                continue;
+            // Merge-intersect N(u) and N(v) above v.
+            const Vertex* v_nbr = g.neighbors(v);
+            const Index v_deg = g.outDegree(v);
+            Index a = 0, b = 0;
+            while (a < u_deg && b < v_deg) {
+                if (u_nbr[a] < v_nbr[b]) {
+                    ++a;
+                } else if (u_nbr[a] > v_nbr[b]) {
+                    ++b;
+                } else {
+                    if (u_nbr[a] > v)
+                        ++count;
+                    ++a;
+                    ++b;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace smash::graph

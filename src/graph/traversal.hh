@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Graph traversal algorithms built on the semiring SpMV layer:
+ * breadth-first search (boolean semiring), single-source shortest
+ * paths (min-plus / Bellman-Ford), connected components (min-select2nd
+ * label propagation), and triangle counting (masked A^2). Each has
+ * a classical direct implementation as a correctness oracle and a
+ * matrix-based implementation that runs over CSR or SMASH.
+ */
+
+#ifndef SMASH_GRAPH_TRAVERSAL_HH
+#define SMASH_GRAPH_TRAVERSAL_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "graph/semiring.hh"
+
+namespace smash::graph
+{
+
+/** Level marker for vertices a BFS never reaches. */
+inline constexpr Index kUnreached = -1;
+
+/** Queue-based BFS (oracle): level of every vertex from @p source. */
+std::vector<Index> bfsReference(const Graph& g, Vertex source);
+
+/** Dijkstra-free oracle for SSSP: Bellman-Ford over the edge list.
+ *  @param weights CSR adjacency with positive edge weights
+ *  @return distance per vertex (infinity when unreachable) */
+std::vector<Value> ssspReference(const fmt::CsrMatrix& weights,
+                                 Vertex source);
+
+/** Union-find oracle: component id (smallest member vertex) per
+ *  vertex of the undirected view of @p g. */
+std::vector<Index> componentsReference(const Graph& g);
+
+/** Edge-iterator oracle: triangles in the undirected simple graph
+ *  (each triangle counted once). */
+std::uint64_t trianglesReference(const Graph& g);
+
+/**
+ * BFS as iterated boolean-semiring SpMV over A^T (pull direction):
+ * next[v] = OR_u A[u][v] AND frontier[u]. The SpMV backend is any
+ * functor spmv(x, y) computing the boolean product.
+ *
+ * @param n          vertex count
+ * @param spmv       functor over the boolean semiring
+ * @param max_rounds optional cap on SpMV rounds (default: run to
+ *        fixpoint). A capped run returns the partial level map —
+ *        useful for bounded benchmarking on high-diameter graphs.
+ * @return level per vertex (kUnreached if never visited)
+ */
+template <typename SpmvFn>
+std::vector<Index>
+bfsSemiring(Index n, Vertex source, SpmvFn&& spmv, Index max_rounds = -1)
+{
+    SMASH_CHECK(source >= 0 && source < n, "source out of range");
+    std::vector<Index> level(static_cast<std::size_t>(n), kUnreached);
+    std::vector<Value> frontier(static_cast<std::size_t>(n), 0.0);
+    std::vector<Value> next(static_cast<std::size_t>(n), 0.0);
+    level[static_cast<std::size_t>(source)] = 0;
+    frontier[static_cast<std::size_t>(source)] = 1.0;
+
+    const Index rounds = max_rounds < 0 ? n : std::min(max_rounds, n);
+    for (Index depth = 1; depth <= rounds; ++depth) {
+        spmv(frontier, next);
+        bool advanced = false;
+        for (std::size_t v = 0; v < next.size(); ++v) {
+            if (next[v] != 0.0 && level[v] == kUnreached) {
+                level[v] = depth;
+                advanced = true;
+            }
+            // Mask: only newly reached vertices stay in the frontier.
+            frontier[v] = (next[v] != 0.0 && level[v] == depth)
+                ? Value(1) : Value(0);
+        }
+        if (!advanced)
+            break;
+    }
+    return level;
+}
+
+/**
+ * Bellman-Ford SSSP as iterated min-plus SpMV over W^T:
+ * dist'[v] = min(dist[v], min_u (dist[u] + w(u,v))). Converges in
+ * at most |V|-1 rounds for non-negative weights.
+ *
+ * @param spmv       functor over the min-plus semiring on W^T
+ * @param max_rounds optional cap on relaxation rounds (default:
+ *        run to fixpoint); capped runs return partial distances
+ */
+template <typename SpmvFn>
+std::vector<Value>
+ssspSemiring(Index n, Vertex source, SpmvFn&& spmv, Index max_rounds = -1)
+{
+    SMASH_CHECK(source >= 0 && source < n, "source out of range");
+    std::vector<Value> dist(static_cast<std::size_t>(n),
+                            MinPlusSemiring::kZero);
+    std::vector<Value> relaxed(static_cast<std::size_t>(n),
+                               MinPlusSemiring::kZero);
+    dist[static_cast<std::size_t>(source)] = 0.0;
+
+    const Index rounds = max_rounds < 0 ? n : std::min(max_rounds, n);
+    for (Index round = 0; round < rounds; ++round) {
+        spmv(dist, relaxed);
+        bool changed = false;
+        for (std::size_t v = 0; v < dist.size(); ++v) {
+            Value best = std::min(dist[v], relaxed[v]);
+            if (best != dist[v]) {
+                dist[v] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return dist;
+}
+
+/**
+ * Connected components by min-label propagation over the symmetric
+ * adjacency: label'[v] = min(label[v], min over neighbours). The
+ * result labels each component by its smallest vertex id.
+ *
+ * @param spmv functor over the min-select2nd semiring on the symmetrized
+ *        adjacency matrix
+ */
+template <typename SpmvFn>
+std::vector<Index>
+componentsSemiring(Index n, SpmvFn&& spmv)
+{
+    std::vector<Value> label(static_cast<std::size_t>(n));
+    std::vector<Value> next(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v)
+        label[static_cast<std::size_t>(v)] = static_cast<Value>(v);
+
+    for (Index round = 0; round < n; ++round) {
+        spmv(label, next);
+        bool changed = false;
+        for (std::size_t v = 0; v < label.size(); ++v) {
+            Value best = std::min(label[v], next[v]);
+            if (best != label[v]) {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    std::vector<Index> out(static_cast<std::size_t>(n));
+    for (std::size_t v = 0; v < out.size(); ++v)
+        out[v] = static_cast<Index>(label[v]);
+    return out;
+}
+
+/**
+ * Triangle counting through the adjacency structure: for every
+ * edge (u, v) with u < v, intersect the sorted neighbour lists and
+ * count common w > v (forward counting — each triangle found once).
+ * This is the merge-based kernel an SpGEMM-based counter lowers to.
+ */
+std::uint64_t trianglesMerge(const Graph& g);
+
+} // namespace smash::graph
+
+#endif // SMASH_GRAPH_TRAVERSAL_HH

@@ -1,0 +1,41 @@
+#include "isa/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace smash::isa
+{
+
+AreaReport
+computeBmuArea(const BmuSizing& sizing, const AreaParams& params)
+{
+    SMASH_CHECK(sizing.groups > 0 && sizing.buffersPerGroup > 0 &&
+                sizing.bufferBytes > 0,
+                "BMU sizing must be positive");
+    SMASH_CHECK(params.coreAreaMm2 > 0, "core area must be positive");
+
+    constexpr double kUm2PerMm2 = 1.0e6;
+
+    AreaReport report;
+    report.sramBytes =
+        static_cast<double>(sizing.groups) *
+        static_cast<double>(sizing.buffersPerGroup) *
+        static_cast<double>(sizing.bufferBytes);
+
+    double sram_bits = report.sramBytes * 8.0;
+    report.sramAreaMm2 = sram_bits * params.sramBitCellUm2 *
+        params.sramPeripheryFactor / kUm2PerMm2;
+
+    double reg_bits = static_cast<double>(sizing.registerBytes) * 8.0;
+    report.registerAreaMm2 = reg_bits * params.registerBitUm2 / kUm2PerMm2;
+
+    report.logicAreaMm2 = static_cast<double>(sizing.groups) *
+        params.logicUm2PerGroup / kUm2PerMm2;
+
+    report.totalAreaMm2 = report.sramAreaMm2 + report.registerAreaMm2 +
+        report.logicAreaMm2;
+    report.coreOverheadPct =
+        report.totalAreaMm2 / params.coreAreaMm2 * 100.0;
+    return report;
+}
+
+} // namespace smash::isa

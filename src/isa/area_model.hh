@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic area model for the BMU (paper §7.6). The paper sizes the
+ * BMU at 4 groups x 3 x 256 B SRAM buffers (3 KiB) plus 140 B of
+ * registers and reports, via CACTI 6.5, an overhead of at most
+ * 0.076% of a modern Xeon core. We reproduce the arithmetic with a
+ * CACTI-class density model: high-density 6T SRAM bit cells with a
+ * periphery multiplier, and flop-based registers.
+ */
+
+#ifndef SMASH_ISA_AREA_MODEL_HH
+#define SMASH_ISA_AREA_MODEL_HH
+
+#include <cstddef>
+
+namespace smash::isa
+{
+
+/** Technology/area assumptions (defaults: 14 nm-class values). */
+struct AreaParams
+{
+    /** High-density 6T SRAM bit cell area, um^2 (14 nm ~= 0.08). */
+    double sramBitCellUm2 = 0.080;
+    /** Multiplier for decoders/sense amps around small arrays. */
+    double sramPeripheryFactor = 2.0;
+    /** Scan/output flop area per bit, um^2. */
+    double registerBitUm2 = 0.8;
+    /** Area of the scan/index compute logic, um^2 (shift/priority
+     *  encoders + two dividers' worth of logic per group). */
+    double logicUm2PerGroup = 250.0;
+    /**
+     * Reference core area, mm^2: one Xeon-class core with private
+     * L1/L2 (Intel Xeon E5-2698-class core, 14 nm).
+     */
+    double coreAreaMm2 = 8.25;
+};
+
+/** BMU sizing knobs (defaults = the paper's configuration). */
+struct BmuSizing
+{
+    int groups = 4;
+    int buffersPerGroup = 3;
+    std::size_t bufferBytes = 256;
+    std::size_t registerBytes = 140;
+};
+
+/** Computed area figures. */
+struct AreaReport
+{
+    double sramBytes = 0;      //!< total SRAM capacity
+    double sramAreaMm2 = 0;
+    double registerAreaMm2 = 0;
+    double logicAreaMm2 = 0;
+    double totalAreaMm2 = 0;
+    double coreOverheadPct = 0; //!< total / core area * 100
+};
+
+/** Evaluate the area model. */
+AreaReport computeBmuArea(const BmuSizing& sizing = BmuSizing{},
+                          const AreaParams& params = AreaParams{});
+
+} // namespace smash::isa
+
+#endif // SMASH_ISA_AREA_MODEL_HH

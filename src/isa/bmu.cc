@@ -1,0 +1,92 @@
+#include "isa/bmu.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace smash::isa
+{
+
+Bmu::Group&
+Bmu::group(int grp)
+{
+    SMASH_CHECK(grp >= 0 && grp < kGroups, "BMU group ", grp,
+                " out of range [0,", kGroups, ")");
+    return groups_[static_cast<std::size_t>(grp)];
+}
+
+const Bmu::Group&
+Bmu::group(int grp) const
+{
+    SMASH_CHECK(grp >= 0 && grp < kGroups, "BMU group ", grp,
+                " out of range [0,", kGroups, ")");
+    return groups_[static_cast<std::size_t>(grp)];
+}
+
+void
+Bmu::setRatio(int grp, int lvl, Index comp)
+{
+    SMASH_CHECK(lvl >= 0 && lvl < kBuffersPerGroup,
+                "BMU level ", lvl, " out of range");
+    SMASH_CHECK(comp >= 2 && comp <= kMaxRatio,
+                "compression ratio ", comp,
+                " outside the BMU's supported range [2,", kMaxRatio, "]");
+    Group& g = group(grp);
+    g.ratio[static_cast<std::size_t>(lvl)] = comp;
+    g.levels = std::max(g.levels, lvl + 1);
+    // Reconfiguring invalidates any scan in progress.
+    resetScan(grp);
+}
+
+void
+Bmu::attachBitmap(int grp, int buf, const core::Bitmap* bitmap)
+{
+    SMASH_CHECK(buf >= 0 && buf < kBuffersPerGroup,
+                "BMU buffer ", buf, " out of range");
+    Group& g = group(grp);
+    g.bitmap[static_cast<std::size_t>(buf)] = bitmap;
+    g.windowWord[static_cast<std::size_t>(buf)] = -1;
+    resetScan(grp);
+}
+
+void
+Bmu::resetScan(int grp)
+{
+    Group& g = group(grp);
+    g.cur.fill(0);
+    g.end.fill(0);
+    g.scanFrom.fill(0);
+    g.scanTo.fill(0);
+    g.levelPos = -1;
+    g.nzaBlock = -1;
+    g.exhausted = false;
+}
+
+void
+Bmu::clearGroup(int grp)
+{
+    group(grp) = Group{};
+}
+
+void
+Bmu::requireConfigured(const Group& g)
+{
+    SMASH_CHECK(g.levels >= 1,
+                "BMU group used before BMAPINFO configured any level");
+    for (int lvl = 0; lvl < g.levels; ++lvl) {
+        SMASH_CHECK(g.bitmap[static_cast<std::size_t>(lvl)] != nullptr,
+                    "BMU level ", lvl, " has no bitmap attached "
+                    "(missing RDBMAP)");
+    }
+}
+
+std::size_t
+Bmu::windowBytes(const core::Bitmap& bitmap, Index word)
+{
+    Index words_left = bitmap.numWords() - word;
+    Index words = std::min<Index>(kWindowWords, words_left);
+    return static_cast<std::size_t>(words) * sizeof(BitWord);
+}
+
+} // namespace smash::isa

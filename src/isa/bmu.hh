@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Bitmap Management Unit (paper §4.2) and the five-instruction
+ * SMASH ISA (§4.3, Table 1).
+ *
+ * The BMU holds up to kGroups independent groups, each with
+ * kBuffersPerGroup 256-byte SRAM buffers (one per bitmap level),
+ * parameter registers, and row/column output registers.
+ *
+ * Functional model: each group walks its bitmap hierarchy depth-
+ * first exactly like the software cursor, producing Bitmap-0 set
+ * bits in order.
+ *
+ * Timing model: every ISA instruction retires one instruction on
+ * the issuing core (charged via the execution-model hooks). The
+ * scan itself is hardware logic and costs the core nothing; the
+ * only memory cost is SRAM-buffer refills (overlapped device
+ * traffic, no core instructions).
+ *
+ * Refills follow the paper's Fig. 4b compact storage: only the
+ * bitmap groups under set parent bits exist in memory, and the
+ * depth-first scan consumes each level's compact stream strictly
+ * in order. The model therefore charges, per descent into a parent
+ * bit, the next `ratio` bits of the child level's compact stream,
+ * fetching 64-byte lines at synthetic sequential addresses. The top
+ * level is stored whole (it has no parent) and is fetched at its
+ * real addresses, one line window at a time.
+ */
+
+#ifndef SMASH_ISA_BMU_HH
+#define SMASH_ISA_BMU_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "core/bitmap.hh"
+#include "core/hierarchy_config.hh"
+
+namespace smash::isa
+{
+
+/** BMU activity counters (per BMU, summed over groups). */
+struct BmuStats
+{
+    Counter pbmapCalls = 0;
+    Counter bufferRefills = 0;
+    Counter wordsScanned = 0;
+};
+
+/** The Bitmap Management Unit. */
+class Bmu
+{
+  public:
+    static constexpr int kGroups = 4;
+    static constexpr int kBuffersPerGroup = 3;
+    static constexpr int kBufferBytes = 256;
+    /** Max compression ratio supported (bits per buffer, §4.2.1). */
+    static constexpr Index kMaxRatio = kBufferBytes * 8;
+
+    Bmu() = default;
+
+    /**
+     * MATINFO row,col,grp — load matrix dimensions into the group's
+     * parameter registers. `col` is the padded column count used for
+     * row/column arithmetic.
+     */
+    template <typename E>
+    void
+    matinfo(Index rows, Index cols, int grp, E& e)
+    {
+        e.op(1);
+        group(grp).rows = rows;
+        group(grp).cols = cols;
+    }
+
+    /** BMAPINFO comp,lvl,grp — set the compression ratio of level
+     *  @p lvl. Also (re)defines the number of active levels as the
+     *  highest configured lvl + 1. */
+    template <typename E>
+    void
+    bmapinfo(Index comp, int lvl, int grp, E& e)
+    {
+        e.op(1);
+        setRatio(grp, lvl, comp);
+    }
+
+    /**
+     * RDBMAP [mem],buf,grp — attach bitmap storage for level @p buf
+     * and, for the (whole-stored) top level, stream the first
+     * buffer window into SRAM. Lower levels are compact streams
+     * whose groups are fetched as the scan descends into them.
+     */
+    template <typename E>
+    void
+    rdbmap(const core::Bitmap* bitmap, int buf, int grp, E& e)
+    {
+        e.op(1);
+        attachBitmap(grp, buf, bitmap);
+        Group& g = group(grp);
+        if (buf == g.levels - 1 && bitmap && bitmap->numWords() > 0) {
+            std::size_t bytes = windowBytes(*bitmap, 0);
+            e.deviceFetch(bitmap->words().data(), bytes);
+            ++stats_.bufferRefills;
+        }
+    }
+
+    /**
+     * PBMAP grp — scan to the next non-zero block; updates the
+     * group's output registers.
+     * @retval true a next block exists (registers valid)
+     */
+    template <typename E>
+    bool
+    pbmap(int grp, E& e)
+    {
+        e.op(1);
+        ++stats_.pbmapCalls;
+        return advance(grp, e);
+    }
+
+    /**
+     * Model of `RDBMAP [bitmap + rowOffset]` (Algorithm 2): restrict
+     * the scan to Bitmap-0 bits [fromBit, toBit) — one matrix row
+     * (or one column of the transposed operand). Works for any
+     * hierarchy depth: upper levels are range-restricted to the
+     * covering bit ranges, so empty stretches inside the row are
+     * skipped without streaming their Bitmap-0 words.
+     */
+    template <typename E>
+    void
+    beginScan(Index from_bit, Index to_bit, int grp, E& e)
+    {
+        e.op(1); // the RDBMAP instruction itself
+        Group& g = group(grp);
+        requireConfigured(g);
+        Index from = from_bit;
+        Index to = to_bit;
+        for (int lvl = 0; lvl < g.levels; ++lvl) {
+            auto sl = static_cast<std::size_t>(lvl);
+            if (lvl > 0) {
+                Index r = g.ratio[sl];
+                from = from / r;
+                to = (to + r - 1) / r;
+            }
+            g.scanFrom[sl] = from;
+            g.scanTo[sl] = to;
+            g.cur[sl] = from;
+            g.end[sl] = lvl == g.levels - 1 ? to : from; // empty below top
+        }
+        g.levelPos = g.levels - 1;
+        g.exhausted = false;
+    }
+
+    /** RDIND rd1,rd2,grp — read the output registers. */
+    template <typename E>
+    void
+    rdind(Index& row, Index& col, int grp, E& e)
+    {
+        e.op(1);
+        row = group(grp).rowIndex;
+        col = group(grp).colIndex;
+    }
+
+    /** Ordinal of the current block inside the NZA (convenience;
+     *  the paper's software keeps this counter itself). */
+    Index currentNzaBlock(int grp) const { return group(grp).nzaBlock; }
+
+    const BmuStats& stats() const { return stats_; }
+
+    /** Reset one group's scan to the beginning of its hierarchy. */
+    void resetScan(int grp);
+
+    /** Forget a group's whole configuration (dimensions, ratios,
+     *  attached bitmaps). Modeling convenience, not an ISA op. */
+    void clearGroup(int grp);
+
+  private:
+    struct Group
+    {
+        Group() { windowWord.fill(-1); }
+
+        Index rows = 0;
+        Index cols = 0;
+        std::array<Index, core::HierarchyConfig::kMaxLevels> ratio{};
+        std::array<const core::Bitmap*, kBuffersPerGroup> bitmap{};
+        /** First word of the buffered window, per level (-1: none). */
+        std::array<Index, kBuffersPerGroup> windowWord{};
+        int levels = 0;
+
+        /** DFS state: per-level [cur, end) bit windows. */
+        std::array<Index, kBuffersPerGroup> cur{};
+        std::array<Index, kBuffersPerGroup> end{};
+        /** Range restriction from beginScan (whole bitmap if unset). */
+        std::array<Index, kBuffersPerGroup> scanFrom{};
+        std::array<Index, kBuffersPerGroup> scanTo{};
+        /**
+         * Compact-layout model per non-top level: each parent set
+         * bit owns one `ratio`-bit group in the child's compact
+         * stream. Slots are assigned on first touch (ascending for
+         * in-order scans, matching the Fig. 4b layout); revisits map
+         * to the same synthetic address and hit in the cache model.
+         */
+        std::array<std::unordered_map<Index, Index>, kBuffersPerGroup>
+            compactSlot{};
+        std::array<Index, kBuffersPerGroup> nextSlot{};
+        int levelPos = -1; //!< -1 = scan not started
+
+        Index rowIndex = 0;
+        Index colIndex = 0;
+        Index nzaBlock = -1;
+        bool exhausted = false;
+    };
+
+    Group& group(int grp);
+    const Group& group(int grp) const;
+
+    void setRatio(int grp, int lvl, Index comp);
+    void attachBitmap(int grp, int buf, const core::Bitmap* bitmap);
+    static void requireConfigured(const Group& g);
+
+    /** Bytes of the window starting at word @p word (tail-clipped). */
+    static std::size_t windowBytes(const core::Bitmap& bitmap, Index word);
+
+    /**
+     * Refill granularity in words. The SRAM buffer is 256 B, but the
+     * memory system delivers 64-B lines; modelling fills at line
+     * granularity charges exactly the lines the scan touches (a
+     * whole-buffer fill is four consecutive line fetches).
+     */
+    static constexpr Index kWindowWords =
+        kCacheLineBytes / static_cast<int>(sizeof(BitWord));
+
+    /**
+     * Scan level @p lvl of group @p g for the next set bit in
+     * [from, end), charging buffer refills as the window slides.
+     * @return bit index or -1
+     */
+    template <typename E>
+    Index scanLevel(Group& g, int lvl, Index from, Index end, E& e);
+
+    /**
+     * Synthetic base address of a group/level compact bitmap
+     * stream. These addresses exercise the memory model for storage
+     * that has no dense host backing (Fig. 4b layout); the range is
+     * chosen well away from host heap/mmap regions.
+     */
+    static Addr
+    syntheticStreamBase(int grp, int lvl)
+    {
+        return Addr(0x0100'0000'0000ULL) +
+            static_cast<Addr>(grp) * 0x4'0000'0000ULL +
+            static_cast<Addr>(lvl) * 0x1'0000'0000ULL;
+    }
+
+    /**
+     * Account the fetch of the compact-stream group of level
+     * @p lvl owned by parent set bit @p parent_bit (one descent).
+     * The group occupies `ratio` bits at its slot's position; the
+     * covering 64-byte line(s) are fetched — the cache model turns
+     * revisits into hits.
+     */
+    template <typename E>
+    void
+    fetchCompactGroup(Group& g, int grp, int lvl, Index parent_bit,
+                      Index ratio, E& e)
+    {
+        if constexpr (!E::kSimulated) {
+            // Functional runs skip the traffic model entirely.
+            (void)g;
+            (void)grp;
+            (void)lvl;
+            (void)parent_bit;
+            (void)ratio;
+            (void)e;
+            return;
+        }
+        auto sl = static_cast<std::size_t>(lvl);
+        auto [it, fresh] = g.compactSlot[sl].try_emplace(
+            parent_bit, g.nextSlot[sl]);
+        if (fresh)
+            ++g.nextSlot[sl];
+        constexpr Index bits_per_line = kCacheLineBytes * 8;
+        Index bit_pos = it->second * ratio;
+        Index first_line = bit_pos / bits_per_line;
+        Index last_line = (bit_pos + ratio - 1) / bits_per_line;
+        for (Index line = first_line; line <= last_line; ++line) {
+            e.deviceFetchAddr(syntheticStreamBase(grp, lvl) +
+                              static_cast<Addr>(line) * kCacheLineBytes,
+                              kCacheLineBytes);
+        }
+        ++stats_.bufferRefills;
+    }
+
+    /** DFS step shared by pbmap. */
+    template <typename E>
+    bool advance(int grp, E& e);
+
+    std::array<Group, kGroups> groups_{};
+    BmuStats stats_;
+};
+
+template <typename E>
+Index
+Bmu::scanLevel(Group& g, int lvl, Index from, Index end, E& e)
+{
+    const core::Bitmap* bm = g.bitmap[static_cast<std::size_t>(lvl)];
+    if (!bm)
+        return -1;
+    if (end > bm->numBits())
+        end = bm->numBits();
+    if (from >= end)
+        return -1;
+
+    // Only the top level is fetched here (it is stored whole in
+    // memory); lower-level groups were streamed in at descent time.
+    const bool is_top = lvl == g.levels - 1;
+    Index w = from / kBitsPerWord;
+    const Index w_end = (end + kBitsPerWord - 1) / kBitsPerWord;
+    while (w < w_end) {
+        if (is_top) {
+            // Slide the SRAM window when the scan leaves it.
+            Index& win = g.windowWord[static_cast<std::size_t>(lvl)];
+            if (win < 0 || w < win || w >= win + kWindowWords) {
+                win = (w / kWindowWords) * kWindowWords;
+                e.deviceFetch(bm->words().data() + win,
+                              windowBytes(*bm, win));
+                ++stats_.bufferRefills;
+            }
+        }
+        ++stats_.wordsScanned;
+        BitWord word = bm->word(w);
+        if (w == from / kBitsPerWord)
+            word &= ~BitWord(0) << (from % kBitsPerWord);
+        if (word != 0) {
+            Index bit = w * kBitsPerWord +
+                static_cast<Index>(std::countr_zero(word));
+            if (bit < end)
+                return bit;
+            return -1;
+        }
+        ++w;
+    }
+    return -1;
+}
+
+template <typename E>
+bool
+Bmu::advance(int grp, E& e)
+{
+    Group& g = group(grp);
+    if (g.exhausted || g.levels == 0)
+        return false;
+
+    const int top = g.levels - 1;
+    int lvl = g.levelPos;
+    if (lvl < 0) {
+        // First PBMAP after configuration: scan the whole hierarchy.
+        const core::Bitmap* top_bm = g.bitmap[static_cast<std::size_t>(top)];
+        for (int l = 0; l <= top; ++l) {
+            auto sl = static_cast<std::size_t>(l);
+            const core::Bitmap* bm = g.bitmap[sl];
+            g.scanFrom[sl] = 0;
+            g.scanTo[sl] = bm ? bm->numBits() : 0;
+        }
+        g.cur[static_cast<std::size_t>(top)] = 0;
+        g.end[static_cast<std::size_t>(top)] =
+            top_bm ? top_bm->numBits() : 0;
+        lvl = top;
+    }
+
+    while (true) {
+        auto sl = static_cast<std::size_t>(lvl);
+        Index bit = scanLevel(g, lvl, g.cur[sl], g.end[sl], e);
+        if (bit < 0) {
+            if (lvl == top) {
+                g.exhausted = true;
+                g.levelPos = top;
+                return false;
+            }
+            ++lvl;
+            continue;
+        }
+        g.cur[sl] = bit + 1;
+        if (lvl == 0) {
+            Index block_size = g.ratio[0];
+            Index linear = bit * block_size;
+            g.rowIndex = g.cols > 0 ? linear / g.cols : 0;
+            g.colIndex = g.cols > 0 ? linear % g.cols : 0;
+            ++g.nzaBlock;
+            g.levelPos = 0;
+            return true;
+        }
+        // Descend into the covered range of the level below, clipped
+        // to any beginScan() range restriction. The child group is
+        // the next `ratio` bits of the child's compact stream:
+        // charge its fetch.
+        Index ratio = g.ratio[sl];
+        auto below = static_cast<std::size_t>(lvl - 1);
+        fetchCompactGroup(g, grp, lvl - 1, bit, ratio, e);
+        Index lo = bit * ratio;
+        Index hi = (bit + 1) * ratio;
+        if (lo < g.scanFrom[below])
+            lo = g.scanFrom[below];
+        if (hi > g.scanTo[below])
+            hi = g.scanTo[below];
+        g.cur[below] = lo;
+        g.end[below] = hi;
+        --lvl;
+    }
+}
+
+} // namespace smash::isa
+
+#endif // SMASH_ISA_BMU_HH

@@ -1,0 +1,287 @@
+#include "isa/encoding.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/bmu.hh"
+
+namespace smash::isa
+{
+
+namespace
+{
+
+void
+checkReg(int r, const char* what)
+{
+    SMASH_CHECK(r >= 0 && r < kNumRegisters,
+                what, " register r", r, " out of range [0, ",
+                kNumRegisters, ")");
+}
+
+void
+checkGrp(int grp)
+{
+    SMASH_CHECK(grp >= 0 && grp < Bmu::kGroups,
+                "group g", grp, " out of range [0, ", Bmu::kGroups, ")");
+}
+
+void
+checkImm(int imm)
+{
+    SMASH_CHECK(imm >= 0 && imm < 16, "immediate ", imm,
+                " out of 4-bit range");
+}
+
+void
+validate(const Instruction& inst)
+{
+    checkGrp(inst.grp);
+    checkReg(inst.rs1, "rs1");
+    checkReg(inst.rs2, "rs2");
+    checkReg(inst.rd1, "rd1");
+    checkReg(inst.rd2, "rd2");
+    checkImm(inst.imm4);
+    switch (inst.op) {
+      case Opcode::kMatinfo:
+      case Opcode::kBmapinfo:
+      case Opcode::kRdbmap:
+      case Opcode::kPbmap:
+      case Opcode::kRdind:
+        break;
+      default:
+        SMASH_FATAL("unknown opcode ",
+                    static_cast<int>(inst.op));
+    }
+}
+
+} // namespace
+
+Instruction
+Instruction::matinfo(int rows_reg, int cols_reg, int grp)
+{
+    Instruction inst;
+    inst.op = Opcode::kMatinfo;
+    inst.rs1 = rows_reg;
+    inst.rs2 = cols_reg;
+    inst.grp = grp;
+    validate(inst);
+    return inst;
+}
+
+Instruction
+Instruction::bmapinfo(int comp_reg, int lvl, int grp)
+{
+    Instruction inst;
+    inst.op = Opcode::kBmapinfo;
+    inst.rs1 = comp_reg;
+    inst.imm4 = lvl;
+    inst.grp = grp;
+    validate(inst);
+    return inst;
+}
+
+Instruction
+Instruction::rdbmap(int mem_reg, int buf, int grp)
+{
+    Instruction inst;
+    inst.op = Opcode::kRdbmap;
+    inst.rs1 = mem_reg;
+    inst.imm4 = buf;
+    inst.grp = grp;
+    validate(inst);
+    return inst;
+}
+
+Instruction
+Instruction::pbmap(int grp)
+{
+    Instruction inst;
+    inst.op = Opcode::kPbmap;
+    inst.grp = grp;
+    validate(inst);
+    return inst;
+}
+
+Instruction
+Instruction::rdind(int row_reg, int col_reg, int grp)
+{
+    Instruction inst;
+    inst.op = Opcode::kRdind;
+    inst.rd1 = row_reg;
+    inst.rd2 = col_reg;
+    inst.grp = grp;
+    validate(inst);
+    return inst;
+}
+
+InstWord
+encode(const Instruction& inst)
+{
+    validate(inst);
+    return (static_cast<InstWord>(inst.op) << 26) |
+        (static_cast<InstWord>(inst.grp) << 24) |
+        (static_cast<InstWord>(inst.rs1) << 19) |
+        (static_cast<InstWord>(inst.rs2) << 14) |
+        (static_cast<InstWord>(inst.rd1) << 9) |
+        (static_cast<InstWord>(inst.rd2) << 4) |
+        static_cast<InstWord>(inst.imm4);
+}
+
+Instruction
+decode(InstWord word)
+{
+    Instruction inst;
+    inst.op = static_cast<Opcode>((word >> 26) & 0x3f);
+    inst.grp = static_cast<int>((word >> 24) & 0x3);
+    inst.rs1 = static_cast<int>((word >> 19) & 0x1f);
+    inst.rs2 = static_cast<int>((word >> 14) & 0x1f);
+    inst.rd1 = static_cast<int>((word >> 9) & 0x1f);
+    inst.rd2 = static_cast<int>((word >> 4) & 0x1f);
+    inst.imm4 = static_cast<int>(word & 0xf);
+    validate(inst);
+    return inst;
+}
+
+std::string
+toAssembly(const Instruction& inst)
+{
+    std::ostringstream os;
+    switch (inst.op) {
+      case Opcode::kMatinfo:
+        os << "matinfo r" << inst.rs1 << ", r" << inst.rs2 << ", g"
+           << inst.grp;
+        break;
+      case Opcode::kBmapinfo:
+        os << "bmapinfo r" << inst.rs1 << ", " << inst.imm4 << ", g"
+           << inst.grp;
+        break;
+      case Opcode::kRdbmap:
+        os << "rdbmap [r" << inst.rs1 << "], " << inst.imm4 << ", g"
+           << inst.grp;
+        break;
+      case Opcode::kPbmap:
+        os << "pbmap g" << inst.grp;
+        break;
+      case Opcode::kRdind:
+        os << "rdind r" << inst.rd1 << ", r" << inst.rd2 << ", g"
+           << inst.grp;
+        break;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Split an operand list on commas, trimming whitespace. */
+std::vector<std::string>
+splitOperands(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    for (std::string& tok : out) {
+        auto b = tok.find_first_not_of(" \t");
+        auto e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos
+            ? std::string{} : tok.substr(b, e - b + 1);
+    }
+    std::erase_if(out, [](const std::string& t) { return t.empty(); });
+    return out;
+}
+
+int
+parsePrefixed(const std::string& tok, char prefix, const char* what)
+{
+    SMASH_CHECK(tok.size() >= 2 && tok[0] == prefix,
+                "expected ", what, " operand like '", prefix,
+                "N', got '", tok, "'");
+    for (std::size_t i = 1; i < tok.size(); ++i)
+        SMASH_CHECK(std::isdigit(static_cast<unsigned char>(tok[i])),
+                    "malformed ", what, " operand '", tok, "'");
+    return std::stoi(tok.substr(1));
+}
+
+int
+parsePlainInt(const std::string& tok, const char* what)
+{
+    SMASH_CHECK(!tok.empty(), "missing ", what, " operand");
+    for (char c : tok)
+        SMASH_CHECK(std::isdigit(static_cast<unsigned char>(c)),
+                    "malformed ", what, " operand '", tok, "'");
+    return std::stoi(tok);
+}
+
+int
+parseMemReg(const std::string& tok)
+{
+    SMASH_CHECK(tok.size() >= 4 && tok.front() == '[' && tok.back() == ']',
+                "expected memory operand like '[rN]', got '", tok, "'");
+    return parsePrefixed(tok.substr(1, tok.size() - 2), 'r', "memory");
+}
+
+} // namespace
+
+Instruction
+parseAssembly(const std::string& line)
+{
+    // Strip comments and surrounding whitespace.
+    std::string s = line.substr(0, line.find('#'));
+    auto b = s.find_first_not_of(" \t");
+    SMASH_CHECK(b != std::string::npos, "empty assembly line");
+    auto sp = s.find_first_of(" \t", b);
+    std::string mnemonic = s.substr(b, sp - b);
+    std::vector<std::string> ops =
+        sp == std::string::npos
+        ? std::vector<std::string>{} : splitOperands(s.substr(sp));
+
+    auto want = [&](std::size_t n) {
+        SMASH_CHECK(ops.size() == n, mnemonic, " expects ", n,
+                    " operands, got ", ops.size());
+    };
+
+    if (mnemonic == "matinfo") {
+        want(3);
+        return Instruction::matinfo(parsePrefixed(ops[0], 'r', "register"),
+                                    parsePrefixed(ops[1], 'r', "register"),
+                                    parsePrefixed(ops[2], 'g', "group"));
+    }
+    if (mnemonic == "bmapinfo") {
+        want(3);
+        return Instruction::bmapinfo(parsePrefixed(ops[0], 'r', "register"),
+                                     parsePlainInt(ops[1], "level"),
+                                     parsePrefixed(ops[2], 'g', "group"));
+    }
+    if (mnemonic == "rdbmap") {
+        want(3);
+        return Instruction::rdbmap(parseMemReg(ops[0]),
+                                   parsePlainInt(ops[1], "buffer"),
+                                   parsePrefixed(ops[2], 'g', "group"));
+    }
+    if (mnemonic == "pbmap") {
+        want(1);
+        return Instruction::pbmap(parsePrefixed(ops[0], 'g', "group"));
+    }
+    if (mnemonic == "rdind") {
+        want(3);
+        return Instruction::rdind(parsePrefixed(ops[0], 'r', "register"),
+                                  parsePrefixed(ops[1], 'r', "register"),
+                                  parsePrefixed(ops[2], 'g', "group"));
+    }
+    SMASH_FATAL("unknown mnemonic '", mnemonic, "'");
+}
+
+} // namespace smash::isa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary encoding and textual assembly for the five SMASH ISA
+ * instructions (paper §4.3, Table 1). The paper specifies operand
+ * *meanings* but not an encoding; this module pins down a concrete
+ * RISC-style 32-bit format so the ISA can be stored, disassembled
+ * and executed as data:
+ *
+ *   [31:26] opcode   (MATINFO..RDIND)
+ *   [25:24] grp      (BMU group, 0..3)
+ *   [23:19] rs1      (source register)
+ *   [18:14] rs2      (source register)
+ *   [13:9]  rd1      (destination register)
+ *   [8:4]   rd2      (destination register)
+ *   [3:0]   imm4     (bitmap level / buffer selector)
+ *
+ * Large operands (matrix dimensions, compression ratios, bitmap
+ * addresses) live in general-purpose registers, exactly as the
+ * Table 1 mnemonics suggest (e.g. `matinfo row,col,grp` reads the
+ * row and column counts from two registers).
+ */
+
+#ifndef SMASH_ISA_ENCODING_HH
+#define SMASH_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace smash::isa
+{
+
+/** Raw 32-bit instruction word. */
+using InstWord = std::uint32_t;
+
+/** The five SMASH opcodes. */
+enum class Opcode : std::uint8_t
+{
+    kMatinfo = 1,  //!< matinfo rs1(rows), rs2(cols), grp
+    kBmapinfo = 2, //!< bmapinfo rs1(comp), imm4(lvl), grp
+    kRdbmap = 3,   //!< rdbmap [rs1](mem), imm4(buf), grp
+    kPbmap = 4,    //!< pbmap grp
+    kRdind = 5,    //!< rdind rd1(row), rd2(col), grp
+};
+
+/** Number of general-purpose registers addressable by the ISA. */
+inline constexpr int kNumRegisters = 32;
+
+/** Decoded instruction. Unused fields are zero. */
+struct Instruction
+{
+    Opcode op = Opcode::kPbmap;
+    int grp = 0;  //!< BMU group, 0..3
+    int rs1 = 0;  //!< source register index
+    int rs2 = 0;  //!< source register index
+    int rd1 = 0;  //!< destination register index
+    int rd2 = 0;  //!< destination register index
+    int imm4 = 0; //!< small immediate (level / buffer selector)
+
+    bool operator==(const Instruction& other) const = default;
+
+    // Convenience factories (validated).
+    static Instruction matinfo(int rows_reg, int cols_reg, int grp);
+    static Instruction bmapinfo(int comp_reg, int lvl, int grp);
+    static Instruction rdbmap(int mem_reg, int buf, int grp);
+    static Instruction pbmap(int grp);
+    static Instruction rdind(int row_reg, int col_reg, int grp);
+};
+
+/** Pack @p inst into its 32-bit word. @throws FatalError on
+ *  out-of-range fields. */
+InstWord encode(const Instruction& inst);
+
+/** Unpack a 32-bit word. @throws FatalError on an unknown opcode or
+ *  malformed fields. */
+Instruction decode(InstWord word);
+
+/** Render one instruction in assembly syntax, e.g.
+ *  "matinfo r1, r2, g0" or "rdbmap [r4], 2, g1". */
+std::string toAssembly(const Instruction& inst);
+
+/**
+ * Parse one line of assembly (the inverse of toAssembly). Accepts
+ * flexible whitespace; comments start with '#'.
+ * @throws FatalError on syntax errors
+ */
+Instruction parseAssembly(const std::string& line);
+
+} // namespace smash::isa
+
+#endif // SMASH_ISA_ENCODING_HH

@@ -1,0 +1,56 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace smash::isa
+{
+
+BmuProgram&
+BmuProgram::push(const Instruction& inst)
+{
+    words_.push_back(encode(inst));
+    return *this;
+}
+
+BmuProgram
+BmuProgram::assemble(const std::string& listing)
+{
+    BmuProgram program;
+    std::istringstream is(listing);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::string code = line.substr(0, line.find('#'));
+        if (code.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // blank or comment-only line
+        program.push(parseAssembly(code));
+    }
+    return program;
+}
+
+std::string
+BmuProgram::disassemble() const
+{
+    std::ostringstream os;
+    for (InstWord w : words_)
+        os << toAssembly(decode(w)) << '\n';
+    return os.str();
+}
+
+std::string
+formatTrace(const std::vector<TraceEntry>& trace)
+{
+    std::ostringstream os;
+    for (const TraceEntry& t : trace) {
+        os << t.pc << ": " << toAssembly(t.inst);
+        if (t.inst.op == Opcode::kPbmap)
+            os << (t.pbmapValid ? "   ; block found" : "   ; exhausted");
+        else if (t.inst.op == Opcode::kRdind)
+            os << "   ; row=" << t.rowOut << " col=" << t.colOut;
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace smash::isa

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Programmatic execution of SMASH instruction streams: a register
+ * file, a bitmap address table (standing in for virtual memory) and
+ * an executor that drives a Bmu from encoded instructions. This
+ * closes the loop on the paper's §4.3 claim that the ISA is
+ * "sufficiently rich to express a wide variety of operations": an
+ * indexing routine is literally a program over the five opcodes,
+ * runnable and traceable.
+ */
+
+#ifndef SMASH_ISA_PROGRAM_HH
+#define SMASH_ISA_PROGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/bitmap.hh"
+#include "isa/bmu.hh"
+#include "isa/encoding.hh"
+
+namespace smash::isa
+{
+
+/** An ordered list of encoded SMASH instructions. */
+class BmuProgram
+{
+  public:
+    BmuProgram() = default;
+
+    /** Append an instruction. @return *this for chaining. */
+    BmuProgram& push(const Instruction& inst);
+
+    /** Assemble a multi-line listing ('#' comments, blank lines ok). */
+    static BmuProgram assemble(const std::string& listing);
+
+    std::size_t size() const { return words_.size(); }
+    const std::vector<InstWord>& words() const { return words_; }
+
+    /** Disassemble into one mnemonic per line. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<InstWord> words_;
+};
+
+/** One executed instruction in an execution trace. */
+struct TraceEntry
+{
+    std::size_t pc = 0;       //!< index into the program
+    Instruction inst;         //!< decoded instruction
+    bool pbmapValid = false;  //!< PBMAP only: block found?
+    Index rowOut = -1;        //!< RDIND only: row register value
+    Index colOut = -1;        //!< RDIND only: column register value
+};
+
+/**
+ * Executes BmuPrograms against a Bmu. Registers are 64-bit; the
+ * RDBMAP memory operand is resolved through a bitmap table that
+ * maps an address (register value) to bitmap storage, standing in
+ * for the process address space.
+ */
+template <typename E>
+class BmuExecutor
+{
+  public:
+    BmuExecutor(Bmu& bmu, E& exec)
+        : bmu_(bmu), exec_(exec)
+    {}
+
+    /** Write general-purpose register @p r. */
+    void
+    setRegister(int r, std::uint64_t value)
+    {
+        SMASH_CHECK(r >= 0 && r < kNumRegisters, "register out of range");
+        regs_[static_cast<std::size_t>(r)] = value;
+    }
+
+    std::uint64_t
+    getRegister(int r) const
+    {
+        SMASH_CHECK(r >= 0 && r < kNumRegisters, "register out of range");
+        return regs_[static_cast<std::size_t>(r)];
+    }
+
+    /** Bind address @p addr to @p bitmap for RDBMAP resolution. */
+    void
+    mapBitmap(std::uint64_t addr, const core::Bitmap* bitmap)
+    {
+        bitmaps_[addr] = bitmap;
+    }
+
+    /** True when the last executed PBMAP found a block. */
+    bool lastPbmapValid() const { return last_pbmap_valid_; }
+
+    /**
+     * Execute one instruction.
+     * @return for PBMAP, whether a block was found; true otherwise
+     */
+    bool
+    step(const Instruction& inst)
+    {
+        switch (inst.op) {
+          case Opcode::kMatinfo:
+            bmu_.matinfo(
+                static_cast<Index>(reg(inst.rs1)),
+                static_cast<Index>(reg(inst.rs2)), inst.grp, exec_);
+            return true;
+          case Opcode::kBmapinfo:
+            bmu_.bmapinfo(static_cast<Index>(reg(inst.rs1)), inst.imm4,
+                          inst.grp, exec_);
+            return true;
+          case Opcode::kRdbmap: {
+            auto it = bitmaps_.find(reg(inst.rs1));
+            SMASH_CHECK(it != bitmaps_.end(),
+                        "rdbmap: no bitmap mapped at address ",
+                        reg(inst.rs1));
+            bmu_.rdbmap(it->second, inst.imm4, inst.grp, exec_);
+            return true;
+          }
+          case Opcode::kPbmap:
+            last_pbmap_valid_ = bmu_.pbmap(inst.grp, exec_);
+            return last_pbmap_valid_;
+          case Opcode::kRdind: {
+            Index row = 0, col = 0;
+            bmu_.rdind(row, col, inst.grp, exec_);
+            regs_[static_cast<std::size_t>(inst.rd1)] =
+                static_cast<std::uint64_t>(row);
+            regs_[static_cast<std::size_t>(inst.rd2)] =
+                static_cast<std::uint64_t>(col);
+            return true;
+          }
+        }
+        SMASH_PANIC("unreachable opcode");
+    }
+
+    /**
+     * Run a whole program front to back, optionally recording a
+     * trace. PBMAP results do not alter control flow (the five-
+     * instruction ISA has no branches; loops live in the host
+     * program, as in the paper's Algorithms 1-2).
+     */
+    void
+    run(const BmuProgram& program, std::vector<TraceEntry>* trace = nullptr)
+    {
+        for (std::size_t pc = 0; pc < program.size(); ++pc) {
+            Instruction inst = decode(program.words()[pc]);
+            bool ok = step(inst);
+            if (trace) {
+                TraceEntry entry;
+                entry.pc = pc;
+                entry.inst = inst;
+                if (inst.op == Opcode::kPbmap) {
+                    entry.pbmapValid = ok;
+                } else if (inst.op == Opcode::kRdind) {
+                    entry.rowOut = static_cast<Index>(reg(inst.rd1));
+                    entry.colOut = static_cast<Index>(reg(inst.rd2));
+                }
+                trace->push_back(entry);
+            }
+        }
+    }
+
+  private:
+    std::uint64_t
+    reg(int r) const
+    {
+        return regs_[static_cast<std::size_t>(r)];
+    }
+
+    Bmu& bmu_;
+    E& exec_;
+    std::array<std::uint64_t, kNumRegisters> regs_{};
+    std::unordered_map<std::uint64_t, const core::Bitmap*> bitmaps_;
+    bool last_pbmap_valid_ = false;
+};
+
+/** Render a trace as human-readable lines (for examples/debugging). */
+std::string formatTrace(const std::vector<TraceEntry>& trace);
+
+} // namespace smash::isa
+
+#endif // SMASH_ISA_PROGRAM_HH

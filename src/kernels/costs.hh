@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Central instruction-cost vocabulary for the simulated kernels.
+ *
+ * Every kernel charges its dynamic instructions through these named
+ * constants so the mapping from source construct to retired x86-like
+ * instructions is explicit and calibration lives in one place. The
+ * counts correspond to what a compiler emits for the paper's Code
+ * Listings 1-2 (scalar loop overhead, fused multiply-add as two
+ * arithmetic instructions, AVX-class 4-double vector operations for
+ * block kernels).
+ */
+
+#ifndef SMASH_KERNELS_COSTS_HH
+#define SMASH_KERNELS_COSTS_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace smash::kern::cost
+{
+
+/** mul + add of a scalar multiply-accumulate. */
+inline constexpr int kFma = 2;
+
+/** Loop bookkeeping per iteration: increment + compare/branch. */
+inline constexpr int kLoop = 2;
+
+/** Per-row/column loop bookkeeping (outer loops). */
+inline constexpr int kOuterLoop = 2;
+
+/** Address computation feeding an indexed access. */
+inline constexpr int kAddrCalc = 1;
+
+/** Compare + conditional branch of a merge/index-matching step. */
+inline constexpr int kCompareBranch = 2;
+
+/** Doubles processed per vector lane group (AVX-256). */
+inline constexpr int kVectorWidth = 4;
+
+/** Vector operations needed to cover @p elems doubles. */
+inline int
+vectorOps(Index elems)
+{
+    return static_cast<int>(ceilDiv(static_cast<std::uint64_t>(elems),
+                                    kVectorWidth));
+}
+
+/** Horizontal reduction of one vector accumulator. */
+inline constexpr int kHorizontalReduce = 1;
+
+} // namespace smash::kern::cost
+
+#endif // SMASH_KERNELS_COSTS_HH

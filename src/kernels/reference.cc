@@ -1,0 +1,56 @@
+#include "kernels/reference.hh"
+
+#include "common/logging.hh"
+
+namespace smash::kern
+{
+
+void
+denseSpmv(const fmt::DenseMatrix& a, const std::vector<Value>& x,
+          std::vector<Value>& y)
+{
+    SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
+    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value acc = 0;
+        const Value* row = a.rowData(r);
+        for (Index c = 0; c < a.cols(); ++c)
+            acc += row[c] * x[static_cast<std::size_t>(c)];
+        y[static_cast<std::size_t>(r)] += acc;
+    }
+}
+
+void
+denseSpmm(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+          fmt::DenseMatrix& c)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ: ",
+                a.cols(), " vs ", b.rows());
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+                "output shape mismatch");
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index k = 0; k < a.cols(); ++k) {
+            Value av = a.at(i, k);
+            if (av == Value(0))
+                continue;
+            for (Index j = 0; j < b.cols(); ++j)
+                c.at(i, j) += av * b.at(k, j);
+        }
+    }
+}
+
+void
+denseSpadd(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+           fmt::DenseMatrix& c)
+{
+    SMASH_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "operand shapes differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == a.cols(),
+                "output shape mismatch");
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index col = 0; col < a.cols(); ++col)
+            c.at(r, col) = a.at(r, col) + b.at(r, col);
+    }
+}
+
+} // namespace smash::kern

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Dense reference implementations — the correctness oracles every
+ * sparse kernel variant is validated against in the test suite.
+ */
+
+#ifndef SMASH_KERNELS_REFERENCE_HH
+#define SMASH_KERNELS_REFERENCE_HH
+
+#include <vector>
+
+#include "formats/dense_matrix.hh"
+
+namespace smash::kern
+{
+
+/** y := y + A x over the dense representation. */
+void denseSpmv(const fmt::DenseMatrix& a, const std::vector<Value>& x,
+               std::vector<Value>& y);
+
+/** C := C + A B over the dense representations. */
+void denseSpmm(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+               fmt::DenseMatrix& c);
+
+/** C := A + B over the dense representations. */
+void denseSpadd(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+                fmt::DenseMatrix& c);
+
+} // namespace smash::kern
+
+#endif // SMASH_KERNELS_REFERENCE_HH

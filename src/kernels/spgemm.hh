@@ -1,0 +1,382 @@
+/**
+ * @file
+ * General sparse-times-sparse multiplication (SpGEMM) with sparse
+ * output, C := A B. Two classical dataflows plus the SMASH variants:
+ *
+ *  - spgemmGustavson     row-wise (Gustavson): for each a(i,k),
+ *                        C(i,:) += a(i,k) * B(k,:), merged through a
+ *                        sparse accumulator (SPA)
+ *  - spgemmOuter         outer-product (the OuterSPACE dataflow the
+ *                        paper cites [66]): rank-1 updates
+ *                        col_k(A) x row_k(B)
+ *  - spgemmSmashSw/Hw    Gustavson with A's non-zeros discovered by
+ *                        the SMASH bitmap scan (software CLZ walk or
+ *                        BMU), demonstrating §5.2.1 generality: the
+ *                        same five instructions index a different
+ *                        kernel
+ *
+ * All variants produce CSR output through the same SPA so results
+ * are bit-comparable; the differences are purely in how A's non-zero
+ * positions are discovered and traversed.
+ */
+
+#ifndef SMASH_KERNELS_SPGEMM_HH
+#define SMASH_KERNELS_SPGEMM_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/block_cursor.hh"
+#include "core/smash_matrix.hh"
+#include "formats/csc_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "isa/bmu.hh"
+#include "kernels/costs.hh"
+#include "kernels/util.hh"
+#include "sim/core_model.hh"
+
+namespace smash::kern
+{
+
+/**
+ * Sparse accumulator (SPA): a dense value row plus an occupancy
+ * list, reused across output rows. The standard Gustavson helper —
+ * O(1) scatter, O(row nnz) harvest.
+ */
+class SpaRow
+{
+  public:
+    explicit SpaRow(Index cols)
+        : values_(static_cast<std::size_t>(cols), Value(0)),
+          occupied_(static_cast<std::size_t>(cols), false)
+    {}
+
+    /** Scatter one contribution into column @p c. */
+    template <typename E>
+    void
+    scatter(Index c, Value v, E& e)
+    {
+        auto sc = static_cast<std::size_t>(c);
+        e.load(&occupied_[sc], sizeof(bool), sim::Dep::kDependent);
+        if (!occupied_[sc]) {
+            occupied_[sc] = true;
+            touched_.push_back(c);
+            e.store(&occupied_[sc], sizeof(bool));
+            e.op(cost::kCompareBranch);
+        }
+        values_[sc] += v;
+        e.load(&values_[sc], sizeof(Value));
+        e.store(&values_[sc], sizeof(Value));
+        e.op(cost::kFma);
+    }
+
+    /**
+     * Append the accumulated row to a CSR triple under construction
+     * (sorted by column) and reset for the next row. Zero-valued
+     * results of cancellation are kept, matching what library SpGEMM
+     * implementations emit.
+     */
+    template <typename E>
+    void
+    harvest(std::vector<fmt::CsrIndex>& col_ind, std::vector<Value>& values,
+            E& e)
+    {
+        std::sort(touched_.begin(), touched_.end());
+        // Charge an O(n log n)-ish sort: ~log2(n) compare/swap ops
+        // per touched column.
+        int log_n = 1;
+        for (std::size_t n = touched_.size(); n > 1; n >>= 1)
+            ++log_n;
+        e.op(static_cast<int>(touched_.size()) * log_n);
+        for (Index c : touched_) {
+            auto sc = static_cast<std::size_t>(c);
+            col_ind.push_back(static_cast<fmt::CsrIndex>(c));
+            values.push_back(values_[sc]);
+            e.load(&values_[sc], sizeof(Value));
+            e.store(&values.back(), sizeof(Value));
+            e.op(cost::kLoop);
+            values_[sc] = Value(0);
+            occupied_[sc] = false;
+        }
+        touched_.clear();
+    }
+
+    /** Columns scattered into since the last harvest. */
+    Index touchedCount() const
+    {
+        return static_cast<Index>(touched_.size());
+    }
+
+  private:
+    std::vector<Value> values_;
+    // std::vector<bool> would pack bits; bytes keep the cost model's
+    // one-load-per-flag reading honest.
+    std::vector<unsigned char> occupied_;
+    std::vector<Index> touched_;
+};
+
+/** Row-wise Gustavson SpGEMM: C := A B, all CSR. */
+template <typename E>
+fmt::CsrMatrix
+spgemmGustavson(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    const auto& a_ptr = a.rowPtr();
+    const auto& a_ind = a.colInd();
+    const auto& a_val = a.values();
+    const auto& b_ptr = b.rowPtr();
+    const auto& b_ind = b.colInd();
+    const auto& b_val = b.values();
+
+    std::vector<fmt::CsrIndex> row_ptr{0};
+    std::vector<fmt::CsrIndex> col_ind;
+    std::vector<Value> values;
+    SpaRow spa(b.cols());
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&a_ptr[si + 1], sizeof(fmt::CsrIndex));
+        e.op(cost::kOuterLoop);
+        for (fmt::CsrIndex ka = a_ptr[si]; ka < a_ptr[si + 1]; ++ka) {
+            auto ska = static_cast<std::size_t>(ka);
+            e.load(&a_ind[ska], sizeof(fmt::CsrIndex));
+            e.load(&a_val[ska], sizeof(Value));
+            const Index k = static_cast<Index>(a_ind[ska]);
+            const Value av = a_val[ska];
+            auto sk = static_cast<std::size_t>(k);
+            // Chase into B's row structure through a(i,k)'s index.
+            e.load(&b_ptr[sk + 1], sizeof(fmt::CsrIndex),
+                   sim::Dep::kDependent);
+            for (fmt::CsrIndex kb = b_ptr[sk]; kb < b_ptr[sk + 1]; ++kb) {
+                auto skb = static_cast<std::size_t>(kb);
+                e.load(&b_ind[skb], sizeof(fmt::CsrIndex));
+                e.load(&b_val[skb], sizeof(Value));
+                spa.scatter(static_cast<Index>(b_ind[skb]), av * b_val[skb],
+                            e);
+                e.op(cost::kLoop);
+            }
+            e.op(cost::kLoop);
+        }
+        spa.harvest(col_ind, values, e);
+        row_ptr.push_back(static_cast<fmt::CsrIndex>(col_ind.size()));
+        e.store(&row_ptr.back(), sizeof(fmt::CsrIndex));
+    }
+    return fmt::CsrMatrix::fromRaw(a.rows(), b.cols(), std::move(row_ptr),
+                                   std::move(col_ind), std::move(values));
+}
+
+/**
+ * Outer-product SpGEMM: A in CSC, B in CSR; for every shared index
+ * k, accumulate col_k(A) x row_k(B). One SPA per output row would
+ * thrash, so the canonical formulation accumulates into row-major
+ * list-of-rows and merges at the end; here rows are merged through
+ * per-row SPAs after all rank-1 updates are buffered, keeping the
+ * memory behaviour (scattered partial products) visible to the cost
+ * model while producing canonical CSR.
+ */
+template <typename E>
+fmt::CsrMatrix
+spgemmOuter(const fmt::CscMatrix& a, const fmt::CsrMatrix& b, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    const auto& a_ptr = a.colPtr();
+    const auto& a_ind = a.rowInd();
+    const auto& a_val = a.values();
+    const auto& b_ptr = b.rowPtr();
+    const auto& b_ind = b.colInd();
+    const auto& b_val = b.values();
+
+    // Partial products bucketed by output row.
+    struct Partial { fmt::CsrIndex col; Value v; };
+    std::vector<std::vector<Partial>> buckets(
+        static_cast<std::size_t>(a.rows()));
+
+    for (Index k = 0; k < a.cols(); ++k) {
+        auto sk = static_cast<std::size_t>(k);
+        e.load(&a_ptr[sk + 1], sizeof(fmt::CsrIndex));
+        e.load(&b_ptr[sk + 1], sizeof(fmt::CsrIndex));
+        e.op(cost::kOuterLoop);
+        for (fmt::CsrIndex ia = a_ptr[sk]; ia < a_ptr[sk + 1]; ++ia) {
+            auto sia = static_cast<std::size_t>(ia);
+            e.load(&a_ind[sia], sizeof(fmt::CsrIndex));
+            e.load(&a_val[sia], sizeof(Value));
+            const Index row = static_cast<Index>(a_ind[sia]);
+            const Value av = a_val[sia];
+            auto& bucket = buckets[static_cast<std::size_t>(row)];
+            for (fmt::CsrIndex ib = b_ptr[sk]; ib < b_ptr[sk + 1]; ++ib) {
+                auto sib = static_cast<std::size_t>(ib);
+                e.load(&b_ind[sib], sizeof(fmt::CsrIndex));
+                e.load(&b_val[sib], sizeof(Value));
+                bucket.push_back({b_ind[sib], av * b_val[sib]});
+                // Scattered append through the row index: dependent.
+                e.loadAddr(reinterpret_cast<Addr>(&bucket),
+                           sizeof(void*), sim::Dep::kDependent);
+                e.store(&bucket.back(), sizeof(Partial));
+                e.op(cost::kFma + cost::kLoop);
+            }
+            e.op(cost::kLoop);
+        }
+    }
+
+    // Merge phase: per-row SPA pass over the buffered partials.
+    std::vector<fmt::CsrIndex> row_ptr{0};
+    std::vector<fmt::CsrIndex> col_ind;
+    std::vector<Value> values;
+    SpaRow spa(b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (const Partial& p : buckets[static_cast<std::size_t>(i)]) {
+            e.load(&p, sizeof(Partial));
+            spa.scatter(static_cast<Index>(p.col), p.v, e);
+            e.op(cost::kLoop);
+        }
+        spa.harvest(col_ind, values, e);
+        row_ptr.push_back(static_cast<fmt::CsrIndex>(col_ind.size()));
+        e.op(cost::kOuterLoop);
+    }
+    return fmt::CsrMatrix::fromRaw(a.rows(), b.cols(), std::move(row_ptr),
+                                   std::move(col_ind), std::move(values));
+}
+
+/**
+ * Gustavson SpGEMM with A in the SMASH encoding, scanned in
+ * software (§4.4 CLZ walk). B stays CSR. Each discovered NZA block
+ * contributes blockSize consecutive a(i,k) candidates; in-block
+ * zeros cost one test each, the SMASH storage tradeoff.
+ */
+template <typename E>
+fmt::CsrMatrix
+spgemmSmashSw(const core::SmashMatrix& a, const fmt::CsrMatrix& b, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    const Index bs = a.blockSize();
+    const auto& b_ptr = b.rowPtr();
+    const auto& b_ind = b.colInd();
+    const auto& b_val = b.values();
+
+    std::vector<fmt::CsrIndex> row_ptr{0};
+    std::vector<fmt::CsrIndex> col_ind;
+    std::vector<Value> values;
+    SpaRow spa(b.cols());
+
+    core::BlockCursor cursor(a);
+    cursor.setRecordTouches(E::kSimulated);
+    core::BlockPosition pos;
+    ScanBiller biller(ScanBiller::kSoftwareStreamBase);
+    Index current_row = 0;
+
+    auto finish_rows_until = [&](Index next_row) {
+        while (current_row < next_row) {
+            spa.harvest(col_ind, values, e);
+            row_ptr.push_back(static_cast<fmt::CsrIndex>(col_ind.size()));
+            ++current_row;
+            e.op(cost::kOuterLoop);
+        }
+    };
+
+    while (cursor.next(pos)) {
+        biller.charge(cursor, e);
+        e.op(2 + cost::kAddrCalc); // bit -> (row, colStart)
+        finish_rows_until(pos.row);
+        const Value* block = a.blockData(pos.nzaBlock);
+        e.load(block, static_cast<std::size_t>(bs) * sizeof(Value));
+        for (Index t = 0; t < bs; ++t) {
+            const Index k = pos.colStart + t;
+            const Value av = block[t];
+            e.op(cost::kCompareBranch);
+            if (av == Value(0) || k >= a.cols())
+                continue;
+            auto sk = static_cast<std::size_t>(k);
+            e.load(&b_ptr[sk + 1], sizeof(fmt::CsrIndex));
+            for (fmt::CsrIndex kb = b_ptr[sk]; kb < b_ptr[sk + 1]; ++kb) {
+                auto skb = static_cast<std::size_t>(kb);
+                e.load(&b_ind[skb], sizeof(fmt::CsrIndex));
+                e.load(&b_val[skb], sizeof(Value));
+                spa.scatter(static_cast<Index>(b_ind[skb]), av * b_val[skb],
+                            e);
+                e.op(cost::kLoop);
+            }
+        }
+    }
+    finish_rows_until(a.rows());
+    return fmt::CsrMatrix::fromRaw(a.rows(), b.cols(), std::move(row_ptr),
+                                   std::move(col_ind), std::move(values));
+}
+
+/**
+ * Gustavson SpGEMM with A's blocks discovered by the BMU: the same
+ * structure as spgemmSmashSw, but PBMAP/RDIND replace the software
+ * bitmap walk (§5.2.1 — "the proposed ISA instructions ... regardless
+ * of the computation that will be performed").
+ */
+template <typename E>
+fmt::CsrMatrix
+spgemmSmashHw(const core::SmashMatrix& a, isa::Bmu& bmu,
+              const fmt::CsrMatrix& b, E& e, int grp = 0)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    const Index bs = a.blockSize();
+    const core::HierarchyConfig& cfg = a.config();
+    const auto& b_ptr = b.rowPtr();
+    const auto& b_ind = b.colInd();
+    const auto& b_val = b.values();
+
+    bmu.clearGroup(grp);
+    bmu.matinfo(a.rows(), a.paddedCols(), grp, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.bmapinfo(cfg.ratio(lvl), lvl, grp, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.rdbmap(&a.hierarchy().level(lvl), lvl, grp, e);
+
+    std::vector<fmt::CsrIndex> row_ptr{0};
+    std::vector<fmt::CsrIndex> col_ind;
+    std::vector<Value> values;
+    SpaRow spa(b.cols());
+    Index current_row = 0;
+
+    auto finish_rows_until = [&](Index next_row) {
+        while (current_row < next_row) {
+            spa.harvest(col_ind, values, e);
+            row_ptr.push_back(static_cast<fmt::CsrIndex>(col_ind.size()));
+            ++current_row;
+            e.op(cost::kOuterLoop);
+        }
+    };
+
+    Index row = 0, col0 = 0;
+    Index ctr_nz = 0;
+    while (bmu.pbmap(grp, e)) {
+        bmu.rdind(row, col0, grp, e);
+        finish_rows_until(row);
+        const Value* block = a.blockData(ctr_nz);
+        e.load(block, static_cast<std::size_t>(bs) * sizeof(Value));
+        for (Index t = 0; t < bs; ++t) {
+            const Index k = col0 + t;
+            const Value av = block[t];
+            e.op(cost::kCompareBranch);
+            if (av == Value(0) || k >= a.cols())
+                continue;
+            auto sk = static_cast<std::size_t>(k);
+            e.load(&b_ptr[sk + 1], sizeof(fmt::CsrIndex));
+            for (fmt::CsrIndex kb = b_ptr[sk]; kb < b_ptr[sk + 1]; ++kb) {
+                auto skb = static_cast<std::size_t>(kb);
+                e.load(&b_ind[skb], sizeof(fmt::CsrIndex));
+                e.load(&b_val[skb], sizeof(Value));
+                spa.scatter(static_cast<Index>(b_ind[skb]), av * b_val[skb],
+                            e);
+                e.op(cost::kLoop);
+            }
+        }
+        ++ctr_nz;
+    }
+    SMASH_CHECK(ctr_nz == a.numBlocks(),
+                "BMU scan produced ", ctr_nz, " blocks, expected ",
+                a.numBlocks());
+    finish_rows_until(a.rows());
+    return fmt::CsrMatrix::fromRaw(a.rows(), b.cols(), std::move(row_ptr),
+                                   std::move(col_ind), std::move(values));
+}
+
+} // namespace smash::kern
+
+#endif // SMASH_KERNELS_SPGEMM_HH

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Inner-product Sparse Matrix-Matrix multiplication C := C + A B
+ * with explicit index matching (paper §2.1.2, Fig. 2, Algorithm 2).
+ *
+ *  - spmmCsr       A in CSR, B in CSC; merge col_ind(A) x row_ind(B)
+ *  - spmmCsrIdeal  matching positions known for free (Fig. 3)
+ *  - spmmBcsr      A and B^T tiled (TACO-BCSR baseline)
+ *  - spmmSmashSw   per-row/column Bitmap-0 range scans in software
+ *  - spmmSmashHw   two BMU groups (Algorithm 2), RDBMAP at row/col
+ *                  offsets + PBMAP/RDIND index matching
+ *
+ * SMASH variants take B as the SMASH encoding of B^T (its rows are
+ * B's columns), built with the same block size as A so the index
+ * grids align.
+ */
+
+#ifndef SMASH_KERNELS_SPMM_HH
+#define SMASH_KERNELS_SPMM_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/smash_matrix.hh"
+#include "formats/bcsr_matrix.hh"
+#include "formats/csc_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
+#include "isa/bmu.hh"
+#include "kernels/costs.hh"
+#include "kernels/util.hh"
+#include "sim/core_model.hh"
+
+namespace smash::kern
+{
+
+/** CSR x CSC inner-product SpMM (Code Listing 2). */
+template <typename E>
+void
+spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+        fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+                "output shape mismatch");
+    const auto& a_ptr = a.rowPtr();
+    const auto& a_ind = a.colInd();
+    const auto& a_val = a.values();
+    const auto& b_ptr = b.colPtr();
+    const auto& b_ind = b.rowInd();
+    const auto& b_val = b.values();
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&a_ptr[si + 1], sizeof(fmt::CsrIndex));
+        e.op(cost::kOuterLoop);
+        const fmt::CsrIndex a_begin = a_ptr[si];
+        const fmt::CsrIndex a_end = a_ptr[si + 1];
+        if (a_begin == a_end)
+            continue;
+        for (Index j = 0; j < b.cols(); ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&b_ptr[sj + 1], sizeof(fmt::CsrIndex));
+            e.op(cost::kOuterLoop);
+            fmt::CsrIndex ka = a_begin;
+            fmt::CsrIndex kb = b_ptr[sj];
+            const fmt::CsrIndex b_end = b_ptr[sj + 1];
+            Value acc = 0;
+            // Index matching: two-pointer merge over the position
+            // streams (lines 4-6 of Code Listing 2).
+            while (ka < a_end && kb < b_end) {
+                auto ska = static_cast<std::size_t>(ka);
+                auto skb = static_cast<std::size_t>(kb);
+                e.load(&a_ind[ska], sizeof(fmt::CsrIndex));
+                e.load(&b_ind[skb], sizeof(fmt::CsrIndex));
+                e.op(cost::kCompareBranch);
+                fmt::CsrIndex pa = a_ind[ska];
+                fmt::CsrIndex pb = b_ind[skb];
+                if (pa == pb) {
+                    e.load(&a_val[ska], sizeof(Value));
+                    e.load(&b_val[skb], sizeof(Value));
+                    acc += a_val[ska] * b_val[skb];
+                    e.op(cost::kFma + 2);
+                    ++ka;
+                    ++kb;
+                } else if (pa < pb) {
+                    ++ka;
+                    e.op(1);
+                } else {
+                    ++kb;
+                    e.op(1);
+                }
+            }
+            if (acc != Value(0)) {
+                c.at(i, j) += acc;
+                e.store(&c.at(i, j), sizeof(Value));
+            }
+        }
+    }
+}
+
+/**
+ * Idealized inner-product SpMM (Fig. 3): the matching index pairs
+ * are known for free; only the useful multiplies are charged.
+ */
+template <typename E>
+void
+spmmCsrIdeal(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+             fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+                "output shape mismatch");
+    const auto& a_ptr = a.rowPtr();
+    const auto& a_ind = a.colInd();
+    const auto& a_val = a.values();
+    const auto& b_ptr = b.colPtr();
+    const auto& b_ind = b.rowInd();
+    const auto& b_val = b.values();
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        const fmt::CsrIndex a_begin = a_ptr[si];
+        const fmt::CsrIndex a_end = a_ptr[si + 1];
+        e.op(1);
+        if (a_begin == a_end)
+            continue;
+        for (Index j = 0; j < b.cols(); ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.op(1);
+            fmt::CsrIndex ka = a_begin;
+            fmt::CsrIndex kb = b_ptr[sj];
+            const fmt::CsrIndex b_end = b_ptr[sj + 1];
+            Value acc = 0;
+            while (ka < a_end && kb < b_end) {
+                auto ska = static_cast<std::size_t>(ka);
+                auto skb = static_cast<std::size_t>(kb);
+                fmt::CsrIndex pa = a_ind[ska];
+                fmt::CsrIndex pb = b_ind[skb];
+                if (pa == pb) {
+                    // Only the matched multiply costs anything.
+                    e.load(&a_val[ska], sizeof(Value));
+                    e.load(&b_val[skb], sizeof(Value));
+                    acc += a_val[ska] * b_val[skb];
+                    e.op(cost::kFma);
+                    ++ka;
+                    ++kb;
+                } else if (pa < pb) {
+                    ++ka;
+                } else {
+                    ++kb;
+                }
+            }
+            if (acc != Value(0)) {
+                c.at(i, j) += acc;
+                e.store(&c.at(i, j), sizeof(Value));
+            }
+        }
+    }
+}
+
+/**
+ * Tiled inner-product SpMM: A in BCSR and B^T in BCSR with the same
+ * square tiles. Block-index matching replaces element matching; a
+ * match multiplies two dense tiles (vectorized, including the
+ * stored zeros).
+ *
+ * @param bt BCSR encoding of B-transposed
+ */
+template <typename E>
+void
+spmmBcsr(const fmt::BcsrMatrix& a, const fmt::BcsrMatrix& bt,
+         fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.blockRows() == a.blockCols() &&
+                bt.blockRows() == bt.blockCols() &&
+                a.blockCols() == bt.blockCols(),
+                "spmmBcsr requires equal square tiles");
+    SMASH_CHECK(a.cols() == bt.cols(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == bt.rows(),
+                "output shape mismatch");
+    const Index t = a.blockRows();
+    const auto& a_ptr = a.blockRowPtr();
+    const auto& a_col = a.blockCol();
+    const auto& a_val = a.blockValues();
+    const auto& b_ptr = bt.blockRowPtr();
+    const auto& b_col = bt.blockCol();
+    const auto& b_val = bt.blockValues();
+    const std::size_t tile = static_cast<std::size_t>(t * t);
+    const int tile_vops = cost::vectorOps(t * t * t);
+
+    for (Index i = 0; i < a.numBlockRows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&a_ptr[si + 1], sizeof(fmt::CsrIndex));
+        e.op(cost::kOuterLoop);
+        if (a_ptr[si] == a_ptr[si + 1])
+            continue;
+        for (Index j = 0; j < bt.numBlockRows(); ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&b_ptr[sj + 1], sizeof(fmt::CsrIndex));
+            e.op(cost::kOuterLoop);
+            fmt::CsrIndex ka = a_ptr[si];
+            fmt::CsrIndex kb = b_ptr[sj];
+            const fmt::CsrIndex a_end = a_ptr[si + 1];
+            const fmt::CsrIndex b_end = b_ptr[sj + 1];
+            while (ka < a_end && kb < b_end) {
+                auto ska = static_cast<std::size_t>(ka);
+                auto skb = static_cast<std::size_t>(kb);
+                e.load(&a_col[ska], sizeof(fmt::CsrIndex));
+                e.load(&b_col[skb], sizeof(fmt::CsrIndex));
+                e.op(cost::kCompareBranch);
+                fmt::CsrIndex pa = a_col[ska];
+                fmt::CsrIndex pb = b_col[skb];
+                if (pa == pb) {
+                    const Value* ta = &a_val[ska * tile];
+                    const Value* tb = &b_val[skb * tile];
+                    e.load(ta, tile * sizeof(Value));
+                    e.load(tb, tile * sizeof(Value));
+                    // C(i,j) tile += A tile * (B^T tile)^T.
+                    for (Index lr = 0; lr < t; ++lr) {
+                        Index row = i * t + lr;
+                        if (row >= c.rows())
+                            break;
+                        for (Index lc = 0; lc < t; ++lc) {
+                            Index col = j * t + lc;
+                            if (col >= c.cols())
+                                break;
+                            Value acc = 0;
+                            for (Index kk = 0; kk < t; ++kk) {
+                                acc += ta[lr * t + kk] * tb[lc * t + kk];
+                            }
+                            if (acc != Value(0)) {
+                                c.at(row, col) += acc;
+                                e.store(&c.at(row, col), sizeof(Value));
+                            }
+                        }
+                    }
+                    e.op(2 * tile_vops);
+                    ++ka;
+                    ++kb;
+                } else if (pa < pb) {
+                    ++ka;
+                    e.op(1);
+                } else {
+                    ++kb;
+                    e.op(1);
+                }
+            }
+        }
+    }
+}
+
+namespace detail
+{
+
+/** Dot product of two aligned NZA blocks (vectorized charge). */
+template <typename E>
+Value
+blockDot(const Value* pa, const Value* pb, Index bs, E& e)
+{
+    e.load(pa, static_cast<std::size_t>(bs) * sizeof(Value));
+    e.load(pb, static_cast<std::size_t>(bs) * sizeof(Value));
+    Value acc = 0;
+    for (Index k = 0; k < bs; ++k)
+        acc += pa[k] * pb[k];
+    e.op(2 * cost::vectorOps(bs));
+    return acc;
+}
+
+} // namespace detail
+
+/**
+ * Software-only SMASH SpMM: for every (row of A, row of B^T) pair,
+ * co-scan the two row ranges through the bitmap hierarchy (§4.4
+ * CLZ/AND scanning, billed against the compact streams) and
+ * dot-multiply blocks whose inner-dimension offsets match.
+ */
+template <typename E>
+void
+spmmSmashSw(const core::SmashMatrix& a, const core::SmashMatrix& bt,
+            fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.blockSize() == bt.blockSize(),
+                "operands need a common block size");
+    SMASH_CHECK(a.cols() == bt.cols(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == bt.rows(),
+                "output shape mismatch");
+    const Index bs = a.blockSize();
+    const Index a_bpr = a.paddedCols() / bs;
+    const Index b_bpr = bt.paddedCols() / bs;
+    const std::vector<Index> a_rank = rowBlockRanks(a);
+    const std::vector<Index> b_rank = rowBlockRanks(bt);
+
+    core::BlockCursor cur_a(a);
+    core::BlockCursor cur_b(bt);
+    cur_a.setRecordTouches(E::kSimulated);
+    cur_b.setRecordTouches(E::kSimulated);
+    ScanBiller bill_a(ScanBiller::kSoftwareStreamBase);
+    ScanBiller bill_b(ScanBiller::kSoftwareStreamBase + 0x1'0000'0000ULL);
+
+    core::BlockPosition pa, pb;
+    auto next_a = [&]() {
+        bool ok = cur_a.next(pa);
+        bill_a.charge(cur_a, e);
+        return ok;
+    };
+    auto next_b = [&]() {
+        bool ok = cur_b.next(pb);
+        bill_b.charge(cur_b, e);
+        return ok;
+    };
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        e.op(cost::kOuterLoop);
+        auto sia = static_cast<std::size_t>(i);
+        if (a_rank[sia] == a_rank[sia + 1])
+            continue; // empty row of A
+        for (Index j = 0; j < bt.rows(); ++j) {
+            e.op(cost::kOuterLoop);
+            auto sjb = static_cast<std::size_t>(j);
+            if (b_rank[sjb] == b_rank[sjb + 1])
+                continue; // empty column of B
+            cur_a.beginRange(i * a_bpr, (i + 1) * a_bpr);
+            cur_b.beginRange(j * b_bpr, (j + 1) * b_bpr);
+            bool has_a = next_a();
+            bool has_b = next_b();
+            Value acc = 0;
+            while (has_a && has_b) {
+                // Compare inner-dimension offsets (index matching).
+                e.op(cost::kCompareBranch);
+                if (pa.colStart == pb.colStart) {
+                    acc += detail::blockDot(
+                        a.blockData(a_rank[sia] + pa.nzaBlock),
+                        bt.blockData(b_rank[sjb] + pb.nzaBlock), bs, e);
+                    has_a = next_a();
+                    has_b = next_b();
+                } else if (pa.colStart < pb.colStart) {
+                    has_a = next_a();
+                } else {
+                    has_b = next_b();
+                }
+            }
+            if (acc != Value(0)) {
+                c.at(i, j) += acc;
+                e.store(&c.at(i, j), sizeof(Value));
+            }
+        }
+    }
+}
+
+/**
+ * BMU-accelerated SMASH SpMM (Algorithm 2): group 0 scans A's row
+ * range, group 1 scans B^T's row range; PBMAP/RDIND produce the
+ * inner-dimension offsets the core compares.
+ */
+template <typename E>
+void
+spmmSmashHw(const core::SmashMatrix& a, const core::SmashMatrix& bt,
+            isa::Bmu& bmu, fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.blockSize() == bt.blockSize(),
+                "operands need a common block size");
+    SMASH_CHECK(a.cols() == bt.cols(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == bt.rows(),
+                "output shape mismatch");
+    const Index bs = a.blockSize();
+    const Index a_bpr = a.paddedCols() / bs;
+    const Index b_bpr = bt.paddedCols() / bs;
+    const std::vector<Index> a_rank = rowBlockRanks(a);
+    const std::vector<Index> b_rank = rowBlockRanks(bt);
+
+    // Configuration (Algorithm 2, lines 2-5). The paper's example
+    // uses one level per group for exposition; we configure each
+    // operand's full hierarchy so ranged scans can skip empty
+    // stretches inside long rows.
+    bmu.clearGroup(0);
+    bmu.clearGroup(1);
+    bmu.matinfo(a.rows(), a.paddedCols(), 0, e);
+    bmu.matinfo(bt.rows(), bt.paddedCols(), 1, e);
+    for (int lvl = 0; lvl < a.config().levels(); ++lvl)
+        bmu.bmapinfo(a.config().ratio(lvl), lvl, 0, e);
+    for (int lvl = 0; lvl < bt.config().levels(); ++lvl)
+        bmu.bmapinfo(bt.config().ratio(lvl), lvl, 1, e);
+    for (int lvl = 0; lvl < a.config().levels(); ++lvl)
+        bmu.rdbmap(&a.hierarchy().level(lvl), lvl, 0, e);
+    for (int lvl = 0; lvl < bt.config().levels(); ++lvl)
+        bmu.rdbmap(&bt.hierarchy().level(lvl), lvl, 1, e);
+
+    Index row_a = 0, col_a = 0, row_b = 0, col_b = 0;
+    for (Index i = 0; i < a.rows(); ++i) {
+        e.op(cost::kOuterLoop);
+        auto sia = static_cast<std::size_t>(i);
+        if (a_rank[sia] == a_rank[sia + 1])
+            continue;
+        for (Index j = 0; j < bt.rows(); ++j) {
+            e.op(cost::kOuterLoop);
+            auto sjb = static_cast<std::size_t>(j);
+            if (b_rank[sjb] == b_rank[sjb + 1])
+                continue;
+            // RDBMAP at the row/column offsets (lines 7 and 9).
+            bmu.beginScan(i * a_bpr, (i + 1) * a_bpr, 0, e);
+            bmu.beginScan(j * b_bpr, (j + 1) * b_bpr, 1, e);
+            Index ka = a_rank[sia];
+            Index kb = b_rank[sjb];
+            bool has_a = bmu.pbmap(0, e);
+            bool has_b = bmu.pbmap(1, e);
+            if (has_a)
+                bmu.rdind(row_a, col_a, 0, e);
+            if (has_b)
+                bmu.rdind(row_b, col_b, 1, e);
+            Value acc = 0;
+            while (has_a && has_b) {
+                e.op(cost::kCompareBranch);
+                if (col_a == col_b) {
+                    acc += detail::blockDot(a.blockData(ka),
+                                            bt.blockData(kb), bs, e);
+                    has_a = bmu.pbmap(0, e);
+                    if (has_a)
+                        bmu.rdind(row_a, col_a, 0, e);
+                    has_b = bmu.pbmap(1, e);
+                    if (has_b)
+                        bmu.rdind(row_b, col_b, 1, e);
+                    ++ka;
+                    ++kb;
+                } else if (col_a < col_b) {
+                    has_a = bmu.pbmap(0, e);
+                    if (has_a)
+                        bmu.rdind(row_a, col_a, 0, e);
+                    ++ka;
+                } else {
+                    has_b = bmu.pbmap(1, e);
+                    if (has_b)
+                        bmu.rdind(row_b, col_b, 1, e);
+                    ++kb;
+                }
+            }
+            if (acc != Value(0)) {
+                c.at(i, j) += acc;
+                e.store(&c.at(i, j), sizeof(Value));
+            }
+        }
+    }
+}
+
+} // namespace smash::kern
+
+#endif // SMASH_KERNELS_SPMM_HH

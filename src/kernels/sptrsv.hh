@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Sparse triangular solves (SpTRSV) over CSR — the substrate of the
+ * paper's §5.2.1 "Sparse LU Decomposition" use case. Forward
+ * substitution walks a lower-triangular factor, backward
+ * substitution an upper-triangular one. Like SpMV, every step
+ * chases col_ind into the solution vector, so the indexing cost the
+ * paper targets appears here too.
+ */
+
+#ifndef SMASH_KERNELS_SPTRSV_HH
+#define SMASH_KERNELS_SPTRSV_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "formats/csr_matrix.hh"
+#include "kernels/costs.hh"
+#include "sim/core_model.hh"
+
+namespace smash::kern
+{
+
+/**
+ * Forward substitution x := L^-1 b for lower-triangular L in CSR.
+ * Rows must have their diagonal entry stored last (the natural CSR
+ * order for a lower factor).
+ *
+ * @param unit_diagonal when true the diagonal is implicitly 1 and a
+ *        stored diagonal entry is not expected
+ */
+template <typename E>
+void
+sptrsvLowerCsr(const fmt::CsrMatrix& l, const std::vector<Value>& b,
+               std::vector<Value>& x, E& e, bool unit_diagonal = false)
+{
+    SMASH_CHECK(l.rows() == l.cols(), "L must be square");
+    SMASH_CHECK(static_cast<Index>(b.size()) >= l.rows(), "b too short");
+    SMASH_CHECK(static_cast<Index>(x.size()) >= l.rows(), "x too short");
+    const auto& row_ptr = l.rowPtr();
+    const auto& col_ind = l.colInd();
+    const auto& values = l.values();
+
+    for (Index i = 0; i < l.rows(); ++i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&row_ptr[si + 1], sizeof(fmt::CsrIndex));
+        const fmt::CsrIndex begin = row_ptr[si];
+        const fmt::CsrIndex end = row_ptr[si + 1];
+        Value acc = b[si];
+        e.load(&b[si], sizeof(Value));
+        Value diag = 1;
+        bool have_diag = false;
+        for (fmt::CsrIndex j = begin; j < end; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&col_ind[sj], sizeof(fmt::CsrIndex));
+            e.load(&values[sj], sizeof(Value));
+            const Index c = static_cast<Index>(col_ind[sj]);
+            SMASH_CHECK(c <= i, "entry above the diagonal in L at row ", i);
+            if (c == i) {
+                diag = values[sj];
+                have_diag = true;
+                e.op(cost::kCompareBranch);
+                continue;
+            }
+            // x[c] was produced by earlier rows: a dependent load —
+            // the serial chain that makes SpTRSV latency-bound.
+            e.load(&x[static_cast<std::size_t>(c)], sizeof(Value),
+                   sim::Dep::kDependent);
+            acc -= values[sj] * x[static_cast<std::size_t>(c)];
+            e.op(cost::kFma + cost::kLoop);
+        }
+        if (!unit_diagonal) {
+            SMASH_CHECK(have_diag && diag != Value(0),
+                        "missing or zero diagonal at row ", i);
+            acc /= diag;
+            e.op(1);
+        }
+        x[si] = acc;
+        e.store(&x[si], sizeof(Value));
+        e.op(cost::kOuterLoop);
+    }
+}
+
+/**
+ * Backward substitution x := U^-1 b for upper-triangular U in CSR.
+ * The diagonal entry is each row's first stored element.
+ */
+template <typename E>
+void
+sptrsvUpperCsr(const fmt::CsrMatrix& u, const std::vector<Value>& b,
+               std::vector<Value>& x, E& e)
+{
+    SMASH_CHECK(u.rows() == u.cols(), "U must be square");
+    SMASH_CHECK(static_cast<Index>(b.size()) >= u.rows(), "b too short");
+    SMASH_CHECK(static_cast<Index>(x.size()) >= u.rows(), "x too short");
+    const auto& row_ptr = u.rowPtr();
+    const auto& col_ind = u.colInd();
+    const auto& values = u.values();
+
+    for (Index i = u.rows() - 1; i >= 0; --i) {
+        auto si = static_cast<std::size_t>(i);
+        e.load(&row_ptr[si + 1], sizeof(fmt::CsrIndex));
+        const fmt::CsrIndex begin = row_ptr[si];
+        const fmt::CsrIndex end = row_ptr[si + 1];
+        Value acc = b[si];
+        e.load(&b[si], sizeof(Value));
+        Value diag = 0;
+        bool have_diag = false;
+        for (fmt::CsrIndex j = begin; j < end; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            e.load(&col_ind[sj], sizeof(fmt::CsrIndex));
+            e.load(&values[sj], sizeof(Value));
+            const Index c = static_cast<Index>(col_ind[sj]);
+            SMASH_CHECK(c >= i, "entry below the diagonal in U at row ", i);
+            if (c == i) {
+                diag = values[sj];
+                have_diag = true;
+                e.op(cost::kCompareBranch);
+                continue;
+            }
+            e.load(&x[static_cast<std::size_t>(c)], sizeof(Value),
+                   sim::Dep::kDependent);
+            acc -= values[sj] * x[static_cast<std::size_t>(c)];
+            e.op(cost::kFma + cost::kLoop);
+        }
+        SMASH_CHECK(have_diag && diag != Value(0),
+                    "missing or zero diagonal at row ", i);
+        x[si] = acc / diag;
+        e.op(1);
+        e.store(&x[si], sizeof(Value));
+        e.op(cost::kOuterLoop);
+    }
+}
+
+} // namespace smash::kern
+
+#endif // SMASH_KERNELS_SPTRSV_HH

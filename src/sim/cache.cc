@@ -1,0 +1,108 @@
+#include "sim/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace smash::sim
+{
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config)
+{
+    SMASH_CHECK(config.ways > 0, "cache needs at least one way");
+    SMASH_CHECK(config.sizeBytes %
+                (static_cast<std::size_t>(config.ways) * kCacheLineBytes)
+                == 0,
+                config.name, ": size must be a multiple of ways*lineSize");
+    numSets_ = static_cast<int>(
+        config.sizeBytes /
+        (static_cast<std::size_t>(config.ways) * kCacheLineBytes));
+    SMASH_CHECK(numSets_ > 0, config.name, ": zero sets");
+    lines_.resize(static_cast<std::size_t>(numSets_) *
+                  static_cast<std::size_t>(config.ways));
+}
+
+Cache::Line*
+Cache::findLine(Addr tag, std::size_t set)
+{
+    Line* base = lines_.data() + set * static_cast<std::size_t>(config_.ways);
+    for (int w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line*
+Cache::findLine(Addr tag, std::size_t set) const
+{
+    return const_cast<Cache*>(this)->findLine(tag, set);
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++stats_.accesses;
+    Addr line = lineOf(addr);
+    Line* hit = findLine(line, setOf(line));
+    if (hit) {
+        hit->lastUse = ++useClock_;
+        if (hit->prefetched) {
+            ++stats_.prefetchHits;
+            hit->prefetched = false; // count first demand use only
+        }
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+Cache::insert(Addr addr, bool prefetched)
+{
+    Addr line = lineOf(addr);
+    std::size_t set = setOf(line);
+    Line* base = lines_.data() + set * static_cast<std::size_t>(config_.ways);
+    Line* victim = base;
+    for (int w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->prefetched = prefetched;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Cache::prefetchInsert(Addr addr)
+{
+    Addr line = lineOf(addr);
+    if (findLine(line, setOf(line)))
+        return; // already resident
+    insert(addr, true);
+    ++stats_.prefetchInserts;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    Addr line = lineOf(addr);
+    return findLine(line, setOf(line)) != nullptr;
+}
+
+void
+Cache::flush(bool reset_stats)
+{
+    for (Line& line : lines_)
+        line = Line{};
+    useClock_ = 0;
+    if (reset_stats)
+        stats_ = CacheStats{};
+}
+
+} // namespace smash::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A set-associative cache level with LRU replacement, modelled after
+ * the zsim configuration in the paper's Table 2 (64 B lines, LRU,
+ * per-level stride prefetcher). Only hit/miss state is tracked —
+ * data values live in host memory; the model decides latency.
+ */
+
+#ifndef SMASH_SIM_CACHE_HH
+#define SMASH_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::sim
+{
+
+/** Static geometry/latency of one cache level. */
+struct CacheConfig
+{
+    const char* name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    int ways = 8;
+    Cycles latency = 2;       //!< access latency of this level
+    bool prefetcher = true;   //!< attach a stride prefetcher
+};
+
+/** Hit/miss counters of one cache level. */
+struct CacheStats
+{
+    Counter accesses = 0;
+    Counter misses = 0;
+    Counter prefetchInserts = 0;
+    Counter prefetchHits = 0; //!< demand hits on prefetched lines
+};
+
+/** Set-associative LRU cache (tag store only). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& config);
+
+    /**
+     * Look up the line containing @p addr, updating recency.
+     * @retval true hit
+     */
+    bool access(Addr addr);
+
+    /** Insert the line containing @p addr (LRU victim evicted). */
+    void insert(Addr addr, bool prefetched = false);
+
+    /** Insert without an access having occurred (prefetch fill). */
+    void prefetchInsert(Addr addr);
+
+    /** True when the line is resident (no recency update). */
+    bool contains(Addr addr) const;
+
+    /** Forget all lines and (optionally) zero the statistics. */
+    void flush(bool reset_stats = false);
+
+    const CacheConfig& config() const { return config_; }
+    const CacheStats& stats() const { return stats_; }
+
+    int numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool prefetched = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line* findLine(Addr tag, std::size_t set);
+    const Line* findLine(Addr tag, std::size_t set) const;
+
+    Addr lineOf(Addr addr) const { return addr / kCacheLineBytes; }
+    std::size_t setOf(Addr line) const
+    {
+        return static_cast<std::size_t>(line) % numSets_;
+    }
+
+    CacheConfig config_;
+    int numSets_;
+    std::vector<Line> lines_; // numSets * ways, set-major
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_CACHE_HH

@@ -1,0 +1,57 @@
+#include "sim/core_model.hh"
+
+#include "common/logging.hh"
+
+namespace smash::sim
+{
+
+CoreModel::CoreModel(const CoreConfig& config)
+    : config_(config)
+{
+    SMASH_CHECK(config.issueWidth > 0, "issue width must be positive");
+    SMASH_CHECK(config.mlp >= 1.0, "MLP factor must be >= 1");
+}
+
+void
+CoreModel::finishLoad(Cycles latency, Cycles l1_latency, Dep dep)
+{
+    ++instructions_;
+    ++loads_;
+    if (dep == Dep::kDependent)
+        ++dependentLoads_;
+    if (latency <= l1_latency)
+        return; // hit latency is covered by the pipeline
+    double exposed = static_cast<double>(latency - l1_latency);
+    if (dep == Dep::kDependent) {
+        stallCycles_ += exposed;
+    } else {
+        stallCycles_ += exposed / config_.mlp;
+    }
+}
+
+void
+CoreModel::deviceStall(Cycles latency, Cycles l1_latency)
+{
+    if (latency <= l1_latency)
+        return;
+    stallCycles_ += static_cast<double>(latency - l1_latency) / config_.mlp;
+}
+
+double
+CoreModel::cycles() const
+{
+    return static_cast<double>(instructions_) /
+        static_cast<double>(config_.issueWidth) + stallCycles_;
+}
+
+void
+CoreModel::reset()
+{
+    instructions_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+    dependentLoads_ = 0;
+    stallCycles_ = 0.0;
+}
+
+} // namespace smash::sim

@@ -1,0 +1,48 @@
+#include "sim/dram.hh"
+
+#include "common/logging.hh"
+
+namespace smash::sim
+{
+
+DramModel::DramModel(const DramConfig& config)
+    : config_(config)
+{
+    SMASH_CHECK(config.banks > 0 &&
+                config.banks <= static_cast<int>(openRow_.size()),
+                "bank count ", config.banks, " out of range");
+    SMASH_CHECK(config.rowBytes >= kCacheLineBytes,
+                "row must hold at least one line");
+    reset();
+}
+
+Cycles
+DramModel::access(Addr addr)
+{
+    ++stats_.reads;
+    // Row-granularity bank interleaving: consecutive rows map to
+    // consecutive banks, lines within a row stay in one bank.
+    Addr row_global = addr / config_.rowBytes;
+    std::size_t bank =
+        static_cast<std::size_t>(row_global %
+                                 static_cast<Addr>(config_.banks));
+    std::int64_t row = static_cast<std::int64_t>(
+        row_global / static_cast<Addr>(config_.banks));
+    if (openRow_[bank] == row) {
+        ++stats_.rowHits;
+        return config_.rowHitLatency;
+    }
+    ++stats_.rowMisses;
+    openRow_[bank] = row;
+    return config_.rowMissLatency;
+}
+
+void
+DramModel::reset(bool reset_stats)
+{
+    openRow_.fill(kNoRow);
+    if (reset_stats)
+        stats_ = DramStats{};
+}
+
+} // namespace smash::sim

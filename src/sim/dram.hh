@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAM timing model: one channel, 16 banks, open-row policy
+ * (Table 2). A row-buffer hit costs column access only; a conflict
+ * adds precharge + activate. Addresses interleave across banks at
+ * row granularity so streaming accesses hit open rows.
+ */
+
+#ifndef SMASH_SIM_DRAM_HH
+#define SMASH_SIM_DRAM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace smash::sim
+{
+
+/** DRAM timing/geometry parameters (CPU-cycle units). */
+struct DramConfig
+{
+    int banks = 16;
+    std::size_t rowBytes = 8 * 1024; //!< row-buffer size per bank
+    Cycles rowHitLatency = 110;      //!< CAS only
+    Cycles rowMissLatency = 170;     //!< precharge + activate + CAS
+};
+
+/** DRAM access counters. */
+struct DramStats
+{
+    Counter reads = 0;
+    Counter rowHits = 0;
+    Counter rowMisses = 0;
+};
+
+/** Open-row DRAM bank model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig& config = DramConfig{});
+
+    /** Latency of fetching the line containing @p addr. */
+    Cycles access(Addr addr);
+
+    const DramConfig& config() const { return config_; }
+    const DramStats& stats() const { return stats_; }
+
+    /** Close all row buffers and optionally zero statistics. */
+    void reset(bool reset_stats = false);
+
+  private:
+    static constexpr std::int64_t kNoRow = -1;
+
+    DramConfig config_;
+    std::array<std::int64_t, 64> openRow_{}; //!< per-bank open row id
+    DramStats stats_;
+};
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_DRAM_HH

@@ -1,0 +1,44 @@
+#include "sim/energy.hh"
+
+#include <sstream>
+
+namespace smash::sim
+{
+
+EnergyBreakdown
+energyOf(const Machine& machine, const EnergyConfig& config,
+         const BmuActivity* bmu)
+{
+    EnergyBreakdown out;
+    out.corePj = config.instructionPj *
+        static_cast<double>(machine.core().instructions());
+    const MemoryHierarchy& mem = machine.memory();
+    out.l1Pj = config.l1AccessPj *
+        static_cast<double>(mem.l1().stats().accesses);
+    out.l2Pj = config.l2AccessPj *
+        static_cast<double>(mem.l2().stats().accesses);
+    out.l3Pj = config.l3AccessPj *
+        static_cast<double>(mem.l3().stats().accesses);
+    out.dramPj = config.dramAccessPj *
+        static_cast<double>(mem.dram().stats().reads);
+    if (bmu) {
+        out.bmuPj = config.bmuWordScanPj *
+            static_cast<double>(bmu->wordsScanned) +
+            config.bmuRefillPj * static_cast<double>(bmu->bufferRefills);
+    }
+    return out;
+}
+
+std::string
+toString(const EnergyBreakdown& b)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << "core " << b.corePj / 1e3 << " nJ, L1 " << b.l1Pj / 1e3
+       << " nJ, L2 " << b.l2Pj / 1e3 << " nJ, L3 " << b.l3Pj / 1e3
+       << " nJ, DRAM " << b.dramPj / 1e3 << " nJ, BMU " << b.bmuPj / 1e3
+       << " nJ; total " << b.totalNj() << " nJ";
+    return os.str();
+}
+
+} // namespace smash::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * First-order energy model over the simulated machine's activity
+ * counters. The paper evaluates performance and area but argues
+ * efficiency throughout ("performance and energy efficiency", §8);
+ * this model quantifies that claim: instruction energy scales with
+ * retired instructions, memory energy with per-level access counts,
+ * and the BMU contributes its SRAM scan energy.
+ *
+ * Per-event energies are CACTI-class estimates for a ~22 nm node
+ * (same technology class the paper's CACTI 6.5 area numbers use);
+ * absolute joules are not the point — relative totals across
+ * schemes on identical work are.
+ */
+
+#ifndef SMASH_SIM_ENERGY_HH
+#define SMASH_SIM_ENERGY_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace smash::sim
+{
+
+/**
+ * BMU activity counters relevant to energy (mirrors the fields of
+ * isa::BmuStats without creating a sim -> isa dependency; callers
+ * copy the two counters over).
+ */
+struct BmuActivity
+{
+    Counter wordsScanned = 0;
+    Counter bufferRefills = 0;
+};
+
+/** Per-event energy costs in picojoules. */
+struct EnergyConfig
+{
+    double instructionPj = 6.0;  //!< average per retired instruction
+                                 //!< (OOO pipeline overhead included)
+    double l1AccessPj = 1.5;     //!< 32 KB 8-way read
+    double l2AccessPj = 8.0;     //!< 256 KB 8-way read
+    double l3AccessPj = 22.0;    //!< 1 MB 16-way slice read
+    double dramAccessPj = 640.0; //!< 64-byte DDR4 line transfer
+    double bmuWordScanPj = 0.4;  //!< 64-bit SRAM word scan + CLZ
+    double bmuRefillPj = 4.0;    //!< one SRAM buffer-window refill
+};
+
+/** Energy totals broken down by component (picojoules). */
+struct EnergyBreakdown
+{
+    double corePj = 0.0;
+    double l1Pj = 0.0;
+    double l2Pj = 0.0;
+    double l3Pj = 0.0;
+    double dramPj = 0.0;
+    double bmuPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return corePj + l1Pj + l2Pj + l3Pj + dramPj + bmuPj;
+    }
+
+    /** Total in nanojoules (readability in reports). */
+    double totalNj() const { return totalPj() / 1e3; }
+};
+
+/**
+ * Compute the energy breakdown of everything @p machine has
+ * executed since its last reset. Cache energy is charged per
+ * *access at that level* (L2 is touched only on L1 misses, etc.),
+ * which the hierarchy's hit counters encode directly.
+ *
+ * @param bmu optional: adds BMU scan/refill energy (SMASH-HW runs)
+ */
+EnergyBreakdown energyOf(const Machine& machine,
+                         const EnergyConfig& config = EnergyConfig{},
+                         const BmuActivity* bmu = nullptr);
+
+/** One-line textual rendering (component -> nJ) for benches. */
+std::string toString(const EnergyBreakdown& breakdown);
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_ENERGY_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Execution-model policies. Every kernel in src/kernels is a
+ * template over one of these: the same source runs natively (empty
+ * hooks, full compiler optimization — used for wall-clock benches
+ * and correctness tests) or under simulation (each hook charges the
+ * cost model).
+ *
+ * Hook vocabulary:
+ *   op(n)                — n register/ALU/branch instructions
+ *   load(ptr, bytes, d)  — one load; d marks pointer-chasing loads
+ *   store(ptr, bytes)    — one store
+ *   deviceFetch(p, b)    — BMU-generated traffic (no instruction)
+ */
+
+#ifndef SMASH_SIM_EXEC_MODEL_HH
+#define SMASH_SIM_EXEC_MODEL_HH
+
+#include <cstddef>
+
+#include "sim/machine.hh"
+
+namespace smash::sim
+{
+
+/** Zero-cost hooks: the kernel runs at native speed. */
+class NativeExec
+{
+  public:
+    static constexpr bool kSimulated = false;
+
+    void op(int /*n*/ = 1) {}
+    void load(const void* /*p*/, std::size_t /*bytes*/,
+              Dep /*dep*/ = Dep::kIndependent) {}
+    void store(const void* /*p*/, std::size_t /*bytes*/) {}
+    void deviceFetch(const void* /*p*/, std::size_t /*bytes*/) {}
+    /** Synthetic-address variants: model accesses to storage that
+     *  has no host backing (the compacted bitmap streams). */
+    void loadAddr(Addr /*a*/, std::size_t /*bytes*/,
+                  Dep /*dep*/ = Dep::kIndependent) {}
+    void deviceFetchAddr(Addr /*a*/, std::size_t /*bytes*/) {}
+};
+
+/** Hooks that drive a Machine's cost model. */
+class SimExec
+{
+  public:
+    static constexpr bool kSimulated = true;
+
+    explicit SimExec(Machine& machine)
+        : machine_(machine)
+    {}
+
+    void
+    op(int n = 1)
+    {
+        machine_.op(n);
+    }
+
+    void
+    load(const void* p, std::size_t bytes, Dep dep = Dep::kIndependent)
+    {
+        machine_.load(reinterpret_cast<Addr>(p), bytes, dep);
+    }
+
+    void
+    store(const void* p, std::size_t bytes)
+    {
+        machine_.store(reinterpret_cast<Addr>(p), bytes);
+    }
+
+    void
+    deviceFetch(const void* p, std::size_t bytes)
+    {
+        machine_.deviceFetch(reinterpret_cast<Addr>(p), bytes);
+    }
+
+    void
+    loadAddr(Addr a, std::size_t bytes, Dep dep = Dep::kIndependent)
+    {
+        machine_.load(a, bytes, dep);
+    }
+
+    void
+    deviceFetchAddr(Addr a, std::size_t bytes)
+    {
+        machine_.deviceFetch(a, bytes);
+    }
+
+    Machine& machine() { return machine_; }
+
+  private:
+    Machine& machine_;
+};
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_EXEC_MODEL_HH

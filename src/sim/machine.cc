@@ -1,0 +1,82 @@
+#include "sim/machine.hh"
+
+namespace smash::sim
+{
+
+Machine::Machine(const CoreConfig& core, const MemoryConfig& mem)
+    : core_(core), memory_(mem)
+{
+}
+
+void
+Machine::load(Addr addr, std::size_t bytes, Dep dep)
+{
+    if (bytes == 0)
+        bytes = 1;
+    Addr first_line = addr / kCacheLineBytes;
+    Addr last_line = (addr + bytes - 1) / kCacheLineBytes;
+    Cycles worst = 0;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        Cycles lat = memory_.access(line * kCacheLineBytes);
+        worst = lat > worst ? lat : worst;
+    }
+    core_.finishLoad(worst, memory_.l1Latency(), dep);
+}
+
+void
+Machine::store(Addr addr, std::size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    Addr first_line = addr / kCacheLineBytes;
+    Addr last_line = (addr + bytes - 1) / kCacheLineBytes;
+    for (Addr line = first_line; line <= last_line; ++line)
+        memory_.access(line * kCacheLineBytes);
+    core_.finishStore();
+}
+
+void
+Machine::deviceFetch(Addr addr, std::size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    Addr first_line = addr / kCacheLineBytes;
+    Addr last_line = (addr + bytes - 1) / kCacheLineBytes;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        Cycles lat = memory_.access(line * kCacheLineBytes);
+        // The fill overlaps with the core like an independent miss
+        // stream, but retires no instruction.
+        core_.deviceStall(lat, memory_.l1Latency());
+    }
+}
+
+MachineSnapshot
+Machine::snapshot() const
+{
+    MachineSnapshot s;
+    s.instructions = core_.instructions();
+    s.cycles = core_.cycles();
+    s.loads = core_.loads();
+    s.dramReads = memory_.dram().stats().reads;
+    return s;
+}
+
+MachineDelta
+Machine::delta(const MachineSnapshot& before, const MachineSnapshot& after)
+{
+    MachineDelta d;
+    d.instructions = after.instructions - before.instructions;
+    d.cycles = after.cycles - before.cycles;
+    d.loads = after.loads - before.loads;
+    d.dramReads = after.dramReads - before.dramReads;
+    return d;
+}
+
+void
+Machine::reset()
+{
+    core_.reset();
+    memory_.reset(true);
+}
+
+} // namespace smash::sim

@@ -1,0 +1,102 @@
+#include "sim/memory_hierarchy.hh"
+
+namespace smash::sim
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig& config)
+    : l1_(config.l1), l2_(config.l2), l3_(config.l3), dram_(config.dram)
+{
+}
+
+Cycles
+MemoryHierarchy::access(Addr addr, HitLevel* level_out)
+{
+    ++stats_.accesses;
+
+    HitLevel level;
+    Cycles latency;
+    if (l1_.access(addr)) {
+        level = HitLevel::kL1;
+        latency = l1_.config().latency;
+    } else if (l2_.access(addr)) {
+        level = HitLevel::kL2;
+        latency = l1_.config().latency + l2_.config().latency;
+        l1_.insert(addr);
+    } else if (l3_.access(addr)) {
+        level = HitLevel::kL3;
+        latency = l1_.config().latency + l2_.config().latency +
+            l3_.config().latency;
+        l2_.insert(addr);
+        l1_.insert(addr);
+    } else {
+        level = HitLevel::kDram;
+        latency = l1_.config().latency + l2_.config().latency +
+            l3_.config().latency + dram_.access(addr);
+        l3_.insert(addr);
+        l2_.insert(addr);
+        l1_.insert(addr);
+    }
+    ++stats_.hitsAt[static_cast<std::size_t>(level)];
+    if (level_out)
+        *level_out = level;
+
+    // The innermost enabled prefetcher observes the demand stream;
+    // its fills propagate outward, which subsumes what the outer
+    // levels' stride prefetchers would learn from the same stream
+    // (Table 2 attaches one per level; modelling the innermost one
+    // keeps the behaviour while saving two table walks per access).
+    if (l1_.config().prefetcher) {
+        runPrefetcher(l1_, pfL1_, addr);
+    } else if (l2_.config().prefetcher) {
+        runPrefetcher(l2_, pfL2_, addr);
+    } else if (l3_.config().prefetcher) {
+        runPrefetcher(l3_, pfL3_, addr);
+    }
+
+    return latency;
+}
+
+void
+MemoryHierarchy::runPrefetcher(Cache& cache, StridePrefetcher& pf, Addr addr)
+{
+    std::array<Addr, StridePrefetcher::kMaxIssue> targets;
+    int n = pf.observe(addr, targets);
+    for (int i = 0; i < n; ++i) {
+        cache.prefetchInsert(targets[static_cast<std::size_t>(i)]);
+        // A prefetch into an inner level also warms the outer ones,
+        // as the fill travels through them.
+        if (&cache == &l1_) {
+            l2_.prefetchInsert(targets[static_cast<std::size_t>(i)]);
+            l3_.prefetchInsert(targets[static_cast<std::size_t>(i)]);
+        } else if (&cache == &l2_) {
+            l3_.prefetchInsert(targets[static_cast<std::size_t>(i)]);
+        }
+    }
+}
+
+void
+MemoryHierarchy::prefetchFill(int level, Addr addr)
+{
+    if (level <= 0)
+        l1_.prefetchInsert(addr);
+    if (level <= 1)
+        l2_.prefetchInsert(addr);
+    if (level <= 2)
+        l3_.prefetchInsert(addr);
+}
+
+void
+MemoryHierarchy::reset(bool reset_stats)
+{
+    l1_.flush(reset_stats);
+    l2_.flush(reset_stats);
+    l3_.flush(reset_stats);
+    dram_.reset(reset_stats);
+    pfL1_.reset();
+    pfL2_.reset();
+    pfL3_.reset();
+    if (reset_stats)
+        stats_ = MemoryStats{};
+}
+
+} // namespace smash::sim

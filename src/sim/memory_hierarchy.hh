@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Three-level cache hierarchy + DRAM, configured per the paper's
+ * Table 2 (32 KB L1 / 256 KB L2 / 1 MB L3, 64 B lines, LRU, stride
+ * prefetchers, DDR4 open-row). access() walks the levels, fills on
+ * the way back, runs each level's prefetcher, and returns the load-
+ * to-use latency the core model turns into stall cycles.
+ */
+
+#ifndef SMASH_SIM_MEMORY_HIERARCHY_HH
+#define SMASH_SIM_MEMORY_HIERARCHY_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/dram.hh"
+#include "sim/prefetcher.hh"
+
+namespace smash::sim
+{
+
+/** Whole-hierarchy configuration (defaults = paper Table 2). */
+struct MemoryConfig
+{
+    CacheConfig l1{"L1", 32 * 1024, 8, 2, true};
+    CacheConfig l2{"L2", 256 * 1024, 8, 8, true};
+    CacheConfig l3{"L3", 1024 * 1024, 16, 20, true};
+    DramConfig dram{};
+};
+
+/** Where a demand access was satisfied. */
+enum class HitLevel { kL1, kL2, kL3, kDram };
+
+/** Aggregate demand-access counters. */
+struct MemoryStats
+{
+    Counter accesses = 0;
+    std::array<Counter, 4> hitsAt{}; //!< indexed by HitLevel
+};
+
+/** The cache/DRAM stack behind the simulated core. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryConfig& config = MemoryConfig{});
+
+    /**
+     * Perform one demand access (line granularity).
+     * @param addr byte address
+     * @param level_out optional: where the access hit
+     * @return load-to-use latency in cycles
+     */
+    Cycles access(Addr addr, HitLevel* level_out = nullptr);
+
+    /** Latency of an L1 hit (pipeline-covered baseline). */
+    Cycles l1Latency() const { return l1_.config().latency; }
+
+    const Cache& l1() const { return l1_; }
+    const Cache& l2() const { return l2_; }
+    const Cache& l3() const { return l3_; }
+    const DramModel& dram() const { return dram_; }
+    const MemoryStats& stats() const { return stats_; }
+
+    /** Invalidate everything (fresh run) and optionally zero stats. */
+    void reset(bool reset_stats = true);
+
+  private:
+    /** Run @p cache's prefetcher for a demand access to @p addr. */
+    void runPrefetcher(Cache& cache, StridePrefetcher& pf, Addr addr);
+
+    /** Fill @p addr into a level as a prefetch, modelling the fetch
+     *  from the levels below (no latency charged to the core). */
+    void prefetchFill(int level, Addr addr);
+
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+    DramModel dram_;
+    StridePrefetcher pfL1_;
+    StridePrefetcher pfL2_;
+    StridePrefetcher pfL3_;
+    MemoryStats stats_;
+};
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_MEMORY_HIERARCHY_HH

@@ -1,0 +1,83 @@
+#include "sim/prefetcher.hh"
+
+#include <cstdlib>
+
+namespace smash::sim
+{
+
+int
+StridePrefetcher::observe(Addr addr, std::array<Addr, kMaxIssue>& out)
+{
+    const Addr line = addr / kCacheLineBytes;
+    ++useClock_;
+
+    // Find the stream this access extends: the one whose last line
+    // is within kMaxStride of it.
+    Stream* match = nullptr;
+    for (Stream& s : streams_) {
+        if (!s.valid)
+            continue;
+        std::int64_t delta = static_cast<std::int64_t>(line) -
+            static_cast<std::int64_t>(s.lastLine);
+        if (delta != 0 && std::llabs(delta) <= kMaxStride) {
+            match = &s;
+            break;
+        }
+        if (delta == 0) {
+            s.lastUse = useClock_;
+            return 0; // same line again: nothing to learn
+        }
+    }
+
+    if (!match) {
+        // Allocate (LRU) a fresh stream with unknown stride.
+        Stream* victim = &streams_[0];
+        for (Stream& s : streams_) {
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        *victim = Stream{line, 0, 0, true, useClock_};
+        return 0;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(match->lastLine);
+    if (match->stride == delta) {
+        if (++match->confidence == 2)
+            ++stats_.trained;
+    } else {
+        match->stride = delta;
+        match->confidence = 0;
+    }
+    match->lastLine = line;
+    match->lastUse = useClock_;
+
+    if (match->confidence < 2)
+        return 0;
+
+    // Trained: run kDistance lines ahead, issuing up to kMaxIssue.
+    int issued = 0;
+    for (int i = 1; i <= kMaxIssue; ++i) {
+        std::int64_t target = static_cast<std::int64_t>(line) +
+            match->stride * (kDistance + i - 1);
+        if (target < 0)
+            break;
+        out[static_cast<std::size_t>(issued++)] =
+            static_cast<Addr>(target) * kCacheLineBytes;
+        ++stats_.issued;
+    }
+    return issued;
+}
+
+void
+StridePrefetcher::reset()
+{
+    streams_ = {};
+    useClock_ = 0;
+}
+
+} // namespace smash::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stream/stride prefetcher (Table 2 attaches one to every cache
+ * level). Tracks a small table of access streams; once a stream
+ * shows a stable line stride it issues prefetches ahead of the
+ * demand stream. Sequential CSR/NZA/bitmap traffic trains it within
+ * a couple of lines; irregular x-vector gathers never do — which is
+ * precisely the asymmetry the paper's indexing argument relies on.
+ */
+
+#ifndef SMASH_SIM_PREFETCHER_HH
+#define SMASH_SIM_PREFETCHER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace smash::sim
+{
+
+/** Prefetcher activity counters. */
+struct PrefetcherStats
+{
+    Counter trained = 0;  //!< streams that reached a stable stride
+    Counter issued = 0;   //!< prefetch requests emitted
+};
+
+/**
+ * Table-based stride prefetcher operating on cache-line numbers.
+ * On each demand access the owner calls observe(); any returned
+ * lines should be inserted into the owning cache.
+ */
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher() = default;
+
+    /** Maximum prefetches returned by a single observe() call. */
+    static constexpr int kMaxIssue = 2;
+
+    /**
+     * Record a demand access to @p addr.
+     * @param out filled with up to kMaxIssue prefetch addresses
+     * @return number of prefetch addresses written to @p out
+     */
+    int observe(Addr addr, std::array<Addr, kMaxIssue>& out);
+
+    const PrefetcherStats& stats() const { return stats_; }
+
+    /** Drop all training state. */
+    void reset();
+
+  private:
+    static constexpr int kStreams = 16;
+    /** Strides larger than this never train (not a stream). */
+    static constexpr std::int64_t kMaxStride = 8;
+    /** Lines to run ahead of a trained stream. */
+    static constexpr std::int64_t kDistance = 4;
+
+    struct Stream
+    {
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        int confidence = 0; //!< consecutive stride confirmations
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::array<Stream, kStreams> streams_{};
+    std::uint64_t useClock_ = 0;
+    PrefetcherStats stats_;
+};
+
+} // namespace smash::sim
+
+#endif // SMASH_SIM_PREFETCHER_HH

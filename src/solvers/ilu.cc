@@ -1,0 +1,120 @@
+#include "solvers/ilu.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smash::solve
+{
+
+Ilu0Factors
+ilu0(const fmt::CsrMatrix& a)
+{
+    SMASH_CHECK(a.rows() == a.cols(), "ILU(0) requires a square matrix");
+    const Index n = a.rows();
+    const auto& row_ptr = a.rowPtr();
+    const auto& col_ind = a.colInd();
+
+    // Working copy of the values; the pattern never changes.
+    std::vector<Value> val = a.values();
+
+    // Position of each row's diagonal entry in the CSR arrays.
+    std::vector<fmt::CsrIndex> diag_pos(static_cast<std::size_t>(n), -1);
+    for (Index i = 0; i < n; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        for (fmt::CsrIndex j = row_ptr[si]; j < row_ptr[si + 1]; ++j) {
+            if (col_ind[static_cast<std::size_t>(j)] ==
+                static_cast<fmt::CsrIndex>(i)) {
+                diag_pos[si] = j;
+                break;
+            }
+        }
+        SMASH_CHECK(diag_pos[si] >= 0,
+                    "ILU(0): row ", i, " has no stored diagonal entry");
+    }
+
+    // col -> position map for the current row (IKJ update).
+    std::vector<fmt::CsrIndex> pos_of_col(static_cast<std::size_t>(n), -1);
+
+    for (Index i = 0; i < n; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        const fmt::CsrIndex begin = row_ptr[si];
+        const fmt::CsrIndex end = row_ptr[si + 1];
+        for (fmt::CsrIndex j = begin; j < end; ++j)
+            pos_of_col[static_cast<std::size_t>(
+                col_ind[static_cast<std::size_t>(j)])] = j;
+
+        // Eliminate with every pivot row k < i present in row i.
+        for (fmt::CsrIndex j = begin; j < end; ++j) {
+            const Index k = static_cast<Index>(
+                col_ind[static_cast<std::size_t>(j)]);
+            if (k >= i)
+                break; // columns are sorted: done with L part
+            auto sk = static_cast<std::size_t>(k);
+            const Value pivot = val[static_cast<std::size_t>(diag_pos[sk])];
+            SMASH_CHECK(pivot != Value(0),
+                        "ILU(0) breakdown: zero pivot at row ", k);
+            const Value lik = val[static_cast<std::size_t>(j)] / pivot;
+            val[static_cast<std::size_t>(j)] = lik;
+            // Subtract lik * U(k, :) restricted to row i's pattern.
+            for (fmt::CsrIndex p = diag_pos[sk] + 1; p < row_ptr[sk + 1];
+                 ++p) {
+                const fmt::CsrIndex c =
+                    col_ind[static_cast<std::size_t>(p)];
+                const fmt::CsrIndex target =
+                    pos_of_col[static_cast<std::size_t>(c)];
+                if (target >= begin && target < end) {
+                    val[static_cast<std::size_t>(target)] -=
+                        lik * val[static_cast<std::size_t>(p)];
+                }
+            }
+        }
+
+        for (fmt::CsrIndex j = begin; j < end; ++j)
+            pos_of_col[static_cast<std::size_t>(
+                col_ind[static_cast<std::size_t>(j)])] = -1;
+
+        SMASH_CHECK(val[static_cast<std::size_t>(diag_pos[si])] != Value(0),
+                    "ILU(0) breakdown: zero pivot produced at row ", i);
+    }
+
+    // Split into L (strictly lower, unit diagonal implicit) and U.
+    std::vector<fmt::CsrIndex> l_ptr{0}, u_ptr{0};
+    std::vector<fmt::CsrIndex> l_ind, u_ind;
+    std::vector<Value> l_val, u_val;
+    for (Index i = 0; i < n; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        for (fmt::CsrIndex j = row_ptr[si]; j < row_ptr[si + 1]; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            if (static_cast<Index>(col_ind[sj]) < i) {
+                l_ind.push_back(col_ind[sj]);
+                l_val.push_back(val[sj]);
+            } else {
+                u_ind.push_back(col_ind[sj]);
+                u_val.push_back(val[sj]);
+            }
+        }
+        l_ptr.push_back(static_cast<fmt::CsrIndex>(l_ind.size()));
+        u_ptr.push_back(static_cast<fmt::CsrIndex>(u_ind.size()));
+    }
+
+    Ilu0Factors factors;
+    factors.lower = fmt::CsrMatrix::fromRaw(n, n, std::move(l_ptr),
+                                            std::move(l_ind),
+                                            std::move(l_val));
+    factors.upper = fmt::CsrMatrix::fromRaw(n, n, std::move(u_ptr),
+                                            std::move(u_ind),
+                                            std::move(u_val));
+    return factors;
+}
+
+JacobiPreconditioner::JacobiPreconditioner(std::vector<Value> diag)
+    : inv_diag_(std::move(diag))
+{
+    for (Value& d : inv_diag_) {
+        SMASH_CHECK(d != Value(0), "Jacobi preconditioner: zero diagonal");
+        d = Value(1) / d;
+    }
+}
+
+} // namespace smash::solve

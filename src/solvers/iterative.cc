@@ -1,0 +1,18 @@
+#include "solvers/iterative.hh"
+
+#include <sstream>
+
+namespace smash::solve
+{
+
+std::string
+toString(const SolveReport& report)
+{
+    std::ostringstream os;
+    os << (report.converged ? "converged" : "did NOT converge")
+       << " after " << report.iterations
+       << " iterations, relative residual " << report.residualNorm;
+    return os.str();
+}
+
+} // namespace smash::solve

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Sparse iterative solvers on top of the SpMV kernels — the paper's
+ * §5.2.1 generality claim ("Sparse Iterative Solvers" among the
+ * operations SMASH accelerates). The solvers are templated on an
+ * *operator functor* `apply(x, y)` computing y := A x, so the same
+ * algorithm runs over CSR, SMASH-software or SMASH-BMU SpMV, native
+ * or simulated.
+ *
+ * Provided: Conjugate Gradient (SPD systems), Jacobi iteration
+ * (diagonally dominant systems), and the power method (dominant
+ * eigenpair — the §5.2.1 "Sparse Eigenvalue Calculation" use case).
+ */
+
+#ifndef SMASH_SOLVERS_ITERATIVE_HH
+#define SMASH_SOLVERS_ITERATIVE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "kernels/costs.hh"
+
+namespace smash::solve
+{
+
+/** Outcome of an iterative solve. */
+struct SolveReport
+{
+    int iterations = 0;
+    double residualNorm = 0.0;
+    bool converged = false;
+};
+
+/** Human-readable one-liner for logs and examples. */
+std::string toString(const SolveReport& report);
+
+namespace detail
+{
+
+/** dot(u, v) with vector-unit instruction charges. */
+template <typename E>
+Value
+dot(const std::vector<Value>& u, const std::vector<Value>& v, E& e)
+{
+    Value acc = 0;
+    for (std::size_t i = 0; i < u.size(); ++i)
+        acc += u[i] * v[i];
+    e.load(u.data(), u.size() * sizeof(Value));
+    e.load(v.data(), v.size() * sizeof(Value));
+    e.op(2 * kern::cost::vectorOps(static_cast<Index>(u.size())));
+    return acc;
+}
+
+/** y := y + a * x with vector-unit charges. */
+template <typename E>
+void
+axpy(Value a, const std::vector<Value>& x, std::vector<Value>& y, E& e)
+{
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+    e.load(x.data(), x.size() * sizeof(Value));
+    e.store(y.data(), y.size() * sizeof(Value));
+    e.op(kern::cost::vectorOps(static_cast<Index>(x.size())));
+}
+
+} // namespace detail
+
+/**
+ * Conjugate Gradient for symmetric positive-definite A.
+ *
+ * @param apply functor: apply(x, y) sets y := A x (y pre-zeroed)
+ * @param b     right-hand side
+ * @param x     in: initial guess; out: solution
+ * @param tol   convergence threshold on ||r||2 / ||b||2
+ */
+template <typename E, typename ApplyFn>
+SolveReport
+conjugateGradient(ApplyFn&& apply, const std::vector<Value>& b,
+                  std::vector<Value>& x, double tol, int max_iters, E& e)
+{
+    SMASH_CHECK(b.size() == x.size(), "dimension mismatch");
+    const std::size_t n = b.size();
+    std::vector<Value> r(n), p(n), ap(n);
+
+    // r = b - A x
+    std::fill(ap.begin(), ap.end(), Value(0));
+    apply(x, ap);
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+    e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+    p = r;
+
+    const double b_norm = std::sqrt(detail::dot(b, b, e));
+    if (b_norm == 0.0) {
+        std::fill(x.begin(), x.end(), Value(0));
+        return {0, 0.0, true};
+    }
+
+    Value rr = detail::dot(r, r, e);
+    SolveReport report;
+    for (int it = 0; it < max_iters; ++it) {
+        report.iterations = it + 1;
+        std::fill(ap.begin(), ap.end(), Value(0));
+        apply(p, ap);
+        Value p_ap = detail::dot(p, ap, e);
+        SMASH_CHECK(p_ap != Value(0),
+                    "CG breakdown: operator is not positive definite");
+        Value alpha = rr / p_ap;
+        detail::axpy(alpha, p, x, e);
+        detail::axpy(-alpha, ap, r, e);
+        Value rr_next = detail::dot(r, r, e);
+        report.residualNorm =
+            std::sqrt(static_cast<double>(rr_next)) / b_norm;
+        if (report.residualNorm <= tol) {
+            report.converged = true;
+            return report;
+        }
+        Value beta = rr_next / rr;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+        rr = rr_next;
+    }
+    return report;
+}
+
+/**
+ * Jacobi iteration x' = x + D^-1 (b - A x) for diagonally dominant
+ * systems.
+ *
+ * @param diag the diagonal of A (all entries non-zero)
+ */
+template <typename E, typename ApplyFn>
+SolveReport
+jacobi(ApplyFn&& apply, const std::vector<Value>& diag,
+       const std::vector<Value>& b, std::vector<Value>& x, double tol,
+       int max_iters, E& e)
+{
+    SMASH_CHECK(b.size() == x.size() && diag.size() == x.size(),
+                "dimension mismatch");
+    for (Value d : diag)
+        SMASH_CHECK(d != Value(0), "zero diagonal entry");
+    const std::size_t n = b.size();
+    std::vector<Value> ax(n);
+
+    const double b_norm = std::sqrt(detail::dot(b, b, e));
+    SolveReport report;
+    for (int it = 0; it < max_iters; ++it) {
+        report.iterations = it + 1;
+        std::fill(ax.begin(), ax.end(), Value(0));
+        apply(x, ax);
+        double res2 = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            Value r = b[i] - ax[i];
+            res2 += static_cast<double>(r) * static_cast<double>(r);
+            x[i] += r / diag[i];
+        }
+        e.op(3 * kern::cost::vectorOps(static_cast<Index>(n)));
+        e.store(x.data(), n * sizeof(Value));
+        report.residualNorm =
+            b_norm > 0 ? std::sqrt(res2) / b_norm : std::sqrt(res2);
+        if (report.residualNorm <= tol) {
+            report.converged = true;
+            return report;
+        }
+    }
+    return report;
+}
+
+/**
+ * Power method: dominant eigenvalue/eigenvector of A.
+ *
+ * @param x in: non-zero start vector; out: dominant eigenvector
+ * @return the Rayleigh-quotient eigenvalue estimate; report tracks
+ *         the eigenvalue's relative change per iteration
+ */
+template <typename E, typename ApplyFn>
+Value
+powerMethod(ApplyFn&& apply, std::vector<Value>& x, double tol,
+            int max_iters, E& e, SolveReport* report_out = nullptr)
+{
+    const std::size_t n = x.size();
+    SMASH_CHECK(n > 0, "empty vector");
+    std::vector<Value> ax(n);
+    Value lambda = 0;
+    SolveReport report;
+    for (int it = 0; it < max_iters; ++it) {
+        report.iterations = it + 1;
+        std::fill(ax.begin(), ax.end(), Value(0));
+        apply(x, ax);
+        Value norm = std::sqrt(detail::dot(ax, ax, e));
+        SMASH_CHECK(norm != Value(0),
+                    "power method collapsed to the zero vector");
+        Value lambda_next = detail::dot(x, ax, e);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = ax[i] / norm;
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+        e.store(x.data(), n * sizeof(Value));
+        double change = std::abs(
+            static_cast<double>(lambda_next - lambda)) /
+            std::max(1.0, std::abs(static_cast<double>(lambda_next)));
+        report.residualNorm = change;
+        lambda = lambda_next;
+        if (it > 0 && change <= tol) {
+            report.converged = true;
+            break;
+        }
+    }
+    if (report_out)
+        *report_out = report;
+    return lambda;
+}
+
+} // namespace smash::solve
+
+#endif // SMASH_SOLVERS_ITERATIVE_HH

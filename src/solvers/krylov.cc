@@ -1,0 +1,73 @@
+#include "solvers/krylov.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smash::solve
+{
+
+std::vector<double>
+symTridiagEigenvalues(std::vector<double> alpha, std::vector<double> beta)
+{
+    // Implicit-shift QL with Wilkinson shifts (EISPACK tql1 lineage,
+    // Numerical Recipes formulation), eigenvalues only.
+    const int n = static_cast<int>(alpha.size());
+    SMASH_CHECK(beta.size() + 1 == alpha.size() || (n == 0 && beta.empty()),
+                "off-diagonal length must be n-1");
+    if (n == 0)
+        return {};
+    std::vector<double>& d = alpha;
+    std::vector<double> e(beta.begin(), beta.end());
+    e.push_back(0.0);
+
+    for (int l = 0; l < n; ++l) {
+        int iter = 0;
+        int m;
+        do {
+            // Find a negligible off-diagonal element.
+            for (m = l; m < n - 1; ++m) {
+                double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+                if (std::abs(e[m]) <= 1e-15 * dd)
+                    break;
+            }
+            if (m != l) {
+                SMASH_CHECK(++iter <= 50,
+                            "QL iteration failed to converge");
+                double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+                double r = std::hypot(g, 1.0);
+                g = d[m] - d[l] +
+                    e[l] / (g + std::copysign(r, g));
+                double s = 1.0, c = 1.0, p = 0.0;
+                for (int i = m - 1; i >= l; --i) {
+                    double f = s * e[i];
+                    double b = c * e[i];
+                    r = std::hypot(f, g);
+                    e[i + 1] = r;
+                    if (r == 0.0) {
+                        d[i + 1] -= p;
+                        e[m] = 0.0;
+                        break;
+                    }
+                    s = f / r;
+                    c = g / r;
+                    g = d[i + 1] - p;
+                    r = (d[i] - g) * s + 2.0 * c * b;
+                    p = s * r;
+                    d[i + 1] = g + p;
+                    g = c * r - b;
+                }
+                if (r == 0.0 && m - 1 >= l)
+                    continue;
+                d[l] -= p;
+                e[l] = g;
+                e[m] = 0.0;
+            }
+        } while (m != l);
+    }
+    std::sort(d.begin(), d.end());
+    return d;
+}
+
+} // namespace smash::solve

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Krylov-subspace methods beyond plain CG, rounding out the paper's
+ * §5.2.1 generality use cases:
+ *
+ *  - preconditionedCg   CG with a preconditioner functor (pairs with
+ *                       Ilu0Preconditioner / JacobiPreconditioner)
+ *  - bicgstab           general non-symmetric systems
+ *  - lanczos            k-step Lanczos tridiagonalization; with
+ *                       symTridiagEigenvalues it yields extreme
+ *                       eigenvalue estimates ("Sparse Eigenvalue
+ *                       Calculation")
+ *
+ * Like the solvers in iterative.hh, everything is templated on an
+ * operator functor apply(x, y) (y := A x, y pre-zeroed) and on the
+ * execution model, so any SpMV backend — CSR, SMASH-software,
+ * SMASH-BMU — native or simulated, slots in unchanged.
+ */
+
+#ifndef SMASH_SOLVERS_KRYLOV_HH
+#define SMASH_SOLVERS_KRYLOV_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "solvers/iterative.hh"
+
+namespace smash::solve
+{
+
+/**
+ * Eigenvalues of a symmetric tridiagonal matrix (ascending), via
+ * the implicit QL algorithm. @p alpha holds the n diagonal entries
+ * and @p beta the n-1 off-diagonal entries.
+ */
+std::vector<double> symTridiagEigenvalues(std::vector<double> alpha,
+                                          std::vector<double> beta);
+
+/** Result of a Lanczos run. */
+struct LanczosResult
+{
+    std::vector<double> alpha; //!< tridiagonal diagonal
+    std::vector<double> beta;  //!< tridiagonal off-diagonal
+    int steps = 0;             //!< completed iterations
+    bool brokeDown = false;    //!< invariant subspace found early
+
+    /** Ritz values (eigenvalue estimates), ascending. */
+    std::vector<double>
+    ritzValues() const
+    {
+        return symTridiagEigenvalues(alpha, beta);
+    }
+};
+
+/**
+ * Preconditioned Conjugate Gradient for SPD A with SPD M^-1.
+ *
+ * @param apply   functor: apply(x, y) sets y := A x (y pre-zeroed)
+ * @param precond functor: precond(r, z, e) sets z := M^-1 r
+ */
+template <typename E, typename ApplyFn, typename PrecondFn>
+SolveReport
+preconditionedCg(ApplyFn&& apply, PrecondFn&& precond,
+                 const std::vector<Value>& b, std::vector<Value>& x,
+                 double tol, int max_iters, E& e)
+{
+    SMASH_CHECK(b.size() == x.size(), "dimension mismatch");
+    const std::size_t n = b.size();
+    std::vector<Value> r(n), z(n), p(n), ap(n);
+
+    std::fill(ap.begin(), ap.end(), Value(0));
+    apply(x, ap);
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+    e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+
+    const double b_norm = std::sqrt(detail::dot(b, b, e));
+    if (b_norm == 0.0) {
+        std::fill(x.begin(), x.end(), Value(0));
+        return {0, 0.0, true};
+    }
+
+    precond(r, z, e);
+    p = z;
+    Value rz = detail::dot(r, z, e);
+
+    SolveReport report;
+    for (int it = 0; it < max_iters; ++it) {
+        report.iterations = it + 1;
+        std::fill(ap.begin(), ap.end(), Value(0));
+        apply(p, ap);
+        Value p_ap = detail::dot(p, ap, e);
+        SMASH_CHECK(p_ap != Value(0),
+                    "PCG breakdown: operator is not positive definite");
+        Value alpha = rz / p_ap;
+        detail::axpy(alpha, p, x, e);
+        detail::axpy(-alpha, ap, r, e);
+        report.residualNorm =
+            std::sqrt(static_cast<double>(detail::dot(r, r, e))) / b_norm;
+        if (report.residualNorm <= tol) {
+            report.converged = true;
+            return report;
+        }
+        precond(r, z, e);
+        Value rz_next = detail::dot(r, z, e);
+        Value beta = rz_next / rz;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+        rz = rz_next;
+    }
+    return report;
+}
+
+/**
+ * BiCGSTAB (van der Vorst) for general non-symmetric A.
+ */
+template <typename E, typename ApplyFn>
+SolveReport
+bicgstab(ApplyFn&& apply, const std::vector<Value>& b,
+         std::vector<Value>& x, double tol, int max_iters, E& e)
+{
+    SMASH_CHECK(b.size() == x.size(), "dimension mismatch");
+    const std::size_t n = b.size();
+    std::vector<Value> r(n), r0(n), p(n), v(n), s(n), t(n);
+
+    std::fill(v.begin(), v.end(), Value(0));
+    apply(x, v);
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - v[i];
+    e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+    r0 = r;
+    p = r;
+
+    const double b_norm = std::sqrt(detail::dot(b, b, e));
+    if (b_norm == 0.0) {
+        std::fill(x.begin(), x.end(), Value(0));
+        return {0, 0.0, true};
+    }
+
+    Value rho = detail::dot(r0, r, e);
+    SolveReport report;
+    for (int it = 0; it < max_iters; ++it) {
+        report.iterations = it + 1;
+        if (rho == Value(0))
+            return report; // serious breakdown: restart would be needed
+        std::fill(v.begin(), v.end(), Value(0));
+        apply(p, v);
+        Value r0_v = detail::dot(r0, v, e);
+        if (r0_v == Value(0))
+            return report;
+        Value alpha = rho / r0_v;
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = r[i] - alpha * v[i];
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+
+        double s_norm = std::sqrt(static_cast<double>(detail::dot(s, s, e)));
+        if (s_norm / b_norm <= tol) {
+            detail::axpy(alpha, p, x, e);
+            report.residualNorm = s_norm / b_norm;
+            report.converged = true;
+            return report;
+        }
+
+        std::fill(t.begin(), t.end(), Value(0));
+        apply(s, t);
+        Value t_t = detail::dot(t, t, e);
+        if (t_t == Value(0))
+            return report;
+        Value omega = detail::dot(t, s, e) / t_t;
+        detail::axpy(alpha, p, x, e);
+        detail::axpy(omega, s, x, e);
+        for (std::size_t i = 0; i < n; ++i)
+            r[i] = s[i] - omega * t[i];
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+
+        report.residualNorm =
+            std::sqrt(static_cast<double>(detail::dot(r, r, e))) / b_norm;
+        if (report.residualNorm <= tol) {
+            report.converged = true;
+            return report;
+        }
+        Value rho_next = detail::dot(r0, r, e);
+        Value beta = (rho_next / rho) * (alpha / omega);
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        e.op(2 * kern::cost::vectorOps(static_cast<Index>(n)));
+        rho = rho_next;
+    }
+    return report;
+}
+
+/**
+ * k-step Lanczos tridiagonalization of a symmetric operator, with
+ * full reorthogonalization (the matrices here are small enough that
+ * robustness beats the O(nk) extra work).
+ *
+ * @param start non-zero start vector (normalized internally)
+ */
+template <typename E, typename ApplyFn>
+LanczosResult
+lanczos(ApplyFn&& apply, std::vector<Value> start, int steps, E& e)
+{
+    const std::size_t n = start.size();
+    SMASH_CHECK(n > 0, "empty start vector");
+    SMASH_CHECK(steps >= 1, "need at least one step");
+
+    LanczosResult result;
+    std::vector<std::vector<Value>> basis;
+    std::vector<Value> w(n);
+
+    double norm = std::sqrt(detail::dot(start, start, e));
+    SMASH_CHECK(norm != 0.0, "zero start vector");
+    for (auto& v : start)
+        v = static_cast<Value>(v / norm);
+    basis.push_back(start);
+
+    for (int k = 0; k < steps; ++k) {
+        const std::vector<Value>& q = basis.back();
+        std::fill(w.begin(), w.end(), Value(0));
+        apply(q, w);
+        double alpha = detail::dot(q, w, e);
+        result.alpha.push_back(alpha);
+        // w -= alpha q (+ beta q_prev), then reorthogonalize.
+        detail::axpy(static_cast<Value>(-alpha), q, w, e);
+        if (basis.size() >= 2) {
+            detail::axpy(static_cast<Value>(-result.beta.back()),
+                         basis[basis.size() - 2], w, e);
+        }
+        for (const auto& v : basis) {
+            double proj = detail::dot(v, w, e);
+            detail::axpy(static_cast<Value>(-proj), v, w, e);
+        }
+        result.steps = k + 1;
+        if (k + 1 == steps)
+            break;
+        double beta = std::sqrt(detail::dot(w, w, e));
+        if (beta < 1e-13) {
+            result.brokeDown = true; // exact invariant subspace
+            break;
+        }
+        result.beta.push_back(beta);
+        std::vector<Value> next(n);
+        for (std::size_t i = 0; i < n; ++i)
+            next[i] = static_cast<Value>(w[i] / beta);
+        e.op(kern::cost::vectorOps(static_cast<Index>(n)));
+        basis.push_back(std::move(next));
+    }
+    return result;
+}
+
+} // namespace smash::solve
+
+#endif // SMASH_SOLVERS_KRYLOV_HH

@@ -1,0 +1,57 @@
+#include "workloads/graph_suite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "graph/generators.hh"
+
+namespace smash::wl
+{
+
+std::vector<GraphSpec>
+table4Specs()
+{
+    return {
+        {"G1:com-Youtube", 1100000, 2900000, GraphStructure::kPowerLaw,
+         201},
+        {"G2:com-DBLP", 317000, 1000000, GraphStructure::kPowerLaw, 202},
+        {"G3:roadNet-CA", 1900000, 2700000, GraphStructure::kRoadGrid,
+         203},
+        {"G4:amazon0601", 403000, 3300000, GraphStructure::kPowerLaw,
+         204},
+    };
+}
+
+GraphSpec
+scaleSpec(const GraphSpec& spec, double scale)
+{
+    SMASH_CHECK(scale > 0.0 && scale <= 1.0,
+                "scale must be in (0, 1], got ", scale);
+    if (scale == 1.0)
+        return spec;
+    GraphSpec s = spec;
+    s.vertices = std::max<graph::Vertex>(64, static_cast<graph::Vertex>(
+        static_cast<double>(spec.vertices) * scale));
+    s.edges = std::max<Index>(128, static_cast<Index>(
+        static_cast<double>(spec.edges) * scale));
+    return s;
+}
+
+graph::Graph
+generateGraph(const GraphSpec& spec)
+{
+    switch (spec.structure) {
+      case GraphStructure::kPowerLaw:
+        return graph::rmatGraph(spec.vertices, spec.edges, spec.seed);
+      case GraphStructure::kRoadGrid: {
+        Index side = static_cast<Index>(
+            std::llround(std::sqrt(static_cast<double>(spec.vertices))));
+        side = std::max<Index>(side, 8);
+        return graph::gridGraph(side, side, spec.seed);
+      }
+    }
+    SMASH_PANIC("unknown graph structure");
+}
+
+} // namespace smash::wl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Table-4 graph suite: synthetic stand-ins for the four SNAP
+ * inputs, matching |V| and |E| and the structure class (power-law
+ * community graphs vs. a high-diameter road grid).
+ */
+
+#ifndef SMASH_WORKLOADS_GRAPH_SUITE_HH
+#define SMASH_WORKLOADS_GRAPH_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace smash::wl
+{
+
+/** Structure class of a graph input. */
+enum class GraphStructure
+{
+    kPowerLaw, //!< RMAT (social / co-purchase networks)
+    kRoadGrid, //!< 2-D grid with shortcuts (road networks)
+};
+
+/** One Table-4 entry. */
+struct GraphSpec
+{
+    std::string name;
+    graph::Vertex vertices = 0;
+    Index edges = 0;
+    GraphStructure structure = GraphStructure::kPowerLaw;
+    std::uint64_t seed = 0;
+};
+
+/** The four Table-4 specs (G1..G4), unscaled. */
+std::vector<GraphSpec> table4Specs();
+
+/** A spec with vertices/edges scaled by @p scale. */
+GraphSpec scaleSpec(const GraphSpec& spec, double scale);
+
+/** Instantiate the generator for @p spec. */
+graph::Graph generateGraph(const GraphSpec& spec);
+
+} // namespace smash::wl
+
+#endif // SMASH_WORKLOADS_GRAPH_SUITE_HH

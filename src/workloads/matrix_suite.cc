@@ -1,0 +1,135 @@
+#include "workloads/matrix_suite.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::wl
+{
+
+std::vector<MatrixSpec>
+table3Specs()
+{
+    using MS = MatrixStructure;
+    // name, rows, nnz, sparsity%, structure, run, paper config, seed.
+    // Structure classes follow the SuiteSparse domains: power-grid /
+    // economics descriptors scatter in short runs; Trefethen is
+    // banded; FEM stiffness matrices (TSOPF, ns3Da, tsyl, pkustk,
+    // ramage, nd3k, exdata) cluster near the diagonal; gene /
+    // optimization matrices are power-law with dense column stripes.
+    auto spec = [](std::string name, Index rows, Index nnz, double sp,
+                   MS st, Index run, std::vector<Index> cfg,
+                   std::uint64_t seed) {
+        MatrixSpec s;
+        s.name = std::move(name);
+        s.rows = rows;
+        s.cols = rows;
+        s.nnz = nnz;
+        s.sparsityPct = sp;
+        s.structure = st;
+        s.clusterRun = run;
+        s.paperConfig = std::move(cfg);
+        s.seed = seed;
+        return s;
+    };
+    return {
+        spec("M1:descriptor_xingo6u", 20738, 73916, 0.01,
+             MS::kRunScatter, 2, {16, 4, 2}, 101),
+        spec("M2:g7jac060sc", 17730, 183325, 0.06,
+             MS::kClustered, 4, {16, 4, 2}, 102),
+        spec("M3:Trefethen_20000", 20000, 554466, 0.14,
+             MS::kTrefethenBanded, 1, {16, 4, 2}, 103),
+        spec("M4:IG5-16", 18846, 588326, 0.17,
+             MS::kRunScatter, 3, {16, 4, 2}, 104),
+        spec("M5:TSOPF_RS_b162_c3", 15374, 610299, 0.26,
+             MS::kClustered, 8, {16, 4, 2}, 105),
+        spec("M6:ns3Da", 20414, 1679599, 0.40,
+             MS::kClustered, 8, {16, 4, 2}, 106),
+        spec("M7:tsyl201", 20685, 2454957, 0.57,
+             MS::kClustered, 8, {16, 4, 2}, 107),
+        spec("M8:pkustk07", 16860, 2418804, 0.85,
+             MS::kClustered, 8, {16, 4, 2}, 108),
+        spec("M9:ramage02", 16830, 2866352, 1.01,
+             MS::kClustered, 8, {16, 4, 2}, 109),
+        spec("M10:pattern1", 19242, 9323432, 2.52,
+             MS::kRunScatter, 3, {16, 4, 2}, 110),
+        spec("M11:gupta3", 16783, 9323427, 3.31,
+             MS::kPowerLaw, 6, {2, 4, 2}, 111),
+        spec("M12:nd3k", 9000, 3279690, 4.05,
+             MS::kClustered, 8, {8, 4, 2}, 112),
+        spec("M13:human_gene1", 22283, 24669643, 4.97,
+             MS::kPowerLaw, 6, {8, 4, 2}, 113),
+        spec("M14:exdata_1", 6001, 2269500, 6.30,
+             MS::kClustered, 12, {2, 4, 2}, 114),
+        spec("M15:human_gene2", 14340, 18068388, 8.79,
+             MS::kPowerLaw, 6, {8, 4, 2}, 115),
+    };
+}
+
+MatrixSpec
+scaleSpec(const MatrixSpec& spec, double scale)
+{
+    SMASH_CHECK(scale > 0.0 && scale <= 1.0,
+                "scale must be in (0, 1], got ", scale);
+    if (scale == 1.0)
+        return spec;
+    MatrixSpec s = spec;
+    // Shrink rows by `scale` and nnz by scale^1.5: a compromise
+    // between preserving sparsity% (would need scale^2, but then
+    // rows empty out and per-row loop effects dominate) and
+    // preserving nnz/row (would need scale^1, but then density
+    // inflates). Both distortions stay within sqrt(scale).
+    s.rows = std::max<Index>(64, static_cast<Index>(
+        static_cast<double>(spec.rows) * scale));
+    s.cols = s.rows;
+    double ratio = static_cast<double>(s.rows) /
+        static_cast<double>(spec.rows);
+    s.nnz = std::max<Index>(16, static_cast<Index>(
+        static_cast<double>(spec.nnz) * ratio * std::sqrt(ratio)));
+    s.nnz = std::min(s.nnz, s.rows * s.cols);
+    return s;
+}
+
+fmt::CooMatrix
+generateMatrix(const MatrixSpec& spec)
+{
+    switch (spec.structure) {
+      case MatrixStructure::kRunScatter:
+        return genRunScatter(spec.rows, spec.cols, spec.nnz,
+                             spec.clusterRun, spec.seed);
+      case MatrixStructure::kTrefethenBanded:
+        return genTrefethen(spec.rows, spec.nnz);
+      case MatrixStructure::kClustered:
+        return genClustered(spec.rows, spec.cols, spec.nnz,
+                            spec.clusterRun, spec.seed);
+      case MatrixStructure::kPowerLaw:
+        return genPowerLaw(spec.rows, spec.cols, spec.nnz,
+                           /*alpha=*/0.7, spec.seed, spec.clusterRun);
+    }
+    SMASH_PANIC("unknown matrix structure");
+}
+
+core::HierarchyConfig
+paperHierarchy(const MatrixSpec& spec)
+{
+    return core::HierarchyConfig::fromPaperNotation(spec.paperConfig);
+}
+
+double
+benchScale(double def)
+{
+    const char* env = std::getenv("SMASH_BENCH_SCALE");
+    if (!env)
+        return def;
+    double v = std::atof(env);
+    if (v <= 0.0 || v > 1.0) {
+        warn("ignoring SMASH_BENCH_SCALE outside (0,1]");
+        return def;
+    }
+    return v;
+}
+
+} // namespace smash::wl

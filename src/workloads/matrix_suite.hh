@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Table-3 matrix suite: fifteen synthetic stand-ins matching
+ * the published rows, non-zero counts and sparsities of the
+ * SuiteSparse inputs, each assigned the structure class of its
+ * original (banded, FEM-clustered, power-law, uniform). A scale
+ * factor shrinks rows and nnz proportionally — sparsity% and
+ * structure class are preserved — so simulated benches finish in
+ * minutes (the knob every bench prints).
+ */
+
+#ifndef SMASH_WORKLOADS_MATRIX_SUITE_HH
+#define SMASH_WORKLOADS_MATRIX_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy_config.hh"
+#include "formats/coo_matrix.hh"
+
+namespace smash::wl
+{
+
+/** Structure class driving generator choice. */
+enum class MatrixStructure
+{
+    kRunScatter,      //!< short runs at uniform positions
+    kTrefethenBanded, //!< diagonal + power-of-two offsets
+    kClustered,       //!< runs near a diagonal band (FEM)
+    kPowerLaw,        //!< Zipf row degrees, striped columns
+};
+
+/** One Table-3 entry. */
+struct MatrixSpec
+{
+    std::string name;          //!< paper id + SuiteSparse name
+    Index rows = 0;
+    Index cols = 0;            //!< suite matrices are square
+    Index nnz = 0;
+    double sparsityPct = 0.0;  //!< paper-reported % of non-zeros
+    MatrixStructure structure = MatrixStructure::kRunScatter;
+    /** Contiguous-run length used by the generator (locality knob). */
+    Index clusterRun = 4;
+    /** Paper Fig. 10 bitmap configuration, top-down (b2.b1.b0). */
+    std::vector<Index> paperConfig{16, 4, 2};
+    std::uint64_t seed = 0;
+};
+
+/** The fifteen Table-3 specs (M1..M15), unscaled. */
+std::vector<MatrixSpec> table3Specs();
+
+/** A spec with rows/cols/nnz scaled by @p scale (>0, <=1). */
+MatrixSpec scaleSpec(const MatrixSpec& spec, double scale);
+
+/** Instantiate the generator for @p spec. */
+fmt::CooMatrix generateMatrix(const MatrixSpec& spec);
+
+/** The paper's hierarchy configuration for @p spec. */
+core::HierarchyConfig paperHierarchy(const MatrixSpec& spec);
+
+/**
+ * Benchmark scale factor from the SMASH_BENCH_SCALE environment
+ * variable, defaulting to @p def. Clamped to (0, 1].
+ */
+double benchScale(double def = 0.25);
+
+} // namespace smash::wl
+
+#endif // SMASH_WORKLOADS_MATRIX_SUITE_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for src/common: bit operations, the PCG32 RNG, error
+ * helpers, and the text-table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace smash
+{
+namespace
+{
+
+TEST(BitOps, PopcountBasics)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0xFFFFFFFFFFFFFFFFULL), 64);
+    EXPECT_EQ(popcount(0x8000000000000001ULL), 2);
+}
+
+TEST(BitOps, FindFirstSet)
+{
+    EXPECT_EQ(findFirstSet(1), 0);
+    EXPECT_EQ(findFirstSet(0x8000000000000000ULL), 63);
+    EXPECT_EQ(findFirstSet(0b101000), 3);
+}
+
+TEST(BitOps, FindLastSet)
+{
+    EXPECT_EQ(findLastSet(1), 0);
+    EXPECT_EQ(findLastSet(0x8000000000000000ULL), 63);
+    EXPECT_EQ(findLastSet(0b101000), 5);
+}
+
+TEST(BitOps, ClearLowestSet)
+{
+    EXPECT_EQ(clearLowestSet(0b101000), 0b100000U);
+    EXPECT_EQ(clearLowestSet(1), 0U);
+}
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+}
+
+TEST(BitOps, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0U);
+    EXPECT_EQ(roundUp(1, 8), 8U);
+    EXPECT_EQ(roundUp(8, 8), 8U);
+    EXPECT_EQ(roundUp(9, 8), 16U);
+}
+
+TEST(BitOps, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0U);
+    EXPECT_EQ(ceilDiv(1, 4), 1U);
+    EXPECT_EQ(ceilDiv(4, 4), 1U);
+    EXPECT_EQ(ceilDiv(5, 4), 2U);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17U);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(SMASH_FATAL("bad input ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(SMASH_PANIC("broken invariant"), PanicError);
+}
+
+TEST(Logging, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW(SMASH_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Logging, CheckThrowsOnFalse)
+{
+    EXPECT_THROW(SMASH_CHECK(false, "expected failure"), FatalError);
+}
+
+TEST(Logging, MessageCarriesContext)
+{
+    try {
+        SMASH_FATAL("value was ", 7);
+        FAIL() << "should have thrown";
+    } catch (const FatalError& err) {
+        EXPECT_NE(std::string(err.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"bb", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRows)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, FormatFixedDigits)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(2.0, 3), "2.000");
+}
+
+} // namespace
+} // namespace smash

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Unit and property tests for the SMASH core: hierarchy config,
+ * bitmaps, the bitmap hierarchy, SmashMatrix encode/decode, storage
+ * accounting, and the software block cursor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/block_cursor.hh"
+#include "core/smash_matrix.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::core
+{
+namespace
+{
+
+TEST(HierarchyConfig, PaperNotationReverses)
+{
+    auto cfg = HierarchyConfig::fromPaperNotation({16, 4, 2});
+    EXPECT_EQ(cfg.levels(), 3);
+    EXPECT_EQ(cfg.blockSize(), 2);
+    EXPECT_EQ(cfg.ratio(0), 2);
+    EXPECT_EQ(cfg.ratio(1), 4);
+    EXPECT_EQ(cfg.ratio(2), 16);
+    EXPECT_EQ(cfg.toString(), "16.4.2");
+}
+
+TEST(HierarchyConfig, ElementsPerBit)
+{
+    auto cfg = HierarchyConfig::fromPaperNotation({16, 4, 2});
+    EXPECT_EQ(cfg.elementsPerBit(0), 2);
+    EXPECT_EQ(cfg.elementsPerBit(1), 8);
+    EXPECT_EQ(cfg.elementsPerBit(2), 128);
+}
+
+TEST(HierarchyConfig, RejectsBadRatios)
+{
+    EXPECT_THROW(HierarchyConfig({1}), FatalError);
+    EXPECT_THROW(HierarchyConfig({}), FatalError);
+    EXPECT_THROW(HierarchyConfig({2, 2, 2, 2, 2}), FatalError);
+}
+
+TEST(Bitmap, SetTestClear)
+{
+    Bitmap bm(130);
+    EXPECT_FALSE(bm.test(0));
+    bm.set(0);
+    bm.set(64);
+    bm.set(129);
+    EXPECT_TRUE(bm.test(0));
+    EXPECT_TRUE(bm.test(64));
+    EXPECT_TRUE(bm.test(129));
+    EXPECT_EQ(bm.countSet(), 3);
+    bm.clear(64);
+    EXPECT_FALSE(bm.test(64));
+    EXPECT_EQ(bm.countSet(), 2);
+}
+
+TEST(Bitmap, FindNextSetCrossesWords)
+{
+    Bitmap bm(200);
+    bm.set(3);
+    bm.set(63);
+    bm.set(64);
+    bm.set(199);
+    EXPECT_EQ(bm.findNextSet(0), 3);
+    EXPECT_EQ(bm.findNextSet(4), 63);
+    EXPECT_EQ(bm.findNextSet(64), 64);
+    EXPECT_EQ(bm.findNextSet(65), 199);
+    EXPECT_EQ(bm.findNextSet(200), -1);
+}
+
+TEST(Bitmap, RankBefore)
+{
+    Bitmap bm(130);
+    bm.set(0);
+    bm.set(64);
+    bm.set(65);
+    bm.set(129);
+    EXPECT_EQ(bm.rankBefore(0), 0);
+    EXPECT_EQ(bm.rankBefore(1), 1);
+    EXPECT_EQ(bm.rankBefore(65), 2);
+    EXPECT_EQ(bm.rankBefore(130), 4);
+}
+
+TEST(Bitmap, StorageBytesRoundsUp)
+{
+    EXPECT_EQ(Bitmap(1).storageBytes(), 1U);
+    EXPECT_EQ(Bitmap(8).storageBytes(), 1U);
+    EXPECT_EQ(Bitmap(9).storageBytes(), 2U);
+}
+
+TEST(BitmapHierarchy, SummarizesUpward)
+{
+    // ratios: level0 = 2 elements/bit, level1 = 4 bits/bit.
+    HierarchyConfig cfg({2, 4});
+    Bitmap level0(16);
+    level0.set(0);
+    level0.set(5);
+    level0.set(12);
+    BitmapHierarchy h(cfg, level0);
+    EXPECT_TRUE(h.checkInvariants());
+    // level1 bits cover level0 ranges [0,4), [4,8), [8,12), [12,16).
+    EXPECT_TRUE(h.level(1).test(0));
+    EXPECT_TRUE(h.level(1).test(1));
+    EXPECT_FALSE(h.level(1).test(2));
+    EXPECT_TRUE(h.level(1).test(3));
+}
+
+TEST(BitmapHierarchy, CompactSmallerThanDenseWhenSparse)
+{
+    HierarchyConfig cfg({2, 8, 8});
+    Bitmap level0(4096);
+    level0.set(17); // one lonely block
+    BitmapHierarchy h(cfg, level0);
+    EXPECT_LT(h.compactStorageBytes(), h.denseStorageBytes());
+}
+
+TEST(BitmapHierarchy, CompactEqualsDensePlusTopWhenFull)
+{
+    HierarchyConfig cfg({2, 4});
+    Bitmap level0(64);
+    for (Index i = 0; i < 64; ++i)
+        level0.set(i);
+    BitmapHierarchy h(cfg, level0);
+    // Everything materialized: compact = level1 bits + all level0
+    // groups = 16 + 64 bits = 10 bytes.
+    EXPECT_EQ(h.compactStorageBytes(), 10U);
+}
+
+fmt::CooMatrix
+figure1Matrix()
+{
+    fmt::CooMatrix coo(4, 4);
+    coo.add(0, 0, 3.2);
+    coo.add(1, 0, 1.2);
+    coo.add(1, 2, 4.2);
+    coo.add(2, 3, 5.1);
+    coo.add(3, 0, 5.3);
+    coo.add(3, 1, 3.3);
+    coo.canonicalize();
+    return coo;
+}
+
+TEST(SmashMatrix, EncodesFigure1)
+{
+    auto coo = figure1Matrix();
+    HierarchyConfig cfg({2, 2});
+    SmashMatrix m = SmashMatrix::fromCoo(coo, cfg);
+    EXPECT_TRUE(m.checkInvariants());
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.paddedCols(), 4);
+    EXPECT_EQ(m.nnz(), 6);
+    // Occupied 2-element blocks: (0,0-1), (1,0-1), (1,2-3), (2,2-3),
+    // (3,0-1) -> 5 blocks.
+    EXPECT_EQ(m.numBlocks(), 5);
+    EXPECT_TRUE(m.toDense().approxEquals(coo.toDense(), 0.0));
+}
+
+TEST(SmashMatrix, PositionOfBit)
+{
+    auto coo = figure1Matrix();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 2}));
+    const Bitmap& level0 = m.hierarchy().level(0);
+    Index bit = level0.findNextSet(0);
+    BlockPosition pos = m.positionOfBit(bit);
+    EXPECT_EQ(pos.row, 0);
+    EXPECT_EQ(pos.colStart, 0);
+    EXPECT_EQ(pos.nzaBlock, 0);
+}
+
+TEST(SmashMatrix, PaddedColsKeepBlocksInRows)
+{
+    // 3 columns with block size 4 -> paddedCols 4; a block never
+    // straddles two rows.
+    fmt::CooMatrix coo(3, 3);
+    coo.add(0, 2, 1.0);
+    coo.add(1, 0, 2.0);
+    coo.add(2, 2, 3.0);
+    coo.canonicalize();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({4, 2}));
+    EXPECT_EQ(m.paddedCols(), 4);
+    EXPECT_EQ(m.numBlocks(), 3);
+    EXPECT_TRUE(m.checkInvariants());
+    EXPECT_TRUE(m.toDense().approxEquals(coo.toDense(), 0.0));
+}
+
+TEST(SmashMatrix, LocalityOfSparsity)
+{
+    // Two blocks of size 4: one full, one with a single element.
+    fmt::CooMatrix coo(1, 8);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 1.0);
+    coo.add(0, 2, 1.0);
+    coo.add(0, 3, 1.0);
+    coo.add(0, 4, 1.0);
+    coo.canonicalize();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({4}));
+    EXPECT_DOUBLE_EQ(m.localityOfSparsity(), 5.0 / 8.0);
+}
+
+TEST(SmashMatrix, FromBlocksRebuilds)
+{
+    auto coo = figure1Matrix();
+    HierarchyConfig cfg({2, 2});
+    SmashMatrix m = SmashMatrix::fromCoo(coo, cfg);
+    Bitmap level0 = m.hierarchy().level(0);
+    std::vector<Value> nza = m.nza();
+    SmashMatrix rebuilt = SmashMatrix::fromBlocks(
+        m.rows(), m.cols(), cfg, std::move(level0), std::move(nza));
+    EXPECT_TRUE(rebuilt.checkInvariants());
+    EXPECT_TRUE(rebuilt.toDense().approxEquals(m.toDense(), 0.0));
+    EXPECT_EQ(rebuilt.nnz(), m.nnz());
+}
+
+TEST(SmashMatrix, CsrRoundTrip)
+{
+    auto coo = figure1Matrix();
+    SmashMatrix m = SmashMatrix::fromCsr(
+        fmt::CsrMatrix::fromCoo(coo), HierarchyConfig({2, 4}));
+    fmt::CsrMatrix back = m.toCsr();
+    EXPECT_TRUE(back.toDense().approxEquals(coo.toDense(), 0.0));
+}
+
+TEST(BlockCursor, VisitsBlocksInOrder)
+{
+    auto coo = figure1Matrix();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 2}));
+    BlockCursor cursor(m);
+    BlockPosition pos;
+    Index prev_linear = -1;
+    Index count = 0;
+    while (cursor.next(pos)) {
+        Index linear = pos.row * m.paddedCols() + pos.colStart;
+        EXPECT_GT(linear, prev_linear);
+        EXPECT_EQ(pos.nzaBlock, count);
+        prev_linear = linear;
+        ++count;
+    }
+    EXPECT_EQ(count, m.numBlocks());
+    // Exhausted cursor keeps returning false.
+    EXPECT_FALSE(cursor.next(pos));
+}
+
+TEST(BlockCursor, CountsScanWork)
+{
+    auto coo = figure1Matrix();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 2}));
+    BlockCursor cursor(m);
+    BlockPosition pos;
+    while (cursor.next(pos)) {
+    }
+    EXPECT_GT(cursor.stats().wordLoads, 0U);
+    EXPECT_GT(cursor.stats().bitOps, 0U);
+}
+
+TEST(BlockCursor, ResetRestarts)
+{
+    auto coo = figure1Matrix();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 2}));
+    BlockCursor cursor(m);
+    BlockPosition pos;
+    ASSERT_TRUE(cursor.next(pos));
+    cursor.reset();
+    Index count = 0;
+    while (cursor.next(pos))
+        ++count;
+    EXPECT_EQ(count, m.numBlocks());
+}
+
+TEST(BlockCursor, EmptyMatrix)
+{
+    fmt::CooMatrix coo(8, 8);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 2}));
+    EXPECT_EQ(m.numBlocks(), 0);
+    BlockCursor cursor(m);
+    BlockPosition pos;
+    EXPECT_FALSE(cursor.next(pos));
+}
+
+/** Encode/decode round-trip across structures and configurations. */
+class SmashRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<Index>, Index, Index, double>>
+{
+};
+
+TEST_P(SmashRoundTrip, DecodeMatchesOracle)
+{
+    auto [top_down, rows, cols, density] = GetParam();
+    Index nnz = std::max<Index>(
+        1, static_cast<Index>(static_cast<double>(rows * cols) * density));
+    fmt::CooMatrix coo = wl::genClustered(
+        rows, cols, nnz, 4,
+        static_cast<std::uint64_t>(rows + cols * 7));
+    auto cfg = HierarchyConfig::fromPaperNotation(top_down);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, cfg);
+    EXPECT_TRUE(m.checkInvariants());
+    EXPECT_TRUE(m.toDense().approxEquals(coo.toDense(), 0.0));
+    EXPECT_EQ(m.nnz(), coo.nnz());
+
+    // The cursor must visit exactly the set bits of Bitmap-0.
+    BlockCursor cursor(m);
+    BlockPosition pos;
+    Index blocks = 0;
+    while (cursor.next(pos))
+        ++blocks;
+    EXPECT_EQ(blocks, m.numBlocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsAndShapes, SmashRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(std::vector<Index>{2},
+                          std::vector<Index>{4, 2},
+                          std::vector<Index>{16, 4, 2},
+                          std::vector<Index>{8, 4, 8},
+                          std::vector<Index>{2, 4, 2}),
+        ::testing::Values<Index>(1, 17, 64),
+        ::testing::Values<Index>(1, 33, 64),
+        ::testing::Values(0.02, 0.3)));
+
+TEST(SmashStorage, CompactBeatsCsrOnDenseClustered)
+{
+    // A dense-ish clustered matrix: SMASH's Fig. 19 win case.
+    fmt::CooMatrix coo = wl::genClustered(256, 256, 6000, 8, 99);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 4, 16}));
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    EXPECT_LT(m.storageBytesCompact(), csr.storageBytes());
+}
+
+TEST(SmashStorage, CsrBeatsSmashOnExtremeSparsity)
+{
+    // Very sparse scatter with nnz >> rows, as in M1-M4: every
+    // non-zero sits alone in its block, so the NZA pads heavily and
+    // CSR's 12 bytes/nnz win (Fig. 19 left side).
+    fmt::CooMatrix coo = wl::genUniform(512, 512, 2000, 7);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 4, 16}));
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    EXPECT_GT(m.storageBytesCompact(), csr.storageBytes());
+}
+
+} // namespace
+} // namespace smash::core

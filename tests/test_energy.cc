@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the energy model: component accounting against known
+ * activity counts, monotonicity in the config constants, and the
+ * cross-scheme relations the model must preserve (more DRAM traffic
+ * means more memory energy; the BMU term only appears when BMU
+ * activity is supplied).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/bmu.hh"
+#include "kernels/spmv.hh"
+#include "kernels/util.hh"
+#include "sim/energy.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::sim
+{
+namespace
+{
+
+TEST(Energy, ZeroActivityMeansZeroEnergy)
+{
+    Machine machine;
+    EnergyBreakdown b = energyOf(machine);
+    EXPECT_EQ(b.totalPj(), 0.0);
+}
+
+TEST(Energy, CoreTermCountsInstructions)
+{
+    Machine machine;
+    machine.op(100);
+    EnergyConfig cfg;
+    EnergyBreakdown b = energyOf(machine, cfg);
+    EXPECT_DOUBLE_EQ(b.corePj, 100 * cfg.instructionPj);
+    EXPECT_EQ(b.l1Pj + b.l2Pj + b.l3Pj + b.dramPj + b.bmuPj, 0.0);
+}
+
+TEST(Energy, ColdMissTouchesEveryLevelOnce)
+{
+    Machine machine;
+    machine.load(0x10000, 8);
+    EnergyConfig cfg;
+    EnergyBreakdown b = energyOf(machine, cfg);
+    EXPECT_DOUBLE_EQ(b.l1Pj, cfg.l1AccessPj);
+    EXPECT_DOUBLE_EQ(b.l2Pj, cfg.l2AccessPj);
+    EXPECT_DOUBLE_EQ(b.l3Pj, cfg.l3AccessPj);
+    EXPECT_DOUBLE_EQ(b.dramPj, cfg.dramAccessPj);
+}
+
+TEST(Energy, RepeatHitStaysInL1)
+{
+    Machine machine;
+    machine.load(0x10000, 8);
+    machine.reset();
+    machine.load(0x10000, 8);
+    machine.load(0x10000, 8);
+    EnergyBreakdown b = energyOf(machine);
+    // Second run: first access misses everywhere again (reset wipes
+    // the caches), second hits L1 — so L1 has 2 accesses, the rest 1.
+    EnergyConfig cfg;
+    EXPECT_DOUBLE_EQ(b.l1Pj, 2 * cfg.l1AccessPj);
+    EXPECT_DOUBLE_EQ(b.dramPj, cfg.dramAccessPj);
+}
+
+TEST(Energy, BmuTermOnlyWithActivity)
+{
+    Machine machine;
+    machine.op(10);
+    EnergyConfig cfg;
+    BmuActivity activity{.wordsScanned = 50, .bufferRefills = 4};
+    EnergyBreakdown without = energyOf(machine, cfg);
+    EnergyBreakdown with = energyOf(machine, cfg, &activity);
+    EXPECT_EQ(without.bmuPj, 0.0);
+    EXPECT_DOUBLE_EQ(with.bmuPj,
+                     50 * cfg.bmuWordScanPj + 4 * cfg.bmuRefillPj);
+    EXPECT_DOUBLE_EQ(with.totalPj() - without.totalPj(), with.bmuPj);
+}
+
+TEST(Energy, SmashHwSpendsLessCoreEnergyThanCsr)
+{
+    fmt::CooMatrix coo = wl::genClustered(256, 256, 4096, 8, 33);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    core::SmashMatrix smash = core::SmashMatrix::fromCoo(
+        coo, core::HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    std::vector<Value> x(static_cast<std::size_t>(coo.cols()), 1.0);
+    std::vector<Value> y(static_cast<std::size_t>(coo.rows()), 0.0);
+
+    Machine m_csr;
+    SimExec e_csr(m_csr);
+    kern::spmvCsr(csr, x, y, e_csr);
+
+    Machine m_hw;
+    SimExec e_hw(m_hw);
+    isa::Bmu bmu;
+    std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
+    std::fill(y.begin(), y.end(), 0.0);
+    kern::spmvSmashHw(smash, bmu, xp, y, e_hw);
+
+    BmuActivity activity{.wordsScanned = bmu.stats().wordsScanned,
+                         .bufferRefills = bmu.stats().bufferRefills};
+    EnergyBreakdown csr_e = energyOf(m_csr);
+    EnergyBreakdown hw_e = energyOf(m_hw, EnergyConfig{}, &activity);
+
+    // Fewer instructions -> less core energy; the BMU's own energy
+    // must not erase the win on a clustered matrix.
+    EXPECT_LT(hw_e.corePj, csr_e.corePj);
+    EXPECT_LT(hw_e.totalPj(), csr_e.totalPj());
+    EXPECT_GT(hw_e.bmuPj, 0.0);
+}
+
+TEST(Energy, ToStringMentionsEveryComponent)
+{
+    Machine machine;
+    machine.op(1);
+    std::string s = toString(energyOf(machine));
+    for (const char* part : {"core", "L1", "L2", "L3", "DRAM", "BMU",
+                             "total"})
+        EXPECT_NE(s.find(part), std::string::npos) << part;
+}
+
+} // namespace
+} // namespace smash::sim

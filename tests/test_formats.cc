@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit and property tests for src/formats: dense/COO/CSR/CSC/BCSR,
+ * conversions, and Matrix Market I/O. The central property: every
+ * conversion round-trips through the dense oracle unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "formats/matrix_market.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::fmt
+{
+namespace
+{
+
+CooMatrix
+smallExample()
+{
+    // The 4x4 matrix of the paper's Fig. 1.
+    CooMatrix coo(4, 4);
+    coo.add(0, 0, 3.2);
+    coo.add(1, 0, 1.2);
+    coo.add(1, 2, 4.2);
+    coo.add(2, 3, 5.1);
+    coo.add(3, 0, 5.3);
+    coo.add(3, 1, 3.3);
+    coo.canonicalize();
+    return coo;
+}
+
+TEST(Dense, ZeroInitialized)
+{
+    DenseMatrix m(3, 5);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 5);
+    EXPECT_EQ(m.countNonZeros(), 0);
+    EXPECT_EQ(m.storageBytes(), 15 * sizeof(Value));
+}
+
+TEST(Dense, AtReadsAndWrites)
+{
+    DenseMatrix m(2, 2);
+    m.at(1, 0) = 2.5;
+    EXPECT_EQ(m.at(1, 0), 2.5);
+    EXPECT_EQ(m.countNonZeros(), 1);
+}
+
+TEST(Dense, ApproxEquals)
+{
+    DenseMatrix a(2, 2), b(2, 2);
+    a.at(0, 0) = 1.0;
+    b.at(0, 0) = 1.0 + 1e-12;
+    EXPECT_TRUE(a.approxEquals(b, 1e-9));
+    EXPECT_FALSE(a.approxEquals(b, 1e-15));
+    DenseMatrix c(2, 3);
+    EXPECT_FALSE(a.approxEquals(c, 1.0));
+}
+
+TEST(Coo, DropsExplicitZeros)
+{
+    CooMatrix coo(2, 2);
+    EXPECT_FALSE(coo.add(0, 0, 0.0));
+    EXPECT_TRUE(coo.add(0, 1, 1.0));
+    EXPECT_EQ(coo.nnz(), 1);
+}
+
+TEST(Coo, RejectsOutOfRange)
+{
+    CooMatrix coo(2, 2);
+    EXPECT_THROW(coo.add(2, 0, 1.0), FatalError);
+    EXPECT_THROW(coo.add(0, -1, 1.0), FatalError);
+}
+
+TEST(Coo, CanonicalizeSortsAndMerges)
+{
+    CooMatrix coo(3, 3);
+    coo.add(2, 1, 1.0);
+    coo.add(0, 2, 2.0);
+    coo.add(2, 1, 3.0);
+    EXPECT_FALSE(coo.isCanonical());
+    coo.canonicalize();
+    EXPECT_TRUE(coo.isCanonical());
+    ASSERT_EQ(coo.nnz(), 2);
+    EXPECT_EQ(coo.entries()[0].row, 0);
+    EXPECT_EQ(coo.entries()[1].value, 4.0);
+}
+
+TEST(Coo, CanonicalizeDropsCancellation)
+{
+    CooMatrix coo(2, 2);
+    coo.add(1, 1, 2.0);
+    coo.add(1, 1, -2.0);
+    coo.canonicalize();
+    EXPECT_EQ(coo.nnz(), 0);
+}
+
+TEST(Csr, MatchesPaperFigure1)
+{
+    CsrMatrix csr = CsrMatrix::fromCoo(smallExample());
+    EXPECT_TRUE(csr.checkInvariants());
+    // row_ptr: 0 1 3 4 6 / col_ind: 0 0 2 3 0 1 (paper Fig. 1).
+    std::vector<CsrIndex> expect_ptr{0, 1, 3, 4, 6};
+    std::vector<CsrIndex> expect_ind{0, 0, 2, 3, 0, 1};
+    EXPECT_EQ(csr.rowPtr(), expect_ptr);
+    EXPECT_EQ(csr.colInd(), expect_ind);
+    EXPECT_EQ(csr.values().front(), 3.2);
+    EXPECT_EQ(csr.rowNnz(1), 2);
+    EXPECT_EQ(csr.at(1, 2), 4.2);
+    EXPECT_EQ(csr.at(1, 1), 0.0);
+}
+
+TEST(Csr, RequiresCanonicalCoo)
+{
+    CooMatrix coo(2, 2);
+    coo.add(1, 1, 1.0);
+    coo.add(0, 0, 1.0); // unsorted
+    EXPECT_THROW(CsrMatrix::fromCoo(coo), FatalError);
+}
+
+TEST(Csr, RoundTripsThroughCoo)
+{
+    CooMatrix coo = smallExample();
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    CooMatrix back = csr.toCoo();
+    EXPECT_TRUE(back.toDense().approxEquals(coo.toDense(), 0.0));
+}
+
+TEST(Csr, StorageBytesAccounting)
+{
+    CsrMatrix csr = CsrMatrix::fromCoo(smallExample());
+    // (rows+1 + nnz) * 4 bytes + nnz * 8 bytes.
+    EXPECT_EQ(csr.storageBytes(), (5 + 6) * 4 + 6 * 8U);
+}
+
+TEST(Csc, ColumnMajorLayout)
+{
+    CscMatrix csc = CscMatrix::fromCoo(smallExample());
+    EXPECT_TRUE(csc.checkInvariants());
+    EXPECT_EQ(csc.colNnz(0), 3); // column 0 holds rows 0, 1, 3
+    EXPECT_EQ(csc.colNnz(2), 1);
+    EXPECT_TRUE(csc.toDense().approxEquals(smallExample().toDense(), 0.0));
+}
+
+TEST(Bcsr, TilesAndFill)
+{
+    BcsrMatrix bcsr = BcsrMatrix::fromCoo(smallExample(), 2, 2);
+    EXPECT_TRUE(bcsr.checkInvariants());
+    // Non-empty 2x2 tiles: (0,0), (0,1), (1,0), (1,1) -> 4 tiles.
+    EXPECT_EQ(bcsr.numBlocks(), 4);
+    EXPECT_DOUBLE_EQ(bcsr.fillEfficiency(), 6.0 / 16.0);
+    EXPECT_TRUE(bcsr.toDense().approxEquals(smallExample().toDense(), 0.0));
+}
+
+TEST(Bcsr, RaggedEdgesPreserved)
+{
+    // 5x5 with 3x3 blocks exercises partial tiles on both edges.
+    CooMatrix coo(5, 5);
+    coo.add(4, 4, 1.5);
+    coo.add(0, 4, 2.5);
+    coo.add(4, 0, 3.5);
+    coo.canonicalize();
+    BcsrMatrix bcsr = BcsrMatrix::fromCoo(coo, 3, 3);
+    EXPECT_TRUE(bcsr.checkInvariants());
+    EXPECT_TRUE(bcsr.toDense().approxEquals(coo.toDense(), 0.0));
+}
+
+TEST(Convert, DenseCooRoundTrip)
+{
+    DenseMatrix dense = smallExample().toDense();
+    CooMatrix coo = denseToCoo(dense);
+    EXPECT_TRUE(coo.isCanonical());
+    EXPECT_TRUE(coo.toDense().approxEquals(dense, 0.0));
+}
+
+TEST(Convert, CsrCscBothWays)
+{
+    CsrMatrix csr = CsrMatrix::fromCoo(smallExample());
+    CscMatrix csc = csrToCsc(csr);
+    CsrMatrix back = cscToCsr(csc);
+    EXPECT_TRUE(back.toDense().approxEquals(csr.toDense(), 0.0));
+}
+
+TEST(Convert, TransposeTwiceIsIdentity)
+{
+    CsrMatrix csr = CsrMatrix::fromCoo(smallExample());
+    CsrMatrix t2 = transpose(transpose(csr));
+    EXPECT_TRUE(t2.toDense().approxEquals(csr.toDense(), 0.0));
+}
+
+TEST(Convert, TransposeSwapsCoordinates)
+{
+    CsrMatrix csr = CsrMatrix::fromCoo(smallExample());
+    CsrMatrix t = transpose(csr);
+    EXPECT_EQ(t.at(2, 1), 4.2); // (1,2) in the original
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    CooMatrix coo = smallExample();
+    std::stringstream ss;
+    writeMatrixMarket(coo, ss);
+    CooMatrix back = readMatrixMarket(ss);
+    EXPECT_TRUE(back.toDense().approxEquals(coo.toDense(), 1e-9));
+}
+
+TEST(MatrixMarket, ParsesPatternField)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate pattern general\n"
+       << "2 2 2\n"
+       << "1 1\n"
+       << "2 2\n";
+    CooMatrix coo = readMatrixMarket(ss);
+    EXPECT_EQ(coo.nnz(), 2);
+    EXPECT_EQ(coo.toDense().at(0, 0), 1.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+       << "3 3 2\n"
+       << "2 1 5.0\n"
+       << "3 3 7.0\n";
+    CooMatrix coo = readMatrixMarket(ss);
+    EXPECT_EQ(coo.nnz(), 3); // (1,0), (0,1), (2,2)
+    EXPECT_EQ(coo.toDense().at(0, 1), 5.0);
+    EXPECT_EQ(coo.toDense().at(1, 0), 5.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "this is not a matrix\n";
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedStream)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "2 2 2\n"
+       << "1 1 1.0\n";
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+/** Round-trip property over random matrices of varying shape. */
+class FormatsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Index, Index, double>>
+{
+};
+
+TEST_P(FormatsRoundTrip, AllFormatsAgreeWithDense)
+{
+    auto [rows, cols, density] = GetParam();
+    Index nnz = static_cast<Index>(
+        static_cast<double>(rows * cols) * density);
+    CooMatrix coo = wl::genUniform(rows, cols, nnz,
+                                   static_cast<std::uint64_t>(rows * 31 +
+                                                              cols));
+    DenseMatrix oracle = coo.toDense();
+
+    EXPECT_TRUE(CsrMatrix::fromCoo(coo).toDense().approxEquals(oracle, 0));
+    EXPECT_TRUE(CscMatrix::fromCoo(coo).toDense().approxEquals(oracle, 0));
+    EXPECT_TRUE(BcsrMatrix::fromCoo(coo, 4, 4)
+                    .toDense().approxEquals(oracle, 0));
+    EXPECT_TRUE(BcsrMatrix::fromCoo(coo, 2, 8)
+                    .toDense().approxEquals(oracle, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FormatsRoundTrip,
+    ::testing::Values(
+        std::make_tuple<Index, Index, double>(1, 1, 1.0),
+        std::make_tuple<Index, Index, double>(7, 13, 0.05),
+        std::make_tuple<Index, Index, double>(64, 64, 0.01),
+        std::make_tuple<Index, Index, double>(100, 3, 0.2),
+        std::make_tuple<Index, Index, double>(3, 100, 0.2),
+        std::make_tuple<Index, Index, double>(128, 128, 0.001),
+        std::make_tuple<Index, Index, double>(50, 50, 0.5)));
+
+} // namespace
+} // namespace smash::fmt

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the SMASH ISA layer: BMU configuration, the
+ * five-instruction scan protocol, ranged scans, buffer-refill
+ * accounting, multi-group independence, and the area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/smash_matrix.hh"
+#include "isa/area_model.hh"
+#include "isa/bmu.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::isa
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::NativeExec;
+
+/** Drive a full PBMAP/RDIND scan; return visited (row, col) pairs. */
+template <typename E>
+std::vector<std::pair<Index, Index>>
+scanAll(const SmashMatrix& m, Bmu& bmu, E& e, int grp = 0)
+{
+    const HierarchyConfig& cfg = m.config();
+    bmu.clearGroup(grp);
+    bmu.matinfo(m.rows(), m.paddedCols(), grp, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.bmapinfo(cfg.ratio(lvl), lvl, grp, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.rdbmap(&m.hierarchy().level(lvl), lvl, grp, e);
+    std::vector<std::pair<Index, Index>> out;
+    Index row = 0, col = 0;
+    while (bmu.pbmap(grp, e)) {
+        bmu.rdind(row, col, grp, e);
+        out.emplace_back(row, col);
+    }
+    return out;
+}
+
+fmt::CooMatrix
+sampleMatrix(Index rows = 40, Index cols = 40, Index nnz = 120,
+             std::uint64_t seed = 5)
+{
+    return wl::genClustered(rows, cols, nnz, 3, seed);
+}
+
+TEST(Bmu, ScanMatchesBitmapTruth)
+{
+    auto coo = sampleMatrix();
+    SmashMatrix m = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    Bmu bmu;
+    NativeExec e;
+    auto visited = scanAll(m, bmu, e);
+    ASSERT_EQ(static_cast<Index>(visited.size()), m.numBlocks());
+
+    // Every visited position must be a set Bitmap-0 bit, in order.
+    const core::Bitmap& level0 = m.hierarchy().level(0);
+    Index k = 0;
+    for (Index bit = level0.findNextSet(0); bit >= 0;
+         bit = level0.findNextSet(bit + 1), ++k) {
+        auto pos = m.positionOfBit(bit);
+        EXPECT_EQ(visited[static_cast<std::size_t>(k)].first, pos.row);
+        EXPECT_EQ(visited[static_cast<std::size_t>(k)].second,
+                  pos.colStart);
+    }
+}
+
+TEST(Bmu, SingleLevelScan)
+{
+    auto coo = sampleMatrix(16, 16, 30, 9);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2}));
+    Bmu bmu;
+    NativeExec e;
+    auto visited = scanAll(m, bmu, e);
+    EXPECT_EQ(static_cast<Index>(visited.size()), m.numBlocks());
+}
+
+TEST(Bmu, ExhaustedScanStaysExhausted)
+{
+    auto coo = sampleMatrix(16, 16, 10, 2);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 4}));
+    Bmu bmu;
+    NativeExec e;
+    scanAll(m, bmu, e);
+    EXPECT_FALSE(bmu.pbmap(0, e));
+    EXPECT_FALSE(bmu.pbmap(0, e));
+}
+
+TEST(Bmu, EmptyMatrixFindsNothing)
+{
+    fmt::CooMatrix coo(8, 8);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2, 4}));
+    Bmu bmu;
+    NativeExec e;
+    EXPECT_TRUE(scanAll(m, bmu, e).empty());
+}
+
+TEST(Bmu, GroupsAreIndependent)
+{
+    auto coo_a = sampleMatrix(24, 24, 40, 3);
+    auto coo_b = sampleMatrix(24, 24, 40, 4);
+    SmashMatrix ma = SmashMatrix::fromCoo(coo_a, HierarchyConfig({2, 4}));
+    SmashMatrix mb = SmashMatrix::fromCoo(coo_b, HierarchyConfig({2, 4}));
+    Bmu bmu;
+    NativeExec e;
+
+    // Interleave configuration, then interleave scanning.
+    bmu.matinfo(ma.rows(), ma.paddedCols(), 0, e);
+    bmu.matinfo(mb.rows(), mb.paddedCols(), 1, e);
+    for (int lvl = 0; lvl < 2; ++lvl) {
+        bmu.bmapinfo(ma.config().ratio(lvl), lvl, 0, e);
+        bmu.bmapinfo(mb.config().ratio(lvl), lvl, 1, e);
+    }
+    for (int lvl = 0; lvl < 2; ++lvl) {
+        bmu.rdbmap(&ma.hierarchy().level(lvl), lvl, 0, e);
+        bmu.rdbmap(&mb.hierarchy().level(lvl), lvl, 1, e);
+    }
+    Index blocks_a = 0, blocks_b = 0;
+    bool more_a = true, more_b = true;
+    while (more_a || more_b) {
+        if (more_a && (more_a = bmu.pbmap(0, e)))
+            ++blocks_a;
+        if (more_b && (more_b = bmu.pbmap(1, e)))
+            ++blocks_b;
+    }
+    EXPECT_EQ(blocks_a, ma.numBlocks());
+    EXPECT_EQ(blocks_b, mb.numBlocks());
+}
+
+TEST(Bmu, RangedScanCoversOneRow)
+{
+    auto coo = sampleMatrix(12, 12, 40, 8);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2}));
+    const Index bpr = m.paddedCols() / m.blockSize();
+    Bmu bmu;
+    NativeExec e;
+    bmu.matinfo(m.rows(), m.paddedCols(), 0, e);
+    bmu.bmapinfo(m.blockSize(), 0, 0, e);
+    bmu.rdbmap(&m.hierarchy().level(0), 0, 0, e);
+
+    const core::Bitmap& level0 = m.hierarchy().level(0);
+    for (Index r = 0; r < m.rows(); ++r) {
+        bmu.beginScan(r * bpr, (r + 1) * bpr, 0, e);
+        Index found = 0;
+        Index row = 0, col = 0;
+        while (bmu.pbmap(0, e)) {
+            bmu.rdind(row, col, 0, e);
+            EXPECT_EQ(row, r);
+            ++found;
+        }
+        Index expect = 0;
+        for (Index b = r * bpr; b < (r + 1) * bpr; ++b)
+            expect += level0.test(b);
+        EXPECT_EQ(found, expect) << "row " << r;
+    }
+}
+
+TEST(Bmu, RangedScanWorksAcrossHierarchyLevels)
+{
+    // Multi-level ranged scan: upper levels skip empty stretches
+    // inside the row, and the per-row results still match the truth.
+    auto coo = sampleMatrix(20, 96, 80, 8);
+    SmashMatrix m = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    const Index bpr = m.paddedCols() / m.blockSize();
+    Bmu bmu;
+    NativeExec e;
+    const HierarchyConfig& cfg = m.config();
+    bmu.matinfo(m.rows(), m.paddedCols(), 0, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.bmapinfo(cfg.ratio(lvl), lvl, 0, e);
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl)
+        bmu.rdbmap(&m.hierarchy().level(lvl), lvl, 0, e);
+
+    const core::Bitmap& level0 = m.hierarchy().level(0);
+    for (Index r = 0; r < m.rows(); ++r) {
+        bmu.beginScan(r * bpr, (r + 1) * bpr, 0, e);
+        std::vector<Index> cols;
+        Index row = 0, col = 0;
+        while (bmu.pbmap(0, e)) {
+            bmu.rdind(row, col, 0, e);
+            EXPECT_EQ(row, r);
+            cols.push_back(col);
+        }
+        std::vector<Index> expect;
+        for (Index b = r * bpr; b < (r + 1) * bpr; ++b) {
+            if (level0.test(b))
+                expect.push_back((b - r * bpr) * m.blockSize());
+        }
+        EXPECT_EQ(cols, expect) << "row " << r;
+    }
+}
+
+TEST(Bmu, RangedScanRequiresConfiguredGroup)
+{
+    Bmu bmu;
+    NativeExec e;
+    EXPECT_THROW(bmu.beginScan(0, 4, 0, e), FatalError);
+}
+
+TEST(Bmu, RejectsBadGroupAndRatio)
+{
+    Bmu bmu;
+    NativeExec e;
+    EXPECT_THROW(bmu.matinfo(4, 4, Bmu::kGroups, e), FatalError);
+    EXPECT_THROW(bmu.bmapinfo(1, 0, 0, e), FatalError);
+    EXPECT_THROW(bmu.bmapinfo(Bmu::kMaxRatio + 1, 0, 0, e), FatalError);
+    EXPECT_THROW(bmu.bmapinfo(2, Bmu::kBuffersPerGroup, 0, e),
+                 FatalError);
+}
+
+TEST(Bmu, ChargesOneInstructionPerIsaOp)
+{
+    auto coo = sampleMatrix(16, 16, 12, 6);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2}));
+    sim::Machine machine;
+    sim::SimExec e(machine);
+    Bmu bmu;
+    bmu.matinfo(m.rows(), m.paddedCols(), 0, e);
+    bmu.bmapinfo(2, 0, 0, e);
+    bmu.rdbmap(&m.hierarchy().level(0), 0, 0, e);
+    EXPECT_EQ(machine.core().instructions(), 3U);
+    Counter before = machine.core().instructions();
+    bmu.pbmap(0, e);
+    Index r, c;
+    bmu.rdind(r, c, 0, e);
+    EXPECT_EQ(machine.core().instructions(), before + 2);
+}
+
+TEST(Bmu, RefillsChargeDeviceTrafficNotInstructions)
+{
+    // A bitmap much larger than one 256-byte buffer forces refills.
+    fmt::CooMatrix coo = wl::genUniform(64, 4096, 2000, 11);
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2}));
+    ASSERT_GT(m.hierarchy().level(0).numWords(), 32 * 2);
+    sim::Machine machine;
+    sim::SimExec e(machine);
+    Bmu bmu;
+    bmu.matinfo(m.rows(), m.paddedCols(), 0, e);
+    bmu.bmapinfo(2, 0, 0, e);
+    bmu.rdbmap(&m.hierarchy().level(0), 0, 0, e);
+    while (bmu.pbmap(0, e)) {
+    }
+    EXPECT_GT(bmu.stats().bufferRefills, 1U);
+    // Memory saw the bitmap stream...
+    EXPECT_GT(machine.memory().stats().accesses,
+              machine.core().loads());
+    // ...but instructions = ISA ops only (3 setup + pbmaps).
+    EXPECT_EQ(machine.core().instructions(),
+              3U + bmu.stats().pbmapCalls);
+}
+
+TEST(Bmu, RejectsHierarchiesDeeperThanItsBuffers)
+{
+    // Software supports up to kMaxLevels; the BMU has three SRAM
+    // buffers per group (§4.2), so a fourth level must be refused.
+    Bmu bmu;
+    NativeExec e;
+    bmu.bmapinfo(2, 0, 0, e);
+    bmu.bmapinfo(4, 1, 0, e);
+    bmu.bmapinfo(4, 2, 0, e);
+    EXPECT_THROW(bmu.bmapinfo(4, 3, 0, e), FatalError);
+}
+
+TEST(AreaModel, ReproducesPaperBound)
+{
+    AreaReport report = computeBmuArea();
+    EXPECT_EQ(report.sramBytes, 3 * 1024);
+    EXPECT_GT(report.totalAreaMm2, 0.0);
+    // The paper's headline: at most 0.076% of a Xeon-class core.
+    EXPECT_LE(report.coreOverheadPct, 0.076);
+    EXPECT_GT(report.coreOverheadPct, 0.01); // sanity: not absurdly low
+}
+
+TEST(AreaModel, ScalesWithBuffers)
+{
+    BmuSizing big;
+    big.bufferBytes = 1024;
+    EXPECT_GT(computeBmuArea(big).totalAreaMm2,
+              computeBmuArea().totalAreaMm2);
+}
+
+TEST(AreaModel, RejectsNonPositiveSizing)
+{
+    BmuSizing bad;
+    bad.groups = 0;
+    EXPECT_THROW(computeBmuArea(bad), FatalError);
+    AreaParams p;
+    p.coreAreaMm2 = 0;
+    EXPECT_THROW(computeBmuArea(BmuSizing{}, p), FatalError);
+}
+
+} // namespace
+} // namespace smash::isa

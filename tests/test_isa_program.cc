@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the ISA encoding layer and the program executor:
+ * encode/decode round trips across the whole field space,
+ * assembler/disassembler inverses, malformed-input rejection, and
+ * end-to-end execution of Algorithm-1-style instruction streams
+ * whose RDIND outputs must match the SmashMatrix block positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/smash_matrix.hh"
+#include "isa/encoding.hh"
+#include "isa/program.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::isa
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::NativeExec;
+
+// ----------------------------------------------------------- encoding
+
+TEST(Encoding, RoundTripsEveryOpcode)
+{
+    const Instruction cases[] = {
+        Instruction::matinfo(1, 2, 0),
+        Instruction::bmapinfo(3, 2, 1),
+        Instruction::rdbmap(4, 1, 2),
+        Instruction::pbmap(3),
+        Instruction::rdind(5, 6, 0),
+    };
+    for (const Instruction& inst : cases) {
+        EXPECT_EQ(decode(encode(inst)), inst)
+            << "round trip failed for " << toAssembly(inst);
+    }
+}
+
+TEST(Encoding, FieldSweepRoundTrips)
+{
+    // Exhaust group x register-corner combinations.
+    for (int grp = 0; grp < Bmu::kGroups; ++grp) {
+        for (int r : {0, 1, 15, 30, 31}) {
+            for (int imm : {0, 1, 2, 15}) {
+                Instruction inst = Instruction::rdbmap(r, imm, grp);
+                EXPECT_EQ(decode(encode(inst)), inst);
+            }
+        }
+    }
+}
+
+TEST(Encoding, DistinctInstructionsGetDistinctWords)
+{
+    EXPECT_NE(encode(Instruction::pbmap(0)), encode(Instruction::pbmap(1)));
+    EXPECT_NE(encode(Instruction::matinfo(1, 2, 0)),
+              encode(Instruction::matinfo(2, 1, 0)));
+}
+
+TEST(Encoding, RejectsOutOfRangeFields)
+{
+    EXPECT_THROW(Instruction::matinfo(32, 0, 0), FatalError);
+    EXPECT_THROW(Instruction::matinfo(-1, 0, 0), FatalError);
+    EXPECT_THROW(Instruction::pbmap(Bmu::kGroups), FatalError);
+    EXPECT_THROW(Instruction::bmapinfo(0, 16, 0), FatalError);
+    EXPECT_THROW(Instruction::rdbmap(0, -1, 0), FatalError);
+}
+
+TEST(Encoding, RejectsUnknownOpcodeWord)
+{
+    // Opcode 0 and opcodes > kRdind are invalid.
+    EXPECT_THROW(decode(0u), FatalError);
+    EXPECT_THROW(decode(InstWord(60) << 26), FatalError);
+}
+
+// ---------------------------------------------------------- assembler
+
+TEST(Assembler, ParsesEveryMnemonic)
+{
+    EXPECT_EQ(parseAssembly("matinfo r1, r2, g0"),
+              Instruction::matinfo(1, 2, 0));
+    EXPECT_EQ(parseAssembly("bmapinfo r3, 2, g1"),
+              Instruction::bmapinfo(3, 2, 1));
+    EXPECT_EQ(parseAssembly("rdbmap [r4], 1, g2"),
+              Instruction::rdbmap(4, 1, 2));
+    EXPECT_EQ(parseAssembly("pbmap g3"), Instruction::pbmap(3));
+    EXPECT_EQ(parseAssembly("rdind r5, r6, g0"),
+              Instruction::rdind(5, 6, 0));
+}
+
+TEST(Assembler, ToleratesWhitespaceAndComments)
+{
+    EXPECT_EQ(parseAssembly("  pbmap   g1   # scan next"),
+              Instruction::pbmap(1));
+    EXPECT_EQ(parseAssembly("\tmatinfo  r10 ,  r11 , g2"),
+              Instruction::matinfo(10, 11, 2));
+}
+
+TEST(Assembler, DisassemblyIsInverse)
+{
+    const Instruction cases[] = {
+        Instruction::matinfo(7, 8, 1),
+        Instruction::bmapinfo(9, 0, 2),
+        Instruction::rdbmap(10, 2, 3),
+        Instruction::pbmap(0),
+        Instruction::rdind(11, 12, 1),
+    };
+    for (const Instruction& inst : cases)
+        EXPECT_EQ(parseAssembly(toAssembly(inst)), inst);
+}
+
+TEST(Assembler, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseAssembly(""), FatalError);
+    EXPECT_THROW(parseAssembly("   # only a comment"), FatalError);
+    EXPECT_THROW(parseAssembly("nop g0"), FatalError);
+    EXPECT_THROW(parseAssembly("pbmap"), FatalError);
+    EXPECT_THROW(parseAssembly("pbmap g0, g1"), FatalError);
+    EXPECT_THROW(parseAssembly("matinfo r1, r2"), FatalError);
+    EXPECT_THROW(parseAssembly("matinfo x1, r2, g0"), FatalError);
+    EXPECT_THROW(parseAssembly("rdbmap r4, 1, g0"), FatalError);
+    EXPECT_THROW(parseAssembly("rdbmap [r4, 1, g0"), FatalError);
+    EXPECT_THROW(parseAssembly("bmapinfo r3, lvl, g0"), FatalError);
+    EXPECT_THROW(parseAssembly("pbmap g9"), FatalError);
+}
+
+TEST(Assembler, ProgramAssembleSkipsBlanksAndComments)
+{
+    BmuProgram program = BmuProgram::assemble(R"(
+        # configure group 0
+        matinfo r1, r2, g0
+
+        bmapinfo r3, 0, g0   # Bitmap-0 ratio
+        pbmap g0
+    )");
+    EXPECT_EQ(program.size(), 3u);
+    EXPECT_EQ(decode(program.words()[0]), Instruction::matinfo(1, 2, 0));
+}
+
+TEST(Assembler, ProgramDisassembleRoundTrips)
+{
+    BmuProgram program;
+    program.push(Instruction::matinfo(1, 2, 0))
+        .push(Instruction::bmapinfo(3, 1, 0))
+        .push(Instruction::pbmap(0));
+    BmuProgram again = BmuProgram::assemble(program.disassemble());
+    EXPECT_EQ(again.words(), program.words());
+}
+
+// ----------------------------------------------------------- executor
+
+/** Algorithm 1 configuration prologue as an instruction stream. */
+BmuProgram
+spmvPrologue(int levels)
+{
+    BmuProgram program;
+    program.push(Instruction::matinfo(1, 2, 0));
+    for (int lvl = levels - 1; lvl >= 0; --lvl)
+        program.push(Instruction::bmapinfo(10 + lvl, lvl, 0));
+    for (int lvl = levels - 1; lvl >= 0; --lvl)
+        program.push(Instruction::rdbmap(20 + lvl, lvl, 0));
+    return program;
+}
+
+TEST(Executor, Algorithm1StreamEnumeratesAllBlocks)
+{
+    fmt::CooMatrix coo = wl::genUniform(32, 32, 150, 5);
+    HierarchyConfig cfg = HierarchyConfig::fromPaperNotation({16, 4, 2});
+    SmashMatrix a = SmashMatrix::fromCoo(coo, cfg);
+
+    Bmu bmu;
+    NativeExec e;
+    BmuExecutor<NativeExec> cpu(bmu, e);
+
+    // Register setup mirrors Algorithm 1 lines 2-8.
+    cpu.setRegister(1, static_cast<std::uint64_t>(a.rows()));
+    cpu.setRegister(2, static_cast<std::uint64_t>(a.paddedCols()));
+    for (int lvl = 0; lvl < cfg.levels(); ++lvl) {
+        cpu.setRegister(10 + lvl,
+                        static_cast<std::uint64_t>(cfg.ratio(lvl)));
+        std::uint64_t addr = 0x1000u + static_cast<std::uint64_t>(lvl);
+        cpu.setRegister(20 + lvl, addr);
+        cpu.mapBitmap(addr, &a.hierarchy().level(lvl));
+    }
+    cpu.run(spmvPrologue(cfg.levels()));
+
+    // Drive PBMAP/RDIND until exhaustion; positions must match the
+    // library's own block enumeration.
+    Instruction pbmap = Instruction::pbmap(0);
+    Instruction rdind = Instruction::rdind(5, 6, 0);
+    Index blocks = 0;
+    Index bit = a.hierarchy().level(0).findNextSet(0);
+    while (cpu.step(pbmap)) {
+        cpu.step(rdind);
+        Index row = static_cast<Index>(cpu.getRegister(5));
+        Index col = static_cast<Index>(cpu.getRegister(6));
+        ASSERT_GE(bit, 0) << "BMU produced more blocks than Bitmap-0";
+        core::BlockPosition expect = a.positionOfBit(bit);
+        EXPECT_EQ(row, expect.row);
+        EXPECT_EQ(col, expect.colStart);
+        bit = a.hierarchy().level(0).findNextSet(bit + 1);
+        ++blocks;
+    }
+    EXPECT_EQ(blocks, a.numBlocks());
+    EXPECT_FALSE(cpu.lastPbmapValid());
+}
+
+TEST(Executor, TraceRecordsPbmapAndRdind)
+{
+    fmt::CooMatrix coo(4, 4);
+    coo.add(1, 2, 5.0);
+    coo.canonicalize();
+    SmashMatrix a = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({2}));
+
+    Bmu bmu;
+    NativeExec e;
+    BmuExecutor<NativeExec> cpu(bmu, e);
+    cpu.setRegister(1, static_cast<std::uint64_t>(a.rows()));
+    cpu.setRegister(2, static_cast<std::uint64_t>(a.paddedCols()));
+    cpu.setRegister(10, 2);
+    cpu.setRegister(20, 0x2000u);
+    cpu.mapBitmap(0x2000u, &a.hierarchy().level(0));
+
+    BmuProgram program = BmuProgram::assemble(R"(
+        matinfo r1, r2, g0
+        bmapinfo r10, 0, g0
+        rdbmap [r20], 0, g0
+        pbmap g0
+        rdind r5, r6, g0
+        pbmap g0
+    )");
+    std::vector<TraceEntry> trace;
+    cpu.run(program, &trace);
+
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_TRUE(trace[3].pbmapValid);
+    EXPECT_EQ(trace[4].rowOut, 1);
+    EXPECT_EQ(trace[4].colOut, 2);
+    EXPECT_FALSE(trace[5].pbmapValid); // only one block exists
+    std::string text = formatTrace(trace);
+    EXPECT_NE(text.find("block found"), std::string::npos);
+    EXPECT_NE(text.find("exhausted"), std::string::npos);
+    EXPECT_NE(text.find("row=1 col=2"), std::string::npos);
+}
+
+TEST(Executor, RdbmapWithUnmappedAddressThrows)
+{
+    Bmu bmu;
+    NativeExec e;
+    BmuExecutor<NativeExec> cpu(bmu, e);
+    cpu.setRegister(4, 0xdead);
+    EXPECT_THROW(cpu.step(Instruction::rdbmap(4, 0, 0)), FatalError);
+}
+
+TEST(Executor, RegisterAccessorsValidate)
+{
+    Bmu bmu;
+    NativeExec e;
+    BmuExecutor<NativeExec> cpu(bmu, e);
+    EXPECT_THROW(cpu.setRegister(-1, 0), FatalError);
+    EXPECT_THROW(cpu.getRegister(32), FatalError);
+    cpu.setRegister(31, 77);
+    EXPECT_EQ(cpu.getRegister(31), 77u);
+}
+
+} // namespace
+} // namespace smash::isa

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Correctness and cost-model tests for every kernel variant: all
+ * SpMV/SpMM/SpAdd encodings must agree with the dense oracle on
+ * randomized inputs, and the simulated cost relationships the paper
+ * depends on (ideal < CSR instructions; SMASH-HW fewer instructions
+ * than CSR; dependent-load counts) must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "kernels/reference.hh"
+#include "sim/exec_model.hh"
+#include "kernels/spadd.hh"
+#include "kernels/spmm.hh"
+#include "kernels/spmv.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::kern
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::Machine;
+using sim::NativeExec;
+using sim::SimExec;
+
+std::vector<Value>
+randomVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> v(static_cast<std::size_t>(n));
+    for (auto& x : v)
+        x = Value(0.25) + static_cast<Value>(rng.uniform());
+    return v;
+}
+
+struct SpmvCase
+{
+    Index rows;
+    Index cols;
+    Index nnz;
+    std::vector<Index> config; // paper top-down notation
+    int structure;             // 0 uniform, 1 clustered, 2 powerlaw
+};
+
+fmt::CooMatrix
+makeMatrix(Index rows, Index cols, Index nnz, int structure,
+           std::uint64_t seed)
+{
+    switch (structure) {
+      case 1:
+        return wl::genClustered(rows, cols, nnz, 4, seed);
+      case 2:
+        return wl::genPowerLaw(rows, cols, nnz, 0.8, seed);
+      default:
+        return wl::genUniform(rows, cols, nnz, seed);
+    }
+}
+
+class SpmvAllVariants : public ::testing::TestWithParam<SpmvCase>
+{
+};
+
+TEST_P(SpmvAllVariants, MatchOracle)
+{
+    const SpmvCase& tc = GetParam();
+    fmt::CooMatrix coo = makeMatrix(tc.rows, tc.cols, tc.nnz,
+                                    tc.structure, 77);
+    fmt::DenseMatrix dense = coo.toDense();
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    fmt::BcsrMatrix bcsr = fmt::BcsrMatrix::fromCoo(coo, 4, 4);
+    auto cfg = HierarchyConfig::fromPaperNotation(tc.config);
+    SmashMatrix smash = SmashMatrix::fromCoo(coo, cfg);
+
+    std::vector<Value> x = randomVector(tc.cols, 31);
+    std::vector<Value> oracle(static_cast<std::size_t>(tc.rows), 0);
+    denseSpmv(dense, x, oracle);
+
+    NativeExec e;
+    auto check = [&](std::vector<Value>& y, const char* what) {
+        ASSERT_EQ(y.size(), oracle.size());
+        for (std::size_t i = 0; i < y.size(); ++i)
+            ASSERT_NEAR(y[i], oracle[i], 1e-9) << what << " row " << i;
+    };
+
+    {
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        spmvCsr(csr, x, y, e);
+        check(y, "csr");
+    }
+    {
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        spmvCsrIdeal(csr, x, y, e);
+        check(y, "csr-ideal");
+    }
+    {
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        spmvCsrUnrolled(csr, x, y, e);
+        check(y, "csr-unrolled");
+    }
+    {
+        std::vector<Value> xb = padVector(
+            x, static_cast<Index>(roundUp(
+                static_cast<std::uint64_t>(tc.cols), 4)));
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        spmvBcsr(bcsr, xb, y, e);
+        check(y, "bcsr");
+    }
+    {
+        std::vector<Value> xp = padVector(x, smash.paddedCols());
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        spmvSmashSw(smash, xp, y, e);
+        check(y, "smash-sw");
+    }
+    {
+        std::vector<Value> xp = padVector(x, smash.paddedCols());
+        std::vector<Value> y(static_cast<std::size_t>(tc.rows), 0);
+        isa::Bmu bmu;
+        spmvSmashHw(smash, bmu, xp, y, e);
+        check(y, "smash-hw");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpmvAllVariants,
+    ::testing::Values(
+        SpmvCase{1, 1, 1, {2}, 0},
+        SpmvCase{30, 30, 90, {4, 2}, 0},
+        SpmvCase{64, 64, 400, {16, 4, 2}, 1},
+        SpmvCase{100, 50, 300, {16, 4, 2}, 0},
+        SpmvCase{50, 100, 600, {8, 4, 2}, 1},
+        SpmvCase{128, 128, 2000, {2, 4, 2}, 2},
+        SpmvCase{77, 91, 777, {8, 4, 8}, 1},
+        SpmvCase{200, 200, 200, {16, 4, 2}, 2}));
+
+class SpmvBaselineFormats
+    : public ::testing::TestWithParam<std::tuple<Index, Index, Index>>
+{
+};
+
+TEST_P(SpmvBaselineFormats, CooAndCscMatchOracle)
+{
+    auto [rows, cols, nnz] = GetParam();
+    fmt::CooMatrix coo = makeMatrix(rows, cols, nnz, 0, 88);
+    fmt::CscMatrix csc = fmt::CscMatrix::fromCoo(coo);
+    std::vector<Value> x = randomVector(cols, 11);
+    std::vector<Value> oracle(static_cast<std::size_t>(rows), 0);
+    denseSpmv(coo.toDense(), x, oracle);
+
+    NativeExec e;
+    std::vector<Value> y1(static_cast<std::size_t>(rows), 0);
+    spmvCoo(coo, x, y1, e);
+    std::vector<Value> y2(static_cast<std::size_t>(rows), 0);
+    spmvCsc(csc, x, y2, e);
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_NEAR(y1[i], oracle[i], 1e-9) << "coo row " << i;
+        EXPECT_NEAR(y2[i], oracle[i], 1e-9) << "csc row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmvBaselineFormats,
+    ::testing::Values(std::make_tuple<Index, Index, Index>(1, 1, 1),
+                      std::make_tuple<Index, Index, Index>(40, 60, 300),
+                      std::make_tuple<Index, Index, Index>(60, 40, 300),
+                      std::make_tuple<Index, Index, Index>(128, 128,
+                                                           1000)));
+
+TEST(SpmvCost, IdealUsesFewerInstructionsThanCsr)
+{
+    fmt::CooMatrix coo = wl::genUniform(256, 256, 4000, 3);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> x = randomVector(256, 4);
+
+    Machine m_csr, m_ideal;
+    SimExec e_csr(m_csr), e_ideal(m_ideal);
+    std::vector<Value> y1(256, 0), y2(256, 0);
+    spmvCsr(csr, x, y1, e_csr);
+    spmvCsrIdeal(csr, x, y2, e_ideal);
+
+    EXPECT_LT(m_ideal.core().instructions(),
+              m_csr.core().instructions());
+    EXPECT_LT(m_ideal.core().cycles(), m_csr.core().cycles());
+    // The paper's Fig. 3 band: roughly 40-50% fewer instructions.
+    double ratio = static_cast<double>(m_ideal.core().instructions()) /
+        static_cast<double>(m_csr.core().instructions());
+    EXPECT_LT(ratio, 0.8);
+    EXPECT_GT(ratio, 0.3);
+}
+
+TEST(SpmvCost, CsrChasesPointersSmashHwDoesNot)
+{
+    fmt::CooMatrix coo = wl::genClustered(256, 256, 4000, 4, 5);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    SmashMatrix smash = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    std::vector<Value> x = randomVector(256, 6);
+
+    Machine m_csr;
+    SimExec e_csr(m_csr);
+    std::vector<Value> y1(256, 0);
+    spmvCsr(csr, x, y1, e_csr);
+    double csr_stall = m_csr.core().stallCycles();
+
+    Machine m_hw;
+    SimExec e_hw(m_hw);
+    isa::Bmu bmu;
+    std::vector<Value> xp = padVector(x, smash.paddedCols());
+    std::vector<Value> y2(256, 0);
+    spmvSmashHw(smash, bmu, xp, y2, e_hw);
+
+    EXPECT_LT(m_hw.core().instructions(), m_csr.core().instructions());
+    EXPECT_LT(m_hw.core().stallCycles(), csr_stall);
+}
+
+struct SpmmCase
+{
+    Index m, k, n;  // A is m x k, B is k x n
+    Index nnz_a, nnz_b;
+    Index block;
+};
+
+class SpmmAllVariants : public ::testing::TestWithParam<SpmmCase>
+{
+};
+
+TEST_P(SpmmAllVariants, MatchOracle)
+{
+    const SpmmCase& tc = GetParam();
+    fmt::CooMatrix coo_a = wl::genClustered(tc.m, tc.k, tc.nnz_a, 3, 21);
+    fmt::CooMatrix coo_b = wl::genClustered(tc.k, tc.n, tc.nnz_b, 3, 22);
+    fmt::DenseMatrix da = coo_a.toDense();
+    fmt::DenseMatrix db = coo_b.toDense();
+    fmt::DenseMatrix oracle(tc.m, tc.n);
+    denseSpmm(da, db, oracle);
+
+    fmt::CsrMatrix a_csr = fmt::CsrMatrix::fromCoo(coo_a);
+    fmt::CscMatrix b_csc = fmt::CscMatrix::fromCoo(coo_b);
+    fmt::CsrMatrix bt_csr = fmt::transpose(a_csr); // unused shape aid
+    NativeExec e;
+
+    {
+        fmt::DenseMatrix c(tc.m, tc.n);
+        spmmCsr(a_csr, b_csc, c, e);
+        EXPECT_TRUE(c.approxEquals(oracle, 1e-9)) << "csr";
+    }
+    {
+        fmt::DenseMatrix c(tc.m, tc.n);
+        spmmCsrIdeal(a_csr, b_csc, c, e);
+        EXPECT_TRUE(c.approxEquals(oracle, 1e-9)) << "csr-ideal";
+    }
+    {
+        fmt::CooMatrix coo_bt = fmt::transpose(
+            fmt::CsrMatrix::fromCoo(coo_b)).toCoo();
+        fmt::BcsrMatrix a_b = fmt::BcsrMatrix::fromCoo(coo_a, 4, 4);
+        fmt::BcsrMatrix bt_b = fmt::BcsrMatrix::fromCoo(coo_bt, 4, 4);
+        fmt::DenseMatrix c(tc.m, tc.n);
+        spmmBcsr(a_b, bt_b, c, e);
+        EXPECT_TRUE(c.approxEquals(oracle, 1e-9)) << "bcsr";
+    }
+    {
+        HierarchyConfig cfg({tc.block});
+        fmt::CooMatrix coo_bt = fmt::transpose(
+            fmt::CsrMatrix::fromCoo(coo_b)).toCoo();
+        SmashMatrix a_s = SmashMatrix::fromCoo(coo_a, cfg);
+        SmashMatrix bt_s = SmashMatrix::fromCoo(coo_bt, cfg);
+        fmt::DenseMatrix c1(tc.m, tc.n);
+        spmmSmashSw(a_s, bt_s, c1, e);
+        EXPECT_TRUE(c1.approxEquals(oracle, 1e-9)) << "smash-sw";
+
+        fmt::DenseMatrix c2(tc.m, tc.n);
+        isa::Bmu bmu;
+        spmmSmashHw(a_s, bt_s, bmu, c2, e);
+        EXPECT_TRUE(c2.approxEquals(oracle, 1e-9)) << "smash-hw";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpmmAllVariants,
+    ::testing::Values(
+        SpmmCase{8, 8, 8, 16, 16, 2},
+        SpmmCase{32, 24, 16, 100, 80, 2},
+        SpmmCase{48, 48, 48, 300, 300, 4},
+        SpmmCase{20, 64, 12, 200, 150, 8},
+        SpmmCase{64, 32, 64, 256, 256, 2}));
+
+TEST(SpmmCost, IdealCutsInstructionsHard)
+{
+    // Index matching dominates SpMM, so the ideal gap should exceed
+    // the SpMV gap (paper: 65% vs 42% fewer instructions).
+    fmt::CooMatrix coo_a = wl::genUniform(96, 96, 1200, 31);
+    fmt::CooMatrix coo_b = wl::genUniform(96, 64, 800, 32);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo_a);
+    fmt::CscMatrix b = fmt::CscMatrix::fromCoo(coo_b);
+
+    Machine m_csr, m_ideal;
+    SimExec e1(m_csr), e2(m_ideal);
+    fmt::DenseMatrix c1(96, 64), c2(96, 64);
+    spmmCsr(a, b, c1, e1);
+    spmmCsrIdeal(a, b, c2, e2);
+    double ratio = static_cast<double>(m_ideal.core().instructions()) /
+        static_cast<double>(m_csr.core().instructions());
+    EXPECT_LT(ratio, 0.6);
+}
+
+TEST(SpmmCost, SmashHwBeatsCsr)
+{
+    fmt::CooMatrix coo_a = wl::genClustered(96, 96, 1500, 4, 41);
+    fmt::CooMatrix coo_b = wl::genClustered(96, 64, 1000, 4, 42);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo_a);
+    fmt::CscMatrix b = fmt::CscMatrix::fromCoo(coo_b);
+    HierarchyConfig cfg({4});
+    SmashMatrix a_s = SmashMatrix::fromCoo(coo_a, cfg);
+    SmashMatrix bt_s = SmashMatrix::fromCoo(
+        fmt::transpose(fmt::CsrMatrix::fromCoo(coo_b)).toCoo(), cfg);
+
+    Machine m_csr, m_hw;
+    SimExec e1(m_csr), e2(m_hw);
+    fmt::DenseMatrix c1(96, 64), c2(96, 64);
+    spmmCsr(a, b, c1, e1);
+    isa::Bmu bmu;
+    spmmSmashHw(a_s, bt_s, bmu, c2, e2);
+    EXPECT_TRUE(c1.approxEquals(c2, 1e-9));
+    EXPECT_LT(m_hw.core().instructions(), m_csr.core().instructions());
+    EXPECT_LT(m_hw.core().cycles(), m_csr.core().cycles());
+}
+
+class SpaddVariants
+    : public ::testing::TestWithParam<std::tuple<Index, Index, Index>>
+{
+};
+
+TEST_P(SpaddVariants, MatchOracle)
+{
+    auto [rows, cols, nnz] = GetParam();
+    fmt::CooMatrix coo_a = wl::genUniform(rows, cols, nnz, 51);
+    fmt::CooMatrix coo_b = wl::genClustered(rows, cols, nnz, 3, 52);
+    fmt::DenseMatrix oracle(rows, cols);
+    denseSpadd(coo_a.toDense(), coo_b.toDense(), oracle);
+
+    NativeExec e;
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo_a);
+    fmt::CsrMatrix b = fmt::CsrMatrix::fromCoo(coo_b);
+    {
+        fmt::CooMatrix c = spaddCsr(a, b, e);
+        EXPECT_TRUE(c.toDense().approxEquals(oracle, 1e-12)) << "csr";
+    }
+    {
+        fmt::CooMatrix c = spaddCsrIdeal(a, b, e);
+        EXPECT_TRUE(c.toDense().approxEquals(oracle, 1e-12)) << "ideal";
+    }
+    {
+        HierarchyConfig cfg({2, 4});
+        SmashMatrix sa = SmashMatrix::fromCoo(coo_a, cfg);
+        SmashMatrix sb = SmashMatrix::fromCoo(coo_b, cfg);
+        SmashMatrix sc = spaddSmash(sa, sb, e);
+        EXPECT_TRUE(sc.checkInvariants());
+        EXPECT_TRUE(sc.toDense().approxEquals(oracle, 1e-12)) << "smash";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpaddVariants,
+    ::testing::Values(std::make_tuple<Index, Index, Index>(16, 16, 40),
+                      std::make_tuple<Index, Index, Index>(64, 64, 500),
+                      std::make_tuple<Index, Index, Index>(33, 65, 200),
+                      std::make_tuple<Index, Index, Index>(128, 16, 300)));
+
+TEST(SpaddSmash, CancellationDropsBlocks)
+{
+    fmt::CooMatrix coo_a(4, 4);
+    coo_a.add(0, 0, 2.0);
+    coo_a.add(2, 2, 1.0);
+    coo_a.canonicalize();
+    fmt::CooMatrix coo_b(4, 4);
+    coo_b.add(0, 0, -2.0);
+    coo_b.add(2, 2, 1.0);
+    coo_b.canonicalize();
+    HierarchyConfig cfg({2, 2});
+    NativeExec e;
+    SmashMatrix c = spaddSmash(SmashMatrix::fromCoo(coo_a, cfg),
+                               SmashMatrix::fromCoo(coo_b, cfg), e);
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_EQ(c.nnz(), 1);
+    EXPECT_EQ(c.numBlocks(), 1);
+    EXPECT_DOUBLE_EQ(c.toDense().at(2, 2), 2.0);
+}
+
+TEST(SpaddCost, IdealUsesFewerInstructions)
+{
+    fmt::CooMatrix coo_a = wl::genUniform(128, 128, 1500, 61);
+    fmt::CooMatrix coo_b = wl::genUniform(128, 128, 1500, 62);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo_a);
+    fmt::CsrMatrix b = fmt::CsrMatrix::fromCoo(coo_b);
+    Machine m1, m2;
+    SimExec e1(m1), e2(m2);
+    spaddCsr(a, b, e1);
+    spaddCsrIdeal(a, b, e2);
+    double ratio = static_cast<double>(m2.core().instructions()) /
+        static_cast<double>(m1.core().instructions());
+    EXPECT_LT(ratio, 0.75); // the Fig. 3 SpMatAdd band (~51%)
+}
+
+TEST(KernelUtil, PadVectorExtends)
+{
+    std::vector<Value> x{1, 2, 3};
+    auto p = padVector(x, 6);
+    ASSERT_EQ(p.size(), 6U);
+    EXPECT_EQ(p[2], 3.0);
+    EXPECT_EQ(p[5], 0.0);
+    // Already long enough: unchanged.
+    EXPECT_EQ(padVector(p, 4).size(), 6U);
+}
+
+TEST(KernelUtil, RowBlockRanks)
+{
+    fmt::CooMatrix coo(4, 8);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 6, 1.0);
+    coo.add(2, 3, 1.0);
+    coo.canonicalize();
+    SmashMatrix m = SmashMatrix::fromCoo(coo, HierarchyConfig({2}));
+    auto rank = rowBlockRanks(m);
+    ASSERT_EQ(rank.size(), 5U);
+    EXPECT_EQ(rank[0], 0);
+    EXPECT_EQ(rank[1], 2); // row 0 has blocks at cols 0-1 and 6-7
+    EXPECT_EQ(rank[2], 2); // row 1 empty
+    EXPECT_EQ(rank[3], 3); // row 2 has one block
+    EXPECT_EQ(rank[4], 3);
+}
+
+} // namespace
+} // namespace smash::kern

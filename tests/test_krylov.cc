@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the extended §5.2.1 solver stack: sparse triangular
+ * solves, ILU(0) factorization (including the defining property
+ * (LU)_ij == A_ij on A's pattern), preconditioned CG, BiCGSTAB and
+ * Lanczos eigenvalue estimation — each over both CSR and SMASH
+ * SpMV backends where applicable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "kernels/spgemm.hh"
+#include "kernels/spmv.hh"
+#include "kernels/sptrsv.hh"
+#include "sim/exec_model.hh"
+#include "solvers/ilu.hh"
+#include "solvers/krylov.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::solve
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::NativeExec;
+
+std::vector<Value>
+randomVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> v(static_cast<std::size_t>(n));
+    for (auto& x : v)
+        x = Value(0.5) + static_cast<Value>(rng.uniform());
+    return v;
+}
+
+/** Well-conditioned random lower-triangular CSR (diag stored). */
+fmt::CsrMatrix
+randomLower(Index n, Index extra_per_row, std::uint64_t seed)
+{
+    Rng rng(seed);
+    fmt::CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i) {
+        coo.add(i, i, 2.0 + rng.uniform());
+        for (Index k = 0; k < std::min(extra_per_row, i); ++k) {
+            Index c = static_cast<Index>(
+                rng.below(static_cast<std::uint64_t>(i)));
+            coo.add(i, c, 0.25 * (rng.uniform() - 0.5));
+        }
+    }
+    coo.canonicalize();
+    return fmt::CsrMatrix::fromCoo(coo);
+}
+
+// ------------------------------------------------------------ SpTRSV
+
+TEST(Sptrsv, LowerSolveInvertsMultiplication)
+{
+    fmt::CsrMatrix l = randomLower(64, 3, 5);
+    std::vector<Value> x_true = randomVector(64, 6);
+    std::vector<Value> b(64, 0.0);
+    NativeExec e;
+    kern::spmvCsr(l, x_true, b, e);
+    std::vector<Value> x(64, 0.0);
+    kern::sptrsvLowerCsr(l, b, x, e);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Sptrsv, UpperSolveInvertsMultiplication)
+{
+    fmt::CsrMatrix l = randomLower(48, 2, 7);
+    fmt::CsrMatrix u = fmt::transpose(l);
+    std::vector<Value> x_true = randomVector(48, 8);
+    std::vector<Value> b(48, 0.0);
+    NativeExec e;
+    kern::spmvCsr(u, x_true, b, e);
+    std::vector<Value> x(48, 0.0);
+    kern::sptrsvUpperCsr(u, b, x, e);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Sptrsv, UnitDiagonalSkipsDivision)
+{
+    // L with implicit unit diagonal: solve with strictly-lower part.
+    fmt::CooMatrix coo(3, 3);
+    coo.add(1, 0, 2.0);
+    coo.add(2, 1, -1.0);
+    coo.canonicalize();
+    fmt::CsrMatrix l = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b{1.0, 1.0, 1.0};
+    std::vector<Value> x(3, 0.0);
+    NativeExec e;
+    kern::sptrsvLowerCsr(l, b, x, e, /*unit_diagonal=*/true);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], -1.0, 1e-12);  // 1 - 2*1
+    EXPECT_NEAR(x[2], 0.0, 1e-12);   // 1 - (-1)*(-1)
+}
+
+TEST(Sptrsv, RejectsEntriesOnWrongSide)
+{
+    fmt::CooMatrix coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 2, 1.0); // above the diagonal
+    coo.add(1, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    coo.canonicalize();
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b(3, 1.0), x(3, 0.0);
+    NativeExec e;
+    EXPECT_THROW(kern::sptrsvLowerCsr(a, b, x, e), FatalError);
+}
+
+TEST(Sptrsv, RejectsZeroDiagonal)
+{
+    fmt::CooMatrix coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 0, 1.0); // row 1 has no diagonal
+    coo.canonicalize();
+    fmt::CsrMatrix l = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b(2, 1.0), x(2, 0.0);
+    NativeExec e;
+    EXPECT_THROW(kern::sptrsvLowerCsr(l, b, x, e), FatalError);
+}
+
+// ------------------------------------------------------------- ILU(0)
+
+TEST(Ilu0, DefiningPropertyOnPattern)
+{
+    // (L U)_ij == A_ij for every (i,j) in A's sparsity pattern.
+    fmt::CooMatrix coo = wl::genPoisson2d(8, 8);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    Ilu0Factors f = ilu0(a);
+
+    // Assemble L with its unit diagonal for the product check.
+    fmt::CooMatrix l_coo = f.lower.toCoo();
+    for (Index i = 0; i < a.rows(); ++i)
+        l_coo.add(i, i, 1.0);
+    l_coo.canonicalize();
+    NativeExec e;
+    fmt::CsrMatrix lu = kern::spgemmGustavson(
+        fmt::CsrMatrix::fromCoo(l_coo), f.upper, e);
+
+    for (const fmt::CooEntry& entry : coo.entries())
+        EXPECT_NEAR(lu.at(entry.row, entry.col), entry.value, 1e-9)
+            << "at (" << entry.row << "," << entry.col << ")";
+}
+
+TEST(Ilu0, ExactForTriangularPatterns)
+{
+    // A already lower triangular: ILU(0) reproduces A exactly
+    // (L = unit strict lower of A D^-1 ... in fact U = diag row).
+    fmt::CsrMatrix a = randomLower(32, 3, 17);
+    Ilu0Factors f = ilu0(a);
+    // Solve with the factors and compare against direct solve on A.
+    std::vector<Value> x_true = randomVector(32, 18);
+    std::vector<Value> b(32, 0.0);
+    NativeExec e;
+    kern::spmvCsr(a, x_true, b, e);
+    Ilu0Preconditioner precond(std::move(f));
+    std::vector<Value> x(32, 0.0);
+    precond(b, x, e);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Ilu0, RequiresStoredDiagonal)
+{
+    fmt::CooMatrix coo(2, 2);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.canonicalize();
+    EXPECT_THROW(ilu0(fmt::CsrMatrix::fromCoo(coo)), FatalError);
+}
+
+TEST(Ilu0, RequiresSquare)
+{
+    fmt::CooMatrix coo = wl::genUniform(4, 6, 10, 3);
+    EXPECT_THROW(ilu0(fmt::CsrMatrix::fromCoo(coo)), FatalError);
+}
+
+// ---------------------------------------------------- Preconditioned CG
+
+struct CsrOp
+{
+    const fmt::CsrMatrix& a;
+    void
+    operator()(const std::vector<Value>& x, std::vector<Value>& y) const
+    {
+        NativeExec e;
+        kern::spmvCsr(a, x, y, e);
+    }
+};
+
+TEST(Pcg, Ilu0ConvergesFasterThanUnpreconditioned)
+{
+    fmt::CooMatrix coo = wl::genPoisson2d(16, 16);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b = randomVector(a.rows(), 4);
+    NativeExec e;
+
+    std::vector<Value> x0(b.size(), 0.0);
+    IdentityPreconditioner ident;
+    SolveReport plain = preconditionedCg(
+        CsrOp{a},
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            NativeExec& ee) { ident(r, z, ee); },
+        b, x0, 1e-10, 500, e);
+
+    std::vector<Value> x1(b.size(), 0.0);
+    Ilu0Preconditioner ilu_pc(ilu0(a));
+    SolveReport pc = preconditionedCg(
+        CsrOp{a},
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            NativeExec& ee) { ilu_pc(r, z, ee); },
+        b, x1, 1e-10, 500, e);
+
+    EXPECT_TRUE(plain.converged);
+    EXPECT_TRUE(pc.converged);
+    EXPECT_LT(pc.iterations, plain.iterations);
+
+    // Both reach the same solution.
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        EXPECT_NEAR(x0[i], x1[i], 1e-6);
+}
+
+TEST(Pcg, JacobiPreconditionerSolvesPoisson)
+{
+    fmt::CooMatrix coo = wl::genPoisson2d(12, 12);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> diag(static_cast<std::size_t>(a.rows()), 4.0);
+    std::vector<Value> b = randomVector(a.rows(), 9);
+    std::vector<Value> x(b.size(), 0.0);
+    NativeExec e;
+    JacobiPreconditioner jac(diag);
+    SolveReport rep = preconditionedCg(
+        CsrOp{a},
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            NativeExec& ee) { jac(r, z, ee); },
+        b, x, 1e-10, 500, e);
+    EXPECT_TRUE(rep.converged);
+
+    // Residual check against the operator.
+    std::vector<Value> ax(b.size(), 0.0);
+    kern::spmvCsr(a, x, ax, e);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+TEST(Pcg, SmashBackendMatchesCsrBackend)
+{
+    fmt::CooMatrix coo = wl::genPoisson2d(10, 10);
+    fmt::CsrMatrix a_csr = fmt::CsrMatrix::fromCoo(coo);
+    SmashMatrix a_smash = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    std::vector<Value> b = randomVector(a_csr.rows(), 14);
+    NativeExec e;
+    IdentityPreconditioner ident;
+
+    std::vector<Value> x_csr(b.size(), 0.0), x_smash(b.size(), 0.0);
+    preconditionedCg(
+        CsrOp{a_csr},
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            NativeExec& ee) { ident(r, z, ee); },
+        b, x_csr, 1e-10, 500, e);
+
+    auto smash_op = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        NativeExec ee;
+        std::vector<Value> xp(x);
+        xp.resize(static_cast<std::size_t>(a_smash.paddedCols()), 0.0);
+        kern::spmvSmashSw(a_smash, xp, y, ee);
+    };
+    preconditionedCg(
+        smash_op,
+        [&](const std::vector<Value>& r, std::vector<Value>& z,
+            NativeExec& ee) { ident(r, z, ee); },
+        b, x_smash, 1e-10, 500, e);
+
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(x_csr[i], x_smash[i], 1e-7);
+}
+
+// ------------------------------------------------------------ BiCGSTAB
+
+TEST(Bicgstab, SolvesNonSymmetricSystem)
+{
+    fmt::CooMatrix coo = wl::genDiagDominant(120, 6, 1.0, 42);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> x_true = randomVector(120, 43);
+    std::vector<Value> b(120, 0.0);
+    NativeExec e;
+    kern::spmvCsr(a, x_true, b, e);
+
+    std::vector<Value> x(120, 0.0);
+    SolveReport rep = bicgstab(CsrOp{a}, b, x, 1e-12, 400, e);
+    EXPECT_TRUE(rep.converged);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+TEST(Bicgstab, HandlesZeroRhs)
+{
+    fmt::CooMatrix coo = wl::genDiagDominant(16, 3, 1.0, 5);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b(16, 0.0);
+    std::vector<Value> x = randomVector(16, 6);
+    NativeExec e;
+    SolveReport rep = bicgstab(CsrOp{a}, b, x, 1e-12, 100, e);
+    EXPECT_TRUE(rep.converged);
+    for (Value v : x)
+        EXPECT_EQ(v, Value(0));
+}
+
+TEST(Bicgstab, DimensionMismatchThrows)
+{
+    fmt::CooMatrix coo = wl::genDiagDominant(8, 2, 1.0, 5);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> b(8, 1.0), x(7, 0.0);
+    NativeExec e;
+    EXPECT_THROW(bicgstab(CsrOp{a}, b, x, 1e-10, 10, e), FatalError);
+}
+
+// ------------------------------------------------------------- Lanczos
+
+TEST(TridiagEigen, DiagonalMatrixIsItsOwnSpectrum)
+{
+    auto ev = symTridiagEigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+    ASSERT_EQ(ev.size(), 3u);
+    EXPECT_NEAR(ev[0], 1.0, 1e-12);
+    EXPECT_NEAR(ev[1], 2.0, 1e-12);
+    EXPECT_NEAR(ev[2], 3.0, 1e-12);
+}
+
+TEST(TridiagEigen, TwoByTwoAnalytic)
+{
+    // [[2, 1], [1, 2]] -> {1, 3}.
+    auto ev = symTridiagEigenvalues({2.0, 2.0}, {1.0});
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_NEAR(ev[0], 1.0, 1e-12);
+    EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(TridiagEigen, UniformTridiagonalMatchesClosedForm)
+{
+    // (-1, 2, -1) of size n: lambda_k = 2 - 2 cos(k pi / (n+1)).
+    const int n = 12;
+    std::vector<double> alpha(n, 2.0), beta(n - 1, -1.0);
+    auto ev = symTridiagEigenvalues(alpha, beta);
+    ASSERT_EQ(ev.size(), static_cast<std::size_t>(n));
+    for (int k = 1; k <= n; ++k) {
+        double expected = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+        EXPECT_NEAR(ev[static_cast<std::size_t>(k - 1)], expected, 1e-10);
+    }
+}
+
+TEST(TridiagEigen, RejectsMismatchedLengths)
+{
+    EXPECT_THROW(symTridiagEigenvalues({1.0, 2.0}, {0.5, 0.5}), FatalError);
+}
+
+TEST(Lanczos, RecoversPoissonExtremeEigenvalues)
+{
+    // 1-D Poisson (tridiagonal -1/2/-1) has a known spectrum; a
+    // modest Lanczos run must bracket it tightly at both ends.
+    const Index n = 64;
+    fmt::CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i) {
+        coo.add(i, i, 2.0);
+        if (i > 0)
+            coo.add(i, i - 1, -1.0);
+        if (i + 1 < n)
+            coo.add(i, i + 1, -1.0);
+    }
+    coo.canonicalize();
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    NativeExec e;
+    LanczosResult lr = lanczos(CsrOp{a}, randomVector(n, 77), 48, e);
+    auto ritz = lr.ritzValues();
+    ASSERT_FALSE(ritz.empty());
+
+    // The Poisson spectrum clusters at both ends, so extreme Ritz
+    // values converge only polynomially; bracket at 1e-4.
+    const double lambda_max =
+        2.0 - 2.0 * std::cos(static_cast<double>(n) * M_PI / (n + 1));
+    const double lambda_min = 2.0 - 2.0 * std::cos(M_PI / (n + 1));
+    EXPECT_NEAR(ritz.back(), lambda_max, 1e-4);
+    EXPECT_NEAR(ritz.front(), lambda_min, 1e-4);
+    // Ritz values are interior to the true spectrum.
+    EXPECT_LE(ritz.back(), lambda_max + 1e-12);
+    EXPECT_GE(ritz.front(), lambda_min - 1e-12);
+}
+
+TEST(Lanczos, AgreesWithPowerMethodOnDominantEigenvalue)
+{
+    fmt::CooMatrix coo = wl::genPoisson2d(9, 9);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    NativeExec e;
+    std::vector<Value> x = randomVector(a.rows(), 5);
+    Value lambda_pm = powerMethod(CsrOp{a}, x, 1e-12, 3000, e);
+    LanczosResult lr = lanczos(CsrOp{a}, randomVector(a.rows(), 6), 40, e);
+    EXPECT_NEAR(lr.ritzValues().back(), static_cast<double>(lambda_pm),
+                1e-5);
+}
+
+TEST(Lanczos, BreaksDownCleanlyOnLowRankOperator)
+{
+    // Identity: the Krylov space collapses after one step.
+    const Index n = 10;
+    fmt::CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i)
+        coo.add(i, i, 1.0);
+    coo.canonicalize();
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    NativeExec e;
+    LanczosResult lr = lanczos(CsrOp{a}, randomVector(n, 8), 5, e);
+    EXPECT_TRUE(lr.brokeDown);
+    auto ritz = lr.ritzValues();
+    ASSERT_EQ(ritz.size(), 1u);
+    EXPECT_NEAR(ritz[0], 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace smash::solve

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: cache geometry/LRU,
+ * stride prefetcher training, DRAM row-buffer behaviour, the
+ * hierarchy walk, and the core cost model's dependent/independent
+ * stall accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/exec_model.hh"
+#include "sim/machine.hh"
+
+namespace smash::sim
+{
+namespace
+{
+
+TEST(Cache, HitAfterInsert)
+{
+    Cache c(CacheConfig{"t", 1024, 2, 1, false});
+    EXPECT_FALSE(c.access(0x100));
+    c.insert(0x100);
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13F)); // same 64B line
+    EXPECT_FALSE(c.access(0x140)); // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2 ways, 8 sets: lines 64 bytes; three lines in one set.
+    Cache c(CacheConfig{"t", 1024, 2, 1, false});
+    const Addr set_stride = 8 * 64; // same set every 512 bytes
+    c.insert(0);
+    c.insert(set_stride);
+    EXPECT_TRUE(c.access(0));           // 0 is now MRU
+    c.insert(2 * set_stride);           // evicts set_stride
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(set_stride));
+    EXPECT_TRUE(c.contains(2 * set_stride));
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    Cache c(CacheConfig{"t", 1024, 2, 1, false});
+    c.insert(0x40);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(CacheConfig{"t", 1000, 3, 1, false}), FatalError);
+}
+
+TEST(Cache, StatsCountMisses)
+{
+    Cache c(CacheConfig{"t", 1024, 2, 1, false});
+    c.access(0);
+    c.insert(0);
+    c.access(0);
+    EXPECT_EQ(c.stats().accesses, 2U);
+    EXPECT_EQ(c.stats().misses, 1U);
+}
+
+TEST(Prefetcher, TrainsOnUnitStride)
+{
+    StridePrefetcher pf;
+    std::array<Addr, StridePrefetcher::kMaxIssue> out;
+    int issued = 0;
+    for (int i = 0; i < 8; ++i)
+        issued += pf.observe(static_cast<Addr>(i) * 64, out);
+    EXPECT_GT(issued, 0);
+    EXPECT_GE(pf.stats().trained, 1U);
+}
+
+TEST(Prefetcher, PrefetchesAheadOfStream)
+{
+    StridePrefetcher pf;
+    std::array<Addr, StridePrefetcher::kMaxIssue> out;
+    Addr last_line = 0;
+    for (int i = 0; i < 10; ++i) {
+        int n = pf.observe(static_cast<Addr>(i) * 64, out);
+        for (int k = 0; k < n; ++k) {
+            EXPECT_GT(out[static_cast<std::size_t>(k)] / 64,
+                      static_cast<Addr>(i));
+            last_line = out[static_cast<std::size_t>(k)] / 64;
+        }
+    }
+    EXPECT_GT(last_line, 9U);
+}
+
+TEST(Prefetcher, IgnoresRandomAccesses)
+{
+    StridePrefetcher pf;
+    std::array<Addr, StridePrefetcher::kMaxIssue> out;
+    int issued = 0;
+    // Strides far above kMaxStride never form a stream.
+    Addr a = 0;
+    for (int i = 0; i < 50; ++i) {
+        a += 64 * 1000 + static_cast<Addr>(i * 640);
+        issued += pf.observe(a, out);
+    }
+    EXPECT_EQ(issued, 0);
+}
+
+TEST(Prefetcher, TracksNegativeStride)
+{
+    StridePrefetcher pf;
+    std::array<Addr, StridePrefetcher::kMaxIssue> out;
+    int issued = 0;
+    for (int i = 20; i > 0; --i)
+        issued += pf.observe(static_cast<Addr>(i) * 64, out);
+    EXPECT_GT(issued, 0);
+}
+
+TEST(Dram, RowHitIsCheaper)
+{
+    DramModel dram;
+    Cycles first = dram.access(0);
+    Cycles second = dram.access(64); // same row
+    EXPECT_EQ(first, dram.config().rowMissLatency);
+    EXPECT_EQ(second, dram.config().rowHitLatency);
+    EXPECT_EQ(dram.stats().rowHits, 1U);
+    EXPECT_EQ(dram.stats().rowMisses, 1U);
+}
+
+TEST(Dram, BankConflictReopensRow)
+{
+    DramModel dram;
+    const Addr row_bytes = dram.config().rowBytes;
+    const Addr banks = static_cast<Addr>(dram.config().banks);
+    dram.access(0);
+    // Same bank, different row: rows banks apart map to one bank.
+    Cycles lat = dram.access(row_bytes * banks);
+    EXPECT_EQ(lat, dram.config().rowMissLatency);
+}
+
+TEST(Dram, DifferentBanksKeepRowsOpen)
+{
+    DramModel dram;
+    const Addr row_bytes = dram.config().rowBytes;
+    dram.access(0);
+    dram.access(row_bytes);     // next row -> next bank
+    EXPECT_EQ(dram.access(64), dram.config().rowHitLatency);
+    EXPECT_EQ(dram.access(row_bytes + 64), dram.config().rowHitLatency);
+}
+
+TEST(MemoryHierarchy, LatencyGrowsOutward)
+{
+    MemoryHierarchy mem;
+    HitLevel level;
+    Cycles dram_lat = mem.access(1 << 20, &level);
+    EXPECT_EQ(level, HitLevel::kDram);
+    Cycles l1_lat = mem.access(1 << 20, &level);
+    EXPECT_EQ(level, HitLevel::kL1);
+    EXPECT_GT(dram_lat, l1_lat);
+    EXPECT_EQ(l1_lat, mem.l1Latency());
+}
+
+TEST(MemoryHierarchy, FillsInnerLevels)
+{
+    MemoryHierarchy mem;
+    mem.access(0x5000);
+    EXPECT_TRUE(mem.l1().contains(0x5000));
+    EXPECT_TRUE(mem.l2().contains(0x5000));
+    EXPECT_TRUE(mem.l3().contains(0x5000));
+}
+
+TEST(MemoryHierarchy, L1EvictionFallsBackToL2)
+{
+    MemoryHierarchy mem;
+    // Touch enough distinct lines to overflow the 32 KB L1.
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        mem.access(a);
+    HitLevel level;
+    mem.access(0, &level);
+    EXPECT_NE(level, HitLevel::kDram); // L2/L3 keep it
+    EXPECT_TRUE(level == HitLevel::kL2 || level == HitLevel::kL1);
+}
+
+TEST(MemoryHierarchy, StreamingGetsPrefetched)
+{
+    MemoryHierarchy mem;
+    Counter dram_before = mem.dram().stats().reads;
+    for (Addr a = 0; a < 512 * 64; a += 64)
+        mem.access(a);
+    Counter dram_after = mem.dram().stats().reads;
+    // Prefetchers should have converted most stream misses into
+    // hits; far fewer than one DRAM read per line.
+    EXPECT_GT(mem.l1().stats().prefetchHits +
+              mem.l2().stats().prefetchHits +
+              mem.l3().stats().prefetchHits, 100U);
+    EXPECT_LT(dram_after - dram_before, 520U);
+}
+
+TEST(CoreModel, InstructionsToCycles)
+{
+    CoreModel core(CoreConfig{4, 4.0});
+    core.retire(400);
+    EXPECT_DOUBLE_EQ(core.cycles(), 100.0);
+}
+
+TEST(CoreModel, DependentLoadStallsFully)
+{
+    CoreModel core(CoreConfig{4, 4.0});
+    core.finishLoad(102, 2, Dep::kDependent);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 100.0);
+}
+
+TEST(CoreModel, IndependentLoadOverlaps)
+{
+    CoreModel core(CoreConfig{4, 4.0});
+    core.finishLoad(102, 2, Dep::kIndependent);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 25.0);
+}
+
+TEST(CoreModel, L1HitAddsNoStall)
+{
+    CoreModel core;
+    core.finishLoad(2, 2, Dep::kDependent);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 0.0);
+    EXPECT_EQ(core.instructions(), 1U);
+}
+
+TEST(CoreModel, DeviceStallRetiresNothing)
+{
+    CoreModel core(CoreConfig{4, 4.0});
+    core.deviceStall(102, 2);
+    EXPECT_EQ(core.instructions(), 0U);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 25.0);
+}
+
+TEST(CoreModel, RejectsBadConfig)
+{
+    EXPECT_THROW(CoreModel(CoreConfig{0, 4.0}), FatalError);
+    EXPECT_THROW(CoreModel(CoreConfig{4, 0.5}), FatalError);
+}
+
+TEST(Machine, MultiLineLoadTouchesEachLine)
+{
+    Machine m;
+    m.load(0x100 - 8, 16); // straddles two lines
+    EXPECT_EQ(m.memory().stats().accesses, 2U);
+    EXPECT_EQ(m.core().loads(), 1U);
+}
+
+TEST(Machine, SnapshotDelta)
+{
+    Machine m;
+    auto before = m.snapshot();
+    m.op(10);
+    m.load(0, 8);
+    auto after = m.snapshot();
+    auto d = Machine::delta(before, after);
+    EXPECT_EQ(d.instructions, 11U);
+    EXPECT_GT(d.cycles, 0.0);
+    EXPECT_EQ(d.loads, 1U);
+}
+
+TEST(Machine, ResetClearsState)
+{
+    Machine m;
+    m.load(0x9000, 8);
+    m.reset();
+    EXPECT_EQ(m.core().instructions(), 0U);
+    EXPECT_FALSE(m.memory().l1().contains(0x9000));
+}
+
+TEST(ExecModel, NativeExecIsFree)
+{
+    NativeExec e;
+    // Compiles to nothing; the calls must simply be valid.
+    e.op(5);
+    e.load(nullptr, 8);
+    e.store(nullptr, 8);
+    e.deviceFetch(nullptr, 256);
+    SUCCEED();
+}
+
+TEST(ExecModel, SimExecChargesMachine)
+{
+    Machine m;
+    SimExec e(m);
+    e.op(3);
+    int dummy = 0;
+    e.load(&dummy, sizeof(dummy));
+    e.store(&dummy, sizeof(dummy));
+    EXPECT_EQ(m.core().instructions(), 5U);
+}
+
+/** Pointer-chasing microbenchmark property: for the same access
+ *  pattern, dependent tagging must never be faster. */
+class DependencePenalty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DependencePenalty, DependentNeverFaster)
+{
+    const int n = GetParam();
+    auto run = [&](Dep dep) {
+        Machine m;
+        SimExec e(m);
+        for (int i = 0; i < n; ++i) {
+            // Spread accesses so most miss somewhere.
+            e.load(reinterpret_cast<const void*>(
+                       static_cast<Addr>(i) * 4096 + 64), 8, dep);
+        }
+        return m.core().cycles();
+    };
+    EXPECT_GE(run(Dep::kDependent), run(Dep::kIndependent));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DependencePenalty,
+                         ::testing::Values(16, 256, 4096));
+
+} // namespace
+} // namespace smash::sim

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the iterative solvers (§5.2.1 use cases): CG on SPD
+ * systems, Jacobi on diagonally dominant systems, and the power
+ * method — each over CSR and SMASH SpMV operators, native and
+ * simulated, verifying solutions against direct residual checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "isa/bmu.hh"
+#include "kernels/spmv.hh"
+#include "sim/exec_model.hh"
+#include "solvers/iterative.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::solve
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::NativeExec;
+
+/**
+ * Build a sparse symmetric positive-definite, diagonally dominant
+ * matrix: A = S + S^T with a dominant diagonal added.
+ */
+fmt::CooMatrix
+spdMatrix(Index n, Index off_nnz, std::uint64_t seed)
+{
+    fmt::CooMatrix base = wl::genRunScatter(n, n, off_nnz, 3, seed);
+    fmt::CooMatrix sym(n, n);
+    std::vector<Value> row_sum(static_cast<std::size_t>(n), Value(0));
+    for (const fmt::CooEntry& entry : base.entries()) {
+        if (entry.row == entry.col)
+            continue;
+        Value v = entry.value * Value(0.5);
+        sym.add(entry.row, entry.col, v);
+        sym.add(entry.col, entry.row, v);
+        row_sum[static_cast<std::size_t>(entry.row)] += std::abs(v);
+        row_sum[static_cast<std::size_t>(entry.col)] += std::abs(v);
+    }
+    for (Index i = 0; i < n; ++i) {
+        sym.add(i, i, row_sum[static_cast<std::size_t>(i)] + Value(1));
+    }
+    sym.canonicalize();
+    return sym;
+}
+
+std::vector<Value>
+randomVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> v(static_cast<std::size_t>(n));
+    for (auto& x : v)
+        x = static_cast<Value>(rng.uniform()) + Value(0.1);
+    return v;
+}
+
+double
+residual(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+         const std::vector<Value>& b)
+{
+    NativeExec e;
+    std::vector<Value> ax(b.size(), 0);
+    kern::spmvCsr(a, x, ax, e);
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        num += (ax[i] - b[i]) * (ax[i] - b[i]);
+        den += b[i] * b[i];
+    }
+    return std::sqrt(num / den);
+}
+
+class CgOverEncodings : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CgOverEncodings, CsrAndSmashConverge)
+{
+    const std::uint64_t seed = GetParam();
+    const Index n = 128;
+    fmt::CooMatrix coo = spdMatrix(n, 800, seed);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    SmashMatrix smash = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    std::vector<Value> b = randomVector(n, seed + 1);
+    NativeExec e;
+
+    std::vector<Value> x_csr(static_cast<std::size_t>(n), 0);
+    SolveReport r1 = conjugateGradient(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            kern::spmvCsr(csr, in, out, e);
+        },
+        b, x_csr, 1e-10, 500, e);
+    EXPECT_TRUE(r1.converged) << toString(r1);
+    EXPECT_LT(residual(csr, x_csr, b), 1e-8);
+
+    std::vector<Value> x_hw(static_cast<std::size_t>(n), 0);
+    isa::Bmu bmu;
+    SolveReport r2 = conjugateGradient(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            std::vector<Value> xp = kern::padVector(
+                in, smash.paddedCols());
+            kern::spmvSmashHw(smash, bmu, xp, out, e);
+        },
+        b, x_hw, 1e-10, 500, e);
+    EXPECT_TRUE(r2.converged) << toString(r2);
+    EXPECT_LT(residual(csr, x_hw, b), 1e-8);
+
+    // Same operator, same arithmetic: solutions agree closely.
+    for (std::size_t i = 0; i < x_csr.size(); ++i)
+        EXPECT_NEAR(x_csr[i], x_hw[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgOverEncodings,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Cg, ZeroRhsGivesZeroSolution)
+{
+    fmt::CooMatrix coo = spdMatrix(32, 100, 9);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    NativeExec e;
+    std::vector<Value> b(32, 0.0);
+    std::vector<Value> x(32, 5.0); // non-zero guess
+    SolveReport r = conjugateGradient(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            kern::spmvCsr(csr, in, out, e);
+        },
+        b, x, 1e-12, 10, e);
+    EXPECT_TRUE(r.converged);
+    for (Value v : x)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, RejectsDimensionMismatch)
+{
+    NativeExec e;
+    std::vector<Value> b(8, 1.0), x(4, 0.0);
+    auto noop = [](const std::vector<Value>&, std::vector<Value>&) {};
+    EXPECT_THROW(conjugateGradient(noop, b, x, 1e-6, 10, e),
+                 FatalError);
+}
+
+TEST(Jacobi, ConvergesOnDominantSystem)
+{
+    const Index n = 100;
+    fmt::CooMatrix coo = spdMatrix(n, 500, 21);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> diag(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+        diag[static_cast<std::size_t>(i)] = csr.at(i, i);
+    std::vector<Value> b = randomVector(n, 22);
+    std::vector<Value> x(static_cast<std::size_t>(n), 0);
+    NativeExec e;
+    SolveReport r = jacobi(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            kern::spmvCsr(csr, in, out, e);
+        },
+        diag, b, x, 1e-10, 2000, e);
+    EXPECT_TRUE(r.converged) << toString(r);
+    EXPECT_LT(residual(csr, x, b), 1e-8);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal)
+{
+    NativeExec e;
+    std::vector<Value> diag{1.0, 0.0};
+    std::vector<Value> b(2, 1.0), x(2, 0.0);
+    auto noop = [](const std::vector<Value>&, std::vector<Value>&) {};
+    EXPECT_THROW(jacobi(noop, diag, b, x, 1e-6, 5, e), FatalError);
+}
+
+TEST(PowerMethod, FindsDominantEigenvalueOfDiagonal)
+{
+    // Diagonal matrix: dominant eigenvalue = max diagonal entry.
+    fmt::CooMatrix coo(16, 16);
+    for (Index i = 0; i < 16; ++i)
+        coo.add(i, i, static_cast<Value>(i + 1));
+    coo.canonicalize();
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    NativeExec e;
+    std::vector<Value> x(16, 1.0);
+    SolveReport report;
+    Value lambda = powerMethod(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            kern::spmvCsr(csr, in, out, e);
+        },
+        x, 1e-12, 2000, e, &report);
+    EXPECT_TRUE(report.converged) << toString(report);
+    EXPECT_NEAR(lambda, 16.0, 1e-6);
+    // Eigenvector concentrates on the last coordinate.
+    EXPECT_NEAR(std::abs(x[15]), 1.0, 1e-5);
+}
+
+TEST(PowerMethod, SmashOperatorMatchesCsr)
+{
+    fmt::CooMatrix coo = spdMatrix(64, 300, 31);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    SmashMatrix smash = SmashMatrix::fromCoo(coo,
+                                             HierarchyConfig({2, 4}));
+    NativeExec e;
+    std::vector<Value> x1(64, 1.0), x2(64, 1.0);
+    Value l1 = powerMethod(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            kern::spmvCsr(csr, in, out, e);
+        },
+        x1, 1e-11, 3000, e);
+    Value l2 = powerMethod(
+        [&](const std::vector<Value>& in, std::vector<Value>& out) {
+            std::vector<Value> xp = kern::padVector(
+                in, smash.paddedCols());
+            kern::spmvSmashSw(smash, xp, out, e);
+        },
+        x2, 1e-11, 3000, e);
+    EXPECT_NEAR(l1, l2, 1e-6);
+}
+
+TEST(SolveReportText, MentionsConvergence)
+{
+    SolveReport r{12, 1e-11, true};
+    std::string s = toString(r);
+    EXPECT_NE(s.find("converged"), std::string::npos);
+    EXPECT_NE(s.find("12"), std::string::npos);
+}
+
+} // namespace
+} // namespace smash::solve

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the SpGEMM kernels: all four dataflows (Gustavson,
+ * outer-product, SMASH-SW, SMASH-HW) must produce the same CSR
+ * output as the dense oracle on randomized inputs, and the cost
+ * relations the paper relies on (SMASH-HW executes fewer
+ * instructions than the software scan) must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "kernels/reference.hh"
+#include "kernels/spgemm.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::kern
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::Machine;
+using sim::NativeExec;
+using sim::SimExec;
+
+/** Dense oracle for C := A B. */
+fmt::DenseMatrix
+denseProduct(const fmt::CooMatrix& a, const fmt::CooMatrix& b)
+{
+    fmt::DenseMatrix c(a.rows(), b.cols());
+    denseSpmm(a.toDense(), b.toDense(), c);
+    return c;
+}
+
+struct SpgemmCase
+{
+    const char* name;
+    Index m, k, n;
+    Index nnz_a, nnz_b;
+    std::uint64_t seed;
+};
+
+class Spgemm : public ::testing::TestWithParam<SpgemmCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto& p = GetParam();
+        a_ = wl::genUniform(p.m, p.k, p.nnz_a, p.seed);
+        b_ = wl::genUniform(p.k, p.n, p.nnz_b, p.seed + 100);
+        oracle_ = denseProduct(a_, b_);
+    }
+
+    fmt::CooMatrix a_, b_;
+    fmt::DenseMatrix oracle_;
+};
+
+TEST_P(Spgemm, GustavsonMatchesDenseOracle)
+{
+    NativeExec e;
+    fmt::CsrMatrix c = spgemmGustavson(fmt::CsrMatrix::fromCoo(a_),
+                                       fmt::CsrMatrix::fromCoo(b_), e);
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_TRUE(c.toDense().approxEquals(oracle_, 1e-9));
+}
+
+TEST_P(Spgemm, OuterProductMatchesDenseOracle)
+{
+    NativeExec e;
+    fmt::CsrMatrix b_csr = fmt::CsrMatrix::fromCoo(b_);
+    fmt::CscMatrix a_csc = fmt::csrToCsc(fmt::CsrMatrix::fromCoo(a_));
+    fmt::CsrMatrix c = spgemmOuter(a_csc, b_csr, e);
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_TRUE(c.toDense().approxEquals(oracle_, 1e-9));
+}
+
+TEST_P(Spgemm, OuterAgreesWithGustavsonExactly)
+{
+    NativeExec e;
+    fmt::CsrMatrix a_csr = fmt::CsrMatrix::fromCoo(a_);
+    fmt::CsrMatrix b_csr = fmt::CsrMatrix::fromCoo(b_);
+    fmt::CsrMatrix g = spgemmGustavson(a_csr, b_csr, e);
+    fmt::CsrMatrix o = spgemmOuter(fmt::csrToCsc(a_csr), b_csr, e);
+    // Same SPA, same harvest order: structures must be identical.
+    EXPECT_EQ(g.rowPtr(), o.rowPtr());
+    EXPECT_EQ(g.colInd(), o.colInd());
+    ASSERT_EQ(g.values().size(), o.values().size());
+    for (std::size_t i = 0; i < g.values().size(); ++i)
+        EXPECT_NEAR(g.values()[i], o.values()[i], 1e-9);
+}
+
+TEST_P(Spgemm, SmashSwMatchesDenseOracle)
+{
+    NativeExec e;
+    SmashMatrix a = SmashMatrix::fromCoo(
+        a_, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    fmt::CsrMatrix c = spgemmSmashSw(a, fmt::CsrMatrix::fromCoo(b_), e);
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_TRUE(c.toDense().approxEquals(oracle_, 1e-9));
+}
+
+TEST_P(Spgemm, SmashHwMatchesDenseOracle)
+{
+    NativeExec e;
+    isa::Bmu bmu;
+    SmashMatrix a = SmashMatrix::fromCoo(
+        a_, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    fmt::CsrMatrix c = spgemmSmashHw(a, bmu, fmt::CsrMatrix::fromCoo(b_), e);
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_TRUE(c.toDense().approxEquals(oracle_, 1e-9));
+}
+
+TEST_P(Spgemm, SmashHwExecutesFewerInstructionsThanSw)
+{
+    SmashMatrix a = SmashMatrix::fromCoo(
+        a_, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    fmt::CsrMatrix b_csr = fmt::CsrMatrix::fromCoo(b_);
+
+    Machine m_sw, m_hw;
+    SimExec e_sw(m_sw), e_hw(m_hw);
+    isa::Bmu bmu;
+    spgemmSmashSw(a, b_csr, e_sw);
+    spgemmSmashHw(a, bmu, b_csr, e_hw);
+    EXPECT_LT(m_hw.core().instructions(), m_sw.core().instructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Spgemm,
+    ::testing::Values(
+        SpgemmCase{"square_sparse", 48, 48, 48, 200, 200, 21},
+        SpgemmCase{"square_denser", 32, 32, 32, 400, 400, 22},
+        SpgemmCase{"rect_tall", 64, 24, 40, 180, 160, 23},
+        SpgemmCase{"rect_wide", 24, 64, 40, 180, 300, 24},
+        SpgemmCase{"very_sparse", 80, 80, 80, 90, 90, 25}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(SpgemmEdge, EmptyTimesAnything)
+{
+    NativeExec e;
+    fmt::CooMatrix a(8, 8), b = wl::genUniform(8, 8, 20, 31);
+    a.canonicalize();
+    fmt::CsrMatrix c = spgemmGustavson(fmt::CsrMatrix::fromCoo(a),
+                                       fmt::CsrMatrix::fromCoo(b), e);
+    EXPECT_EQ(c.nnz(), 0);
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(SpgemmEdge, DimensionMismatchThrows)
+{
+    NativeExec e;
+    fmt::CooMatrix a = wl::genUniform(4, 5, 8, 1);
+    fmt::CooMatrix b = wl::genUniform(4, 4, 8, 2);
+    EXPECT_THROW(spgemmGustavson(fmt::CsrMatrix::fromCoo(a),
+                                 fmt::CsrMatrix::fromCoo(b), e),
+                 FatalError);
+}
+
+TEST(SpgemmEdge, IdentityIsNeutral)
+{
+    NativeExec e;
+    fmt::CooMatrix ident(16, 16);
+    for (Index i = 0; i < 16; ++i)
+        ident.add(i, i, 1.0);
+    ident.canonicalize();
+    fmt::CooMatrix a = wl::genUniform(16, 16, 60, 7);
+    fmt::CsrMatrix a_csr = fmt::CsrMatrix::fromCoo(a);
+    fmt::CsrMatrix c = spgemmGustavson(a_csr,
+                                       fmt::CsrMatrix::fromCoo(ident), e);
+    EXPECT_TRUE(c.toDense().approxEquals(a.toDense(), 0.0));
+}
+
+TEST(SpgemmEdge, ChainAssociativity)
+{
+    // (A B) C == A (B C) — exercises fromRaw outputs as inputs.
+    NativeExec e;
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(wl::genUniform(20, 24, 90, 3));
+    fmt::CsrMatrix b = fmt::CsrMatrix::fromCoo(wl::genUniform(24, 16, 80, 4));
+    fmt::CsrMatrix c = fmt::CsrMatrix::fromCoo(wl::genUniform(16, 20, 70, 5));
+    fmt::CsrMatrix ab_c = spgemmGustavson(spgemmGustavson(a, b, e), c, e);
+    fmt::CsrMatrix a_bc = spgemmGustavson(a, spgemmGustavson(b, c, e), e);
+    EXPECT_TRUE(ab_c.toDense().approxEquals(a_bc.toDense(), 1e-9));
+}
+
+TEST(SpaRowUnit, ScatterAccumulatesAndHarvestSorts)
+{
+    NativeExec e;
+    SpaRow spa(10);
+    spa.scatter(7, 1.5, e);
+    spa.scatter(2, 1.0, e);
+    spa.scatter(7, 0.5, e);
+    EXPECT_EQ(spa.touchedCount(), 2);
+    std::vector<fmt::CsrIndex> cols;
+    std::vector<Value> vals;
+    spa.harvest(cols, vals, e);
+    EXPECT_EQ(cols, (std::vector<fmt::CsrIndex>{2, 7}));
+    EXPECT_EQ(vals, (std::vector<Value>{1.0, 2.0}));
+    EXPECT_EQ(spa.touchedCount(), 0);
+    // Reusable after harvest.
+    spa.scatter(2, -1.0, e);
+    spa.harvest(cols, vals, e);
+    EXPECT_EQ(vals.back(), Value(-1.0));
+}
+
+} // namespace
+} // namespace smash::kern

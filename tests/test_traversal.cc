@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the semiring layer and the graph traversal algorithms:
+ * semiring SpMV agreement between CSR and SMASH backends, and each
+ * matrix-based algorithm (BFS / SSSP / components / triangles)
+ * against its classical direct oracle on randomized graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hh"
+#include "formats/convert.hh"
+#include "graph/generators.hh"
+#include "graph/semiring.hh"
+#include "graph/traversal.hh"
+#include "kernels/spmv.hh"
+#include "sim/exec_model.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::graph
+{
+namespace
+{
+
+using core::HierarchyConfig;
+using core::SmashMatrix;
+using sim::NativeExec;
+
+/** Symmetrized adjacency of g, transposed (the pull-BFS operand). */
+fmt::CsrMatrix
+adjacencyTransposed(const Graph& g)
+{
+    return fmt::transpose(g.toAdjacencyMatrix());
+}
+
+/** Random positive edge weights over g's adjacency structure. */
+fmt::CsrMatrix
+weightedAdjacency(const Graph& g, std::uint64_t seed)
+{
+    Rng rng(seed);
+    fmt::CooMatrix coo(g.numVertices(), g.numVertices());
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k)
+            coo.add(u, nbr[k], 0.5 + rng.uniform());
+    }
+    coo.canonicalize();
+    return fmt::CsrMatrix::fromCoo(coo);
+}
+
+// --------------------------------------------------------- semirings
+
+TEST(Semiring, ArithmeticMatchesPlainSpmv)
+{
+    fmt::CooMatrix coo = wl::genUniform(48, 48, 300, 3);
+    fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(coo);
+    Rng rng(4);
+    std::vector<Value> x(48);
+    for (auto& v : x)
+        v = rng.uniform();
+    std::vector<Value> y_plain(48, 0.0), y_semi(48, 0.0);
+    NativeExec e;
+    kern::spmvCsr(a, x, y_plain, e);
+    spmvSemiringCsr<ArithmeticSemiring>(a, x, y_semi, e);
+    for (std::size_t i = 0; i < y_plain.size(); ++i)
+        EXPECT_NEAR(y_plain[i], y_semi[i], 1e-12);
+}
+
+TEST(Semiring, BooleanYieldsReachabilityIndicator)
+{
+    // Chain 0 -> 1 -> 2: one boolean SpMV of A^T moves the frontier
+    // one hop.
+    Graph g = Graph::fromEdges(3, {{0, 1}, {1, 2}});
+    fmt::CsrMatrix at = adjacencyTransposed(g);
+    std::vector<Value> x{1.0, 0.0, 0.0}, y(3, 0.0);
+    NativeExec e;
+    spmvSemiringCsr<BooleanSemiring>(at, x, y, e);
+    EXPECT_EQ(y, (std::vector<Value>{0.0, 1.0, 0.0}));
+}
+
+TEST(Semiring, MinPlusRelaxesOneHop)
+{
+    Graph g = Graph::fromEdges(3, {{0, 1}, {1, 2}});
+    fmt::CsrMatrix w = weightedAdjacency(g, 7);
+    fmt::CsrMatrix wt = fmt::transpose(w);
+    const Value inf = std::numeric_limits<Value>::infinity();
+    std::vector<Value> dist{0.0, inf, inf}, out(3, inf);
+    NativeExec e;
+    spmvSemiringCsr<MinPlusSemiring>(wt, dist, out, e);
+    EXPECT_EQ(out[0], inf);                  // nothing reaches 0
+    EXPECT_NEAR(out[1], w.at(0, 1), 1e-12);  // one hop
+    EXPECT_EQ(out[2], inf);                  // two hops away
+}
+
+struct SemiringSweepCase
+{
+    const char* name;
+    Index n;
+    Index nnz;
+    std::uint64_t seed;
+};
+
+class SemiringBackends : public ::testing::TestWithParam<SemiringSweepCase>
+{};
+
+TEST_P(SemiringBackends, SmashSwMatchesCsrAcrossSemirings)
+{
+    const auto& p = GetParam();
+    fmt::CooMatrix coo = wl::genUniform(p.n, p.n, p.nnz, p.seed);
+    fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    SmashMatrix smash = SmashMatrix::fromCoo(
+        coo, HierarchyConfig::fromPaperNotation({16, 4, 2}));
+    Rng rng(p.seed + 1);
+    std::vector<Value> x(static_cast<std::size_t>(p.n));
+    for (auto& v : x)
+        v = 0.5 + rng.uniform();
+    std::vector<Value> xp(x);
+    xp.resize(static_cast<std::size_t>(smash.paddedCols()), 0.0);
+    NativeExec e;
+
+    {
+        std::vector<Value> y_csr(static_cast<std::size_t>(p.n), 0.0);
+        std::vector<Value> y_smash(static_cast<std::size_t>(p.n), 0.0);
+        spmvSemiringCsr<ArithmeticSemiring>(csr, x, y_csr, e);
+        spmvSemiringSmashSw<ArithmeticSemiring>(smash, xp, y_smash, e);
+        for (std::size_t i = 0; i < y_csr.size(); ++i)
+            EXPECT_NEAR(y_csr[i], y_smash[i], 1e-9);
+    }
+    {
+        std::vector<Value> y_csr(static_cast<std::size_t>(p.n), 0.0);
+        std::vector<Value> y_smash(static_cast<std::size_t>(p.n), 0.0);
+        spmvSemiringCsr<BooleanSemiring>(csr, x, y_csr, e);
+        spmvSemiringSmashSw<BooleanSemiring>(smash, xp, y_smash, e);
+        EXPECT_EQ(y_csr, y_smash);
+    }
+    {
+        std::vector<Value> y_csr(static_cast<std::size_t>(p.n), 0.0);
+        std::vector<Value> y_smash(static_cast<std::size_t>(p.n), 0.0);
+        spmvSemiringCsr<MinPlusSemiring>(csr, x, y_csr, e);
+        spmvSemiringSmashSw<MinPlusSemiring>(smash, xp, y_smash, e);
+        for (std::size_t i = 0; i < y_csr.size(); ++i)
+            EXPECT_EQ(y_csr[i], y_smash[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SemiringBackends,
+    ::testing::Values(
+        SemiringSweepCase{"small", 32, 120, 51},
+        SemiringSweepCase{"medium", 96, 700, 52},
+        SemiringSweepCase{"sparse", 128, 180, 53},
+        SemiringSweepCase{"dense", 24, 400, 54}),
+    [](const auto& info) { return info.param.name; });
+
+// --------------------------------------------------------------- BFS
+
+class TraversalGraphs : public ::testing::TestWithParam<int>
+{
+  protected:
+    Graph
+    make() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return uniformRandomGraph(60, 180, 11);
+          case 1:
+            return rmatGraph(64, 200, 12);
+          case 2:
+            return gridGraph(8, 8, 13);
+          case 3: {
+            // Disconnected: two cliques with no bridge.
+            std::vector<std::pair<Vertex, Vertex>> edges;
+            for (Vertex u = 0; u < 5; ++u)
+                for (Vertex v = 0; v < 5; ++v)
+                    if (u != v) {
+                        edges.push_back({u, v});
+                        edges.push_back({u + 5, v + 5});
+                    }
+            return Graph::fromEdges(10, edges);
+          }
+          default:
+            return Graph::fromEdges(1, {});
+        }
+    }
+};
+
+TEST_P(TraversalGraphs, SemiringBfsMatchesQueueBfs)
+{
+    Graph g = make();
+    fmt::CsrMatrix at = adjacencyTransposed(g);
+    NativeExec e;
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        spmvSemiringCsr<BooleanSemiring>(at, x, y, e);
+    };
+    std::vector<Index> ref = bfsReference(g, 0);
+    std::vector<Index> semi = bfsSemiring(g.numVertices(), 0, spmv);
+    EXPECT_EQ(ref, semi);
+}
+
+TEST_P(TraversalGraphs, SemiringBfsOverSmashMatchesQueueBfs)
+{
+    Graph g = make();
+    if (g.numEdges() == 0)
+        GTEST_SKIP() << "empty adjacency cannot be SMASH-encoded usefully";
+    fmt::CooMatrix at_coo = adjacencyTransposed(g).toCoo();
+    SmashMatrix at = SmashMatrix::fromCoo(
+        at_coo, HierarchyConfig::fromPaperNotation({4, 2}));
+    NativeExec e;
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        std::vector<Value> xp(x);
+        xp.resize(static_cast<std::size_t>(at.paddedCols()), 0.0);
+        spmvSemiringSmashSw<BooleanSemiring>(at, xp, y, e);
+    };
+    EXPECT_EQ(bfsReference(g, 0), bfsSemiring(g.numVertices(), 0, spmv));
+}
+
+TEST_P(TraversalGraphs, SemiringSsspMatchesBellmanFordOracle)
+{
+    Graph g = make();
+    fmt::CsrMatrix w = weightedAdjacency(g, 99);
+    fmt::CsrMatrix wt = fmt::transpose(w);
+    NativeExec e;
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        spmvSemiringCsr<MinPlusSemiring>(wt, x, y, e);
+    };
+    std::vector<Value> ref = ssspReference(w, 0);
+    std::vector<Value> semi = ssspSemiring(g.numVertices(), 0, spmv);
+    ASSERT_EQ(ref.size(), semi.size());
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+        if (std::isinf(ref[v]))
+            EXPECT_TRUE(std::isinf(semi[v])) << "vertex " << v;
+        else
+            EXPECT_NEAR(ref[v], semi[v], 1e-9) << "vertex " << v;
+    }
+}
+
+TEST_P(TraversalGraphs, SemiringComponentsMatchUnionFind)
+{
+    Graph g = make();
+    // Symmetrize for the undirected component definition.
+    fmt::CooMatrix sym_coo(g.numVertices(), g.numVertices());
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k) {
+            sym_coo.add(u, nbr[k], 1.0);
+            sym_coo.add(nbr[k], u, 1.0);
+        }
+    }
+    sym_coo.canonicalize();
+    fmt::CsrMatrix sym = fmt::CsrMatrix::fromCoo(sym_coo);
+    NativeExec e;
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        spmvSemiringCsr<MinSelect2ndSemiring>(sym, x, y, e);
+    };
+    EXPECT_EQ(componentsReference(g),
+              componentsSemiring(g.numVertices(), spmv));
+}
+
+TEST_P(TraversalGraphs, MergeTrianglesMatchOracle)
+{
+    Graph g = make();
+    // Symmetrize: triangle counting is defined on undirected graphs.
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (Vertex u = 0; u < g.numVertices(); ++u) {
+        const Vertex* nbr = g.neighbors(u);
+        for (Index k = 0; k < g.outDegree(u); ++k) {
+            edges.push_back({u, nbr[k]});
+            edges.push_back({nbr[k], u});
+        }
+    }
+    Graph sym = Graph::fromEdges(g.numVertices(), edges);
+    EXPECT_EQ(trianglesMerge(sym), trianglesReference(sym));
+}
+
+std::string
+traversalGraphName(const ::testing::TestParamInfo<int>& info)
+{
+    static const char* const names[] = {"uniform", "rmat", "grid",
+                                        "cliques"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TraversalGraphs,
+                         ::testing::Values(0, 1, 2, 3),
+                         traversalGraphName);
+
+// ------------------------------------------------------ special cases
+
+TEST(Traversal, BfsRejectsBadSource)
+{
+    Graph g = uniformRandomGraph(8, 16, 3);
+    EXPECT_THROW(bfsReference(g, 8), FatalError);
+    NativeExec e;
+    fmt::CsrMatrix at = adjacencyTransposed(g);
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        spmvSemiringCsr<BooleanSemiring>(at, x, y, e);
+    };
+    EXPECT_THROW(bfsSemiring(g.numVertices(), -1, spmv), FatalError);
+}
+
+TEST(Traversal, IsolatedVertexIsItsOwnComponent)
+{
+    Graph g = Graph::fromEdges(4, {{0, 1}, {1, 0}});
+    std::vector<Index> comp = componentsReference(g);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[2], 2);
+    EXPECT_EQ(comp[3], 3);
+}
+
+TEST(Traversal, TriangleInKFour)
+{
+    // K4 contains exactly 4 triangles.
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (Vertex u = 0; u < 4; ++u)
+        for (Vertex v = 0; v < 4; ++v)
+            if (u != v)
+                edges.push_back({u, v});
+    Graph k4 = Graph::fromEdges(4, edges);
+    EXPECT_EQ(trianglesMerge(k4), 4u);
+    EXPECT_EQ(trianglesReference(k4), 4u);
+}
+
+TEST(Traversal, SsspUsesLighterIndirectPath)
+{
+    // 0 -> 2 direct (heavy) vs 0 -> 1 -> 2 (light).
+    fmt::CooMatrix coo(3, 3);
+    coo.add(0, 2, 10.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 2, 1.0);
+    coo.canonicalize();
+    fmt::CsrMatrix w = fmt::CsrMatrix::fromCoo(coo);
+    std::vector<Value> dist = ssspReference(w, 0);
+    EXPECT_NEAR(dist[2], 2.0, 1e-12);
+
+    fmt::CsrMatrix wt = fmt::transpose(w);
+    NativeExec e;
+    auto spmv = [&](const std::vector<Value>& x, std::vector<Value>& y) {
+        spmvSemiringCsr<MinPlusSemiring>(wt, x, y, e);
+    };
+    std::vector<Value> semi = ssspSemiring(3, 0, spmv);
+    EXPECT_NEAR(semi[2], 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace smash::graph
