@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/dispatch.hh"
 #include "harness.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmv.hh"
 #include "sim/energy.hh"
 
 namespace smash::bench
@@ -38,33 +38,25 @@ measure(SpmvScheme scheme, const MatrixBundle& bundle)
     std::vector<Value> y(static_cast<std::size_t>(bundle.coo.rows()),
                          Value(0));
     isa::Bmu bmu;
+    eng::SpmvOptions opts;
+    eng::MatrixRef m = bundle.csr;
     switch (scheme) {
       case SpmvScheme::kTacoCsr:
-        kern::spmvCsr(bundle.csr, x, y, e);
         break;
-      case SpmvScheme::kTacoBcsr: {
-        std::vector<Value> xp = kern::padVector(
-            x, static_cast<Index>(roundUp(
-                static_cast<std::uint64_t>(bundle.coo.cols()),
-                static_cast<std::uint64_t>(bundle.bcsr.blockCols()))));
-        kern::spmvBcsr(bundle.bcsr, xp, y, e);
+      case SpmvScheme::kTacoBcsr:
+        m = bundle.bcsr;
         break;
-      }
-      case SpmvScheme::kSmashSw: {
-        std::vector<Value> xp = kern::padVector(
-            x, bundle.smash.paddedCols());
-        kern::spmvSmashSw(bundle.smash, xp, y, e);
+      case SpmvScheme::kSmashSw:
+        m = bundle.smash;
         break;
-      }
-      case SpmvScheme::kSmashHw: {
-        std::vector<Value> xp = kern::padVector(
-            x, bundle.smash.paddedCols());
-        kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
+      case SpmvScheme::kSmashHw:
+        m = bundle.smash;
+        opts = {eng::SpmvAlgo::kHw, &bmu};
         break;
-      }
       default:
         SMASH_PANIC("scheme not covered by the energy ablation");
     }
+    eng::spmv(m, x, y, e, opts);
     EnergyRow row;
     sim::BmuActivity activity{
         .wordsScanned = bmu.stats().wordsScanned,

@@ -18,9 +18,9 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/dispatch.hh"
 #include "harness.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmv.hh"
 
 namespace smash::bench
 {
@@ -39,13 +39,12 @@ runWith(const MatrixBundle& bundle, SpmvScheme scheme,
                          Value(0));
     switch (scheme) {
       case SpmvScheme::kTacoCsr:
-        kern::spmvCsr(bundle.csr, x, y, e);
+        eng::spmv(bundle.csr, x, y, e);
         break;
       case SpmvScheme::kSmashHw: {
-        std::vector<Value> xp = kern::padVector(
-            x, bundle.smash.paddedCols());
         isa::Bmu bmu;
-        kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
+        eng::spmv(bundle.smash, x, y, e,
+                  {eng::SpmvAlgo::kHw, &bmu});
         break;
       }
       default:

@@ -12,8 +12,8 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/dispatch.hh"
 #include "harness.hh"
-#include "kernels/spadd.hh"
 #include "workloads/matrix_gen.hh"
 
 namespace smash::bench
@@ -39,11 +39,11 @@ spaddRatio(const MatrixBundle& bundle)
     sim::Machine m1, m2;
     {
         sim::SimExec e(m1);
-        kern::spaddCsr(bundle.csr, b, e);
+        eng::spadd(bundle.csr, b, e);
     }
     {
         sim::SimExec e(m2);
-        kern::spaddCsrIdeal(bundle.csr, b, e);
+        eng::spadd(bundle.csr, b, e, eng::SpaddAlgo::kIdeal);
     }
     return {m1.core().cycles() / m2.core().cycles(),
             static_cast<double>(m2.core().instructions()) /

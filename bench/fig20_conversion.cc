@@ -13,9 +13,9 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/dispatch.hh"
 #include "graph/pagerank.hh"
 #include "harness.hh"
-#include "kernels/spmm.hh"
 #include "workloads/graph_suite.hh"
 
 namespace smash::bench
@@ -70,7 +70,7 @@ run()
         std::vector<Value> x(static_cast<std::size_t>(spec.cols), 1.0);
         std::vector<Value> xp = kern::padVector(x, sm.paddedCols());
         std::vector<Value> y(static_cast<std::size_t>(spec.rows), 0.0);
-        b.kernel = secondsOf([&] { kern::spmvSmashSw(sm, xp, y, e); });
+        b.kernel = secondsOf([&] { eng::spmv(sm, xp, y, e); });
         fmt::CsrMatrix back;
         b.toCsr = secondsOf([&] { back = sm.toCsr(); });
         table.addRow(b.row("SpMV (paper 30/45/25)"));
@@ -86,7 +86,7 @@ run()
         SpmmBundle spmm = buildSpmmBundle(bundle);
         fmt::DenseMatrix c(spec.rows, spmm.cols);
         b.kernel = secondsOf([&] {
-            kern::spmmSmashSw(sm, spmm.btSmash, c, e);
+            eng::spmm(sm, spmm.btSmash, c, e);
         });
         fmt::CsrMatrix back;
         b.toCsr = secondsOf([&] { back = sm.toCsr(); });

@@ -4,12 +4,53 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "engine/dispatch.hh"
 #include "formats/convert.hh"
-#include "kernels/spmm.hh"
-#include "kernels/spmv.hh"
 
 namespace smash::bench
 {
+
+namespace
+{
+
+/** Engine dispatch options equivalent to one bench scheme. */
+eng::SpmvOptions
+schemeOptions(SpmvScheme scheme, isa::Bmu* bmu)
+{
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+      case SpmvScheme::kTacoBcsr:
+      case SpmvScheme::kSmashSw:
+        return {eng::SpmvAlgo::kPlain, nullptr};
+      case SpmvScheme::kMklCsr:
+        return {eng::SpmvAlgo::kUnrolled, nullptr};
+      case SpmvScheme::kIdealCsr:
+        return {eng::SpmvAlgo::kIdeal, nullptr};
+      case SpmvScheme::kSmashHw:
+        return {eng::SpmvAlgo::kHw, bmu};
+    }
+    SMASH_PANIC("unknown scheme");
+}
+
+/** The encoding of @p bundle one scheme runs on. */
+eng::MatrixRef
+schemeMatrix(SpmvScheme scheme, const MatrixBundle& bundle)
+{
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+      case SpmvScheme::kMklCsr:
+      case SpmvScheme::kIdealCsr:
+        return bundle.csr;
+      case SpmvScheme::kTacoBcsr:
+        return bundle.bcsr;
+      case SpmvScheme::kSmashSw:
+      case SpmvScheme::kSmashHw:
+        return bundle.smash;
+    }
+    SMASH_PANIC("unknown scheme");
+}
+
+} // namespace
 
 void
 preamble(const std::string& figure, const std::string& what, double scale)
@@ -66,14 +107,6 @@ measureSim(Fn&& fn)
     return r;
 }
 
-Index
-bcsrPaddedCols(const fmt::BcsrMatrix& m)
-{
-    return static_cast<Index>(
-        roundUp(static_cast<std::uint64_t>(m.cols()),
-                static_cast<std::uint64_t>(m.blockCols())));
-}
-
 } // namespace
 
 SimResult
@@ -81,46 +114,16 @@ simSpmv(SpmvScheme scheme, const MatrixBundle& bundle)
 {
     const Index rows = bundle.coo.rows();
     const Index cols = bundle.coo.cols();
-    std::vector<Value> x = onesVector(cols);
+    eng::MatrixRef m = schemeMatrix(scheme, bundle);
+    // Pre-pad outside the measured region so simulation bills no
+    // host-side copy.
+    std::vector<Value> x = kern::padVector(onesVector(cols), m.xLength());
     std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
 
-    switch (scheme) {
-      case SpmvScheme::kTacoCsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmvCsr(bundle.csr, x, y, e);
-        });
-      case SpmvScheme::kMklCsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmvCsrUnrolled(bundle.csr, x, y, e);
-        });
-      case SpmvScheme::kIdealCsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmvCsrIdeal(bundle.csr, x, y, e);
-        });
-      case SpmvScheme::kTacoBcsr: {
-        std::vector<Value> xb =
-            kern::padVector(x, bcsrPaddedCols(bundle.bcsr));
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmvBcsr(bundle.bcsr, xb, y, e);
-        });
-      }
-      case SpmvScheme::kSmashSw: {
-        std::vector<Value> xp =
-            kern::padVector(x, bundle.smash.paddedCols());
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmvSmashSw(bundle.smash, xp, y, e);
-        });
-      }
-      case SpmvScheme::kSmashHw: {
-        std::vector<Value> xp =
-            kern::padVector(x, bundle.smash.paddedCols());
-        return measureSim([&](sim::SimExec& e) {
-            isa::Bmu bmu;
-            kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
-        });
-      }
-    }
-    SMASH_PANIC("unknown SpMV scheme");
+    return measureSim([&](sim::SimExec& e) {
+        isa::Bmu bmu;
+        eng::spmv(m, x, y, e, schemeOptions(scheme, &bmu));
+    });
 }
 
 double
@@ -128,38 +131,16 @@ nativeSpmvSeconds(SpmvScheme scheme, const MatrixBundle& bundle, int reps)
 {
     const Index rows = bundle.coo.rows();
     const Index cols = bundle.coo.cols();
-    std::vector<Value> x = onesVector(cols);
-    std::vector<Value> xb = kern::padVector(x, bcsrPaddedCols(bundle.bcsr));
-    std::vector<Value> xp = kern::padVector(x, bundle.smash.paddedCols());
+    eng::MatrixRef m = schemeMatrix(scheme, bundle);
+    std::vector<Value> x = kern::padVector(onesVector(cols), m.xLength());
     std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
     sim::NativeExec e;
+    isa::Bmu bmu;
+    const eng::SpmvOptions opts = schemeOptions(scheme, &bmu);
 
     double best = 1e30;
     for (int r = 0; r < reps; ++r) {
-        double t = secondsOf([&] {
-            switch (scheme) {
-              case SpmvScheme::kTacoCsr:
-                kern::spmvCsr(bundle.csr, x, y, e);
-                break;
-              case SpmvScheme::kMklCsr:
-                kern::spmvCsrUnrolled(bundle.csr, x, y, e);
-                break;
-              case SpmvScheme::kIdealCsr:
-                kern::spmvCsrIdeal(bundle.csr, x, y, e);
-                break;
-              case SpmvScheme::kTacoBcsr:
-                kern::spmvBcsr(bundle.bcsr, xb, y, e);
-                break;
-              case SpmvScheme::kSmashSw:
-                kern::spmvSmashSw(bundle.smash, xp, y, e);
-                break;
-              case SpmvScheme::kSmashHw: {
-                isa::Bmu bmu;
-                kern::spmvSmashHw(bundle.smash, bmu, xp, y, e);
-                break;
-              }
-            }
-        });
+        double t = secondsOf([&] { eng::spmv(m, x, y, e, opts); });
         best = t < best ? t : best;
     }
     return best;
@@ -191,35 +172,39 @@ buildSpmmBundle(const MatrixBundle& bundle,
     return out;
 }
 
+namespace
+{
+
+/** The (A, B-operand) encoding pair one SpMM scheme runs on. */
+std::pair<eng::MatrixRef, eng::MatrixRef>
+spmmOperands(SpmvScheme scheme, const MatrixBundle& a,
+             const SpmmBundle& b)
+{
+    switch (scheme) {
+      case SpmvScheme::kTacoCsr:
+      case SpmvScheme::kMklCsr:
+      case SpmvScheme::kIdealCsr:
+        return {eng::MatrixRef(a.csr), eng::MatrixRef(b.bCsc)};
+      case SpmvScheme::kTacoBcsr:
+        return {eng::MatrixRef(a.bcsr), eng::MatrixRef(b.btBcsr)};
+      case SpmvScheme::kSmashSw:
+      case SpmvScheme::kSmashHw:
+        return {eng::MatrixRef(a.smash), eng::MatrixRef(b.btSmash)};
+    }
+    SMASH_PANIC("unknown scheme");
+}
+
+} // namespace
+
 SimResult
 simSpmm(SpmvScheme scheme, const MatrixBundle& a, const SpmmBundle& b)
 {
     fmt::DenseMatrix c(a.coo.rows(), b.cols);
-    switch (scheme) {
-      case SpmvScheme::kTacoCsr:
-      case SpmvScheme::kMklCsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmmCsr(a.csr, b.bCsc, c, e);
-        });
-      case SpmvScheme::kIdealCsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmmCsrIdeal(a.csr, b.bCsc, c, e);
-        });
-      case SpmvScheme::kTacoBcsr:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmmBcsr(a.bcsr, b.btBcsr, c, e);
-        });
-      case SpmvScheme::kSmashSw:
-        return measureSim([&](sim::SimExec& e) {
-            kern::spmmSmashSw(a.smash, b.btSmash, c, e);
-        });
-      case SpmvScheme::kSmashHw:
-        return measureSim([&](sim::SimExec& e) {
-            isa::Bmu bmu;
-            kern::spmmSmashHw(a.smash, b.btSmash, bmu, c, e);
-        });
-    }
-    SMASH_PANIC("unknown SpMM scheme");
+    const auto [ma, mb] = spmmOperands(scheme, a, b);
+    return measureSim([&, ma = ma, mb = mb](sim::SimExec& e) {
+        isa::Bmu bmu;
+        eng::spmm(ma, mb, c, e, schemeOptions(scheme, &bmu));
+    });
 }
 
 double
@@ -228,29 +213,13 @@ nativeSpmmSeconds(SpmvScheme scheme, const MatrixBundle& a,
 {
     fmt::DenseMatrix c(a.coo.rows(), b.cols);
     sim::NativeExec e;
+    isa::Bmu bmu;
+    const auto [ma, mb] = spmmOperands(scheme, a, b);
+    const eng::SpmvOptions opts = schemeOptions(scheme, &bmu);
     double best = 1e30;
     for (int r = 0; r < reps; ++r) {
-        double t = secondsOf([&] {
-            switch (scheme) {
-              case SpmvScheme::kTacoCsr:
-              case SpmvScheme::kMklCsr:
-                kern::spmmCsr(a.csr, b.bCsc, c, e);
-                break;
-              case SpmvScheme::kIdealCsr:
-                kern::spmmCsrIdeal(a.csr, b.bCsc, c, e);
-                break;
-              case SpmvScheme::kTacoBcsr:
-                kern::spmmBcsr(a.bcsr, b.btBcsr, c, e);
-                break;
-              case SpmvScheme::kSmashSw:
-                kern::spmmSmashSw(a.smash, b.btSmash, c, e);
-                break;
-              case SpmvScheme::kSmashHw: {
-                isa::Bmu bmu;
-                kern::spmmSmashHw(a.smash, b.btSmash, bmu, c, e);
-                break;
-              }
-            }
+        double t = secondsOf([&, ma = ma, mb = mb] {
+            eng::spmm(ma, mb, c, e, opts);
         });
         best = t < best ? t : best;
     }

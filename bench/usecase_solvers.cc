@@ -15,9 +15,9 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/operator.hh"
 #include "harness.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmv.hh"
 #include "solvers/ilu.hh"
 #include "solvers/krylov.hh"
 #include "workloads/matrix_gen.hh"
@@ -34,19 +34,18 @@ struct SolveCost
     Counter instructions = 0;
 };
 
-/** Simulated CG with a chosen SpMV backend. */
-template <typename SpmvFn>
+/** Simulated CG with a chosen SpMV backend (engine dispatch). */
 SolveCost
-simulatedCg(sim::Machine& machine, SpmvFn&& spmv, const fmt::CsrMatrix& a,
-            int max_iters)
+simulatedCg(sim::Machine& machine, eng::MatrixRef m,
+            const eng::SpmvOptions& opts, int max_iters)
 {
     sim::SimExec e(machine);
-    std::vector<Value> b(static_cast<std::size_t>(a.rows()), Value(1));
-    std::vector<Value> x(static_cast<std::size_t>(a.rows()), Value(0));
+    std::vector<Value> b(static_cast<std::size_t>(m.rows()), Value(1));
+    std::vector<Value> x(static_cast<std::size_t>(m.rows()), Value(0));
     solve::IdentityPreconditioner ident;
     SolveCost cost;
     cost.report = solve::preconditionedCg(
-        spmv,
+        eng::makeOperator(m, e, opts),
         [&](const std::vector<Value>& r, std::vector<Value>& z,
             sim::SimExec& ee) { ident(r, z, ee); },
         b, x, 1e-8, max_iters, e);
@@ -81,34 +80,15 @@ run()
                      "speedup vs CSR"});
 
     sim::Machine m_csr;
-    SolveCost c_csr = simulatedCg(
-        m_csr,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::SimExec ee(m_csr);
-            kern::spmvCsr(a, x, y, ee);
-        },
-        a, max_iters);
+    SolveCost c_csr = simulatedCg(m_csr, a, {}, max_iters);
 
     sim::Machine m_sw;
-    SolveCost c_sw = simulatedCg(
-        m_sw,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::SimExec ee(m_sw);
-            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
-            kern::spmvSmashSw(smash, xp, y, ee);
-        },
-        a, max_iters);
+    SolveCost c_sw = simulatedCg(m_sw, smash, {}, max_iters);
 
     sim::Machine m_hw;
     isa::Bmu bmu;
     SolveCost c_hw = simulatedCg(
-        m_hw,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::SimExec ee(m_hw);
-            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
-            kern::spmvSmashHw(smash, bmu, xp, y, ee);
-        },
-        a, max_iters);
+        m_hw, smash, {eng::SpmvAlgo::kHw, &bmu}, max_iters);
 
     auto add = [&](const char* name, const SolveCost& c) {
         table.addRow({name, std::to_string(c.report.iterations),
@@ -124,10 +104,7 @@ run()
 
     // --- Experiment 2: preconditioning (native, correctness-level). ---
     sim::NativeExec e;
-    auto apply = [&](const std::vector<Value>& x, std::vector<Value>& y) {
-        sim::NativeExec ee;
-        kern::spmvCsr(a, x, y, ee);
-    };
+    auto apply = eng::makeOperator(a, e);
     std::vector<Value> b(static_cast<std::size_t>(a.rows()), Value(1));
 
     TextTable pc("Preconditioner study (native; tol 1e-8)");

@@ -11,10 +11,10 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "engine/dispatch.hh"
 #include "formats/convert.hh"
 #include "harness.hh"
 #include "isa/bmu.hh"
-#include "kernels/spgemm.hh"
 
 namespace smash::bench
 {
@@ -60,26 +60,27 @@ run()
         {
             sim::Machine m;
             sim::SimExec e(m);
-            fmt::CsrMatrix c = kern::spgemmGustavson(bundle.csr, b, e);
+            fmt::CsrMatrix c = eng::spgemm(bundle.csr, b, e);
             report("Gustavson-CSR", m, c);
         }
         {
             sim::Machine m;
             sim::SimExec e(m);
-            fmt::CsrMatrix c = kern::spgemmOuter(a_csc, b, e);
+            fmt::CsrMatrix c = eng::spgemm(a_csc, b, e);
             report("Outer-product", m, c);
         }
         {
             sim::Machine m;
             sim::SimExec e(m);
-            fmt::CsrMatrix c = kern::spgemmSmashSw(bundle.smash, b, e);
+            fmt::CsrMatrix c = eng::spgemm(bundle.smash, b, e);
             report("SW-SMASH", m, c);
         }
         {
             sim::Machine m;
             sim::SimExec e(m);
             isa::Bmu bmu;
-            fmt::CsrMatrix c = kern::spgemmSmashHw(bundle.smash, bmu, b, e);
+            fmt::CsrMatrix c = eng::spgemm(bundle.smash, b, e,
+                                           {.bmu = &bmu});
             report("SMASH (BMU)", m, c);
         }
     }

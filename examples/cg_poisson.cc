@@ -13,9 +13,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "engine/operator.hh"
 #include "isa/bmu.hh"
 #include "sim/exec_model.hh"
-#include "kernels/spmv.hh"
 #include "solvers/ilu.hh"
 #include "solvers/krylov.hh"
 #include "workloads/matrix_gen.hh"
@@ -52,28 +52,17 @@ main(int argc, char** argv)
         return x;
     };
 
+    // Each backend is the same engine operator with different
+    // dispatch options — the solver never sees the format.
     std::cout << "Plain CG, three SpMV backends:\n";
-    std::vector<Value> x_csr = solve_with(
-        "CSR        ",
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::NativeExec ee;
-            kern::spmvCsr(a, x, y, ee);
-        });
-    std::vector<Value> x_sw = solve_with(
-        "SW-SMASH   ",
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::NativeExec ee;
-            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
-            kern::spmvSmashSw(smash, xp, y, ee);
-        });
+    std::vector<Value> x_csr =
+        solve_with("CSR        ", eng::makeOperator(a, exec));
+    std::vector<Value> x_sw =
+        solve_with("SW-SMASH   ", eng::makeOperator(smash, exec));
     isa::Bmu bmu;
     std::vector<Value> x_hw = solve_with(
         "SMASH (BMU)",
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            sim::NativeExec ee;
-            std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
-            kern::spmvSmashHw(smash, bmu, xp, y, ee);
-        });
+        eng::makeOperator(smash, exec, {.bmu = &bmu}));
 
     double max_diff = 0;
     for (std::size_t i = 0; i < x_csr.size(); ++i) {
@@ -87,10 +76,7 @@ main(int argc, char** argv)
     solve::Ilu0Preconditioner ilu(solve::ilu0(a));
     std::vector<Value> x(b.size(), 0.0);
     solve::SolveReport r = solve::preconditionedCg(
-        [&](const std::vector<Value>& xx, std::vector<Value>& y) {
-            sim::NativeExec ee;
-            kern::spmvCsr(a, xx, y, ee);
-        },
+        eng::makeOperator(a, exec),
         [&](const std::vector<Value>& rr, std::vector<Value>& z,
             sim::NativeExec& ee) { ilu(rr, z, ee); },
         b, x, tol, max_iters, exec);
@@ -99,11 +85,7 @@ main(int argc, char** argv)
     // --- Extreme eigenvalues via Lanczos (condition number). ---
     std::vector<Value> start(b.size(), 1.0);
     solve::LanczosResult lr = solve::lanczos(
-        [&](const std::vector<Value>& xx, std::vector<Value>& y) {
-            sim::NativeExec ee;
-            kern::spmvCsr(a, xx, y, ee);
-        },
-        start, 64, exec);
+        eng::makeOperator(a, exec), start, 64, exec);
     auto ritz = lr.ritzValues();
     std::cout << "\nLanczos (64 steps): spectrum approx ["
               << ritz.front() << ", " << ritz.back()

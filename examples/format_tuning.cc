@@ -16,8 +16,8 @@
 
 #include "common/table.hh"
 #include "core/smash_matrix.hh"
+#include "engine/dispatch.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmv.hh"
 #include "sim/exec_model.hh"
 #include "workloads/matrix_gen.hh"
 
@@ -61,9 +61,8 @@ main(int argc, char** argv)
         {
             sim::SimExec e(machine);
             isa::Bmu bmu;
-            std::vector<Value> xp = kern::padVector(x, sm.paddedCols());
             std::vector<Value> y(static_cast<std::size_t>(rows), 0.0);
-            kern::spmvSmashHw(sm, bmu, xp, y, e);
+            eng::spmv(sm, x, y, e, {.bmu = &bmu});
         }
         double cycles = machine.core().cycles();
         if (cycles < best_cycles) {

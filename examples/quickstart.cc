@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "core/smash_matrix.hh"
+#include "engine/dispatch.hh"
 #include "formats/convert.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmv.hh"
 #include "sim/exec_model.hh"
 
 int
@@ -51,21 +51,22 @@ main()
               << " bytes, dense: "
               << coo.toDense().storageBytes() << " bytes)\n\n";
 
-    // --- 3. SpMV y = A x under each indexing scheme. ---
+    // --- 3. SpMV y = A x under each indexing scheme, all through
+    //        the engine's format-agnostic dispatch (it pads x to the
+    //        SMASH operand length internally). ---
     std::vector<Value> x{1.0, 2.0, 3.0, 4.0};
     sim::NativeExec exec; // native hooks: full speed, no simulation
 
     fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
     std::vector<Value> y_csr(4, 0.0);
-    kern::spmvCsr(csr, x, y_csr, exec);
+    eng::spmv(csr, x, y_csr, exec);
 
-    std::vector<Value> xp = kern::padVector(x, smash.paddedCols());
     std::vector<Value> y_sw(4, 0.0);
-    kern::spmvSmashSw(smash, xp, y_sw, exec);
+    eng::spmv(smash, x, y_sw, exec);
 
     isa::Bmu bmu; // the Bitmap Management Unit (functional model)
     std::vector<Value> y_hw(4, 0.0);
-    kern::spmvSmashHw(smash, bmu, xp, y_hw, exec);
+    eng::spmv(smash, x, y_hw, exec, {.bmu = &bmu});
 
     std::cout << "SpMV result (y = A x):\n";
     for (std::size_t r = 0; r < 4; ++r) {

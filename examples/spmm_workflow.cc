@@ -11,10 +11,10 @@
 
 #include <iostream>
 
+#include "engine/dispatch.hh"
 #include "formats/convert.hh"
 #include "formats/matrix_market.hh"
 #include "isa/bmu.hh"
-#include "kernels/spmm.hh"
 #include "sim/exec_model.hh"
 #include "workloads/matrix_gen.hh"
 
@@ -49,17 +49,17 @@ main(int argc, char** argv)
               << " | B^T: " << bt.rows() << "x" << bt.cols() << " nnz "
               << bt.nnz() << " blocks " << bt.numBlocks() << "\n";
 
-    // SMASH SpMM with the BMU (functional model).
+    // SMASH SpMM with the BMU (functional model), via the engine.
     sim::NativeExec e;
     isa::Bmu bmu;
     fmt::DenseMatrix c_smash(a.rows(), bt.rows());
-    kern::spmmSmashHw(a, bt, bmu, c_smash, e);
+    eng::spmm(a, bt, c_smash, e, {.bmu = &bmu});
 
     // Validate against the CSR x CSC inner-product path.
     fmt::CsrMatrix a_csr = fmt::CsrMatrix::fromCoo(a_coo);
     fmt::CscMatrix b_csc = fmt::CscMatrix::fromCoo(b_coo);
     fmt::DenseMatrix c_ref(a.rows(), bt.rows());
-    kern::spmmCsr(a_csr, b_csc, c_ref, e);
+    eng::spmm(a_csr, b_csc, c_ref, e);
     if (!c_smash.approxEquals(c_ref, 1e-9)) {
         std::cerr << "SMASH and CSR products disagree!\n";
         return 1;
@@ -72,13 +72,13 @@ main(int argc, char** argv)
     {
         sim::SimExec se(m_csr);
         fmt::DenseMatrix c(a.rows(), bt.rows());
-        kern::spmmCsr(a_csr, b_csc, c, se);
+        eng::spmm(a_csr, b_csc, c, se);
     }
     {
         sim::SimExec se(m_hw);
         isa::Bmu b2;
         fmt::DenseMatrix c(a.rows(), bt.rows());
-        kern::spmmSmashHw(a, bt, b2, c, se);
+        eng::spmm(a, bt, c, se, {.bmu = &b2});
     }
     std::cout << "Simulated: CSR " << m_csr.core().cycles()
               << " cycles vs SMASH-BMU " << m_hw.core().cycles()

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multi-threaded execution model. ParallelExec is a third policy
+ * besides NativeExec and SimExec: like NativeExec its cost hooks
+ * are empty (the kernels run at native speed), but it additionally
+ * carries a work-stealing thread pool, so the engine's dispatch
+ * layer routes SpMV through the parallel row-range drivers instead
+ * of the serial kernels. SimExec stays strictly serial: the cost
+ * model charges a single-core machine, and interleaving accesses
+ * from several threads would destroy its accuracy.
+ */
+
+#ifndef SMASH_COMMON_PARALLEL_EXEC_HH
+#define SMASH_COMMON_PARALLEL_EXEC_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "common/thread_pool.hh"
+#include "common/types.hh"
+#include "sim/machine.hh"
+
+namespace smash::exec
+{
+
+/**
+ * Execution model that runs kernels natively across a thread pool.
+ * Satisfies the same hook vocabulary as sim::NativeExec (all
+ * no-ops), plus parallelFor() for the engine's parallel drivers.
+ */
+class ParallelExec
+{
+  public:
+    static constexpr bool kSimulated = false;
+
+    /** Create with an internally owned pool of @p threads workers. */
+    explicit ParallelExec(int threads)
+        : owned_(std::make_shared<ThreadPool>(threads)), pool_(owned_.get())
+    {}
+
+    /** Share an existing pool (e.g. one pool for a whole server). */
+    explicit ParallelExec(ThreadPool& pool)
+        : pool_(&pool)
+    {}
+
+    int threads() const { return pool_->size(); }
+    ThreadPool& pool() { return *pool_; }
+
+    /** Partition [begin, end) over the pool; blocks until done. */
+    void
+    parallelFor(Index begin, Index end, Index min_grain,
+                const std::function<void(Index, Index)>& body)
+    {
+        pool_->parallelFor(begin, end, min_grain, body);
+    }
+
+    // --- Execution-model hooks (zero cost, same as NativeExec). ---
+    void op(int /*n*/ = 1) {}
+    void load(const void* /*p*/, std::size_t /*bytes*/,
+              sim::Dep /*dep*/ = sim::Dep::kIndependent) {}
+    void store(const void* /*p*/, std::size_t /*bytes*/) {}
+    void deviceFetch(const void* /*p*/, std::size_t /*bytes*/) {}
+    void loadAddr(Addr /*a*/, std::size_t /*bytes*/,
+                  sim::Dep /*dep*/ = sim::Dep::kIndependent) {}
+    void deviceFetchAddr(Addr /*a*/, std::size_t /*bytes*/) {}
+
+  private:
+    std::shared_ptr<ThreadPool> owned_; //!< null when the pool is shared
+    ThreadPool* pool_;
+};
+
+} // namespace smash::exec
+
+#endif // SMASH_COMMON_PARALLEL_EXEC_HH

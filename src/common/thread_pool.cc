@@ -1,0 +1,170 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace smash::exec
+{
+
+namespace
+{
+
+/** Completion state shared by the chunks of one parallelFor batch. */
+struct Batch
+{
+    std::atomic<Index> remaining{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+
+    void
+    finishOne()
+    {
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            done.notify_all();
+        }
+    }
+
+    void
+    fail(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error)
+            error = std::move(e);
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    SMASH_CHECK(threads >= 1, "thread pool needs at least one worker");
+    queues_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back(
+            [this, t] { workerLoop(static_cast<std::size_t>(t)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_ = true;
+    }
+    sleep_cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::tryRunOne(std::size_t self)
+{
+    // Own deque first (front: most recently pushed chunk, still hot).
+    {
+        WorkerQueue& q = *queues_[self];
+        std::unique_lock<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            Task task = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> sleep(sleep_mutex_);
+                --pending_;
+            }
+            task.fn();
+            return true;
+        }
+    }
+    // Steal from the back of the other workers' deques.
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+        std::unique_lock<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            Task task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> sleep(sleep_mutex_);
+                --pending_;
+            }
+            task.fn();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        if (tryRunOne(self))
+            continue;
+        // The pending counter and the wait share sleep_mutex_, so a
+        // task published after the failed scan above cannot slip by
+        // unnoticed: either pending_ is already non-zero here, or
+        // the publisher's notify arrives while we hold the lock.
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+        if (stop_)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
+                        const std::function<void(Index, Index)>& body)
+{
+    if (begin >= end)
+        return;
+    SMASH_CHECK(min_grain >= 1, "grain must be positive");
+
+    const Index span = end - begin;
+    const Index target_chunks =
+        std::min<Index>(span, static_cast<Index>(size()) * 4);
+    const Index grain =
+        std::max(min_grain, (span + target_chunks - 1) / target_chunks);
+    const Index chunks = (span + grain - 1) / grain;
+
+    Batch batch;
+    batch.remaining.store(chunks, std::memory_order_relaxed);
+
+    for (Index c = 0; c < chunks; ++c) {
+        const Index b = begin + c * grain;
+        const Index e = std::min(end, b + grain);
+        Task task{[&body, &batch, b, e] {
+            try {
+                body(b, e);
+            } catch (...) {
+                batch.fail(std::current_exception());
+            }
+            batch.finishOne();
+        }};
+        WorkerQueue& q = *queues_[next_queue_++ % queues_.size()];
+        {
+            std::lock_guard<std::mutex> lock(q.mutex);
+            q.tasks.push_back(std::move(task));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        pending_ += chunks;
+    }
+    sleep_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] {
+        return batch.remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+} // namespace smash::exec

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Work-stealing thread pool backing the parallel execution model.
+ *
+ * Each worker owns a deque of tasks: it pops from the front of its
+ * own deque and, when empty, steals from the back of a victim's —
+ * the classic owner-LIFO / thief-FIFO discipline that keeps hot
+ * tasks cache-local while idle workers drain the longest-waiting
+ * work. parallelFor() is the only interface the kernels need: it
+ * splits an index range into more chunks than workers so stealing
+ * can rebalance skewed per-row costs (power-law rows, empty rows).
+ */
+
+#ifndef SMASH_COMMON_THREAD_POOL_HH
+#define SMASH_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::exec
+{
+
+/** Work-stealing pool of a fixed number of worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads number of workers (>= 1). The calling thread
+     *        is not a worker; it blocks in parallelFor() until the
+     *        batch completes.
+     */
+    explicit ThreadPool(int threads);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run body(chunk_begin, chunk_end) over a partition of
+     * [begin, end) and return when every chunk has finished. The
+     * range is split into ~4 chunks per worker (at least
+     * @p min_grain indices each) so work stealing can rebalance
+     * uneven chunk costs. @p body must be safe to invoke
+     * concurrently from different workers on disjoint chunks.
+     */
+    void parallelFor(Index begin, Index end, Index min_grain,
+                     const std::function<void(Index, Index)>& body);
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+    };
+
+    /** One worker's task deque (owner pops front, thieves pop back). */
+    struct WorkerQueue
+    {
+        std::deque<Task> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t self);
+    bool tryRunOne(std::size_t self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<std::size_t> next_queue_{0};
+    /** Enqueued-but-not-started tasks; guarded by sleep_mutex_ so
+     *  the empty-check and the sleep are atomic (no lost wakeup). */
+    Index pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace smash::exec
+
+#endif // SMASH_COMMON_THREAD_POOL_HH

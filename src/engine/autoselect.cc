@@ -1,0 +1,119 @@
+#include "engine/autoselect.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace smash::eng
+{
+
+StructureStats
+analyzeStructure(const fmt::CooMatrix& coo, Index block)
+{
+    SMASH_CHECK(block >= 1, "block must be positive");
+    StructureStats s;
+    s.rows = coo.rows();
+    s.cols = coo.cols();
+    s.nnz = coo.nnz();
+    s.localityBlock = block;
+    if (s.rows == 0 || s.cols == 0 || s.nnz == 0)
+        return s;
+
+    std::vector<Index> row_pop(static_cast<std::size_t>(s.rows), 0);
+    // Diagonal id -> population; block id -> touched (row-aligned
+    // column segments of `block` elements, the NZA grid).
+    std::unordered_map<Index, Index> diag_pop;
+    std::unordered_set<std::uint64_t> blocks;
+    const Index blocks_per_row =
+        (s.cols + block - 1) / block;
+    for (const fmt::CooEntry& entry : coo.entries()) {
+        ++row_pop[static_cast<std::size_t>(entry.row)];
+        ++diag_pop[entry.col - entry.row];
+        blocks.insert(
+            static_cast<std::uint64_t>(entry.row * blocks_per_row +
+                                       entry.col / block));
+    }
+
+    s.density = static_cast<double>(s.nnz) /
+        (static_cast<double>(s.rows) * static_cast<double>(s.cols));
+    s.avgNnzPerRow = static_cast<double>(s.nnz) /
+        static_cast<double>(s.rows);
+
+    double var = 0;
+    for (Index pop : row_pop) {
+        const double d = static_cast<double>(pop) - s.avgNnzPerRow;
+        var += d * d;
+        s.maxNnzPerRow = std::max(s.maxNnzPerRow, pop);
+    }
+    var /= static_cast<double>(s.rows);
+    s.rowCv = s.avgNnzPerRow > 0
+        ? std::sqrt(var) / s.avgNnzPerRow
+        : 0.0;
+
+    s.numDiagonals = static_cast<Index>(diag_pop.size());
+    Index diag_capacity = 0;
+    for (const auto& [off, pop] : diag_pop) {
+        (void)pop;
+        const Index len = off >= 0 ? std::min(s.rows, s.cols - off)
+                                   : std::min(s.cols, s.rows + off);
+        diag_capacity += std::max<Index>(len, 0);
+    }
+    s.diagonalFill = diag_capacity > 0
+        ? static_cast<double>(s.nnz) / static_cast<double>(diag_capacity)
+        : 0.0;
+
+    s.blockLocality = static_cast<double>(s.nnz) /
+        (static_cast<double>(blocks.size()) * static_cast<double>(block));
+    return s;
+}
+
+Format
+chooseFormat(const StructureStats& s)
+{
+    if (s.nnz == 0)
+        return Format::kCsr;
+    if (s.density >= 0.4)
+        return Format::kDense;
+    // Banded: the stored-diagonal capacity is close to the nnz and
+    // there are few enough diagonals that DIA's padding stays small.
+    if (s.numDiagonals > 0 &&
+        s.numDiagonals <= std::max<Index>(16, s.rows / 32) &&
+        s.diagonalFill >= 0.5) {
+        return Format::kDia;
+    }
+    // Clustered: each fetched NZA block is at least half useful —
+    // the regime where the paper's hierarchy wins (§7.2.3).
+    if (s.blockLocality >= 0.5)
+        return Format::kSmash;
+    // Uniform rows: fixed-width slabs waste little padding.
+    if (s.rowCv <= 0.25 &&
+        s.maxNnzPerRow <= static_cast<Index>(2.0 * s.avgNnzPerRow + 1)) {
+        return Format::kEll;
+    }
+    return Format::kCsr;
+}
+
+Format
+chooseFormat(const fmt::CooMatrix& coo)
+{
+    return chooseFormat(analyzeStructure(coo));
+}
+
+SparseMatrixAny
+encodeAuto(const fmt::CooMatrix& coo,
+           const SparseMatrixAny::BuildOptions& opts)
+{
+    return SparseMatrixAny::fromCoo(coo, chooseFormat(coo), opts);
+}
+
+SparseMatrixAny
+encodeAuto(const fmt::CooMatrix& coo)
+{
+    return encodeAuto(coo, SparseMatrixAny::BuildOptions());
+}
+
+} // namespace smash::eng

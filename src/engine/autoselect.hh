@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structure analysis and format auto-selection.
+ *
+ * analyzeStructure() computes the quantities the paper's format
+ * discussion turns on — non-zeros per row (mean and skew),
+ * diagonal coverage, density, and the locality of sparsity of
+ * §7.2.3 (average fill of the touched fixed-size blocks) — and
+ * chooseFormat() maps them to the format whose cost model they
+ * favour. encodeAuto() is the one-call path from a canonical COO
+ * matrix to an engine matrix in the chosen format.
+ */
+
+#ifndef SMASH_ENGINE_AUTOSELECT_HH
+#define SMASH_ENGINE_AUTOSELECT_HH
+
+#include "engine/matrix_any.hh"
+#include "formats/coo_matrix.hh"
+
+namespace smash::eng
+{
+
+/** Structural profile of a sparse matrix (see analyzeStructure). */
+struct StructureStats
+{
+    Index rows = 0;
+    Index cols = 0;
+    Index nnz = 0;
+    double density = 0;       //!< nnz / (rows * cols)
+    double avgNnzPerRow = 0;  //!< nnz / rows
+    double rowCv = 0;         //!< row-population coefficient of variation
+    Index maxNnzPerRow = 0;
+    Index numDiagonals = 0;   //!< distinct occupied diagonals
+    double diagonalFill = 0;  //!< nnz / occupied diagonal capacity
+    double blockLocality = 0; //!< §7.2.3: avg fill of touched blocks
+    Index localityBlock = 0;  //!< block size blockLocality refers to
+};
+
+/**
+ * One pass over the COO entries. @p block is the aligned row-segment
+ * size used for the locality-of-sparsity measure (the paper sweeps
+ * NZA block sizes; 8 matches the default SMASH hierarchy).
+ */
+StructureStats analyzeStructure(const fmt::CooMatrix& coo,
+                                Index block = 8);
+
+/**
+ * Pick the format the profile favours. Rules, in order:
+ *   1. density >= 0.4                      -> dense (indexing is waste)
+ *   2. few diagonals, well filled          -> DIA (banded systems)
+ *   3. blockLocality >= 0.5                -> SMASH (paper §7.2.3:
+ *      clustered non-zeros amortize each fetched block)
+ *   4. uniform row populations             -> ELL (no row_ptr walk,
+ *      bounded padding)
+ *   5. otherwise                           -> CSR (the general default)
+ */
+Format chooseFormat(const StructureStats& stats);
+
+/** analyzeStructure + chooseFormat. */
+Format chooseFormat(const fmt::CooMatrix& coo);
+
+/** Encode @p coo in the auto-selected format. */
+SparseMatrixAny encodeAuto(const fmt::CooMatrix& coo,
+                           const SparseMatrixAny::BuildOptions& opts);
+SparseMatrixAny encodeAuto(const fmt::CooMatrix& coo);
+
+} // namespace smash::eng
+
+#endif // SMASH_ENGINE_AUTOSELECT_HH

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * The engine's single entry point for sparse operations:
+ *
+ *   eng::spmv(A, x, y, exec [, options])   y := y + A x
+ *   eng::spmm(A, B, C, exec [, options])   C := C + A B
+ *   eng::spadd(A, B, exec [, algo])        returns A + B
+ *
+ * A is a MatrixRef — any concrete format converts implicitly — and
+ * exec is any execution model: NativeExec (serial, full speed),
+ * SimExec (serial, cost-accurate; dispatch forwards to exactly the
+ * kernel the hand-wired call sites used, so billing is unchanged),
+ * or ParallelExec (the multi-threaded drivers below: row-range
+ * partitioning for gather formats, per-thread y accumulators merged
+ * at the barrier for scatter formats and the SMASH word walk).
+ *
+ * The capability registry (engine/format.hh) gates every route, so
+ * unsupported (format, op) pairs fail with a clear error instead of
+ * a template blizzard.
+ */
+
+#ifndef SMASH_ENGINE_DISPATCH_HH
+#define SMASH_ENGINE_DISPATCH_HH
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/parallel_exec.hh"
+#include "engine/matrix_any.hh"
+#include "isa/bmu.hh"
+#include "kernels/spadd.hh"
+#include "kernels/spgemm.hh"
+#include "kernels/spmm.hh"
+#include "kernels/spmv.hh"
+#include "kernels/spmv_structured.hh"
+#include "kernels/util.hh"
+#include "sim/exec_model.hh"
+
+namespace smash::eng
+{
+
+/** Kernel variant to run for one format (paper's scheme axis). */
+enum class SpmvAlgo
+{
+    kAuto,     //!< plain kernel; BMU path when a Bmu is supplied
+    kPlain,    //!< the format's baseline kernel
+    kUnrolled, //!< CSR only: MKL-like unrolled loop (§7.1)
+    kIdeal,    //!< CSR only: free-indexing idealism (Fig. 3)
+    kHw,       //!< SMASH only: BMU-accelerated scan (§5.1)
+};
+
+/** Options of one spmv()/spmm() dispatch. */
+struct SpmvOptions
+{
+    SpmvAlgo algo = SpmvAlgo::kAuto;
+    isa::Bmu* bmu = nullptr; //!< required by (and implies) kHw
+};
+
+namespace detail
+{
+
+/** Resolve kAuto and validate the (format, algo) pair. */
+inline SpmvAlgo
+resolveAlgo(Format f, const SpmvOptions& opts)
+{
+    SpmvAlgo algo = opts.algo;
+    if (algo == SpmvAlgo::kAuto) {
+        algo = (f == Format::kSmash && opts.bmu != nullptr)
+            ? SpmvAlgo::kHw
+            : SpmvAlgo::kPlain;
+    }
+    if (algo == SpmvAlgo::kUnrolled || algo == SpmvAlgo::kIdeal) {
+        SMASH_CHECK(f == Format::kCsr, "algo ",
+                    algo == SpmvAlgo::kUnrolled ? "unrolled" : "ideal",
+                    " applies to CSR only, matrix is ", toString(f));
+    }
+    if (algo == SpmvAlgo::kHw) {
+        SMASH_CHECK(f == Format::kSmash,
+                    "the BMU path applies to SMASH only, matrix is ",
+                    toString(f));
+        SMASH_CHECK(opts.bmu != nullptr,
+                    "the BMU path needs SpmvOptions::bmu");
+    }
+    return algo;
+}
+
+/**
+ * x, zero-extended into @p scratch when shorter than the format's
+ * required operand length. Callers that pre-pad (the benches, so
+ * simulation bills no copy) pass through untouched.
+ */
+inline const std::vector<Value>&
+paddedX(const MatrixRef& a, const std::vector<Value>& x,
+        std::vector<Value>& scratch)
+{
+    const Index need = a.xLength();
+    if (static_cast<Index>(x.size()) >= need)
+        return x;
+    scratch = kern::padVector(x, need);
+    return scratch;
+}
+
+/**
+ * Boundaries splitting [0, n) into @p chunks ranges balanced by the
+ * monotone prefix array @p ptr (row_ptr/colPtr): each range holds
+ * roughly the same number of non-zeros, so threads get even work
+ * even on power-law matrices.
+ */
+template <typename PtrVec>
+std::vector<Index>
+balancedCuts(const PtrVec& ptr, Index n, Index chunks)
+{
+    using Elem = typename PtrVec::value_type;
+    chunks = std::max<Index>(1, std::min(chunks, n));
+    std::vector<Index> cuts(static_cast<std::size_t>(chunks) + 1, 0);
+    const auto total = static_cast<std::uint64_t>(
+        ptr[static_cast<std::size_t>(n)]);
+    for (Index c = 1; c < chunks; ++c) {
+        const Elem target = static_cast<Elem>(
+            total * static_cast<std::uint64_t>(c) /
+            static_cast<std::uint64_t>(chunks));
+        const auto it = std::upper_bound(
+            ptr.begin(), ptr.begin() + static_cast<std::ptrdiff_t>(n),
+            target);
+        cuts[static_cast<std::size_t>(c)] = std::clamp<Index>(
+            static_cast<Index>(it - ptr.begin()) - 1,
+            cuts[static_cast<std::size_t>(c) - 1], n);
+    }
+    cuts[static_cast<std::size_t>(chunks)] = n;
+    return cuts;
+}
+
+/**
+ * Scatter-format helper: partition the item space [0, n) into
+ * disjoint ranges and run fn(range_begin, range_end, y_local) for
+ * each, accumulating into private y copies merged at the barrier
+ * (the merge itself is row-parallel). Contract: every item index in
+ * [0, n) reaches fn exactly once; callers may key per-item state
+ * (e.g. the SMASH driver's per-range NZA base ranks) off the item
+ * index regardless of how ranges are grouped into tasks.
+ */
+template <typename RangeFn>
+void
+scatterParallel(exec::ParallelExec& e, Index n, std::vector<Value>& y,
+                const RangeFn& fn)
+{
+    const Index chunks =
+        std::max<Index>(1, std::min<Index>(n, e.threads()));
+    if (chunks == 1) {
+        // One worker: accumulate straight into y (the += kernels
+        // preserve its contents), skipping the merge entirely.
+        e.parallelFor(0, 1, 1,
+                      [&](Index, Index) { fn(0, n, y); });
+        return;
+    }
+    std::vector<std::vector<Value>> locals(
+        static_cast<std::size_t>(chunks),
+        std::vector<Value>(y.size(), Value(0)));
+    const Index grain = (n + chunks - 1) / chunks;
+    e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
+        for (Index c = cb; c < ce; ++c) {
+            const Index b = c * grain;
+            const Index end = std::min(n, b + grain);
+            if (b < end)
+                fn(b, end, locals[static_cast<std::size_t>(c)]);
+        }
+    });
+    e.parallelFor(0, static_cast<Index>(y.size()), 1024,
+                  [&](Index rb, Index re) {
+        for (const std::vector<Value>& local : locals)
+            for (Index r = rb; r < re; ++r)
+                y[static_cast<std::size_t>(r)] +=
+                    local[static_cast<std::size_t>(r)];
+    });
+}
+
+/** Multi-threaded SpMV drivers, one per format family. */
+inline void
+parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
+             std::vector<Value>& y, exec::ParallelExec& e)
+{
+    const Index chunk_goal = static_cast<Index>(e.threads()) * 4;
+    switch (a.format()) {
+      case Format::kCsr: {
+        // nnz-balanced row cuts; disjoint rows write y directly.
+        const auto& m = a.as<fmt::CsrMatrix>();
+        const std::vector<Index> cuts =
+            balancedCuts(m.rowPtr(), m.rows(), chunk_goal);
+        e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
+                      [&](Index cb, Index ce) {
+            sim::NativeExec ne;
+            for (Index c = cb; c < ce; ++c)
+                kern::spmvCsrRange(m, x, y,
+                                   cuts[static_cast<std::size_t>(c)],
+                                   cuts[static_cast<std::size_t>(c) + 1],
+                                   ne);
+        });
+        return;
+      }
+      case Format::kBcsr: {
+        const auto& m = a.as<fmt::BcsrMatrix>();
+        const std::vector<Index> cuts =
+            balancedCuts(m.blockRowPtr(), m.numBlockRows(), chunk_goal);
+        e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
+                      [&](Index cb, Index ce) {
+            sim::NativeExec ne;
+            for (Index c = cb; c < ce; ++c)
+                kern::spmvBcsrRange(
+                    m, x, y, cuts[static_cast<std::size_t>(c)],
+                    cuts[static_cast<std::size_t>(c) + 1], ne);
+        });
+        return;
+      }
+      case Format::kEll: {
+        const auto& m = a.as<fmt::EllMatrix>();
+        e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvEllRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kDia: {
+        const auto& m = a.as<fmt::DiaMatrix>();
+        e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvDiaRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kDense: {
+        const auto& m = a.as<fmt::DenseMatrix>();
+        e.parallelFor(0, m.rows(), 16, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvDenseRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kSmash: {
+        // §4.4 word walk over Bitmap-0, word-partitioned. Words can
+        // straddle rows, so each worker accumulates into a private y
+        // merged at the barrier. The per-range NZA base is the
+        // Bitmap-0 rank at the range start; the rank pre-scan runs
+        // over the same chunks in parallel. It counts with the
+        // bit-clearing loop, not std::popcount: without -mpopcnt
+        // the latter is a libcall (~3 ns/word measured), while
+        // clearing costs one test per empty word plus one iteration
+        // per set bit — cheaper on sparse bitmaps.
+        const auto& m = a.as<core::SmashMatrix>();
+        const core::Bitmap& level0 = m.hierarchy().level(0);
+        const BitWord* wp = level0.words().data();
+        const Index words = level0.numWords();
+        const Index chunks =
+            std::max<Index>(1, std::min<Index>(words, e.threads()));
+        const Index grain = (words + chunks - 1) / chunks;
+        std::vector<Index> base(static_cast<std::size_t>(chunks) + 1, 0);
+        if (chunks > 1)
+            e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                const Index wb = c * grain;
+                const Index we = std::min(words, wb + grain);
+                Index pop = 0;
+                for (Index w = wb; w < we; ++w) {
+                    BitWord word = wp[w];
+                    while (word != 0) {
+                        word = clearLowestSet(word);
+                        ++pop;
+                    }
+                }
+                base[static_cast<std::size_t>(c) + 1] = pop;
+            }
+        });
+        for (Index c = 0; c < chunks; ++c)
+            base[static_cast<std::size_t>(c) + 1] +=
+                base[static_cast<std::size_t>(c)];
+        scatterParallel(
+            e, chunks, y,
+            [&](Index cb, Index ce, std::vector<Value>& local) {
+                for (Index c = cb; c < ce; ++c) {
+                    const Index wb = c * grain;
+                    const Index we = std::min(words, wb + grain);
+                    kern::spmvSmashSwWords(
+                        m, x, local, wb, we,
+                        base[static_cast<std::size_t>(c)]);
+                }
+            });
+        return;
+      }
+      case Format::kCoo: {
+        const auto& m = a.as<fmt::CooMatrix>();
+        scatterParallel(
+            e, m.nnz(), y,
+            [&](Index b, Index end, std::vector<Value>& local) {
+                sim::NativeExec ne;
+                kern::spmvCooRange(m, x, local, b, end, ne);
+            });
+        return;
+      }
+      case Format::kCsc: {
+        const auto& m = a.as<fmt::CscMatrix>();
+        scatterParallel(
+            e, m.cols(), y,
+            [&](Index b, Index end, std::vector<Value>& local) {
+                sim::NativeExec ne;
+                kern::spmvCscRange(m, x, local, b, end, ne);
+            });
+        return;
+      }
+    }
+    SMASH_PANIC("unknown format tag");
+}
+
+} // namespace detail
+
+/**
+ * y := y + A x through the format-agnostic dispatch layer.
+ *
+ * x may be given at logical length (cols); the engine pads it to
+ * the format's operand length when needed. Under ParallelExec the
+ * multi-threaded drivers run; any other execution model reaches
+ * exactly the serial kernel the format/algo pair names.
+ */
+template <typename E>
+void
+spmv(const MatrixRef& a, const std::vector<Value>& x,
+     std::vector<Value>& y, E& e, const SpmvOptions& opts = {})
+{
+    SMASH_CHECK(capabilities(a.format()).spmv, toString(a.format()),
+                " has no SpMV kernel");
+    const SpmvAlgo algo = detail::resolveAlgo(a.format(), opts);
+    std::vector<Value> scratch;
+    const std::vector<Value>& xp = detail::paddedX(a, x, scratch);
+
+    if constexpr (std::is_same_v<std::decay_t<E>, exec::ParallelExec>) {
+        // The parallel drivers run the formats' plain native
+        // kernels. Explicitly requested serial-only variants are
+        // rejected rather than silently downgraded; kAuto resolves
+        // to the plain path even when a Bmu is supplied (the BMU is
+        // a single serial scan unit).
+        SMASH_CHECK(opts.algo == SpmvAlgo::kAuto ||
+                        opts.algo == SpmvAlgo::kPlain,
+                    "algo variants (unrolled/ideal/hw) are serial-only;"
+                    " ParallelExec runs the plain native drivers");
+        detail::parallelSpmv(a, xp, y, e);
+        return;
+    } else {
+        switch (a.format()) {
+          case Format::kCoo:
+            kern::spmvCoo(a.as<fmt::CooMatrix>(), xp, y, e);
+            return;
+          case Format::kCsr: {
+            const auto& m = a.as<fmt::CsrMatrix>();
+            if (algo == SpmvAlgo::kUnrolled)
+                kern::spmvCsrUnrolled(m, xp, y, e);
+            else if (algo == SpmvAlgo::kIdeal)
+                kern::spmvCsrIdeal(m, xp, y, e);
+            else
+                kern::spmvCsr(m, xp, y, e);
+            return;
+          }
+          case Format::kCsc:
+            kern::spmvCsc(a.as<fmt::CscMatrix>(), xp, y, e);
+            return;
+          case Format::kBcsr:
+            kern::spmvBcsr(a.as<fmt::BcsrMatrix>(), xp, y, e);
+            return;
+          case Format::kEll:
+            kern::spmvEll(a.as<fmt::EllMatrix>(), xp, y, e);
+            return;
+          case Format::kDia:
+            kern::spmvDia(a.as<fmt::DiaMatrix>(), xp, y, e);
+            return;
+          case Format::kDense:
+            kern::spmvDense(a.as<fmt::DenseMatrix>(), xp, y, e);
+            return;
+          case Format::kSmash: {
+            const auto& m = a.as<core::SmashMatrix>();
+            if (algo == SpmvAlgo::kHw)
+                kern::spmvSmashHw(m, *opts.bmu, xp, y, e);
+            else
+                kern::spmvSmashSw(m, xp, y, e);
+            return;
+          }
+        }
+        SMASH_PANIC("unknown format tag");
+    }
+}
+
+/**
+ * C := C + A B through the dispatch layer. The B operand's
+ * expected encoding follows A's format (the kernels' operand
+ * pairing): CSR takes B as CSC; BCSR and SMASH take B-transposed in
+ * their own format; dense takes dense.
+ */
+template <typename E>
+void
+spmm(const MatrixRef& a, const MatrixRef& b, fmt::DenseMatrix& c, E& e,
+     const SpmvOptions& opts = {})
+{
+    SMASH_CHECK(capabilities(a.format()).spmm, toString(a.format()),
+                " has no SpMM kernel");
+    const SpmvAlgo algo = detail::resolveAlgo(a.format(), opts);
+    switch (a.format()) {
+      case Format::kCsr: {
+        const auto& bm = b.as<fmt::CscMatrix>();
+        if (algo == SpmvAlgo::kIdeal)
+            kern::spmmCsrIdeal(a.as<fmt::CsrMatrix>(), bm, c, e);
+        else
+            kern::spmmCsr(a.as<fmt::CsrMatrix>(), bm, c, e);
+        return;
+      }
+      case Format::kBcsr:
+        kern::spmmBcsr(a.as<fmt::BcsrMatrix>(), b.as<fmt::BcsrMatrix>(),
+                       c, e);
+        return;
+      case Format::kDense:
+        kern::spmmDense(a.as<fmt::DenseMatrix>(),
+                        b.as<fmt::DenseMatrix>(), c, e);
+        return;
+      case Format::kSmash: {
+        const auto& am = a.as<core::SmashMatrix>();
+        const auto& bm = b.as<core::SmashMatrix>();
+        if (algo == SpmvAlgo::kHw)
+            kern::spmmSmashHw(am, bm, *opts.bmu, c, e);
+        else
+            kern::spmmSmashSw(am, bm, c, e);
+        return;
+      }
+      default:
+        SMASH_PANIC("capability table out of sync with spmm dispatch");
+    }
+}
+
+/**
+ * C := A B as sparse output (CSR) through the dispatch layer — the
+ * SpGEMM family, where A's format picks the traversal (Gustavson
+ * row-merge for CSR, outer-product for CSC, bitmap scan for SMASH)
+ * and B is always row-major CSR.
+ */
+template <typename E>
+fmt::CsrMatrix
+spgemm(const MatrixRef& a, const fmt::CsrMatrix& b, E& e,
+       const SpmvOptions& opts = {})
+{
+    SMASH_CHECK(capabilities(a.format()).spgemm, toString(a.format()),
+                " has no SpGEMM kernel");
+    const SpmvAlgo algo = detail::resolveAlgo(a.format(), opts);
+    switch (a.format()) {
+      case Format::kCsr:
+        return kern::spgemmGustavson(a.as<fmt::CsrMatrix>(), b, e);
+      case Format::kCsc:
+        return kern::spgemmOuter(a.as<fmt::CscMatrix>(), b, e);
+      case Format::kSmash: {
+        const auto& am = a.as<core::SmashMatrix>();
+        if (algo == SpmvAlgo::kHw)
+            return kern::spgemmSmashHw(am, *opts.bmu, b, e);
+        return kern::spgemmSmashSw(am, b, e);
+      }
+      default:
+        SMASH_PANIC("capability table out of sync with spgemm dispatch");
+    }
+}
+
+/** Variant selector of spadd(). */
+enum class SpaddAlgo
+{
+    kPlain, //!< the format's baseline kernel
+    kIdeal, //!< CSR only: free-indexing idealism (Fig. 3)
+};
+
+/**
+ * A + B through the dispatch layer. Operands must share a format
+ * with SpAdd capability (CSR, SMASH, dense); the result is returned
+ * in that format family (CSR addition yields canonical COO, the
+ * kernels' native output).
+ */
+template <typename E>
+SparseMatrixAny
+spadd(const MatrixRef& a, const MatrixRef& b, E& e,
+      SpaddAlgo algo = SpaddAlgo::kPlain)
+{
+    SMASH_CHECK(a.format() == b.format(),
+                "spadd operands must share a format, got ",
+                toString(a.format()), " + ", toString(b.format()));
+    SMASH_CHECK(capabilities(a.format()).spadd, toString(a.format()),
+                " has no SpAdd kernel");
+    SMASH_CHECK(algo == SpaddAlgo::kPlain || a.format() == Format::kCsr,
+                "the ideal SpAdd variant applies to CSR only");
+    switch (a.format()) {
+      case Format::kCsr: {
+        const auto& am = a.as<fmt::CsrMatrix>();
+        const auto& bm = b.as<fmt::CsrMatrix>();
+        return SparseMatrixAny(algo == SpaddAlgo::kIdeal
+                                   ? kern::spaddCsrIdeal(am, bm, e)
+                                   : kern::spaddCsr(am, bm, e));
+      }
+      case Format::kSmash:
+        return SparseMatrixAny(kern::spaddSmash(
+            a.as<core::SmashMatrix>(), b.as<core::SmashMatrix>(), e));
+      case Format::kDense: {
+        fmt::DenseMatrix c(a.rows(), a.cols());
+        kern::spaddDense(a.as<fmt::DenseMatrix>(),
+                         b.as<fmt::DenseMatrix>(), c, e);
+        return SparseMatrixAny(std::move(c));
+      }
+      default:
+        SMASH_PANIC("capability table out of sync with spadd dispatch");
+    }
+}
+
+} // namespace smash::eng
+
+#endif // SMASH_ENGINE_DISPATCH_HH

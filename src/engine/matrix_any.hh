@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The engine's format-agnostic matrix types.
+ *
+ * MatrixRef is a non-owning (format tag, pointer) view that every
+ * concrete matrix class converts to implicitly — the currency of
+ * the dispatch layer, so existing call sites pass their CsrMatrix
+ * or SmashMatrix with zero copies.
+ *
+ * SparseMatrixAny owns one matrix in any of the engine's formats
+ * (a std::variant) and is what conversion and auto-selection
+ * produce; it converts to MatrixRef like the concrete types.
+ */
+
+#ifndef SMASH_ENGINE_MATRIX_ANY_HH
+#define SMASH_ENGINE_MATRIX_ANY_HH
+
+#include <variant>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/smash_matrix.hh"
+#include "engine/format.hh"
+#include "formats/bcsr_matrix.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/csc_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
+#include "formats/dia_matrix.hh"
+#include "formats/ell_matrix.hh"
+
+namespace smash::eng
+{
+
+/** Compile-time Format tag of each concrete matrix class. */
+template <typename T> struct FormatOf;
+template <> struct FormatOf<fmt::CooMatrix>
+{ static constexpr Format value = Format::kCoo; };
+template <> struct FormatOf<fmt::CsrMatrix>
+{ static constexpr Format value = Format::kCsr; };
+template <> struct FormatOf<fmt::CscMatrix>
+{ static constexpr Format value = Format::kCsc; };
+template <> struct FormatOf<fmt::BcsrMatrix>
+{ static constexpr Format value = Format::kBcsr; };
+template <> struct FormatOf<fmt::EllMatrix>
+{ static constexpr Format value = Format::kEll; };
+template <> struct FormatOf<fmt::DiaMatrix>
+{ static constexpr Format value = Format::kDia; };
+template <> struct FormatOf<fmt::DenseMatrix>
+{ static constexpr Format value = Format::kDense; };
+template <> struct FormatOf<core::SmashMatrix>
+{ static constexpr Format value = Format::kSmash; };
+
+class SparseMatrixAny;
+
+/** Constrains MatrixRef construction to the known matrix classes. */
+template <typename T>
+concept EngineMatrix = requires { FormatOf<T>::value; };
+
+/** Non-owning view of a matrix in any engine format. */
+class MatrixRef
+{
+  public:
+    template <EngineMatrix T>
+    MatrixRef(const T& m) // NOLINT: implicit by design
+        : format_(FormatOf<T>::value), ptr_(&m)
+    {}
+
+    MatrixRef(const SparseMatrixAny& m); // NOLINT: implicit by design
+
+    Format format() const { return format_; }
+
+    Index rows() const;
+    Index cols() const;
+    Index nnz() const;
+
+    /**
+     * Length the x operand of y := A x must have: cols(), rounded
+     * up to the format's block/padding granularity (BCSR block
+     * columns, SMASH padded columns).
+     */
+    Index xLength() const;
+
+    /** Typed access; fatal if the tag does not match. */
+    template <typename T>
+    const T&
+    as() const
+    {
+        SMASH_CHECK(format_ == FormatOf<T>::value,
+                    "matrix is ", toString(format_), ", requested ",
+                    toString(FormatOf<T>::value));
+        return *static_cast<const T*>(ptr_);
+    }
+
+  private:
+    Format format_;
+    const void* ptr_;
+};
+
+/** Owning holder of a matrix in any engine format. */
+class SparseMatrixAny
+{
+  public:
+    /** Per-format parameters of fromCoo() conversions. */
+    struct BuildOptions
+    {
+        Index bcsrBlockRows = 4;
+        Index bcsrBlockCols = 4;
+        /** SMASH hierarchy in the paper's top-down notation. */
+        std::vector<Index> smashHierarchy = {16, 4, 2};
+    };
+
+    template <typename T>
+    explicit SparseMatrixAny(T m)
+        : holder_(std::move(m))
+    {}
+
+    /** Encode a canonical COO matrix as @p target. */
+    static SparseMatrixAny fromCoo(const fmt::CooMatrix& coo,
+                                   Format target,
+                                   const BuildOptions& opts);
+    static SparseMatrixAny fromCoo(const fmt::CooMatrix& coo,
+                                   Format target);
+
+    Format format() const;
+    MatrixRef ref() const;
+
+    Index rows() const { return ref().rows(); }
+    Index cols() const { return ref().cols(); }
+    Index nnz() const { return ref().nnz(); }
+    Index xLength() const { return ref().xLength(); }
+
+    template <typename T>
+    const T&
+    as() const
+    {
+        return ref().as<T>();
+    }
+
+  private:
+    std::variant<fmt::CooMatrix, fmt::CsrMatrix, fmt::CscMatrix,
+                 fmt::BcsrMatrix, fmt::EllMatrix, fmt::DiaMatrix,
+                 fmt::DenseMatrix, core::SmashMatrix>
+        holder_;
+};
+
+inline MatrixRef::MatrixRef(const SparseMatrixAny& m)
+    : MatrixRef(m.ref())
+{}
+
+} // namespace smash::eng
+
+#endif // SMASH_ENGINE_MATRIX_ANY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Adapter from the dispatch layer to the solvers' operator functor
+ * protocol: the iterative and Krylov solvers are templated on an
+ * apply(x, y) computing y := A x (y pre-zeroed), and makeOperator()
+ * produces exactly that from any engine matrix. Padding of x to the
+ * format's operand length happens inside the dispatch, so solver
+ * code stays format-blind.
+ */
+
+#ifndef SMASH_ENGINE_OPERATOR_HH
+#define SMASH_ENGINE_OPERATOR_HH
+
+#include <vector>
+
+#include "engine/dispatch.hh"
+
+namespace smash::eng
+{
+
+/** SpMV operator functor over one engine matrix. */
+template <typename E>
+class SpmvOperator
+{
+  public:
+    SpmvOperator(MatrixRef a, E& e, SpmvOptions opts = {})
+        : a_(a), e_(&e), opts_(opts)
+    {}
+
+    /** y := y + A x (solvers pre-zero y, giving y := A x). */
+    void
+    operator()(const std::vector<Value>& x, std::vector<Value>& y) const
+    {
+        spmv(a_, x, y, *e_, opts_);
+    }
+
+  private:
+    MatrixRef a_;
+    E* e_;
+    SpmvOptions opts_;
+};
+
+/** Deduce the execution model; usage:
+ *  auto op = eng::makeOperator(matrix, exec); solve::cg(op, ...) */
+template <typename E>
+SpmvOperator<E>
+makeOperator(MatrixRef a, E& e, SpmvOptions opts = {})
+{
+    return SpmvOperator<E>(a, e, opts);
+}
+
+} // namespace smash::eng
+
+#endif // SMASH_ENGINE_OPERATOR_HH

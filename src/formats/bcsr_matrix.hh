@@ -40,6 +40,10 @@ class BcsrMatrix
 
     Index rows() const { return rows_; }
     Index cols() const { return cols_; }
+
+    /** Number of actual non-zeros (excluding in-tile padding). */
+    Index nnz() const { return nnz_; }
+
     Index blockRows() const { return blockRows_; }
     Index blockCols() const { return blockCols_; }
 

@@ -2,8 +2,10 @@
  * @file
  * PageRank expressed as iterated SpMV (paper §6): per iteration,
  * rank' = (1-d)/N + d * M rank, with M the column-stochastic
- * adjacency operator. The CSR and SMASH variants differ only in the
- * SpMV kernel, which is exactly the comparison Fig. 18 makes.
+ * adjacency operator. The iteration is format-blind: the operator
+ * goes through the engine's dispatch layer, so any encoding —
+ * CSR, SMASH software-scanned, SMASH with the BMU — plugs in via
+ * options, which is exactly the comparison Fig. 18 makes.
  */
 
 #ifndef SMASH_GRAPH_PAGERANK_HH
@@ -12,7 +14,7 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "kernels/spmv.hh"
+#include "engine/dispatch.hh"
 
 namespace smash::graph
 {
@@ -66,18 +68,27 @@ pagerankLoop(Index n, Index padded_len, const PageRankParams& params,
 
 } // namespace detail
 
+/** PageRank over any engine matrix, through the dispatch layer. */
+template <typename E>
+std::vector<Value>
+pagerank(eng::MatrixRef m, const PageRankParams& params, E& e,
+         const eng::SpmvOptions& opts = {})
+{
+    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
+    return detail::pagerankLoop(
+        m.rows(), m.xLength(), params,
+        [&](const std::vector<Value>& x, std::vector<Value>& y) {
+            eng::spmv(m, x, y, e, opts);
+        },
+        e);
+}
+
 /** PageRank over a CSR-encoded PageRank matrix. */
 template <typename E>
 std::vector<Value>
 pagerankCsr(const fmt::CsrMatrix& m, const PageRankParams& params, E& e)
 {
-    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
-    return detail::pagerankLoop(
-        m.rows(), m.rows(), params,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            kern::spmvCsr(m, x, y, e);
-        },
-        e);
+    return pagerank(m, params, e);
 }
 
 /** PageRank over a SMASH-encoded matrix, software-only indexing. */
@@ -86,13 +97,7 @@ std::vector<Value>
 pagerankSmashSw(const core::SmashMatrix& m, const PageRankParams& params,
                 E& e)
 {
-    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
-    return detail::pagerankLoop(
-        m.rows(), m.paddedCols(), params,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            kern::spmvSmashSw(m, x, y, e);
-        },
-        e);
+    return pagerank(m, params, e);
 }
 
 /** PageRank over a SMASH-encoded matrix with BMU indexing. */
@@ -101,13 +106,8 @@ std::vector<Value>
 pagerankSmashHw(const core::SmashMatrix& m, isa::Bmu& bmu,
                 const PageRankParams& params, E& e)
 {
-    SMASH_CHECK(m.rows() == m.cols(), "PageRank matrix must be square");
-    return detail::pagerankLoop(
-        m.rows(), m.paddedCols(), params,
-        [&](const std::vector<Value>& x, std::vector<Value>& y) {
-            kern::spmvSmashHw(m, bmu, x, y, e);
-        },
-        e);
+    return pagerank(m, params, e,
+                    eng::SpmvOptions{eng::SpmvAlgo::kHw, &bmu});
 }
 
 } // namespace smash::graph

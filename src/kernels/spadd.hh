@@ -16,6 +16,7 @@
 #include "core/smash_matrix.hh"
 #include "formats/coo_matrix.hh"
 #include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
 #include "kernels/costs.hh"
 #include "sim/core_model.hh"
 
@@ -240,6 +241,29 @@ spaddSmash(const core::SmashMatrix& a, const core::SmashMatrix& b, E& e)
     }
     return core::SmashMatrix::fromBlocks(a.rows(), a.cols(), a.config(),
                                          std::move(bm_c), std::move(nza));
+}
+
+/**
+ * Dense elementwise addition C := A + B — the uncompressed baseline,
+ * here so the engine's dispatch layer covers SpAdd for every
+ * spadd-capable format.
+ */
+template <typename E>
+void
+spaddDense(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+           fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "operand shapes differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == a.cols(),
+                "output shape mismatch");
+    const std::size_t n = a.data().size();
+    for (std::size_t i = 0; i < n; ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    e.load(a.data().data(), n * sizeof(Value));
+    e.load(b.data().data(), n * sizeof(Value));
+    e.store(c.data().data(), n * sizeof(Value));
+    e.op(cost::vectorOps(static_cast<Index>(n)));
 }
 
 } // namespace smash::kern

@@ -442,6 +442,37 @@ spmmSmashHw(const core::SmashMatrix& a, const core::SmashMatrix& bt,
     }
 }
 
+/**
+ * Dense matrix multiply (ikj streaming order): the uncompressed
+ * baseline of the format spectrum, here so the engine's dispatch
+ * layer covers SpMM for every spmm-capable format.
+ */
+template <typename E>
+void
+spmmDense(const fmt::DenseMatrix& a, const fmt::DenseMatrix& b,
+          fmt::DenseMatrix& c, E& e)
+{
+    SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
+    SMASH_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+                "output shape mismatch");
+    const Index n = b.cols();
+    const int row_vops = cost::vectorOps(n);
+    for (Index i = 0; i < a.rows(); ++i) {
+        const Value* a_row = a.rowData(i);
+        e.load(a_row, static_cast<std::size_t>(a.cols()) * sizeof(Value));
+        for (Index k = 0; k < a.cols(); ++k) {
+            const Value av = a_row[k];
+            const Value* b_row = b.rowData(k);
+            e.load(b_row, static_cast<std::size_t>(n) * sizeof(Value));
+            for (Index j = 0; j < n; ++j)
+                c.at(i, j) += av * b_row[j];
+            e.op(row_vops + cost::kLoop);
+        }
+        e.store(c.rowData(i), static_cast<std::size_t>(n) * sizeof(Value));
+        e.op(cost::kOuterLoop);
+    }
+}
+
 } // namespace smash::kern
 
 #endif // SMASH_KERNELS_SPMM_HH

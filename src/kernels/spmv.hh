@@ -29,6 +29,7 @@
 #include "formats/coo_matrix.hh"
 #include "formats/csc_matrix.hh"
 #include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
 #include "isa/bmu.hh"
 #include "kernels/costs.hh"
 #include "kernels/util.hh"
@@ -36,6 +37,36 @@
 
 namespace smash::kern
 {
+
+/**
+ * COO SpMV over the entry range [entry_begin, entry_end): the
+ * engine's parallel driver hands disjoint entry ranges to worker
+ * threads (scattered y updates force per-thread accumulators).
+ */
+template <typename E>
+void
+spmvCooRange(const fmt::CooMatrix& a, const std::vector<Value>& x,
+             std::vector<Value>& y, Index entry_begin, Index entry_end,
+             E& e)
+{
+    SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
+    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
+    const auto& entries = a.entries();
+    for (Index i = entry_begin; i < entry_end; ++i) {
+        const fmt::CooEntry& entry = entries[static_cast<std::size_t>(i)];
+        e.load(&entry, sizeof(fmt::CooEntry));
+        e.load(&x[static_cast<std::size_t>(entry.col)], sizeof(Value),
+               sim::Dep::kDependent);
+        // The y update is a read-modify-write at a just-loaded row
+        // index: bill the dependent load before the FMA it feeds.
+        e.load(&y[static_cast<std::size_t>(entry.row)], sizeof(Value),
+               sim::Dep::kDependent);
+        y[static_cast<std::size_t>(entry.row)] +=
+            entry.value * x[static_cast<std::size_t>(entry.col)];
+        e.store(&y[static_cast<std::size_t>(entry.row)], sizeof(Value));
+        e.op(cost::kFma + cost::kLoop);
+    }
+}
 
 /**
  * COO SpMV: stream (row, col, value) triples. No pointer chasing,
@@ -48,36 +79,25 @@ void
 spmvCoo(const fmt::CooMatrix& a, const std::vector<Value>& x,
         std::vector<Value>& y, E& e)
 {
-    SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
-    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
-    for (const fmt::CooEntry& entry : a.entries()) {
-        e.load(&entry, sizeof(fmt::CooEntry));
-        e.load(&x[static_cast<std::size_t>(entry.col)], sizeof(Value),
-               sim::Dep::kDependent);
-        y[static_cast<std::size_t>(entry.row)] +=
-            entry.value * x[static_cast<std::size_t>(entry.col)];
-        e.load(&y[static_cast<std::size_t>(entry.row)], sizeof(Value),
-               sim::Dep::kDependent);
-        e.store(&y[static_cast<std::size_t>(entry.row)], sizeof(Value));
-        e.op(cost::kFma + cost::kLoop);
-    }
+    spmvCooRange(a, x, y, 0, a.nnz(), e);
 }
 
 /**
- * CSC SpMV: column-major traversal; every column's contribution
- * scatters into y (gather from x becomes scatter to y).
+ * CSC SpMV over the column range [col_begin, col_end). Columns
+ * scatter into y, so parallel callers combine disjoint column
+ * ranges with per-thread y accumulators.
  */
 template <typename E>
 void
-spmvCsc(const fmt::CscMatrix& a, const std::vector<Value>& x,
-        std::vector<Value>& y, E& e)
+spmvCscRange(const fmt::CscMatrix& a, const std::vector<Value>& x,
+             std::vector<Value>& y, Index col_begin, Index col_end, E& e)
 {
     SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
     SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
     const auto& col_ptr = a.colPtr();
     const auto& row_ind = a.rowInd();
     const auto& values = a.values();
-    for (Index c = 0; c < a.cols(); ++c) {
+    for (Index c = col_begin; c < col_end; ++c) {
         auto sc = static_cast<std::size_t>(c);
         e.load(&col_ptr[sc + 1], sizeof(fmt::CsrIndex));
         e.load(&x[sc], sizeof(Value));
@@ -99,11 +119,27 @@ spmvCsc(const fmt::CscMatrix& a, const std::vector<Value>& x,
     }
 }
 
-/** TACO-style CSR SpMV (Code Listing 1). */
+/**
+ * CSC SpMV: column-major traversal; every column's contribution
+ * scatters into y (gather from x becomes scatter to y).
+ */
 template <typename E>
 void
-spmvCsr(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+spmvCsc(const fmt::CscMatrix& a, const std::vector<Value>& x,
         std::vector<Value>& y, E& e)
+{
+    spmvCscRange(a, x, y, 0, a.cols(), e);
+}
+
+/**
+ * TACO-style CSR SpMV restricted to rows [row_begin, row_end).
+ * Disjoint row ranges touch disjoint y entries, so the parallel
+ * driver runs one range per worker with no synchronization.
+ */
+template <typename E>
+void
+spmvCsrRange(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+             std::vector<Value>& y, Index row_begin, Index row_end, E& e)
 {
     SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
     SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
@@ -111,7 +147,7 @@ spmvCsr(const fmt::CsrMatrix& a, const std::vector<Value>& x,
     const auto& col_ind = a.colInd();
     const auto& values = a.values();
 
-    for (Index i = 0; i < a.rows(); ++i) {
+    for (Index i = row_begin; i < row_end; ++i) {
         auto si = static_cast<std::size_t>(i);
         // row_ptr[i] is carried in a register from the last iteration.
         e.load(&row_ptr[si + 1], sizeof(fmt::CsrIndex));
@@ -131,6 +167,15 @@ spmvCsr(const fmt::CsrMatrix& a, const std::vector<Value>& x,
         e.store(&y[si], sizeof(Value));
         e.op(cost::kOuterLoop);
     }
+}
+
+/** TACO-style CSR SpMV (Code Listing 1). */
+template <typename E>
+void
+spmvCsr(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+        std::vector<Value>& y, E& e)
+{
+    spmvCsrRange(a, x, y, 0, a.rows(), e);
 }
 
 /**
@@ -226,14 +271,15 @@ spmvCsrUnrolled(const fmt::CsrMatrix& a, const std::vector<Value>& x,
 }
 
 /**
- * BCSR SpMV: one column index per tile; tile payloads multiply a
- * contiguous (vectorizable) slice of x. Wasted work on the zeros
- * inside stored tiles is charged faithfully.
+ * BCSR SpMV over the block-row range [brow_begin, brow_end). Block
+ * rows cover disjoint y row bands, so the parallel driver assigns
+ * one range per worker without synchronization.
  */
 template <typename E>
 void
-spmvBcsr(const fmt::BcsrMatrix& a, const std::vector<Value>& x,
-         std::vector<Value>& y, E& e)
+spmvBcsrRange(const fmt::BcsrMatrix& a, const std::vector<Value>& x,
+              std::vector<Value>& y, Index brow_begin, Index brow_end,
+              E& e)
 {
     SMASH_CHECK(static_cast<Index>(x.size()) >=
                 static_cast<Index>(
@@ -248,7 +294,7 @@ spmvBcsr(const fmt::BcsrMatrix& a, const std::vector<Value>& x,
     const Index bc = a.blockCols();
     const int x_vops = cost::vectorOps(bc);
 
-    for (Index i = 0; i < a.numBlockRows(); ++i) {
+    for (Index i = brow_begin; i < brow_end; ++i) {
         auto si = static_cast<std::size_t>(i);
         e.load(&brow_ptr[si + 1], sizeof(fmt::CsrIndex));
         for (fmt::CsrIndex b = brow_ptr[si]; b < brow_ptr[si + 1]; ++b) {
@@ -285,6 +331,58 @@ spmvBcsr(const fmt::BcsrMatrix& a, const std::vector<Value>& x,
 }
 
 /**
+ * BCSR SpMV: one column index per tile; tile payloads multiply a
+ * contiguous (vectorizable) slice of x. Wasted work on the zeros
+ * inside stored tiles is charged faithfully.
+ */
+template <typename E>
+void
+spmvBcsr(const fmt::BcsrMatrix& a, const std::vector<Value>& x,
+         std::vector<Value>& y, E& e)
+{
+    spmvBcsrRange(a, x, y, 0, a.numBlockRows(), e);
+}
+
+/**
+ * The literal §4.4 inner loop over Bitmap-0 words
+ * [word_begin, word_end): walk each word, CLZ/AND out the set bits,
+ * compute on the corresponding dense NZA blocks. @p nza_block must
+ * be the rank (number of set bits) of Bitmap-0 before word_begin —
+ * the NZA ordinal of the first block in the range. Native-path
+ * building block shared by the serial kernel and the engine's
+ * word-partitioned parallel driver; words can straddle row
+ * boundaries, so parallel callers accumulate into per-thread y
+ * copies merged at the barrier.
+ */
+inline void
+spmvSmashSwWords(const core::SmashMatrix& a, const std::vector<Value>& x,
+                 std::vector<Value>& y, Index word_begin, Index word_end,
+                 Index nza_block)
+{
+    const Index bs = a.blockSize();
+    const core::Bitmap& level0 = a.hierarchy().level(0);
+    const Index padded_cols = a.paddedCols();
+    const Value* nza = a.nza().data();
+    Index block = nza_block;
+    for (Index w = word_begin; w < word_end; ++w) {
+        BitWord word = level0.word(w);
+        while (word != 0) {
+            const Index bit = w * kBitsPerWord + findFirstSet(word);
+            word = clearLowestSet(word);
+            const Index linear = bit * bs;
+            const Index row = linear / padded_cols;
+            const Index col0 = linear % padded_cols;
+            const Value* blk = nza + static_cast<std::size_t>(block * bs);
+            Value acc = 0;
+            for (Index k = 0; k < bs; ++k)
+                acc += blk[k] * x[static_cast<std::size_t>(col0 + k)];
+            y[static_cast<std::size_t>(row)] += acc;
+            ++block;
+        }
+    }
+}
+
+/**
  * Software-only SMASH SpMV (§4.4): the bitmap hierarchy is walked
  * with explicit word loads and CLZ/AND register operations (charged
  * via the cursor's counters); block payloads are dense and
@@ -305,36 +403,12 @@ spmvSmashSw(const core::SmashMatrix& a, const std::vector<Value>& x,
     const int vops = cost::vectorOps(bs);
 
     if constexpr (!E::kSimulated) {
-        // Native fast path: the literal §4.4 inner loop — walk the
-        // Bitmap-0 words, CLZ/AND out each set bit, compute on the
-        // dense block. Word-granularity skipping makes the upper
-        // hierarchy levels unnecessary at native speed; the general
-        // cursor below exists for the cost model's level-accurate
-        // billing.
-        const core::Bitmap& level0 = a.hierarchy().level(0);
-        const Index padded_cols = a.paddedCols();
-        const Value* nza = a.nza().data();
-        Index block = 0;
-        const Index num_words = level0.numWords();
-        for (Index w = 0; w < num_words; ++w) {
-            BitWord word = level0.word(w);
-            while (word != 0) {
-                const Index bit =
-                    w * kBitsPerWord + findFirstSet(word);
-                word = clearLowestSet(word);
-                const Index linear = bit * bs;
-                const Index row = linear / padded_cols;
-                const Index col0 = linear % padded_cols;
-                const Value* blk =
-                    nza + static_cast<std::size_t>(block * bs);
-                Value acc = 0;
-                for (Index k = 0; k < bs; ++k)
-                    acc += blk[k] *
-                        x[static_cast<std::size_t>(col0 + k)];
-                y[static_cast<std::size_t>(row)] += acc;
-                ++block;
-            }
-        }
+        // Native fast path: word-granularity skipping makes the
+        // upper hierarchy levels unnecessary at native speed; the
+        // general cursor below exists for the cost model's
+        // level-accurate billing.
+        spmvSmashSwWords(a, x, y, 0, a.hierarchy().level(0).numWords(),
+                         0);
         return;
     }
 
@@ -363,6 +437,46 @@ spmvSmashSw(const core::SmashMatrix& a, const std::vector<Value>& x,
         e.store(&y[static_cast<std::size_t>(pos.row)], sizeof(Value));
         e.op(cost::kLoop);
     }
+}
+
+/**
+ * Dense (uncompressed) SpMV over rows [row_begin, row_end): every
+ * element is streamed and multiplied, zeros included — the paper's
+ * dense baseline, here so the dispatch layer covers the full format
+ * spectrum. Disjoint row ranges are parallel-safe.
+ */
+template <typename E>
+void
+spmvDenseRange(const fmt::DenseMatrix& a, const std::vector<Value>& x,
+               std::vector<Value>& y, Index row_begin, Index row_end,
+               E& e)
+{
+    SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
+    SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
+    const Index cols = a.cols();
+    const int vops = cost::vectorOps(cols);
+    for (Index r = row_begin; r < row_end; ++r) {
+        const Value* row = a.rowData(r);
+        e.load(row, static_cast<std::size_t>(cols) * sizeof(Value));
+        e.load(x.data(), static_cast<std::size_t>(cols) * sizeof(Value));
+        Value acc = 0;
+        for (Index c = 0; c < cols; ++c)
+            acc += row[c] * x[static_cast<std::size_t>(c)];
+        e.op(vops + cost::kHorizontalReduce);
+        auto sr = static_cast<std::size_t>(r);
+        y[sr] += acc;
+        e.store(&y[sr], sizeof(Value));
+        e.op(cost::kOuterLoop);
+    }
+}
+
+/** Dense SpMV over the whole matrix. */
+template <typename E>
+void
+spmvDense(const fmt::DenseMatrix& a, const std::vector<Value>& x,
+          std::vector<Value>& y, E& e)
+{
+    spmvDenseRange(a, x, y, 0, a.rows(), e);
 }
 
 /**

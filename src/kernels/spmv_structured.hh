@@ -24,19 +24,18 @@ namespace smash::kern
 {
 
 /**
- * DIA SpMV: one dense lane pass per stored diagonal. All accesses
- * are unit-stride (lane, x window, y window); there is no indexing
- * metadata beyond one offset per diagonal. Stored padding zeros are
- * multiplied like any other slot, which is exactly DIA's cost model.
+ * DIA SpMV restricted to rows [row_begin, row_end): every stored
+ * diagonal is walked over the slice of rows it intersects. Disjoint
+ * row ranges touch disjoint y entries, so the parallel driver hands
+ * one range to each worker.
  */
 template <typename E>
 void
-spmvDia(const fmt::DiaMatrix& a, const std::vector<Value>& x,
-        std::vector<Value>& y, E& e)
+spmvDiaRange(const fmt::DiaMatrix& a, const std::vector<Value>& x,
+             std::vector<Value>& y, Index row_begin, Index row_end, E& e)
 {
     SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
     SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
-    const Index rows = a.rows();
     const Index cols = a.cols();
 
     for (Index d = 0; d < a.numDiagonals(); ++d) {
@@ -44,8 +43,8 @@ spmvDia(const fmt::DiaMatrix& a, const std::vector<Value>& x,
         const Index off = a.offsets()[static_cast<std::size_t>(d)];
         const Value* lane = a.laneData(d);
         // Row range for which column r + off stays inside the matrix.
-        const Index r_begin = off < 0 ? -off : 0;
-        const Index r_end = std::min(rows, cols - off);
+        const Index r_begin = std::max(row_begin, off < 0 ? -off : 0);
+        const Index r_end = std::min(row_end, cols - off);
         e.op(2 * cost::kAddrCalc);
         for (Index r = r_begin; r < r_end; ++r) {
             auto sr = static_cast<std::size_t>(r);
@@ -61,16 +60,27 @@ spmvDia(const fmt::DiaMatrix& a, const std::vector<Value>& x,
 }
 
 /**
- * ELL SpMV: fixed-width row slabs. The column index still gates the
- * x access (a dependent load, like CSR), but there is no row_ptr
- * indirection and the slab address arithmetic is pure register work.
- * Padding slots are skipped by the sentinel test, which still costs
- * the compare/branch.
+ * DIA SpMV: one dense lane pass per stored diagonal. All accesses
+ * are unit-stride (lane, x window, y window); there is no indexing
+ * metadata beyond one offset per diagonal. Stored padding zeros are
+ * multiplied like any other slot, which is exactly DIA's cost model.
  */
 template <typename E>
 void
-spmvEll(const fmt::EllMatrix& a, const std::vector<Value>& x,
+spmvDia(const fmt::DiaMatrix& a, const std::vector<Value>& x,
         std::vector<Value>& y, E& e)
+{
+    spmvDiaRange(a, x, y, 0, a.rows(), e);
+}
+
+/**
+ * ELL SpMV over the row range [row_begin, row_end); disjoint row
+ * ranges are parallel-safe (fixed-width slabs, private y rows).
+ */
+template <typename E>
+void
+spmvEllRange(const fmt::EllMatrix& a, const std::vector<Value>& x,
+             std::vector<Value>& y, Index row_begin, Index row_end, E& e)
 {
     SMASH_CHECK(static_cast<Index>(x.size()) >= a.cols(), "x too short");
     SMASH_CHECK(static_cast<Index>(y.size()) >= a.rows(), "y too short");
@@ -78,7 +88,7 @@ spmvEll(const fmt::EllMatrix& a, const std::vector<Value>& x,
     const auto& values = a.values();
     const Index width = a.width();
 
-    for (Index r = 0; r < a.rows(); ++r) {
+    for (Index r = row_begin; r < row_end; ++r) {
         Value acc = 0;
         for (Index k = 0; k < width; ++k) {
             std::size_t slot = static_cast<std::size_t>(r * width + k);
@@ -98,6 +108,21 @@ spmvEll(const fmt::EllMatrix& a, const std::vector<Value>& x,
         e.store(&y[sr], sizeof(Value));
         e.op(cost::kOuterLoop);
     }
+}
+
+/**
+ * ELL SpMV: fixed-width row slabs. The column index still gates the
+ * x access (a dependent load, like CSR), but there is no row_ptr
+ * indirection and the slab address arithmetic is pure register work.
+ * Padding slots are skipped by the sentinel test, which still costs
+ * the compare/branch.
+ */
+template <typename E>
+void
+spmvEll(const fmt::EllMatrix& a, const std::vector<Value>& x,
+        std::vector<Value>& y, E& e)
+{
+    spmvEllRange(a, x, y, 0, a.rows(), e);
 }
 
 } // namespace smash::kern
