@@ -1,7 +1,10 @@
 #include "harness.hh"
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "common/logging.hh"
 #include "engine/dispatch.hh"
@@ -9,6 +12,68 @@
 
 namespace smash::bench
 {
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char* prog, const std::string& complaint)
+{
+    std::cerr << prog << ": " << complaint << "\n"
+              << "usage: " << prog
+              << " [--threads N] [--exec {native,parallel,sim}]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+const char*
+toString(ExecKind kind)
+{
+    switch (kind) {
+      case ExecKind::kNative:
+        return "native";
+      case ExecKind::kParallel:
+        return "parallel";
+      case ExecKind::kSim:
+        return "sim";
+    }
+    SMASH_PANIC("unknown exec kind");
+}
+
+BenchCli
+parseBenchCli(int argc, char** argv, const BenchCli& defaults)
+{
+    BenchCli cli = defaults;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--threads") == 0) {
+            if (++i >= argc)
+                usage(argv[0], "--threads needs a value");
+            char* end = nullptr;
+            const long n = std::strtol(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 1 || n > 1024)
+                usage(argv[0], std::string("bad thread count '") +
+                                   argv[i] + "'");
+            cli.threads = static_cast<int>(n);
+        } else if (std::strcmp(arg, "--exec") == 0) {
+            if (++i >= argc)
+                usage(argv[0], "--exec needs a value");
+            if (std::strcmp(argv[i], "native") == 0)
+                cli.exec = ExecKind::kNative;
+            else if (std::strcmp(argv[i], "parallel") == 0)
+                cli.exec = ExecKind::kParallel;
+            else if (std::strcmp(argv[i], "sim") == 0)
+                cli.exec = ExecKind::kSim;
+            else
+                usage(argv[0], std::string("bad exec kind '") +
+                                   argv[i] + "'");
+        } else {
+            usage(argv[0], std::string("unknown flag '") + arg + "'");
+        }
+    }
+    return cli;
+}
 
 namespace
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <iostream>
 
 #include "common/logging.hh"
 
@@ -54,13 +55,66 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         stop_ = true;
     }
     sleep_cv_.notify_all();
-    for (std::thread& w : workers_)
-        w.join();
+    // Workers drain every published task before exiting (see
+    // workerLoop); joining here therefore realizes the "safely
+    // drain" half of the contract, and the stop_ flag set above
+    // realizes the "reject" half for later submissions.
+    std::call_once(join_once_, [this] {
+        for (std::thread& w : workers_)
+            w.join();
+    });
+}
+
+void
+ThreadPool::beginSubmit(const char* what)
+{
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    SMASH_CHECK(!stop_, what, " on a shut-down thread pool");
+    ++submitting_;
+}
+
+void
+ThreadPool::endSubmit(Index published)
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        pending_ += published;
+        --submitting_;
+    }
+    sleep_cv_.notify_all();
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    beginSubmit("post()");
+    Task task{[fn = std::move(fn)] {
+        try {
+            fn();
+        } catch (const std::exception& ex) {
+            std::cerr << "smash::ThreadPool: posted task threw: "
+                      << ex.what() << "\n";
+        } catch (...) {
+            std::cerr << "smash::ThreadPool: posted task threw\n";
+        }
+    }};
+    WorkerQueue& q = *queues_[next_queue_++ % queues_.size()];
+    {
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    endSubmit(1);
 }
 
 bool
@@ -101,6 +155,29 @@ ThreadPool::tryRunOne(std::size_t self)
     return false;
 }
 
+bool
+ThreadPool::tryRunOneExternal()
+{
+    // A non-worker (or a worker blocked in a nested parallelFor)
+    // has no deque of its own: steal from the back like a thief.
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        WorkerQueue& q = *queues_[i];
+        std::unique_lock<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            Task task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> sleep(sleep_mutex_);
+                --pending_;
+            }
+            task.fn();
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 ThreadPool::workerLoop(std::size_t self)
 {
@@ -111,10 +188,16 @@ ThreadPool::workerLoop(std::size_t self)
         // task published after the failed scan above cannot slip by
         // unnoticed: either pending_ is already non-zero here, or
         // the publisher's notify arrives while we hold the lock.
+        // Teardown waits for every published task to run AND for
+        // any submission past the gate to publish, so work accepted
+        // before shutdown() began is never stranded in a queue.
         std::unique_lock<std::mutex> lock(sleep_mutex_);
-        sleep_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
-        if (stop_)
-            return;
+        sleep_cv_.wait(lock, [this] {
+            return pending_ > 0 || (stop_ && submitting_ == 0);
+        });
+        if (pending_ > 0)
+            continue;
+        return;
     }
 }
 
@@ -125,6 +208,7 @@ ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
     if (begin >= end)
         return;
     SMASH_CHECK(min_grain >= 1, "grain must be positive");
+    beginSubmit("parallelFor()");
 
     const Index span = end - begin;
     const Index target_chunks =
@@ -153,16 +237,24 @@ ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
             q.tasks.push_back(std::move(task));
         }
     }
-    {
-        std::lock_guard<std::mutex> lock(sleep_mutex_);
-        pending_ += chunks;
-    }
-    sleep_cv_.notify_all();
+    endSubmit(chunks);
 
-    std::unique_lock<std::mutex> lock(batch.mutex);
-    batch.done.wait(lock, [&batch] {
-        return batch.remaining.load(std::memory_order_acquire) == 0;
-    });
+    // Help instead of blocking: run queued tasks (this batch's
+    // chunks or anything else) until the batch completes. A nested
+    // caller — a worker task invoking parallelFor — thereby drains
+    // its own chunks, so progress holds on any pool size. Sleep
+    // only when every queue is empty, i.e. the outstanding chunks
+    // are running on other threads; their finishOne() notifies.
+    for (;;) {
+        if (batch.remaining.load(std::memory_order_acquire) == 0)
+            break;
+        if (tryRunOneExternal())
+            continue;
+        std::unique_lock<std::mutex> lock(batch.mutex);
+        batch.done.wait(lock, [&batch] {
+            return batch.remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
     if (batch.error)
         std::rethrow_exception(batch.error);
 }

@@ -54,9 +54,34 @@ class ThreadPool
      * @p min_grain indices each) so work stealing can rebalance
      * uneven chunk costs. @p body must be safe to invoke
      * concurrently from different workers on disjoint chunks.
+     *
+     * While waiting, the calling thread steals and runs queued
+     * tasks itself, so parallelFor() may be nested — a worker task
+     * that calls it keeps draining queues instead of deadlocking,
+     * even on a single-worker pool. Fails after shutdown().
      */
     void parallelFor(Index begin, Index end, Index min_grain,
                      const std::function<void(Index, Index)>& body);
+
+    /**
+     * Enqueue one fire-and-forget task (the serving pipeline's
+     * stage submission). Tasks accepted before shutdown() begins
+     * are guaranteed to run; posting afterwards fails with
+     * FatalError instead of racing the worker teardown. A task
+     * that throws is caught and logged — fire-and-forget tasks
+     * have no caller to rethrow into.
+     */
+    void post(std::function<void()> fn);
+
+    /**
+     * Stop accepting work, run every task already enqueued to
+     * completion, and join the workers. Idempotent (the destructor
+     * calls it); concurrent callers block until the teardown
+     * finishes. Submissions that raced the beginning of shutdown
+     * still run; submissions arriving after it begins are
+     * rejected.
+     */
+    void shutdown();
 
   private:
     struct Task
@@ -73,15 +98,26 @@ class ThreadPool
 
     void workerLoop(std::size_t self);
     bool tryRunOne(std::size_t self);
+    /** Steal one queued task (any queue) and run it; for the
+     *  help-while-waiting loop of parallelFor(). */
+    bool tryRunOneExternal();
+    /** Gate one submission: fails once shutdown has begun. */
+    void beginSubmit(const char* what);
+    /** Publish @p published tasks and release the submission gate. */
+    void endSubmit(Index published);
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;
     std::atomic<std::size_t> next_queue_{0};
+    std::once_flag join_once_;
     /** Enqueued-but-not-started tasks; guarded by sleep_mutex_ so
      *  the empty-check and the sleep are atomic (no lost wakeup). */
     Index pending_ = 0;
+    /** Submissions past the gate but not yet published; workers
+     *  must not tear down while one is in flight. */
+    Index submitting_ = 0;
     bool stop_ = false;
 };
 

@@ -34,6 +34,7 @@
 #include "kernels/spgemm.hh"
 #include "kernels/spmm.hh"
 #include "kernels/spmv.hh"
+#include "kernels/spmv_batch.hh"
 #include "kernels/spmv_structured.hh"
 #include "kernels/util.hh"
 #include "sim/exec_model.hh"
@@ -57,6 +58,10 @@ struct SpmvOptions
     SpmvAlgo algo = SpmvAlgo::kAuto;
     isa::Bmu* bmu = nullptr; //!< required by (and implies) kHw
 };
+
+template <typename E>
+void spmv(const MatrixRef& a, const std::vector<Value>& x,
+          std::vector<Value>& y, E& e, const SpmvOptions& opts = {});
 
 namespace detail
 {
@@ -176,6 +181,57 @@ scatterParallel(exec::ParallelExec& e, Index n, std::vector<Value>& y,
     });
 }
 
+/**
+ * Word partition of a SMASH Bitmap-0 for the parallel drivers:
+ * [0, words) split into per-thread chunks, with the NZA base rank
+ * (number of set bits before the chunk) of each. The rank pre-scan
+ * runs over the same chunks in parallel. It counts with the
+ * bit-clearing loop, not std::popcount: without -mpopcnt the latter
+ * is a libcall (~3 ns/word measured), while clearing costs one test
+ * per empty word plus one iteration per set bit — cheaper on sparse
+ * bitmaps.
+ */
+struct SmashWordPartition
+{
+    Index words = 0;
+    Index chunks = 0;
+    Index grain = 0;
+    std::vector<Index> base; //!< Bitmap-0 rank before each chunk
+};
+
+inline SmashWordPartition
+partitionSmashWords(const core::SmashMatrix& m, exec::ParallelExec& e)
+{
+    SmashWordPartition part;
+    const core::Bitmap& level0 = m.hierarchy().level(0);
+    const BitWord* wp = level0.words().data();
+    part.words = level0.numWords();
+    part.chunks =
+        std::max<Index>(1, std::min<Index>(part.words, e.threads()));
+    part.grain = (part.words + part.chunks - 1) / part.chunks;
+    part.base.assign(static_cast<std::size_t>(part.chunks) + 1, 0);
+    if (part.chunks > 1)
+        e.parallelFor(0, part.chunks, 1, [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                const Index wb = c * part.grain;
+                const Index we = std::min(part.words, wb + part.grain);
+                Index pop = 0;
+                for (Index w = wb; w < we; ++w) {
+                    BitWord word = wp[w];
+                    while (word != 0) {
+                        word = clearLowestSet(word);
+                        ++pop;
+                    }
+                }
+                part.base[static_cast<std::size_t>(c) + 1] = pop;
+            }
+        });
+    for (Index c = 0; c < part.chunks; ++c)
+        part.base[static_cast<std::size_t>(c) + 1] +=
+            part.base[static_cast<std::size_t>(c)];
+    return part;
+}
+
 /** Multi-threaded SpMV drivers, one per format family. */
 inline void
 parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
@@ -240,49 +296,20 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       case Format::kSmash: {
         // §4.4 word walk over Bitmap-0, word-partitioned. Words can
         // straddle rows, so each worker accumulates into a private y
-        // merged at the barrier. The per-range NZA base is the
-        // Bitmap-0 rank at the range start; the rank pre-scan runs
-        // over the same chunks in parallel. It counts with the
-        // bit-clearing loop, not std::popcount: without -mpopcnt
-        // the latter is a libcall (~3 ns/word measured), while
-        // clearing costs one test per empty word plus one iteration
-        // per set bit — cheaper on sparse bitmaps.
+        // merged at the barrier; the per-range NZA base comes from
+        // the parallel rank pre-scan.
         const auto& m = a.as<core::SmashMatrix>();
-        const core::Bitmap& level0 = m.hierarchy().level(0);
-        const BitWord* wp = level0.words().data();
-        const Index words = level0.numWords();
-        const Index chunks =
-            std::max<Index>(1, std::min<Index>(words, e.threads()));
-        const Index grain = (words + chunks - 1) / chunks;
-        std::vector<Index> base(static_cast<std::size_t>(chunks) + 1, 0);
-        if (chunks > 1)
-            e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
-            for (Index c = cb; c < ce; ++c) {
-                const Index wb = c * grain;
-                const Index we = std::min(words, wb + grain);
-                Index pop = 0;
-                for (Index w = wb; w < we; ++w) {
-                    BitWord word = wp[w];
-                    while (word != 0) {
-                        word = clearLowestSet(word);
-                        ++pop;
-                    }
-                }
-                base[static_cast<std::size_t>(c) + 1] = pop;
-            }
-        });
-        for (Index c = 0; c < chunks; ++c)
-            base[static_cast<std::size_t>(c) + 1] +=
-                base[static_cast<std::size_t>(c)];
+        const SmashWordPartition part = partitionSmashWords(m, e);
         scatterParallel(
-            e, chunks, y,
+            e, part.chunks, y,
             [&](Index cb, Index ce, std::vector<Value>& local) {
                 for (Index c = cb; c < ce; ++c) {
-                    const Index wb = c * grain;
-                    const Index we = std::min(words, wb + grain);
+                    const Index wb = c * part.grain;
+                    const Index we =
+                        std::min(part.words, wb + part.grain);
                     kern::spmvSmashSwWords(
                         m, x, local, wb, we,
-                        base[static_cast<std::size_t>(c)]);
+                        part.base[static_cast<std::size_t>(c)]);
                 }
             });
         return;
@@ -311,6 +338,164 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
     SMASH_PANIC("unknown format tag");
 }
 
+/**
+ * Per-RHS fallback of the batched SpMV for formats without a
+ * single-traversal batch kernel: each column of X/Y round-trips
+ * through the single-RHS dispatch (one matrix traversal per RHS —
+ * correct, just not amortized).
+ */
+template <typename E>
+void
+spmvBatchPerRhs(const MatrixRef& a, const fmt::DenseMatrix& x,
+                fmt::DenseMatrix& y, E& e)
+{
+    const Index nrhs = x.cols();
+    std::vector<Value> xr(static_cast<std::size_t>(x.rows()));
+    std::vector<Value> yr(static_cast<std::size_t>(y.rows()));
+    for (Index r = 0; r < nrhs; ++r) {
+        for (Index j = 0; j < x.rows(); ++j)
+            xr[static_cast<std::size_t>(j)] = x.at(j, r);
+        for (Index i = 0; i < y.rows(); ++i)
+            yr[static_cast<std::size_t>(i)] = y.at(i, r);
+        spmv(a, xr, yr, e, SpmvOptions{});
+        for (Index i = 0; i < y.rows(); ++i)
+            y.at(i, r) = yr[static_cast<std::size_t>(i)];
+    }
+}
+
+/** Multi-threaded batched-SpMV drivers (row ranges over the batch
+ *  kernels; SMASH word ranges with per-thread Y accumulators). */
+inline void
+parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
+                  fmt::DenseMatrix& y, exec::ParallelExec& e)
+{
+    const Index chunk_goal = static_cast<Index>(e.threads()) * 4;
+    switch (a.format()) {
+      case Format::kCsr: {
+        const auto& m = a.as<fmt::CsrMatrix>();
+        const std::vector<Index> cuts =
+            balancedCuts(m.rowPtr(), m.rows(), chunk_goal);
+        e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
+                      [&](Index cb, Index ce) {
+            sim::NativeExec ne;
+            for (Index c = cb; c < ce; ++c)
+                kern::spmvBatchCsrRange(
+                    m, x, y, cuts[static_cast<std::size_t>(c)],
+                    cuts[static_cast<std::size_t>(c) + 1], ne);
+        });
+        return;
+      }
+      case Format::kEll: {
+        const auto& m = a.as<fmt::EllMatrix>();
+        e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvBatchEllRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kDia: {
+        const auto& m = a.as<fmt::DiaMatrix>();
+        e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvBatchDiaRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kDense: {
+        const auto& m = a.as<fmt::DenseMatrix>();
+        e.parallelFor(0, m.rows(), 16, [&](Index rb, Index re) {
+            sim::NativeExec ne;
+            kern::spmvBatchDenseRange(m, x, y, rb, re, ne);
+        });
+        return;
+      }
+      case Format::kSmash: {
+        // Same word partition as the single-RHS driver; the private
+        // accumulators are the flat rows x nrhs blocks.
+        const auto& m = a.as<core::SmashMatrix>();
+        const SmashWordPartition part = partitionSmashWords(m, e);
+        const Index nrhs = y.cols();
+        scatterParallel(
+            e, part.chunks, y.data(),
+            [&](Index cb, Index ce, std::vector<Value>& local) {
+                for (Index c = cb; c < ce; ++c) {
+                    const Index wb = c * part.grain;
+                    const Index we =
+                        std::min(part.words, wb + part.grain);
+                    kern::spmvBatchSmashWords(
+                        m, x, local.data(), nrhs, wb, we,
+                        part.base[static_cast<std::size_t>(c)]);
+                }
+            });
+        return;
+      }
+      case Format::kCoo:
+      case Format::kCsc:
+      case Format::kBcsr:
+        spmvBatchPerRhs(a, x, y, e);
+        return;
+    }
+    SMASH_PANIC("unknown format tag");
+}
+
+/**
+ * Multi-threaded CSR x CSC SpMM: the output is partitioned into
+ * nnz-balanced row-range x column-band tiles (rows balanced by A's
+ * row populations, bands by B's column populations) and each tile
+ * runs the serial merge kernel — tiles write disjoint C regions, so
+ * no synchronization is needed and work stealing absorbs skew.
+ */
+inline void
+parallelSpmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+                fmt::DenseMatrix& c, exec::ParallelExec& e)
+{
+    const std::vector<Index> row_cuts = balancedCuts(
+        a.rowPtr(), a.rows(), static_cast<Index>(e.threads()) * 2);
+    const std::vector<Index> col_cuts =
+        balancedCuts(b.colPtr(), b.cols(), std::min<Index>(b.cols(), 2));
+    const Index n_rows = static_cast<Index>(row_cuts.size()) - 1;
+    const Index n_cols = static_cast<Index>(col_cuts.size()) - 1;
+    e.parallelFor(0, n_rows * n_cols, 1, [&](Index tb, Index te) {
+        sim::NativeExec ne;
+        for (Index t = tb; t < te; ++t) {
+            const auto ri = static_cast<std::size_t>(t / n_cols);
+            const auto ci = static_cast<std::size_t>(t % n_cols);
+            kern::spmmCsrRange(a, b, c, row_cuts[ri], row_cuts[ri + 1],
+                               col_cuts[ci], col_cuts[ci + 1], ne);
+        }
+    });
+}
+
+/**
+ * Multi-threaded CSR SpAdd: nnz-balanced row ranges merge into
+ * per-thread scatter accumulators (private COO matrices), which
+ * concatenate in range order — rows are disjoint and ascending, so
+ * the result is canonical without a sort.
+ */
+inline fmt::CooMatrix
+parallelSpaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b,
+                 exec::ParallelExec& e)
+{
+    const std::vector<Index> cuts = balancedCuts(
+        a.rowPtr(), a.rows(),
+        std::max<Index>(1, static_cast<Index>(e.threads())));
+    const auto n_ranges = static_cast<Index>(cuts.size()) - 1;
+    std::vector<fmt::CooMatrix> locals(
+        static_cast<std::size_t>(n_ranges));
+    e.parallelFor(0, n_ranges, 1, [&](Index cb, Index ce) {
+        sim::NativeExec ne;
+        for (Index c = cb; c < ce; ++c)
+            locals[static_cast<std::size_t>(c)] = kern::spaddCsrRange(
+                a, b, cuts[static_cast<std::size_t>(c)],
+                cuts[static_cast<std::size_t>(c) + 1], ne);
+    });
+    fmt::CooMatrix out(a.rows(), a.cols());
+    for (const fmt::CooMatrix& local : locals)
+        for (const fmt::CooEntry& entry : local.entries())
+            out.add(entry.row, entry.col, entry.value);
+    return out;
+}
+
 } // namespace detail
 
 /**
@@ -324,7 +509,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
 template <typename E>
 void
 spmv(const MatrixRef& a, const std::vector<Value>& x,
-     std::vector<Value>& y, E& e, const SpmvOptions& opts = {})
+     std::vector<Value>& y, E& e, const SpmvOptions& opts)
 {
     SMASH_CHECK(capabilities(a.format()).spmv, toString(a.format()),
                 " has no SpMV kernel");
@@ -388,6 +573,67 @@ spmv(const MatrixRef& a, const std::vector<Value>& x,
 }
 
 /**
+ * Batched SpMV through the dispatch layer: Y := Y + A X for a block
+ * of right-hand sides, one per column of X (xLength rows — callers
+ * pad, see MatrixRef::xLength()) and Y (A.rows() rows). Formats
+ * with batchSpmv capability traverse the matrix once for the whole
+ * block (the serving-throughput path); the rest fall back to one
+ * single-RHS dispatch per column. Under ParallelExec the row-range
+ * (or SMASH word-range) batch drivers run.
+ */
+template <typename E>
+void
+spmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
+          fmt::DenseMatrix& y, E& e)
+{
+    SMASH_CHECK(capabilities(a.format()).spmv, toString(a.format()),
+                " has no SpMV kernel");
+    SMASH_CHECK(x.rows() >= a.xLength(), "X block has ", x.rows(),
+                " rows, the ", toString(a.format()),
+                " operand needs ", a.xLength());
+    SMASH_CHECK(y.rows() >= a.rows(), "Y block too short");
+    SMASH_CHECK(x.cols() == y.cols(), "X carries ", x.cols(),
+                " right-hand sides, Y carries ", y.cols());
+    if (x.cols() == 0)
+        return;
+
+    if constexpr (std::is_same_v<std::decay_t<E>, exec::ParallelExec>) {
+        detail::parallelSpmvBatch(a, x, y, e);
+        return;
+    } else {
+        switch (a.format()) {
+          case Format::kCsr:
+            kern::spmvBatchCsrRange(a.as<fmt::CsrMatrix>(), x, y, 0,
+                                    a.rows(), e);
+            return;
+          case Format::kEll:
+            kern::spmvBatchEllRange(a.as<fmt::EllMatrix>(), x, y, 0,
+                                    a.rows(), e);
+            return;
+          case Format::kDia:
+            kern::spmvBatchDiaRange(a.as<fmt::DiaMatrix>(), x, y, 0,
+                                    a.rows(), e);
+            return;
+          case Format::kDense:
+            kern::spmvBatchDenseRange(a.as<fmt::DenseMatrix>(), x, y, 0,
+                                      a.rows(), e);
+            return;
+          case Format::kSmash:
+            kern::spmvBatchSmash(a.as<core::SmashMatrix>(), x, y, e);
+            return;
+          case Format::kCoo:
+          case Format::kCsc:
+          case Format::kBcsr:
+            // No single-traversal batch kernel (capability table
+            // batchSpmv = false): per-RHS fallback.
+            detail::spmvBatchPerRhs(a, x, y, e);
+            return;
+        }
+        SMASH_PANIC("unknown format tag");
+    }
+}
+
+/**
  * C := C + A B through the dispatch layer. The B operand's
  * expected encoding follows A's format (the kernels' operand
  * pairing): CSR takes B as CSC; BCSR and SMASH take B-transposed in
@@ -401,6 +647,18 @@ spmm(const MatrixRef& a, const MatrixRef& b, fmt::DenseMatrix& c, E& e,
     SMASH_CHECK(capabilities(a.format()).spmm, toString(a.format()),
                 " has no SpMM kernel");
     const SpmvAlgo algo = detail::resolveAlgo(a.format(), opts);
+    if constexpr (std::is_same_v<std::decay_t<E>, exec::ParallelExec>) {
+        // The ROADMAP's parallel SpMM driver: row-range x
+        // column-band output tiles for the CSR merge kernel. Other
+        // formats (and the serial-only algo variants) run their
+        // serial kernels on the calling thread — ParallelExec's
+        // hooks are no-ops, so results are identical.
+        if (a.format() == Format::kCsr && algo == SpmvAlgo::kPlain) {
+            detail::parallelSpmmCsr(a.as<fmt::CsrMatrix>(),
+                                    b.as<fmt::CscMatrix>(), c, e);
+            return;
+        }
+    }
     switch (a.format()) {
       case Format::kCsr: {
         const auto& bm = b.as<fmt::CscMatrix>();
@@ -487,6 +745,31 @@ spadd(const MatrixRef& a, const MatrixRef& b, E& e,
                 " has no SpAdd kernel");
     SMASH_CHECK(algo == SpaddAlgo::kPlain || a.format() == Format::kCsr,
                 "the ideal SpAdd variant applies to CSR only");
+    if constexpr (std::is_same_v<std::decay_t<E>, exec::ParallelExec>) {
+        // Parallel SpAdd drivers: CSR merges nnz-balanced row
+        // ranges into per-thread accumulators; dense adds
+        // element-parallel. SMASH (a serial bitmap-union walk) and
+        // the ideal variant fall through to the serial kernels.
+        if (a.format() == Format::kCsr && algo == SpaddAlgo::kPlain) {
+            return SparseMatrixAny(detail::parallelSpaddCsr(
+                a.as<fmt::CsrMatrix>(), b.as<fmt::CsrMatrix>(), e));
+        }
+        if (a.format() == Format::kDense) {
+            const auto& am = a.as<fmt::DenseMatrix>();
+            const auto& bm = b.as<fmt::DenseMatrix>();
+            SMASH_CHECK(am.rows() == bm.rows() && am.cols() == bm.cols(),
+                        "operand shapes differ");
+            fmt::DenseMatrix c(am.rows(), am.cols());
+            const auto n = static_cast<Index>(c.data().size());
+            e.parallelFor(0, n, 4096, [&](Index eb, Index ee) {
+                for (Index i = eb; i < ee; ++i) {
+                    auto si = static_cast<std::size_t>(i);
+                    c.data()[si] = am.data()[si] + bm.data()[si];
+                }
+            });
+            return SparseMatrixAny(std::move(c));
+        }
+    }
     switch (a.format()) {
       case Format::kCsr: {
         const auto& am = a.as<fmt::CsrMatrix>();

@@ -23,10 +23,17 @@
 namespace smash::kern
 {
 
-/** CSR sparse addition: per-row two-pointer merge of the operands. */
+/**
+ * CSR sparse addition restricted to rows [row_begin, row_end): the
+ * per-row two-pointer merge, emitting entries with global row
+ * indices. Disjoint row ranges produce disjoint entry sets in row
+ * order, so the engine's parallel driver merges one range per
+ * worker into a private accumulator and concatenates the results.
+ */
 template <typename E>
 fmt::CooMatrix
-spaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b, E& e)
+spaddCsrRange(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b,
+              Index row_begin, Index row_end, E& e)
 {
     SMASH_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
                 "operand shapes differ");
@@ -38,7 +45,7 @@ spaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b, E& e)
     const auto& b_ind = b.colInd();
     const auto& b_val = b.values();
 
-    for (Index i = 0; i < a.rows(); ++i) {
+    for (Index i = row_begin; i < row_end; ++i) {
         auto si = static_cast<std::size_t>(i);
         e.load(&a_ptr[si + 1], sizeof(fmt::CsrIndex));
         e.load(&b_ptr[si + 1], sizeof(fmt::CsrIndex));
@@ -93,6 +100,14 @@ spaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b, E& e)
         }
     }
     return out;
+}
+
+/** CSR sparse addition: per-row two-pointer merge of the operands. */
+template <typename E>
+fmt::CooMatrix
+spaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b, E& e)
+{
+    return spaddCsrRange(a, b, 0, a.rows(), e);
 }
 
 /**

@@ -34,11 +34,18 @@
 namespace smash::kern
 {
 
-/** CSR x CSC inner-product SpMM (Code Listing 2). */
+/**
+ * CSR x CSC inner-product SpMM restricted to the output tile
+ * [row_begin, row_end) x [col_begin, col_end). Tiles write disjoint
+ * regions of C, so the engine's parallel driver partitions the
+ * output into row-range x column-band tiles and hands one tile per
+ * worker with no synchronization.
+ */
 template <typename E>
 void
-spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
-        fmt::DenseMatrix& c, E& e)
+spmmCsrRange(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+             fmt::DenseMatrix& c, Index row_begin, Index row_end,
+             Index col_begin, Index col_end, E& e)
 {
     SMASH_CHECK(a.cols() == b.rows(), "inner dimensions differ");
     SMASH_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
@@ -50,7 +57,7 @@ spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
     const auto& b_ind = b.rowInd();
     const auto& b_val = b.values();
 
-    for (Index i = 0; i < a.rows(); ++i) {
+    for (Index i = row_begin; i < row_end; ++i) {
         auto si = static_cast<std::size_t>(i);
         e.load(&a_ptr[si + 1], sizeof(fmt::CsrIndex));
         e.op(cost::kOuterLoop);
@@ -58,7 +65,7 @@ spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
         const fmt::CsrIndex a_end = a_ptr[si + 1];
         if (a_begin == a_end)
             continue;
-        for (Index j = 0; j < b.cols(); ++j) {
+        for (Index j = col_begin; j < col_end; ++j) {
             auto sj = static_cast<std::size_t>(j);
             e.load(&b_ptr[sj + 1], sizeof(fmt::CsrIndex));
             e.op(cost::kOuterLoop);
@@ -97,6 +104,15 @@ spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
             }
         }
     }
+}
+
+/** CSR x CSC inner-product SpMM (Code Listing 2). */
+template <typename E>
+void
+spmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+        fmt::DenseMatrix& c, E& e)
+{
+    spmmCsrRange(a, b, c, 0, a.rows(), 0, b.cols(), e);
 }
 
 /**

@@ -1,0 +1,130 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace smash::serve
+{
+
+Batcher::Batcher(Index max_batch, std::chrono::microseconds max_delay,
+                 FlushFn flush)
+    : max_batch_(max_batch), max_delay_(max_delay),
+      flush_(std::move(flush))
+{
+    // Validate before the timer thread exists: a throw with a
+    // joinable thread member would std::terminate during unwinding.
+    SMASH_CHECK(max_batch_ >= 1, "batch size must be positive");
+    SMASH_CHECK(flush_ != nullptr, "batcher needs a flush callback");
+    timer_ = std::thread([this] { timerLoop(); });
+}
+
+Batcher::~Batcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    timer_.join();
+    flushAll(); // the timer is gone; drain whatever is left
+}
+
+void
+Batcher::enqueue(const std::string& matrix, Request request)
+{
+    std::vector<Request> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Queue& q = queues_[matrix];
+        if (q.pending.empty()) {
+            q.deadline = Clock::now() + max_delay_;
+            cv_.notify_all(); // timer re-evaluates its wait target
+        }
+        q.pending.push_back(std::move(request));
+        if (static_cast<Index>(q.pending.size()) < max_batch_)
+            return;
+        batch.swap(q.pending);
+        ++size_flushes_;
+    }
+    // Full batch: flush inline on the enqueuing thread, outside the
+    // lock (the callback may enqueue pool work or run compute).
+    flush_(matrix, std::move(batch));
+}
+
+void
+Batcher::flushAll()
+{
+    // Explicit flushes are not counted: the size/deadline counters
+    // exist to tune max_batch_/max_delay_ against organic traffic.
+    std::vector<std::pair<std::string, std::vector<Request>>> due;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [name, q] : queues_) {
+            if (q.pending.empty())
+                continue;
+            due.emplace_back(name, std::move(q.pending));
+            q.pending.clear();
+        }
+    }
+    for (auto& [name, batch] : due)
+        flush_(name, std::move(batch));
+}
+
+std::uint64_t
+Batcher::sizeFlushes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_flushes_;
+}
+
+std::uint64_t
+Batcher::deadlineFlushes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return deadline_flushes_;
+}
+
+void
+Batcher::timerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (stop_)
+            return;
+        // Earliest deadline among the non-empty queues.
+        bool any = false;
+        Clock::time_point earliest = Clock::time_point::max();
+        for (const auto& [name, q] : queues_) {
+            if (!q.pending.empty() && q.deadline < earliest) {
+                earliest = q.deadline;
+                any = true;
+            }
+        }
+        if (!any) {
+            cv_.wait(lock); // woken by enqueue() or the destructor
+            continue;
+        }
+        if (cv_.wait_until(lock, earliest) ==
+            std::cv_status::no_timeout)
+            continue; // new request or stop: recompute the target
+
+        // Deadline reached: flush every queue that is due.
+        const Clock::time_point now = Clock::now();
+        std::vector<std::pair<std::string, std::vector<Request>>> due;
+        for (auto& [name, q] : queues_) {
+            if (!q.pending.empty() && q.deadline <= now) {
+                due.emplace_back(name, std::move(q.pending));
+                q.pending.clear();
+                ++deadline_flushes_;
+            }
+        }
+        lock.unlock();
+        for (auto& [name, batch] : due)
+            flush_(name, std::move(batch));
+        lock.lock();
+    }
+}
+
+} // namespace smash::serve

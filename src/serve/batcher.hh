@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Request batching for the serving layer.
+ *
+ * A Batcher coalesces concurrent SpMV requests against the same
+ * named matrix into one batched multi-RHS call: requests accumulate
+ * in a per-matrix queue and flush either when the queue reaches the
+ * maximum batch size (inline, on the enqueuing thread — zero added
+ * latency at full load) or when the oldest queued request has
+ * waited the deadline (from the batcher's timer thread — bounded
+ * latency at low load). The flush callback receives the whole
+ * batch; the pipeline lowers it onto eng::spmvBatch, whose one
+ * traversal of the sparse operand serves every request.
+ */
+
+#ifndef SMASH_SERVE_BATCHER_HH
+#define SMASH_SERVE_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::serve
+{
+
+/** One in-flight SpMV request: operand in, result promised out. */
+struct Request
+{
+    std::vector<Value> x;
+    std::promise<std::vector<Value>> result;
+};
+
+/** Coalesces per-matrix requests; flushes on size or deadline. */
+class Batcher
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    /** Receives a full batch; called with no Batcher lock held. */
+    using FlushFn =
+        std::function<void(const std::string&, std::vector<Request>)>;
+
+    /**
+     * @param max_batch  flush threshold (1 disables coalescing:
+     *        every request flushes immediately)
+     * @param max_delay  deadline for a queued request before its
+     *        (possibly partial) batch flushes anyway
+     */
+    Batcher(Index max_batch, std::chrono::microseconds max_delay,
+            FlushFn flush);
+
+    Batcher(const Batcher&) = delete;
+    Batcher& operator=(const Batcher&) = delete;
+
+    /** Stops the timer and flushes everything still queued. */
+    ~Batcher();
+
+    /**
+     * Add one request to @p matrix's queue. Flushes inline when the
+     * queue reaches max_batch; otherwise the timer flushes it at
+     * deadline.
+     */
+    void enqueue(const std::string& matrix, Request request);
+
+    /** Flush every queue now (partial batches included). */
+    void flushAll();
+
+    Index maxBatch() const { return max_batch_; }
+    /** Batches flushed by reaching max_batch. */
+    std::uint64_t sizeFlushes() const;
+    /** Batches flushed by the timer at deadline (explicit
+     *  flushAll() calls are counted by neither). */
+    std::uint64_t deadlineFlushes() const;
+
+  private:
+    struct Queue
+    {
+        std::vector<Request> pending;
+        Clock::time_point deadline; //!< of the oldest pending request
+    };
+
+    void timerLoop();
+
+    const Index max_batch_;
+    const std::chrono::microseconds max_delay_;
+    const FlushFn flush_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, Queue> queues_;
+    std::uint64_t size_flushes_ = 0;
+    std::uint64_t deadline_flushes_ = 0;
+    bool stop_ = false;
+    std::thread timer_; //!< started in the ctor body, after validation
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_BATCHER_HH

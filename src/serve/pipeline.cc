@@ -1,0 +1,177 @@
+#include "serve/pipeline.hh"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel_exec.hh"
+#include "engine/dispatch.hh"
+#include "kernels/util.hh"
+
+namespace smash::serve
+{
+
+namespace
+{
+
+/** Relaxed atomic max (for the widest-batch stat). */
+void
+storeMax(std::atomic<std::uint64_t>& stat, std::uint64_t v)
+{
+    std::uint64_t prev = stat.load(std::memory_order_relaxed);
+    while (prev < v && !stat.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+Pipeline::Pipeline(MatrixRegistry& registry, exec::ThreadPool& pool,
+                   ComputeExec compute)
+    : registry_(registry), pool_(pool), compute_(compute)
+{}
+
+Pipeline::~Pipeline()
+{
+    drain();
+}
+
+void
+Pipeline::postPrepare(const std::string& matrix, Request request,
+                      Batcher& batcher)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++inflight_;
+    }
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+    // shared_ptr: promises are move-only but the pool's task type
+    // (std::function) requires copyable callables.
+    auto req = std::make_shared<Request>(std::move(request));
+    pool_.post([this, matrix, req, &batcher] {
+        try {
+            // Encode/convert stage: first touch converts, later
+            // touches return the cached encoding immediately.
+            registry_.encoded(matrix);
+            batcher.enqueue(matrix, std::move(*req));
+        } catch (...) {
+            req->result.set_exception(std::current_exception());
+            finish(1, false);
+        }
+    });
+}
+
+void
+Pipeline::postCompute(const std::string& matrix,
+                      std::vector<Request> batch)
+{
+    if (batch.empty())
+        return;
+    auto shared =
+        std::make_shared<std::vector<Request>>(std::move(batch));
+    pool_.post([this, matrix, shared] {
+        try {
+            computeBatch(matrix, *shared);
+        } catch (...) {
+            const std::exception_ptr error = std::current_exception();
+            for (Request& r : *shared)
+                r.result.set_exception(error);
+            finish(shared->size(), false);
+        }
+    });
+}
+
+void
+Pipeline::computeBatch(const std::string& matrix,
+                       std::vector<Request>& batch)
+{
+    const eng::SparseMatrixAny& m = registry_.encoded(matrix);
+    const Index rows = m.rows();
+    const auto nrhs = static_cast<Index>(batch.size());
+
+    if (nrhs == 1) {
+        // Unbatched: a literal single-RHS dispatch (this is the
+        // baseline path the throughput bench compares against).
+        std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+        if (compute_ == ComputeExec::kParallel) {
+            exec::ParallelExec pe(pool_);
+            eng::spmv(m.ref(), batch[0].x, y, pe);
+        } else {
+            sim::NativeExec ne;
+            eng::spmv(m.ref(), batch[0].x, y, ne);
+        }
+        stats_.batches.fetch_add(1, std::memory_order_relaxed);
+        storeMax(stats_.widestBatch, 1);
+        auto shared = std::make_shared<std::vector<Request>>();
+        shared->push_back(std::move(batch[0]));
+        auto result = std::make_shared<std::vector<Value>>(std::move(y));
+        pool_.post([this, shared, result] {
+            (*shared)[0].result.set_value(std::move(*result));
+            stats_.completed.fetch_add(1, std::memory_order_relaxed);
+            finish(1, true);
+        });
+        return;
+    }
+
+    // Assemble the tall-skinny X block (one column per request,
+    // already padded to the format's operand length) and compute
+    // the whole batch with one traversal of the sparse operand.
+    const Index xlen = m.xLength();
+    auto x = std::make_shared<fmt::DenseMatrix>(xlen, nrhs);
+    for (Index r = 0; r < nrhs; ++r) {
+        const std::vector<Value>& xr =
+            batch[static_cast<std::size_t>(r)].x;
+        const auto n = static_cast<Index>(xr.size());
+        for (Index j = 0; j < n && j < xlen; ++j)
+            x->at(j, r) = xr[static_cast<std::size_t>(j)];
+    }
+    auto y = std::make_shared<fmt::DenseMatrix>(rows, nrhs);
+    if (compute_ == ComputeExec::kParallel) {
+        exec::ParallelExec pe(pool_);
+        eng::spmvBatch(m.ref(), *x, *y, pe);
+    } else {
+        sim::NativeExec ne;
+        eng::spmvBatch(m.ref(), *x, *y, ne);
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    storeMax(stats_.widestBatch, static_cast<std::uint64_t>(nrhs));
+
+    // Reduce/deliver stage: its own task, so this worker can pick
+    // up the next batch while another thread scatters results out.
+    auto shared =
+        std::make_shared<std::vector<Request>>(std::move(batch));
+    pool_.post([this, shared, y, rows] {
+        const auto n = static_cast<Index>(shared->size());
+        for (Index r = 0; r < n; ++r) {
+            std::vector<Value> out(static_cast<std::size_t>(rows));
+            for (Index i = 0; i < rows; ++i)
+                out[static_cast<std::size_t>(i)] = y->at(i, r);
+            (*shared)[static_cast<std::size_t>(r)].result.set_value(
+                std::move(out));
+            stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        }
+        finish(static_cast<std::uint64_t>(n), true);
+    });
+}
+
+void
+Pipeline::finish(std::uint64_t n, bool ok)
+{
+    if (!ok)
+        stats_.failed.fetch_add(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    SMASH_CHECK(inflight_ >= n, "pipeline accounting underflow");
+    inflight_ -= n;
+    if (inflight_ == 0)
+        idle_.notify_all();
+}
+
+void
+Pipeline::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+} // namespace smash::serve

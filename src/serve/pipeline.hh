@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The serving layer's async pipeline. Each request flows through
+ * three stages, every one a task posted to the shared ThreadPool:
+ *
+ *   encode/convert — resolve the matrix's primary encoding through
+ *       the registry (first touch converts, later touches hit the
+ *       cache) and hand the request to the batcher;
+ *   compute        — lower a flushed batch onto one eng::spmvBatch
+ *       call (a literal eng::spmv when the batch is a single
+ *       request);
+ *   reduce/deliver — scatter the Y block back into per-request
+ *       result vectors and fulfil the promises.
+ *
+ * Because the stages are independent tasks, the expensive CSR→SMASH
+ * conversion of one request overlaps the compute of another — the
+ * fig20 conversion cost hides behind in-flight work instead of
+ * serializing in front of it. Errors travel through the promises:
+ * a stage failure rejects exactly the requests it was carrying.
+ */
+
+#ifndef SMASH_SERVE_PIPELINE_HH
+#define SMASH_SERVE_PIPELINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "serve/batcher.hh"
+#include "serve/registry.hh"
+
+namespace smash::serve
+{
+
+/** How the compute stage executes one batch. */
+enum class ComputeExec
+{
+    kSerial,   //!< native serial kernel inside the worker task
+               //!< (throughput mode: batches overlap across workers)
+    kParallel, //!< ParallelExec spread over the same pool (latency
+               //!< mode: one batch uses every worker)
+};
+
+/** Monotonic counters published by the pipeline stages. */
+struct PipelineStats
+{
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> widestBatch{0};
+};
+
+/** Stage bodies + in-flight accounting of the serving pipeline. */
+class Pipeline
+{
+  public:
+    Pipeline(MatrixRegistry& registry, exec::ThreadPool& pool,
+             ComputeExec compute);
+
+    Pipeline(const Pipeline&) = delete;
+    Pipeline& operator=(const Pipeline&) = delete;
+
+    /** Waits for every in-flight request (see drain()). */
+    ~Pipeline();
+
+    /**
+     * Stage 1 entry: post the encode/convert task for @p request,
+     * which hands it to @p batcher on completion. @p batcher must
+     * stay alive until drain() returns.
+     */
+    void postPrepare(const std::string& matrix, Request request,
+                     Batcher& batcher);
+
+    /** Stage 2 entry: post the compute task for a flushed batch. */
+    void postCompute(const std::string& matrix,
+                     std::vector<Request> batch);
+
+    /**
+     * Block until every submitted request has been delivered or
+     * failed. Requests still parked in a batcher count as in-flight;
+     * its deadline timer (or flushAll()) releases them, so drain()
+     * waits at most one deadline past the last queued request.
+     */
+    void drain();
+
+    const PipelineStats& stats() const { return stats_; }
+
+  private:
+    void computeBatch(const std::string& matrix,
+                      std::vector<Request>& batch);
+    /** Mark @p n requests left the pipeline (delivered or failed). */
+    void finish(std::uint64_t n, bool ok);
+
+    MatrixRegistry& registry_;
+    exec::ThreadPool& pool_;
+    const ComputeExec compute_;
+    PipelineStats stats_;
+
+    std::mutex mutex_;
+    std::condition_variable idle_;
+    std::uint64_t inflight_ = 0;
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_PIPELINE_HH

@@ -1,0 +1,142 @@
+#include "serve/registry.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "engine/autoselect.hh"
+
+namespace smash::serve
+{
+
+eng::Format
+MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo)
+{
+    if (!coo.isCanonical())
+        coo.canonicalize();
+    // §7.2.3-style structure analysis, run exactly once per matrix.
+    const eng::Format chosen = eng::chooseFormat(coo);
+    return put(name, std::move(coo), chosen);
+}
+
+eng::Format
+MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo,
+                    eng::Format format)
+{
+    return put(name, std::move(coo), format,
+               eng::SparseMatrixAny::BuildOptions());
+}
+
+eng::Format
+MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo,
+                    eng::Format format,
+                    const eng::SparseMatrixAny::BuildOptions& build)
+{
+    if (!coo.isCanonical())
+        coo.canonicalize();
+    auto slot = std::make_unique<Slot>();
+    slot->coo = std::move(coo);
+    slot->chosen = format;
+    slot->build = build;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        slots_.emplace(name, std::move(slot)).second;
+    SMASH_CHECK(inserted, "registry already holds a matrix named '",
+                name, "'");
+    return format;
+}
+
+bool
+MatrixRegistry::contains(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.count(name) != 0;
+}
+
+MatrixRegistry::Slot&
+MatrixRegistry::slot(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(name);
+    SMASH_CHECK(it != slots_.end(), "registry has no matrix named '",
+                name, "'");
+    return *it->second;
+}
+
+Index
+MatrixRegistry::rows(const std::string& name) const
+{
+    return slot(name).coo.rows();
+}
+
+Index
+MatrixRegistry::cols(const std::string& name) const
+{
+    return slot(name).coo.cols();
+}
+
+eng::Format
+MatrixRegistry::format(const std::string& name) const
+{
+    return slot(name).chosen;
+}
+
+const eng::SparseMatrixAny&
+MatrixRegistry::encoded(const std::string& name)
+{
+    Slot& s = slot(name);
+    return encodedAs(name, s.chosen);
+}
+
+const eng::SparseMatrixAny&
+MatrixRegistry::encodedAs(const std::string& name, eng::Format format)
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.encodings.find(format);
+    if (it == s.encodings.end()) {
+        it = s.encodings
+                 .emplace(format, eng::SparseMatrixAny::fromCoo(
+                                      s.coo, format, s.build))
+                 .first;
+        ++s.conversions;
+    }
+    return it->second;
+}
+
+std::size_t
+MatrixRegistry::conversions(const std::string& name) const
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.conversions;
+}
+
+MatrixInfo
+MatrixRegistry::info(const std::string& name) const
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    MatrixInfo out;
+    out.chosen = s.chosen;
+    out.rows = s.coo.rows();
+    out.cols = s.coo.cols();
+    out.nnz = s.coo.nnz();
+    out.conversions = s.conversions;
+    out.cached.reserve(s.encodings.size());
+    for (const auto& [format, encoding] : s.encodings)
+        out.cached.push_back(format);
+    return out;
+}
+
+std::vector<std::string>
+MatrixRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace smash::serve

@@ -1,0 +1,53 @@
+#include "serve/session.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace smash::serve
+{
+
+Session::Session(MatrixRegistry& registry, const SessionOptions& options)
+    : registry_(registry), pool_(options.threads),
+      pipeline_(registry, pool_, options.compute),
+      batcher_(options.maxBatch, options.maxDelay,
+               [this](const std::string& matrix,
+                      std::vector<Request> batch) {
+                   pipeline_.postCompute(matrix, std::move(batch));
+               })
+{}
+
+Session::~Session()
+{
+    // Members tear down in reverse order (batcher, pipeline, pool),
+    // but a stage-1 task still running on the pool may touch the
+    // batcher — so drain everything first, while all parts live.
+    drain();
+}
+
+std::future<std::vector<Value>>
+Session::submit(const std::string& matrix, std::vector<Value> x)
+{
+    SMASH_CHECK(registry_.contains(matrix),
+                "submit() against unregistered matrix '", matrix, "'");
+    const Index cols = registry_.cols(matrix);
+    SMASH_CHECK(static_cast<Index>(x.size()) == cols, "operand for '",
+                matrix, "' has length ", x.size(), ", matrix has ",
+                cols, " columns");
+    Request request{std::move(x), {}};
+    std::future<std::vector<Value>> future =
+        request.result.get_future();
+    pipeline_.postPrepare(matrix, std::move(request), batcher_);
+    return future;
+}
+
+void
+Session::drain()
+{
+    // Partial batches would otherwise wait out their deadline; the
+    // explicit flush lets drain() finish as soon as compute does.
+    batcher_.flushAll();
+    pipeline_.drain();
+}
+
+} // namespace smash::serve

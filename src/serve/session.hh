@@ -1,0 +1,87 @@
+/**
+ * @file
+ * serve::Session — the serving subsystem's front door.
+ *
+ * A Session wires a shared MatrixRegistry to its own ThreadPool,
+ * Batcher, and Pipeline. submit() accepts one SpMV request (matrix
+ * name + operand vector) and immediately returns a future; the
+ * request then flows through the async pipeline: conversion (cached
+ * in the registry), batching (coalesced with concurrent requests
+ * against the same matrix), one batched multi-RHS compute, and
+ * delivery. Minimal use:
+ *
+ *   serve::MatrixRegistry registry;
+ *   registry.put("ranker", std::move(coo)); // auto-selects format
+ *   serve::Session session(registry, {.threads = 8});
+ *   auto y = session.submit("ranker", x);   // std::future
+ *   use(y.get());                           // y = A x
+ *
+ * Sessions are thread-safe: any number of client threads may
+ * submit() concurrently, and several Sessions may share one
+ * registry (conversions are still performed once).
+ */
+
+#ifndef SMASH_SERVE_SESSION_HH
+#define SMASH_SERVE_SESSION_HH
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "serve/batcher.hh"
+#include "serve/pipeline.hh"
+#include "serve/registry.hh"
+
+namespace smash::serve
+{
+
+/** Tuning knobs of one Session. */
+struct SessionOptions
+{
+    int threads = 4;     //!< pool workers running the stages
+    Index maxBatch = 16; //!< coalesce up to this many requests
+    std::chrono::microseconds maxDelay{200}; //!< deadline flush
+    ComputeExec compute = ComputeExec::kSerial;
+};
+
+/** One serving endpoint over a (possibly shared) registry. */
+class Session
+{
+  public:
+    explicit Session(MatrixRegistry& registry,
+                     const SessionOptions& options = {});
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /** Drains in-flight requests, then tears the pool down. */
+    ~Session();
+
+    /**
+     * Submit y = A x against the registered matrix @p matrix
+     * (@p x at logical length, matrix cols). Fails fast on an
+     * unknown name or a wrong operand length; later failures
+     * arrive through the future.
+     */
+    std::future<std::vector<Value>>
+    submit(const std::string& matrix, std::vector<Value> x);
+
+    /** Flush partial batches and wait for every in-flight request. */
+    void drain();
+
+    const PipelineStats& stats() const { return pipeline_.stats(); }
+    int threads() const { return pool_.size(); }
+    Index maxBatch() const { return batcher_.maxBatch(); }
+
+  private:
+    MatrixRegistry& registry_;
+    exec::ThreadPool pool_;
+    Pipeline pipeline_;
+    Batcher batcher_; //!< declared after the pipeline it flushes into
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_SESSION_HH

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Tests for the serving subsystem and the engine growth beneath it:
+ * batched SpMV against per-request dispatch (within 1e-12), the
+ * parallel SpMM/SpAdd drivers, thread-pool shutdown semantics, the
+ * matrix registry's conversion caching, and pipeline completion
+ * under out-of-order request arrival.
+ *
+ * Thread counts: SMASH_SERVE_THREADS pins one count (the ctest
+ * variants run 1, 2, and 8); unset, every count is covered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_exec.hh"
+#include "engine/dispatch.hh"
+#include "formats/convert.hh"
+#include "kernels/reference.hh"
+#include "serve/session.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash
+{
+namespace
+{
+
+const eng::Format kAllFormats[] = {
+    eng::Format::kCoo,  eng::Format::kCsr,   eng::Format::kCsc,
+    eng::Format::kBcsr, eng::Format::kEll,   eng::Format::kDia,
+    eng::Format::kDense, eng::Format::kSmash,
+};
+
+std::vector<int>
+threadCounts()
+{
+    if (const char* env = std::getenv("SMASH_SERVE_THREADS"))
+        return {std::atoi(env)};
+    return {1, 2, 8};
+}
+
+std::vector<Value>
+rampVector(Index n, Index kind)
+{
+    std::vector<Value> x(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(i)] =
+            Value(1) + Value((i * 3 + kind) % 7) * Value(0.25);
+    return x;
+}
+
+/** X block with column r = rampVector(rows, r), zero-padded. */
+fmt::DenseMatrix
+operandBlock(Index padded_rows, Index logical_rows, Index nrhs)
+{
+    fmt::DenseMatrix x(padded_rows, nrhs);
+    for (Index r = 0; r < nrhs; ++r) {
+        const std::vector<Value> xr = rampVector(logical_rows, r);
+        for (Index j = 0; j < logical_rows; ++j)
+            x.at(j, r) = xr[static_cast<std::size_t>(j)];
+    }
+    return x;
+}
+
+/** Per-column reference: N independent single-RHS dispatches. */
+template <typename E>
+fmt::DenseMatrix
+perRhsReference(const eng::MatrixRef& m, Index logical_rows,
+                Index nrhs, E& e)
+{
+    fmt::DenseMatrix y(m.rows(), nrhs);
+    for (Index r = 0; r < nrhs; ++r) {
+        std::vector<Value> yr(static_cast<std::size_t>(m.rows()),
+                              Value(0));
+        eng::spmv(m, rampVector(logical_rows, r), yr, e);
+        for (Index i = 0; i < m.rows(); ++i)
+            y.at(i, r) = yr[static_cast<std::size_t>(i)];
+    }
+    return y;
+}
+
+TEST(SpmvBatch, MatchesIndividualSpmvAcrossFormats)
+{
+    const fmt::CooMatrix coo = wl::genClustered(96, 80, 900, 5, 17);
+    const Index nrhs = 7;
+    sim::NativeExec e;
+
+    for (eng::Format f : kAllFormats) {
+        eng::SparseMatrixAny m = eng::SparseMatrixAny::fromCoo(coo, f);
+        fmt::DenseMatrix x =
+            operandBlock(m.xLength(), coo.cols(), nrhs);
+        fmt::DenseMatrix y(coo.rows(), nrhs);
+        eng::spmvBatch(m.ref(), x, y, e);
+        const fmt::DenseMatrix ref =
+            perRhsReference(m.ref(), coo.cols(), nrhs, e);
+        for (Index i = 0; i < coo.rows(); ++i)
+            for (Index r = 0; r < nrhs; ++r)
+                EXPECT_NEAR(y.at(i, r), ref.at(i, r), 1e-12)
+                    << eng::toString(f) << " row " << i << " rhs " << r;
+    }
+}
+
+TEST(SpmvBatch, AccumulatesIntoY)
+{
+    const fmt::CooMatrix coo = wl::genClustered(40, 40, 300, 4, 3);
+    const fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    sim::NativeExec e;
+    fmt::DenseMatrix x = operandBlock(40, 40, 3);
+    fmt::DenseMatrix y1(40, 3);
+    eng::spmvBatch(csr, x, y1, e);
+    // Y := Y + A X semantics: a second call doubles the result.
+    fmt::DenseMatrix y2(40, 3);
+    eng::spmvBatch(csr, x, y2, e);
+    eng::spmvBatch(csr, x, y2, e);
+    for (Index i = 0; i < 40; ++i)
+        for (Index r = 0; r < 3; ++r)
+            EXPECT_NEAR(y2.at(i, r), 2 * y1.at(i, r), 1e-12);
+}
+
+TEST(SpmvBatch, ParallelMatchesSerialAtEveryThreadCount)
+{
+    const fmt::CooMatrix coo = wl::genPowerLaw(150, 150, 1800, 1.0, 32);
+    const Index nrhs = 5;
+    sim::NativeExec serial;
+
+    for (eng::Format f : kAllFormats) {
+        eng::SparseMatrixAny m = eng::SparseMatrixAny::fromCoo(coo, f);
+        fmt::DenseMatrix x =
+            operandBlock(m.xLength(), coo.cols(), nrhs);
+        fmt::DenseMatrix y_serial(coo.rows(), nrhs);
+        eng::spmvBatch(m.ref(), x, y_serial, serial);
+        for (int threads : threadCounts()) {
+            exec::ParallelExec pe(threads);
+            fmt::DenseMatrix y(coo.rows(), nrhs);
+            eng::spmvBatch(m.ref(), x, y, pe);
+            for (Index i = 0; i < coo.rows(); ++i)
+                for (Index r = 0; r < nrhs; ++r)
+                    EXPECT_NEAR(y.at(i, r), y_serial.at(i, r), 1e-12)
+                        << eng::toString(f) << " threads " << threads;
+        }
+    }
+}
+
+TEST(SpmvBatch, SimulatedDispatchBillsTheMachine)
+{
+    const fmt::CooMatrix coo = wl::genClustered(48, 48, 400, 4, 9);
+    sim::NativeExec native;
+    for (eng::Format f : {eng::Format::kCsr, eng::Format::kSmash}) {
+        eng::SparseMatrixAny m = eng::SparseMatrixAny::fromCoo(coo, f);
+        fmt::DenseMatrix x = operandBlock(m.xLength(), 48, 4);
+        fmt::DenseMatrix ref(48, 4);
+        eng::spmvBatch(m.ref(), x, ref, native);
+
+        sim::Machine machine;
+        sim::SimExec e(machine);
+        fmt::DenseMatrix y(48, 4);
+        eng::spmvBatch(m.ref(), x, y, e);
+        EXPECT_GT(machine.core().instructions(), 0u);
+        EXPECT_TRUE(y.approxEquals(ref, 1e-12)) << eng::toString(f);
+    }
+}
+
+TEST(ParallelDrivers, SpmmTilesMatchSerial)
+{
+    const fmt::CooMatrix a_coo = wl::genClustered(90, 70, 1100, 4, 21);
+    const fmt::CooMatrix b_coo = wl::genClustered(70, 60, 800, 4, 22);
+    const fmt::CsrMatrix a = fmt::CsrMatrix::fromCoo(a_coo);
+    const fmt::CscMatrix b = fmt::CscMatrix::fromCoo(b_coo);
+
+    sim::NativeExec serial;
+    fmt::DenseMatrix c_serial(a.rows(), b.cols());
+    eng::spmm(a, b, c_serial, serial);
+
+    for (int threads : threadCounts()) {
+        exec::ParallelExec pe(threads);
+        fmt::DenseMatrix c(a.rows(), b.cols());
+        eng::spmm(a, b, c, pe);
+        EXPECT_TRUE(c.approxEquals(c_serial, 1e-12))
+            << "threads " << threads;
+    }
+}
+
+TEST(ParallelDrivers, SpaddMatchesSerial)
+{
+    const fmt::CooMatrix a_coo = wl::genClustered(80, 80, 900, 4, 31);
+    const fmt::CooMatrix b_coo = wl::genClustered(80, 80, 900, 4, 32);
+    sim::NativeExec serial;
+    const std::vector<Value> x = rampVector(80, 1);
+
+    for (eng::Format f :
+         {eng::Format::kCsr, eng::Format::kDense, eng::Format::kSmash}) {
+        eng::SparseMatrixAny a = eng::SparseMatrixAny::fromCoo(a_coo, f);
+        eng::SparseMatrixAny b = eng::SparseMatrixAny::fromCoo(b_coo, f);
+        eng::SparseMatrixAny c_serial = eng::spadd(a, b, serial);
+        std::vector<Value> y_serial(80, Value(0));
+        eng::spmv(c_serial, x, y_serial, serial);
+
+        for (int threads : threadCounts()) {
+            exec::ParallelExec pe(threads);
+            eng::SparseMatrixAny c = eng::spadd(a, b, pe);
+            std::vector<Value> y(80, Value(0));
+            eng::spmv(c, x, y, serial);
+            for (std::size_t i = 0; i < y.size(); ++i)
+                EXPECT_NEAR(y[i], y_serial[i], 1e-12)
+                    << eng::toString(f) << " threads " << threads;
+        }
+    }
+}
+
+TEST(ThreadPoolShutdown, RejectsSubmissionAfterShutdown)
+{
+    exec::ThreadPool pool(2);
+    pool.parallelFor(0, 4, 1, [](Index, Index) {});
+    pool.shutdown();
+    EXPECT_THROW(pool.parallelFor(0, 4, 1, [](Index, Index) {}),
+                 FatalError);
+    EXPECT_THROW(pool.post([] {}), FatalError);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPoolShutdown, DrainsPostedTasksBeforeJoining)
+{
+    std::atomic<int> ran{0};
+    {
+        exec::ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.post([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(20));
+                ran.fetch_add(1);
+            });
+        pool.shutdown(); // must run all 200, not strand them
+        EXPECT_EQ(ran.load(), 200);
+    }
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolShutdown, NestedParallelForProgresses)
+{
+    // A worker task that itself calls parallelFor must not
+    // deadlock, even when it is the pool's only worker: the
+    // blocked caller helps drain the queues.
+    for (int threads : {1, 4}) {
+        exec::ThreadPool pool(threads);
+        std::atomic<long> sum{0};
+        pool.parallelFor(0, 8, 1, [&](Index ob, Index oe) {
+            for (Index o = ob; o < oe; ++o)
+                pool.parallelFor(o * 100, (o + 1) * 100, 1,
+                                 [&](Index b, Index e) {
+                    for (Index i = b; i < e; ++i)
+                        sum.fetch_add(i);
+                });
+        });
+        EXPECT_EQ(sum.load(), 800L * 799 / 2) << threads << " threads";
+    }
+}
+
+TEST(ServeRegistry, SelectsOnceAndCachesConversions)
+{
+    serve::MatrixRegistry registry;
+    const eng::Format chosen = registry.put(
+        "clustered", wl::genWithLocality(256, 256, 4000, 8, 0.9, 5));
+    EXPECT_EQ(chosen, eng::Format::kSmash);
+    EXPECT_EQ(registry.format("clustered"), eng::Format::kSmash);
+    EXPECT_EQ(registry.conversions("clustered"), 0u); // lazy
+
+    const eng::SparseMatrixAny& first = registry.encoded("clustered");
+    EXPECT_EQ(registry.conversions("clustered"), 1u);
+    const eng::SparseMatrixAny& second = registry.encoded("clustered");
+    EXPECT_EQ(&first, &second); // cached, not reconverted
+    EXPECT_EQ(registry.conversions("clustered"), 1u);
+
+    registry.encodedAs("clustered", eng::Format::kCsr);
+    EXPECT_EQ(registry.conversions("clustered"), 2u);
+    registry.encodedAs("clustered", eng::Format::kCsr);
+    EXPECT_EQ(registry.conversions("clustered"), 2u);
+
+    const serve::MatrixInfo info = registry.info("clustered");
+    EXPECT_EQ(info.nnz, registry.encoded("clustered").nnz());
+    EXPECT_EQ(info.cached.size(), 2u);
+}
+
+TEST(ServeRegistry, RejectsDuplicatesAndUnknownNames)
+{
+    serve::MatrixRegistry registry;
+    registry.put("a", wl::genUniform(16, 16, 40, 1));
+    EXPECT_THROW(registry.put("a", wl::genUniform(16, 16, 40, 2)),
+                 FatalError);
+    EXPECT_THROW(registry.encoded("missing"), FatalError);
+    EXPECT_FALSE(registry.contains("missing"));
+}
+
+/** Oracle y = A x for one registered matrix. */
+std::vector<Value>
+serialOracle(serve::MatrixRegistry& registry, const std::string& name,
+             const std::vector<Value>& x)
+{
+    sim::NativeExec e;
+    std::vector<Value> y(
+        static_cast<std::size_t>(registry.rows(name)), Value(0));
+    eng::spmv(registry.encoded(name).ref(), x, y, e);
+    return y;
+}
+
+TEST(ServeSession, BatchedEqualsIndividualSpmv)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genClustered(200, 200, 3000, 6, 41));
+    const Index n_req = 40;
+
+    for (int threads : threadCounts()) {
+        for (serve::ComputeExec compute :
+             {serve::ComputeExec::kSerial,
+              serve::ComputeExec::kParallel}) {
+            serve::SessionOptions opts;
+            opts.threads = threads;
+            opts.maxBatch = 8;
+            opts.compute = compute;
+            serve::Session session(registry, opts);
+
+            std::vector<std::future<std::vector<Value>>> futures;
+            for (Index r = 0; r < n_req; ++r)
+                futures.push_back(
+                    session.submit("m", rampVector(200, r % 6)));
+            for (Index r = 0; r < n_req; ++r) {
+                const std::vector<Value> got =
+                    futures[static_cast<std::size_t>(r)].get();
+                const std::vector<Value> want =
+                    serialOracle(registry, "m", rampVector(200, r % 6));
+                ASSERT_EQ(got.size(), want.size());
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    ASSERT_NEAR(got[i], want[i], 1e-12)
+                        << "threads " << threads << " request " << r;
+            }
+            session.drain();
+            EXPECT_EQ(session.stats().completed.load(), 40u);
+            EXPECT_EQ(session.stats().failed.load(), 0u);
+            EXPECT_GT(session.stats().batches.load(), 0u);
+        }
+    }
+}
+
+TEST(ServeSession, SecondSubmitDoesNotReconvert)
+{
+    serve::MatrixRegistry registry;
+    registry.put("cached", wl::genWithLocality(128, 128, 2000, 8, 0.9, 3));
+    serve::SessionOptions opts;
+    opts.threads = threadCounts().front();
+    serve::Session session(registry, opts);
+
+    session.submit("cached", rampVector(128, 0)).get();
+    EXPECT_EQ(registry.conversions("cached"), 1u);
+    session.submit("cached", rampVector(128, 1)).get();
+    EXPECT_EQ(registry.conversions("cached"), 1u);
+}
+
+TEST(ServeSession, CompletesUnderOutOfOrderArrival)
+{
+    // Requests against several matrices, submitted from several
+    // client threads: stage-1 scheduling scrambles arrival order at
+    // the batcher, conversions interleave with computes, and some
+    // batches flush by size while others wait out the deadline.
+    serve::MatrixRegistry registry;
+    registry.put("alpha", wl::genClustered(160, 160, 2400, 6, 51));
+    registry.put("beta", wl::genPowerLaw(120, 120, 1500, 1.1, 52));
+    registry.put("gamma", wl::genPoisson2d(12, 12)); // 144x144, DIA
+
+    for (int threads : threadCounts()) {
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 4;
+        opts.maxDelay = std::chrono::microseconds(100);
+        serve::Session session(registry, opts);
+
+        const char* names[] = {"alpha", "beta", "gamma"};
+        const Index dims[] = {160, 120, 144};
+        struct Pending
+        {
+            std::string name;
+            Index kind;
+            std::future<std::vector<Value>> future;
+        };
+        std::vector<Pending> pending(45);
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < 3; ++c)
+            clients.emplace_back([&] {
+                for (;;) {
+                    const std::size_t slot = next.fetch_add(1);
+                    if (slot >= pending.size())
+                        return;
+                    const std::size_t which = slot % 3;
+                    const auto kind = static_cast<Index>(slot % 5);
+                    pending[slot].name = names[which];
+                    pending[slot].kind = kind;
+                    pending[slot].future = session.submit(
+                        names[which], rampVector(dims[which], kind));
+                }
+            });
+        for (std::thread& c : clients)
+            c.join();
+
+        for (Pending& p : pending) {
+            const std::vector<Value> got = p.future.get();
+            const std::vector<Value> want = serialOracle(
+                registry, p.name,
+                rampVector(registry.cols(p.name), p.kind));
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t i = 0; i < got.size(); ++i)
+                ASSERT_NEAR(got[i], want[i], 1e-12)
+                    << p.name << " threads " << threads;
+        }
+        session.drain();
+        EXPECT_EQ(session.stats().completed.load(), 45u);
+        EXPECT_EQ(registry.conversions("alpha"), 1u);
+        EXPECT_EQ(registry.conversions("beta"), 1u);
+        EXPECT_EQ(registry.conversions("gamma"), 1u);
+    }
+}
+
+TEST(ServeSession, RejectsBadRequestsEagerly)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genUniform(32, 32, 100, 7));
+    serve::Session session(registry, {});
+    EXPECT_THROW(session.submit("nope", rampVector(32, 0)), FatalError);
+    EXPECT_THROW(session.submit("m", rampVector(31, 0)), FatalError);
+}
+
+TEST(ServeSession, RejectsBadOptionsWithoutTerminating)
+{
+    serve::MatrixRegistry registry;
+    serve::SessionOptions opts;
+    opts.maxBatch = 0;
+    // Must throw (catchable), not std::terminate on a joinable
+    // timer thread during constructor unwinding.
+    EXPECT_THROW(serve::Session session(registry, opts), FatalError);
+}
+
+} // namespace
+} // namespace smash
