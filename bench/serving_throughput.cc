@@ -127,7 +127,9 @@ run(int argc, char** argv)
     // Conversion happens once, here, so every configuration below
     // measures steady-state serving (the conversion-overlap story
     // is the pipeline's; fig20 covers the cost itself).
-    const eng::SparseMatrixAny& m = registry.encoded("ranker");
+    const serve::MatrixRegistry::EncodingPtr held =
+        registry.encoded("ranker");
+    const eng::SparseMatrixAny& m = *held;
 
     if (cli.exec == ExecKind::kSim) {
         // Cycle-accurate amortization: per-request cost of a batch

@@ -95,10 +95,19 @@ ThreadPool::endSubmit(Index published)
     sleep_cv_.notify_all();
 }
 
-void
-ThreadPool::post(std::function<void()> fn)
+bool
+ThreadPool::tryBeginSubmit()
 {
-    beginSubmit("post()");
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    if (stop_)
+        return false;
+    ++submitting_;
+    return true;
+}
+
+void
+ThreadPool::enqueueTask(std::function<void()> fn)
+{
     Task task{[fn = std::move(fn)] {
         try {
             fn();
@@ -115,6 +124,22 @@ ThreadPool::post(std::function<void()> fn)
         q.tasks.push_back(std::move(task));
     }
     endSubmit(1);
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    beginSubmit("post()");
+    enqueueTask(std::move(fn));
+}
+
+bool
+ThreadPool::tryPost(std::function<void()> fn)
+{
+    if (!tryBeginSubmit())
+        return false;
+    enqueueTask(std::move(fn));
+    return true;
 }
 
 bool

@@ -74,6 +74,15 @@ class ThreadPool
     void post(std::function<void()> fn);
 
     /**
+     * post() for callers that can tolerate rejection: returns false
+     * (queuing nothing) once shutdown() has begun, instead of
+     * throwing. The serving layer's background maintenance — e.g. a
+     * drift-triggered re-encode racing a session teardown — uses
+     * this to degrade to inline execution rather than crash.
+     */
+    [[nodiscard]] bool tryPost(std::function<void()> fn);
+
+    /**
      * Stop accepting work, run every task already enqueued to
      * completion, and join the workers. Idempotent (the destructor
      * calls it); concurrent callers block until the teardown
@@ -103,6 +112,11 @@ class ThreadPool
     bool tryRunOneExternal();
     /** Gate one submission: fails once shutdown has begun. */
     void beginSubmit(const char* what);
+    /** beginSubmit() that reports the closed gate instead of
+     *  throwing (the tryPost() path). */
+    bool tryBeginSubmit();
+    /** Queue one already-wrapped task (post/tryPost tail). */
+    void enqueueTask(std::function<void()> fn);
     /** Publish @p published tasks and release the submission gate. */
     void endSubmit(Index published);
 

@@ -72,29 +72,69 @@ analyzeStructure(const fmt::CooMatrix& coo, Index block)
 }
 
 Format
-chooseFormat(const StructureStats& s)
+chooseFormat(const StructureStats& s, const FormatBoundaries& b)
 {
     if (s.nnz == 0)
         return Format::kCsr;
-    if (s.density >= 0.4)
+    if (s.density >= b.denseDensity)
         return Format::kDense;
     // Banded: the stored-diagonal capacity is close to the nnz and
     // there are few enough diagonals that DIA's padding stays small.
-    if (s.numDiagonals > 0 &&
-        s.numDiagonals <= std::max<Index>(16, s.rows / 32) &&
-        s.diagonalFill >= 0.5) {
+    const auto dia_cap = static_cast<Index>(
+        static_cast<double>(std::max(b.diaMaxDiagonals, s.rows / 32)) *
+        b.diaCapScale);
+    if (s.numDiagonals > 0 && s.numDiagonals <= dia_cap &&
+        s.diagonalFill >= b.diaFill) {
         return Format::kDia;
     }
     // Clustered: each fetched NZA block is at least half useful —
     // the regime where the paper's hierarchy wins (§7.2.3).
-    if (s.blockLocality >= 0.5)
+    if (s.blockLocality >= b.smashLocality)
         return Format::kSmash;
     // Uniform rows: fixed-width slabs waste little padding.
-    if (s.rowCv <= 0.25 &&
-        s.maxNnzPerRow <= static_cast<Index>(2.0 * s.avgNnzPerRow + 1)) {
+    if (s.rowCv <= b.ellRowCv &&
+        s.maxNnzPerRow <=
+            static_cast<Index>(b.ellMaxOverAvg * s.avgNnzPerRow + 1)) {
         return Format::kEll;
     }
     return Format::kCsr;
+}
+
+Format
+chooseFormat(const StructureStats& s)
+{
+    return chooseFormat(s, FormatBoundaries());
+}
+
+Format
+chooseFormatSticky(const StructureStats& s, Format current,
+                   double margin)
+{
+    SMASH_CHECK(margin >= 0, "hysteresis margin must be non-negative");
+    // Bias every boundary against movement: the current format's
+    // thresholds loosen by the margin (easy to stay), every other
+    // format's tighten (hard to enter). CSR, the fallback, has no
+    // boundary of its own — tightening the others is what keeps a
+    // CSR matrix CSR inside the band.
+    FormatBoundaries b;
+    const double toward = -margin; // loosen: keep the current format
+    const double away = margin;    // tighten: block marginal entry
+    b.denseDensity += current == Format::kDense ? toward : away;
+    b.diaFill += current == Format::kDia ? toward : away;
+    b.smashLocality += current == Format::kSmash ? toward : away;
+    // ELL's boundaries are upper bounds (row CV, max/avg cap) and
+    // DIA's diagonal count is a cap too, so their bias is
+    // multiplicative and the signs flip: staying raises the cap,
+    // entering from elsewhere lowers it.
+    const double keep = 1.0 + margin;
+    const double block = 1.0 - margin;
+    b.ellRowCv *= current == Format::kEll ? keep : block;
+    b.ellMaxOverAvg *= current == Format::kEll ? keep : block;
+    // Scale the whole diagonal cap, not just the constant floor:
+    // on large matrices the rows/32 half dominates, and an
+    // unscaled cap would leave that boundary hysteresis-free.
+    b.diaCapScale = current == Format::kDia ? keep : block;
+    return chooseFormat(s, b);
 }
 
 Format

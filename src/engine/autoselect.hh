@@ -9,6 +9,12 @@
  * chooseFormat() maps them to the format whose cost model they
  * favour. encodeAuto() is the one-call path from a canonical COO
  * matrix to an engine matrix in the chosen format.
+ *
+ * Ownership/threading contract: free functions over borrowed
+ * inputs, no shared state — safe to call concurrently. For mutable
+ * served matrices, engine/profile.hh maintains the same stats
+ * incrementally and chooseFormatSticky() adds the hysteresis the
+ * drift detector needs.
  */
 
 #ifndef SMASH_ENGINE_AUTOSELECT_HH
@@ -45,6 +51,26 @@ StructureStats analyzeStructure(const fmt::CooMatrix& coo,
                                 Index block = 8);
 
 /**
+ * The §7.2.3-style decision boundaries of chooseFormat(). The
+ * defaults reproduce the original fixed rules; the drift detector
+ * biases copies of them to build a hysteresis band (see
+ * chooseFormatSticky()).
+ */
+struct FormatBoundaries
+{
+    double denseDensity = 0.4;  //!< density at/above: dense
+    double diaFill = 0.5;       //!< diagonal fill at/above: DIA
+    Index diaMaxDiagonals = 16; //!< max(this, rows/32) diagonals cap
+    /** Scale on the whole diagonal cap (including its rows/32
+     *  half) — the hysteresis lever for large matrices, where the
+     *  dynamic half dominates the constant floor. */
+    double diaCapScale = 1.0;
+    double smashLocality = 0.5; //!< block locality at/above: SMASH
+    double ellRowCv = 0.25;     //!< row CV at/below: ELL eligible
+    double ellMaxOverAvg = 2.0; //!< max/avg row population cap (ELL)
+};
+
+/**
  * Pick the format the profile favours. Rules, in order:
  *   1. density >= 0.4                      -> dense (indexing is waste)
  *   2. few diagonals, well filled          -> DIA (banded systems)
@@ -55,6 +81,21 @@ StructureStats analyzeStructure(const fmt::CooMatrix& coo,
  *   5. otherwise                           -> CSR (the general default)
  */
 Format chooseFormat(const StructureStats& stats);
+
+/** chooseFormat() against explicit boundaries. */
+Format chooseFormat(const StructureStats& stats,
+                    const FormatBoundaries& bounds);
+
+/**
+ * Drift-aware re-selection with hysteresis: returns the format the
+ * profile favours, but biases every boundary by @p margin in favour
+ * of @p current — leaving the current format requires beating the
+ * §7.2.3 thresholds decisively, not grazing them. A profile sitting
+ * inside the hysteresis band keeps @p current, which is what stops
+ * an oscillating workload from re-encoding on every update burst.
+ */
+Format chooseFormatSticky(const StructureStats& stats, Format current,
+                          double margin);
 
 /** analyzeStructure + chooseFormat. */
 Format chooseFormat(const fmt::CooMatrix& coo);

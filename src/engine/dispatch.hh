@@ -17,6 +17,12 @@
  * The capability registry (engine/format.hh) gates every route, so
  * unsupported (format, op) pairs fail with a clear error instead of
  * a template blizzard.
+ *
+ * Ownership/threading contract: dispatch borrows the matrix and
+ * operand storage for the duration of one call and keeps no state
+ * between calls. Concurrent dispatches over the same (immutable)
+ * matrix are safe, including from pipeline worker tasks; the y/C
+ * output must be private to each call.
  */
 
 #ifndef SMASH_ENGINE_DISPATCH_HH

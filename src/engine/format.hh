@@ -9,6 +9,10 @@
  * padded. Dispatch consults the registry instead of hard-coding
  * per-format knowledge, so adding a format is one enum value, one
  * table row, and the kernels themselves.
+ *
+ * Ownership/threading contract: the capability table is immutable
+ * static storage; every function here is a read and safe from any
+ * thread.
  */
 
 #ifndef SMASH_ENGINE_FORMAT_HH

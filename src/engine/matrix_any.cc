@@ -123,6 +123,47 @@ SparseMatrixAny::fromCoo(const fmt::CooMatrix& coo, Format target)
     return fromCoo(coo, target, BuildOptions());
 }
 
+SparseMatrixAny
+SparseMatrixAny::fromCsr(const fmt::CsrMatrix& csr, Format target,
+                         const BuildOptions& opts)
+{
+    if (target == Format::kCsr)
+        return SparseMatrixAny(csr);
+    return fromCoo(csr.toCoo(), target, opts);
+}
+
+fmt::CsrMatrix&
+SparseMatrixAny::mutableCsr()
+{
+    auto* csr = std::get_if<fmt::CsrMatrix>(&holder_);
+    SMASH_CHECK(csr != nullptr,
+                "the mutation API applies to CSR master copies; "
+                "this matrix holds ",
+                toString(format()));
+    return *csr;
+}
+
+MutationStats
+SparseMatrixAny::applyUpdates(const fmt::CooMatrix& deltas,
+                              const StructureListener& listener)
+{
+    return eng::applyUpdates(mutableCsr(), deltas, listener);
+}
+
+MutationStats
+SparseMatrixAny::replaceRows(const std::vector<Index>& rows,
+                             const fmt::CooMatrix& replacement,
+                             const StructureListener& listener)
+{
+    return eng::replaceRows(mutableCsr(), rows, replacement, listener);
+}
+
+MutationStats
+SparseMatrixAny::scaleValues(Value factor)
+{
+    return eng::scaleValues(mutableCsr(), factor);
+}
+
 Format
 SparseMatrixAny::format() const
 {

@@ -10,6 +10,14 @@
  * SparseMatrixAny owns one matrix in any of the engine's formats
  * (a std::variant) and is what conversion and auto-selection
  * produce; it converts to MatrixRef like the concrete types.
+ *
+ * Ownership/threading contract: SparseMatrixAny owns its storage
+ * outright; MatrixRef borrows and must not outlive the matrix it
+ * views. Neither is internally synchronized — concurrent reads are
+ * fine, but the mutation members (applyUpdates/replaceRows/
+ * scaleValues, CSR holders only) require external serialization
+ * against readers, which the serving registry provides via its
+ * epoch/shared_ptr swap discipline.
  */
 
 #ifndef SMASH_ENGINE_MATRIX_ANY_HH
@@ -21,6 +29,7 @@
 #include "common/logging.hh"
 #include "core/smash_matrix.hh"
 #include "engine/format.hh"
+#include "engine/mutate.hh"
 #include "formats/bcsr_matrix.hh"
 #include "formats/coo_matrix.hh"
 #include "formats/csc_matrix.hh"
@@ -122,6 +131,16 @@ class SparseMatrixAny
     static SparseMatrixAny fromCoo(const fmt::CooMatrix& coo,
                                    Format target);
 
+    /**
+     * Encode a CSR master copy as @p target (the registry's
+     * re-encode path). Everything but a CSR target round-trips
+     * through canonical COO — exactly the conversion cost the
+     * fig20 study prices.
+     */
+    static SparseMatrixAny fromCsr(const fmt::CsrMatrix& csr,
+                                   Format target,
+                                   const BuildOptions& opts);
+
     Format format() const;
     MatrixRef ref() const;
 
@@ -137,7 +156,23 @@ class SparseMatrixAny
         return ref().as<T>();
     }
 
+    /**
+     * Mutation API — valid only while holding a CSR matrix (the
+     * canonical master-copy format of served matrices; fatal for
+     * any other holder). Semantics are those of engine/mutate.hh;
+     * callers must serialize against concurrent readers.
+     */
+    MutationStats applyUpdates(const fmt::CooMatrix& deltas,
+                               const StructureListener& listener = {});
+    MutationStats replaceRows(const std::vector<Index>& rows,
+                              const fmt::CooMatrix& replacement,
+                              const StructureListener& listener = {});
+    MutationStats scaleValues(Value factor);
+
   private:
+    /** The held CSR master, checked (mutation API plumbing). */
+    fmt::CsrMatrix& mutableCsr();
+
     std::variant<fmt::CooMatrix, fmt::CsrMatrix, fmt::CscMatrix,
                  fmt::BcsrMatrix, fmt::EllMatrix, fmt::DiaMatrix,
                  fmt::DenseMatrix, core::SmashMatrix>

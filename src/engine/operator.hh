@@ -6,6 +6,11 @@
  * produces exactly that from any engine matrix. Padding of x to the
  * format's operand length happens inside the dispatch, so solver
  * code stays format-blind.
+ *
+ * Ownership/threading contract: the functor borrows both the
+ * matrix view and the execution model — they must outlive it (a
+ * solver run). Concurrent applications are safe when the
+ * underlying execution model's dispatch is.
  */
 
 #ifndef SMASH_ENGINE_OPERATOR_HH

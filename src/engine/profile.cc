@@ -1,0 +1,104 @@
+#include "engine/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smash::eng
+{
+
+StructureTracker::StructureTracker(const fmt::CsrMatrix& m, Index block)
+    : rows_(m.rows()), cols_(m.cols()), block_(block)
+{
+    SMASH_CHECK(block_ >= 1, "block must be positive");
+    blocks_per_row_ = std::max<Index>(1, (cols_ + block_ - 1) / block_);
+    row_pop_.assign(static_cast<std::size_t>(rows_), 0);
+    for (Index r = 0; r < rows_; ++r) {
+        const auto k0 = static_cast<std::size_t>(
+            m.rowPtr()[static_cast<std::size_t>(r)]);
+        const auto k1 = static_cast<std::size_t>(
+            m.rowPtr()[static_cast<std::size_t>(r) + 1]);
+        for (std::size_t k = k0; k < k1; ++k)
+            onStructureChange(r, Index(m.colInd()[k]), true);
+    }
+    changed_ = 0; // the initial scan is the baseline, not drift
+}
+
+void
+StructureTracker::onStructureChange(Index row, Index col, bool inserted)
+{
+    const Index diag = col - row;
+    const auto blk = static_cast<std::uint64_t>(
+        row * blocks_per_row_ + col / block_);
+    if (inserted) {
+        ++nnz_;
+        ++row_pop_[static_cast<std::size_t>(row)];
+        ++diag_pop_[diag];
+        ++block_pop_[blk];
+    } else {
+        --nnz_;
+        --row_pop_[static_cast<std::size_t>(row)];
+        auto d = diag_pop_.find(diag);
+        SMASH_CHECK(d != diag_pop_.end(),
+                    "tracker removal of an unknown diagonal");
+        if (--d->second == 0)
+            diag_pop_.erase(d);
+        auto b = block_pop_.find(blk);
+        SMASH_CHECK(b != block_pop_.end(),
+                    "tracker removal of an unknown block");
+        if (--b->second == 0)
+            block_pop_.erase(b);
+    }
+    ++changed_;
+}
+
+StructureStats
+StructureTracker::stats() const
+{
+    // Mirrors analyzeStructure() definition-for-definition; the two
+    // must agree so the drift detector re-decides on the same
+    // boundaries the registration decision used.
+    StructureStats s;
+    s.rows = rows_;
+    s.cols = cols_;
+    s.nnz = nnz_;
+    s.localityBlock = block_;
+    if (rows_ == 0 || cols_ == 0 || nnz_ == 0)
+        return s;
+
+    s.density = static_cast<double>(nnz_) /
+        (static_cast<double>(rows_) * static_cast<double>(cols_));
+    s.avgNnzPerRow = static_cast<double>(nnz_) /
+        static_cast<double>(rows_);
+
+    double var = 0;
+    for (Index pop : row_pop_) {
+        const double d = static_cast<double>(pop) - s.avgNnzPerRow;
+        var += d * d;
+        s.maxNnzPerRow = std::max(s.maxNnzPerRow, pop);
+    }
+    var /= static_cast<double>(rows_);
+    s.rowCv = s.avgNnzPerRow > 0
+        ? std::sqrt(var) / s.avgNnzPerRow
+        : 0.0;
+
+    s.numDiagonals = static_cast<Index>(diag_pop_.size());
+    Index diag_capacity = 0;
+    for (const auto& [off, pop] : diag_pop_) {
+        (void)pop;
+        const Index len = off >= 0 ? std::min(rows_, cols_ - off)
+                                   : std::min(cols_, rows_ + off);
+        diag_capacity += std::max<Index>(len, 0);
+    }
+    s.diagonalFill = diag_capacity > 0
+        ? static_cast<double>(nnz_) / static_cast<double>(diag_capacity)
+        : 0.0;
+
+    s.blockLocality = static_cast<double>(nnz_) /
+        (static_cast<double>(block_pop_.size()) *
+         static_cast<double>(block_));
+    return s;
+}
+
+} // namespace smash::eng

@@ -53,6 +53,13 @@ CsrMatrix::fromRaw(Index rows, Index cols, std::vector<CsrIndex> rowPtr,
     return csr;
 }
 
+void
+CsrMatrix::scaleValues(Value factor)
+{
+    for (Value& v : values_)
+        v *= factor;
+}
+
 Index
 CsrMatrix::rowNnz(Index r) const
 {

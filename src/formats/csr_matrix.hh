@@ -52,6 +52,14 @@ class CsrMatrix
     const std::vector<CsrIndex>& colInd() const { return colInd_; }
     const std::vector<Value>& values() const { return values_; }
 
+    /**
+     * Multiply every stored value by @p factor in place. Structure
+     * (row_ptr/col_ind) is untouched by construction, so no
+     * re-validation is needed; scaling by zero leaves explicit
+     * zeros (fromRaw() semantics).
+     */
+    void scaleValues(Value factor);
+
     /** Number of non-zeros in row @p r. */
     Index rowNnz(Index r) const;
 

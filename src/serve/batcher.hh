@@ -11,6 +11,14 @@
  * latency at low load). The flush callback receives the whole
  * batch; the pipeline lowers it onto eng::spmvBatch, whose one
  * traversal of the sparse operand serves every request.
+ *
+ * Ownership/threading contract: the Batcher owns its queues and
+ * timer thread; requests own their promises until a flush hands
+ * them to the callback. enqueue()/flushAll() are thread-safe, and
+ * the flush callback always runs with no Batcher lock held (it may
+ * re-enter the pool or run compute inline). The callback must
+ * outlive the Batcher; destruction stops the timer, then flushes
+ * every remaining queue.
  */
 
 #ifndef SMASH_SERVE_BATCHER_HH

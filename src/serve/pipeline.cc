@@ -63,6 +63,21 @@ Pipeline::postPrepare(const std::string& matrix, Request request,
 }
 
 void
+Pipeline::postReencode(const std::string& matrix)
+{
+    stats_.reencodes.fetch_add(1, std::memory_order_relaxed);
+    // Capture the registry, not `this`: the task is not counted as
+    // in-flight, so it may still sit in the pool's queue while the
+    // owning Session destroys this pipeline — the registry is the
+    // one party guaranteed to outlive the pool's drain-before-join.
+    MatrixRegistry& registry = registry_;
+    const bool posted = pool_.tryPost(
+        [&registry, matrix] { registry.runReencode(matrix); });
+    if (!posted)
+        registry.runReencode(matrix);
+}
+
+void
 Pipeline::postCompute(const std::string& matrix,
                       std::vector<Request> batch)
 {
@@ -86,7 +101,11 @@ void
 Pipeline::computeBatch(const std::string& matrix,
                        std::vector<Request>& batch)
 {
-    const eng::SparseMatrixAny& m = registry_.encoded(matrix);
+    // The shared_ptr pins this epoch's encoding for the whole
+    // compute: a concurrent mutation or drift re-encode swaps the
+    // registry slot without pulling the matrix out from under us.
+    const MatrixRegistry::EncodingPtr held = registry_.encoded(matrix);
+    const eng::SparseMatrixAny& m = *held;
     const Index rows = m.rows();
     const auto nrhs = static_cast<Index>(batch.size());
 

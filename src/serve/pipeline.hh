@@ -17,6 +17,17 @@
  * fig20 conversion cost hides behind in-flight work instead of
  * serializing in front of it. Errors travel through the promises:
  * a stage failure rejects exactly the requests it was carrying.
+ *
+ * The pipeline is also the registry's re-encode scheduler: when a
+ * mutated matrix drifts across a format boundary, postReencode()
+ * runs the rebuild as one more pool task, so requests keep flowing
+ * on the old encoding (their compute stages hold its shared_ptr)
+ * until the registry swaps the new one in.
+ *
+ * Ownership/threading contract: the pipeline borrows the registry
+ * and the pool — both must outlive it. All entry points are
+ * thread-safe; drain() may be called from any thread and blocks
+ * until the in-flight request count reaches zero.
  */
 
 #ifndef SMASH_SERVE_PIPELINE_HH
@@ -53,6 +64,7 @@ struct PipelineStats
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> widestBatch{0};
+    std::atomic<std::uint64_t> reencodes{0}; //!< drift re-encodes run
 };
 
 /** Stage bodies + in-flight accounting of the serving pipeline. */
@@ -79,6 +91,15 @@ class Pipeline
     /** Stage 2 entry: post the compute task for a flushed batch. */
     void postCompute(const std::string& matrix,
                      std::vector<Request> batch);
+
+    /**
+     * Maintenance entry: run the registry's pending re-encode for
+     * @p matrix as a pool task (the ReencodeHook target). Falls
+     * back to running inline when the pool is already shutting
+     * down — the swap is perf-only, so correctness never depends
+     * on where it executes.
+     */
+    void postReencode(const std::string& matrix);
 
     /**
      * Block until every submitted request has been delivered or

@@ -1,5 +1,6 @@
 #include "serve/registry.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -9,13 +10,39 @@ namespace smash::serve
 {
 
 eng::Format
+MatrixRegistry::insertSlot(const std::string& name,
+                           fmt::CsrMatrix master,
+                           eng::StructureTracker profile,
+                           eng::Format format,
+                           const eng::SparseMatrixAny::BuildOptions&
+                               build)
+{
+    auto slot = std::make_unique<Slot>();
+    slot->master = std::move(master);
+    slot->profile = std::move(profile);
+    slot->chosen = format;
+    slot->pendingTarget = format;
+    slot->build = build;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        slots_.emplace(name, std::move(slot)).second;
+    SMASH_CHECK(inserted, "registry already holds a matrix named '",
+                name, "'");
+    return format;
+}
+
+eng::Format
 MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo)
 {
     if (!coo.isCanonical())
         coo.canonicalize();
-    // §7.2.3-style structure analysis, run exactly once per matrix.
-    const eng::Format chosen = eng::chooseFormat(coo);
-    return put(name, std::move(coo), chosen);
+    // §7.2.3-style structure analysis, run exactly once per matrix
+    // (the tracker's one-pass scan doubles as the initial profile).
+    fmt::CsrMatrix master = fmt::CsrMatrix::fromCoo(coo);
+    eng::StructureTracker profile(master);
+    const eng::Format chosen = eng::chooseFormat(profile.stats());
+    return insertSlot(name, std::move(master), std::move(profile),
+                      chosen, eng::SparseMatrixAny::BuildOptions());
 }
 
 eng::Format
@@ -33,16 +60,10 @@ MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo,
 {
     if (!coo.isCanonical())
         coo.canonicalize();
-    auto slot = std::make_unique<Slot>();
-    slot->coo = std::move(coo);
-    slot->chosen = format;
-    slot->build = build;
-    std::lock_guard<std::mutex> lock(mutex_);
-    const bool inserted =
-        slots_.emplace(name, std::move(slot)).second;
-    SMASH_CHECK(inserted, "registry already holds a matrix named '",
-                name, "'");
-    return format;
+    fmt::CsrMatrix master = fmt::CsrMatrix::fromCoo(coo);
+    eng::StructureTracker profile(master);
+    return insertSlot(name, std::move(master), std::move(profile),
+                      format, build);
 }
 
 bool
@@ -65,42 +86,265 @@ MatrixRegistry::slot(const std::string& name) const
 Index
 MatrixRegistry::rows(const std::string& name) const
 {
-    return slot(name).coo.rows();
+    // The master is mutable now: even shape reads take the slot
+    // lock (adopt() move-assigns the whole CsrMatrix).
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.master.rows();
 }
 
 Index
 MatrixRegistry::cols(const std::string& name) const
 {
-    return slot(name).coo.cols();
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.master.cols();
 }
 
 eng::Format
 MatrixRegistry::format(const std::string& name) const
 {
-    return slot(name).chosen;
-}
-
-const eng::SparseMatrixAny&
-MatrixRegistry::encoded(const std::string& name)
-{
-    Slot& s = slot(name);
-    return encodedAs(name, s.chosen);
-}
-
-const eng::SparseMatrixAny&
-MatrixRegistry::encodedAs(const std::string& name, eng::Format format)
-{
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
+    return s.chosen;
+}
+
+MatrixRegistry::EncodingPtr
+MatrixRegistry::encodedLocked(Slot& s, eng::Format format)
+{
     auto it = s.encodings.find(format);
     if (it == s.encodings.end()) {
         it = s.encodings
-                 .emplace(format, eng::SparseMatrixAny::fromCoo(
-                                      s.coo, format, s.build))
+                 .emplace(format,
+                          std::make_shared<const eng::SparseMatrixAny>(
+                              eng::SparseMatrixAny::fromCsr(
+                                  s.master, format, s.build)))
                  .first;
         ++s.conversions;
     }
     return it->second;
+}
+
+MatrixRegistry::EncodingPtr
+MatrixRegistry::encoded(const std::string& name)
+{
+    // Resolve the current format and the encoding under one
+    // critical section: reading chosen, dropping the lock, and
+    // re-locking would let a concurrent re-encode swap land in
+    // between — and this call would then rebuild and cache the
+    // just-retired format.
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return encodedLocked(s, s.chosen);
+}
+
+MatrixRegistry::EncodingPtr
+MatrixRegistry::encodedAs(const std::string& name, eng::Format format)
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return encodedLocked(s, format);
+}
+
+MatrixRegistry::ReencodeHook
+MatrixRegistry::finishMutation(Slot& s, bool structural,
+                               UpdateOutcome& out)
+{
+    out.target = s.reencodePending ? s.pendingTarget : s.chosen;
+    if (out.stats.inserted + out.stats.removed + out.stats.updated ==
+        0) {
+        // Nothing changed (empty deltas, scale by 1): keep the
+        // cached encodings — invalidation would force a pointless
+        // reconversion (the fig20 cost) on the next request.
+        return nullptr;
+    }
+    // Values changed: every cached encoding is stale. In-flight
+    // readers keep their shared_ptr epochs; the next encoded() call
+    // rebuilds from the new master.
+    ++s.epoch;
+    s.encodings.clear();
+    if (!structural)
+        return nullptr; // value-only change cannot move a boundary
+
+    ReselectPolicy policy;
+    ReencodeHook hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        policy = policy_;
+        hook = hook_;
+    }
+    if (!policy.enabled || s.reencodePending)
+        return nullptr;
+    // Cheap gate first: don't even snapshot the profile until the
+    // accumulated structural churn is worth a decision.
+    const Index changed = s.profile.changedSinceRebase();
+    const Index need = std::max(
+        policy.minChanged,
+        static_cast<Index>(policy.minChangedFraction *
+                           static_cast<double>(
+                               std::max<Index>(1, s.profile.nnz()))));
+    if (changed < need)
+        return nullptr;
+    const eng::Format target = eng::chooseFormatSticky(
+        s.profile.stats(), s.chosen, policy.margin);
+    if (target == s.chosen) {
+        // Inside the hysteresis band: stay put, and restart the
+        // drift accumulation so the next check needs fresh churn.
+        s.profile.rebase();
+        return nullptr;
+    }
+    s.reencodePending = true;
+    s.pendingTarget = target;
+    out.reencodeScheduled = true;
+    out.target = target;
+    if (hook)
+        return hook;
+    // No scheduler attached: re-encode synchronously on the
+    // mutating thread (standalone registry use).
+    return [this](const std::string& n, eng::Format) {
+        runReencode(n);
+    };
+}
+
+UpdateOutcome
+MatrixRegistry::applyUpdates(const std::string& name,
+                             fmt::CooMatrix deltas)
+{
+    if (!deltas.isCanonical())
+        deltas.canonicalize();
+    Slot& s = slot(name);
+    UpdateOutcome out;
+    ReencodeHook fire;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        eng::StructureTracker& tracker = s.profile;
+        out.stats = eng::applyUpdates(
+            s.master, deltas,
+            [&tracker](Index r, Index c, bool inserted) {
+                tracker.onStructureChange(r, c, inserted);
+            });
+        fire = finishMutation(s, out.stats.structural() > 0, out);
+    }
+    if (fire)
+        fire(name, out.target);
+    return out;
+}
+
+UpdateOutcome
+MatrixRegistry::replaceRows(const std::string& name,
+                            const std::vector<Index>& rows,
+                            fmt::CooMatrix replacement)
+{
+    if (!replacement.isCanonical())
+        replacement.canonicalize();
+    Slot& s = slot(name);
+    UpdateOutcome out;
+    ReencodeHook fire;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        eng::StructureTracker& tracker = s.profile;
+        out.stats = eng::replaceRows(
+            s.master, rows, replacement,
+            [&tracker](Index r, Index c, bool inserted) {
+                tracker.onStructureChange(r, c, inserted);
+            });
+        fire = finishMutation(s, out.stats.structural() > 0, out);
+    }
+    if (fire)
+        fire(name, out.target);
+    return out;
+}
+
+UpdateOutcome
+MatrixRegistry::scaleValues(const std::string& name, Value factor)
+{
+    Slot& s = slot(name);
+    UpdateOutcome out;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        out.stats = eng::scaleValues(s.master, factor);
+        finishMutation(s, false, out);
+    }
+    return out;
+}
+
+eng::StructureStats
+MatrixRegistry::profile(const std::string& name) const
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.profile.stats();
+}
+
+void
+MatrixRegistry::runReencode(const std::string& name)
+{
+    Slot& s = slot(name);
+    // A mutation may land while the new encoding builds (the build
+    // runs with no lock held, so serving and updates continue). The
+    // epoch check detects that; a few retries chase a busy matrix,
+    // after which the pending flag clears so a later mutation can
+    // re-trigger the reselection.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        fmt::CsrMatrix snapshot;
+        eng::Format target;
+        eng::SparseMatrixAny::BuildOptions build;
+        std::uint64_t epoch;
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            if (!s.reencodePending)
+                return;
+            snapshot = s.master;
+            target = s.pendingTarget;
+            build = s.build;
+            epoch = s.epoch;
+        }
+        auto built = std::make_shared<const eng::SparseMatrixAny>(
+            eng::SparseMatrixAny::fromCsr(snapshot, target, build));
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            if (s.epoch != epoch)
+                continue; // master moved underneath: rebuild
+            // Atomic swap: the new epoch becomes the primary; any
+            // reader still holding the old shared_ptr finishes on
+            // the old encoding.
+            s.chosen = target;
+            s.encodings.clear();
+            s.encodings.emplace(target, std::move(built));
+            ++s.conversions;
+            ++s.reselects;
+            s.reencodePending = false;
+            s.profile.rebase();
+            return;
+        }
+    }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.reencodePending = false;
+}
+
+void
+MatrixRegistry::setReencodeHook(ReencodeHook hook, const void* owner)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook_ = std::move(hook);
+    hookOwner_ = hook_ ? owner : nullptr;
+}
+
+void
+MatrixRegistry::clearReencodeHook(const void* owner)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (hookOwner_ != owner)
+        return; // a newer owner installed its own hook: keep it
+    hook_ = nullptr;
+    hookOwner_ = nullptr;
+}
+
+void
+MatrixRegistry::setReselectPolicy(const ReselectPolicy& policy)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    policy_ = policy;
 }
 
 std::size_t
@@ -111,6 +355,14 @@ MatrixRegistry::conversions(const std::string& name) const
     return s.conversions;
 }
 
+std::size_t
+MatrixRegistry::reselects(const std::string& name) const
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.reselects;
+}
+
 MatrixInfo
 MatrixRegistry::info(const std::string& name) const
 {
@@ -118,10 +370,13 @@ MatrixRegistry::info(const std::string& name) const
     std::lock_guard<std::mutex> lock(s.mutex);
     MatrixInfo out;
     out.chosen = s.chosen;
-    out.rows = s.coo.rows();
-    out.cols = s.coo.cols();
-    out.nnz = s.coo.nnz();
+    out.rows = s.master.rows();
+    out.cols = s.master.cols();
+    out.nnz = s.master.nnz();
     out.conversions = s.conversions;
+    out.reselects = s.reselects;
+    out.epoch = s.epoch;
+    out.reencodePending = s.reencodePending;
     out.cached.reserve(s.encodings.size());
     for (const auto& [format, encoding] : s.encodings)
         out.cached.push_back(format);

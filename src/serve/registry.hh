@@ -1,27 +1,42 @@
 /**
  * @file
- * MatrixRegistry: the serving layer's owner of named matrices.
+ * MatrixRegistry: the serving layer's owner of named, mutable
+ * matrices.
  *
- * put() registers a canonical COO matrix under a name and runs the
- * engine's §7.2.3-style structure analysis once to pick its primary
- * format. Encodings are built lazily — the first encoded() call
- * converts (that is the pipeline's encode/convert stage, the cost
- * fig20 shows can dominate short-running kernels) and every later
- * call returns the cached object, so a matrix is converted at most
- * once per requested format for its lifetime.
+ * put() registers a matrix under a name, runs the engine's §7.2.3
+ * structure analysis once to pick its primary format, and keeps the
+ * content as a canonical CSR *master copy*. Encodings are built
+ * lazily from the master — the first encoded() call converts (the
+ * cost fig20 shows can dominate short-running kernels) and later
+ * calls return the cached object.
  *
- * Thread-safe: the name table and each slot's encoding cache are
- * independently locked, so conversions of different matrices
- * proceed concurrently while two racing requests for the same
- * (matrix, format) pair produce exactly one conversion. Returned
- * references stay valid for the registry's lifetime (encodings are
- * never evicted).
+ * Served matrices drift. The mutation API (applyUpdates /
+ * replaceRows / scaleValues) applies deltas to the master,
+ * invalidates every cached encoding (values changed), and feeds an
+ * incremental StructureTracker. When enough structure has changed
+ * (ReselectPolicy::minChangedFraction) and the profile has crossed
+ * a §7.2.3 format boundary *decisively* (chooseFormatSticky's
+ * hysteresis margin), the registry schedules one re-encode: through
+ * the installed hook when a serving pipeline is attached (async, on
+ * the shared ThreadPool), inline otherwise. runReencode() builds
+ * the new encoding from a snapshot and swaps it in atomically.
+ *
+ * Ownership/threading contract: all entry points are thread-safe —
+ * the name table and each slot are independently locked, and
+ * mutations of one matrix serialize on its slot. encoded() returns
+ * shared_ptr snapshots: a reader holds whatever epoch it fetched
+ * for as long as it needs (in-flight requests keep computing on the
+ * old encoding while a re-encode swaps the slot underneath), and
+ * the last holder frees it. The hook is invoked with no registry
+ * lock held.
  */
 
 #ifndef SMASH_SERVE_REGISTRY_HH
 #define SMASH_SERVE_REGISTRY_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,34 +45,69 @@
 #include <vector>
 
 #include "engine/matrix_any.hh"
+#include "engine/profile.hh"
 #include "formats/coo_matrix.hh"
 
 namespace smash::serve
 {
 
+/** When drift re-selection fires (see MatrixRegistry). */
+struct ReselectPolicy
+{
+    bool enabled = true;
+    /** Structural changes since the last baseline, as a fraction of
+     *  the current nnz, before the profile is even re-examined. */
+    double minChangedFraction = 0.05;
+    Index minChanged = 16; //!< absolute floor on that change count
+    /** Hysteresis band on the §7.2.3 boundaries: leaving the
+     *  current format must beat them by this margin. */
+    double margin = 0.1;
+};
+
 /** Snapshot of one registered matrix (for stats and tooling). */
 struct MatrixInfo
 {
-    eng::Format chosen;            //!< auto- or caller-selected format
+    eng::Format chosen;            //!< current primary format
     Index rows = 0;
     Index cols = 0;
     Index nnz = 0;
     std::size_t conversions = 0;   //!< encodings built so far
+    std::size_t reselects = 0;     //!< drift-triggered format swaps
+    std::uint64_t epoch = 0;       //!< bumped by every mutation
+    bool reencodePending = false;  //!< a re-encode is scheduled
     std::vector<eng::Format> cached; //!< formats currently encoded
 };
 
-/** Named-matrix store with one-time selection and cached encodings. */
+/** What one mutation call changed and triggered. */
+struct UpdateOutcome
+{
+    eng::MutationStats stats;       //!< entry-level change counts
+    bool reencodeScheduled = false; //!< this call crossed a boundary
+    /** Format the matrix is headed for: the pending re-encode's
+     *  target, or the current primary when none is pending. */
+    eng::Format target = eng::Format::kCsr;
+};
+
+/** Named-matrix store: cached encodings + drift-aware reselection. */
 class MatrixRegistry
 {
   public:
+    /** Reader's handle on one encoding epoch. */
+    using EncodingPtr = std::shared_ptr<const eng::SparseMatrixAny>;
+    /** Re-encode scheduler: must eventually call runReencode(name)
+     *  (the serving pipeline posts it onto the thread pool). */
+    using ReencodeHook =
+        std::function<void(const std::string& name, eng::Format target)>;
+
     MatrixRegistry() = default;
     MatrixRegistry(const MatrixRegistry&) = delete;
     MatrixRegistry& operator=(const MatrixRegistry&) = delete;
 
     /**
      * Register @p coo under @p name (must be unused) and analyze
-     * its structure once to choose the primary format. The matrix
-     * is canonicalized if needed; no encoding is built yet.
+     * its structure once to choose the primary format. The content
+     * is canonicalized into the CSR master copy; no encoding is
+     * built yet.
      * @return the chosen format
      */
     eng::Format put(const std::string& name, fmt::CooMatrix coo);
@@ -71,21 +121,67 @@ class MatrixRegistry
     Index rows(const std::string& name) const;
     Index cols(const std::string& name) const;
 
-    /** Primary format chosen at put() time. */
+    /** Current primary format (put()-time choice until a
+     *  drift-triggered re-encode swaps it). */
     eng::Format format(const std::string& name) const;
 
     /**
-     * The primary encoding; converts on first use, cached after.
-     * The reference stays valid for the registry's lifetime.
+     * The primary encoding; converts on first use, cached until the
+     * next mutation or format swap. The returned shared_ptr pins
+     * that epoch's object for as long as the caller holds it.
      */
-    const eng::SparseMatrixAny& encoded(const std::string& name);
+    EncodingPtr encoded(const std::string& name);
 
     /** Encoding in an explicit format (same caching contract). */
-    const eng::SparseMatrixAny& encodedAs(const std::string& name,
-                                          eng::Format format);
+    EncodingPtr encodedAs(const std::string& name, eng::Format format);
+
+    /**
+     * Mutation API. Each call applies to the CSR master under the
+     * slot lock, invalidates the cached encodings, updates the
+     * incremental profile, and runs the drift detector; results
+     * served afterwards reflect the new content (the next encoded()
+     * call rebuilds in the current format).
+     */
+    UpdateOutcome applyUpdates(const std::string& name,
+                               fmt::CooMatrix deltas);
+    UpdateOutcome replaceRows(const std::string& name,
+                              const std::vector<Index>& rows,
+                              fmt::CooMatrix replacement);
+    UpdateOutcome scaleValues(const std::string& name, Value factor);
+
+    /** Incrementally maintained structural profile. */
+    eng::StructureStats profile(const std::string& name) const;
+
+    /**
+     * Execute the pending re-encode for @p name (no-op when none is
+     * pending): snapshot the master, build the target encoding
+     * outside the lock, and swap it in atomically if no mutation
+     * intervened (retrying a few times when one did). This is what
+     * the hook must eventually invoke; with no hook installed the
+     * registry calls it inline from the mutating thread.
+     */
+    void runReencode(const std::string& name);
+
+    /**
+     * Install (or clear, with nullptr) the re-encode scheduler.
+     * serve::Session installs one that posts onto its pipeline.
+     * @p owner tags the installation so clearReencodeHook() from a
+     * stale owner cannot wipe a newer session's hook.
+     */
+    void setReencodeHook(ReencodeHook hook,
+                         const void* owner = nullptr);
+
+    /** Clear the hook only if @p owner still owns it (a destroyed
+     *  session must not detach its successor's scheduler). */
+    void clearReencodeHook(const void* owner);
+
+    /** Policy for every registered matrix (tunable at runtime). */
+    void setReselectPolicy(const ReselectPolicy& policy);
 
     /** Conversions performed so far for @p name. */
     std::size_t conversions(const std::string& name) const;
+    /** Drift-triggered format swaps completed so far. */
+    std::size_t reselects(const std::string& name) const;
 
     MatrixInfo info(const std::string& name) const;
     std::vector<std::string> names() const;
@@ -93,20 +189,44 @@ class MatrixRegistry
   private:
     struct Slot
     {
-        fmt::CooMatrix coo;
+        fmt::CsrMatrix master;     //!< canonical content, mutable
         eng::Format chosen;
         eng::SparseMatrixAny::BuildOptions build;
-        /** Guards encodings/conversions; held across a conversion
-         *  so racing requests build each encoding exactly once. */
+        eng::StructureTracker profile;
+        /** Guards everything above and below; held across a
+         *  conversion so racing requests build each encoding
+         *  exactly once, released while a re-encode builds. */
         mutable std::mutex mutex;
-        std::map<eng::Format, eng::SparseMatrixAny> encodings;
+        std::map<eng::Format, EncodingPtr> encodings;
         std::size_t conversions = 0;
+        std::size_t reselects = 0;
+        std::uint64_t epoch = 0;
+        bool reencodePending = false;
+        eng::Format pendingTarget = eng::Format::kCsr;
     };
 
     Slot& slot(const std::string& name) const;
+    /** Find-or-build one encoding; s.mutex must be held. */
+    EncodingPtr encodedLocked(Slot& s, eng::Format format);
+    /** Shared put() tail: build and insert one slot (name unused). */
+    eng::Format insertSlot(const std::string& name,
+                           fmt::CsrMatrix master,
+                           eng::StructureTracker profile,
+                           eng::Format format,
+                           const eng::SparseMatrixAny::BuildOptions&
+                               build);
+    /** Shared mutation tail: bump the epoch, drop stale encodings,
+     *  and run the drift detector. Returns the hook to fire (only
+     *  when this call scheduled the re-encode), for invocation
+     *  after the slot lock is released. */
+    ReencodeHook finishMutation(Slot& s, bool structural,
+                                UpdateOutcome& out);
 
-    mutable std::mutex mutex_; //!< guards the name table only
+    mutable std::mutex mutex_; //!< guards the name table + hook/policy
     std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+    ReencodeHook hook_;
+    const void* hookOwner_ = nullptr;
+    ReselectPolicy policy_;
 };
 
 } // namespace smash::serve

@@ -15,10 +15,24 @@ Session::Session(MatrixRegistry& registry, const SessionOptions& options)
                       std::vector<Request> batch) {
                    pipeline_.postCompute(matrix, std::move(batch));
                })
-{}
+{
+    // Drift re-encodes of served matrices run as tasks on this
+    // session's pool (latest-constructed session wins the hook
+    // when several share the registry).
+    registry_.setReencodeHook(
+        [this](const std::string& matrix, eng::Format) {
+            pipeline_.postReencode(matrix);
+        },
+        this);
+}
 
 Session::~Session()
 {
+    // Detach from the registry first: a mutation arriving during
+    // teardown must not schedule work onto the dying pipeline. The
+    // owner tag keeps this from wiping a newer session's hook on a
+    // shared registry.
+    registry_.clearReencodeHook(this);
     // Members tear down in reverse order (batcher, pipeline, pool),
     // but a stage-1 task still running on the pool may touch the
     // batcher — so drain everything first, while all parts live.
@@ -39,6 +53,26 @@ Session::submit(const std::string& matrix, std::vector<Value> x)
         request.result.get_future();
     pipeline_.postPrepare(matrix, std::move(request), batcher_);
     return future;
+}
+
+UpdateOutcome
+Session::applyUpdates(const std::string& matrix, fmt::CooMatrix deltas)
+{
+    return registry_.applyUpdates(matrix, std::move(deltas));
+}
+
+UpdateOutcome
+Session::replaceRows(const std::string& matrix,
+                     const std::vector<Index>& rows,
+                     fmt::CooMatrix replacement)
+{
+    return registry_.replaceRows(matrix, rows, std::move(replacement));
+}
+
+UpdateOutcome
+Session::scaleValues(const std::string& matrix, Value factor)
+{
+    return registry_.scaleValues(matrix, factor);
 }
 
 void

@@ -19,6 +19,21 @@
  * Sessions are thread-safe: any number of client threads may
  * submit() concurrently, and several Sessions may share one
  * registry (conversions are still performed once).
+ *
+ * A Session also installs itself as the registry's re-encode
+ * scheduler: when a mutation (applyUpdates/replaceRows/scaleValues,
+ * callable on the session or the registry) drifts a matrix across
+ * a §7.2.3 format boundary, the rebuild runs asynchronously on this
+ * session's pool while requests keep being served from the old
+ * encoding. With several sessions on one registry the most recently
+ * constructed session schedules re-encodes; destroying it falls
+ * back to synchronous (inline) reselection.
+ *
+ * Ownership/threading contract: the Session borrows the registry,
+ * which must outlive it, and owns its pool/batcher/pipeline. Do not
+ * mutate matrices concurrently with destroying the session serving
+ * them — the destructor clears the hook, but a mutation already
+ * past the hook copy may still post onto the dying pool.
  */
 
 #ifndef SMASH_SERVE_SESSION_HH
@@ -67,6 +82,19 @@ class Session
      */
     std::future<std::vector<Value>>
     submit(const std::string& matrix, std::vector<Value> x);
+
+    /**
+     * Mutation passthroughs: apply to the shared registry, with any
+     * drift-triggered re-encode scheduled on this session's pool.
+     * Safe to call while requests are in flight — they finish on
+     * the encoding epoch they already hold.
+     */
+    UpdateOutcome applyUpdates(const std::string& matrix,
+                               fmt::CooMatrix deltas);
+    UpdateOutcome replaceRows(const std::string& matrix,
+                              const std::vector<Index>& rows,
+                              fmt::CooMatrix replacement);
+    UpdateOutcome scaleValues(const std::string& matrix, Value factor);
 
     /** Flush partial batches and wait for every in-flight request. */
     void drain();

@@ -287,6 +287,38 @@ genPoisson2d(Index nx, Index ny)
 }
 
 fmt::CooMatrix
+genTridiagonal(Index n)
+{
+    fmt::CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i) {
+        coo.add(i, i, Value(4));
+        if (i > 0)
+            coo.add(i, i - 1, Value(-1));
+        if (i + 1 < n)
+            coo.add(i, i + 1, Value(-1));
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+fmt::CooMatrix
+genScatterDeltas(Index rows, Index cols, Index count,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    fmt::CooMatrix d(rows, cols);
+    for (Index i = 0; i < count; ++i) {
+        const auto r = static_cast<Index>(
+            rng.below(static_cast<std::uint64_t>(rows)));
+        const auto c = static_cast<Index>(
+            rng.below(static_cast<std::uint64_t>(cols)));
+        d.add(r, c, Value(0.5));
+    }
+    d.canonicalize();
+    return d;
+}
+
+fmt::CooMatrix
 genDiagDominant(Index n, Index off_diag, double margin, std::uint64_t seed)
 {
     SMASH_CHECK(n > 0, "matrix dimension must be positive");

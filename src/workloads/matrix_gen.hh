@@ -77,6 +77,24 @@ fmt::CooMatrix genWithLocality(Index rows, Index cols, Index nnz,
 fmt::CooMatrix genPoisson2d(Index nx, Index ny);
 
 /**
+ * Tridiagonal (-1, 4, -1) system with dyadic values — the
+ * DIA-friendly starting point of the drift studies. Every value is
+ * a dyadic rational, so any summation order over it is exact in
+ * doubles (the "bit-identical across a format swap" test property).
+ */
+fmt::CooMatrix genTridiagonal(Index n);
+
+/**
+ * @p count scattered dyadic deltas (value 0.5) at uniform random
+ * coordinates: the drift-delta batches of the serving layer's
+ * update path. Duplicate coordinates within one batch merge by
+ * addition (still dyadic); collisions with existing entries become
+ * value updates when applied.
+ */
+fmt::CooMatrix genScatterDeltas(Index rows, Index cols, Index count,
+                                std::uint64_t seed);
+
+/**
  * Random diagonally dominant non-symmetric matrix: ~@p off_diag
  * off-diagonal entries per row in (-1, 1), diagonal set to
  * (row sum of |off-diagonals|) + @p margin. Guaranteed solvable by

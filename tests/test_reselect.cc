@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the update-and-reselect subsystem: CSR master mutation
+ * (COO deltas, row replacement, value scaling) against dense
+ * oracles, the incremental StructureTracker against the full-scan
+ * analyzeStructure(), hysteresis in chooseFormatSticky(), and the
+ * registry/session drift path — drift deltas trigger exactly one
+ * re-encode, results submitted across the swap stay bit-identical
+ * (all test values are dyadic rationals, so every summation order
+ * is exact), and thrash near a boundary is suppressed.
+ *
+ * Thread counts: SMASH_SERVE_THREADS pins one count (the ctest
+ * variants run 1, 2, and 8); unset, every count is covered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "engine/autoselect.hh"
+#include "engine/dispatch.hh"
+#include "engine/mutate.hh"
+#include "engine/profile.hh"
+#include "formats/dense_matrix.hh"
+#include "serve/session.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash
+{
+namespace
+{
+
+std::vector<int>
+threadCounts()
+{
+    if (const char* env = std::getenv("SMASH_SERVE_THREADS"))
+        return {std::atoi(env)};
+    return {1, 2, 8};
+}
+
+/** Dyadic-valued operand (multiples of 2^-4): exact in any order. */
+std::vector<Value>
+dyadicOperand(Index n, Index kind)
+{
+    std::vector<Value> x(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(i)] =
+            Value(1) + Value((i * 5 + kind) % 9) * Value(0.0625);
+    return x;
+}
+
+/** Wait until no re-encode is pending for @p name. */
+bool
+waitReencodeSettled(serve::MatrixRegistry& registry,
+                    const std::string& name)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(5);
+    while (registry.info(name).reencodePending) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+TEST(Mutate, ApplyUpdatesMatchesDenseOracle)
+{
+    const fmt::CooMatrix base = wl::genClustered(40, 40, 300, 4, 7);
+    fmt::CsrMatrix m = fmt::CsrMatrix::fromCoo(base);
+
+    fmt::CooMatrix deltas(40, 40);
+    // Overlap an existing coordinate, insert fresh ones, and cancel
+    // one entry exactly.
+    const fmt::CooEntry first = base.entries().front();
+    deltas.add(first.row, first.col, Value(0.5));
+    const fmt::CooEntry last = base.entries().back();
+    deltas.add(last.row, last.col, -last.value); // exact cancel
+    deltas.add(0, 39, Value(2));
+    deltas.add(39, 0, Value(-3));
+    deltas.canonicalize();
+
+    const eng::MutationStats stats = eng::applyUpdates(m, deltas);
+    EXPECT_EQ(stats.removed, 1);
+    EXPECT_GE(stats.inserted, 2);
+    EXPECT_GE(stats.updated, 1);
+
+    const fmt::DenseMatrix want = [&] {
+        fmt::DenseMatrix d = base.toDense();
+        for (const fmt::CooEntry& e : deltas.entries())
+            d.at(e.row, e.col) += e.value;
+        return d;
+    }();
+    const fmt::DenseMatrix got = m.toDense();
+    for (Index r = 0; r < 40; ++r)
+        for (Index c = 0; c < 40; ++c)
+            EXPECT_EQ(got.at(r, c), want.at(r, c))
+                << "(" << r << ", " << c << ")";
+    EXPECT_TRUE(m.checkInvariants());
+    EXPECT_EQ(m.nnz(), base.nnz() + stats.inserted - stats.removed);
+}
+
+TEST(Mutate, ReplaceRowsMatchesDenseOracle)
+{
+    const fmt::CooMatrix base = wl::genClustered(32, 32, 200, 4, 11);
+    fmt::CsrMatrix m = fmt::CsrMatrix::fromCoo(base);
+
+    fmt::CooMatrix repl(32, 32);
+    repl.add(3, 0, Value(1.5));
+    repl.add(3, 31, Value(-2.5));
+    // Row 17 is listed with no entries: it becomes empty.
+    repl.canonicalize();
+
+    eng::replaceRows(m, {3, 17}, repl);
+
+    fmt::DenseMatrix want = base.toDense();
+    for (Index c = 0; c < 32; ++c) {
+        want.at(3, c) = Value(0);
+        want.at(17, c) = Value(0);
+    }
+    want.at(3, 0) = Value(1.5);
+    want.at(3, 31) = Value(-2.5);
+    const fmt::DenseMatrix got = m.toDense();
+    for (Index r = 0; r < 32; ++r)
+        for (Index c = 0; c < 32; ++c)
+            EXPECT_EQ(got.at(r, c), want.at(r, c))
+                << "(" << r << ", " << c << ")";
+    EXPECT_TRUE(m.checkInvariants());
+
+    // Entries outside the listed rows are rejected.
+    fmt::CooMatrix bad(32, 32);
+    bad.add(5, 5, Value(1));
+    bad.canonicalize();
+    EXPECT_THROW(eng::replaceRows(m, {3}, bad), FatalError);
+}
+
+TEST(Mutate, ScaleValuesPreservesStructure)
+{
+    const fmt::CooMatrix base = wl::genClustered(24, 24, 120, 4, 13);
+    fmt::CsrMatrix m = fmt::CsrMatrix::fromCoo(base);
+    const Index nnz = m.nnz();
+    eng::scaleValues(m, Value(0.25));
+    EXPECT_EQ(m.nnz(), nnz);
+    for (const fmt::CooEntry& e : base.entries())
+        EXPECT_EQ(m.at(e.row, e.col), e.value * Value(0.25));
+    // Scaling by zero keeps explicit zeros (structure intact).
+    eng::scaleValues(m, Value(0));
+    EXPECT_EQ(m.nnz(), nnz);
+}
+
+TEST(Profile, TrackerMatchesFullScanAfterMutations)
+{
+    const fmt::CooMatrix base = wl::genPowerLaw(64, 64, 700, 1.1, 17);
+    fmt::CsrMatrix m = fmt::CsrMatrix::fromCoo(base);
+    eng::StructureTracker tracker(m);
+
+    const auto listener = [&tracker](Index r, Index c, bool inserted) {
+        tracker.onStructureChange(r, c, inserted);
+    };
+    std::uint64_t state = 99;
+    for (int round = 0; round < 4; ++round)
+        eng::applyUpdates(m, wl::genScatterDeltas(64, 64, 50, state++), listener);
+    fmt::CooMatrix repl(64, 64);
+    repl.add(10, 3, Value(1));
+    repl.add(10, 60, Value(2));
+    repl.canonicalize();
+    eng::replaceRows(m, {10, 11}, repl, listener);
+
+    const eng::StructureStats full =
+        eng::analyzeStructure(m.toCoo(), tracker.block());
+    const eng::StructureStats inc = tracker.stats();
+    EXPECT_EQ(inc.rows, full.rows);
+    EXPECT_EQ(inc.cols, full.cols);
+    EXPECT_EQ(inc.nnz, full.nnz);
+    EXPECT_EQ(inc.maxNnzPerRow, full.maxNnzPerRow);
+    EXPECT_EQ(inc.numDiagonals, full.numDiagonals);
+    EXPECT_NEAR(inc.density, full.density, 1e-12);
+    EXPECT_NEAR(inc.avgNnzPerRow, full.avgNnzPerRow, 1e-12);
+    EXPECT_NEAR(inc.rowCv, full.rowCv, 1e-12);
+    EXPECT_NEAR(inc.diagonalFill, full.diagonalFill, 1e-12);
+    EXPECT_NEAR(inc.blockLocality, full.blockLocality, 1e-12);
+}
+
+TEST(Reselect, StickyChoiceNeedsDecisiveCrossing)
+{
+    // A profile just past the SMASH boundary: the plain chooser
+    // flips, the sticky chooser holds until the margin is beaten.
+    eng::StructureStats s;
+    s.rows = 100;
+    s.cols = 100;
+    s.nnz = 500;
+    s.density = 0.05;
+    s.avgNnzPerRow = 5;
+    s.rowCv = 1.0; // not ELL
+    s.maxNnzPerRow = 50;
+    s.numDiagonals = 90; // not DIA
+    s.diagonalFill = 0.05;
+    s.blockLocality = 0.55;
+    s.localityBlock = 8;
+    EXPECT_EQ(eng::chooseFormat(s), eng::Format::kSmash);
+    EXPECT_EQ(eng::chooseFormatSticky(s, eng::Format::kCsr, 0.1),
+              eng::Format::kCsr);
+    EXPECT_EQ(eng::chooseFormatSticky(s, eng::Format::kCsr, 0.02),
+              eng::Format::kSmash);
+
+    // Inside the band in the other direction: a DIA matrix whose
+    // fill sagged below the plain boundary stays DIA.
+    eng::StructureStats d = s;
+    d.blockLocality = 0.1;
+    d.numDiagonals = 9;
+    d.diagonalFill = 0.45;
+    EXPECT_EQ(eng::chooseFormat(d), eng::Format::kCsr);
+    EXPECT_EQ(eng::chooseFormatSticky(d, eng::Format::kDia, 0.1),
+              eng::Format::kDia);
+    EXPECT_EQ(eng::chooseFormatSticky(d, eng::Format::kCsr, 0.1),
+              eng::Format::kCsr);
+
+    // The cap-style boundaries get the same band: an ELL matrix
+    // whose max/avg row population pokes just past the plain cap
+    // (2*avg+1 = 11 < max 12) stays ELL under the margin.
+    eng::StructureStats e = s;
+    e.blockLocality = 0.1;
+    e.rowCv = 0.05;
+    e.maxNnzPerRow = 12;
+    EXPECT_EQ(eng::chooseFormat(e), eng::Format::kCsr);
+    EXPECT_EQ(eng::chooseFormatSticky(e, eng::Format::kEll, 0.2),
+              eng::Format::kEll);
+    EXPECT_EQ(eng::chooseFormatSticky(e, eng::Format::kCsr, 0.2),
+              eng::Format::kCsr);
+}
+
+TEST(Reselect, HysteresisSuppressesThrashThenMovesDecisively)
+{
+    // 64x64, three entries per row inside one aligned 8-block:
+    // uniform rows, block locality 3/8 — auto-selects ELL.
+    fmt::CooMatrix coo(64, 64);
+    for (Index r = 0; r < 64; ++r)
+        for (Index k = 0; k < 3; ++k)
+            coo.add(r, 8 * (r % 8) + k, Value(1) + Value(k) * Value(0.5));
+    coo.canonicalize();
+
+    serve::MatrixRegistry registry;
+    serve::ReselectPolicy policy;
+    policy.margin = 0.2;
+    policy.minChanged = 16;
+    registry.setReselectPolicy(policy);
+    EXPECT_EQ(registry.put("drifty", std::move(coo)),
+              eng::Format::kEll);
+
+    // +1 entry per row in the same block: locality reaches the
+    // plain SMASH boundary (0.5) but not the sticky one (0.7) —
+    // inside the hysteresis band, nothing may happen.
+    fmt::CooMatrix band(64, 64);
+    for (Index r = 0; r < 64; ++r)
+        band.add(r, 8 * (r % 8) + 3, Value(0.5));
+    band.canonicalize();
+    serve::UpdateOutcome out = registry.applyUpdates("drifty", band);
+    EXPECT_EQ(out.stats.inserted, 64);
+    EXPECT_FALSE(out.reencodeScheduled);
+    EXPECT_EQ(registry.reselects("drifty"), 0u);
+    EXPECT_EQ(registry.format("drifty"), eng::Format::kEll);
+
+    // +2 more per row: locality 6/8 beats the margin — exactly one
+    // (synchronous, hook-less) re-encode to SMASH.
+    fmt::CooMatrix decisive(64, 64);
+    for (Index r = 0; r < 64; ++r) {
+        decisive.add(r, 8 * (r % 8) + 4, Value(0.25));
+        decisive.add(r, 8 * (r % 8) + 5, Value(0.25));
+    }
+    decisive.canonicalize();
+    out = registry.applyUpdates("drifty", decisive);
+    EXPECT_TRUE(out.reencodeScheduled);
+    EXPECT_EQ(out.target, eng::Format::kSmash);
+    EXPECT_EQ(registry.reselects("drifty"), 1u);
+    EXPECT_EQ(registry.format("drifty"), eng::Format::kSmash);
+    EXPECT_FALSE(registry.info("drifty").reencodePending);
+
+    // Keep pushing in the same direction: already in the favoured
+    // format, so no further re-encodes (no thrash).
+    fmt::CooMatrix more(64, 64);
+    for (Index r = 0; r < 64; ++r)
+        more.add(r, 8 * (r % 8) + 6, Value(0.125));
+    more.canonicalize();
+    out = registry.applyUpdates("drifty", more);
+    EXPECT_FALSE(out.reencodeScheduled);
+    EXPECT_EQ(registry.reselects("drifty"), 1u);
+}
+
+TEST(Reselect, MutationInvalidatesCachedEncodingsButNotHeldEpochs)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genTridiagonal(64));
+    const serve::MatrixRegistry::EncodingPtr before =
+        registry.encoded("m");
+
+    const std::vector<Value> x = dyadicOperand(64, 3);
+    sim::NativeExec e;
+    std::vector<Value> y_before(64, Value(0));
+    eng::spmv(before->ref(), x, y_before, e);
+
+    registry.scaleValues("m", Value(2));
+    const serve::MatrixRegistry::EncodingPtr after =
+        registry.encoded("m");
+    EXPECT_NE(before.get(), after.get()); // rebuilt from new master
+    // The held epoch still computes with the pre-mutation values.
+    std::vector<Value> y_held(64, Value(0));
+    eng::spmv(before->ref(), x, y_held, e);
+    std::vector<Value> y_after(64, Value(0));
+    eng::spmv(after->ref(), x, y_after, e);
+    for (Index i = 0; i < 64; ++i) {
+        EXPECT_EQ(y_held[static_cast<std::size_t>(i)],
+                  y_before[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(y_after[static_cast<std::size_t>(i)],
+                  y_before[static_cast<std::size_t>(i)] * Value(2));
+    }
+    EXPECT_EQ(registry.info("m").epoch, 1u);
+}
+
+TEST(Reselect, DriftTriggersExactlyOneAsyncReencode)
+{
+    const Index n = 256;
+    for (int threads : threadCounts()) {
+        serve::MatrixRegistry registry;
+        ASSERT_EQ(registry.put("live", wl::genTridiagonal(n)),
+                  eng::Format::kDia);
+
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 4;
+        serve::Session session(registry, opts);
+
+        // Warm the cache so the drift path starts from a served
+        // steady state.
+        session.submit("live", dyadicOperand(n, 0)).get();
+        ASSERT_EQ(registry.format("live"), eng::Format::kDia);
+
+        // Phase A: scattered deltas until the detector schedules
+        // the re-encode (asynchronously, through the session's
+        // pipeline), then a few more rounds that must NOT schedule
+        // a second one while it is pending or after it lands.
+        std::uint64_t state = 2026;
+        bool scheduled = false;
+        for (int round = 0; round < 12; ++round) {
+            const serve::UpdateOutcome out = session.applyUpdates(
+                "live", wl::genScatterDeltas(n, n, 64, state++));
+            if (out.reencodeScheduled) {
+                scheduled = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(scheduled) << "drift never crossed the boundary";
+        for (int round = 0; round < 3; ++round) {
+            const serve::UpdateOutcome out = session.applyUpdates(
+                "live", wl::genScatterDeltas(n, n, 64, state++));
+            EXPECT_FALSE(out.reencodeScheduled);
+        }
+
+        // Phase B: the master is now fixed; hammer submits from
+        // several client threads while the re-encode may still be
+        // in flight. Every result must be bit-identical to the
+        // oracle — the old and new encodings hold the same dyadic
+        // content, so the swap cannot show through.
+        std::vector<Value> oracle;
+        {
+            sim::NativeExec e;
+            oracle.assign(static_cast<std::size_t>(n), Value(0));
+            eng::spmv(registry.encoded("live")->ref(),
+                      dyadicOperand(n, 1), oracle, e);
+        }
+        constexpr int kClients = 3;
+        constexpr int kPerClient = 10;
+        std::vector<std::future<std::vector<Value>>> futures(
+            kClients * kPerClient);
+        std::atomic<std::size_t> slot{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c)
+            clients.emplace_back([&] {
+                for (int i = 0; i < kPerClient; ++i)
+                    futures[slot.fetch_add(1)] =
+                        session.submit("live", dyadicOperand(n, 1));
+            });
+        for (std::thread& c : clients)
+            c.join();
+        for (auto& f : futures) {
+            const std::vector<Value> got = f.get();
+            ASSERT_EQ(got.size(), oracle.size());
+            for (std::size_t i = 0; i < got.size(); ++i)
+                ASSERT_EQ(got[i], oracle[i])
+                    << "row " << i << " threads " << threads;
+        }
+
+        ASSERT_TRUE(waitReencodeSettled(registry, "live"));
+        session.drain();
+        EXPECT_EQ(registry.reselects("live"), 1u)
+            << "threads " << threads;
+        EXPECT_NE(registry.format("live"), eng::Format::kDia);
+        EXPECT_EQ(session.stats().reencodes.load(), 1u);
+        EXPECT_EQ(session.stats().failed.load(), 0u);
+
+        // Post-swap requests serve from the re-selected encoding
+        // and still agree bit-for-bit.
+        const std::vector<Value> after =
+            session.submit("live", dyadicOperand(n, 1)).get();
+        for (std::size_t i = 0; i < after.size(); ++i)
+            ASSERT_EQ(after[i], oracle[i]);
+    }
+}
+
+TEST(Reselect, ReplaceRowsServesFreshContent)
+{
+    for (int threads : threadCounts()) {
+        serve::MatrixRegistry registry;
+        registry.put("m", wl::genTridiagonal(96));
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        serve::Session session(registry, opts);
+
+        session.submit("m", dyadicOperand(96, 2)).get();
+
+        fmt::CooMatrix repl(96, 96);
+        repl.add(7, 0, Value(8));
+        repl.add(7, 95, Value(0.5));
+        repl.canonicalize();
+        session.replaceRows("m", {7}, repl);
+
+        const std::vector<Value> x = dyadicOperand(96, 2);
+        const std::vector<Value> y =
+            session.submit("m", x).get();
+        EXPECT_EQ(y[7], Value(8) * x[0] + Value(0.5) * x[95]);
+        session.drain();
+    }
+}
+
+TEST(Reselect, StaleSessionDestructionKeepsNewerSessionsHook)
+{
+    // Two sessions share a registry: the newer one owns the
+    // re-encode hook. Destroying the older session must not detach
+    // it — drift after the destruction still schedules through the
+    // surviving session's pipeline.
+    serve::MatrixRegistry registry;
+    registry.put("live", wl::genTridiagonal(128));
+    auto older = std::make_unique<serve::Session>(registry);
+    serve::Session newer(registry);
+    older.reset(); // must not clear `newer`'s hook
+
+    std::uint64_t state = 5;
+    bool scheduled = false;
+    for (int round = 0; round < 12 && !scheduled; ++round)
+        scheduled = registry
+                        .applyUpdates("live", wl::genScatterDeltas(
+                                                  128, 128, 64, state++))
+                        .reencodeScheduled;
+    ASSERT_TRUE(scheduled);
+    ASSERT_TRUE(waitReencodeSettled(registry, "live"));
+    EXPECT_EQ(registry.reselects("live"), 1u);
+    // The re-encode went through the surviving session's pipeline,
+    // not the synchronous no-hook fallback.
+    EXPECT_EQ(newer.stats().reencodes.load(), 1u);
+}
+
+} // namespace
+} // namespace smash

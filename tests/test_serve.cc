@@ -225,6 +225,65 @@ TEST(ThreadPoolShutdown, RejectsSubmissionAfterShutdown)
     pool.shutdown(); // idempotent
 }
 
+TEST(ThreadPoolShutdown, TryPostRunsBeforeAndRejectsAfterShutdown)
+{
+    std::atomic<int> ran{0};
+    exec::ThreadPool pool(2);
+    // Accepted submissions run even when shutdown follows at once
+    // (the drain-before-join contract).
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(pool.tryPost([&ran] { ran.fetch_add(1); }));
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 8);
+    // After shutdown the gate reports rejection instead of
+    // throwing — the caller (a drift re-encode racing a session
+    // teardown) falls back to running inline.
+    EXPECT_FALSE(pool.tryPost([&ran] { ran.fetch_add(1); }));
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Batcher, FlushAllWithZeroPendingInvokesNothing)
+{
+    std::atomic<int> flushes{0};
+    {
+        serve::Batcher batcher(
+            4, std::chrono::microseconds(50),
+            [&flushes](const std::string&, std::vector<serve::Request>) {
+                flushes.fetch_add(1);
+            });
+        batcher.flushAll(); // nothing queued: no callback
+        batcher.flushAll(); // idempotent on empty queues
+        EXPECT_EQ(flushes.load(), 0);
+        EXPECT_EQ(batcher.sizeFlushes(), 0u);
+        EXPECT_EQ(batcher.deadlineFlushes(), 0u);
+    } // destructor flushes nothing either
+    EXPECT_EQ(flushes.load(), 0);
+}
+
+TEST(Batcher, DeadlineShorterThanOnePollTickStillFlushes)
+{
+    // A 1 microsecond deadline is far below any scheduler tick: by
+    // the time the timer thread evaluates it, it has already
+    // passed. The partial batch must flush promptly anyway (via
+    // the timeout path), not hang until max_batch fills.
+    std::atomic<int> delivered{0};
+    serve::Batcher batcher(
+        64, std::chrono::microseconds(1),
+        [&delivered](const std::string&,
+                     std::vector<serve::Request> batch) {
+            delivered.fetch_add(static_cast<int>(batch.size()));
+        });
+    batcher.enqueue("m", serve::Request{});
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(5);
+    while (delivered.load() < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    EXPECT_EQ(delivered.load(), 1);
+    EXPECT_EQ(batcher.deadlineFlushes(), 1u);
+    EXPECT_EQ(batcher.sizeFlushes(), 0u);
+}
+
 TEST(ThreadPoolShutdown, DrainsPostedTasksBeforeJoining)
 {
     std::atomic<int> ran{0};
@@ -271,10 +330,12 @@ TEST(ServeRegistry, SelectsOnceAndCachesConversions)
     EXPECT_EQ(registry.format("clustered"), eng::Format::kSmash);
     EXPECT_EQ(registry.conversions("clustered"), 0u); // lazy
 
-    const eng::SparseMatrixAny& first = registry.encoded("clustered");
+    const serve::MatrixRegistry::EncodingPtr first =
+        registry.encoded("clustered");
     EXPECT_EQ(registry.conversions("clustered"), 1u);
-    const eng::SparseMatrixAny& second = registry.encoded("clustered");
-    EXPECT_EQ(&first, &second); // cached, not reconverted
+    const serve::MatrixRegistry::EncodingPtr second =
+        registry.encoded("clustered");
+    EXPECT_EQ(first.get(), second.get()); // cached, not reconverted
     EXPECT_EQ(registry.conversions("clustered"), 1u);
 
     registry.encodedAs("clustered", eng::Format::kCsr);
@@ -283,7 +344,7 @@ TEST(ServeRegistry, SelectsOnceAndCachesConversions)
     EXPECT_EQ(registry.conversions("clustered"), 2u);
 
     const serve::MatrixInfo info = registry.info("clustered");
-    EXPECT_EQ(info.nnz, registry.encoded("clustered").nnz());
+    EXPECT_EQ(info.nnz, registry.encoded("clustered")->nnz());
     EXPECT_EQ(info.cached.size(), 2u);
 }
 
@@ -305,7 +366,7 @@ serialOracle(serve::MatrixRegistry& registry, const std::string& name,
     sim::NativeExec e;
     std::vector<Value> y(
         static_cast<std::size_t>(registry.rows(name)), Value(0));
-    eng::spmv(registry.encoded(name).ref(), x, y, e);
+    eng::spmv(registry.encoded(name)->ref(), x, y, e);
     return y;
 }
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the repository's markdown files.
+# Usage: tools/check_md_links.sh   (exit 1 when any link is dead)
+#
+# Checks every [text](target) whose target is not an absolute URL:
+# the target (minus any #anchor) must exist relative to the file
+# that links it. External URLs are not fetched — CI must not flake
+# on someone else's server.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+checked=0
+
+while IFS= read -r -d '' md; do
+    dir=$(dirname "$md")
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in ${md#"$root"/}: ($target)"
+            fail=1
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" \
+             | sed -E 's/^\[[^]]*\]\(//; s/\)$//; s/ +"[^"]*"$//')
+done < <(find "$root" -name '*.md' -not -path '*/build/*' -print0)
+
+echo "checked $checked relative markdown links"
+exit $fail
