@@ -1,24 +1,32 @@
 /**
  * @file
- * Serving-throughput study (extension): requests/second of the
- * serve::Session pipeline as a function of batch size and thread
- * count. The baseline issues every request as an individual
- * eng::spmv call (a max-batch-1 session: same pool, same pipeline,
- * no coalescing); the batched configurations coalesce up to B
- * concurrent requests into one eng::spmvBatch traversal. Batching
- * amortizes the per-non-zero indexing work (row_ptr walks, column
- * loads, bitmap scans) across the whole batch, so requests/sec
- * should rise with B until memory bandwidth saturates.
+ * Serving-throughput study (extension): requests/second and
+ * latency percentiles of the serve::Session pipeline as a function
+ * of batch size, thread count, and priority class. The baseline
+ * issues every request as an individual eng::spmv call (a
+ * max-batch-1 session: same pool, same pipeline, no coalescing);
+ * the batched configurations coalesce up to B concurrent requests
+ * into one eng::spmvBatch traversal. Batching amortizes the
+ * per-non-zero indexing work (row_ptr walks, column loads, bitmap
+ * scans) across the whole batch, so requests/sec should rise with B
+ * until memory bandwidth saturates. A mixed-priority run then
+ * reports p50/p99 per class from the pipeline's latency histograms:
+ * kHigh buys low tail latency by flushing immediately, kBatch buys
+ * throughput by waiting for deeper batches.
  *
  *   --threads N                pool size (default 4)
  *   --exec native|parallel     compute stage execution model
  *   --exec sim                 skip the wall-clock study; print the
  *                              simulated per-request cycle cost of
  *                              batch sizes 1 and 8 instead
+ *   --smoke                    tiny workload + pass/fail gate (CI):
+ *                              exits 1 on oracle divergence or a
+ *                              batched-vs-individual regression
  *   SMASH_BENCH_SCALE          shrinks matrix and request count
  */
 
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <vector>
@@ -57,31 +65,84 @@ maxAbsDiff(const std::vector<Value>& a, const std::vector<Value>& b)
     return m;
 }
 
-/** Submit @p n requests, wait for all; returns (seconds, max err). */
-std::pair<double, double>
+/** Priority mix of the latency study: 1 high : 4 normal : 3 batch. */
+serve::Priority
+mixedPriority(Index r)
+{
+    const Index slot = r % 8;
+    if (slot == 0)
+        return serve::Priority::kHigh;
+    return slot <= 4 ? serve::Priority::kNormal
+                     : serve::Priority::kBatch;
+}
+
+struct ConfigRun
+{
+    double seconds = 0;
+    double err = 0;
+};
+
+/**
+ * Submit @p n typed requests, wait for all; seconds + max err.
+ * @p mixed assigns the 1:4:3 priority mix and prints the
+ * per-priority latency table (histograms die with the session).
+ */
+ConfigRun
 runConfig(serve::MatrixRegistry& registry, const std::string& name,
           serve::SessionOptions opts, Index n,
           const std::vector<std::vector<Value>>& operands,
-          const std::vector<std::vector<Value>>& oracles)
+          const std::vector<std::vector<Value>>& oracles, bool mixed)
 {
     serve::Session session(registry, opts);
-    std::vector<std::future<std::vector<Value>>> futures;
+    std::vector<std::future<serve::Result<std::vector<Value>>>>
+        futures;
     futures.reserve(static_cast<std::size_t>(n));
     const double seconds = secondsOf([&] {
-        for (Index r = 0; r < n; ++r)
-            futures.push_back(session.submit(
+        for (Index r = 0; r < n; ++r) {
+            serve::RequestOptions ropts;
+            if (mixed)
+                ropts.priority = mixedPriority(r);
+            futures.push_back(session.submit(serve::SpmvRequest{
                 name,
-                operands[static_cast<std::size_t>(r % kOperandKinds)]));
+                operands[static_cast<std::size_t>(r % kOperandKinds)],
+                ropts}));
+        }
         for (auto& f : futures)
             f.wait();
     });
     double err = 0;
-    for (Index r = 0; r < n; ++r)
+    for (Index r = 0; r < n; ++r) {
+        serve::Result<std::vector<Value>> result =
+            futures[static_cast<std::size_t>(r)].get();
+        if (!result.ok()) {
+            std::cerr << "request " << r << " failed: "
+                      << result.status().toString() << "\n";
+            return {seconds, 1e30};
+        }
         err = std::max(
-            err,
-            maxAbsDiff(futures[static_cast<std::size_t>(r)].get(),
-                       oracles[static_cast<std::size_t>(
-                           r % kOperandKinds)]));
+            err, maxAbsDiff(result.value(),
+                            oracles[static_cast<std::size_t>(
+                                r % kOperandKinds)]));
+    }
+    session.drain();
+    if (mixed) {
+        TextTable table("Latency by priority class (mixed traffic: "
+                        "1 high : 4 normal : 3 batch)");
+        table.setHeader({"priority", "requests", "p50 (us)",
+                         "p99 (us)"});
+        for (serve::Priority p :
+             {serve::Priority::kHigh, serve::Priority::kNormal,
+              serve::Priority::kBatch}) {
+            const serve::LatencyHistogram& h =
+                session.stats().latency(p);
+            table.addRow({serve::toString(p),
+                          std::to_string(h.count()),
+                          formatFixed(h.percentileUs(0.5), 1),
+                          formatFixed(h.percentileUs(0.99), 1)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
     return {seconds, err};
 }
 
@@ -99,17 +160,27 @@ simCycles(Fn&& fn)
 int
 run(int argc, char** argv)
 {
-    const BenchCli cli = parseBenchCli(argc, argv);
-    const double scale = wl::benchScale(0.25);
+    bool smoke = false;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            args.push_back(argv[i]);
+    }
+    const BenchCli cli =
+        parseBenchCli(static_cast<int>(args.size()), args.data());
+    const double scale = wl::benchScale(smoke ? 0.02 : 0.25);
     preamble("Serving throughput (extension)",
-             "serve::Session requests/sec vs batch size — batched "
-             "multi-RHS SpMV against individual eng::spmv calls",
+             "serve::Session requests/sec and latency percentiles vs "
+             "batch size — batched multi-RHS SpMV against individual "
+             "eng::spmv calls, through the typed serve::Result API",
              scale);
 
     const Index rows = std::max<Index>(
-        4096, static_cast<Index>(32768 * scale));
+        smoke ? 2048 : 4096, static_cast<Index>(32768 * scale));
     const Index nnz = std::max<Index>(
-        131072, static_cast<Index>(1250000 * scale));
+        smoke ? 65536 : 131072, static_cast<Index>(1250000 * scale));
     fmt::CooMatrix coo = wl::genClustered(rows, rows, nnz, 8, 97);
 
     serve::MatrixRegistry registry;
@@ -170,8 +241,8 @@ run(int argc, char** argv)
         }
     }
 
-    const Index nreq =
-        std::max<Index>(64, static_cast<Index>(2048 * scale));
+    const Index nreq = std::max<Index>(
+        smoke ? 48 : 64, static_cast<Index>(2048 * scale));
     const serve::ComputeExec compute = cli.exec == ExecKind::kParallel
         ? serve::ComputeExec::kParallel
         : serve::ComputeExec::kSerial;
@@ -185,9 +256,9 @@ run(int argc, char** argv)
     // (max-batch-1 pipeline) at the same thread count.
     serve::SessionOptions individual = base;
     individual.maxBatch = 1;
-    const auto [t_ind, err_ind] = runConfig(
-        registry, "ranker", individual, nreq, operands, oracles);
-    const double rps_ind = static_cast<double>(nreq) / t_ind;
+    const ConfigRun ind = runConfig(registry, "ranker", individual,
+                                    nreq, operands, oracles, false);
+    const double rps_ind = static_cast<double>(nreq) / ind.seconds;
 
     TextTable table(
         "Requests/sec, " + std::to_string(nreq) + " requests, " +
@@ -197,24 +268,37 @@ run(int argc, char** argv)
     table.setHeader(
         {"max batch", "req/s", "speedup vs individual", "max |err|"});
     table.addRow({"1 (individual)", formatFixed(rps_ind, 0), "1.00",
-                  formatFixed(err_ind, 12)});
+                  formatFixed(ind.err, 12)});
 
     double speedup8 = 0;
-    double max_err = err_ind;
+    double max_err = ind.err;
     for (Index batch : {4, 8, 16, 32}) {
         serve::SessionOptions opts = base;
         opts.maxBatch = batch;
-        const auto [t, err] = runConfig(registry, "ranker", opts, nreq,
-                                        operands, oracles);
-        const double rps = static_cast<double>(nreq) / t;
+        const ConfigRun r = runConfig(registry, "ranker", opts, nreq,
+                                      operands, oracles, false);
+        const double rps = static_cast<double>(nreq) / r.seconds;
         if (batch == 8)
             speedup8 = rps / rps_ind;
-        max_err = std::max(max_err, err);
+        max_err = std::max(max_err, r.err);
         table.addRow({std::to_string(batch), formatFixed(rps, 0),
                       formatFixed(rps / rps_ind, 2),
-                      formatFixed(err, 12)});
+                      formatFixed(r.err, 12)});
     }
     table.print(std::cout);
+    std::cout << "\n";
+
+    // Mixed-priority latency study at max batch 16: kHigh requests
+    // flush immediately (low tail), kBatch requests wait for deep
+    // coalescing (high throughput), kNormal sits between.
+    serve::SessionOptions mixed = base;
+    mixed.maxBatch = 16;
+    const ConfigRun mix = runConfig(registry, "ranker", mixed, nreq,
+                                    operands, oracles, true);
+    const double rps_mix = static_cast<double>(nreq) / mix.seconds;
+    max_err = std::max(max_err, mix.err);
+    std::cout << "Mixed-priority run: " << formatFixed(rps_mix, 0)
+              << " req/s\n";
 
     std::cout << "\nBatch 8 vs individual at " << cli.threads
               << " threads: " << formatFixed(speedup8, 2)
@@ -222,10 +306,20 @@ run(int argc, char** argv)
               << "Expected shape: requests/sec grows with the batch "
                  "size because one matrix traversal serves the whole "
                  "batch; gains flatten once the nrhs-wide inner loop "
-                 "saturates memory bandwidth.\n";
+                 "saturates memory bandwidth. kHigh p99 undercuts "
+                 "kBatch p99 because high-priority arrivals skip the "
+                 "flush wait.\n";
     if (max_err > 1e-9) {
         std::cerr << "served results diverge from the serial oracle ("
                   << max_err << ")!\n";
+        return 1;
+    }
+    if (smoke && speedup8 < 0.5) {
+        // The gate is deliberately loose: tiny CI workloads are
+        // noisy, but a typed-API path that halves throughput vs the
+        // individual baseline would still be caught.
+        std::cerr << "smoke gate: batch-8 throughput regressed to "
+                  << speedup8 << "x of the individual baseline\n";
         return 1;
     }
     return 0;

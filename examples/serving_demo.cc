@@ -1,12 +1,14 @@
 /**
  * @file
- * Worked example of the serving subsystem: register matrices once,
- * stand up a Session, and stream SpMV requests through the async
- * pipeline. Demonstrates the three serving-layer guarantees —
- * format auto-selection runs once per matrix, conversions are
- * cached (the second wave of requests reconverts nothing), and
- * concurrent requests against the same matrix coalesce into
- * batched multi-RHS computes.
+ * Worked example of the typed serving API: register matrices once,
+ * stand up a Session, and stream SpMV / SpMM / SpAdd requests
+ * through the async pipeline. Demonstrates the serving-layer
+ * guarantees — no exception crosses the API boundary (statuses come
+ * back as serve::Result), format auto-selection runs once per
+ * matrix, conversions are cached, concurrent requests coalesce into
+ * batched computes, priorities shape flush order, and admission
+ * control sheds overload with kOverloaded instead of queueing
+ * without bound.
  */
 
 #include <future>
@@ -56,30 +58,76 @@ main()
     std::cout << "registered 'ranker' as " << eng::toString(ranker_fmt)
               << ", 'graph' as " << eng::toString(graph_fmt) << "\n";
 
-    // 2. A session serves requests: submit() returns immediately
-    //    with a future; the pipeline converts (once), batches, and
-    //    computes on its thread pool.
+    // 2. A session serves typed requests: submit() returns a
+    //    future<Result<T>>; the pipeline converts (once), batches
+    //    per (matrix, op class), and computes on its thread pool.
     serve::SessionOptions options;
     options.threads = 4;
     options.maxBatch = 8;
+    options.maxInflightPerMatrix = 64; // admission control on
     serve::Session session(registry, options);
 
-    std::vector<std::future<std::vector<Value>>> futures;
+    std::vector<std::future<serve::Result<std::vector<Value>>>> spmv;
     for (Index wave = 0; wave < 2; ++wave)
         for (Index k = 0; k < 8; ++k) {
-            futures.push_back(
-                session.submit("ranker", operand(1024, k)));
-            futures.push_back(
-                session.submit("graph", operand(1024, k + 3)));
+            // kBatch priority: throughput traffic, deep coalescing.
+            serve::RequestOptions bulk;
+            bulk.priority = serve::Priority::kBatch;
+            spmv.push_back(session.submit(serve::SpmvRequest{
+                "ranker", operand(1024, k), bulk}));
+            spmv.push_back(session.submit(serve::SpmvRequest{
+                "graph", operand(1024, k + 3), {}}));
         }
 
-    // 3. Futures resolve as batches complete (arrival order need
+    // A latency-sensitive request: kHigh flushes its queue at once
+    // (any parked requests against the same matrix ride along).
+    serve::RequestOptions urgent;
+    urgent.priority = serve::Priority::kHigh;
+    serve::Result<std::vector<Value>> hot = session
+        .submit(serve::SpmvRequest{"ranker", operand(1024, 0), urgent})
+        .get();
+    std::cout << "high-priority request: " << hot.status().toString()
+              << ", |y|_1 = " << norm1(hot.value()) << "\n";
+
+    // 3. Statuses are data, not exceptions: an unknown name or a
+    //    wrong-length operand comes back as a ready Result.
+    serve::Result<std::vector<Value>> missing =
+        session.submit(serve::SpmvRequest{"nope", operand(1024, 0)})
+            .get();
+    serve::Result<std::vector<Value>> short_x =
+        session.submit(serve::SpmvRequest{"ranker", operand(57, 0)})
+            .get();
+    std::cout << "unknown matrix  -> " << missing.status().toString()
+              << "\nshort operand   -> " << short_x.status().toString()
+              << "\n";
+
+    // 4. SpMM: a dense multi-RHS block, one traversal per batch of
+    //    concurrent blocks. SpAdd: merge two registered matrices.
+    fmt::DenseMatrix block(1024, 4);
+    for (Index c = 0; c < 4; ++c)
+        for (Index j = 0; j < 1024; ++j)
+            block.at(j, c) = operand(1024, c)[static_cast<std::size_t>(j)];
+    serve::Result<fmt::DenseMatrix> spmm =
+        session.submit(serve::SpmmRequest{"ranker", block}).get();
+    std::cout << "spmm 4-RHS block -> " << spmm.status().toString()
+              << ", C is " << spmm.value().rows() << "x"
+              << spmm.value().cols() << "\n";
+
+    serve::Result<fmt::CooMatrix> sum =
+        session.submit(serve::SpaddRequest{"ranker", "graph"}).get();
+    std::cout << "spadd ranker+graph -> " << sum.status().toString()
+              << ", " << sum.value().nnz() << " non-zeros\n";
+
+    // 5. Futures resolve as batches complete (arrival order need
     //    not match submission order; every future is independent).
     double checksum = 0;
-    for (auto& f : futures)
-        checksum += norm1(f.get());
-    std::cout << "served " << futures.size()
-              << " requests, result checksum " << checksum << "\n";
+    for (auto& f : spmv) {
+        serve::Result<std::vector<Value>> r = f.get();
+        if (r.ok())
+            checksum += norm1(r.value());
+    }
+    std::cout << "served " << spmv.size()
+              << " spmv requests, result checksum " << checksum << "\n";
 
     // drain() settles the pipeline's accounting before we read it
     // (futures resolve before the deliver task finishes counting).
@@ -88,7 +136,10 @@ main()
     std::cout << "pipeline: " << stats.completed.load()
               << " completed in " << stats.batches.load()
               << " batches (widest " << stats.widestBatch.load()
-              << "); conversions: ranker "
+              << "); p99 latency (normal) "
+              << stats.latency(serve::Priority::kNormal)
+                     .percentileUs(0.99)
+              << " us; conversions: ranker "
               << registry.conversions("ranker") << ", graph "
               << registry.conversions("graph")
               << " (cached after the first touch)\n";

@@ -24,10 +24,16 @@ struct Batch
     void
     finishOne()
     {
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lock(mutex);
+        // The decrement happens inside the critical section: the
+        // waiting thread may observe remaining == 0 through the
+        // lock-free fast path and destroy this Batch, so it must
+        // first be able to acquire the mutex — which it cannot
+        // until this (the last) finisher has fully left. Moving
+        // the fetch_sub outside the lock would reopen that window
+        // between the decrement and the lock acquisition.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
             done.notify_all();
-        }
     }
 
     void
@@ -279,6 +285,13 @@ ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
         batch.done.wait(lock, [&batch] {
             return batch.remaining.load(std::memory_order_acquire) == 0;
         });
+    }
+    {
+        // Rendezvous with the last finishOne(): its decrement and
+        // notify run under batch.mutex, so acquiring it here
+        // guarantees that critical section has exited before the
+        // Batch (and its error slot, read below) is torn down.
+        std::lock_guard<std::mutex> lock(batch.mutex);
     }
     if (batch.error)
         std::rethrow_exception(batch.error);

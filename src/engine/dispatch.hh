@@ -640,6 +640,32 @@ spmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
 }
 
 /**
+ * Batched SpMM entry: C := C + A B for a *dense* multi-RHS operand
+ * B (one logical SpMV per column — the serving layer's SpMM
+ * request). Lowered onto the single-traversal batch kernels (and,
+ * under ParallelExec, the row-range/word-range batch drivers);
+ * because the per-column arithmetic is independent and ordered, the
+ * result of each column is bit-identical whether B is computed
+ * alone or concatenated into a wider block. B at logical height
+ * (A.cols()) is padded to the format's operand length here.
+ */
+template <typename E>
+void
+spmmBatch(const MatrixRef& a, const fmt::DenseMatrix& b,
+          fmt::DenseMatrix& c, E& e)
+{
+    if (b.rows() >= a.xLength()) {
+        spmvBatch(a, b, c, e);
+        return;
+    }
+    fmt::DenseMatrix padded(a.xLength(), b.cols());
+    for (Index j = 0; j < b.rows(); ++j)
+        for (Index r = 0; r < b.cols(); ++r)
+            padded.at(j, r) = b.at(j, r);
+    spmvBatch(a, padded, c, e);
+}
+
+/**
  * C := C + A B through the dispatch layer. The B operand's
  * expected encoding follows A's format (the kernels' operand
  * pairing): CSR takes B as CSC; BCSR and SMASH take B-transposed in
@@ -796,6 +822,24 @@ spadd(const MatrixRef& a, const MatrixRef& b, E& e,
       default:
         SMASH_PANIC("capability table out of sync with spadd dispatch");
     }
+}
+
+/**
+ * Batched SpAdd entry: A + B_i for each operand in @p bs (the
+ * serving layer's flushed SpAdd queue). Every merge runs through
+ * spadd() — one traversal of A per operand; results come back in
+ * operand order.
+ */
+template <typename E>
+std::vector<SparseMatrixAny>
+spaddBatch(const MatrixRef& a, const std::vector<MatrixRef>& bs, E& e,
+           SpaddAlgo algo = SpaddAlgo::kPlain)
+{
+    std::vector<SparseMatrixAny> out;
+    out.reserve(bs.size());
+    for (const MatrixRef& b : bs)
+        out.push_back(spadd(a, b, e, algo));
+    return out;
 }
 
 } // namespace smash::eng

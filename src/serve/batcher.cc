@@ -8,10 +8,25 @@
 namespace smash::serve
 {
 
+namespace
+{
+
+/** Best (numerically lowest) priority present in a batch. */
+Priority
+topPriority(const std::vector<Request>& batch)
+{
+    Priority best = Priority::kBatch;
+    for (const Request& r : batch)
+        best = std::min(best, r.options.priority);
+    return best;
+}
+
+} // namespace
+
 Batcher::Batcher(Index max_batch, std::chrono::microseconds max_delay,
-                 FlushFn flush)
+                 std::chrono::microseconds batch_delay, FlushFn flush)
     : max_batch_(max_batch), max_delay_(max_delay),
-      flush_(std::move(flush))
+      batch_delay_(batch_delay), flush_(std::move(flush))
 {
     // Validate before the timer thread exists: a throw with a
     // joinable thread member would std::terminate during unwinding.
@@ -31,45 +46,83 @@ Batcher::~Batcher()
     flushAll(); // the timer is gone; drain whatever is left
 }
 
-void
-Batcher::enqueue(const std::string& matrix, Request request)
+Batcher::Clock::time_point
+Batcher::flushBy(const Request& request) const
 {
+    // The priority caps the wait; the request's own deadline can
+    // only tighten it (an expiring request must surface in time to
+    // be failed with kDeadlineExceeded, not rot in the queue).
+    Clock::time_point cap;
+    switch (request.options.priority) {
+      case Priority::kHigh:
+        cap = Clock::now();
+        break;
+      case Priority::kNormal:
+        cap = Clock::now() + max_delay_;
+        break;
+      case Priority::kBatch:
+        cap = Clock::now() + batch_delay_;
+        break;
+    }
+    return std::min(cap, request.expiry);
+}
+
+void
+Batcher::enqueue(const QueueKey& key, Request request)
+{
+    const Priority priority = request.options.priority;
     std::vector<Request> batch;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        Queue& q = queues_[matrix];
-        if (q.pending.empty()) {
-            q.deadline = Clock::now() + max_delay_;
-            cv_.notify_all(); // timer re-evaluates its wait target
-        }
+        Queue& q = queues_[key];
+        if (q.pending.empty())
+            q.due = Clock::time_point::max();
+        const Clock::time_point cap = flushBy(request);
+        const bool tightened = cap < q.due;
+        q.due = std::min(q.due, cap);
         q.pending.push_back(std::move(request));
-        if (static_cast<Index>(q.pending.size()) < max_batch_)
+        const bool full =
+            static_cast<Index>(q.pending.size()) >= max_batch_;
+        if (!full && priority != Priority::kHigh) {
+            if (tightened)
+                cv_.notify_all(); // timer re-evaluates its target
             return;
+        }
         batch.swap(q.pending);
-        ++size_flushes_;
+        if (full)
+            ++size_flushes_;
+        else
+            ++priority_flushes_;
     }
-    // Full batch: flush inline on the enqueuing thread, outside the
-    // lock (the callback may enqueue pool work or run compute).
-    flush_(matrix, std::move(batch));
+    // Full batch or a kHigh arrival: flush inline on the enqueuing
+    // thread, outside the lock (the callback may enqueue pool work
+    // or run compute).
+    flush_(key, std::move(batch));
 }
 
 void
 Batcher::flushAll()
 {
-    // Explicit flushes are not counted: the size/deadline counters
-    // exist to tune max_batch_/max_delay_ against organic traffic.
-    std::vector<std::pair<std::string, std::vector<Request>>> due;
+    std::vector<std::pair<QueueKey, std::vector<Request>>> due;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        for (auto& [name, q] : queues_) {
+        for (auto& [key, q] : queues_) {
             if (q.pending.empty())
                 continue;
-            due.emplace_back(name, std::move(q.pending));
+            due.emplace_back(key, std::move(q.pending));
             q.pending.clear();
+            ++manual_flushes_;
         }
     }
-    for (auto& [name, batch] : due)
-        flush_(name, std::move(batch));
+    // Priority-aware ordering: queues holding high-priority work
+    // reach the pipeline first.
+    std::stable_sort(due.begin(), due.end(),
+                     [](const auto& a, const auto& b) {
+                         return topPriority(a.second) <
+                             topPriority(b.second);
+                     });
+    for (auto& [key, batch] : due)
+        flush_(key, std::move(batch));
 }
 
 std::uint64_t
@@ -86,6 +139,20 @@ Batcher::deadlineFlushes() const
     return deadline_flushes_;
 }
 
+std::uint64_t
+Batcher::priorityFlushes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return priority_flushes_;
+}
+
+std::uint64_t
+Batcher::manualFlushes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return manual_flushes_;
+}
+
 void
 Batcher::timerLoop()
 {
@@ -93,12 +160,12 @@ Batcher::timerLoop()
     for (;;) {
         if (stop_)
             return;
-        // Earliest deadline among the non-empty queues.
+        // Earliest flush time among the non-empty queues.
         bool any = false;
         Clock::time_point earliest = Clock::time_point::max();
-        for (const auto& [name, q] : queues_) {
-            if (!q.pending.empty() && q.deadline < earliest) {
-                earliest = q.deadline;
+        for (const auto& [key, q] : queues_) {
+            if (!q.pending.empty() && q.due < earliest) {
+                earliest = q.due;
                 any = true;
             }
         }
@@ -110,19 +177,24 @@ Batcher::timerLoop()
             std::cv_status::no_timeout)
             continue; // new request or stop: recompute the target
 
-        // Deadline reached: flush every queue that is due.
+        // Flush every queue that is due, best priority first.
         const Clock::time_point now = Clock::now();
-        std::vector<std::pair<std::string, std::vector<Request>>> due;
-        for (auto& [name, q] : queues_) {
-            if (!q.pending.empty() && q.deadline <= now) {
-                due.emplace_back(name, std::move(q.pending));
+        std::vector<std::pair<QueueKey, std::vector<Request>>> due;
+        for (auto& [key, q] : queues_) {
+            if (!q.pending.empty() && q.due <= now) {
+                due.emplace_back(key, std::move(q.pending));
                 q.pending.clear();
                 ++deadline_flushes_;
             }
         }
+        std::stable_sort(due.begin(), due.end(),
+                         [](const auto& a, const auto& b) {
+                             return topPriority(a.second) <
+                                 topPriority(b.second);
+                         });
         lock.unlock();
-        for (auto& [name, batch] : due)
-            flush_(name, std::move(batch));
+        for (auto& [key, batch] : due)
+            flush_(key, std::move(batch));
         lock.lock();
     }
 }

@@ -2,15 +2,23 @@
  * @file
  * Request batching for the serving layer.
  *
- * A Batcher coalesces concurrent SpMV requests against the same
- * named matrix into one batched multi-RHS call: requests accumulate
- * in a per-matrix queue and flush either when the queue reaches the
- * maximum batch size (inline, on the enqueuing thread — zero added
- * latency at full load) or when the oldest queued request has
- * waited the deadline (from the batcher's timer thread — bounded
- * latency at low load). The flush callback receives the whole
- * batch; the pipeline lowers it onto eng::spmvBatch, whose one
- * traversal of the sparse operand serves every request.
+ * A Batcher coalesces concurrent requests into per-(matrix, op
+ * class) queues (QueueKey): SpMV requests against one matrix merge
+ * into one batched multi-RHS call, SpMM blocks concatenate into one
+ * wide traversal, SpAdd merges share a queue for ordering. A queue
+ * flushes when it reaches the maximum batch size (inline, on the
+ * enqueuing thread — zero added latency at full load), when its
+ * deadline passes (from the timer thread — bounded latency at low
+ * load), or immediately when a kHigh-priority request arrives
+ * (inline; the high request drags any already-queued work along
+ * with it).
+ *
+ * Priority-aware flush ordering: each request's priority caps its
+ * queue's wait — kHigh flushes now, kNormal within max_delay,
+ * kBatch within batch_delay — and a request's own deadline tightens
+ * the cap further so expiring work is surfaced, not hoarded. When
+ * several queues are due at once (timer or flushAll), queues
+ * holding higher-priority requests flush first.
  *
  * Ownership/threading contract: the Batcher owns its queues and
  * timer thread; requests own their promises until a flush hands
@@ -18,7 +26,7 @@
  * the flush callback always runs with no Batcher lock held (it may
  * re-enter the pool or run compute inline). The callback must
  * outlive the Batcher; destruction stops the timer, then flushes
- * every remaining queue.
+ * every remaining queue (counted as manual flushes).
  */
 
 #ifndef SMASH_SERVE_BATCHER_HH
@@ -28,42 +36,38 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <future>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
+#include "serve/request.hh"
 
 namespace smash::serve
 {
 
-/** One in-flight SpMV request: operand in, result promised out. */
-struct Request
-{
-    std::vector<Value> x;
-    std::promise<std::vector<Value>> result;
-};
-
-/** Coalesces per-matrix requests; flushes on size or deadline. */
+/** Coalesces per-(matrix, op) requests; flushes on size, deadline,
+ *  or a high-priority arrival. */
 class Batcher
 {
   public:
-    using Clock = std::chrono::steady_clock;
+    using Clock = Request::Clock;
     /** Receives a full batch; called with no Batcher lock held. */
     using FlushFn =
-        std::function<void(const std::string&, std::vector<Request>)>;
+        std::function<void(const QueueKey&, std::vector<Request>)>;
 
     /**
-     * @param max_batch  flush threshold (1 disables coalescing:
+     * @param max_batch   flush threshold (1 disables coalescing:
      *        every request flushes immediately)
-     * @param max_delay  deadline for a queued request before its
-     *        (possibly partial) batch flushes anyway
+     * @param max_delay   wait cap of a queued kNormal request
+     * @param batch_delay wait cap of a queued kBatch request
+     *        (kHigh requests flush their queue immediately)
      */
     Batcher(Index max_batch, std::chrono::microseconds max_delay,
-            FlushFn flush);
+            std::chrono::microseconds batch_delay, FlushFn flush);
 
     Batcher(const Batcher&) = delete;
     Batcher& operator=(const Batcher&) = delete;
@@ -72,40 +76,51 @@ class Batcher
     ~Batcher();
 
     /**
-     * Add one request to @p matrix's queue. Flushes inline when the
-     * queue reaches max_batch; otherwise the timer flushes it at
-     * deadline.
+     * Add one request to the (matrix, op) queue of @p key. Flushes
+     * inline when the queue reaches max_batch or the request is
+     * kHigh priority; otherwise the timer flushes at the queue's
+     * (priority/deadline-capped) flush time.
      */
-    void enqueue(const std::string& matrix, Request request);
+    void enqueue(const QueueKey& key, Request request);
 
-    /** Flush every queue now (partial batches included). */
+    /** Flush every queue now, highest-priority queues first. */
     void flushAll();
 
     Index maxBatch() const { return max_batch_; }
     /** Batches flushed by reaching max_batch. */
     std::uint64_t sizeFlushes() const;
-    /** Batches flushed by the timer at deadline (explicit
-     *  flushAll() calls are counted by neither). */
+    /** Batches flushed by the timer at a deadline. */
     std::uint64_t deadlineFlushes() const;
+    /** Batches flushed inline by a kHigh-priority arrival. */
+    std::uint64_t priorityFlushes() const;
+    /** Batches flushed by explicit flushAll() calls (including the
+     *  destructor's final sweep). */
+    std::uint64_t manualFlushes() const;
 
   private:
     struct Queue
     {
         std::vector<Request> pending;
-        Clock::time_point deadline; //!< of the oldest pending request
+        /** Earliest wait cap among the pending requests. */
+        Clock::time_point due = Clock::time_point::max();
     };
 
+    /** Wait cap of one request, from its priority and deadline. */
+    Clock::time_point flushBy(const Request& request) const;
     void timerLoop();
 
     const Index max_batch_;
     const std::chrono::microseconds max_delay_;
+    const std::chrono::microseconds batch_delay_;
     const FlushFn flush_;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::unordered_map<std::string, Queue> queues_;
+    std::unordered_map<QueueKey, Queue, QueueKeyHash> queues_;
     std::uint64_t size_flushes_ = 0;
     std::uint64_t deadline_flushes_ = 0;
+    std::uint64_t priority_flushes_ = 0;
+    std::uint64_t manual_flushes_ = 0;
     bool stop_ = false;
     std::thread timer_; //!< started in the ctor body, after validation
 };

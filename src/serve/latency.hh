@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lock-free latency accounting for the serving pipeline: a power-
+ * of-two histogram of request latencies (submit → delivery), one per
+ * priority class. record() is a single relaxed atomic increment on
+ * the delivery path; percentile() scans the 48 buckets, so p50/p99
+ * cost nothing until someone asks.
+ *
+ * Resolution is the bucket width (powers of two in microseconds);
+ * percentile() returns the geometric midpoint of the bucket holding
+ * the requested rank — plenty for the throughput bench's p50/p99
+ * report, and immune to reservoir-sampling bias under load.
+ */
+
+#ifndef SMASH_SERVE_LATENCY_HH
+#define SMASH_SERVE_LATENCY_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace smash::serve
+{
+
+/** Power-of-two latency histogram (microsecond buckets). */
+class LatencyHistogram
+{
+  public:
+    /** Bucket i holds latencies in [2^(i-1), 2^i) microseconds
+     *  (bucket 0: sub-microsecond); the top bucket is open-ended. */
+    static constexpr int kBuckets = 48;
+
+    void
+    record(std::chrono::nanoseconds latency)
+    {
+        const auto us = static_cast<std::uint64_t>(
+            latency.count() < 0 ? 0 : latency.count() / 1000);
+        int bucket = std::bit_width(us); // 0 for us == 0
+        if (bucket >= kBuckets)
+            bucket = kBuckets - 1;
+        counts_[static_cast<std::size_t>(bucket)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& c : counts_)
+            total += c.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /**
+     * Latency (microseconds) at quantile @p q in [0, 1]: the
+     * geometric midpoint of the bucket containing the rank-q
+     * sample, 0 when nothing was recorded.
+     */
+    double
+    percentileUs(double q) const
+    {
+        std::array<std::uint64_t, kBuckets> snap;
+        std::uint64_t total = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            snap[static_cast<std::size_t>(i)] =
+                counts_[static_cast<std::size_t>(i)].load(
+                    std::memory_order_relaxed);
+            total += snap[static_cast<std::size_t>(i)];
+        }
+        if (total == 0)
+            return 0;
+        const auto rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(total - 1));
+        std::uint64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += snap[static_cast<std::size_t>(i)];
+            if (seen > rank) {
+                if (i == 0)
+                    return 0.5;
+                // Midpoint of [2^(i-1), 2^i), geometrically.
+                return static_cast<double>(1ull << (i - 1)) * 1.5;
+            }
+        }
+        return 0; // unreachable
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_LATENCY_HH

@@ -38,7 +38,7 @@ Pipeline::~Pipeline()
 }
 
 void
-Pipeline::postPrepare(const std::string& matrix, Request request,
+Pipeline::postPrepare(const QueueKey& key, Request request,
                       Batcher& batcher)
 {
     {
@@ -49,14 +49,34 @@ Pipeline::postPrepare(const std::string& matrix, Request request,
     // shared_ptr: promises are move-only but the pool's task type
     // (std::function) requires copyable callables.
     auto req = std::make_shared<Request>(std::move(request));
-    pool_.post([this, matrix, req, &batcher] {
+    pool_.post([this, key, req, &batcher] {
         try {
             // Encode/convert stage: first touch converts, later
-            // touches return the cached encoding immediately.
-            registry_.encoded(matrix);
-            batcher.enqueue(matrix, std::move(*req));
+            // touches return the cached encoding immediately. SpAdd
+            // computes on the CSR masters of both operands.
+            switch (key.op) {
+              case OpClass::kSpmv:
+              case OpClass::kSpmm:
+                registry_.encoded(key.matrix);
+                break;
+              case OpClass::kSpadd:
+                registry_.encodedAs(key.matrix, eng::Format::kCsr);
+                registry_.encodedAs(
+                    std::get<SpaddWork>(req->work).other,
+                    eng::Format::kCsr);
+                break;
+            }
+            batcher.enqueue(key, std::move(*req));
+        } catch (const std::exception& ex) {
+            req->resolved = true;
+            req->fail(Status(StatusCode::kInternal, ex.what()));
+            finish(1, false);
         } catch (...) {
-            req->result.set_exception(std::current_exception());
+            // A non-std exception must still resolve the promise
+            // and the accounting, or drain() hangs forever.
+            req->resolved = true;
+            req->fail(Status(StatusCode::kInternal,
+                             "unknown prepare failure"));
             finish(1, false);
         }
     });
@@ -78,33 +98,115 @@ Pipeline::postReencode(const std::string& matrix)
 }
 
 void
-Pipeline::postCompute(const std::string& matrix,
-                      std::vector<Request> batch)
+Pipeline::postCompute(const QueueKey& key, std::vector<Request> batch)
 {
     if (batch.empty())
         return;
     auto shared =
         std::make_shared<std::vector<Request>>(std::move(batch));
-    pool_.post([this, matrix, shared] {
+    pool_.post([this, key, shared] {
         try {
-            computeBatch(matrix, *shared);
+            computeBatch(key, *shared);
+        } catch (const std::exception& ex) {
+            failRemaining(*shared,
+                          Status(StatusCode::kInternal, ex.what()));
         } catch (...) {
-            const std::exception_ptr error = std::current_exception();
-            for (Request& r : *shared)
-                r.result.set_exception(error);
-            finish(shared->size(), false);
+            failRemaining(*shared, Status(StatusCode::kInternal,
+                                          "unknown compute failure"));
         }
     });
 }
 
 void
-Pipeline::computeBatch(const std::string& matrix,
+Pipeline::failRemaining(std::vector<Request>& batch,
+                        const Status& status)
+{
+    std::uint64_t n = 0;
+    for (Request& r : batch) {
+        if (r.resolved)
+            continue;
+        r.resolved = true;
+        try {
+            r.fail(status);
+        } catch (...) {
+            // A moved-from promise has no state; nothing to resolve.
+        }
+        ++n;
+    }
+    if (n > 0)
+        finish(n, false);
+}
+
+template <typename T, typename Work>
+void
+Pipeline::deliver(Request& request, Work& work, T value)
+{
+    request.resolved = true;
+    stats_
+        .latencyByPriority[static_cast<std::size_t>(
+            request.options.priority)]
+        .record(Request::Clock::now() - request.submitted);
+    work.result.set_value(Result<T>(std::move(value)));
+    // Release the admission slot before finish(): the session may
+    // tear its gate down the instant the in-flight count reaches
+    // zero, so the ticket must not outlive that accounting.
+    request.ticket.reset();
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    finish(1, true);
+}
+
+void
+Pipeline::computeBatch(const QueueKey& key,
                        std::vector<Request>& batch)
+{
+    // Deadline gate: a request whose budget ran out while it was
+    // queued resolves to kDeadlineExceeded instead of computing —
+    // at overload, work the client has given up on is shed here.
+    const Request::Clock::time_point now = Request::Clock::now();
+    std::uint64_t n_expired = 0;
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (Request& r : batch) {
+        if (r.expiry <= now) {
+            r.resolved = true;
+            r.fail(Status(StatusCode::kDeadlineExceeded,
+                          "deadline passed before compute"));
+            ++n_expired;
+        } else {
+            live.push_back(std::move(r));
+        }
+    }
+    if (n_expired > 0) {
+        stats_.expired.fetch_add(n_expired, std::memory_order_relaxed);
+        finish(n_expired, false);
+    }
+    if (live.empty())
+        return;
+    batch.swap(live);
+
+    switch (key.op) {
+      case OpClass::kSpmv:
+        computeSpmv(key.matrix, batch);
+        return;
+      case OpClass::kSpmm:
+        computeSpmm(key.matrix, batch);
+        return;
+      case OpClass::kSpadd:
+        computeSpadd(key.matrix, batch);
+        return;
+    }
+    SMASH_PANIC("unknown op class");
+}
+
+void
+Pipeline::computeSpmv(const std::string& matrix,
+                      std::vector<Request>& batch)
 {
     // The shared_ptr pins this epoch's encoding for the whole
     // compute: a concurrent mutation or drift re-encode swaps the
     // registry slot without pulling the matrix out from under us.
-    const MatrixRegistry::EncodingPtr held = registry_.encoded(matrix);
+    const MatrixRegistry::EncodingPtr held =
+        registry_.encoded(matrix);
     const eng::SparseMatrixAny& m = *held;
     const Index rows = m.rows();
     const auto nrhs = static_cast<Index>(batch.size());
@@ -112,13 +214,14 @@ Pipeline::computeBatch(const std::string& matrix,
     if (nrhs == 1) {
         // Unbatched: a literal single-RHS dispatch (this is the
         // baseline path the throughput bench compares against).
+        auto& w = std::get<SpmvWork>(batch[0].work);
         std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
         if (compute_ == ComputeExec::kParallel) {
             exec::ParallelExec pe(pool_);
-            eng::spmv(m.ref(), batch[0].x, y, pe);
+            eng::spmv(m.ref(), w.x, y, pe);
         } else {
             sim::NativeExec ne;
-            eng::spmv(m.ref(), batch[0].x, y, ne);
+            eng::spmv(m.ref(), w.x, y, ne);
         }
         stats_.batches.fetch_add(1, std::memory_order_relaxed);
         storeMax(stats_.widestBatch, 1);
@@ -126,32 +229,32 @@ Pipeline::computeBatch(const std::string& matrix,
         shared->push_back(std::move(batch[0]));
         auto result = std::make_shared<std::vector<Value>>(std::move(y));
         pool_.post([this, shared, result] {
-            (*shared)[0].result.set_value(std::move(*result));
-            stats_.completed.fetch_add(1, std::memory_order_relaxed);
-            finish(1, true);
+            deliver((*shared)[0], std::get<SpmvWork>((*shared)[0].work),
+                    std::move(*result));
         });
         return;
     }
 
     // Assemble the tall-skinny X block (one column per request,
-    // already padded to the format's operand length) and compute
-    // the whole batch with one traversal of the sparse operand.
+    // padded to the format's operand length) and compute the whole
+    // batch with one traversal of the sparse operand.
     const Index xlen = m.xLength();
-    auto x = std::make_shared<fmt::DenseMatrix>(xlen, nrhs);
+    fmt::DenseMatrix x(xlen, nrhs);
     for (Index r = 0; r < nrhs; ++r) {
         const std::vector<Value>& xr =
-            batch[static_cast<std::size_t>(r)].x;
+            std::get<SpmvWork>(batch[static_cast<std::size_t>(r)].work)
+                .x;
         const auto n = static_cast<Index>(xr.size());
         for (Index j = 0; j < n && j < xlen; ++j)
-            x->at(j, r) = xr[static_cast<std::size_t>(j)];
+            x.at(j, r) = xr[static_cast<std::size_t>(j)];
     }
     auto y = std::make_shared<fmt::DenseMatrix>(rows, nrhs);
     if (compute_ == ComputeExec::kParallel) {
         exec::ParallelExec pe(pool_);
-        eng::spmvBatch(m.ref(), *x, *y, pe);
+        eng::spmvBatch(m.ref(), x, *y, pe);
     } else {
         sim::NativeExec ne;
-        eng::spmvBatch(m.ref(), *x, *y, ne);
+        eng::spmvBatch(m.ref(), x, *y, ne);
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch, static_cast<std::uint64_t>(nrhs));
@@ -166,12 +269,103 @@ Pipeline::computeBatch(const std::string& matrix,
             std::vector<Value> out(static_cast<std::size_t>(rows));
             for (Index i = 0; i < rows; ++i)
                 out[static_cast<std::size_t>(i)] = y->at(i, r);
-            (*shared)[static_cast<std::size_t>(r)].result.set_value(
-                std::move(out));
-            stats_.completed.fetch_add(1, std::memory_order_relaxed);
+            Request& req = (*shared)[static_cast<std::size_t>(r)];
+            deliver(req, std::get<SpmvWork>(req.work), std::move(out));
         }
-        finish(static_cast<std::uint64_t>(n), true);
     });
+}
+
+void
+Pipeline::computeSpmm(const std::string& matrix,
+                      std::vector<Request>& batch)
+{
+    const MatrixRegistry::EncodingPtr held =
+        registry_.encoded(matrix);
+    const eng::SparseMatrixAny& m = *held;
+    const Index rows = m.rows();
+    const Index xlen = m.xLength();
+
+    // Concatenate every request's dense block into one wide X: the
+    // per-column arithmetic of the batched kernels is independent,
+    // so each block's C columns are bit-identical to computing its
+    // eng::spmmBatch alone — one traversal now serves all blocks.
+    Index total = 0;
+    for (const Request& r : batch)
+        total += std::get<SpmmWork>(r.work).b.cols();
+    fmt::DenseMatrix x(xlen, total);
+    Index off = 0;
+    for (const Request& r : batch) {
+        const fmt::DenseMatrix& b = std::get<SpmmWork>(r.work).b;
+        const Index jmax = std::min(xlen, b.rows());
+        for (Index c = 0; c < b.cols(); ++c)
+            for (Index j = 0; j < jmax; ++j)
+                x.at(j, off + c) = b.at(j, c);
+        off += b.cols();
+    }
+    auto y = std::make_shared<fmt::DenseMatrix>(rows, total);
+    if (compute_ == ComputeExec::kParallel) {
+        exec::ParallelExec pe(pool_);
+        eng::spmmBatch(m.ref(), x, *y, pe);
+    } else {
+        sim::NativeExec ne;
+        eng::spmmBatch(m.ref(), x, *y, ne);
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    storeMax(stats_.widestBatch,
+             static_cast<std::uint64_t>(batch.size()));
+
+    // Deliver: slice each request's columns back out of the wide Y.
+    auto shared =
+        std::make_shared<std::vector<Request>>(std::move(batch));
+    pool_.post([this, shared, y, rows] {
+        Index off = 0;
+        for (Request& req : *shared) {
+            auto& w = std::get<SpmmWork>(req.work);
+            const Index nc = w.b.cols();
+            fmt::DenseMatrix out(rows, nc);
+            for (Index c = 0; c < nc; ++c)
+                for (Index i = 0; i < rows; ++i)
+                    out.at(i, c) = y->at(i, off + c);
+            off += nc;
+            deliver(req, w, std::move(out));
+        }
+    });
+}
+
+void
+Pipeline::computeSpadd(const std::string& matrix,
+                       std::vector<Request>& batch)
+{
+    // SpAdd requests do not coalesce into one kernel call; the
+    // queue still gives them batching's scheduling benefits (one
+    // task per flush, priority ordering). Each merge runs on the
+    // CSR masters and delivers inline — the result is the payload,
+    // there is no block to scatter.
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    storeMax(stats_.widestBatch,
+             static_cast<std::uint64_t>(batch.size()));
+    for (Request& req : batch) {
+        auto& w = std::get<SpaddWork>(req.work);
+        try {
+            const MatrixRegistry::EncodingPtr a =
+                registry_.encodedAs(matrix, eng::Format::kCsr);
+            const MatrixRegistry::EncodingPtr b =
+                registry_.encodedAs(w.other, eng::Format::kCsr);
+            eng::SparseMatrixAny sum = [&] {
+                if (compute_ == ComputeExec::kParallel) {
+                    exec::ParallelExec pe(pool_);
+                    return eng::spadd(a->ref(), b->ref(), pe);
+                }
+                sim::NativeExec ne;
+                return eng::spadd(a->ref(), b->ref(), ne);
+            }();
+            deliver(req, w, sum.as<fmt::CooMatrix>());
+        } catch (const std::exception& ex) {
+            req.resolved = true;
+            req.fail(Status(StatusCode::kInternal, ex.what()));
+            finish(1, false);
+        }
+    }
 }
 
 void
@@ -191,6 +385,14 @@ Pipeline::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+bool
+Pipeline::drainFor(std::chrono::microseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return idle_.wait_for(lock, timeout,
+                          [this] { return inflight_ == 0; });
 }
 
 } // namespace smash::serve

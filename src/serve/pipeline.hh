@@ -3,20 +3,28 @@
  * The serving layer's async pipeline. Each request flows through
  * three stages, every one a task posted to the shared ThreadPool:
  *
- *   encode/convert — resolve the matrix's primary encoding through
- *       the registry (first touch converts, later touches hit the
- *       cache) and hand the request to the batcher;
- *   compute        — lower a flushed batch onto one eng::spmvBatch
- *       call (a literal eng::spmv when the batch is a single
- *       request);
- *   reduce/deliver — scatter the Y block back into per-request
- *       result vectors and fulfil the promises.
+ *   encode/convert — resolve the encodings the request's op class
+ *       needs through the registry (first touch converts, later
+ *       touches hit the cache) and hand the request to the batcher;
+ *   compute        — lower a flushed (matrix, op) batch onto one
+ *       engine call: SpMV batches onto eng::spmvBatch, SpMM blocks
+ *       concatenate onto eng::spmmBatch, SpAdd merges run per
+ *       request through eng::spadd;
+ *   reduce/deliver — scatter results back per request and fulfil
+ *       the promises with serve::Result values.
  *
  * Because the stages are independent tasks, the expensive CSR→SMASH
  * conversion of one request overlaps the compute of another — the
  * fig20 conversion cost hides behind in-flight work instead of
- * serializing in front of it. Errors travel through the promises:
- * a stage failure rejects exactly the requests it was carrying.
+ * serializing in front of it. Failures travel through the promises
+ * as non-kOk Results (no exception crosses the serving boundary):
+ * a stage failure resolves exactly the requests it was carrying
+ * with kInternal, and a request whose deadline passed before its
+ * batch computed resolves to kDeadlineExceeded.
+ *
+ * Delivery also records each request's submit→delivery latency into
+ * a per-priority histogram (latency.hh) — the source of the
+ * throughput bench's p50/p99 report.
  *
  * The pipeline is also the registry's re-encode scheduler: when a
  * mutated matrix drifts across a format boundary, postReencode()
@@ -42,7 +50,9 @@
 
 #include "common/thread_pool.hh"
 #include "serve/batcher.hh"
+#include "serve/latency.hh"
 #include "serve/registry.hh"
+#include "serve/request.hh"
 
 namespace smash::serve
 {
@@ -61,10 +71,20 @@ struct PipelineStats
 {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> failed{0};   //!< includes expired
+    std::atomic<std::uint64_t> expired{0};  //!< kDeadlineExceeded
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> widestBatch{0};
     std::atomic<std::uint64_t> reencodes{0}; //!< drift re-encodes run
+
+    /** Submit→delivery latency per priority class. */
+    LatencyHistogram latencyByPriority[kNumPriorities];
+
+    const LatencyHistogram&
+    latency(Priority p) const
+    {
+        return latencyByPriority[static_cast<std::size_t>(p)];
+    }
 };
 
 /** Stage bodies + in-flight accounting of the serving pipeline. */
@@ -85,12 +105,11 @@ class Pipeline
      * which hands it to @p batcher on completion. @p batcher must
      * stay alive until drain() returns.
      */
-    void postPrepare(const std::string& matrix, Request request,
+    void postPrepare(const QueueKey& key, Request request,
                      Batcher& batcher);
 
     /** Stage 2 entry: post the compute task for a flushed batch. */
-    void postCompute(const std::string& matrix,
-                     std::vector<Request> batch);
+    void postCompute(const QueueKey& key, std::vector<Request> batch);
 
     /**
      * Maintenance entry: run the registry's pending re-encode for
@@ -104,16 +123,32 @@ class Pipeline
     /**
      * Block until every submitted request has been delivered or
      * failed. Requests still parked in a batcher count as in-flight;
-     * its deadline timer (or flushAll()) releases them, so drain()
-     * waits at most one deadline past the last queued request.
+     * its deadline timer (or flushAll()) releases them. Callers that
+     * own the batcher (Session::drain) poll drainFor() and flush
+     * between waits, so draining never sits out a long flush cap.
      */
     void drain();
+
+    /** drain() bounded by @p timeout; true when idle was reached. */
+    bool drainFor(std::chrono::microseconds timeout);
 
     const PipelineStats& stats() const { return stats_; }
 
   private:
-    void computeBatch(const std::string& matrix,
+    void computeBatch(const QueueKey& key,
                       std::vector<Request>& batch);
+    void computeSpmv(const std::string& matrix,
+                     std::vector<Request>& batch);
+    void computeSpmm(const std::string& matrix,
+                     std::vector<Request>& batch);
+    void computeSpadd(const std::string& matrix,
+                      std::vector<Request>& batch);
+    /** Resolve one delivered request: value, latency, accounting. */
+    template <typename T, typename Work>
+    void deliver(Request& request, Work& work, T value);
+    /** Fail every not-yet-resolved request in @p batch. */
+    void failRemaining(std::vector<Request>& batch,
+                       const Status& status);
     /** Mark @p n requests left the pipeline (delivered or failed). */
     void finish(std::uint64_t n, bool ok);
 

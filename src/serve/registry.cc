@@ -146,7 +146,7 @@ MatrixRegistry::encodedAs(const std::string& name, eng::Format format)
     return encodedLocked(s, format);
 }
 
-MatrixRegistry::ReencodeHook
+bool
 MatrixRegistry::finishMutation(Slot& s, bool structural,
                                UpdateOutcome& out)
 {
@@ -156,7 +156,7 @@ MatrixRegistry::finishMutation(Slot& s, bool structural,
         // Nothing changed (empty deltas, scale by 1): keep the
         // cached encodings — invalidation would force a pointless
         // reconversion (the fig20 cost) on the next request.
-        return nullptr;
+        return false;
     }
     // Values changed: every cached encoding is stale. In-flight
     // readers keep their shared_ptr epochs; the next encoded() call
@@ -164,17 +164,15 @@ MatrixRegistry::finishMutation(Slot& s, bool structural,
     ++s.epoch;
     s.encodings.clear();
     if (!structural)
-        return nullptr; // value-only change cannot move a boundary
+        return false; // value-only change cannot move a boundary
 
     ReselectPolicy policy;
-    ReencodeHook hook;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         policy = policy_;
-        hook = hook_;
     }
     if (!policy.enabled || s.reencodePending)
-        return nullptr;
+        return false;
     // Cheap gate first: don't even snapshot the profile until the
     // accumulated structural churn is worth a decision.
     const Index changed = s.profile.changedSinceRebase();
@@ -184,26 +182,42 @@ MatrixRegistry::finishMutation(Slot& s, bool structural,
                            static_cast<double>(
                                std::max<Index>(1, s.profile.nnz()))));
     if (changed < need)
-        return nullptr;
+        return false;
     const eng::Format target = eng::chooseFormatSticky(
         s.profile.stats(), s.chosen, policy.margin);
     if (target == s.chosen) {
         // Inside the hysteresis band: stay put, and restart the
         // drift accumulation so the next check needs fresh churn.
         s.profile.rebase();
-        return nullptr;
+        return false;
     }
     s.reencodePending = true;
     s.pendingTarget = target;
     out.reencodeScheduled = true;
     out.target = target;
-    if (hook)
-        return hook;
+    return true;
+}
+
+void
+MatrixRegistry::fireReencode(const std::string& name,
+                             eng::Format target)
+{
+    {
+        // Invoke the scheduler under the hook lock: a session
+        // tearing down blocks in clearReencodeHook() until this
+        // call returns, so the hook can never post onto a pool
+        // whose teardown has already been allowed to proceed. The
+        // hook body is cheap (it posts one task), so the critical
+        // section is short.
+        std::lock_guard<std::mutex> lock(hook_mutex_);
+        if (hook_) {
+            hook_(name, target);
+            return;
+        }
+    }
     // No scheduler attached: re-encode synchronously on the
     // mutating thread (standalone registry use).
-    return [this](const std::string& n, eng::Format) {
-        runReencode(n);
-    };
+    runReencode(name);
 }
 
 UpdateOutcome
@@ -214,7 +228,7 @@ MatrixRegistry::applyUpdates(const std::string& name,
         deltas.canonicalize();
     Slot& s = slot(name);
     UpdateOutcome out;
-    ReencodeHook fire;
+    bool fire = false;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
         eng::StructureTracker& tracker = s.profile;
@@ -226,7 +240,7 @@ MatrixRegistry::applyUpdates(const std::string& name,
         fire = finishMutation(s, out.stats.structural() > 0, out);
     }
     if (fire)
-        fire(name, out.target);
+        fireReencode(name, out.target);
     return out;
 }
 
@@ -239,7 +253,7 @@ MatrixRegistry::replaceRows(const std::string& name,
         replacement.canonicalize();
     Slot& s = slot(name);
     UpdateOutcome out;
-    ReencodeHook fire;
+    bool fire = false;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
         eng::StructureTracker& tracker = s.profile;
@@ -251,7 +265,7 @@ MatrixRegistry::replaceRows(const std::string& name,
         fire = finishMutation(s, out.stats.structural() > 0, out);
     }
     if (fire)
-        fire(name, out.target);
+        fireReencode(name, out.target);
     return out;
 }
 
@@ -325,7 +339,7 @@ MatrixRegistry::runReencode(const std::string& name)
 void
 MatrixRegistry::setReencodeHook(ReencodeHook hook, const void* owner)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(hook_mutex_);
     hook_ = std::move(hook);
     hookOwner_ = hook_ ? owner : nullptr;
 }
@@ -333,7 +347,10 @@ MatrixRegistry::setReencodeHook(ReencodeHook hook, const void* owner)
 void
 MatrixRegistry::clearReencodeHook(const void* owner)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Taking hook_mutex_ waits out any in-flight fireReencode()
+    // invocation: when this returns, the owner's scheduler has
+    // provably been called for the last time.
+    std::lock_guard<std::mutex> lock(hook_mutex_);
     if (hookOwner_ != owner)
         return; // a newer owner installed its own hook: keep it
     hook_ = nullptr;

@@ -27,8 +27,11 @@
  * shared_ptr snapshots: a reader holds whatever epoch it fetched
  * for as long as it needs (in-flight requests keep computing on the
  * old encoding while a re-encode swaps the slot underneath), and
- * the last holder frees it. The hook is invoked with no registry
- * lock held.
+ * the last holder frees it. The hook is invoked with no slot lock
+ * held, but under the registry's hook lock — clearing the hook
+ * therefore waits out in-flight invocations, so a scheduler being
+ * destroyed (a dying Session's pool) can never be called into after
+ * its clearReencodeHook() returns.
  */
 
 #ifndef SMASH_SERVE_REGISTRY_HH
@@ -171,8 +174,13 @@ class MatrixRegistry
     void setReencodeHook(ReencodeHook hook,
                          const void* owner = nullptr);
 
-    /** Clear the hook only if @p owner still owns it (a destroyed
-     *  session must not detach its successor's scheduler). */
+    /**
+     * Clear the hook only if @p owner still owns it (a destroyed
+     * session must not detach its successor's scheduler). Blocks
+     * until any in-flight hook invocation has returned: after this
+     * call, no mutation — however far past its drift detection —
+     * can reach the owner's pipeline again.
+     */
     void clearReencodeHook(const void* owner);
 
     /** Policy for every registered matrix (tunable at runtime). */
@@ -216,14 +224,23 @@ class MatrixRegistry
                            const eng::SparseMatrixAny::BuildOptions&
                                build);
     /** Shared mutation tail: bump the epoch, drop stale encodings,
-     *  and run the drift detector. Returns the hook to fire (only
-     *  when this call scheduled the re-encode), for invocation
-     *  after the slot lock is released. */
-    ReencodeHook finishMutation(Slot& s, bool structural,
-                                UpdateOutcome& out);
+     *  and run the drift detector. Returns whether this call
+     *  scheduled the re-encode — the caller fires it through
+     *  fireReencode() after the slot lock is released. */
+    bool finishMutation(Slot& s, bool structural, UpdateOutcome& out);
+    /** Dispatch one scheduled re-encode: through the installed hook
+     *  (invoked under hook_mutex_, so clearReencodeHook() blocks
+     *  until the invocation finishes — the hook target can never be
+     *  torn down mid-call), inline otherwise. */
+    void fireReencode(const std::string& name, eng::Format target);
 
-    mutable std::mutex mutex_; //!< guards the name table + hook/policy
+    mutable std::mutex mutex_; //!< guards the name table + policy
     std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+    /** Guards the hook pair below and serializes hook invocation
+     *  against install/clear: held while the hook runs, so a
+     *  cleared hook has provably finished every invocation when
+     *  clearReencodeHook() returns. */
+    mutable std::mutex hook_mutex_;
     ReencodeHook hook_;
     const void* hookOwner_ = nullptr;
     ReselectPolicy policy_;

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Typed requests of the serving API.
+ *
+ * Public surface: SpmvRequest / SpmmRequest / SpaddRequest, each
+ * carrying RequestOptions {priority, deadline, admission}. A request
+ * names registered matrices; Session::submit() validates it, runs
+ * admission control, and returns a future<Result<T>> (result.hh).
+ *
+ *   priority  — kHigh flushes its queue immediately (latency),
+ *               kNormal waits up to the session's maxDelay,
+ *               kBatch waits up to batchDelay (throughput);
+ *   deadline  — relative budget covering admission blocking and
+ *               queue wait; expired requests resolve to
+ *               kDeadlineExceeded instead of computing (0 = none);
+ *   admission — at capacity, kFailFast resolves to kOverloaded
+ *               immediately, kBlock waits for a slot.
+ *
+ * Internal surface: Request is the envelope the batcher queues and
+ * the pipeline computes — the op payload (a variant, one alternative
+ * per op class) plus the promise, timing, and the admission ticket
+ * whose destruction releases the in-flight slot. Batcher queues are
+ * keyed by QueueKey = (matrix, op class), so SpMV coalescing never
+ * mixes with SpMM blocks or SpAdd merges.
+ */
+
+#ifndef SMASH_SERVE_REQUEST_HH
+#define SMASH_SERVE_REQUEST_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.hh"
+#include "formats/coo_matrix.hh"
+#include "formats/dense_matrix.hh"
+#include "serve/result.hh"
+
+namespace smash::serve
+{
+
+/** Scheduling class of one request (array index: kHigh first). */
+enum class Priority
+{
+    kHigh = 0,   //!< flush immediately; drags its queue along
+    kNormal = 1, //!< flush within the session's maxDelay
+    kBatch = 2,  //!< flush within batchDelay (deep coalescing)
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+inline const char*
+toString(Priority p)
+{
+    switch (p) {
+      case Priority::kHigh: return "high";
+      case Priority::kNormal: return "normal";
+      case Priority::kBatch: return "batch";
+    }
+    return "unknown";
+}
+
+/** What happens when the session is at its in-flight limit. */
+enum class Admission
+{
+    kFailFast, //!< resolve to kOverloaded immediately
+    kBlock,    //!< wait for capacity (bounded by the deadline)
+};
+
+/** Per-request knobs, defaulting to the pre-redesign behaviour. */
+struct RequestOptions
+{
+    Priority priority = Priority::kNormal;
+    /** Admission-block + queue-wait budget; zero means none. */
+    std::chrono::microseconds deadline{0};
+    Admission admission = Admission::kFailFast;
+};
+
+/** y = A x against the registered matrix @p matrix. */
+struct SpmvRequest
+{
+    std::string matrix;
+    std::vector<Value> x;
+    RequestOptions options{};
+};
+
+/**
+ * C = A B for a dense multi-RHS block @p b (one column per RHS,
+ * b.rows() == A.cols()); lowered onto the batched SpMM driver, with
+ * concurrent blocks against the same matrix concatenated into one
+ * traversal.
+ */
+struct SpmmRequest
+{
+    std::string matrix;
+    fmt::DenseMatrix b;
+    RequestOptions options{};
+};
+
+/** A + B over two registered matrices (canonical COO out). */
+struct SpaddRequest
+{
+    std::string a;
+    std::string b;
+    RequestOptions options{};
+};
+
+/** Operation class of a batcher queue (variant index of Request). */
+enum class OpClass
+{
+    kSpmv = 0,
+    kSpmm = 1,
+    kSpadd = 2,
+};
+
+inline const char*
+toString(OpClass op)
+{
+    switch (op) {
+      case OpClass::kSpmv: return "spmv";
+      case OpClass::kSpmm: return "spmm";
+      case OpClass::kSpadd: return "spadd";
+    }
+    return "unknown";
+}
+
+/** Batcher queue key: requests coalesce per (matrix, op class). */
+struct QueueKey
+{
+    std::string matrix;
+    OpClass op = OpClass::kSpmv;
+
+    bool operator==(const QueueKey&) const = default;
+};
+
+struct QueueKeyHash
+{
+    std::size_t
+    operator()(const QueueKey& k) const
+    {
+        return std::hash<std::string>()(k.matrix) ^
+            (static_cast<std::size_t>(k.op) * 0x9e3779b97f4a7c15ull);
+    }
+};
+
+/** Payload + promise of one in-flight SpMV request. */
+struct SpmvWork
+{
+    std::vector<Value> x;
+    std::promise<Result<std::vector<Value>>> result;
+};
+
+/** Payload + promise of one in-flight SpMM request. */
+struct SpmmWork
+{
+    fmt::DenseMatrix b;
+    std::promise<Result<fmt::DenseMatrix>> result;
+};
+
+/** Payload + promise of one in-flight SpAdd request. */
+struct SpaddWork
+{
+    std::string other; //!< the B operand's registry name
+    std::promise<Result<fmt::CooMatrix>> result;
+};
+
+/**
+ * The internal envelope: one admitted request flowing through the
+ * batcher and pipeline. Move-only (it owns the result promise). The
+ * admission ticket is released when the envelope dies — wherever
+ * that happens (delivery, expiry, or a failed stage).
+ */
+struct Request
+{
+    using Clock = std::chrono::steady_clock;
+
+    RequestOptions options{};
+    Clock::time_point submitted{};                      //!< latency base
+    Clock::time_point expiry = Clock::time_point::max(); //!< absolute
+    std::shared_ptr<void> ticket;                       //!< admission slot
+    /** Promise already satisfied (pipeline-internal bookkeeping, so
+     *  a failure sweep never double-resolves a delivered request). */
+    bool resolved = false;
+    std::variant<SpmvWork, SpmmWork, SpaddWork> work;
+
+    OpClass
+    op() const
+    {
+        return static_cast<OpClass>(work.index());
+    }
+
+    /** Resolve the promise (whichever op) with a failure status. */
+    void
+    fail(const Status& status)
+    {
+        std::visit([&](auto& w) { w.result.set_value(status); }, work);
+        // Release the admission slot before the pipeline's finish()
+        // accounting runs: teardown may proceed the instant the
+        // in-flight count hits zero, so the gate must not be
+        // touched by a ticket outliving that moment.
+        ticket.reset();
+    }
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_REQUEST_HH

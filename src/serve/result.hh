@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The serving API's status model: every typed request resolves to a
+ * serve::Result<T> — a Status plus, when the status is kOk, the
+ * operation's value. No exception crosses the serving API boundary;
+ * validation failures come back as ready Results, runtime failures
+ * travel through the request's future as non-kOk Results.
+ *
+ * Status codes:
+ *   kOk               — the request completed; value() is populated
+ *   kNotFound         — no matrix registered under the given name
+ *   kInvalidOperand   — operand shape/length does not fit the matrix
+ *   kOverloaded       — admission denied (kFailFast at capacity)
+ *   kDeadlineExceeded — deadline passed while queued or blocked
+ *   kShuttingDown     — session closed before the request ran
+ *   kInternal         — a stage failed (conversion/compute error)
+ */
+
+#ifndef SMASH_SERVE_RESULT_HH
+#define SMASH_SERVE_RESULT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace smash::serve
+{
+
+/** Outcome class of one serving request. */
+enum class StatusCode
+{
+    kOk,
+    kNotFound,
+    kInvalidOperand,
+    kOverloaded,
+    kDeadlineExceeded,
+    kShuttingDown,
+    kInternal,
+};
+
+/** Short stable name ("ok", "not_found", ...). */
+inline const char*
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kNotFound: return "not_found";
+      case StatusCode::kInvalidOperand: return "invalid_operand";
+      case StatusCode::kOverloaded: return "overloaded";
+      case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+      case StatusCode::kShuttingDown: return "shutting_down";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+/** One status code plus a human-readable detail message. */
+class Status
+{
+  public:
+    /** Default: kOk with no message. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "code: message" (or just "ok"). */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(serve::toString(code_)) + ": " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Status-or-value of one typed request. A Result is either kOk and
+ * holds a T, or a non-kOk Status and holds nothing; value() on a
+ * failed Result is a caller bug (FatalError), so callers check ok()
+ * first — the error path is data, never control flow by exception.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success, owning the operation's value. */
+    Result(T value) // NOLINT: implicit by design
+        : value_(std::move(value))
+    {}
+
+    /** Failure; @p status must not be kOk. */
+    Result(Status status) // NOLINT: implicit by design
+        : status_(std::move(status))
+    {
+        SMASH_CHECK(!status_.ok(),
+                    "a kOk Result must be built from a value");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status& status() const { return status_; }
+
+    const T&
+    value() const&
+    {
+        SMASH_CHECK(ok(), "value() on failed Result (",
+                    status_.toString(), ")");
+        return *value_;
+    }
+
+    T&
+    value() &
+    {
+        SMASH_CHECK(ok(), "value() on failed Result (",
+                    status_.toString(), ")");
+        return *value_;
+    }
+
+    T&&
+    value() &&
+    {
+        SMASH_CHECK(ok(), "value() on failed Result (",
+                    status_.toString(), ")");
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_RESULT_HH

@@ -1,5 +1,6 @@
 #include "serve/session.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -7,15 +8,50 @@
 namespace smash::serve
 {
 
+namespace
+{
+
+/** Already-resolved future carrying a failure status. */
+template <typename T>
+std::future<Result<T>>
+readyFuture(Status status)
+{
+    std::promise<Result<T>> promise;
+    std::future<Result<T>> future = promise.get_future();
+    promise.set_value(Result<T>(std::move(status)));
+    return future;
+}
+
+Request::Clock::time_point
+expiryOf(Request::Clock::time_point now, const RequestOptions& options)
+{
+    if (options.deadline.count() <= 0)
+        return Request::Clock::time_point::max();
+    return now + options.deadline;
+}
+
+std::chrono::microseconds
+resolveBatchDelay(const SessionOptions& options)
+{
+    if (options.batchDelay.count() > 0)
+        return std::max(options.batchDelay, options.maxDelay);
+    return options.maxDelay * 8;
+}
+
+} // namespace
+
 Session::Session(MatrixRegistry& registry, const SessionOptions& options)
-    : registry_(registry), pool_(options.threads),
+    : registry_(registry), options_(options), pool_(options.threads),
       pipeline_(registry, pool_, options.compute),
       batcher_(options.maxBatch, options.maxDelay,
-               [this](const std::string& matrix,
-                      std::vector<Request> batch) {
-                   pipeline_.postCompute(matrix, std::move(batch));
+               resolveBatchDelay(options),
+               [this](const QueueKey& key, std::vector<Request> batch) {
+                   pipeline_.postCompute(key, std::move(batch));
                })
 {
+    SMASH_CHECK(options_.maxInflight >= 0 &&
+                    options_.maxInflightPerMatrix >= 0,
+                "in-flight limits must be non-negative");
     // Drift re-encodes of served matrices run as tasks on this
     // session's pool (latest-constructed session wins the hook
     // when several share the registry).
@@ -28,31 +64,239 @@ Session::Session(MatrixRegistry& registry, const SessionOptions& options)
 
 Session::~Session()
 {
-    // Detach from the registry first: a mutation arriving during
-    // teardown must not schedule work onto the dying pipeline. The
-    // owner tag keeps this from wiping a newer session's hook on a
-    // shared registry.
+    // Detach from the registry first: the registry invokes the hook
+    // under its hook lock, and clearReencodeHook() blocks on that
+    // same lock — once it returns, no mutation can reach the dying
+    // pipeline (later drifts fall back to inline re-encoding), and
+    // anything already posted runs before the pool joins.
     registry_.clearReencodeHook(this);
-    // Members tear down in reverse order (batcher, pipeline, pool),
-    // but a stage-1 task still running on the pool may touch the
-    // batcher — so drain everything first, while all parts live.
-    drain();
+    close();
+}
+
+Status
+Session::validateMatrix(const std::string& name) const
+{
+    if (!registry_.contains(name))
+        return Status(StatusCode::kNotFound,
+                      "no matrix registered as '" + name + "'");
+    return Status();
+}
+
+Session::Admitted
+Session::admit(const std::string& matrix, const RequestOptions& options,
+               Request::Clock::time_point expiry)
+{
+    std::unique_lock<std::mutex> lock(gate_.mutex);
+    const auto full = [&] {
+        if (options_.maxInflight > 0 &&
+            gate_.total >= options_.maxInflight)
+            return true;
+        if (options_.maxInflightPerMatrix > 0) {
+            auto it = gate_.perMatrix.find(matrix);
+            if (it != gate_.perMatrix.end() &&
+                it->second >= options_.maxInflightPerMatrix)
+                return true;
+        }
+        return false;
+    };
+    for (;;) {
+        if (gate_.closing)
+            return {nullptr, Status(StatusCode::kShuttingDown,
+                                    "session is closing")};
+        if (!full())
+            break;
+        if (options.admission == Admission::kFailFast) {
+            overloaded_.fetch_add(1, std::memory_order_relaxed);
+            return {nullptr,
+                    Status(StatusCode::kOverloaded,
+                           "in-flight limit reached for '" + matrix +
+                               "'")};
+        }
+        if (expiry == Request::Clock::time_point::max()) {
+            gate_.freed.wait(lock); // woken by release() or close()
+            continue;
+        }
+        if (gate_.freed.wait_until(lock, expiry) ==
+            std::cv_status::timeout) {
+            if (gate_.closing)
+                return {nullptr, Status(StatusCode::kShuttingDown,
+                                        "session is closing")};
+            if (full())
+                return {nullptr,
+                        Status(StatusCode::kDeadlineExceeded,
+                               "deadline passed while blocked on "
+                               "admission")};
+            break;
+        }
+    }
+    ++gate_.total;
+    ++gate_.perMatrix[matrix];
+    // The ticket returns the slot when the envelope dies — at
+    // delivery, expiry, or any failure path, without the pipeline
+    // having to know about admission at all.
+    std::shared_ptr<void> ticket(
+        new std::string(matrix), [this](void* p) {
+            auto* name = static_cast<std::string*>(p);
+            release(*name);
+            delete name;
+        });
+    return {std::move(ticket), Status()};
+}
+
+void
+Session::release(const std::string& matrix)
+{
+    {
+        std::lock_guard<std::mutex> lock(gate_.mutex);
+        auto it = gate_.perMatrix.find(matrix);
+        if (it != gate_.perMatrix.end() && --it->second == 0)
+            gate_.perMatrix.erase(it);
+        if (gate_.total > 0)
+            --gate_.total;
+    }
+    gate_.freed.notify_all();
+}
+
+template <typename Work>
+void
+Session::launch(QueueKey key, const RequestOptions& options,
+                Request::Clock::time_point now,
+                Request::Clock::time_point expiry,
+                std::shared_ptr<void> ticket, Work work)
+{
+    Request envelope;
+    envelope.options = options;
+    envelope.submitted = now;
+    envelope.expiry = expiry;
+    envelope.ticket = std::move(ticket);
+    envelope.work = std::move(work);
+    pipeline_.postPrepare(key, std::move(envelope), batcher_);
+}
+
+std::future<Result<std::vector<Value>>>
+Session::submit(SpmvRequest req)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = validateMatrix(req.matrix); !s.ok())
+        return readyFuture<std::vector<Value>>(std::move(s));
+    const Index cols = registry_.cols(req.matrix);
+    if (static_cast<Index>(req.x.size()) != cols)
+        return readyFuture<std::vector<Value>>(Status(
+            StatusCode::kInvalidOperand,
+            "operand for '" + req.matrix + "' has length " +
+                std::to_string(req.x.size()) + ", matrix has " +
+                std::to_string(cols) + " columns"));
+    Admitted admitted = admit(req.matrix, req.options, expiry);
+    if (!admitted.ticket)
+        return readyFuture<std::vector<Value>>(
+            std::move(admitted.status));
+    SpmvWork work{std::move(req.x), {}};
+    std::future<Result<std::vector<Value>>> future =
+        work.result.get_future();
+    launch(QueueKey{std::move(req.matrix), OpClass::kSpmv},
+           req.options, now, expiry, std::move(admitted.ticket),
+           std::move(work));
+    return future;
+}
+
+std::future<Result<fmt::DenseMatrix>>
+Session::submit(SpmmRequest req)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = validateMatrix(req.matrix); !s.ok())
+        return readyFuture<fmt::DenseMatrix>(std::move(s));
+    const Index cols = registry_.cols(req.matrix);
+    if (req.b.rows() != cols)
+        return readyFuture<fmt::DenseMatrix>(Status(
+            StatusCode::kInvalidOperand,
+            "B block for '" + req.matrix + "' has " +
+                std::to_string(req.b.rows()) + " rows, matrix has " +
+                std::to_string(cols) + " columns"));
+    if (req.b.cols() < 1)
+        return readyFuture<fmt::DenseMatrix>(
+            Status(StatusCode::kInvalidOperand,
+                   "B block carries no right-hand sides"));
+    Admitted admitted = admit(req.matrix, req.options, expiry);
+    if (!admitted.ticket)
+        return readyFuture<fmt::DenseMatrix>(
+            std::move(admitted.status));
+    SpmmWork work{std::move(req.b), {}};
+    std::future<Result<fmt::DenseMatrix>> future =
+        work.result.get_future();
+    launch(QueueKey{std::move(req.matrix), OpClass::kSpmm},
+           req.options, now, expiry, std::move(admitted.ticket),
+           std::move(work));
+    return future;
+}
+
+std::future<Result<fmt::CooMatrix>>
+Session::submit(SpaddRequest req)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = validateMatrix(req.a); !s.ok())
+        return readyFuture<fmt::CooMatrix>(std::move(s));
+    if (Status s = validateMatrix(req.b); !s.ok())
+        return readyFuture<fmt::CooMatrix>(std::move(s));
+    if (registry_.rows(req.a) != registry_.rows(req.b) ||
+        registry_.cols(req.a) != registry_.cols(req.b))
+        return readyFuture<fmt::CooMatrix>(
+            Status(StatusCode::kInvalidOperand,
+                   "spadd operands '" + req.a + "' and '" + req.b +
+                       "' have different shapes"));
+    Admitted admitted = admit(req.a, req.options, expiry);
+    if (!admitted.ticket)
+        return readyFuture<fmt::CooMatrix>(std::move(admitted.status));
+    SpaddWork work{std::move(req.b), {}};
+    std::future<Result<fmt::CooMatrix>> future =
+        work.result.get_future();
+    launch(QueueKey{std::move(req.a), OpClass::kSpadd}, req.options,
+           now, expiry, std::move(admitted.ticket), std::move(work));
+    return future;
 }
 
 std::future<std::vector<Value>>
 Session::submit(const std::string& matrix, std::vector<Value> x)
 {
-    SMASH_CHECK(registry_.contains(matrix),
-                "submit() against unregistered matrix '", matrix, "'");
-    const Index cols = registry_.cols(matrix);
-    SMASH_CHECK(static_cast<Index>(x.size()) == cols, "operand for '",
-                matrix, "' has length ", x.size(), ", matrix has ",
-                cols, " columns");
-    Request request{std::move(x), {}};
-    std::future<std::vector<Value>> future =
-        request.result.get_future();
-    pipeline_.postPrepare(matrix, std::move(request), batcher_);
-    return future;
+    // Shim over the typed path: the adapter unwraps the Result,
+    // rethrowing any failure as FatalError (the legacy contract's
+    // only error channel). Launched async, not deferred, so the
+    // returned future keeps the legacy wait_for()/wait_until()
+    // behaviour (a deferred future never reports ready) — one
+    // short-lived thread per call is fine for a deprecated path.
+    return std::async(
+        std::launch::async,
+        [f = submit(SpmvRequest{matrix, std::move(x)})]() mutable {
+            Result<std::vector<Value>> r = f.get();
+            if (!r.ok())
+                throw FatalError(r.status().toString());
+            return std::move(r).value();
+        });
+}
+
+void
+Session::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(gate_.mutex);
+        gate_.closing = true;
+    }
+    gate_.freed.notify_all(); // blocked admitters see kShuttingDown
+    // Drain until the admission gate is empty too, not just the
+    // pipeline: a submit that passed admit() holds a ticket
+    // (gate_.total > 0, under the gate lock) until its envelope
+    // resolves, but may not have reached postPrepare() yet — the
+    // pipeline cannot see it. Waiting the gate out guarantees no
+    // such straggler can touch the members being torn down.
+    for (;;) {
+        drain();
+        std::unique_lock<std::mutex> lock(gate_.mutex);
+        if (gate_.total == 0)
+            return;
+        gate_.freed.wait_for(lock, std::chrono::milliseconds(1));
+    }
 }
 
 UpdateOutcome
@@ -78,10 +322,16 @@ Session::scaleValues(const std::string& matrix, Value factor)
 void
 Session::drain()
 {
-    // Partial batches would otherwise wait out their deadline; the
-    // explicit flush lets drain() finish as soon as compute does.
-    batcher_.flushAll();
-    pipeline_.drain();
+    // Partial batches would otherwise wait out their flush cap (up
+    // to batchDelay); the explicit flush lets drain() finish as
+    // soon as compute does. Poll-flush rather than flush once: a
+    // request whose stage-1 task has not reached the batcher yet
+    // would miss a single sweep and strand drain() on the cap.
+    for (;;) {
+        batcher_.flushAll();
+        if (pipeline_.drainFor(std::chrono::milliseconds(1)))
+            return;
+    }
 }
 
 } // namespace smash::serve

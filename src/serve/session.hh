@@ -3,18 +3,30 @@
  * serve::Session — the serving subsystem's front door.
  *
  * A Session wires a shared MatrixRegistry to its own ThreadPool,
- * Batcher, and Pipeline. submit() accepts one SpMV request (matrix
- * name + operand vector) and immediately returns a future; the
- * request then flows through the async pipeline: conversion (cached
- * in the registry), batching (coalesced with concurrent requests
- * against the same matrix), one batched multi-RHS compute, and
- * delivery. Minimal use:
+ * Batcher, and Pipeline. submit() accepts a typed request (SpMV,
+ * SpMM, or SpAdd — request.hh) and returns a future<Result<T>>;
+ * admitted requests flow through the async pipeline: conversion
+ * (cached in the registry), batching (coalesced per (matrix, op)
+ * with concurrent requests), one batched compute, and delivery.
+ * No exception crosses the API boundary — validation failures come
+ * back as ready Results (kNotFound / kInvalidOperand), admission
+ * failures as kOverloaded / kDeadlineExceeded / kShuttingDown, and
+ * stage failures through the future as kInternal. Minimal use:
  *
  *   serve::MatrixRegistry registry;
  *   registry.put("ranker", std::move(coo)); // auto-selects format
  *   serve::Session session(registry, {.threads = 8});
- *   auto y = session.submit("ranker", x);   // std::future
- *   use(y.get());                           // y = A x
+ *   auto f = session.submit(serve::SpmvRequest{"ranker", x});
+ *   serve::Result<std::vector<Value>> r = f.get();
+ *   if (r.ok()) use(r.value());             // y = A x
+ *
+ * Admission control: SessionOptions::maxInflight and
+ * maxInflightPerMatrix bound the requests between submit() and
+ * delivery. At capacity, a request's RequestOptions decide —
+ * kFailFast resolves to kOverloaded immediately; kBlock waits for
+ * a slot (bounded by the request's deadline). Priorities shape the
+ * batcher's flush order: kHigh flushes its queue now, kNormal
+ * within maxDelay, kBatch within batchDelay.
  *
  * Sessions are thread-safe: any number of client threads may
  * submit() concurrently, and several Sessions may share one
@@ -30,24 +42,33 @@
  * back to synchronous (inline) reselection.
  *
  * Ownership/threading contract: the Session borrows the registry,
- * which must outlive it, and owns its pool/batcher/pipeline. Do not
- * mutate matrices concurrently with destroying the session serving
- * them — the destructor clears the hook, but a mutation already
- * past the hook copy may still post onto the dying pool.
+ * which must outlive it, and owns its pool/batcher/pipeline.
+ * Mutating matrices concurrently with destroying the session
+ * serving them is safe: the registry invokes the hook under its
+ * hook lock, and the destructor's detach blocks on that lock — a
+ * mutation either schedules onto the still-alive pool or, once the
+ * destructor holds the lock, falls back to inline re-encoding.
  */
 
 #ifndef SMASH_SERVE_SESSION_HH
 #define SMASH_SERVE_SESSION_HH
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <future>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hh"
 #include "serve/batcher.hh"
 #include "serve/pipeline.hh"
 #include "serve/registry.hh"
+#include "serve/request.hh"
+#include "serve/result.hh"
 
 namespace smash::serve
 {
@@ -57,8 +78,14 @@ struct SessionOptions
 {
     int threads = 4;     //!< pool workers running the stages
     Index maxBatch = 16; //!< coalesce up to this many requests
-    std::chrono::microseconds maxDelay{200}; //!< deadline flush
+    std::chrono::microseconds maxDelay{200}; //!< kNormal flush cap
+    /** kBatch flush cap; zero means 8 x maxDelay, and a value
+     *  below maxDelay is raised to it. */
+    std::chrono::microseconds batchDelay{0};
     ComputeExec compute = ComputeExec::kSerial;
+    /** In-flight request caps (submit → delivery); 0 = unbounded. */
+    Index maxInflight = 0;
+    Index maxInflightPerMatrix = 0;
 };
 
 /** One serving endpoint over a (possibly shared) registry. */
@@ -71,17 +98,42 @@ class Session
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
 
-    /** Drains in-flight requests, then tears the pool down. */
+    /** close()s, drains in-flight requests, tears the pool down. */
     ~Session();
 
     /**
-     * Submit y = A x against the registered matrix @p matrix
-     * (@p x at logical length, matrix cols). Fails fast on an
-     * unknown name or a wrong operand length; later failures
-     * arrive through the future.
+     * Submit y = A x. Validation failures (kNotFound for an unknown
+     * matrix, kInvalidOperand for a wrong-length x) and admission
+     * failures return as already-resolved futures; admitted
+     * requests resolve when their batch computes.
      */
+    std::future<Result<std::vector<Value>>> submit(SpmvRequest req);
+
+    /**
+     * Submit C = A B for a dense multi-RHS block (b.rows() must be
+     * A's column count; at least one column). Concurrent blocks
+     * against the same matrix concatenate into one traversal.
+     */
+    std::future<Result<fmt::DenseMatrix>> submit(SpmmRequest req);
+
+    /** Submit A + B over two registered matrices (same shape). */
+    std::future<Result<fmt::CooMatrix>> submit(SpaddRequest req);
+
+    /**
+     * Legacy SpMV entry — a shim over the typed path: statuses
+     * surface as FatalError from future::get() instead of Results.
+     */
+    [[deprecated("use submit(SpmvRequest) and the Result status "
+                 "model")]]
     std::future<std::vector<Value>>
     submit(const std::string& matrix, std::vector<Value> x);
+
+    /**
+     * Stop admitting: every later (and every blocked) submit
+     * resolves to kShuttingDown, then in-flight work drains.
+     * Idempotent; the destructor calls it.
+     */
+    void close();
 
     /**
      * Mutation passthroughs: apply to the shared registry, with any
@@ -100,14 +152,52 @@ class Session
     void drain();
 
     const PipelineStats& stats() const { return pipeline_.stats(); }
+    /** Admission rejections (kOverloaded) so far. */
+    std::uint64_t overloadRejects() const { return overloaded_.load(); }
     int threads() const { return pool_.size(); }
     Index maxBatch() const { return batcher_.maxBatch(); }
+    const Batcher& batcher() const { return batcher_; }
 
   private:
+    /** Admission gate state (in-flight slot accounting). */
+    struct Gate
+    {
+        std::mutex mutex;
+        std::condition_variable freed;
+        Index total = 0;
+        std::unordered_map<std::string, Index> perMatrix;
+        bool closing = false;
+    };
+
+    /** Outcome of admission: a ticket, or the status denying it. */
+    struct Admitted
+    {
+        std::shared_ptr<void> ticket; //!< null when denied
+        Status status;
+    };
+
+    /** kNotFound/kInvalidOperand checks shared by the submits. */
+    Status validateMatrix(const std::string& name) const;
+    /** Take one in-flight slot (or block/deny per @p options). */
+    Admitted admit(const std::string& matrix,
+                   const RequestOptions& options,
+                   Request::Clock::time_point expiry);
+    /** Return one slot and wake blocked admitters. */
+    void release(const std::string& matrix);
+    /** Build the envelope and post stage 1. */
+    template <typename Work>
+    void launch(QueueKey key, const RequestOptions& options,
+                Request::Clock::time_point now,
+                Request::Clock::time_point expiry,
+                std::shared_ptr<void> ticket, Work work);
+
     MatrixRegistry& registry_;
+    const SessionOptions options_;
     exec::ThreadPool pool_;
     Pipeline pipeline_;
     Batcher batcher_; //!< declared after the pipeline it flushes into
+    Gate gate_;
+    std::atomic<std::uint64_t> overloaded_{0};
 };
 
 } // namespace smash::serve

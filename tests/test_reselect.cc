@@ -336,7 +336,11 @@ TEST(Reselect, DriftTriggersExactlyOneAsyncReencode)
 
         // Warm the cache so the drift path starts from a served
         // steady state.
-        session.submit("live", dyadicOperand(n, 0)).get();
+        ASSERT_TRUE(session
+                        .submit(serve::SpmvRequest{
+                            "live", dyadicOperand(n, 0)})
+                        .get()
+                        .ok());
         ASSERT_EQ(registry.format("live"), eng::Format::kDia);
 
         // Phase A: scattered deltas until the detector schedules
@@ -374,20 +378,24 @@ TEST(Reselect, DriftTriggersExactlyOneAsyncReencode)
         }
         constexpr int kClients = 3;
         constexpr int kPerClient = 10;
-        std::vector<std::future<std::vector<Value>>> futures(
-            kClients * kPerClient);
+        std::vector<
+            std::future<serve::Result<std::vector<Value>>>>
+            futures(kClients * kPerClient);
         std::atomic<std::size_t> slot{0};
         std::vector<std::thread> clients;
         for (int c = 0; c < kClients; ++c)
             clients.emplace_back([&] {
                 for (int i = 0; i < kPerClient; ++i)
                     futures[slot.fetch_add(1)] =
-                        session.submit("live", dyadicOperand(n, 1));
+                        session.submit(serve::SpmvRequest{
+                            "live", dyadicOperand(n, 1)});
             });
         for (std::thread& c : clients)
             c.join();
         for (auto& f : futures) {
-            const std::vector<Value> got = f.get();
+            serve::Result<std::vector<Value>> result = f.get();
+            ASSERT_TRUE(result.ok()) << result.status().toString();
+            const std::vector<Value>& got = result.value();
             ASSERT_EQ(got.size(), oracle.size());
             for (std::size_t i = 0; i < got.size(); ++i)
                 ASSERT_EQ(got[i], oracle[i])
@@ -405,7 +413,11 @@ TEST(Reselect, DriftTriggersExactlyOneAsyncReencode)
         // Post-swap requests serve from the re-selected encoding
         // and still agree bit-for-bit.
         const std::vector<Value> after =
-            session.submit("live", dyadicOperand(n, 1)).get();
+            session
+                .submit(serve::SpmvRequest{"live",
+                                           dyadicOperand(n, 1)})
+                .get()
+                .value();
         for (std::size_t i = 0; i < after.size(); ++i)
             ASSERT_EQ(after[i], oracle[i]);
     }
@@ -420,7 +432,11 @@ TEST(Reselect, ReplaceRowsServesFreshContent)
         opts.threads = threads;
         serve::Session session(registry, opts);
 
-        session.submit("m", dyadicOperand(96, 2)).get();
+        ASSERT_TRUE(session
+                        .submit(serve::SpmvRequest{
+                            "m", dyadicOperand(96, 2)})
+                        .get()
+                        .ok());
 
         fmt::CooMatrix repl(96, 96);
         repl.add(7, 0, Value(8));
@@ -430,7 +446,7 @@ TEST(Reselect, ReplaceRowsServesFreshContent)
 
         const std::vector<Value> x = dyadicOperand(96, 2);
         const std::vector<Value> y =
-            session.submit("m", x).get();
+            session.submit(serve::SpmvRequest{"m", x}).get().value();
         EXPECT_EQ(y[7], Value(8) * x[0] + Value(0.5) * x[95]);
         session.drain();
     }

@@ -2,9 +2,13 @@
  * @file
  * Tests for the serving subsystem and the engine growth beneath it:
  * batched SpMV against per-request dispatch (within 1e-12), the
- * parallel SpMM/SpAdd drivers, thread-pool shutdown semantics, the
- * matrix registry's conversion caching, and pipeline completion
- * under out-of-order request arrival.
+ * batched SpMM/SpAdd dispatch entry points, the parallel SpMM/SpAdd
+ * drivers, thread-pool shutdown semantics, the matrix registry's
+ * conversion caching — and the typed serve::Result surface: status
+ * codes instead of exceptions, per-(matrix, op) batching with
+ * priority-aware flush ordering, admission control (kOverloaded
+ * fail-fast, kBlock eventual completion), deadlines, and the
+ * per-priority latency accounting.
  *
  * Thread counts: SMASH_SERVE_THREADS pins one count (the ctest
  * variants run 1, 2, and 8); unset, every count is covered.
@@ -17,6 +21,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,6 +60,31 @@ rampVector(Index n, Index kind)
         x[static_cast<std::size_t>(i)] =
             Value(1) + Value((i * 3 + kind) % 7) * Value(0.25);
     return x;
+}
+
+/** Dyadic-valued COO (multiples of 2^-4): exact in any sum order. */
+fmt::CooMatrix
+dyadicMatrix(Index rows, Index cols, Index per_row)
+{
+    fmt::CooMatrix coo(rows, cols);
+    for (Index r = 0; r < rows; ++r)
+        for (Index k = 0; k < per_row; ++k)
+            coo.add(r, (r * 5 + k * 7) % cols,
+                    Value(1) + Value((r * 3 + k) % 9) * Value(0.0625));
+    coo.canonicalize();
+    return coo;
+}
+
+/** Dyadic dense block, one distinct column per RHS. */
+fmt::DenseMatrix
+dyadicBlock(Index rows, Index nrhs, Index kind)
+{
+    fmt::DenseMatrix b(rows, nrhs);
+    for (Index c = 0; c < nrhs; ++c)
+        for (Index j = 0; j < rows; ++j)
+            b.at(j, c) = Value(1) +
+                Value((j * 5 + c * 3 + kind) % 9) * Value(0.0625);
+    return b;
 }
 
 /** X block with column r = rampVector(rows, r), zero-padded. */
@@ -167,6 +198,79 @@ TEST(SpmvBatch, SimulatedDispatchBillsTheMachine)
     }
 }
 
+TEST(SpmmBatch, BitIdenticalToConcatenationAndCloseToSpmm)
+{
+    // The dense-RHS SpMM entry: computing a block alone must be
+    // bit-identical to computing it inside a wider concatenation
+    // (per-column arithmetic is independent and ordered) — the
+    // property the serving layer's SpMM coalescing relies on.
+    const fmt::CooMatrix coo = dyadicMatrix(64, 48, 6);
+    const fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    sim::NativeExec e;
+
+    const fmt::DenseMatrix b1 = dyadicBlock(48, 3, 1);
+    const fmt::DenseMatrix b2 = dyadicBlock(48, 5, 2);
+    fmt::DenseMatrix wide(48, 8);
+    for (Index j = 0; j < 48; ++j) {
+        for (Index c = 0; c < 3; ++c)
+            wide.at(j, c) = b1.at(j, c);
+        for (Index c = 0; c < 5; ++c)
+            wide.at(j, 3 + c) = b2.at(j, c);
+    }
+    fmt::DenseMatrix c1(64, 3), c2(64, 5), cw(64, 8);
+    eng::spmmBatch(csr, b1, c1, e);
+    eng::spmmBatch(csr, b2, c2, e);
+    eng::spmmBatch(csr, wide, cw, e);
+    for (Index i = 0; i < 64; ++i) {
+        for (Index c = 0; c < 3; ++c)
+            EXPECT_EQ(c1.at(i, c), cw.at(i, c));
+        for (Index c = 0; c < 5; ++c)
+            EXPECT_EQ(c2.at(i, c), cw.at(i, 3 + c));
+    }
+
+    // And against the sparse-B SpMM route (CSR x CSC): dyadic
+    // values make every summation order exact, so even the
+    // different traversal agrees bitwise.
+    fmt::CooMatrix b_coo(48, 8);
+    for (Index j = 0; j < 48; ++j)
+        for (Index c = 0; c < 8; ++c)
+            b_coo.add(j, c, wide.at(j, c));
+    b_coo.canonicalize();
+    const fmt::CscMatrix b_csc = fmt::CscMatrix::fromCoo(b_coo);
+    fmt::DenseMatrix c_spmm(64, 8);
+    eng::spmm(csr, b_csc, c_spmm, e);
+    for (Index i = 0; i < 64; ++i)
+        for (Index c = 0; c < 8; ++c)
+            EXPECT_EQ(cw.at(i, c), c_spmm.at(i, c));
+}
+
+TEST(SpaddBatch, MatchesIndividualSpadd)
+{
+    const fmt::CsrMatrix a =
+        fmt::CsrMatrix::fromCoo(dyadicMatrix(50, 50, 5));
+    const fmt::CsrMatrix b1 =
+        fmt::CsrMatrix::fromCoo(dyadicMatrix(50, 50, 3));
+    const fmt::CsrMatrix b2 =
+        fmt::CsrMatrix::fromCoo(dyadicMatrix(50, 50, 7));
+    sim::NativeExec e;
+    const std::vector<eng::SparseMatrixAny> sums =
+        eng::spaddBatch(a, {b1, b2}, e);
+    ASSERT_EQ(sums.size(), 2u);
+    const eng::SparseMatrixAny s1 = eng::spadd(a, b1, e);
+    const eng::SparseMatrixAny s2 = eng::spadd(a, b2, e);
+    EXPECT_EQ(sums[0].nnz(), s1.nnz());
+    EXPECT_EQ(sums[1].nnz(), s2.nnz());
+    const std::vector<Value> x = rampVector(50, 2);
+    for (int i = 0; i < 2; ++i) {
+        std::vector<Value> ya(50, Value(0)), yb(50, Value(0));
+        eng::spmv(sums[static_cast<std::size_t>(i)], x, ya, e);
+        eng::spmv(i == 0 ? s1 : s2, x, yb, e);
+        for (Index r = 0; r < 50; ++r)
+            EXPECT_EQ(ya[static_cast<std::size_t>(r)],
+                      yb[static_cast<std::size_t>(r)]);
+    }
+}
+
 TEST(ParallelDrivers, SpmmTilesMatchSerial)
 {
     const fmt::CooMatrix a_coo = wl::genClustered(90, 70, 1100, 4, 21);
@@ -242,48 +346,6 @@ TEST(ThreadPoolShutdown, TryPostRunsBeforeAndRejectsAfterShutdown)
     EXPECT_EQ(ran.load(), 8);
 }
 
-TEST(Batcher, FlushAllWithZeroPendingInvokesNothing)
-{
-    std::atomic<int> flushes{0};
-    {
-        serve::Batcher batcher(
-            4, std::chrono::microseconds(50),
-            [&flushes](const std::string&, std::vector<serve::Request>) {
-                flushes.fetch_add(1);
-            });
-        batcher.flushAll(); // nothing queued: no callback
-        batcher.flushAll(); // idempotent on empty queues
-        EXPECT_EQ(flushes.load(), 0);
-        EXPECT_EQ(batcher.sizeFlushes(), 0u);
-        EXPECT_EQ(batcher.deadlineFlushes(), 0u);
-    } // destructor flushes nothing either
-    EXPECT_EQ(flushes.load(), 0);
-}
-
-TEST(Batcher, DeadlineShorterThanOnePollTickStillFlushes)
-{
-    // A 1 microsecond deadline is far below any scheduler tick: by
-    // the time the timer thread evaluates it, it has already
-    // passed. The partial batch must flush promptly anyway (via
-    // the timeout path), not hang until max_batch fills.
-    std::atomic<int> delivered{0};
-    serve::Batcher batcher(
-        64, std::chrono::microseconds(1),
-        [&delivered](const std::string&,
-                     std::vector<serve::Request> batch) {
-            delivered.fetch_add(static_cast<int>(batch.size()));
-        });
-    batcher.enqueue("m", serve::Request{});
-    const auto deadline = std::chrono::steady_clock::now() +
-        std::chrono::seconds(5);
-    while (delivered.load() < 1 &&
-           std::chrono::steady_clock::now() < deadline)
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-    EXPECT_EQ(delivered.load(), 1);
-    EXPECT_EQ(batcher.deadlineFlushes(), 1u);
-    EXPECT_EQ(batcher.sizeFlushes(), 0u);
-}
-
 TEST(ThreadPoolShutdown, DrainsPostedTasksBeforeJoining)
 {
     std::atomic<int> ran{0};
@@ -319,6 +381,165 @@ TEST(ThreadPoolShutdown, NestedParallelForProgresses)
         });
         EXPECT_EQ(sum.load(), 800L * 799 / 2) << threads << " threads";
     }
+}
+
+serve::QueueKey
+spmvKey(std::string matrix)
+{
+    return serve::QueueKey{std::move(matrix), serve::OpClass::kSpmv};
+}
+
+serve::Request
+plainRequest(serve::Priority priority = serve::Priority::kNormal)
+{
+    serve::Request r;
+    r.options.priority = priority;
+    r.submitted = serve::Request::Clock::now();
+    return r;
+}
+
+TEST(Batcher, FlushAllWithZeroPendingInvokesNothing)
+{
+    std::atomic<int> flushes{0};
+    {
+        serve::Batcher batcher(
+            4, std::chrono::microseconds(50),
+            std::chrono::microseconds(400),
+            [&flushes](const serve::QueueKey&,
+                       std::vector<serve::Request>) {
+                flushes.fetch_add(1);
+            });
+        batcher.flushAll(); // nothing queued: no callback
+        batcher.flushAll(); // idempotent on empty queues
+        EXPECT_EQ(flushes.load(), 0);
+        EXPECT_EQ(batcher.sizeFlushes(), 0u);
+        EXPECT_EQ(batcher.deadlineFlushes(), 0u);
+        EXPECT_EQ(batcher.manualFlushes(), 0u);
+    } // destructor flushes nothing either
+    EXPECT_EQ(flushes.load(), 0);
+}
+
+TEST(Batcher, DeadlineShorterThanOnePollTickStillFlushes)
+{
+    // A 1 microsecond deadline is far below any scheduler tick: by
+    // the time the timer thread evaluates it, it has already
+    // passed. The partial batch must flush promptly anyway (via
+    // the timeout path), not hang until max_batch fills.
+    std::atomic<int> delivered{0};
+    serve::Batcher batcher(
+        64, std::chrono::microseconds(1), std::chrono::microseconds(8),
+        [&delivered](const serve::QueueKey&,
+                     std::vector<serve::Request> batch) {
+            delivered.fetch_add(static_cast<int>(batch.size()));
+        });
+    batcher.enqueue(spmvKey("m"), plainRequest());
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(5);
+    while (delivered.load() < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    EXPECT_EQ(delivered.load(), 1);
+    EXPECT_EQ(batcher.deadlineFlushes(), 1u);
+    EXPECT_EQ(batcher.sizeFlushes(), 0u);
+}
+
+TEST(Batcher, ManualFlushesCountedSeparately)
+{
+    std::atomic<int> flushes{0};
+    serve::Batcher batcher(
+        64, std::chrono::seconds(10), std::chrono::seconds(10),
+        [&flushes](const serve::QueueKey&,
+                   std::vector<serve::Request>) {
+            flushes.fetch_add(1);
+        });
+    batcher.enqueue(spmvKey("a"), plainRequest());
+    batcher.enqueue(spmvKey("b"), plainRequest());
+    batcher.enqueue(serve::QueueKey{"a", serve::OpClass::kSpadd},
+                    plainRequest());
+    EXPECT_EQ(flushes.load(), 0);
+    batcher.flushAll();
+    EXPECT_EQ(flushes.load(), 3); // one per non-empty queue
+    EXPECT_EQ(batcher.manualFlushes(), 3u);
+    EXPECT_EQ(batcher.sizeFlushes(), 0u);
+    EXPECT_EQ(batcher.deadlineFlushes(), 0u);
+    batcher.flushAll(); // queues now empty: nothing more counted
+    EXPECT_EQ(batcher.manualFlushes(), 3u);
+}
+
+TEST(Batcher, OpClassesDoNotShareQueues)
+{
+    // Same matrix, different op classes: max_batch applies per
+    // queue, so two requests never coalesce across classes.
+    std::mutex mu;
+    std::vector<serve::OpClass> flushed;
+    serve::Batcher batcher(
+        2, std::chrono::seconds(10), std::chrono::seconds(10),
+        [&](const serve::QueueKey& key, std::vector<serve::Request>) {
+            std::lock_guard<std::mutex> lock(mu);
+            flushed.push_back(key.op);
+        });
+    batcher.enqueue(spmvKey("m"), plainRequest());
+    batcher.enqueue(serve::QueueKey{"m", serve::OpClass::kSpmm},
+                    plainRequest());
+    EXPECT_TRUE(flushed.empty()); // neither queue reached size 2
+    batcher.enqueue(spmvKey("m"), plainRequest());
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_EQ(flushed.size(), 1u); // the SpMV queue, by size
+        EXPECT_EQ(flushed[0], serve::OpClass::kSpmv);
+    }
+    EXPECT_EQ(batcher.sizeFlushes(), 1u);
+    batcher.flushAll(); // the parked SpMM request
+    EXPECT_EQ(batcher.manualFlushes(), 1u);
+}
+
+TEST(Batcher, HighPriorityFlushesInlineAndDragsItsQueue)
+{
+    std::mutex mu;
+    std::vector<std::size_t> batch_sizes;
+    serve::Batcher batcher(
+        64, std::chrono::seconds(10), std::chrono::seconds(10),
+        [&](const serve::QueueKey&, std::vector<serve::Request> b) {
+            std::lock_guard<std::mutex> lock(mu);
+            batch_sizes.push_back(b.size());
+        });
+    batcher.enqueue(spmvKey("m"),
+                    plainRequest(serve::Priority::kBatch));
+    batcher.enqueue(spmvKey("m"),
+                    plainRequest(serve::Priority::kBatch));
+    EXPECT_TRUE(batch_sizes.empty());
+    // The kHigh arrival flushes the whole queue inline — the two
+    // parked kBatch requests ride along with it.
+    batcher.enqueue(spmvKey("m"),
+                    plainRequest(serve::Priority::kHigh));
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_EQ(batch_sizes.size(), 1u);
+        EXPECT_EQ(batch_sizes[0], 3u);
+    }
+    EXPECT_EQ(batcher.priorityFlushes(), 1u);
+    EXPECT_EQ(batcher.sizeFlushes(), 0u);
+}
+
+TEST(Batcher, FlushAllOrdersQueuesByPriority)
+{
+    std::mutex mu;
+    std::vector<std::string> order;
+    serve::Batcher batcher(
+        64, std::chrono::seconds(10), std::chrono::seconds(10),
+        [&](const serve::QueueKey& key, std::vector<serve::Request>) {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back(key.matrix);
+        });
+    batcher.enqueue(spmvKey("bulk"),
+                    plainRequest(serve::Priority::kBatch));
+    batcher.enqueue(spmvKey("interactive"),
+                    plainRequest(serve::Priority::kNormal));
+    batcher.flushAll();
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "interactive"); // kNormal ahead of kBatch
+    EXPECT_EQ(order[1], "bulk");
 }
 
 TEST(ServeRegistry, SelectsOnceAndCachesConversions)
@@ -386,13 +607,16 @@ TEST(ServeSession, BatchedEqualsIndividualSpmv)
             opts.compute = compute;
             serve::Session session(registry, opts);
 
-            std::vector<std::future<std::vector<Value>>> futures;
+            std::vector<std::future<
+                serve::Result<std::vector<Value>>>> futures;
             for (Index r = 0; r < n_req; ++r)
-                futures.push_back(
-                    session.submit("m", rampVector(200, r % 6)));
+                futures.push_back(session.submit(serve::SpmvRequest{
+                    "m", rampVector(200, r % 6), {}}));
             for (Index r = 0; r < n_req; ++r) {
-                const std::vector<Value> got =
+                serve::Result<std::vector<Value>> result =
                     futures[static_cast<std::size_t>(r)].get();
+                ASSERT_TRUE(result.ok()) << result.status().toString();
+                const std::vector<Value>& got = result.value();
                 const std::vector<Value> want =
                     serialOracle(registry, "m", rampVector(200, r % 6));
                 ASSERT_EQ(got.size(), want.size());
@@ -416,23 +640,35 @@ TEST(ServeSession, SecondSubmitDoesNotReconvert)
     opts.threads = threadCounts().front();
     serve::Session session(registry, opts);
 
-    session.submit("cached", rampVector(128, 0)).get();
+    ASSERT_TRUE(session
+                    .submit(serve::SpmvRequest{"cached",
+                                               rampVector(128, 0)})
+                    .get()
+                    .ok());
     EXPECT_EQ(registry.conversions("cached"), 1u);
-    session.submit("cached", rampVector(128, 1)).get();
+    ASSERT_TRUE(session
+                    .submit(serve::SpmvRequest{"cached",
+                                               rampVector(128, 1)})
+                    .get()
+                    .ok());
     EXPECT_EQ(registry.conversions("cached"), 1u);
 }
 
 TEST(ServeSession, CompletesUnderOutOfOrderArrival)
 {
     // Requests against several matrices, submitted from several
-    // client threads: stage-1 scheduling scrambles arrival order at
-    // the batcher, conversions interleave with computes, and some
-    // batches flush by size while others wait out the deadline.
+    // client threads at mixed priorities: stage-1 scheduling
+    // scrambles arrival order at the batcher, conversions
+    // interleave with computes, and some batches flush by size
+    // while others wait out a deadline or ride a kHigh flush.
     serve::MatrixRegistry registry;
     registry.put("alpha", wl::genClustered(160, 160, 2400, 6, 51));
     registry.put("beta", wl::genPowerLaw(120, 120, 1500, 1.1, 52));
     registry.put("gamma", wl::genPoisson2d(12, 12)); // 144x144, DIA
 
+    const serve::Priority kPrio[] = {serve::Priority::kHigh,
+                                     serve::Priority::kNormal,
+                                     serve::Priority::kBatch};
     for (int threads : threadCounts()) {
         serve::SessionOptions opts;
         opts.threads = threads;
@@ -446,7 +682,7 @@ TEST(ServeSession, CompletesUnderOutOfOrderArrival)
         {
             std::string name;
             Index kind;
-            std::future<std::vector<Value>> future;
+            std::future<serve::Result<std::vector<Value>>> future;
         };
         std::vector<Pending> pending(45);
         std::atomic<std::size_t> next{0};
@@ -461,15 +697,21 @@ TEST(ServeSession, CompletesUnderOutOfOrderArrival)
                     const auto kind = static_cast<Index>(slot % 5);
                     pending[slot].name = names[which];
                     pending[slot].kind = kind;
-                    pending[slot].future = session.submit(
-                        names[which], rampVector(dims[which], kind));
+                    serve::RequestOptions ropts;
+                    ropts.priority = kPrio[slot % 3];
+                    pending[slot].future =
+                        session.submit(serve::SpmvRequest{
+                            names[which],
+                            rampVector(dims[which], kind), ropts});
                 }
             });
         for (std::thread& c : clients)
             c.join();
 
         for (Pending& p : pending) {
-            const std::vector<Value> got = p.future.get();
+            serve::Result<std::vector<Value>> result = p.future.get();
+            ASSERT_TRUE(result.ok()) << result.status().toString();
+            const std::vector<Value>& got = result.value();
             const std::vector<Value> want = serialOracle(
                 registry, p.name,
                 rampVector(registry.cols(p.name), p.kind));
@@ -483,16 +725,350 @@ TEST(ServeSession, CompletesUnderOutOfOrderArrival)
         EXPECT_EQ(registry.conversions("alpha"), 1u);
         EXPECT_EQ(registry.conversions("beta"), 1u);
         EXPECT_EQ(registry.conversions("gamma"), 1u);
+        // Every priority class saw traffic and latency accounting.
+        for (serve::Priority p : kPrio)
+            EXPECT_EQ(session.stats().latency(p).count(), 15u)
+                << serve::toString(p);
     }
 }
 
-TEST(ServeSession, RejectsBadRequestsEagerly)
+TEST(TypedApi, ValidationFailuresAreReadyResults)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genUniform(32, 32, 100, 7));
+    registry.put("wide", wl::genUniform(32, 48, 100, 8));
+    serve::Session session(registry, {});
+
+    auto nf = session.submit(serve::SpmvRequest{"nope",
+                                                rampVector(32, 0)});
+    ASSERT_EQ(nf.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(nf.get().status().code(), serve::StatusCode::kNotFound);
+
+    auto bad_len = session.submit(serve::SpmvRequest{
+        "m", rampVector(31, 0)});
+    EXPECT_EQ(bad_len.get().status().code(),
+              serve::StatusCode::kInvalidOperand);
+
+    auto bad_block = session.submit(serve::SpmmRequest{
+        "m", fmt::DenseMatrix(31, 2)});
+    EXPECT_EQ(bad_block.get().status().code(),
+              serve::StatusCode::kInvalidOperand);
+    auto empty_block = session.submit(serve::SpmmRequest{
+        "m", fmt::DenseMatrix(32, 0)});
+    EXPECT_EQ(empty_block.get().status().code(),
+              serve::StatusCode::kInvalidOperand);
+
+    auto bad_other = session.submit(serve::SpaddRequest{"m", "nope"});
+    EXPECT_EQ(bad_other.get().status().code(),
+              serve::StatusCode::kNotFound);
+    auto bad_shape = session.submit(serve::SpaddRequest{"m", "wide"});
+    EXPECT_EQ(bad_shape.get().status().code(),
+              serve::StatusCode::kInvalidOperand);
+
+    // Nothing above entered the pipeline.
+    EXPECT_EQ(session.stats().submitted.load(), 0u);
+}
+
+TEST(TypedApi, CloseResolvesLaterSubmitsAsShuttingDown)
 {
     serve::MatrixRegistry registry;
     registry.put("m", wl::genUniform(32, 32, 100, 7));
     serve::Session session(registry, {});
-    EXPECT_THROW(session.submit("nope", rampVector(32, 0)), FatalError);
-    EXPECT_THROW(session.submit("m", rampVector(31, 0)), FatalError);
+    ASSERT_TRUE(
+        session.submit(serve::SpmvRequest{"m", rampVector(32, 0)})
+            .get()
+            .ok());
+    session.close();
+    auto f = session.submit(serve::SpmvRequest{"m", rampVector(32, 1)});
+    EXPECT_EQ(f.get().status().code(),
+              serve::StatusCode::kShuttingDown);
+}
+
+TEST(TypedApi, LegacyShimStillServesAndThrowsOnBadRequests)
+{
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genClustered(64, 64, 500, 4, 13));
+    serve::Session session(registry, {});
+    std::future<std::vector<Value>> f =
+        session.submit("m", rampVector(64, 2));
+    const std::vector<Value> got = f.get();
+    const std::vector<Value> want =
+        serialOracle(registry, "m", rampVector(64, 2));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-12);
+    // Statuses surface as FatalError at get(), not at submit().
+    std::future<std::vector<Value>> bad =
+        session.submit("nope", rampVector(64, 0));
+    EXPECT_THROW(bad.get(), FatalError);
+#pragma GCC diagnostic pop
+}
+
+TEST(ServeSpmm, ServedBlocksBitIdenticalToDirectSpmm)
+{
+    // SpMM requests served through the batcher (several blocks
+    // coalesced into one wide traversal) must be bit-identical to
+    // the direct eng::spmm/eng::spmmBatch result: dyadic values
+    // make every summation order exact, and per-column arithmetic
+    // is order-independent across the concatenation.
+    const fmt::CooMatrix coo = dyadicMatrix(96, 96, 6);
+    const fmt::CsrMatrix csr = fmt::CsrMatrix::fromCoo(coo);
+    for (int threads : threadCounts()) {
+        serve::MatrixRegistry registry;
+        registry.put("m", coo, eng::Format::kCsr);
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 16;
+        opts.maxDelay = std::chrono::microseconds(500);
+        serve::Session session(registry, opts);
+
+        const Index widths[] = {1, 3, 5, 2};
+        std::vector<std::future<serve::Result<fmt::DenseMatrix>>>
+            futures;
+        for (Index r = 0; r < 4; ++r)
+            futures.push_back(session.submit(serve::SpmmRequest{
+                "m", dyadicBlock(96, widths[r], r)}));
+        sim::NativeExec e;
+        for (Index r = 0; r < 4; ++r) {
+            serve::Result<fmt::DenseMatrix> result =
+                futures[static_cast<std::size_t>(r)].get();
+            ASSERT_TRUE(result.ok()) << result.status().toString();
+            const fmt::DenseMatrix& got = result.value();
+            ASSERT_EQ(got.rows(), 96);
+            ASSERT_EQ(got.cols(), widths[r]);
+            const fmt::DenseMatrix b = dyadicBlock(96, widths[r], r);
+            fmt::DenseMatrix want(96, widths[r]);
+            eng::spmmBatch(csr, b, want, e);
+            for (Index i = 0; i < 96; ++i)
+                for (Index c = 0; c < widths[r]; ++c)
+                    ASSERT_EQ(got.at(i, c), want.at(i, c))
+                        << "block " << r << " threads " << threads;
+            // Cross-check one block against the sparse-B route.
+            if (r == 1) {
+                fmt::CooMatrix b_coo(96, widths[r]);
+                for (Index j = 0; j < 96; ++j)
+                    for (Index c = 0; c < widths[r]; ++c)
+                        b_coo.add(j, c, b.at(j, c));
+                b_coo.canonicalize();
+                fmt::DenseMatrix c_spmm(96, widths[r]);
+                eng::spmm(csr, fmt::CscMatrix::fromCoo(b_coo), c_spmm,
+                          e);
+                for (Index i = 0; i < 96; ++i)
+                    for (Index c = 0; c < widths[r]; ++c)
+                        ASSERT_EQ(got.at(i, c), c_spmm.at(i, c));
+            }
+        }
+        session.drain();
+        EXPECT_EQ(session.stats().failed.load(), 0u);
+    }
+}
+
+TEST(ServeSpadd, MatchesDirectSpadd)
+{
+    serve::MatrixRegistry registry;
+    registry.put("a", dyadicMatrix(60, 60, 5));
+    registry.put("b", dyadicMatrix(60, 60, 4));
+    for (int threads : threadCounts()) {
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        serve::Session session(registry, opts);
+        serve::Result<fmt::CooMatrix> result =
+            session.submit(serve::SpaddRequest{"a", "b"}).get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+
+        sim::NativeExec e;
+        const eng::SparseMatrixAny want = eng::spadd(
+            registry.encodedAs("a", eng::Format::kCsr)->ref(),
+            registry.encodedAs("b", eng::Format::kCsr)->ref(), e);
+        const fmt::CooMatrix& wc = want.as<fmt::CooMatrix>();
+        const fmt::CooMatrix& got = result.value();
+        ASSERT_EQ(got.nnz(), wc.nnz());
+        for (std::size_t i = 0; i < got.entries().size(); ++i) {
+            EXPECT_EQ(got.entries()[i].row, wc.entries()[i].row);
+            EXPECT_EQ(got.entries()[i].col, wc.entries()[i].col);
+            EXPECT_EQ(got.entries()[i].value, wc.entries()[i].value);
+        }
+    }
+}
+
+TEST(Admission, FailFastSaturationReturnsOverloaded)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genClustered(128, 128, 1500, 5, 61));
+    for (int threads : threadCounts()) {
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 64;               // nothing flushes by size
+        opts.maxDelay = std::chrono::seconds(10); // ... or deadline
+        opts.batchDelay = std::chrono::seconds(10);
+        opts.maxInflightPerMatrix = 4;
+        serve::Session session(registry, opts);
+
+        // kBatch priority parks the admitted requests in the
+        // batcher; with the limit at 4, submits 5..10 must be
+        // denied — deterministically, since nothing can complete
+        // until drain() flushes.
+        std::vector<std::future<serve::Result<std::vector<Value>>>>
+            futures;
+        serve::RequestOptions ropts;
+        ropts.priority = serve::Priority::kBatch;
+        ropts.admission = serve::Admission::kFailFast;
+        for (Index r = 0; r < 10; ++r)
+            futures.push_back(session.submit(serve::SpmvRequest{
+                "m", rampVector(128, r % 4), ropts}));
+
+        // Classify before any drain: rejected futures are ready
+        // immediately, admitted ones are parked (nothing can flush
+        // them yet).
+        std::vector<std::size_t> rejected, admitted;
+        for (std::size_t r = 0; r < 10; ++r) {
+            if (futures[r].wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)
+                rejected.push_back(r);
+            else
+                admitted.push_back(r);
+        }
+        for (std::size_t r : rejected) {
+            serve::Result<std::vector<Value>> result =
+                futures[r].get();
+            ASSERT_FALSE(result.ok());
+            EXPECT_EQ(result.status().code(),
+                      serve::StatusCode::kOverloaded);
+        }
+        session.drain(); // flush the parked batch
+        for (std::size_t r : admitted)
+            ASSERT_TRUE(futures[r].get().ok());
+        EXPECT_EQ(admitted.size(), 4u);
+        EXPECT_EQ(rejected.size(), 6u);
+        EXPECT_EQ(session.overloadRejects(), 6u);
+        session.drain();
+        EXPECT_EQ(session.stats().completed.load(), 4u);
+        EXPECT_EQ(session.stats().failed.load(), 0u);
+        EXPECT_GE(session.batcher().manualFlushes(), 1u);
+    }
+}
+
+TEST(Admission, BlockingRequestsEventuallyComplete)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genClustered(96, 96, 1000, 5, 62));
+    for (int threads : threadCounts()) {
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 2;
+        opts.maxDelay = std::chrono::microseconds(500);
+        opts.maxInflightPerMatrix = 2;
+        serve::Session session(registry, opts);
+
+        // 3 clients x 4 requests against a 2-slot gate: submits
+        // block until earlier requests deliver, and every one
+        // completes — back-pressure, not rejection.
+        constexpr int kClients = 3;
+        constexpr int kPerClient = 4;
+        std::atomic<int> ok{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c)
+            clients.emplace_back([&, c] {
+                for (int i = 0; i < kPerClient; ++i) {
+                    serve::RequestOptions ropts;
+                    ropts.admission = serve::Admission::kBlock;
+                    auto f = session.submit(serve::SpmvRequest{
+                        "m",
+                        rampVector(96, static_cast<Index>(c + i)),
+                        ropts});
+                    if (f.get().ok())
+                        ok.fetch_add(1);
+                }
+            });
+        for (std::thread& c : clients)
+            c.join();
+        EXPECT_EQ(ok.load(), kClients * kPerClient);
+        EXPECT_EQ(session.overloadRejects(), 0u);
+        session.drain();
+        EXPECT_EQ(session.stats().completed.load(),
+                  static_cast<std::uint64_t>(kClients * kPerClient));
+    }
+}
+
+TEST(Priorities, HighFlushesAheadOfBatch)
+{
+    serve::MatrixRegistry registry;
+    registry.put("bulk", wl::genClustered(96, 96, 1000, 5, 71));
+    registry.put("hot", wl::genClustered(96, 96, 1000, 5, 72));
+    for (int threads : threadCounts()) {
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = 64;
+        opts.maxDelay = std::chrono::seconds(10);
+        opts.batchDelay = std::chrono::seconds(10);
+        serve::Session session(registry, opts);
+
+        serve::RequestOptions batchOpts;
+        batchOpts.priority = serve::Priority::kBatch;
+        auto bulk = session.submit(serve::SpmvRequest{
+            "bulk", rampVector(96, 0), batchOpts});
+
+        serve::RequestOptions highOpts;
+        highOpts.priority = serve::Priority::kHigh;
+        auto hot = session.submit(serve::SpmvRequest{
+            "hot", rampVector(96, 1), highOpts});
+
+        // The kHigh request completes promptly (its arrival flushes
+        // its queue inline); the kBatch request is still parked —
+        // its flush cap is 10 s away.
+        ASSERT_EQ(hot.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready);
+        ASSERT_TRUE(hot.get().ok());
+        EXPECT_EQ(bulk.wait_for(std::chrono::seconds(0)),
+                  std::future_status::timeout)
+            << "kBatch request flushed ahead of its cap";
+
+        // A kHigh arrival on the *same* queue drags parked kBatch
+        // work along with it.
+        auto parked = session.submit(serve::SpmvRequest{
+            "hot", rampVector(96, 2), batchOpts});
+        auto urgent = session.submit(serve::SpmvRequest{
+            "hot", rampVector(96, 3), highOpts});
+        ASSERT_EQ(parked.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready);
+        ASSERT_TRUE(parked.get().ok());
+        ASSERT_TRUE(urgent.get().ok());
+        EXPECT_GE(session.batcher().priorityFlushes(), 2u);
+
+        session.drain(); // releases the parked "bulk" request
+        ASSERT_TRUE(bulk.get().ok());
+    }
+}
+
+TEST(Deadlines, ExpiredRequestResolvesDeadlineExceeded)
+{
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genClustered(64, 64, 600, 4, 81));
+    serve::SessionOptions opts;
+    opts.threads = threadCounts().front();
+    opts.maxBatch = 64;
+    opts.maxDelay = std::chrono::seconds(10);
+    opts.batchDelay = std::chrono::seconds(10);
+    serve::Session session(registry, opts);
+
+    // A 1 ms deadline undercuts the 10 s flush caps: the deadline
+    // tightens the queue's flush time, the timer surfaces the
+    // request right after it expires, and compute sheds it.
+    serve::RequestOptions ropts;
+    ropts.priority = serve::Priority::kBatch;
+    ropts.deadline = std::chrono::milliseconds(1);
+    auto f = session.submit(serve::SpmvRequest{
+        "m", rampVector(64, 0), ropts});
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().status().code(),
+              serve::StatusCode::kDeadlineExceeded);
+    session.drain();
+    EXPECT_EQ(session.stats().expired.load(), 1u);
+    EXPECT_EQ(session.stats().completed.load(), 0u);
 }
 
 TEST(ServeSession, RejectsBadOptionsWithoutTerminating)
@@ -503,6 +1079,9 @@ TEST(ServeSession, RejectsBadOptionsWithoutTerminating)
     // Must throw (catchable), not std::terminate on a joinable
     // timer thread during constructor unwinding.
     EXPECT_THROW(serve::Session session(registry, opts), FatalError);
+    serve::SessionOptions neg;
+    neg.maxInflight = -1;
+    EXPECT_THROW(serve::Session session(registry, neg), FatalError);
 }
 
 } // namespace
