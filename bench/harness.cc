@@ -21,7 +21,8 @@ usage(const char* prog, const std::string& complaint)
 {
     std::cerr << prog << ": " << complaint << "\n"
               << "usage: " << prog
-              << " [--threads N] [--exec {native,parallel,sim}]\n";
+              << " [--threads N] [--exec {native,parallel,sim}]"
+                 " [--pin]\n";
     std::exit(2);
 }
 
@@ -68,6 +69,8 @@ parseBenchCli(int argc, char** argv, const BenchCli& defaults)
             else
                 usage(argv[0], std::string("bad exec kind '") +
                                    argv[i] + "'");
+        } else if (std::strcmp(arg, "--pin") == 0) {
+            cli.pin = true;
         } else {
             usage(argv[0], std::string("unknown flag '") + arg + "'");
         }

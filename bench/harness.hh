@@ -44,12 +44,14 @@ struct BenchCli
 {
     int threads = 4;                  //!< --threads N
     ExecKind exec = ExecKind::kNative; //!< --exec {native,parallel,sim}
+    bool pin = false;                 //!< --pin: pin pool workers
 };
 
 /**
- * Parse --threads N and --exec {native,parallel,sim} from a bench
- * command line (both optional, @p defaults seeds the rest). Prints
- * usage and exits(2) on an unknown flag or a malformed value.
+ * Parse --threads N, --exec {native,parallel,sim}, and --pin from a
+ * bench command line (all optional, @p defaults seeds the rest).
+ * Prints usage and exits(2) on an unknown flag or a malformed
+ * value.
  */
 BenchCli parseBenchCli(int argc, char** argv,
                        const BenchCli& defaults = {});

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Machine-readable performance baseline: runs the steady-state
+ * SpMV / batched-SpMV / SpMM / serving suite and emits one JSON
+ * document of {bench, format, threads, ns/op | req/s} records —
+ * the repo's perf trajectory data (BENCH_<pr>.json), so later PRs
+ * can be gated on real numbers instead of prose.
+ *
+ *   --threads N   pool size for the parallel and serving rows
+ *                 (default 8)
+ *   --pin         pin pool workers (sticky partitions stay
+ *                 core-resident)
+ *   --smoke       tiny workload + sanity gates (CI): exits 1 on
+ *                 oracle divergence or a nonsensical record
+ *   --out FILE    write the JSON there instead of stdout
+ *   SMASH_BENCH_SCALE scales the workload like every other bench
+ *
+ * Every engine row computes through SparseMatrixAny holders, so
+ * repetitions after the first run plan-cached and arena-warm — the
+ * steady-state regime the serving layer lives in.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel_exec.hh"
+#include "engine/dispatch.hh"
+#include "formats/convert.hh"
+#include "harness.hh"
+#include "serve/session.hh"
+#include "workloads/matrix_gen.hh"
+
+namespace smash::bench
+{
+namespace
+{
+
+/** One emitted record; unset metrics stay negative and are elided. */
+struct Record
+{
+    std::string bench;
+    std::string format;
+    int threads = 0;
+    double nsPerOp = -1;
+    double reqPerS = -1;
+    double speedup = -1; //!< vs the suite's named baseline row
+};
+
+void
+writeJson(std::ostream& os, const std::vector<Record>& records,
+          int threads, bool pin, double scale)
+{
+    os << "{\n"
+       << "  \"schema\": \"smash-perf-v1\",\n"
+       << "  \"suite\": \"perf_report\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"pinned\": " << (pin ? "true" : "false") << ",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Record& r = records[i];
+        os << "    {\"bench\": \"" << r.bench << "\", \"format\": \""
+           << r.format << "\", \"threads\": " << r.threads;
+        if (r.nsPerOp >= 0)
+            os << ", \"ns_per_op\": " << formatFixed(r.nsPerOp, 1);
+        if (r.reqPerS >= 0)
+            os << ", \"req_per_s\": " << formatFixed(r.reqPerS, 0);
+        if (r.speedup >= 0)
+            os << ", \"speedup\": " << formatFixed(r.speedup, 3);
+        os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+double
+maxAbsDiff(const std::vector<Value>& a, const std::vector<Value>& b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(static_cast<double>(a[i] - b[i])));
+    return m;
+}
+
+/** Best-of-reps wall clock of fn(). */
+template <typename Fn>
+double
+bestSeconds(int reps, Fn&& fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r)
+        best = std::min(best, secondsOf(fn));
+    return best;
+}
+
+int
+run(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    BenchCli defaults;
+    defaults.threads = 8;
+    const BenchCli cli =
+        parseBenchCli(static_cast<int>(args.size()), args.data(),
+                      defaults);
+    const double scale = wl::benchScale(smoke ? 0.02 : 0.25);
+
+    const Index rows = std::max<Index>(
+        smoke ? 2048 : 4096, static_cast<Index>(32768 * scale));
+    const Index nnz = std::max<Index>(
+        smoke ? 65536 : 131072, static_cast<Index>(1250000 * scale));
+    fmt::CooMatrix coo = wl::genClustered(rows, rows, nnz, 8, 97);
+
+    eng::SparseMatrixAny csr(fmt::CsrMatrix::fromCoo(coo));
+    eng::SparseMatrixAny smash(core::SmashMatrix::fromCoo(
+        coo, core::HierarchyConfig::fromPaperNotation({16, 4, 2})));
+
+    std::vector<Value> x(static_cast<std::size_t>(rows), Value(1));
+    for (Index i = 0; i < rows; ++i)
+        x[static_cast<std::size_t>(i)] += Value(i % 9) * Value(0.125);
+    std::vector<Value> x_pad =
+        kern::padVector(x, smash.xLength());
+
+    const int reps = smoke ? 3 : 5;
+    std::vector<Record> records;
+    std::vector<Value> oracle(static_cast<std::size_t>(rows),
+                              Value(0));
+    {
+        sim::NativeExec ne;
+        eng::spmv(csr.ref(), x, oracle, ne);
+    }
+    double max_err = 0;
+
+    // --- SpMV ns/op: serial and plan-cached parallel rows. ---
+    const auto spmvRow = [&](const eng::SparseMatrixAny& m,
+                             const std::vector<Value>& xm,
+                             const std::string& fmt_name, int threads) {
+        std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+        double seconds = 0;
+        if (threads == 0) {
+            sim::NativeExec ne;
+            seconds = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                eng::spmv(m.ref(), xm, y, ne);
+            });
+        } else {
+            exec::ParallelExec pe(
+                exec::ThreadPool::Options{threads, cli.pin});
+            eng::spmv(m.ref(), xm, y, pe); // warm plans + arenas
+            seconds = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                eng::spmv(m.ref(), xm, y, pe);
+            });
+        }
+        max_err = std::max(max_err, maxAbsDiff(y, oracle));
+        Record r;
+        r.bench = "spmv";
+        r.format = fmt_name;
+        r.threads = threads == 0 ? 1 : threads;
+        if (threads == 0)
+            r.format += "_serial";
+        r.nsPerOp = seconds * 1e9;
+        records.push_back(r);
+    };
+    spmvRow(csr, x, "csr", 0);
+    spmvRow(smash, x_pad, "smash", 0);
+    std::vector<int> counts;
+    for (int t : {1, 2, cli.threads})
+        if (std::find(counts.begin(), counts.end(), t) ==
+            counts.end())
+            counts.push_back(t); // no duplicate rows at --threads 1/2
+    for (int t : counts) {
+        spmvRow(csr, x, "csr", t);
+        spmvRow(smash, x_pad, "smash", t);
+    }
+
+    // --- Batched SpMV (nrhs 8) ns/op per RHS. ---
+    {
+        const Index nrhs = 8;
+        fmt::DenseMatrix xb(csr.xLength(), nrhs);
+        for (Index r = 0; r < nrhs; ++r)
+            for (Index j = 0; j < rows; ++j)
+                xb.at(j, r) = x[static_cast<std::size_t>(j)];
+        fmt::DenseMatrix yb(rows, nrhs);
+        exec::ParallelExec pe(
+            exec::ThreadPool::Options{cli.threads, cli.pin});
+        eng::spmvBatch(csr.ref(), xb, yb, pe); // warm
+        const double seconds = bestSeconds(reps, [&] {
+            std::fill(yb.data().begin(), yb.data().end(), Value(0));
+            eng::spmvBatch(csr.ref(), xb, yb, pe);
+        });
+        Record r;
+        r.bench = "spmv_batch8";
+        r.format = "csr";
+        r.threads = cli.threads;
+        r.nsPerOp = seconds * 1e9 / static_cast<double>(nrhs);
+        records.push_back(r);
+        for (Index i = 0; i < rows; ++i)
+            max_err = std::max(
+                max_err,
+                std::abs(static_cast<double>(
+                    yb.at(i, 0) -
+                    oracle[static_cast<std::size_t>(i)])));
+    }
+
+    // --- SpMM (CSR x CSC, 32 columns) ns/op. ---
+    {
+        const Index bcols = 32;
+        fmt::CooMatrix bcoo =
+            wl::genUniform(rows, bcols, rows * 2, 131);
+        fmt::CscMatrix bcsc = fmt::CscMatrix::fromCoo(bcoo);
+        eng::SparseMatrixAny bany(std::move(bcsc));
+        fmt::DenseMatrix c(rows, bcols);
+        exec::ParallelExec pe(
+            exec::ThreadPool::Options{cli.threads, cli.pin});
+        eng::spmm(csr.ref(), bany.ref(), c, pe); // warm
+        const double seconds = bestSeconds(reps, [&] {
+            std::fill(c.data().begin(), c.data().end(), Value(0));
+            eng::spmm(csr.ref(), bany.ref(), c, pe);
+        });
+        Record r;
+        r.bench = "spmm";
+        r.format = "csr";
+        r.threads = cli.threads;
+        r.nsPerOp = seconds * 1e9;
+        records.push_back(r);
+    }
+
+    // --- Serving req/s: individual vs batch-8 sessions. ---
+    double rps_ind = 0;
+    double rps_b8 = 0;
+    {
+        serve::MatrixRegistry registry;
+        registry.put("ranker", coo);
+        const Index nreq = std::max<Index>(
+            smoke ? 48 : 64, static_cast<Index>(2048 * scale));
+        const auto servingRun = [&](Index max_batch) {
+            serve::SessionOptions opts;
+            opts.threads = cli.threads;
+            opts.maxBatch = max_batch;
+            opts.pinWorkers = cli.pin;
+            serve::Session session(registry, opts);
+            std::vector<
+                std::future<serve::Result<std::vector<Value>>>>
+                futures;
+            futures.reserve(static_cast<std::size_t>(nreq));
+            const double seconds = secondsOf([&] {
+                for (Index r = 0; r < nreq; ++r)
+                    futures.push_back(session.submit(
+                        serve::SpmvRequest{"ranker", x}));
+                for (auto& f : futures)
+                    f.wait();
+            });
+            for (auto& f : futures) {
+                serve::Result<std::vector<Value>> result = f.get();
+                if (!result.ok()) {
+                    std::cerr << "serving request failed: "
+                              << result.status().toString() << "\n";
+                    max_err = 1e30;
+                    continue;
+                }
+                max_err = std::max(
+                    max_err, maxAbsDiff(result.value(), oracle));
+            }
+            session.drain();
+            return static_cast<double>(nreq) / seconds;
+        };
+        servingRun(8); // warm the registry's encoding + plans
+        rps_ind = servingRun(1);
+        rps_b8 = servingRun(8);
+        Record ind;
+        ind.bench = "serving_spmv";
+        ind.format = "individual";
+        ind.threads = cli.threads;
+        ind.reqPerS = rps_ind;
+        ind.speedup = 1.0;
+        records.push_back(ind);
+        Record b8;
+        b8.bench = "serving_spmv";
+        b8.format = "batch8";
+        b8.threads = cli.threads;
+        b8.reqPerS = rps_b8;
+        b8.speedup = rps_b8 / rps_ind;
+        records.push_back(b8);
+    }
+
+    std::ostringstream json;
+    writeJson(json, records, cli.threads, cli.pin, scale);
+    if (out_path.empty()) {
+        std::cout << json.str();
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "cannot write " << out_path << "\n";
+            return 1;
+        }
+        out << json.str();
+        std::cout << "wrote " << records.size() << " records to "
+                  << out_path << "\n";
+    }
+
+    if (max_err > 1e-9) {
+        std::cerr << "perf_report: results diverge from the serial "
+                     "oracle ("
+                  << max_err << ")!\n";
+        return 1;
+    }
+    if (smoke) {
+        // Sanity gates only — tiny CI workloads are too noisy for a
+        // throughput floor, but a zero/negative record or a
+        // divergent oracle is a real failure.
+        for (const Record& r : records) {
+            if ((r.nsPerOp < 0 && r.reqPerS <= 0) ||
+                (r.nsPerOp == 0)) {
+                std::cerr << "perf_report: nonsensical record for "
+                          << r.bench << "/" << r.format << "\n";
+                return 1;
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace smash::bench
+
+int
+main(int argc, char** argv)
+{
+    return smash::bench::run(argc, argv);
+}

@@ -251,6 +251,7 @@ run(int argc, char** argv)
     base.threads = cli.threads;
     base.maxDelay = std::chrono::microseconds(200);
     base.compute = compute;
+    base.pinWorkers = cli.pin;
 
     // Baseline: the same requests as individual eng::spmv calls
     // (max-batch-1 pipeline) at the same thread count.

@@ -3,7 +3,7 @@
  * Multi-threaded execution model. ParallelExec is a third policy
  * besides NativeExec and SimExec: like NativeExec its cost hooks
  * are empty (the kernels run at native speed), but it additionally
- * carries a work-stealing thread pool, so the engine's dispatch
+ * carries a work-sharing thread pool, so the engine's dispatch
  * layer routes SpMV through the parallel row-range drivers instead
  * of the serial kernels. SimExec stays strictly serial: the cost
  * model charges a single-core machine, and interleaving accesses
@@ -38,6 +38,13 @@ class ParallelExec
         : owned_(std::make_shared<ThreadPool>(threads)), pool_(owned_.get())
     {}
 
+    /** Create with an internally owned pool built from @p options
+     *  (thread count, worker CPU pinning). */
+    explicit ParallelExec(const ThreadPool::Options& options)
+        : owned_(std::make_shared<ThreadPool>(options)),
+          pool_(owned_.get())
+    {}
+
     /** Share an existing pool (e.g. one pool for a whole server). */
     explicit ParallelExec(ThreadPool& pool)
         : pool_(&pool)
@@ -47,9 +54,9 @@ class ParallelExec
     ThreadPool& pool() { return *pool_; }
 
     /** Partition [begin, end) over the pool; blocks until done. */
+    template <typename F>
     void
-    parallelFor(Index begin, Index end, Index min_grain,
-                const std::function<void(Index, Index)>& body)
+    parallelFor(Index begin, Index end, Index min_grain, const F& body)
     {
         pool_->parallelFor(begin, end, min_grain, body);
     }

@@ -1,0 +1,31 @@
+#include "common/scratch_arena.hh"
+
+namespace smash::exec
+{
+
+namespace
+{
+
+thread_local ScratchArena* tls_bound = nullptr;
+
+} // namespace
+
+ScratchArena&
+ScratchArena::local()
+{
+    if (tls_bound != nullptr)
+        return *tls_bound;
+    // Fallback for threads outside any pool (bench main threads,
+    // test drivers): one arena per thread, created on first use and
+    // destroyed with the thread.
+    thread_local ScratchArena fallback;
+    return fallback;
+}
+
+void
+ScratchArena::bind(ScratchArena* arena)
+{
+    tls_bound = arena;
+}
+
+} // namespace smash::exec

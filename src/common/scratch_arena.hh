@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-thread scratch storage for the steady-state compute path.
+ *
+ * The engine's dispatch drivers need short-lived buffers on every
+ * call: the zero-extended x operand, per-chunk y accumulators for
+ * the scatter formats, and small pointer tables naming those
+ * accumulators for the merge. Allocating them per call is exactly
+ * the setup cost the fig20 analysis warns about for short-running
+ * kernels, so a ScratchArena keeps them alive between calls:
+ * buffers only ever grow, and a warmed arena hands out storage with
+ * zero heap allocations.
+ *
+ * Ownership/threading contract: an arena belongs to exactly one
+ * thread. ThreadPool owns one arena per worker and binds it to the
+ * worker thread for its lifetime; every other thread lazily creates
+ * its own thread-local arena on first use. local() therefore never
+ * returns an arena shared with another thread. Buffer *contents*
+ * may be written by other threads while a dispatch call is in
+ * flight (the scatter drivers hand per-chunk accumulators to pool
+ * workers); the parallelFor completion barrier orders those writes
+ * before the owner reads them back. Slot assignments are owned by
+ * the dispatch layer (engine/dispatch.hh) — kernels never touch
+ * arenas, and drivers must not nest two arena-using drivers on one
+ * thread.
+ */
+
+#ifndef SMASH_COMMON_SCRATCH_ARENA_HH
+#define SMASH_COMMON_SCRATCH_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smash::exec
+{
+
+/** Grow-only per-thread scratch buffers (see file comment). */
+class ScratchArena
+{
+  public:
+    // Slot assignments of the dispatch layer. Scatter accumulators
+    // occupy kScatterBase + chunk for chunk in [0, pool threads).
+    static constexpr std::size_t kPaddedX = 0;
+    static constexpr std::size_t kBatchXr = 1;
+    static constexpr std::size_t kBatchYr = 2;
+    static constexpr std::size_t kScatterBase = 8;
+
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena&) = delete;
+    ScratchArena& operator=(const ScratchArena&) = delete;
+
+    /**
+     * The value buffer of @p slot, grown to hold at least @p n
+     * elements. Contents beyond what the caller last wrote are
+     * unspecified; callers needing zeros fill the prefix they use.
+     * The reference (and the buffer's address) stays valid across
+     * later calls for *other* slots — buffers never move once
+     * handed out.
+     */
+    std::vector<Value>&
+    values(std::size_t slot, std::size_t n)
+    {
+        if (buffers_.size() <= slot)
+            buffers_.resize(slot + 1);
+        if (!buffers_[slot])
+            buffers_[slot] = std::make_unique<std::vector<Value>>();
+        std::vector<Value>& buf = *buffers_[slot];
+        if (buf.size() < n)
+            buf.resize(n);
+        return buf;
+    }
+
+    /** Reusable pointer table of at least @p n entries (the scatter
+     *  drivers' per-chunk accumulator list). */
+    std::vector<std::vector<Value>*>&
+    pointers(std::size_t n)
+    {
+        if (pointers_.size() < n)
+            pointers_.resize(n);
+        return pointers_;
+    }
+
+    /**
+     * The calling thread's arena: the ThreadPool-owned one inside a
+     * worker, a lazily created thread-local one anywhere else.
+     */
+    static ScratchArena& local();
+
+    /** Bind @p arena to the calling thread (ThreadPool worker
+     *  setup; pass nullptr to unbind). */
+    static void bind(ScratchArena* arena);
+
+  private:
+    // unique_ptr indirection keeps buffer addresses stable while
+    // the slot table itself grows.
+    std::vector<std::unique_ptr<std::vector<Value>>> buffers_;
+    std::vector<std::vector<Value>*> pointers_;
+};
+
+} // namespace smash::exec
+
+#endif // SMASH_COMMON_SCRATCH_ARENA_HH

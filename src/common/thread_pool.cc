@@ -7,30 +7,60 @@
 
 #include "common/logging.hh"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace smash::exec
 {
 
 namespace
 {
 
-/** Completion state shared by the chunks of one parallelFor batch. */
-struct Batch
+/** Sticky claiming uses one claim-bit per chunk in a single word;
+ *  wider batches fall back to a sequential cursor. */
+constexpr Index kMaxStickyChunks = 64;
+
+} // namespace
+
+/**
+ * Shared state of one parallelFor call. Lives on the owner's stack:
+ * linked into the pool's batch list while chunks remain, unlinked
+ * (under sleep_mutex_) before runBatch returns. Chunk claiming
+ * happens under sleep_mutex_; completion accounting under the
+ * batch's own mutex, exactly the rendezvous discipline the old
+ * per-chunk-task design used.
+ */
+struct ThreadPool::ForBatch
 {
+    RawBody body = nullptr;
+    void* ctx = nullptr;
+    Index begin = 0;
+    Index end = 0;
+    Index grain = 1;
+    Index chunks = 0;
+    /** Chunks not yet handed to a runner; under sleep_mutex_. */
+    Index unclaimed = 0;
+    /** Per-chunk claim bits (sticky path); under sleep_mutex_. */
+    std::uint64_t claimed = 0;
+    /** Sequential claim cursor (chunks > 64); under sleep_mutex_. */
+    Index next = 0;
     std::atomic<Index> remaining{0};
     std::mutex mutex;
     std::condition_variable done;
     std::exception_ptr error;
+    ForBatch* prev = nullptr;
+    ForBatch* next_batch = nullptr;
 
     void
     finishOne()
     {
         // The decrement happens inside the critical section: the
-        // waiting thread may observe remaining == 0 through the
-        // lock-free fast path and destroy this Batch, so it must
+        // waiting owner may observe remaining == 0 through the
+        // lock-free fast path and destroy this ForBatch, so it must
         // first be able to acquire the mutex — which it cannot
-        // until this (the last) finisher has fully left. Moving
-        // the fetch_sub outside the lock would reopen that window
-        // between the decrement and the lock acquisition.
+        // until this (the last) finisher has fully left.
         std::lock_guard<std::mutex> lock(mutex);
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
             done.notify_all();
@@ -45,18 +75,46 @@ struct Batch
     }
 };
 
-} // namespace
-
 ThreadPool::ThreadPool(int threads)
+    : ThreadPool(Options{threads, false})
+{}
+
+ThreadPool::ThreadPool(const Options& options)
 {
+    const int threads = options.threads;
     SMASH_CHECK(threads >= 1, "thread pool needs at least one worker");
     queues_.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t)
+    arenas_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
         queues_.push_back(std::make_unique<WorkerQueue>());
+        arenas_.push_back(std::make_unique<ScratchArena>());
+    }
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t)
         workers_.emplace_back(
             [this, t] { workerLoop(static_cast<std::size_t>(t)); });
+    if (options.pinWorkers) {
+        pinned_ = true;
+        pinWorkers();
+    }
+}
+
+void
+ThreadPool::pinWorkers()
+{
+#if defined(__linux__)
+    const unsigned ncpu =
+        std::max(1u, std::thread::hardware_concurrency());
+    for (std::size_t t = 0; t < workers_.size(); ++t) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<int>(t % ncpu), &set);
+        // Best-effort: a restricted cpuset (containers) may reject
+        // the mask; the worker then keeps the inherited affinity.
+        pthread_setaffinity_np(workers_[t].native_handle(),
+                               sizeof(set), &set);
+    }
+#endif
 }
 
 ThreadPool::~ThreadPool()
@@ -72,10 +130,11 @@ ThreadPool::shutdown()
         stop_ = true;
     }
     sleep_cv_.notify_all();
-    // Workers drain every published task before exiting (see
-    // workerLoop); joining here therefore realizes the "safely
-    // drain" half of the contract, and the stop_ flag set above
-    // realizes the "reject" half for later submissions.
+    // Workers drain every published task and every claimable chunk
+    // before exiting (see workerLoop); joining here therefore
+    // realizes the "safely drain" half of the contract, and the
+    // stop_ flag set above realizes the "reject" half for later
+    // submissions.
     std::call_once(join_once_, [this] {
         for (std::thread& w : workers_)
             w.join();
@@ -98,6 +157,12 @@ ThreadPool::endSubmit(Index published)
         pending_ += published;
         --submitting_;
     }
+    // notify_all, deliberately: notify_one would be correct (every
+    // publication sends its own wakeup and workers re-check the
+    // predicate), but A/B runs of the serving bench measured it
+    // slightly *slower* on an oversubscribed single-core host —
+    // the first-scheduled of several woken workers picks the task
+    // up sooner than one designated waiter.
     sleep_cv_.notify_all();
 }
 
@@ -148,10 +213,88 @@ ThreadPool::tryPost(std::function<void()> fn)
     return true;
 }
 
+Index
+ThreadPool::claimChunkLocked(ForBatch& b, std::size_t worker)
+{
+    if (b.unclaimed == 0)
+        return -1;
+    if (b.chunks > kMaxStickyChunks) {
+        const Index c = b.next++;
+        --b.unclaimed;
+        return c;
+    }
+    const auto nworkers = static_cast<Index>(workers_.size());
+    if (worker != kNoWorker) {
+        // Sticky preference: worker w owns chunks w, w + W, w + 2W,
+        // ... — stable across calls, so a cached partition plan's
+        // chunk c lands on the same (possibly pinned) worker every
+        // request.
+        for (Index c = static_cast<Index>(worker); c < b.chunks;
+             c += nworkers) {
+            if ((b.claimed >> c & 1) == 0) {
+                b.claimed |= std::uint64_t(1) << c;
+                --b.unclaimed;
+                return c;
+            }
+        }
+    }
+    // Steal the lowest unclaimed chunk (skew rebalancing, and the
+    // owner's help path).
+    for (Index c = 0; c < b.chunks; ++c) {
+        if ((b.claimed >> c & 1) == 0) {
+            b.claimed |= std::uint64_t(1) << c;
+            --b.unclaimed;
+            return c;
+        }
+    }
+    return -1;
+}
+
+bool
+ThreadPool::claimableLocked() const
+{
+    for (const ForBatch* b = batches_; b != nullptr;
+         b = b->next_batch)
+        if (b->unclaimed > 0)
+            return true;
+    return false;
+}
+
+bool
+ThreadPool::runOneChunk(std::size_t worker, ForBatch* only)
+{
+    ForBatch* target = nullptr;
+    Index chunk = -1;
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        for (ForBatch* b = only != nullptr ? only : batches_;
+             b != nullptr;
+             b = only != nullptr ? nullptr : b->next_batch) {
+            const Index c = claimChunkLocked(*b, worker);
+            if (c >= 0) {
+                target = b;
+                chunk = c;
+                break;
+            }
+        }
+    }
+    if (target == nullptr)
+        return false;
+    const Index cb = target->begin + chunk * target->grain;
+    const Index ce = std::min(target->end, cb + target->grain);
+    try {
+        target->body(target->ctx, cb, ce);
+    } catch (...) {
+        target->fail(std::current_exception());
+    }
+    target->finishOne();
+    return true;
+}
+
 bool
 ThreadPool::tryRunOne(std::size_t self)
 {
-    // Own deque first (front: most recently pushed chunk, still hot).
+    // Own deque first (front: most recently pushed task, still hot).
     {
         WorkerQueue& q = *queues_[self];
         std::unique_lock<std::mutex> lock(q.mutex);
@@ -186,60 +329,46 @@ ThreadPool::tryRunOne(std::size_t self)
     return false;
 }
 
-bool
-ThreadPool::tryRunOneExternal()
-{
-    // A non-worker (or a worker blocked in a nested parallelFor)
-    // has no deque of its own: steal from the back like a thief.
-    for (std::size_t i = 0; i < queues_.size(); ++i) {
-        WorkerQueue& q = *queues_[i];
-        std::unique_lock<std::mutex> lock(q.mutex);
-        if (!q.tasks.empty()) {
-            Task task = std::move(q.tasks.back());
-            q.tasks.pop_back();
-            lock.unlock();
-            {
-                std::lock_guard<std::mutex> sleep(sleep_mutex_);
-                --pending_;
-            }
-            task.fn();
-            return true;
-        }
-    }
-    return false;
-}
-
 void
 ThreadPool::workerLoop(std::size_t self)
 {
+    ScratchArena::bind(arenas_[self].get());
     for (;;) {
+        // parallelFor chunks first — their owners are blocked on
+        // them — then posted tasks. The atomic gate keeps the
+        // pure-posted-task steady state (the serving pipeline) off
+        // the global claim lock.
+        if (active_batches_.load(std::memory_order_acquire) > 0 &&
+            runOneChunk(self, nullptr))
+            continue;
         if (tryRunOne(self))
             continue;
-        // The pending counter and the wait share sleep_mutex_, so a
-        // task published after the failed scan above cannot slip by
-        // unnoticed: either pending_ is already non-zero here, or
-        // the publisher's notify arrives while we hold the lock.
-        // Teardown waits for every published task to run AND for
-        // any submission past the gate to publish, so work accepted
-        // before shutdown() began is never stranded in a queue.
+        // The pending counter, the batch list, and the wait share
+        // sleep_mutex_, so work published after the failed scans
+        // above cannot slip by unnoticed: either the predicate is
+        // already true here, or the publisher's notify arrives while
+        // we hold the lock. Teardown waits for every published task
+        // and claimable chunk to run AND for any submission past
+        // the gate to publish, so work accepted before shutdown()
+        // began is never stranded.
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         sleep_cv_.wait(lock, [this] {
-            return pending_ > 0 || (stop_ && submitting_ == 0);
+            return pending_ > 0 || claimableLocked() ||
+                   (stop_ && submitting_ == 0);
         });
-        if (pending_ > 0)
+        if (pending_ > 0 || claimableLocked())
             continue;
         return;
     }
 }
 
 void
-ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
-                        const std::function<void(Index, Index)>& body)
+ThreadPool::runBatch(Index begin, Index end, Index min_grain,
+                     RawBody body, void* ctx)
 {
     if (begin >= end)
         return;
     SMASH_CHECK(min_grain >= 1, "grain must be positive");
-    beginSubmit("parallelFor()");
 
     const Index span = end - begin;
     const Index target_chunks =
@@ -248,49 +377,55 @@ ThreadPool::parallelFor(Index begin, Index end, Index min_grain,
         std::max(min_grain, (span + target_chunks - 1) / target_chunks);
     const Index chunks = (span + grain - 1) / grain;
 
-    Batch batch;
+    ForBatch batch;
+    batch.body = body;
+    batch.ctx = ctx;
+    batch.begin = begin;
+    batch.end = end;
+    batch.grain = grain;
+    batch.chunks = chunks;
+    batch.unclaimed = chunks;
     batch.remaining.store(chunks, std::memory_order_relaxed);
-
-    for (Index c = 0; c < chunks; ++c) {
-        const Index b = begin + c * grain;
-        const Index e = std::min(end, b + grain);
-        Task task{[&body, &batch, b, e] {
-            try {
-                body(b, e);
-            } catch (...) {
-                batch.fail(std::current_exception());
-            }
-            batch.finishOne();
-        }};
-        WorkerQueue& q = *queues_[next_queue_++ % queues_.size()];
-        {
-            std::lock_guard<std::mutex> lock(q.mutex);
-            q.tasks.push_back(std::move(task));
-        }
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        SMASH_CHECK(!stop_, "parallelFor() on a shut-down thread pool");
+        batch.next_batch = batches_;
+        if (batches_ != nullptr)
+            batches_->prev = &batch;
+        batches_ = &batch;
+        active_batches_.fetch_add(1, std::memory_order_release);
     }
-    endSubmit(chunks);
+    sleep_cv_.notify_all();
 
-    // Help instead of blocking: run queued tasks (this batch's
-    // chunks or anything else) until the batch completes. A nested
-    // caller — a worker task invoking parallelFor — thereby drains
-    // its own chunks, so progress holds on any pool size. Sleep
-    // only when every queue is empty, i.e. the outstanding chunks
-    // are running on other threads; their finishOne() notifies.
-    for (;;) {
-        if (batch.remaining.load(std::memory_order_acquire) == 0)
-            break;
-        if (tryRunOneExternal())
-            continue;
+    // Help with this batch's own chunks — and only those: running
+    // unrelated posted tasks here could re-enter an arena-using
+    // dispatch driver on this thread mid-call. A nested caller (a
+    // worker task invoking parallelFor) thereby drains its own
+    // chunks, so progress holds on any pool size.
+    while (runOneChunk(kNoWorker, &batch)) {
+    }
+    if (batch.remaining.load(std::memory_order_acquire) != 0) {
         std::unique_lock<std::mutex> lock(batch.mutex);
         batch.done.wait(lock, [&batch] {
-            return batch.remaining.load(std::memory_order_acquire) == 0;
+            return batch.remaining.load(std::memory_order_acquire) ==
+                   0;
         });
+    }
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        if (batch.prev != nullptr)
+            batch.prev->next_batch = batch.next_batch;
+        else
+            batches_ = batch.next_batch;
+        if (batch.next_batch != nullptr)
+            batch.next_batch->prev = batch.prev;
+        active_batches_.fetch_sub(1, std::memory_order_release);
     }
     {
         // Rendezvous with the last finishOne(): its decrement and
         // notify run under batch.mutex, so acquiring it here
         // guarantees that critical section has exited before the
-        // Batch (and its error slot, read below) is torn down.
+        // ForBatch (and its error slot, read below) is torn down.
         std::lock_guard<std::mutex> lock(batch.mutex);
     }
     if (batch.error)

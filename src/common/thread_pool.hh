@@ -1,14 +1,32 @@
 /**
  * @file
- * Work-stealing thread pool backing the parallel execution model.
+ * Work-sharing thread pool backing the parallel execution model.
  *
- * Each worker owns a deque of tasks: it pops from the front of its
- * own deque and, when empty, steals from the back of a victim's —
- * the classic owner-LIFO / thief-FIFO discipline that keeps hot
- * tasks cache-local while idle workers drain the longest-waiting
- * work. parallelFor() is the only interface the kernels need: it
- * splits an index range into more chunks than workers so stealing
- * can rebalance skewed per-row costs (power-law rows, empty rows).
+ * Two kinds of work flow through the pool:
+ *
+ *  - parallelFor() batches: an index range split into chunks that
+ *    workers claim straight off the batch descriptor (an atomic-ish
+ *    cursor under the pool lock, no per-chunk queue entries), so
+ *    the steady-state compute path enqueues nothing on the heap.
+ *    When the chunk count fits the sticky window, each worker
+ *    prefers the chunks whose index maps to it — repeated calls
+ *    over a cached partition plan therefore hand the same row
+ *    ranges to the same workers ("sticky" partitions), which keeps
+ *    per-worker cache state hot and, with pinned workers, resident
+ *    on the same core. Unclaimed chunks are still stolen by whoever
+ *    runs dry, so skew cannot strand work.
+ *
+ *  - post()ed tasks (the serving pipeline's stage submissions):
+ *    per-worker deques with the classic owner-LIFO / thief-FIFO
+ *    discipline.
+ *
+ * Workers may opt into CPU affinity pinning (Options::pinWorkers,
+ * Linux pthread_setaffinity_np; a no-op elsewhere): worker t is
+ * pinned to CPU t mod hardware_concurrency. Combined with sticky
+ * chunk claiming this realizes the software half of the ROADMAP's
+ * NUMA item — a matrix's partitions stay on the same cores across
+ * requests. Each worker also owns a ScratchArena, bound to its
+ * thread for its lifetime (see common/scratch_arena.hh).
  */
 
 #ifndef SMASH_COMMON_THREAD_POOL_HH
@@ -23,21 +41,29 @@
 #include <thread>
 #include <vector>
 
+#include "common/scratch_arena.hh"
 #include "common/types.hh"
 
 namespace smash::exec
 {
 
-/** Work-stealing pool of a fixed number of worker threads. */
+/** Work-sharing pool of a fixed number of worker threads. */
 class ThreadPool
 {
   public:
-    /**
-     * @param threads number of workers (>= 1). The calling thread
-     *        is not a worker; it blocks in parallelFor() until the
-     *        batch completes.
-     */
+    /** Construction-time knobs. */
+    struct Options
+    {
+        /** Number of workers (>= 1). The calling thread is not a
+         *  worker; it helps run its own parallelFor chunks. */
+        int threads = 1;
+        /** Pin worker t to CPU t mod hardware_concurrency
+         *  (best-effort, Linux only). */
+        bool pinWorkers = false;
+    };
+
     explicit ThreadPool(int threads);
+    explicit ThreadPool(const Options& options);
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
@@ -47,21 +73,36 @@ class ThreadPool
     /** Number of worker threads. */
     int size() const { return static_cast<int>(workers_.size()); }
 
+    /** Whether worker pinning was requested and attempted. */
+    bool pinned() const { return pinned_; }
+
     /**
      * Run body(chunk_begin, chunk_end) over a partition of
      * [begin, end) and return when every chunk has finished. The
      * range is split into ~4 chunks per worker (at least
-     * @p min_grain indices each) so work stealing can rebalance
-     * uneven chunk costs. @p body must be safe to invoke
-     * concurrently from different workers on disjoint chunks.
+     * @p min_grain indices each); idle workers claim chunks they
+     * don't own, so uneven chunk costs rebalance. @p body must be
+     * safe to invoke concurrently from different workers on
+     * disjoint chunks.
      *
-     * While waiting, the calling thread steals and runs queued
-     * tasks itself, so parallelFor() may be nested — a worker task
-     * that calls it keeps draining queues instead of deadlocking,
-     * even on a single-worker pool. Fails after shutdown().
+     * The calling thread claims and runs its own batch's remaining
+     * chunks while it waits (and only those — it never picks up
+     * unrelated work mid-call), so parallelFor() may be nested: a
+     * worker task that calls it drains its own chunks instead of
+     * deadlocking, even on a single-worker pool. Performs no heap
+     * allocation beyond what @p body does. Fails after shutdown().
      */
-    void parallelFor(Index begin, Index end, Index min_grain,
-                     const std::function<void(Index, Index)>& body);
+    template <typename F>
+    void
+    parallelFor(Index begin, Index end, Index min_grain, const F& body)
+    {
+        runBatch(
+            begin, end, min_grain,
+            [](void* ctx, Index cb, Index ce) {
+                (*static_cast<const F*>(ctx))(cb, ce);
+            },
+            const_cast<void*>(static_cast<const void*>(&body)));
+    }
 
     /**
      * Enqueue one fire-and-forget task (the serving pipeline's
@@ -93,6 +134,15 @@ class ThreadPool
     void shutdown();
 
   private:
+    /** Chunk body as a plain function pointer + context — the
+     *  template wrapper above erases the callable without touching
+     *  the heap. */
+    using RawBody = void (*)(void* ctx, Index begin, Index end);
+
+    /** One in-flight parallelFor call; lives on the owner's stack
+     *  and is linked into batches_ while chunks remain. */
+    struct ForBatch;
+
     struct Task
     {
         std::function<void()> fn;
@@ -105,11 +155,22 @@ class ThreadPool
         std::mutex mutex;
     };
 
+    /** Non-worker claimants (parallelFor owners) have no sticky
+     *  chunk preference. */
+    static constexpr std::size_t kNoWorker =
+        static_cast<std::size_t>(-1);
+
+    void runBatch(Index begin, Index end, Index min_grain,
+                  RawBody body, void* ctx);
+    /** Claim one chunk (from @p only, or any linked batch) and run
+     *  it; @p worker picks the sticky preference. */
+    bool runOneChunk(std::size_t worker, ForBatch* only);
+    /** Claim one chunk of @p b under sleep_mutex_; -1 when none. */
+    Index claimChunkLocked(ForBatch& b, std::size_t worker);
+    /** Any batch with unclaimed chunks? (sleep_mutex_ held.) */
+    bool claimableLocked() const;
     void workerLoop(std::size_t self);
     bool tryRunOne(std::size_t self);
-    /** Steal one queued task (any queue) and run it; for the
-     *  help-while-waiting loop of parallelFor(). */
-    bool tryRunOneExternal();
     /** Gate one submission: fails once shutdown has begun. */
     void beginSubmit(const char* what);
     /** beginSubmit() that reports the closed gate instead of
@@ -119,13 +180,23 @@ class ThreadPool
     void enqueueTask(std::function<void()> fn);
     /** Publish @p published tasks and release the submission gate. */
     void endSubmit(Index published);
+    /** Best-effort worker CPU pinning (Options::pinWorkers). */
+    void pinWorkers();
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::unique_ptr<ScratchArena>> arenas_;
     std::vector<std::thread> workers_;
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;
     std::atomic<std::size_t> next_queue_{0};
     std::once_flag join_once_;
+    /** In-flight parallelFor calls with chunks left to claim or
+     *  finish; guarded by sleep_mutex_. */
+    ForBatch* batches_ = nullptr;
+    /** Lock-free mirror of "batches_ is non-empty": lets workers on
+     *  the posted-task path (the serving pipeline) skip the global
+     *  claim lock entirely when no parallelFor is in flight. */
+    std::atomic<int> active_batches_{0};
     /** Enqueued-but-not-started tasks; guarded by sleep_mutex_ so
      *  the empty-check and the sleep are atomic (no lost wakeup). */
     Index pending_ = 0;
@@ -133,6 +204,7 @@ class ThreadPool
      *  must not tear down while one is in flight. */
     Index submitting_ = 0;
     bool stop_ = false;
+    bool pinned_ = false;
 };
 
 } // namespace smash::exec

@@ -18,11 +18,21 @@
  * unsupported (format, op) pairs fail with a clear error instead of
  * a template blizzard.
  *
+ * Steady-state fast path: when the MatrixRef carries a PlanCache
+ * (refs from SparseMatrixAny / the serving registry's encodings do;
+ * see engine/plan.hh), the parallel drivers fetch their partition —
+ * nnz-balanced cuts, the SMASH word walk's base ranks — from the
+ * cache instead of recomputing it per call, and all per-call
+ * scratch (the padded x operand, scatter accumulators) comes from
+ * the calling thread's ScratchArena. A warmed dispatch therefore
+ * performs no heap allocation.
+ *
  * Ownership/threading contract: dispatch borrows the matrix and
- * operand storage for the duration of one call and keeps no state
- * between calls. Concurrent dispatches over the same (immutable)
- * matrix are safe, including from pipeline worker tasks; the y/C
- * output must be private to each call.
+ * operand storage for the duration of one call and keeps no
+ * per-call state between calls (the plan cache is the matrix's,
+ * the scratch the thread's). Concurrent dispatches over the same
+ * (immutable) matrix are safe, including from pipeline worker
+ * tasks; the y/C output must be private to each call.
  */
 
 #ifndef SMASH_ENGINE_DISPATCH_HH
@@ -34,7 +44,9 @@
 
 #include "common/bitops.hh"
 #include "common/parallel_exec.hh"
+#include "common/scratch_arena.hh"
 #include "engine/matrix_any.hh"
+#include "engine/plan.hh"
 #include "isa/bmu.hh"
 #include "kernels/spadd.hh"
 #include "kernels/spgemm.hh"
@@ -100,7 +112,9 @@ resolveAlgo(Format f, const SpmvOptions& opts)
 /**
  * x, zero-extended into @p scratch when shorter than the format's
  * required operand length. Callers that pre-pad (the benches, so
- * simulation bills no copy) pass through untouched.
+ * simulation bills no copy) pass through untouched. @p scratch is
+ * grown but never shrunk (it is an arena buffer — kernels only
+ * read the operand-length prefix).
  */
 inline const std::vector<Value>&
 paddedX(const MatrixRef& a, const std::vector<Value>& x,
@@ -109,7 +123,12 @@ paddedX(const MatrixRef& a, const std::vector<Value>& x,
     const Index need = a.xLength();
     if (static_cast<Index>(x.size()) >= need)
         return x;
-    scratch = kern::padVector(x, need);
+    if (static_cast<Index>(scratch.size()) < need)
+        scratch.resize(static_cast<std::size_t>(need));
+    std::copy(x.begin(), x.end(), scratch.begin());
+    std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(x.size()),
+              scratch.begin() + static_cast<std::ptrdiff_t>(need),
+              Value(0));
     return scratch;
 }
 
@@ -144,13 +163,38 @@ balancedCuts(const PtrVec& ptr, Index n, Index chunks)
 }
 
 /**
+ * Fetch-or-build the nnz-balanced cuts of (kind, chunks) through
+ * the matrix's plan cache when one is attached (steady-state: no
+ * recomputation, no allocation), else build a fresh plan.
+ */
+template <typename PtrVec>
+PlanCache::PlanPtr
+cutsPlan(const MatrixRef& a, PlanKind kind, const PtrVec& ptr, Index n,
+         Index chunks)
+{
+    const auto build = [&] {
+        PartitionPlan plan;
+        plan.cuts = balancedCuts(ptr, n, chunks);
+        return plan;
+    };
+    if (const PlanCache* cache = a.plans())
+        return cache->get(kind, chunks, build);
+    return std::make_shared<const PartitionPlan>(build());
+}
+
+/**
  * Scatter-format helper: partition the item space [0, n) into
  * disjoint ranges and run fn(range_begin, range_end, y_local) for
  * each, accumulating into private y copies merged at the barrier
- * (the merge itself is row-parallel). Contract: every item index in
- * [0, n) reaches fn exactly once; callers may key per-item state
- * (e.g. the SMASH driver's per-range NZA base ranks) off the item
- * index regardless of how ranges are grouped into tasks.
+ * (the merge itself is row-parallel). The private copies live in
+ * the calling thread's ScratchArena — workers write them, the
+ * parallelFor barrier publishes the writes back to this thread.
+ * Contract: every item index in [0, n) reaches fn exactly once;
+ * callers may key per-item state (e.g. the SMASH driver's
+ * per-range NZA base ranks) off the item index regardless of how
+ * ranges are grouped into tasks. fn must not recurse into another
+ * scatterParallel on the calling thread (arena slots are keyed by
+ * chunk, not by nesting depth).
  */
 template <typename RangeFn>
 void
@@ -166,24 +210,43 @@ scatterParallel(exec::ParallelExec& e, Index n, std::vector<Value>& y,
                       [&](Index, Index) { fn(0, n, y); });
         return;
     }
-    std::vector<std::vector<Value>> locals(
-        static_cast<std::size_t>(chunks),
-        std::vector<Value>(y.size(), Value(0)));
+    const std::size_t ysize = y.size();
+    exec::ScratchArena& arena = exec::ScratchArena::local();
+    std::vector<std::vector<Value>*>& locals =
+        arena.pointers(static_cast<std::size_t>(chunks));
+    for (Index c = 0; c < chunks; ++c)
+        locals[static_cast<std::size_t>(c)] = &arena.values(
+            exec::ScratchArena::kScatterBase +
+                static_cast<std::size_t>(c),
+            ysize);
     const Index grain = (n + chunks - 1) / chunks;
     e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
         for (Index c = cb; c < ce; ++c) {
             const Index b = c * grain;
             const Index end = std::min(n, b + grain);
-            if (b < end)
-                fn(b, end, locals[static_cast<std::size_t>(c)]);
+            if (b < end) {
+                std::vector<Value>& local =
+                    *locals[static_cast<std::size_t>(c)];
+                std::fill(
+                    local.begin(),
+                    local.begin() + static_cast<std::ptrdiff_t>(ysize),
+                    Value(0));
+                fn(b, end, local);
+            }
         }
     });
-    e.parallelFor(0, static_cast<Index>(y.size()), 1024,
+    e.parallelFor(0, static_cast<Index>(ysize), 1024,
                   [&](Index rb, Index re) {
-        for (const std::vector<Value>& local : locals)
+        for (Index c = 0; c < chunks; ++c) {
+            const Index b = c * grain;
+            if (b >= n)
+                break; // empty tail chunk: never zeroed or written
+            const std::vector<Value>& local =
+                *locals[static_cast<std::size_t>(c)];
             for (Index r = rb; r < re; ++r)
                 y[static_cast<std::size_t>(r)] +=
                     local[static_cast<std::size_t>(r)];
+        }
     });
 }
 
@@ -195,47 +258,49 @@ scatterParallel(exec::ParallelExec& e, Index n, std::vector<Value>& y,
  * bit-clearing loop, not std::popcount: without -mpopcnt the latter
  * is a libcall (~3 ns/word measured), while clearing costs one test
  * per empty word plus one iteration per set bit — cheaper on sparse
- * bitmaps.
+ * bitmaps. The result is memoized through the matrix's plan cache
+ * when one is attached — the O(words) pre-scan is the dominant
+ * per-call setup of the SMASH drivers.
  */
-struct SmashWordPartition
+inline PlanCache::PlanPtr
+wordWalkPlan(const MatrixRef& a, const core::SmashMatrix& m,
+             exec::ParallelExec& e)
 {
-    Index words = 0;
-    Index chunks = 0;
-    Index grain = 0;
-    std::vector<Index> base; //!< Bitmap-0 rank before each chunk
-};
-
-inline SmashWordPartition
-partitionSmashWords(const core::SmashMatrix& m, exec::ParallelExec& e)
-{
-    SmashWordPartition part;
-    const core::Bitmap& level0 = m.hierarchy().level(0);
-    const BitWord* wp = level0.words().data();
-    part.words = level0.numWords();
-    part.chunks =
-        std::max<Index>(1, std::min<Index>(part.words, e.threads()));
-    part.grain = (part.words + part.chunks - 1) / part.chunks;
-    part.base.assign(static_cast<std::size_t>(part.chunks) + 1, 0);
-    if (part.chunks > 1)
-        e.parallelFor(0, part.chunks, 1, [&](Index cb, Index ce) {
-            for (Index c = cb; c < ce; ++c) {
-                const Index wb = c * part.grain;
-                const Index we = std::min(part.words, wb + part.grain);
-                Index pop = 0;
-                for (Index w = wb; w < we; ++w) {
-                    BitWord word = wp[w];
-                    while (word != 0) {
-                        word = clearLowestSet(word);
-                        ++pop;
+    const Index threads = static_cast<Index>(e.threads());
+    const auto build = [&] {
+        PartitionPlan part;
+        const core::Bitmap& level0 = m.hierarchy().level(0);
+        const BitWord* wp = level0.words().data();
+        part.words = level0.numWords();
+        const Index chunks =
+            std::max<Index>(1, std::min<Index>(part.words, threads));
+        part.grain = (part.words + chunks - 1) / chunks;
+        part.base.assign(static_cast<std::size_t>(chunks) + 1, 0);
+        if (chunks > 1)
+            e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
+                for (Index c = cb; c < ce; ++c) {
+                    const Index wb = c * part.grain;
+                    const Index we =
+                        std::min(part.words, wb + part.grain);
+                    Index pop = 0;
+                    for (Index w = wb; w < we; ++w) {
+                        BitWord word = wp[w];
+                        while (word != 0) {
+                            word = clearLowestSet(word);
+                            ++pop;
+                        }
                     }
+                    part.base[static_cast<std::size_t>(c) + 1] = pop;
                 }
-                part.base[static_cast<std::size_t>(c) + 1] = pop;
-            }
-        });
-    for (Index c = 0; c < part.chunks; ++c)
-        part.base[static_cast<std::size_t>(c) + 1] +=
-            part.base[static_cast<std::size_t>(c)];
-    return part;
+            });
+        for (Index c = 0; c < chunks; ++c)
+            part.base[static_cast<std::size_t>(c) + 1] +=
+                part.base[static_cast<std::size_t>(c)];
+        return part;
+    };
+    if (const PlanCache* cache = a.plans())
+        return cache->get(PlanKind::kWordWalk, threads, build);
+    return std::make_shared<const PartitionPlan>(build());
 }
 
 /** Multi-threaded SpMV drivers, one per format family. */
@@ -248,8 +313,9 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       case Format::kCsr: {
         // nnz-balanced row cuts; disjoint rows write y directly.
         const auto& m = a.as<fmt::CsrMatrix>();
-        const std::vector<Index> cuts =
-            balancedCuts(m.rowPtr(), m.rows(), chunk_goal);
+        const PlanCache::PlanPtr plan = cutsPlan(
+            a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
+        const std::vector<Index>& cuts = plan->cuts;
         e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
                       [&](Index cb, Index ce) {
             sim::NativeExec ne;
@@ -263,8 +329,10 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kBcsr: {
         const auto& m = a.as<fmt::BcsrMatrix>();
-        const std::vector<Index> cuts =
-            balancedCuts(m.blockRowPtr(), m.numBlockRows(), chunk_goal);
+        const PlanCache::PlanPtr plan =
+            cutsPlan(a, PlanKind::kRowCuts, m.blockRowPtr(),
+                     m.numBlockRows(), chunk_goal);
+        const std::vector<Index>& cuts = plan->cuts;
         e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
                       [&](Index cb, Index ce) {
             sim::NativeExec ne;
@@ -303,11 +371,12 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
         // §4.4 word walk over Bitmap-0, word-partitioned. Words can
         // straddle rows, so each worker accumulates into a private y
         // merged at the barrier; the per-range NZA base comes from
-        // the parallel rank pre-scan.
+        // the (cached) parallel rank pre-scan.
         const auto& m = a.as<core::SmashMatrix>();
-        const SmashWordPartition part = partitionSmashWords(m, e);
+        const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
+        const PartitionPlan& part = *plan;
         scatterParallel(
-            e, part.chunks, y,
+            e, part.chunks(), y,
             [&](Index cb, Index ce, std::vector<Value>& local) {
                 for (Index c = cb; c < ce; ++c) {
                     const Index wb = c * part.grain;
@@ -356,8 +425,13 @@ spmvBatchPerRhs(const MatrixRef& a, const fmt::DenseMatrix& x,
                 fmt::DenseMatrix& y, E& e)
 {
     const Index nrhs = x.cols();
-    std::vector<Value> xr(static_cast<std::size_t>(x.rows()));
-    std::vector<Value> yr(static_cast<std::size_t>(y.rows()));
+    exec::ScratchArena& arena = exec::ScratchArena::local();
+    std::vector<Value>& xr = arena.values(
+        exec::ScratchArena::kBatchXr,
+        static_cast<std::size_t>(x.rows()));
+    std::vector<Value>& yr = arena.values(
+        exec::ScratchArena::kBatchYr,
+        static_cast<std::size_t>(y.rows()));
     for (Index r = 0; r < nrhs; ++r) {
         for (Index j = 0; j < x.rows(); ++j)
             xr[static_cast<std::size_t>(j)] = x.at(j, r);
@@ -379,8 +453,9 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
     switch (a.format()) {
       case Format::kCsr: {
         const auto& m = a.as<fmt::CsrMatrix>();
-        const std::vector<Index> cuts =
-            balancedCuts(m.rowPtr(), m.rows(), chunk_goal);
+        const PlanCache::PlanPtr plan = cutsPlan(
+            a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
+        const std::vector<Index>& cuts = plan->cuts;
         e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
                       [&](Index cb, Index ce) {
             sim::NativeExec ne;
@@ -419,10 +494,11 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
         // Same word partition as the single-RHS driver; the private
         // accumulators are the flat rows x nrhs blocks.
         const auto& m = a.as<core::SmashMatrix>();
-        const SmashWordPartition part = partitionSmashWords(m, e);
+        const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
+        const PartitionPlan& part = *plan;
         const Index nrhs = y.cols();
         scatterParallel(
-            e, part.chunks, y.data(),
+            e, part.chunks(), y.data(),
             [&](Index cb, Index ce, std::vector<Value>& local) {
                 for (Index c = cb; c < ce; ++c) {
                     const Index wb = c * part.grain;
@@ -452,13 +528,21 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
  * no synchronization is needed and work stealing absorbs skew.
  */
 inline void
-parallelSpmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
+parallelSpmmCsr(const MatrixRef& aref, const MatrixRef& bref,
                 fmt::DenseMatrix& c, exec::ParallelExec& e)
 {
-    const std::vector<Index> row_cuts = balancedCuts(
-        a.rowPtr(), a.rows(), static_cast<Index>(e.threads()) * 2);
-    const std::vector<Index> col_cuts =
-        balancedCuts(b.colPtr(), b.cols(), std::min<Index>(b.cols(), 2));
+    const auto& a = aref.as<fmt::CsrMatrix>();
+    const auto& b = bref.as<fmt::CscMatrix>();
+    // Row cuts from A's cache, column-band cuts from B's: both
+    // operands may be long-lived registry encodings.
+    const PlanCache::PlanPtr row_plan =
+        cutsPlan(aref, PlanKind::kRowCuts, a.rowPtr(), a.rows(),
+                 static_cast<Index>(e.threads()) * 2);
+    const PlanCache::PlanPtr col_plan =
+        cutsPlan(bref, PlanKind::kColCuts, b.colPtr(), b.cols(),
+                 std::min<Index>(b.cols(), 2));
+    const std::vector<Index>& row_cuts = row_plan->cuts;
+    const std::vector<Index>& col_cuts = col_plan->cuts;
     const Index n_rows = static_cast<Index>(row_cuts.size()) - 1;
     const Index n_cols = static_cast<Index>(col_cuts.size()) - 1;
     e.parallelFor(0, n_rows * n_cols, 1, [&](Index tb, Index te) {
@@ -479,12 +563,14 @@ parallelSpmmCsr(const fmt::CsrMatrix& a, const fmt::CscMatrix& b,
  * the result is canonical without a sort.
  */
 inline fmt::CooMatrix
-parallelSpaddCsr(const fmt::CsrMatrix& a, const fmt::CsrMatrix& b,
+parallelSpaddCsr(const MatrixRef& aref, const fmt::CsrMatrix& b,
                  exec::ParallelExec& e)
 {
-    const std::vector<Index> cuts = balancedCuts(
-        a.rowPtr(), a.rows(),
+    const auto& a = aref.as<fmt::CsrMatrix>();
+    const PlanCache::PlanPtr plan = cutsPlan(
+        aref, PlanKind::kSpaddCuts, a.rowPtr(), a.rows(),
         std::max<Index>(1, static_cast<Index>(e.threads())));
+    const std::vector<Index>& cuts = plan->cuts;
     const auto n_ranges = static_cast<Index>(cuts.size()) - 1;
     std::vector<fmt::CooMatrix> locals(
         static_cast<std::size_t>(n_ranges));
@@ -520,7 +606,10 @@ spmv(const MatrixRef& a, const std::vector<Value>& x,
     SMASH_CHECK(capabilities(a.format()).spmv, toString(a.format()),
                 " has no SpMV kernel");
     const SpmvAlgo algo = detail::resolveAlgo(a.format(), opts);
-    std::vector<Value> scratch;
+    // Pad through the calling thread's arena: the buffer persists
+    // across calls, so a warmed steady-state pad allocates nothing.
+    std::vector<Value>& scratch = exec::ScratchArena::local().values(
+        exec::ScratchArena::kPaddedX, 0);
     const std::vector<Value>& xp = detail::paddedX(a, x, scratch);
 
     if constexpr (std::is_same_v<std::decay_t<E>, exec::ParallelExec>) {
@@ -686,8 +775,7 @@ spmm(const MatrixRef& a, const MatrixRef& b, fmt::DenseMatrix& c, E& e,
         // serial kernels on the calling thread — ParallelExec's
         // hooks are no-ops, so results are identical.
         if (a.format() == Format::kCsr && algo == SpmvAlgo::kPlain) {
-            detail::parallelSpmmCsr(a.as<fmt::CsrMatrix>(),
-                                    b.as<fmt::CscMatrix>(), c, e);
+            detail::parallelSpmmCsr(a, b, c, e);
             return;
         }
     }
@@ -784,7 +872,7 @@ spadd(const MatrixRef& a, const MatrixRef& b, E& e,
         // the ideal variant fall through to the serial kernels.
         if (a.format() == Format::kCsr && algo == SpaddAlgo::kPlain) {
             return SparseMatrixAny(detail::parallelSpaddCsr(
-                a.as<fmt::CsrMatrix>(), b.as<fmt::CsrMatrix>(), e));
+                a, b.as<fmt::CsrMatrix>(), e));
         }
         if (a.format() == Format::kDense) {
             const auto& am = a.as<fmt::DenseMatrix>();

@@ -147,7 +147,13 @@ MutationStats
 SparseMatrixAny::applyUpdates(const fmt::CooMatrix& deltas,
                               const StructureListener& listener)
 {
-    return eng::applyUpdates(mutableCsr(), deltas, listener);
+    const MutationStats stats =
+        eng::applyUpdates(mutableCsr(), deltas, listener);
+    // Partition plans balance on the structure only: a value-only
+    // update leaves them valid, a structural change retires them.
+    if (stats.structural() > 0)
+        plans_->invalidate();
+    return stats;
 }
 
 MutationStats
@@ -155,12 +161,17 @@ SparseMatrixAny::replaceRows(const std::vector<Index>& rows,
                              const fmt::CooMatrix& replacement,
                              const StructureListener& listener)
 {
-    return eng::replaceRows(mutableCsr(), rows, replacement, listener);
+    const MutationStats stats =
+        eng::replaceRows(mutableCsr(), rows, replacement, listener);
+    if (stats.structural() > 0)
+        plans_->invalidate();
+    return stats;
 }
 
 MutationStats
 SparseMatrixAny::scaleValues(Value factor)
 {
+    // Structure (and therefore every cached plan) is preserved.
     return eng::scaleValues(mutableCsr(), factor);
 }
 
@@ -173,8 +184,10 @@ SparseMatrixAny::format() const
 MatrixRef
 SparseMatrixAny::ref() const
 {
-    return std::visit([](const auto& m) { return MatrixRef(m); },
-                      holder_);
+    MatrixRef r = std::visit(
+        [](const auto& m) { return MatrixRef(m); }, holder_);
+    r.plans_ = plans_.get();
+    return r;
 }
 
 } // namespace smash::eng

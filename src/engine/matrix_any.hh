@@ -11,13 +11,23 @@
  * (a std::variant) and is what conversion and auto-selection
  * produce; it converts to MatrixRef like the concrete types.
  *
+ * SparseMatrixAny also owns a PlanCache (engine/plan.hh): the
+ * partition plans the parallel dispatch drivers compute for it are
+ * memoized per instance and invalidated by structural mutations,
+ * so steady-state re-dispatch over a long-lived matrix skips the
+ * per-call partitioning setup. MatrixRef carries a pointer to that
+ * cache when built from a SparseMatrixAny (or explicitly attached
+ * via withPlans()); refs built from bare concrete matrices carry
+ * none and the drivers fall back to per-call partitioning.
+ *
  * Ownership/threading contract: SparseMatrixAny owns its storage
  * outright; MatrixRef borrows and must not outlive the matrix it
  * views. Neither is internally synchronized — concurrent reads are
- * fine, but the mutation members (applyUpdates/replaceRows/
- * scaleValues, CSR holders only) require external serialization
- * against readers, which the serving registry provides via its
- * epoch/shared_ptr swap discipline.
+ * fine (the embedded PlanCache synchronizes itself), but the
+ * mutation members (applyUpdates/replaceRows/scaleValues, CSR
+ * holders only) require external serialization against readers,
+ * which the serving registry provides via its epoch/shared_ptr
+ * swap discipline.
  */
 
 #ifndef SMASH_ENGINE_MATRIX_ANY_HH
@@ -30,6 +40,7 @@
 #include "core/smash_matrix.hh"
 #include "engine/format.hh"
 #include "engine/mutate.hh"
+#include "engine/plan.hh"
 #include "formats/bcsr_matrix.hh"
 #include "formats/coo_matrix.hh"
 #include "formats/csc_matrix.hh"
@@ -79,6 +90,21 @@ class MatrixRef
 
     Format format() const { return format_; }
 
+    /** The owning matrix's plan cache, or null for refs over bare
+     *  concrete matrices (drivers then partition per call). */
+    const PlanCache* plans() const { return plans_; }
+
+    /** This ref with @p plans attached — lets callers holding a
+     *  concrete matrix opt into plan caching with an external
+     *  cache whose lifetime they manage. */
+    MatrixRef
+    withPlans(const PlanCache& plans) const
+    {
+        MatrixRef r = *this;
+        r.plans_ = &plans;
+        return r;
+    }
+
     Index rows() const;
     Index cols() const;
     Index nnz() const;
@@ -102,8 +128,11 @@ class MatrixRef
     }
 
   private:
+    friend class SparseMatrixAny;
+
     Format format_;
     const void* ptr_;
+    const PlanCache* plans_ = nullptr;
 };
 
 /** Owning holder of a matrix in any engine format. */
@@ -121,8 +150,26 @@ class SparseMatrixAny
 
     template <typename T>
     explicit SparseMatrixAny(T m)
-        : holder_(std::move(m))
+        : holder_(std::move(m)), plans_(std::make_shared<PlanCache>())
     {}
+
+    // Copies get a fresh, empty plan cache: sharing one would let a
+    // later structural mutation of either copy poison the other's
+    // key space (same (kind, chunks) key, different structure).
+    SparseMatrixAny(const SparseMatrixAny& o)
+        : holder_(o.holder_), plans_(std::make_shared<PlanCache>())
+    {}
+    SparseMatrixAny&
+    operator=(const SparseMatrixAny& o)
+    {
+        if (this != &o) {
+            holder_ = o.holder_;
+            plans_ = std::make_shared<PlanCache>();
+        }
+        return *this;
+    }
+    SparseMatrixAny(SparseMatrixAny&&) = default;
+    SparseMatrixAny& operator=(SparseMatrixAny&&) = default;
 
     /** Encode a canonical COO matrix as @p target. */
     static SparseMatrixAny fromCoo(const fmt::CooMatrix& coo,
@@ -169,6 +216,10 @@ class SparseMatrixAny
                               const StructureListener& listener = {});
     MutationStats scaleValues(Value factor);
 
+    /** The memoized partition plans of this matrix (stats/tests;
+     *  the dispatch layer reaches it through ref().plans()). */
+    PlanCache& planCache() const { return *plans_; }
+
   private:
     /** The held CSR master, checked (mutation API plumbing). */
     fmt::CsrMatrix& mutableCsr();
@@ -177,6 +228,9 @@ class SparseMatrixAny
                  fmt::BcsrMatrix, fmt::EllMatrix, fmt::DiaMatrix,
                  fmt::DenseMatrix, core::SmashMatrix>
         holder_;
+    /** shared_ptr so the holder stays movable (PlanCache owns a
+     *  mutex); never null for a live object. */
+    std::shared_ptr<PlanCache> plans_;
 };
 
 inline MatrixRef::MatrixRef(const SparseMatrixAny& m)

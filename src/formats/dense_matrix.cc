@@ -38,6 +38,13 @@ DenseMatrix::rowData(Index r) const
     return data_.data() + static_cast<std::size_t>(r) * cols_;
 }
 
+Value*
+DenseMatrix::rowData(Index r)
+{
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+}
+
 Index
 DenseMatrix::countNonZeros() const
 {

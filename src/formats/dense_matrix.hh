@@ -36,6 +36,7 @@ class DenseMatrix
 
     /** Pointer to the first element of row @p r. */
     const Value* rowData(Index r) const;
+    Value* rowData(Index r);
 
     /** Number of elements with a non-zero value. */
     Index countNonZeros() const;

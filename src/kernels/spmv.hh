@@ -146,6 +146,14 @@ spmvCsrRange(const fmt::CsrMatrix& a, const std::vector<Value>& x,
     const auto& row_ptr = a.rowPtr();
     const auto& col_ind = a.colInd();
     const auto& values = a.values();
+    // Gate on the gathered range (a.cols()), not x.size(): an
+    // arena-padded x is a grow-only buffer whose capacity says
+    // nothing about how much of it this matrix touches.
+    const std::size_t prefetch_below =
+        wantXPrefetch(static_cast<std::size_t>(a.cols()) *
+                      sizeof(Value))
+            ? col_ind.size()
+            : 0;
 
     for (Index i = row_begin; i < row_end; ++i) {
         auto si = static_cast<std::size_t>(i);
@@ -157,6 +165,16 @@ spmvCsrRange(const fmt::CsrMatrix& a, const std::vector<Value>& x,
             // Indexing: stream col_ind, then chase into x.
             e.load(&col_ind[sj], sizeof(fmt::CsrIndex));
             fmt::CsrIndex col = col_ind[sj];
+            if constexpr (!E::kSimulated) {
+                // The chase's address is known one col_ind load
+                // ahead: hide the x miss behind the next few FMAs
+                // (skipped entirely for cache-resident operands —
+                // prefetch_below is 0 then).
+                const std::size_t ahead = sj + kXPrefetchDistance;
+                if (ahead < prefetch_below)
+                    prefetchRead(&x[static_cast<std::size_t>(
+                        col_ind[ahead])]);
+            }
             e.load(&x[static_cast<std::size_t>(col)], sizeof(Value),
                    sim::Dep::kDependent);
             e.load(&values[sj], sizeof(Value));
@@ -364,14 +382,27 @@ spmvSmashSwWords(const core::SmashMatrix& a, const std::vector<Value>& x,
     const Index padded_cols = a.paddedCols();
     const Value* nza = a.nza().data();
     Index block = nza_block;
+    // Amortized bit -> (row, col) tracking: bits ascend across the
+    // word range, so the row advances monotonically — one compare
+    // per bit replaces a 64-bit divide per bit. A zero-column
+    // matrix has bits_per_row == 0 (and no set bits): return before
+    // the division instead of faulting on it.
+    const Index bits_per_row = padded_cols / bs;
+    if (word_begin >= word_end || bits_per_row == 0)
+        return;
+    Index row = (word_begin * kBitsPerWord) / bits_per_row;
+    Index row_first_bit = row * bits_per_row;
     for (Index w = word_begin; w < word_end; ++w) {
         BitWord word = level0.word(w);
+        const Index word_base = w * kBitsPerWord;
         while (word != 0) {
-            const Index bit = w * kBitsPerWord + findFirstSet(word);
+            const Index bit = word_base + findFirstSet(word);
             word = clearLowestSet(word);
-            const Index linear = bit * bs;
-            const Index row = linear / padded_cols;
-            const Index col0 = linear % padded_cols;
+            while (bit >= row_first_bit + bits_per_row) {
+                ++row;
+                row_first_bit += bits_per_row;
+            }
+            const Index col0 = (bit - row_first_bit) * bs;
             const Value* blk = nza + static_cast<std::size_t>(block * bs);
             Value acc = 0;
             for (Index k = 0; k < bs; ++k)

@@ -55,11 +55,21 @@ batchWidth(Index a_rows, Index a_x_len, const fmt::DenseMatrix& x,
 
 } // namespace detail
 
+/** Widest batch the native CSR kernel accumulates on the stack. */
+inline constexpr Index kBatchAccumWidth = 64;
+
 /**
  * Batched CSR SpMV over rows [row_begin, row_end): the Code
  * Listing 1 loop with an nrhs-wide inner update. Indexing cost per
  * non-zero is identical to spmvCsrRange; only the useful work
  * scales with the batch.
+ *
+ * The native path accumulates each row's nrhs partial sums in a
+ * stack array: the compiler cannot prove X and Y don't alias, so
+ * accumulating through the Y pointer forces a load+store per
+ * non-zero per RHS — the local array keeps the sums in registers
+ * and the inner loop vectorizes. Identical FMA order, so results
+ * are bit-equal to the generic loop.
  */
 template <typename E>
 void
@@ -68,10 +78,54 @@ spmvBatchCsrRange(const fmt::CsrMatrix& a, const fmt::DenseMatrix& x,
                   E& e)
 {
     const Index nrhs = detail::batchWidth(a.rows(), a.cols(), x, y);
+    if constexpr (!E::kSimulated) {
+        if (nrhs <= kBatchAccumWidth) {
+            const auto& row_ptr = a.rowPtr();
+            const auto& col_ind = a.colInd();
+            const auto& values = a.values();
+            const std::size_t prefetch_below =
+                wantXPrefetch(
+                    static_cast<std::size_t>(a.cols() * nrhs) *
+                    sizeof(Value))
+                    ? col_ind.size()
+                    : 0;
+            Value acc[kBatchAccumWidth];
+            for (Index i = row_begin; i < row_end; ++i) {
+                auto si = static_cast<std::size_t>(i);
+                Value* yr = &y.at(i, 0);
+                for (Index r = 0; r < nrhs; ++r)
+                    acc[r] = yr[r];
+                for (fmt::CsrIndex j = row_ptr[si];
+                     j < row_ptr[si + 1]; ++j) {
+                    auto sj = static_cast<std::size_t>(j);
+                    const fmt::CsrIndex col = col_ind[sj];
+                    const std::size_t ahead = sj + kXPrefetchDistance;
+                    if (ahead < prefetch_below)
+                        prefetchRead(x.rowData(
+                            static_cast<Index>(col_ind[ahead])));
+                    const Value v = values[sj];
+                    const Value* xr =
+                        x.rowData(static_cast<Index>(col));
+                    for (Index r = 0; r < nrhs; ++r)
+                        acc[r] += v * xr[r];
+                }
+                for (Index r = 0; r < nrhs; ++r)
+                    yr[r] = acc[r];
+            }
+            return;
+        }
+    }
     const int vops = cost::vectorOps(nrhs);
     const auto& row_ptr = a.rowPtr();
     const auto& col_ind = a.colInd();
     const auto& values = a.values();
+    // Gate on the gathered range (a.cols() rows of X), as in
+    // spmvCsrRange.
+    const std::size_t prefetch_below =
+        wantXPrefetch(static_cast<std::size_t>(a.cols() * nrhs) *
+                      sizeof(Value))
+            ? col_ind.size()
+            : 0;
 
     for (Index i = row_begin; i < row_end; ++i) {
         auto si = static_cast<std::size_t>(i);
@@ -81,6 +135,14 @@ spmvBatchCsrRange(const fmt::CsrMatrix& a, const fmt::DenseMatrix& x,
             auto sj = static_cast<std::size_t>(j);
             e.load(&col_ind[sj], sizeof(fmt::CsrIndex));
             const fmt::CsrIndex col = col_ind[sj];
+            if constexpr (!E::kSimulated) {
+                // One chase fetches a whole RHS row; prefetch the
+                // row a few non-zeros ahead (see spmvCsrRange).
+                const std::size_t ahead = sj + kXPrefetchDistance;
+                if (ahead < prefetch_below)
+                    prefetchRead(x.rowData(
+                        static_cast<Index>(col_ind[ahead])));
+            }
             const Value* xr = x.rowData(static_cast<Index>(col));
             // One chase per non-zero fetches a whole RHS row.
             e.load(xr, static_cast<std::size_t>(nrhs) * sizeof(Value),

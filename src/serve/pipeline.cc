@@ -46,6 +46,30 @@ Pipeline::postPrepare(const QueueKey& key, Request request,
         ++inflight_;
     }
     stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    // Steady-state fast path: when every encoding the op needs is
+    // already cached there is nothing for a prepare task to do —
+    // hand the request to the batcher inline. Besides saving one
+    // pool hop per request, this keeps same-queue requests in
+    // submission order (async prepare tasks race on the workers, so
+    // a later kHigh arrival could otherwise flush ahead of an
+    // earlier kBatch request still in stage 1).
+    if (resolveEncodings(key, request, /*cached_only=*/true)) {
+        // On a throw the promise may already have moved on (enqueue
+        // takes the request by value, so e.g. a flush that failed
+        // mid-hand-off leaves it stateless); failOne tolerates that.
+        try {
+            batcher.enqueue(key, std::move(request));
+            noteProgress();
+        } catch (const std::exception& ex) {
+            failOne(request, Status(StatusCode::kInternal, ex.what()));
+        } catch (...) {
+            failOne(request, Status(StatusCode::kInternal,
+                                    "unknown prepare failure"));
+        }
+        return;
+    }
+
     // shared_ptr: promises are move-only but the pool's task type
     // (std::function) requires copyable callables.
     auto req = std::make_shared<Request>(std::move(request));
@@ -54,32 +78,48 @@ Pipeline::postPrepare(const QueueKey& key, Request request,
             // Encode/convert stage: first touch converts, later
             // touches return the cached encoding immediately. SpAdd
             // computes on the CSR masters of both operands.
-            switch (key.op) {
-              case OpClass::kSpmv:
-              case OpClass::kSpmm:
-                registry_.encoded(key.matrix);
-                break;
-              case OpClass::kSpadd:
-                registry_.encodedAs(key.matrix, eng::Format::kCsr);
-                registry_.encodedAs(
-                    std::get<SpaddWork>(req->work).other,
-                    eng::Format::kCsr);
-                break;
-            }
+            resolveEncodings(key, *req, /*cached_only=*/false);
             batcher.enqueue(key, std::move(*req));
+            // After the hand-off: a drain waiting for the batcher
+            // to hold everything in flight can flush it now.
+            noteProgress();
         } catch (const std::exception& ex) {
-            req->resolved = true;
-            req->fail(Status(StatusCode::kInternal, ex.what()));
-            finish(1, false);
+            failOne(*req, Status(StatusCode::kInternal, ex.what()));
         } catch (...) {
             // A non-std exception must still resolve the promise
             // and the accounting, or drain() hangs forever.
-            req->resolved = true;
-            req->fail(Status(StatusCode::kInternal,
-                             "unknown prepare failure"));
-            finish(1, false);
+            failOne(*req, Status(StatusCode::kInternal,
+                                 "unknown prepare failure"));
         }
     });
+}
+
+bool
+Pipeline::resolveEncodings(const QueueKey& key,
+                           const Request& request, bool cached_only)
+{
+    switch (key.op) {
+      case OpClass::kSpmv:
+      case OpClass::kSpmm:
+        if (cached_only)
+            return registry_.encodedIfCached(key.matrix) != nullptr;
+        registry_.encoded(key.matrix);
+        return true;
+      case OpClass::kSpadd: {
+        const std::string& other =
+            std::get<SpaddWork>(request.work).other;
+        if (cached_only)
+            return registry_.encodedAsIfCached(key.matrix,
+                                               eng::Format::kCsr) !=
+                       nullptr &&
+                   registry_.encodedAsIfCached(
+                       other, eng::Format::kCsr) != nullptr;
+        registry_.encodedAs(key.matrix, eng::Format::kCsr);
+        registry_.encodedAs(other, eng::Format::kCsr);
+        return true;
+      }
+    }
+    SMASH_PANIC("unknown op class");
 }
 
 void
@@ -115,6 +155,18 @@ Pipeline::postCompute(const QueueKey& key, std::vector<Request> batch)
                                           "unknown compute failure"));
         }
     });
+}
+
+void
+Pipeline::failOne(Request& request, const Status& status)
+{
+    request.resolved = true;
+    try {
+        request.fail(status);
+    } catch (...) {
+        // A moved-from promise has no state; nothing to resolve.
+    }
+    finish(1, false);
 }
 
 void
@@ -237,16 +289,32 @@ Pipeline::computeSpmv(const std::string& matrix,
 
     // Assemble the tall-skinny X block (one column per request,
     // padded to the format's operand length) and compute the whole
-    // batch with one traversal of the sparse operand.
+    // batch with one traversal of the sparse operand. Row-outer
+    // loop order: X is row-major, so the writes stream through each
+    // nrhs-wide row instead of striding one cache line per element.
     const Index xlen = m.xLength();
     fmt::DenseMatrix x(xlen, nrhs);
-    for (Index r = 0; r < nrhs; ++r) {
-        const std::vector<Value>& xr =
-            std::get<SpmvWork>(batch[static_cast<std::size_t>(r)].work)
-                .x;
-        const auto n = static_cast<Index>(xr.size());
-        for (Index j = 0; j < n && j < xlen; ++j)
-            x.at(j, r) = xr[static_cast<std::size_t>(j)];
+    {
+        std::vector<const Value*> sources(
+            static_cast<std::size_t>(nrhs));
+        std::vector<Index> lens(static_cast<std::size_t>(nrhs));
+        for (Index r = 0; r < nrhs; ++r) {
+            const std::vector<Value>& xr =
+                std::get<SpmvWork>(
+                    batch[static_cast<std::size_t>(r)].work)
+                    .x;
+            sources[static_cast<std::size_t>(r)] = xr.data();
+            lens[static_cast<std::size_t>(r)] =
+                std::min(xlen, static_cast<Index>(xr.size()));
+        }
+        for (Index j = 0; j < xlen; ++j) {
+            Value* row = x.rowData(j);
+            for (Index r = 0; r < nrhs; ++r)
+                row[r] = j < lens[static_cast<std::size_t>(r)]
+                    ? sources[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(j)]
+                    : Value(0);
+        }
     }
     auto y = std::make_shared<fmt::DenseMatrix>(rows, nrhs);
     if (compute_ == ComputeExec::kParallel) {
@@ -264,13 +332,24 @@ Pipeline::computeSpmv(const std::string& matrix,
     auto shared =
         std::make_shared<std::vector<Request>>(std::move(batch));
     pool_.post([this, shared, y, rows] {
+        // One streaming pass over the row-major Y block: each row
+        // scatters to every request's result, instead of one
+        // strided (line-per-element) pass per request.
         const auto n = static_cast<Index>(shared->size());
+        std::vector<std::vector<Value>> outs(
+            static_cast<std::size_t>(n));
+        for (auto& out : outs)
+            out.resize(static_cast<std::size_t>(rows));
+        for (Index i = 0; i < rows; ++i) {
+            const Value* row = y->rowData(i);
+            for (Index r = 0; r < n; ++r)
+                outs[static_cast<std::size_t>(r)]
+                    [static_cast<std::size_t>(i)] = row[r];
+        }
         for (Index r = 0; r < n; ++r) {
-            std::vector<Value> out(static_cast<std::size_t>(rows));
-            for (Index i = 0; i < rows; ++i)
-                out[static_cast<std::size_t>(i)] = y->at(i, r);
             Request& req = (*shared)[static_cast<std::size_t>(r)];
-            deliver(req, std::get<SpmvWork>(req.work), std::move(out));
+            deliver(req, std::get<SpmvWork>(req.work),
+                    std::move(outs[static_cast<std::size_t>(r)]));
         }
     });
 }
@@ -295,12 +374,18 @@ Pipeline::computeSpmm(const std::string& matrix,
     fmt::DenseMatrix x(xlen, total);
     Index off = 0;
     for (const Request& r : batch) {
+        // Row-streaming copy: both blocks are row-major, so copy
+        // each source row into its slice of the wide row.
         const fmt::DenseMatrix& b = std::get<SpmmWork>(r.work).b;
         const Index jmax = std::min(xlen, b.rows());
-        for (Index c = 0; c < b.cols(); ++c)
-            for (Index j = 0; j < jmax; ++j)
-                x.at(j, off + c) = b.at(j, c);
-        off += b.cols();
+        const Index nc = b.cols();
+        for (Index j = 0; j < jmax; ++j) {
+            const Value* src = b.rowData(j);
+            Value* dst = x.rowData(j) + off;
+            for (Index c = 0; c < nc; ++c)
+                dst[c] = src[c];
+        }
+        off += nc;
     }
     auto y = std::make_shared<fmt::DenseMatrix>(rows, total);
     if (compute_ == ComputeExec::kParallel) {
@@ -323,9 +408,13 @@ Pipeline::computeSpmm(const std::string& matrix,
             auto& w = std::get<SpmmWork>(req.work);
             const Index nc = w.b.cols();
             fmt::DenseMatrix out(rows, nc);
-            for (Index c = 0; c < nc; ++c)
-                for (Index i = 0; i < rows; ++i)
-                    out.at(i, c) = y->at(i, off + c);
+            // Row-streaming slice out of the wide row-major Y.
+            for (Index i = 0; i < rows; ++i) {
+                const Value* src = y->rowData(i) + off;
+                Value* dst = out.rowData(i);
+                for (Index c = 0; c < nc; ++c)
+                    dst[c] = src[c];
+            }
             off += nc;
             deliver(req, w, std::move(out));
         }
@@ -361,9 +450,7 @@ Pipeline::computeSpadd(const std::string& matrix,
             }();
             deliver(req, w, sum.as<fmt::CooMatrix>());
         } catch (const std::exception& ex) {
-            req.resolved = true;
-            req.fail(Status(StatusCode::kInternal, ex.what()));
-            finish(1, false);
+            failOne(req, Status(StatusCode::kInternal, ex.what()));
         }
     }
 }
@@ -393,6 +480,40 @@ Pipeline::drainFor(std::chrono::microseconds timeout)
     std::unique_lock<std::mutex> lock(mutex_);
     return idle_.wait_for(lock, timeout,
                           [this] { return inflight_ == 0; });
+}
+
+void
+Pipeline::noteProgress()
+{
+    // seq_cst on the bump and the waiter check (and on their
+    // counterparts in drainWait): with weaker orders this is the
+    // classic store-buffering shape, where this thread could miss
+    // the waiter AND the waiter miss the bump — a lost wakeup.
+    progress_.fetch_add(1);
+    if (drain_waiters_.load() == 0)
+        return; // nobody draining: skip the lock entirely
+    // Serialize with the waiter: it re-reads progress_ under
+    // mutex_ before every sleep, so either it sees this bump there
+    // or it is already waiting and this notify lands.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+    }
+    idle_.notify_all();
+}
+
+bool
+Pipeline::drainWait(std::uint64_t& seen)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drain_waiters_.fetch_add(1);
+    idle_.wait(lock, [this, &seen] {
+        return inflight_ == 0 || progress_.load() != seen;
+    });
+    drain_waiters_.fetch_sub(1);
+    if (inflight_ == 0)
+        return true;
+    seen = progress_.load();
+    return false;
 }
 
 } // namespace smash::serve

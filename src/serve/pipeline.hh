@@ -124,13 +124,24 @@ class Pipeline
      * Block until every submitted request has been delivered or
      * failed. Requests still parked in a batcher count as in-flight;
      * its deadline timer (or flushAll()) releases them. Callers that
-     * own the batcher (Session::drain) poll drainFor() and flush
-     * between waits, so draining never sits out a long flush cap.
+     * own the batcher (Session::drain) use drainWait() and flush on
+     * every progress event, so draining neither sits out a long
+     * flush cap nor burns a core polling.
      */
     void drain();
 
     /** drain() bounded by @p timeout; true when idle was reached. */
     bool drainFor(std::chrono::microseconds timeout);
+
+    /**
+     * Event-driven drain step: block until the pipeline is idle
+     * (returns true) or until progress — a request handed to its
+     * batcher by the prepare stage — has advanced past @p seen
+     * (returns false with @p seen updated). The caller flushes its
+     * batcher between steps; waking only on progress events
+     * replaces the old fixed-interval drainFor() polling loop.
+     */
+    bool drainWait(std::uint64_t& seen);
 
     const PipelineStats& stats() const { return stats_; }
 
@@ -149,6 +160,9 @@ class Pipeline
     /** Fail every not-yet-resolved request in @p batch. */
     void failRemaining(std::vector<Request>& batch,
                        const Status& status);
+    /** Resolve one request as failed (tolerating a moved-from
+     *  promise) and account for it. */
+    void failOne(Request& request, const Status& status);
     /** Mark @p n requests left the pipeline (delivered or failed). */
     void finish(std::uint64_t n, bool ok);
 
@@ -157,9 +171,27 @@ class Pipeline
     const ComputeExec compute_;
     PipelineStats stats_;
 
+    /** A request reached its batcher (drainWait wake signal). */
+    void noteProgress();
+    /** Resolve the encodings @p key's op class needs through the
+     *  registry — or, with @p cached_only, just probe for them
+     *  (building nothing). False when one is missing (probe mode
+     *  only; resolution always succeeds or throws). */
+    bool resolveEncodings(const QueueKey& key, const Request& request,
+                          bool cached_only);
+
     std::mutex mutex_;
     std::condition_variable idle_;
     std::uint64_t inflight_ = 0;
+    /** Monotonic count of requests handed to a batcher. Atomic
+     *  (seq_cst) so the hot path bumps it without mutex_; drainWait
+     *  registers as a waiter before re-reading it, and the total
+     *  order over the two atomics rules out the store-buffering
+     *  lost-wakeup (see noteProgress()). */
+    std::atomic<std::uint64_t> progress_{0};
+    /** Drains currently blocked in drainWait(); noteProgress only
+     *  takes the lock to notify when this is non-zero. */
+    std::atomic<int> drain_waiters_{0};
 };
 
 } // namespace smash::serve

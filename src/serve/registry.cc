@@ -146,6 +146,25 @@ MatrixRegistry::encodedAs(const std::string& name, eng::Format format)
     return encodedLocked(s, format);
 }
 
+MatrixRegistry::EncodingPtr
+MatrixRegistry::encodedIfCached(const std::string& name)
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.encodings.find(s.chosen);
+    return it != s.encodings.end() ? it->second : nullptr;
+}
+
+MatrixRegistry::EncodingPtr
+MatrixRegistry::encodedAsIfCached(const std::string& name,
+                                  eng::Format format)
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto it = s.encodings.find(format);
+    return it != s.encodings.end() ? it->second : nullptr;
+}
+
 bool
 MatrixRegistry::finishMutation(Slot& s, bool structural,
                                UpdateOutcome& out)

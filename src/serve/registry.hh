@@ -139,6 +139,19 @@ class MatrixRegistry
     EncodingPtr encodedAs(const std::string& name, eng::Format format);
 
     /**
+     * The primary encoding if (and only if) it is already built —
+     * never converts; returns null on a cold slot. The serving
+     * pipeline's fast path: a cached matrix skips the async
+     * prepare hop entirely, so steady-state requests reach their
+     * batcher inline, in submission order.
+     */
+    EncodingPtr encodedIfCached(const std::string& name);
+
+    /** encodedIfCached() for an explicit format. */
+    EncodingPtr encodedAsIfCached(const std::string& name,
+                                  eng::Format format);
+
+    /**
      * Mutation API. Each call applies to the CSR master under the
      * slot lock, invalidates the cached encodings, updates the
      * incremental profile, and runs the drift detector; results

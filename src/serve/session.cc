@@ -41,7 +41,9 @@ resolveBatchDelay(const SessionOptions& options)
 } // namespace
 
 Session::Session(MatrixRegistry& registry, const SessionOptions& options)
-    : registry_(registry), options_(options), pool_(options.threads),
+    : registry_(registry), options_(options),
+      pool_(exec::ThreadPool::Options{options.threads,
+                                      options.pinWorkers}),
       pipeline_(registry, pool_, options.compute),
       batcher_(options.maxBatch, options.maxDelay,
                resolveBatchDelay(options),
@@ -324,12 +326,15 @@ Session::drain()
 {
     // Partial batches would otherwise wait out their flush cap (up
     // to batchDelay); the explicit flush lets drain() finish as
-    // soon as compute does. Poll-flush rather than flush once: a
-    // request whose stage-1 task has not reached the batcher yet
-    // would miss a single sweep and strand drain() on the cap.
+    // soon as compute does. Flush on every progress event rather
+    // than once: a request whose stage-1 task has not reached the
+    // batcher yet would miss a single sweep and strand drain() on
+    // the cap. drainWait() sleeps on the pipeline's condition
+    // variable between events — no fixed-interval polling.
+    std::uint64_t seen = 0;
     for (;;) {
         batcher_.flushAll();
-        if (pipeline_.drainFor(std::chrono::milliseconds(1)))
+        if (pipeline_.drainWait(seen))
             return;
     }
 }

@@ -86,6 +86,10 @@ struct SessionOptions
     /** In-flight request caps (submit → delivery); 0 = unbounded. */
     Index maxInflight = 0;
     Index maxInflightPerMatrix = 0;
+    /** Pin pool workers to CPUs (round-robin, Linux best-effort;
+     *  see exec::ThreadPool::Options::pinWorkers). Keeps a served
+     *  matrix's sticky partitions resident on the same cores. */
+    bool pinWorkers = false;
 };
 
 /** One serving endpoint over a (possibly shared) registry. */

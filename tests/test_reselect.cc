@@ -452,6 +452,124 @@ TEST(Reselect, ReplaceRowsServesFreshContent)
     }
 }
 
+TEST(PlanInvalidation, MutatedMatrixBitMatchesColdPlanRun)
+{
+    // Plan-cache correctness across mutations: after applyUpdates /
+    // replaceRows, a parallel SpMV over the registry's (re-built,
+    // fresh-plan-cache) encoding must bit-match a cold run over an
+    // independently constructed encoding of the same content, at
+    // every thread count. A stale partition plan (cuts balanced for
+    // the pre-mutation structure but also any missed invalidation)
+    // would split rows differently — with dyadic values any split
+    // is exact, so only genuinely wrong plans (out-of-range cuts,
+    // stale word ranks) can diverge, and those diverge loudly.
+    const Index n = 192;
+    serve::MatrixRegistry registry;
+    registry.put("m", wl::genTridiagonal(n));
+    const std::vector<Value> x = dyadicOperand(n, 4);
+
+    std::uint64_t state = 99;
+    registry.applyUpdates("m", wl::genScatterDeltas(n, n, 80, state++));
+    fmt::CooMatrix repl(n, n);
+    repl.add(11, 0, Value(4));
+    repl.add(11, n - 1, Value(0.25));
+    repl.canonicalize();
+    registry.replaceRows("m", {11}, repl);
+
+    // Warm the served encoding's plan cache at one thread count,
+    // then check every count against cold-plan references.
+    const serve::MatrixRegistry::EncodingPtr enc =
+        registry.encoded("m");
+    for (int threads : threadCounts()) {
+        exec::ParallelExec pe(threads);
+        std::vector<Value> warm(static_cast<std::size_t>(n),
+                                Value(0));
+        eng::spmv(enc->ref(), x, warm, pe); // builds + caches plan
+        std::vector<Value> again(static_cast<std::size_t>(n),
+                                 Value(0));
+        eng::spmv(enc->ref(), x, again, pe); // served from the cache
+        ASSERT_EQ(warm, again) << "threads " << threads;
+
+        // Cold reference: a fresh encoding (fresh plan cache) of
+        // the mutated master, same format.
+        const eng::SparseMatrixAny cold = eng::SparseMatrixAny::fromCoo(
+            registry.encodedAs("m", eng::Format::kCsr)
+                ->as<fmt::CsrMatrix>()
+                .toCoo(),
+            registry.format("m"));
+        std::vector<Value> reference(static_cast<std::size_t>(n),
+                                     Value(0));
+        eng::spmv(cold.ref(), x, reference, pe);
+        ASSERT_EQ(warm, reference) << "threads " << threads;
+    }
+}
+
+TEST(PlanInvalidation, AsyncReencodeSwapNeverServesStalePlans)
+{
+    // Drift a DIA matrix across the format boundary while serving
+    // parallel SpMVs: every result — before, during, and after the
+    // async re-encode epoch swap — must bit-match the oracle of the
+    // fixed post-drift content. The swap installs a fresh
+    // SparseMatrixAny (fresh plan cache); a plan leaking across
+    // epochs would index the wrong structure and diverge.
+    const Index n = 256;
+    for (int threads : threadCounts()) {
+        serve::MatrixRegistry registry;
+        ASSERT_EQ(registry.put("live", wl::genTridiagonal(n)),
+                  eng::Format::kDia);
+        serve::SessionOptions opts;
+        opts.threads = threads;
+        opts.compute = serve::ComputeExec::kParallel; // plans in play
+        serve::Session session(registry, opts);
+
+        ASSERT_TRUE(session
+                        .submit(serve::SpmvRequest{
+                            "live", dyadicOperand(n, 5)})
+                        .get()
+                        .ok());
+
+        std::uint64_t state = 31337;
+        bool scheduled = false;
+        for (int round = 0; round < 12 && !scheduled; ++round)
+            scheduled =
+                session
+                    .applyUpdates("live", wl::genScatterDeltas(
+                                              n, n, 64, state++))
+                    .reencodeScheduled;
+        ASSERT_TRUE(scheduled);
+
+        std::vector<Value> oracle(static_cast<std::size_t>(n),
+                                  Value(0));
+        {
+            sim::NativeExec e;
+            eng::spmv(registry.encoded("live")->ref(),
+                      dyadicOperand(n, 5), oracle, e);
+        }
+        // Serve across the in-flight swap.
+        for (int i = 0; i < 20; ++i) {
+            const std::vector<Value> got =
+                session
+                    .submit(serve::SpmvRequest{"live",
+                                               dyadicOperand(n, 5)})
+                    .get()
+                    .value();
+            ASSERT_EQ(got, oracle)
+                << "request " << i << " threads " << threads;
+        }
+        ASSERT_TRUE(waitReencodeSettled(registry, "live"));
+        session.drain();
+        EXPECT_NE(registry.format("live"), eng::Format::kDia);
+        // Post-swap: the fresh encoding's plans serve correctly.
+        const std::vector<Value> after =
+            session
+                .submit(serve::SpmvRequest{"live",
+                                           dyadicOperand(n, 5)})
+                .get()
+                .value();
+        ASSERT_EQ(after, oracle) << "threads " << threads;
+    }
+}
+
 TEST(Reselect, StaleSessionDestructionKeepsNewerSessionsHook)
 {
     // Two sessions share a registry: the newer one owns the
