@@ -12,8 +12,15 @@
  *                 core-resident)
  *   --smoke       tiny workload + sanity gates (CI): exits 1 on
  *                 oracle divergence or a nonsensical record
+ *   --isa LEVEL   force the kernel ISA level (scalar|avx2|avx512);
+ *                 exits 1 when the host cannot execute it
  *   --out FILE    write the JSON there instead of stdout
  *   SMASH_BENCH_SCALE scales the workload like every other bench
+ *
+ * The v2 schema adds a "cpu" block (probed features, detected and
+ * active ISA level) and per-row "isa"/"dispatch" fields, so A/B
+ * comparisons across BENCH_<pr>.json files can tell a hardware
+ * delta from a kernel delta.
  *
  * Every engine row computes through SparseMatrixAny holders, so
  * repetitions after the first run plan-cached and arena-warm — the
@@ -31,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.hh"
 #include "common/parallel_exec.hh"
 #include "engine/dispatch.hh"
 #include "formats/convert.hh"
@@ -52,18 +60,29 @@ struct Record
     double nsPerOp = -1;
     double reqPerS = -1;
     double speedup = -1; //!< vs the suite's named baseline row
+    std::string isa;      //!< kernel table the row dispatched to
+    std::string dispatch; //!< driver shape (serial/rows/tiled/...)
 };
 
 void
 writeJson(std::ostream& os, const std::vector<Record>& records,
           int threads, bool pin, double scale)
 {
+    const simd::CpuFeatures& cpu = simd::cpuFeatures();
     os << "{\n"
-       << "  \"schema\": \"smash-perf-v1\",\n"
+       << "  \"schema\": \"smash-perf-v2\",\n"
        << "  \"suite\": \"perf_report\",\n"
        << "  \"threads\": " << threads << ",\n"
        << "  \"pinned\": " << (pin ? "true" : "false") << ",\n"
        << "  \"scale\": " << scale << ",\n"
+       << "  \"cpu\": {\"popcnt\": " << (cpu.popcnt ? "true" : "false")
+       << ", \"avx2\": " << (cpu.avx2 ? "true" : "false")
+       << ", \"bmi2\": " << (cpu.bmi2 ? "true" : "false")
+       << ", \"avx512f\": " << (cpu.avx512f ? "true" : "false")
+       << ", \"detected\": \""
+       << simd::toString(simd::detectedIsaLevel())
+       << "\", \"active\": \""
+       << simd::toString(simd::activeIsaLevel()) << "\"},\n"
        << "  \"results\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const Record& r = records[i];
@@ -75,9 +94,20 @@ writeJson(std::ostream& os, const std::vector<Record>& records,
             os << ", \"req_per_s\": " << formatFixed(r.reqPerS, 0);
         if (r.speedup >= 0)
             os << ", \"speedup\": " << formatFixed(r.speedup, 3);
+        if (!r.isa.empty())
+            os << ", \"isa\": \"" << r.isa << "\"";
+        if (!r.dispatch.empty())
+            os << ", \"dispatch\": \"" << r.dispatch << "\"";
         os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+}
+
+/** The active level's name, stamped on every record. */
+std::string
+activeIsaName()
+{
+    return simd::toString(simd::activeIsaLevel());
 }
 
 double
@@ -112,6 +142,22 @@ run(int argc, char** argv)
         } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
+        } else if (i > 0 && std::strcmp(argv[i], "--isa") == 0 &&
+                   i + 1 < argc) {
+            simd::IsaLevel level;
+            const char* name = argv[++i];
+            if (!simd::parseIsaLevel(name, level)) {
+                std::cerr << "--isa " << name
+                          << ": expected scalar|avx2|avx512\n";
+                return 1;
+            }
+            if (!simd::setIsaLevel(level)) {
+                std::cerr << "--isa " << name
+                          << ": this host supports at most "
+                          << simd::toString(simd::detectedIsaLevel())
+                          << "\n";
+                return 1;
+            }
         } else {
             args.push_back(argv[i]);
         }
@@ -178,6 +224,10 @@ run(int argc, char** argv)
         if (threads == 0)
             r.format += "_serial";
         r.nsPerOp = seconds * 1e9;
+        r.isa = activeIsaName();
+        r.dispatch = threads == 0 ? "serial"
+                     : fmt_name == "smash" ? "word_walk"
+                                           : "rows";
         records.push_back(r);
     };
     spmvRow(csr, x, "csr", 0);
@@ -212,6 +262,8 @@ run(int argc, char** argv)
         r.format = "csr";
         r.threads = cli.threads;
         r.nsPerOp = seconds * 1e9 / static_cast<double>(nrhs);
+        r.isa = activeIsaName();
+        r.dispatch = "rows";
         records.push_back(r);
         for (Index i = 0; i < rows; ++i)
             max_err = std::max(
@@ -219,6 +271,49 @@ run(int argc, char** argv)
                 std::abs(static_cast<double>(
                     yb.at(i, 0) -
                     oracle[static_cast<std::size_t>(i)])));
+    }
+
+    // --- Cache-blocked tiled CSR A/B (tiled vs untiled walk). ---
+    // The workload matrix is forced through the tiled driver (the
+    // auto heuristic only fires once x overflows L2, which a
+    // CI-sized run never reaches): the speedup field is the honest
+    // untiled/tiled ratio at each thread count.
+    {
+        eng::setTileCols(std::max<Index>(64, rows / 8));
+        std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+        std::vector<int> tiled_counts;
+        for (int t : {1, cli.threads})
+            if (std::find(tiled_counts.begin(), tiled_counts.end(),
+                          t) == tiled_counts.end())
+                tiled_counts.push_back(t);
+        for (int t : tiled_counts) {
+            exec::ParallelExec pe(
+                exec::ThreadPool::Options{t, cli.pin});
+            eng::setTileMode(eng::TileMode::kOff);
+            eng::spmv(csr.ref(), x, y, pe); // warm
+            const double untiled = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                eng::spmv(csr.ref(), x, y, pe);
+            });
+            eng::setTileMode(eng::TileMode::kForce);
+            eng::spmv(csr.ref(), x, y, pe); // warm the tile plan
+            const double tiled = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                eng::spmv(csr.ref(), x, y, pe);
+            });
+            max_err = std::max(max_err, maxAbsDiff(y, oracle));
+            Record r;
+            r.bench = "spmv_tiled";
+            r.format = "csr";
+            r.threads = t;
+            r.nsPerOp = tiled * 1e9;
+            r.speedup = untiled / tiled;
+            r.isa = activeIsaName();
+            r.dispatch = "tiled";
+            records.push_back(r);
+        }
+        eng::setTileMode(eng::TileMode::kAuto);
+        eng::setTileCols(0);
     }
 
     // --- SpMM (CSR x CSC, 32 columns) ns/op. ---
@@ -241,6 +336,8 @@ run(int argc, char** argv)
         r.format = "csr";
         r.threads = cli.threads;
         r.nsPerOp = seconds * 1e9;
+        r.isa = activeIsaName();
+        r.dispatch = "row_col_tiles";
         records.push_back(r);
     }
 
@@ -292,6 +389,7 @@ run(int argc, char** argv)
         ind.threads = cli.threads;
         ind.reqPerS = rps_ind;
         ind.speedup = 1.0;
+        ind.isa = activeIsaName();
         records.push_back(ind);
         Record b8;
         b8.bench = "serving_spmv";
@@ -299,6 +397,7 @@ run(int argc, char** argv)
         b8.threads = cli.threads;
         b8.reqPerS = rps_b8;
         b8.speedup = rps_b8 / rps_ind;
+        b8.isa = activeIsaName();
         records.push_back(b8);
     }
 

@@ -1,0 +1,133 @@
+#include "common/cpu_features.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace smash::simd
+{
+namespace
+{
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    f.popcnt = __builtin_cpu_supports("popcnt");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.bmi2 = __builtin_cpu_supports("bmi2");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+    return f;
+}
+
+/** detectedIsaLevel() clamped by what the binary's variants need. */
+IsaLevel
+bestLevel(const CpuFeatures& f)
+{
+    if (f.avx512f && f.avx2 && f.bmi2 && f.popcnt)
+        return IsaLevel::kAvx512;
+    if (f.avx2 && f.bmi2 && f.popcnt)
+        return IsaLevel::kAvx2;
+    return IsaLevel::kScalar;
+}
+
+/** Initial active level: detection, lowered by SMASH_FORCE_ISA. */
+IsaLevel
+initialLevel()
+{
+    IsaLevel level = bestLevel(cpuFeatures());
+    const char* force = std::getenv("SMASH_FORCE_ISA");
+    if (force == nullptr || *force == '\0')
+        return level;
+    IsaLevel wanted;
+    if (!parseIsaLevel(force, wanted)) {
+        warn(detail::formatMessage(
+            "SMASH_FORCE_ISA=", force,
+            " is not scalar|avx2|avx512; keeping ", toString(level)));
+        return level;
+    }
+    if (wanted > level) {
+        warn(detail::formatMessage(
+            "SMASH_FORCE_ISA=", force,
+            " exceeds what this host supports; keeping ",
+            toString(level)));
+        return level;
+    }
+    return wanted;
+}
+
+std::atomic<IsaLevel>&
+activeLevelSlot()
+{
+    static std::atomic<IsaLevel> level{initialLevel()};
+    return level;
+}
+
+} // namespace
+
+const CpuFeatures&
+cpuFeatures()
+{
+    static const CpuFeatures features = probe();
+    return features;
+}
+
+IsaLevel
+detectedIsaLevel()
+{
+    return bestLevel(cpuFeatures());
+}
+
+IsaLevel
+activeIsaLevel()
+{
+    return activeLevelSlot().load(std::memory_order_relaxed);
+}
+
+bool
+setIsaLevel(IsaLevel level)
+{
+    if (level > detectedIsaLevel())
+        return false;
+    activeLevelSlot().store(level, std::memory_order_relaxed);
+    return true;
+}
+
+const char*
+toString(IsaLevel level)
+{
+    switch (level) {
+      case IsaLevel::kScalar:
+        return "scalar";
+      case IsaLevel::kAvx2:
+        return "avx2";
+      case IsaLevel::kAvx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+parseIsaLevel(std::string_view text, IsaLevel& out)
+{
+    if (text == "scalar") {
+        out = IsaLevel::kScalar;
+        return true;
+    }
+    if (text == "avx2") {
+        out = IsaLevel::kAvx2;
+        return true;
+    }
+    if (text == "avx512") {
+        out = IsaLevel::kAvx512;
+        return true;
+    }
+    return false;
+}
+
+} // namespace smash::simd

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and ISA-level selection for the
+ * SIMD kernel layer (src/kernels/simd/).
+ *
+ * The engine ships scalar, AVX2+BMI2, and AVX-512F variants of its
+ * hot kernels in one binary; which variant runs is decided once at
+ * startup from a CPUID probe, never at compile time. The active
+ * level can be overridden — downward only, a host cannot execute
+ * instructions it lacks — via the SMASH_FORCE_ISA environment
+ * variable (scalar|avx2|avx512), the perf benches' --isa flag, or
+ * setIsaLevel() from tests. All kernel variants of one entry point
+ * produce bit-identical results (see kernels/simd/simd_kernels.hh),
+ * so switching levels is always safe.
+ *
+ * Ownership/threading contract: the probe runs once (thread-safe);
+ * the active level is a single atomic — setIsaLevel() may race with
+ * concurrent dispatches, which simply pick up the old or new table
+ * (both correct, both bit-identical).
+ */
+
+#ifndef SMASH_COMMON_CPU_FEATURES_HH
+#define SMASH_COMMON_CPU_FEATURES_HH
+
+#include <string_view>
+
+namespace smash::simd
+{
+
+/** Kernel variant families, ordered: higher levels strictly require
+ *  more ISA extensions. */
+enum class IsaLevel : int
+{
+    kScalar = 0, //!< portable C++, no extensions assumed
+    kAvx2 = 1,   //!< AVX2 + BMI2 + POPCNT (the software-BMU analogue)
+    kAvx512 = 2, //!< AVX-512F (wider gathers and lanes)
+};
+
+/** One-time CPUID probe results. All false on non-x86 builds. */
+struct CpuFeatures
+{
+    bool popcnt = false;
+    bool avx2 = false;
+    bool bmi2 = false;
+    bool avx512f = false;
+};
+
+/** The host's features (probed once, cached). */
+const CpuFeatures& cpuFeatures();
+
+/** Best IsaLevel this host can execute: kAvx512 needs AVX-512F,
+ *  kAvx2 needs AVX2 + BMI2 + POPCNT, anything runs kScalar. */
+IsaLevel detectedIsaLevel();
+
+/**
+ * The level dispatch currently uses. Initialized to
+ * detectedIsaLevel(), lowered by SMASH_FORCE_ISA when the variable
+ * names a level the host supports (an unsupported or unparsable
+ * value logs a warning and is ignored), changed by setIsaLevel().
+ */
+IsaLevel activeIsaLevel();
+
+/**
+ * Select @p level for subsequent dispatches. Returns false (and
+ * changes nothing) when the host cannot execute it.
+ */
+bool setIsaLevel(IsaLevel level);
+
+/** "scalar" / "avx2" / "avx512". */
+const char* toString(IsaLevel level);
+
+/**
+ * Parse "scalar" / "avx2" / "avx512" (the SMASH_FORCE_ISA and
+ * --isa vocabulary). Returns true and writes @p out on success.
+ */
+bool parseIsaLevel(std::string_view text, IsaLevel& out);
+
+} // namespace smash::simd
+
+#endif // SMASH_COMMON_CPU_FEATURES_HH

@@ -39,15 +39,25 @@
 #define SMASH_ENGINE_DISPATCH_HH
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/bitops.hh"
+#include "common/cpu_features.hh"
 #include "common/parallel_exec.hh"
 #include "common/scratch_arena.hh"
 #include "engine/matrix_any.hh"
 #include "engine/plan.hh"
 #include "isa/bmu.hh"
+#include "kernels/simd/simd_kernels.hh"
 #include "kernels/spadd.hh"
 #include "kernels/spgemm.hh"
 #include "kernels/spmm.hh"
@@ -77,9 +87,113 @@ struct SpmvOptions
     isa::Bmu* bmu = nullptr; //!< required by (and implies) kHw
 };
 
+/** Cache-blocked CSR column tiling policy (see parallelSpmv). */
+enum class TileMode : int
+{
+    kAuto = 0,  //!< tile when the x operand overflows L2
+    kOff = 1,   //!< never tile
+    kForce = 2, //!< tile whenever the matrix is wider than one tile
+};
+
 template <typename E>
 void spmv(const MatrixRef& a, const std::vector<Value>& x,
           std::vector<Value>& y, E& e, const SpmvOptions& opts = {});
+
+namespace detail
+{
+
+/** Data-cache bytes a worker can keep hot — the L2 size when the
+ *  host reports one, else a conservative 1 MiB. */
+inline std::size_t
+l2CacheBytes()
+{
+    static const std::size_t bytes = [] {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+        const long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+#endif
+        return std::size_t{1} << 20;
+    }();
+    return bytes;
+}
+
+/** SMASH_TILE env → initial TileMode (auto when unset/unparsable). */
+inline int
+initialTileMode()
+{
+    const char* s = std::getenv("SMASH_TILE");
+    if (s == nullptr)
+        return static_cast<int>(TileMode::kAuto);
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0)
+        return static_cast<int>(TileMode::kOff);
+    if (std::strcmp(s, "force") == 0)
+        return static_cast<int>(TileMode::kForce);
+    return static_cast<int>(TileMode::kAuto);
+}
+
+/** SMASH_TILE_COLS env → tile-width override (0 = derive from L2). */
+inline Index
+initialTileCols()
+{
+    const char* s = std::getenv("SMASH_TILE_COLS");
+    if (s == nullptr)
+        return 0;
+    const long v = std::strtol(s, nullptr, 10);
+    return v > 0 ? static_cast<Index>(v) : Index(0);
+}
+
+inline std::atomic<int>&
+tileModeSlot()
+{
+    static std::atomic<int> slot{initialTileMode()};
+    return slot;
+}
+
+inline std::atomic<Index>&
+tileColsSlot()
+{
+    static std::atomic<Index> slot{initialTileCols()};
+    return slot;
+}
+
+} // namespace detail
+
+/** Active column-tiling mode of the parallel CSR SpMV driver. */
+inline TileMode
+tileMode()
+{
+    return static_cast<TileMode>(
+        detail::tileModeSlot().load(std::memory_order_relaxed));
+}
+
+inline void
+setTileMode(TileMode mode)
+{
+    detail::tileModeSlot().store(static_cast<int>(mode),
+                                 std::memory_order_relaxed);
+}
+
+/** Columns per tile: the SMASH_TILE_COLS / setTileCols override, or
+ *  a width whose x slice fills about half the L2. */
+inline Index
+tileCols()
+{
+    const Index v =
+        detail::tileColsSlot().load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    return std::max<Index>(
+        4096, static_cast<Index>(detail::l2CacheBytes() / 2 /
+                                 sizeof(Value)));
+}
+
+/** Override the tile width (0 restores the L2-derived default). */
+inline void
+setTileCols(Index cols)
+{
+    detail::tileColsSlot().store(cols, std::memory_order_relaxed);
+}
 
 namespace detail
 {
@@ -160,6 +274,24 @@ balancedCuts(const PtrVec& ptr, Index n, Index chunks)
     }
     cuts[static_cast<std::size_t>(chunks)] = n;
     return cuts;
+}
+
+/**
+ * Chunk count the row-partitioned parallel drivers aim for. Four
+ * chunks per worker gives the sticky claiming slack to absorb skew
+ * while the pool fits the machine; an oversubscribed pool (more
+ * workers than hardware threads) gets two per worker — its workers
+ * already time-slice shared cores, so extra chunks only multiply
+ * claim traffic and cache hand-offs (the cause of the BENCH_5
+ * 8-thread CSR regression on small hosts; see docs/performance.md).
+ */
+inline Index
+chunkGoal(exec::ParallelExec& e)
+{
+    const Index threads = static_cast<Index>(e.threads());
+    static const Index hw = static_cast<Index>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return threads <= hw ? threads * 4 : threads * 2;
 }
 
 /**
@@ -254,13 +386,15 @@ scatterParallel(exec::ParallelExec& e, Index n, std::vector<Value>& y,
  * Word partition of a SMASH Bitmap-0 for the parallel drivers:
  * [0, words) split into per-thread chunks, with the NZA base rank
  * (number of set bits before the chunk) of each. The rank pre-scan
- * runs over the same chunks in parallel. It counts with the
- * bit-clearing loop, not std::popcount: without -mpopcnt the latter
- * is a libcall (~3 ns/word measured), while clearing costs one test
- * per empty word plus one iteration per set bit — cheaper on sparse
- * bitmaps. The result is memoized through the matrix's plan cache
- * when one is attached — the O(words) pre-scan is the dominant
- * per-call setup of the SMASH drivers.
+ * runs over the same chunks in parallel. Counting goes through the
+ * ISA dispatch table's popcountWords entry: the scalar variant
+ * keeps the bit-clearing loop (without -mpopcnt std::popcount is a
+ * libcall, ~3 ns/word measured, while clearing costs one test per
+ * empty word plus one iteration per set bit — cheaper on sparse
+ * bitmaps), and the AVX2+ variant runs hardware popcnt. The result
+ * is memoized through the matrix's plan cache when one is attached
+ * — the O(words) pre-scan is the dominant per-call setup of the
+ * SMASH drivers.
  */
 inline PlanCache::PlanPtr
 wordWalkPlan(const MatrixRef& a, const core::SmashMatrix& m,
@@ -276,23 +410,18 @@ wordWalkPlan(const MatrixRef& a, const core::SmashMatrix& m,
             std::max<Index>(1, std::min<Index>(part.words, threads));
         part.grain = (part.words + chunks - 1) / chunks;
         part.base.assign(static_cast<std::size_t>(chunks) + 1, 0);
-        if (chunks > 1)
+        if (chunks > 1) {
+            const simd::KernelTable& kt = simd::kernels();
             e.parallelFor(0, chunks, 1, [&](Index cb, Index ce) {
                 for (Index c = cb; c < ce; ++c) {
                     const Index wb = c * part.grain;
                     const Index we =
                         std::min(part.words, wb + part.grain);
-                    Index pop = 0;
-                    for (Index w = wb; w < we; ++w) {
-                        BitWord word = wp[w];
-                        while (word != 0) {
-                            word = clearLowestSet(word);
-                            ++pop;
-                        }
-                    }
-                    part.base[static_cast<std::size_t>(c) + 1] = pop;
+                    part.base[static_cast<std::size_t>(c) + 1] =
+                        kt.popcountWords(wp + wb, we - wb);
                 }
             });
+        }
         for (Index c = 0; c < chunks; ++c)
             part.base[static_cast<std::size_t>(c) + 1] +=
                 part.base[static_cast<std::size_t>(c)];
@@ -303,27 +432,149 @@ wordWalkPlan(const MatrixRef& a, const core::SmashMatrix& m,
     return std::make_shared<const PartitionPlan>(build());
 }
 
+/** Column-tile count to run a CSR SpMV with (0 or 1 = untiled). */
+struct TileChoice
+{
+    Index tiles = 0;
+    Index tile_cols = 0;
+};
+
+/**
+ * Tiling decision of the parallel CSR driver. Auto mode tiles only
+ * when the gathered x operand overflows the L2 (the CSR scaling
+ * wall: every worker streams the whole x through its private cache)
+ * and the matrix is dense enough that each row crosses a tile
+ * boundary with work on both sides — too few non-zeros per (row,
+ * tile) segment and the per-tile y reload costs more than the x
+ * locality buys. Force mode tiles whenever more than one tile
+ * exists (tests and A/B benches).
+ */
+inline TileChoice
+wantTiledCsr(const fmt::CsrMatrix& m)
+{
+    const TileMode mode = tileMode();
+    if (mode == TileMode::kOff)
+        return {};
+    const Index tc = tileCols();
+    if (tc <= 0 || m.cols() <= tc || m.rows() == 0)
+        return {};
+    Index tiles = static_cast<Index>(ceilDiv(m.cols(), tc));
+    if (mode == TileMode::kAuto) {
+        if (static_cast<std::size_t>(m.cols()) * sizeof(Value) <=
+            l2CacheBytes())
+            return {};
+        // Keep >= 4 nnz per (row, tile) segment on average.
+        const Index max_by_density =
+            m.nnz() / std::max<Index>(1, 4 * m.rows());
+        tiles = std::min(tiles, std::max<Index>(1, max_by_density));
+    }
+    if (tiles < 2)
+        return {};
+    return {tiles, static_cast<Index>(ceilDiv(m.cols(), tiles))};
+}
+
+/**
+ * The column-tile segment table of (m, tiles): one pass over
+ * colInd records where each row crosses each tile boundary (rows
+ * are column-sorted), so the tiled driver re-walks nothing and
+ * duplicates no data. O(nnz + rows * tiles).
+ */
+inline PartitionPlan
+buildTilePlan(const fmt::CsrMatrix& m, Index tiles, Index tile_cols)
+{
+    PartitionPlan plan;
+    plan.tiles = tiles;
+    plan.tile_cols = tile_cols;
+    const Index rows = m.rows();
+    const auto srows = static_cast<std::size_t>(rows);
+    plan.seg.resize((static_cast<std::size_t>(tiles) + 1) * srows);
+    const fmt::CsrIndex* row_ptr = m.rowPtr().data();
+    const fmt::CsrIndex* cols = m.colInd().data();
+    for (Index i = 0; i < rows; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        fmt::CsrIndex j = row_ptr[si];
+        const fmt::CsrIndex end = row_ptr[si + 1];
+        plan.seg[si] = j;
+        for (Index t = 1; t < tiles; ++t) {
+            const auto bound =
+                static_cast<fmt::CsrIndex>(t * tile_cols);
+            while (j < end && cols[static_cast<std::size_t>(j)] < bound)
+                ++j;
+            plan.seg[static_cast<std::size_t>(t) * srows + si] = j;
+        }
+        plan.seg[static_cast<std::size_t>(tiles) * srows + si] = end;
+    }
+    return plan;
+}
+
+/**
+ * Cache-blocked parallel CSR SpMV: row chunks in parallel, and
+ * within each chunk the column tiles in ascending order, so every
+ * tile's x slice stays L2-resident while its rows gather from it.
+ * Each row's partial sums accumulate into y in fixed ascending tile
+ * order regardless of the thread count or chunk assignment, so the
+ * tiled result is bit-identical across pool sizes (though not to
+ * the untiled walk, which sums each row in one pass — the tiling
+ * decision, not the schedule, picks the summation shape).
+ */
+inline void
+parallelSpmvCsrTiled(const MatrixRef& a, const fmt::CsrMatrix& m,
+                     const std::vector<Value>& x, std::vector<Value>& y,
+                     exec::ParallelExec& e, const TileChoice& tc)
+{
+    const auto build = [&] {
+        return buildTilePlan(m, tc.tiles, tc.tile_cols);
+    };
+    const PlanCache::PlanPtr tile_plan =
+        a.plans() != nullptr
+            ? a.plans()->get(PlanKind::kColTiles, tc.tiles, build)
+            : std::make_shared<const PartitionPlan>(build());
+    const PlanCache::PlanPtr row_plan = cutsPlan(
+        a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunkGoal(e));
+    const PartitionPlan& tp = *tile_plan;
+    const std::vector<Index>& cuts = row_plan->cuts;
+    const auto srows = static_cast<std::size_t>(m.rows());
+    const simd::KernelTable& kt = simd::kernels();
+    e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
+                  [&](Index cb, Index ce) {
+        for (Index c = cb; c < ce; ++c) {
+            for (Index t = 0; t < tp.tiles; ++t) {
+                const std::int32_t* sb =
+                    tp.seg.data() + static_cast<std::size_t>(t) * srows;
+                kt.csrSpmvTileRange(
+                    m, sb, sb + srows, x, y,
+                    cuts[static_cast<std::size_t>(c)],
+                    cuts[static_cast<std::size_t>(c) + 1]);
+            }
+        }
+    });
+}
+
 /** Multi-threaded SpMV drivers, one per format family. */
 inline void
 parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
              std::vector<Value>& y, exec::ParallelExec& e)
 {
-    const Index chunk_goal = static_cast<Index>(e.threads()) * 4;
+    const Index chunk_goal = chunkGoal(e);
     switch (a.format()) {
       case Format::kCsr: {
         // nnz-balanced row cuts; disjoint rows write y directly.
         const auto& m = a.as<fmt::CsrMatrix>();
+        const TileChoice tc = wantTiledCsr(m);
+        if (tc.tiles > 1) {
+            parallelSpmvCsrTiled(a, m, x, y, e, tc);
+            return;
+        }
         const PlanCache::PlanPtr plan = cutsPlan(
             a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
         const std::vector<Index>& cuts = plan->cuts;
+        const simd::KernelTable& kt = simd::kernels();
         e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
                       [&](Index cb, Index ce) {
-            sim::NativeExec ne;
             for (Index c = cb; c < ce; ++c)
-                kern::spmvCsrRange(m, x, y,
-                                   cuts[static_cast<std::size_t>(c)],
-                                   cuts[static_cast<std::size_t>(c) + 1],
-                                   ne);
+                kt.csrSpmvRange(m, x, y,
+                                cuts[static_cast<std::size_t>(c)],
+                                cuts[static_cast<std::size_t>(c) + 1]);
         });
         return;
       }
@@ -375,6 +626,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
         const auto& m = a.as<core::SmashMatrix>();
         const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
         const PartitionPlan& part = *plan;
+        const simd::KernelTable& kt = simd::kernels();
         scatterParallel(
             e, part.chunks(), y,
             [&](Index cb, Index ce, std::vector<Value>& local) {
@@ -382,7 +634,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
                     const Index wb = c * part.grain;
                     const Index we =
                         std::min(part.words, wb + part.grain);
-                    kern::spmvSmashSwWords(
+                    kt.smashSpmvWords(
                         m, x, local, wb, we,
                         part.base[static_cast<std::size_t>(c)]);
                 }
@@ -449,20 +701,20 @@ inline void
 parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
                   fmt::DenseMatrix& y, exec::ParallelExec& e)
 {
-    const Index chunk_goal = static_cast<Index>(e.threads()) * 4;
+    const Index chunk_goal = chunkGoal(e);
     switch (a.format()) {
       case Format::kCsr: {
         const auto& m = a.as<fmt::CsrMatrix>();
         const PlanCache::PlanPtr plan = cutsPlan(
             a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
         const std::vector<Index>& cuts = plan->cuts;
+        const simd::KernelTable& kt = simd::kernels();
         e.parallelFor(0, static_cast<Index>(cuts.size()) - 1, 1,
                       [&](Index cb, Index ce) {
-            sim::NativeExec ne;
             for (Index c = cb; c < ce; ++c)
-                kern::spmvBatchCsrRange(
+                kt.csrSpmvBatchRange(
                     m, x, y, cuts[static_cast<std::size_t>(c)],
-                    cuts[static_cast<std::size_t>(c) + 1], ne);
+                    cuts[static_cast<std::size_t>(c) + 1]);
         });
         return;
       }
@@ -497,6 +749,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
         const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
         const PartitionPlan& part = *plan;
         const Index nrhs = y.cols();
+        const simd::KernelTable& kt = simd::kernels();
         scatterParallel(
             e, part.chunks(), y.data(),
             [&](Index cb, Index ce, std::vector<Value>& local) {
@@ -504,7 +757,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
                     const Index wb = c * part.grain;
                     const Index we =
                         std::min(part.words, wb + part.grain);
-                    kern::spmvBatchSmashWords(
+                    kt.smashSpmvBatchWords(
                         m, x, local.data(), nrhs, wb, we,
                         part.base[static_cast<std::size_t>(c)]);
                 }
@@ -631,12 +884,19 @@ spmv(const MatrixRef& a, const std::vector<Value>& x,
             return;
           case Format::kCsr: {
             const auto& m = a.as<fmt::CsrMatrix>();
-            if (algo == SpmvAlgo::kUnrolled)
+            if (algo == SpmvAlgo::kUnrolled) {
                 kern::spmvCsrUnrolled(m, xp, y, e);
-            else if (algo == SpmvAlgo::kIdeal)
+            } else if (algo == SpmvAlgo::kIdeal) {
                 kern::spmvCsrIdeal(m, xp, y, e);
-            else
+            } else if constexpr (!E::kSimulated) {
+                // Native plain path: the ISA dispatch table (same
+                // kernel the parallel driver runs per chunk, so
+                // serial and parallel CSR results stay
+                // bit-identical).
+                simd::kernels().csrSpmvRange(m, xp, y, 0, m.rows());
+            } else {
                 kern::spmvCsr(m, xp, y, e);
+            }
             return;
           }
           case Format::kCsc:
@@ -656,10 +916,17 @@ spmv(const MatrixRef& a, const std::vector<Value>& x,
             return;
           case Format::kSmash: {
             const auto& m = a.as<core::SmashMatrix>();
-            if (algo == SpmvAlgo::kHw)
+            if (algo == SpmvAlgo::kHw) {
                 kern::spmvSmashHw(m, *opts.bmu, xp, y, e);
-            else
+            } else if constexpr (!E::kSimulated) {
+                // Native software walk: the ISA dispatch table's
+                // BMI2/popcnt word walk over the whole Bitmap-0.
+                simd::kernels().smashSpmvWords(
+                    m, xp, y, 0, m.hierarchy().level(0).numWords(),
+                    0);
+            } else {
                 kern::spmvSmashSw(m, xp, y, e);
+            }
             return;
           }
         }
@@ -698,8 +965,12 @@ spmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
     } else {
         switch (a.format()) {
           case Format::kCsr:
-            kern::spmvBatchCsrRange(a.as<fmt::CsrMatrix>(), x, y, 0,
-                                    a.rows(), e);
+            if constexpr (!E::kSimulated)
+                simd::kernels().csrSpmvBatchRange(
+                    a.as<fmt::CsrMatrix>(), x, y, 0, a.rows());
+            else
+                kern::spmvBatchCsrRange(a.as<fmt::CsrMatrix>(), x, y,
+                                        0, a.rows(), e);
             return;
           case Format::kEll:
             kern::spmvBatchEllRange(a.as<fmt::EllMatrix>(), x, y, 0,
@@ -714,7 +985,15 @@ spmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
                                       a.rows(), e);
             return;
           case Format::kSmash:
-            kern::spmvBatchSmash(a.as<core::SmashMatrix>(), x, y, e);
+            if constexpr (!E::kSimulated) {
+                const auto& m = a.as<core::SmashMatrix>();
+                simd::kernels().smashSpmvBatchWords(
+                    m, x, y.data().data(), y.cols(), 0,
+                    m.hierarchy().level(0).numWords(), 0);
+            } else {
+                kern::spmvBatchSmash(a.as<core::SmashMatrix>(), x, y,
+                                     e);
+            }
             return;
           case Format::kCoo:
           case Format::kCsc:

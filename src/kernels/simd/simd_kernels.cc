@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dispatch-table selection: map the active IsaLevel (one atomic
+ * read) to its variant table. The tables themselves are immutable
+ * function-pointer structs defined in the variant translation
+ * units; selection is branch-predictable and allocation-free, so
+ * the engine can re-resolve on every kernel call and still honor
+ * the warmed-dispatch zero-allocation contract.
+ */
+
+#include "kernels/simd/simd_internal.hh"
+
+namespace smash::simd
+{
+
+const KernelTable&
+kernelsFor(IsaLevel level)
+{
+    switch (level) {
+      case IsaLevel::kAvx512:
+        return avx512KernelTable();
+      case IsaLevel::kAvx2:
+        return avx2KernelTable();
+      case IsaLevel::kScalar:
+        break;
+    }
+    return scalarKernelTable();
+}
+
+const KernelTable&
+kernels()
+{
+    return kernelsFor(activeIsaLevel());
+}
+
+} // namespace smash::simd

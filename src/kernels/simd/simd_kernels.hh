@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SIMD kernel layer: runtime-dispatched variants of the engine's
+ * hot native loops — the CSR gather SpMV/SpMM-batch row loops, the
+ * SMASH Bitmap-0 word walk (the software analogue of the paper's
+ * BMU), the cache-blocked CSR tile kernel, and the word-rank
+ * popcount used by the SMASH partition pre-scan.
+ *
+ * One binary carries scalar, AVX2+BMI2, and (guarded) AVX-512F
+ * implementations of every entry; kernels() returns the table for
+ * the active IsaLevel (common/cpu_features.hh). The variants are
+ * *bit-identical* by construction: every implementation computes
+ * the same canonical reduction tree — eight lane sums filled in
+ * element order (lane = element index mod 8, missing tail lanes
+ * padded with +0.0 products) reduced as
+ * ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)), which is exactly what the
+ * vector variants' register layout produces — and the SIMD
+ * translation units are compiled with -ffp-contract=off so the
+ * scalar variant cannot be silently contracted into FMA under
+ * -mavx2 builds. SMASH_FORCE_ISA / setIsaLevel() therefore never
+ * changes results, only speed; tests/test_simd.cc enforces this.
+ *
+ * These entries are native-only (no execution-model billing): the
+ * engine's simulated (SimExec) paths keep the cost-accurate kernels
+ * in kernels/spmv.hh. None of the entries allocates — the
+ * steady-state zero-allocation contract of the dispatch layer
+ * extends to every variant.
+ */
+
+#ifndef SMASH_KERNELS_SIMD_SIMD_KERNELS_HH
+#define SMASH_KERNELS_SIMD_SIMD_KERNELS_HH
+
+#include <vector>
+
+#include "common/cpu_features.hh"
+#include "common/types.hh"
+#include "core/smash_matrix.hh"
+#include "formats/csr_matrix.hh"
+#include "formats/dense_matrix.hh"
+
+namespace smash::simd
+{
+
+/**
+ * Function-pointer table of one ISA level. All entries of any
+ * table produce bit-identical results; only throughput differs.
+ */
+struct KernelTable
+{
+    /** y := y + A x over CSR rows [row_begin, row_end). x must hold
+     *  at least a.cols() entries, y at least a.rows(). */
+    void (*csrSpmvRange)(const fmt::CsrMatrix& a,
+                         const std::vector<Value>& x,
+                         std::vector<Value>& y, Index row_begin,
+                         Index row_end);
+
+    /**
+     * Cache-blocked tile pass: for each row in [row_begin, row_end),
+     * accumulate the segment [seg_begin[i], seg_end[i]) of the
+     * row's non-zeros into y[i]. seg_begin/seg_end are one column
+     * tile's slice of a PartitionPlan::seg table (engine/plan.hh);
+     * rows with empty segments are skipped entirely.
+     */
+    void (*csrSpmvTileRange)(const fmt::CsrMatrix& a,
+                             const fmt::CsrIndex* seg_begin,
+                             const fmt::CsrIndex* seg_end,
+                             const std::vector<Value>& x,
+                             std::vector<Value>& y, Index row_begin,
+                             Index row_end);
+
+    /** Y := Y + A X (batched SpMV) over CSR rows
+     *  [row_begin, row_end); lanes vectorize across the RHS block,
+     *  so results are bit-identical to the per-RHS scalar loop. */
+    void (*csrSpmvBatchRange)(const fmt::CsrMatrix& a,
+                              const fmt::DenseMatrix& x,
+                              fmt::DenseMatrix& y, Index row_begin,
+                              Index row_end);
+
+    /** The §4.4 SMASH word walk over Bitmap-0 words
+     *  [word_begin, word_end); nza_block is the Bitmap-0 rank before
+     *  word_begin. x must be padded to a.paddedCols(). */
+    void (*smashSpmvWords)(const core::SmashMatrix& a,
+                           const std::vector<Value>& x,
+                           std::vector<Value>& y, Index word_begin,
+                           Index word_end, Index nza_block);
+
+    /** Batched SMASH word walk; y is the flat rows x nrhs block. */
+    void (*smashSpmvBatchWords)(const core::SmashMatrix& a,
+                                const fmt::DenseMatrix& x, Value* y,
+                                Index nrhs, Index word_begin,
+                                Index word_end, Index nza_block);
+
+    /** Total set bits in words[0, n) — the SMASH partition rank
+     *  pre-scan. */
+    Index (*popcountWords)(const BitWord* words, Index n);
+
+    /** The level this table implements. */
+    IsaLevel level;
+};
+
+/** The table of the active IsaLevel (re-read on every call, so
+ *  setIsaLevel() takes effect immediately). */
+const KernelTable& kernels();
+
+/** The table of exactly @p level (callers must ensure the host
+ *  supports it; kernelsFor(activeIsaLevel()) always does). */
+const KernelTable& kernelsFor(IsaLevel level);
+
+} // namespace smash::simd
+
+#endif // SMASH_KERNELS_SIMD_SIMD_KERNELS_HH

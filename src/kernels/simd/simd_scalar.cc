@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Scalar (portable C++) kernel variants — the reference
+ * implementation of the canonical arithmetic every vector variant
+ * reproduces bit-for-bit (see simd_internal.hh). Runs on any host
+ * and under SMASH_FORCE_ISA=scalar.
+ */
+
+#include "kernels/simd/simd_internal.hh"
+
+namespace smash::simd
+{
+namespace
+{
+
+void
+csrSpmvRangeScalar(const fmt::CsrMatrix& a, const std::vector<Value>& x,
+                   std::vector<Value>& y, Index row_begin,
+                   Index row_end)
+{
+    detail::checkCsrOperands(a, x, y);
+    const fmt::CsrIndex* row_ptr = a.rowPtr().data();
+    const fmt::CsrIndex* cols = a.colInd().data();
+    const Value* vals = a.values().data();
+    const Value* xp = x.data();
+    // Gate on the gathered range, as in kern::spmvCsrRange: prefetch
+    // only pays when x cannot sit in the fast cache levels.
+    const Index pf_total =
+        kern::wantXPrefetch(static_cast<std::size_t>(a.cols()) *
+                            sizeof(Value))
+            ? static_cast<Index>(a.colInd().size())
+            : 0;
+    for (Index i = row_begin; i < row_end; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        const fmt::CsrIndex b = row_ptr[si];
+        const Index n = static_cast<Index>(row_ptr[si + 1] - b);
+        y[si] += detail::dotSpanScalar(
+            cols + b, vals + b, n, xp,
+            pf_total == 0 ? Index(0) : pf_total - b);
+    }
+}
+
+void
+csrSpmvTileRangeScalar(const fmt::CsrMatrix& a,
+                       const fmt::CsrIndex* seg_begin,
+                       const fmt::CsrIndex* seg_end,
+                       const std::vector<Value>& x,
+                       std::vector<Value>& y, Index row_begin,
+                       Index row_end)
+{
+    const fmt::CsrIndex* cols = a.colInd().data();
+    const Value* vals = a.values().data();
+    const Value* xp = x.data();
+    for (Index i = row_begin; i < row_end; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        const fmt::CsrIndex b = seg_begin[si];
+        const Index n = static_cast<Index>(seg_end[si] - b);
+        // Empty segments skip the y read-modify-write entirely —
+        // the skip is geometric, so every variant skips alike.
+        if (n == 0)
+            continue;
+        // Tiles are sized to keep the x slice cache-resident, so no
+        // prefetch.
+        y[si] += detail::dotSpanScalar(cols + b, vals + b, n, xp, 0);
+    }
+}
+
+void
+csrSpmvBatchRangeScalar(const fmt::CsrMatrix& a,
+                        const fmt::DenseMatrix& x, fmt::DenseMatrix& y,
+                        Index row_begin, Index row_end)
+{
+    const Index nrhs = kern::detail::batchWidth(a.rows(), a.cols(), x, y);
+    const fmt::CsrIndex* row_ptr = a.rowPtr().data();
+    const fmt::CsrIndex* cols = a.colInd().data();
+    const Value* vals = a.values().data();
+    const std::size_t prefetch_below =
+        kern::wantXPrefetch(
+            static_cast<std::size_t>(a.cols() * nrhs) * sizeof(Value))
+            ? a.colInd().size()
+            : 0;
+    if (nrhs <= kern::kBatchAccumWidth) {
+        // Stack accumulators keep the row's partial sums in
+        // registers (X/Y may alias as far as the compiler knows).
+        Value acc[kern::kBatchAccumWidth];
+        for (Index i = row_begin; i < row_end; ++i) {
+            auto si = static_cast<std::size_t>(i);
+            Value* yr = &y.at(i, 0);
+            for (Index r = 0; r < nrhs; ++r)
+                acc[r] = yr[r];
+            for (fmt::CsrIndex j = row_ptr[si]; j < row_ptr[si + 1];
+                 ++j) {
+                auto sj = static_cast<std::size_t>(j);
+                const std::size_t ahead = sj + kern::kXPrefetchDistance;
+                if (ahead < prefetch_below)
+                    kern::prefetchRead(
+                        x.rowData(static_cast<Index>(cols[ahead])));
+                const Value v = vals[sj];
+                const Value* xr =
+                    x.rowData(static_cast<Index>(cols[sj]));
+                for (Index r = 0; r < nrhs; ++r)
+                    acc[r] += v * xr[r];
+            }
+            for (Index r = 0; r < nrhs; ++r)
+                yr[r] = acc[r];
+        }
+        return;
+    }
+    for (Index i = row_begin; i < row_end; ++i) {
+        auto si = static_cast<std::size_t>(i);
+        Value* yr = &y.at(i, 0);
+        for (fmt::CsrIndex j = row_ptr[si]; j < row_ptr[si + 1]; ++j) {
+            auto sj = static_cast<std::size_t>(j);
+            const std::size_t ahead = sj + kern::kXPrefetchDistance;
+            if (ahead < prefetch_below)
+                kern::prefetchRead(
+                    x.rowData(static_cast<Index>(cols[ahead])));
+            const Value v = vals[sj];
+            const Value* xr = x.rowData(static_cast<Index>(cols[sj]));
+            for (Index r = 0; r < nrhs; ++r)
+                yr[r] += v * xr[r];
+        }
+    }
+}
+
+void
+smashSpmvWordsScalar(const core::SmashMatrix& a,
+                     const std::vector<Value>& x, std::vector<Value>& y,
+                     Index word_begin, Index word_end, Index nza_block)
+{
+    detail::checkSmashOperands(a, x, y);
+    const Index bs = a.blockSize();
+    const core::Bitmap& level0 = a.hierarchy().level(0);
+    const Value* nza = a.nza().data();
+    const Value* xp = x.data();
+    const Index bits_per_row = a.paddedCols() / bs;
+    if (word_begin >= word_end || bits_per_row == 0)
+        return;
+    Index block = nza_block;
+    for (Index w = word_begin; w < word_end; ++w) {
+        const BitWord word = level0.word(w);
+        if (word == 0)
+            continue;
+        const Index base_bit = w * kBitsPerWord;
+        const Index row = base_bit / bits_per_row;
+        // Fast path: the whole word maps into one matrix row, so the
+        // word's blocks reduce in registers and hit y exactly once.
+        if ((base_bit + kBitsPerWord - 1) / bits_per_row == row) {
+            const Value* x_org =
+                xp + static_cast<std::size_t>(
+                         (base_bit - row * bits_per_row) * bs);
+            const Value* blk =
+                nza + static_cast<std::size_t>(block * bs);
+            y[static_cast<std::size_t>(row)] +=
+                bs == 2 ? detail::pairWordScalar(word, x_org, blk)
+                        : detail::genericWordScalar(word, x_org, blk,
+                                                    bs);
+            block += popcount(word);
+        } else {
+            block = detail::smashWordSlow(word, base_bit, bits_per_row,
+                                          bs, nza, block, xp,
+                                          y.data());
+        }
+    }
+}
+
+void
+smashSpmvBatchWordsScalar(const core::SmashMatrix& a,
+                          const fmt::DenseMatrix& x, Value* y,
+                          Index nrhs, Index word_begin, Index word_end,
+                          Index nza_block)
+{
+    const Index bs = a.blockSize();
+    const core::Bitmap& level0 = a.hierarchy().level(0);
+    const Index padded_cols = a.paddedCols();
+    const Value* nza = a.nza().data();
+    Index block = nza_block;
+    for (Index w = word_begin; w < word_end; ++w) {
+        BitWord word = level0.word(w);
+        while (word != 0) {
+            const Index bit = w * kBitsPerWord + findFirstSet(word);
+            word = clearLowestSet(word);
+            const Index linear = bit * bs;
+            const Index row = linear / padded_cols;
+            const Index col0 = linear % padded_cols;
+            const Value* blk =
+                nza + static_cast<std::size_t>(block * bs);
+            Value* yr = y + static_cast<std::size_t>(row * nrhs);
+            for (Index k = 0; k < bs; ++k) {
+                const Value v = blk[k];
+                if (v == Value(0))
+                    continue;
+                const Value* xr = x.rowData(col0 + k);
+                for (Index r = 0; r < nrhs; ++r)
+                    yr[r] += v * xr[r];
+            }
+            ++block;
+        }
+    }
+}
+
+Index
+popcountWordsScalar(const BitWord* words, Index n)
+{
+    // Bit-clearing loop: beats std::popcount's libcall when the
+    // binary is built without -mpopcnt and words are sparse.
+    Index total = 0;
+    for (Index i = 0; i < n; ++i) {
+        BitWord w = words[static_cast<std::size_t>(i)];
+        while (w != 0) {
+            w = clearLowestSet(w);
+            ++total;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+const KernelTable&
+scalarKernelTable()
+{
+    static const KernelTable table = {
+        &csrSpmvRangeScalar,     &csrSpmvTileRangeScalar,
+        &csrSpmvBatchRangeScalar, &smashSpmvWordsScalar,
+        &smashSpmvBatchWordsScalar, &popcountWordsScalar,
+        IsaLevel::kScalar,
+    };
+    return table;
+}
+
+} // namespace smash::simd
