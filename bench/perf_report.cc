@@ -13,9 +13,19 @@
  *   --smoke       tiny workload + sanity gates (CI): exits 1 on
  *                 oracle divergence or a nonsensical record
  *   --isa LEVEL   force the kernel ISA level (scalar|avx2|avx512);
- *                 exits 1 when the host cannot execute it
+ *                 exits 1 on a level the host cannot execute
  *   --out FILE    write the JSON there instead of stdout
+ *   --metrics     after the suite, print the Prometheus text
+ *                 exposition of every smash_* metric the run
+ *                 produced (pipeline stage histograms, batcher
+ *                 flush counters, plan-cache hit/miss, per-ISA
+ *                 kernel invocation counts)
  *   SMASH_BENCH_SCALE scales the workload like every other bench
+ *
+ * The suite always appends a "spmv_trace_ab" row timing the serial
+ * CSR SpMV with tracing runtime-disabled vs runtime-enabled; its
+ * speedup field (t_off / t_on) documents the cost of leaving
+ * SMASH_TRACE=1 on in production (target: within noise of 1.0).
  *
  * The v2 schema adds a "cpu" block (probed features, detected and
  * active ISA level) and per-row "isa"/"dispatch" fields, so A/B
@@ -43,6 +53,8 @@
 #include "engine/dispatch.hh"
 #include "formats/convert.hh"
 #include "harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/session.hh"
 #include "workloads/matrix_gen.hh"
 
@@ -134,11 +146,14 @@ int
 run(int argc, char** argv)
 {
     bool smoke = false;
+    bool metrics = false;
     std::string out_path;
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
         if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (i > 0 && std::strcmp(argv[i], "--metrics") == 0) {
+            metrics = true;
         } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
@@ -401,6 +416,48 @@ run(int argc, char** argv)
         records.push_back(b8);
     }
 
+    // --- Tracing overhead A/B on the serial CSR SpMV row. ---
+    // Same workload as the spmv/csr_serial row; the only variable
+    // is the runtime trace toggle (one relaxed load per guarded
+    // site, plus one ring write per dispatch when on). speedup =
+    // t_off / t_on, so a value near 1.0 certifies SMASH_TRACE=1 is
+    // safe to leave enabled in production serving.
+    {
+        const bool was_on = obs::traceEnabled();
+        std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+        sim::NativeExec ne;
+        const auto once = [&] {
+            std::fill(y.begin(), y.end(), Value(0));
+            eng::spmv(csr.ref(), x, y, ne);
+        };
+        // Interleave the off/on measurements (A B A B ...) so clock
+        // drift, frequency transitions, and cache-state trends hit
+        // both sides equally instead of biasing whichever ran last.
+        obs::setTraceEnabled(true);
+        once(); // warm the instrumented path (statics, ring)
+        obs::setTraceEnabled(false);
+        once();
+        double t_off = 1e30;
+        double t_on = 1e30;
+        for (int r = 0; r < reps * 2; ++r) {
+            obs::setTraceEnabled(false);
+            t_off = std::min(t_off, secondsOf(once));
+            obs::setTraceEnabled(true);
+            t_on = std::min(t_on, secondsOf(once));
+        }
+        obs::setTraceEnabled(was_on);
+        max_err = std::max(max_err, maxAbsDiff(y, oracle));
+        Record r;
+        r.bench = "spmv_trace_ab";
+        r.format = "csr_serial";
+        r.threads = 1;
+        r.nsPerOp = t_on * 1e9;
+        r.speedup = t_off / t_on;
+        r.isa = activeIsaName();
+        r.dispatch = "serial";
+        records.push_back(r);
+    }
+
     std::ostringstream json;
     writeJson(json, records, cli.threads, cli.pin, scale);
     if (out_path.empty()) {
@@ -414,6 +471,15 @@ run(int argc, char** argv)
         out << json.str();
         std::cout << "wrote " << records.size() << " records to "
                   << out_path << "\n";
+    }
+
+    if (metrics) {
+        // The whole suite just exercised the instrumented paths, so
+        // the exposition carries real steady-state numbers:
+        // pipeline stage histograms, batcher flush counters,
+        // plan-cache hit/miss, per-ISA kernel invocations.
+        std::cout << "# --- smash metrics exposition ---\n";
+        obs::MetricsRegistry::global().exportText(std::cout);
     }
 
     if (max_err > 1e-9) {

@@ -23,10 +23,17 @@
  *                              exits 1 on oracle divergence or a
  *                              batched-vs-individual regression
  *   SMASH_BENCH_SCALE          shrinks matrix and request count
+ *   SMASH_TRACE=1              record pipeline/pool/dispatch trace
+ *                              events; the run ends by writing them
+ *                              as Chrome trace-event JSON to
+ *                              SMASH_TRACE_OUT (default
+ *                              smash_trace.json)
  */
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <vector>
@@ -34,6 +41,7 @@
 #include "common/table.hh"
 #include "engine/dispatch.hh"
 #include "harness.hh"
+#include "obs/trace.hh"
 #include "serve/session.hh"
 #include "sim/machine.hh"
 #include "workloads/matrix_gen.hh"
@@ -142,6 +150,37 @@ runConfig(serve::MatrixRegistry& registry, const std::string& name,
         }
         table.print(std::cout);
         std::cout << "\n";
+
+        // Where a request's lifetime goes: per-stage p50/p99 from
+        // the pipeline's span stamps, plus the aggregate
+        // queue-vs-compute split.
+        TextTable stages("Per-stage latency (all priorities)");
+        stages.setHeader({"stage", "spans", "p50 (us)", "p99 (us)"});
+        for (std::size_t s = 0; s < serve::kNumPipelineStages; ++s) {
+            const auto stage = static_cast<serve::PipelineStage>(s);
+            const serve::LatencyHistogram& h =
+                session.stats().stage(stage);
+            stages.addRow({serve::toString(stage),
+                           std::to_string(h.count()),
+                           formatFixed(h.percentileUs(0.5), 1),
+                           formatFixed(h.percentileUs(0.99), 1)});
+        }
+        stages.print(std::cout);
+        const double queue_us =
+            static_cast<double>(session.stats().queueUs());
+        const double compute_us =
+            static_cast<double>(session.stats().computeUs());
+        const double total_us = queue_us + compute_us;
+        std::cout << "Queue vs compute: "
+                  << formatFixed(
+                         total_us > 0 ? 100.0 * queue_us / total_us : 0,
+                         1)
+                  << "% queued (admit+prepare+batch_wait), "
+                  << formatFixed(total_us > 0
+                                     ? 100.0 * compute_us / total_us
+                                     : 0,
+                                 1)
+                  << "% computing (compute+deliver)\n\n";
     }
     return {seconds, err};
 }
@@ -310,6 +349,24 @@ run(int argc, char** argv)
                  "saturates memory bandwidth. kHigh p99 undercuts "
                  "kBatch p99 because high-priority arrivals skip the "
                  "flush wait.\n";
+    if (obs::traceEnabled()) {
+        // All sessions are drained and destroyed: every recording
+        // thread is quiesced, so the dump sees consistent rings.
+        const char* out_env = std::getenv("SMASH_TRACE_OUT");
+        const std::string trace_path =
+            out_env != nullptr ? out_env : "smash_trace.json";
+        std::ofstream trace_out(trace_path);
+        if (!trace_out) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        const obs::TraceCollector& tc = obs::TraceCollector::global();
+        tc.dumpJson(trace_out);
+        std::cout << "\nwrote " << tc.retained() << " trace events ("
+                  << tc.dropped() << " dropped by ring wrap) to "
+                  << trace_path << "\n";
+    }
+
     if (max_err > 1e-9) {
         std::cerr << "served results diverge from the serial oracle ("
                   << max_err << ")!\n";

@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -179,7 +181,13 @@ ThreadPool::tryBeginSubmit()
 void
 ThreadPool::enqueueTask(std::function<void()> fn)
 {
+    static obs::Counter& tasks_total =
+        obs::MetricsRegistry::global().counter(
+            "smash_pool_tasks_total");
+    tasks_total.inc();
     Task task{[fn = std::move(fn)] {
+        const std::uint64_t t0 =
+            obs::traceEnabled() ? obs::traceNowNs() : 0;
         try {
             fn();
         } catch (const std::exception& ex) {
@@ -188,6 +196,7 @@ ThreadPool::enqueueTask(std::function<void()> fn)
         } catch (...) {
             std::cerr << "smash::ThreadPool: posted task threw\n";
         }
+        SMASH_TRACE_SPAN(obs::EventKind::kPoolTask, t0);
     }};
     WorkerQueue& q = *queues_[next_queue_++ % queues_.size()];
     {
@@ -214,8 +223,10 @@ ThreadPool::tryPost(std::function<void()> fn)
 }
 
 Index
-ThreadPool::claimChunkLocked(ForBatch& b, std::size_t worker)
+ThreadPool::claimChunkLocked(ForBatch& b, std::size_t worker,
+                             bool& stolen)
 {
+    stolen = false;
     if (b.unclaimed == 0)
         return -1;
     if (b.chunks > kMaxStickyChunks) {
@@ -244,6 +255,7 @@ ThreadPool::claimChunkLocked(ForBatch& b, std::size_t worker)
         if ((b.claimed >> c & 1) == 0) {
             b.claimed |= std::uint64_t(1) << c;
             --b.unclaimed;
+            stolen = worker != kNoWorker;
             return c;
         }
     }
@@ -265,12 +277,13 @@ ThreadPool::runOneChunk(std::size_t worker, ForBatch* only)
 {
     ForBatch* target = nullptr;
     Index chunk = -1;
+    bool stolen = false;
     {
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         for (ForBatch* b = only != nullptr ? only : batches_;
              b != nullptr;
              b = only != nullptr ? nullptr : b->next_batch) {
-            const Index c = claimChunkLocked(*b, worker);
+            const Index c = claimChunkLocked(*b, worker, stolen);
             if (c >= 0) {
                 target = b;
                 chunk = c;
@@ -280,13 +293,27 @@ ThreadPool::runOneChunk(std::size_t worker, ForBatch* only)
     }
     if (target == nullptr)
         return false;
+    {
+        static obs::Counter& sticky =
+            obs::MetricsRegistry::global().counter(
+                "smash_pool_chunks_total{kind=\"sticky\"}");
+        static obs::Counter& steals =
+            obs::MetricsRegistry::global().counter(
+                "smash_pool_chunks_total{kind=\"stolen\"}");
+        (stolen ? steals : sticky).inc();
+    }
     const Index cb = target->begin + chunk * target->grain;
     const Index ce = std::min(target->end, cb + target->grain);
+    const std::uint64_t t0 =
+        obs::traceEnabled() ? obs::traceNowNs() : 0;
     try {
         target->body(target->ctx, cb, ce);
     } catch (...) {
         target->fail(std::current_exception());
     }
+    SMASH_TRACE_SPAN(obs::EventKind::kPoolChunk, t0,
+                     static_cast<std::uint32_t>(chunk),
+                     stolen ? 1 : 0);
     target->finishOne();
     return true;
 }
@@ -377,6 +404,13 @@ ThreadPool::runBatch(Index begin, Index end, Index min_grain,
         std::max(min_grain, (span + target_chunks - 1) / target_chunks);
     const Index chunks = (span + grain - 1) / grain;
 
+    static obs::Counter& batches_total =
+        obs::MetricsRegistry::global().counter(
+            "smash_pool_parallel_for_total");
+    batches_total.inc();
+    const std::uint64_t t0 =
+        obs::traceEnabled() ? obs::traceNowNs() : 0;
+
     ForBatch batch;
     batch.body = body;
     batch.ctx = ctx;
@@ -428,6 +462,9 @@ ThreadPool::runBatch(Index begin, Index end, Index min_grain,
         // ForBatch (and its error slot, read below) is torn down.
         std::lock_guard<std::mutex> lock(batch.mutex);
     }
+    SMASH_TRACE_SPAN(obs::EventKind::kPoolBatch, t0,
+                     static_cast<std::uint32_t>(chunks),
+                     static_cast<std::uint32_t>(span));
     if (batch.error)
         std::rethrow_exception(batch.error);
 }

@@ -165,8 +165,11 @@ class ThreadPool
     /** Claim one chunk (from @p only, or any linked batch) and run
      *  it; @p worker picks the sticky preference. */
     bool runOneChunk(std::size_t worker, ForBatch* only);
-    /** Claim one chunk of @p b under sleep_mutex_; -1 when none. */
-    Index claimChunkLocked(ForBatch& b, std::size_t worker);
+    /** Claim one chunk of @p b under sleep_mutex_; -1 when none.
+     *  @p stolen reports a claim outside the worker's sticky set
+     *  (skew rebalancing) — observability only. */
+    Index claimChunkLocked(ForBatch& b, std::size_t worker,
+                           bool& stolen);
     /** Any batch with unclaimed chunks? (sleep_mutex_ held.) */
     bool claimableLocked() const;
     void workerLoop(std::size_t self);

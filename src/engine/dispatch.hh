@@ -58,6 +58,8 @@
 #include "engine/plan.hh"
 #include "isa/bmu.hh"
 #include "kernels/simd/simd_kernels.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "kernels/spadd.hh"
 #include "kernels/spgemm.hh"
 #include "kernels/spmm.hh"
@@ -197,6 +199,50 @@ setTileCols(Index cols)
 
 namespace detail
 {
+
+/**
+ * One dispatch selection: bump the per-ISA kernel-invocation
+ * counter and the per-path counter, and (when tracing) record a
+ * kDispatch event carrying (format, active ISA level, path shape).
+ * Called once per engine-level dispatch, not per chunk — the cost
+ * is three relaxed atomic adds on the hot path.
+ */
+inline void
+noteDispatch(Format f, obs::DispatchPath path)
+{
+    static obs::Counter* by_isa[3] = {
+        &obs::MetricsRegistry::global().counter(
+            "smash_kernel_invocations_total{isa=\"scalar\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_kernel_invocations_total{isa=\"avx2\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_kernel_invocations_total{isa=\"avx512\"}"),
+    };
+    static obs::Counter* by_path[7] = {
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"serial\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"rows\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"tiled\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"word_walk\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"scatter\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"batch_rows\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_dispatch_total{path=\"row_col_tiles\"}"),
+    };
+    const auto isa =
+        static_cast<std::size_t>(simd::activeIsaLevel());
+    by_isa[isa % 3]->inc();
+    by_path[static_cast<std::size_t>(path) % 7]->inc();
+    SMASH_TRACE_EVENT(obs::EventKind::kDispatch,
+                      static_cast<std::uint32_t>(f),
+                      static_cast<std::uint32_t>(isa),
+                      static_cast<std::uint32_t>(path));
+}
 
 /** Resolve kAuto and validate the (format, algo) pair. */
 inline SpmvAlgo
@@ -562,9 +608,11 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
         const auto& m = a.as<fmt::CsrMatrix>();
         const TileChoice tc = wantTiledCsr(m);
         if (tc.tiles > 1) {
+            noteDispatch(Format::kCsr, obs::DispatchPath::kTiled);
             parallelSpmvCsrTiled(a, m, x, y, e, tc);
             return;
         }
+        noteDispatch(Format::kCsr, obs::DispatchPath::kRows);
         const PlanCache::PlanPtr plan = cutsPlan(
             a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
         const std::vector<Index>& cuts = plan->cuts;
@@ -580,6 +628,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kBcsr: {
         const auto& m = a.as<fmt::BcsrMatrix>();
+        noteDispatch(Format::kBcsr, obs::DispatchPath::kRows);
         const PlanCache::PlanPtr plan =
             cutsPlan(a, PlanKind::kRowCuts, m.blockRowPtr(),
                      m.numBlockRows(), chunk_goal);
@@ -596,6 +645,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kEll: {
         const auto& m = a.as<fmt::EllMatrix>();
+        noteDispatch(Format::kEll, obs::DispatchPath::kRows);
         e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvEllRange(m, x, y, rb, re, ne);
@@ -604,6 +654,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kDia: {
         const auto& m = a.as<fmt::DiaMatrix>();
+        noteDispatch(Format::kDia, obs::DispatchPath::kRows);
         e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvDiaRange(m, x, y, rb, re, ne);
@@ -612,6 +663,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kDense: {
         const auto& m = a.as<fmt::DenseMatrix>();
+        noteDispatch(Format::kDense, obs::DispatchPath::kRows);
         e.parallelFor(0, m.rows(), 16, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvDenseRange(m, x, y, rb, re, ne);
@@ -624,6 +676,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
         // merged at the barrier; the per-range NZA base comes from
         // the (cached) parallel rank pre-scan.
         const auto& m = a.as<core::SmashMatrix>();
+        noteDispatch(Format::kSmash, obs::DispatchPath::kWordWalk);
         const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
         const PartitionPlan& part = *plan;
         const simd::KernelTable& kt = simd::kernels();
@@ -643,6 +696,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kCoo: {
         const auto& m = a.as<fmt::CooMatrix>();
+        noteDispatch(Format::kCoo, obs::DispatchPath::kScatter);
         scatterParallel(
             e, m.nnz(), y,
             [&](Index b, Index end, std::vector<Value>& local) {
@@ -653,6 +707,7 @@ parallelSpmv(const MatrixRef& a, const std::vector<Value>& x,
       }
       case Format::kCsc: {
         const auto& m = a.as<fmt::CscMatrix>();
+        noteDispatch(Format::kCsc, obs::DispatchPath::kScatter);
         scatterParallel(
             e, m.cols(), y,
             [&](Index b, Index end, std::vector<Value>& local) {
@@ -705,6 +760,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
     switch (a.format()) {
       case Format::kCsr: {
         const auto& m = a.as<fmt::CsrMatrix>();
+        noteDispatch(Format::kCsr, obs::DispatchPath::kBatchRows);
         const PlanCache::PlanPtr plan = cutsPlan(
             a, PlanKind::kRowCuts, m.rowPtr(), m.rows(), chunk_goal);
         const std::vector<Index>& cuts = plan->cuts;
@@ -720,6 +776,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
       }
       case Format::kEll: {
         const auto& m = a.as<fmt::EllMatrix>();
+        noteDispatch(Format::kEll, obs::DispatchPath::kBatchRows);
         e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvBatchEllRange(m, x, y, rb, re, ne);
@@ -728,6 +785,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
       }
       case Format::kDia: {
         const auto& m = a.as<fmt::DiaMatrix>();
+        noteDispatch(Format::kDia, obs::DispatchPath::kBatchRows);
         e.parallelFor(0, m.rows(), 64, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvBatchDiaRange(m, x, y, rb, re, ne);
@@ -736,6 +794,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
       }
       case Format::kDense: {
         const auto& m = a.as<fmt::DenseMatrix>();
+        noteDispatch(Format::kDense, obs::DispatchPath::kBatchRows);
         e.parallelFor(0, m.rows(), 16, [&](Index rb, Index re) {
             sim::NativeExec ne;
             kern::spmvBatchDenseRange(m, x, y, rb, re, ne);
@@ -746,6 +805,7 @@ parallelSpmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
         // Same word partition as the single-RHS driver; the private
         // accumulators are the flat rows x nrhs blocks.
         const auto& m = a.as<core::SmashMatrix>();
+        noteDispatch(Format::kSmash, obs::DispatchPath::kWordWalk);
         const PlanCache::PlanPtr plan = wordWalkPlan(a, m, e);
         const PartitionPlan& part = *plan;
         const Index nrhs = y.cols();
@@ -786,6 +846,7 @@ parallelSpmmCsr(const MatrixRef& aref, const MatrixRef& bref,
 {
     const auto& a = aref.as<fmt::CsrMatrix>();
     const auto& b = bref.as<fmt::CscMatrix>();
+    noteDispatch(Format::kCsr, obs::DispatchPath::kRowColTiles);
     // Row cuts from A's cache, column-band cuts from B's: both
     // operands may be long-lived registry encodings.
     const PlanCache::PlanPtr row_plan =
@@ -878,6 +939,8 @@ spmv(const MatrixRef& a, const std::vector<Value>& x,
         detail::parallelSpmv(a, xp, y, e);
         return;
     } else {
+        if constexpr (!E::kSimulated)
+            detail::noteDispatch(a.format(), obs::DispatchPath::kSerial);
         switch (a.format()) {
           case Format::kCoo:
             kern::spmvCoo(a.as<fmt::CooMatrix>(), xp, y, e);
@@ -963,6 +1026,8 @@ spmvBatch(const MatrixRef& a, const fmt::DenseMatrix& x,
         detail::parallelSpmvBatch(a, x, y, e);
         return;
     } else {
+        if constexpr (!E::kSimulated)
+            detail::noteDispatch(a.format(), obs::DispatchPath::kSerial);
         switch (a.format()) {
           case Format::kCsr:
             if constexpr (!E::kSimulated)

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace smash::eng
 {
@@ -123,9 +125,11 @@ class PlanCache
             auto it = plans_.find(key);
             if (it != plans_.end()) {
                 ++hits_;
+                noteLookup(kind, /*hit=*/true);
                 return it->second;
             }
         }
+        noteLookup(kind, /*hit=*/false);
         auto built = std::make_shared<const PartitionPlan>(build());
         std::lock_guard<std::mutex> lock(mutex_);
         auto [it, inserted] = plans_.emplace(key, std::move(built));
@@ -171,6 +175,26 @@ class PlanCache
     }
 
   private:
+    /** Process-global hit/miss accounting + trace (the per-cache
+     *  hits()/builds() counters stay per-instance). */
+    static void
+    noteLookup(PlanKind kind, bool hit)
+    {
+        static obs::Counter& hit_total =
+            obs::MetricsRegistry::global().counter(
+                "smash_plan_cache_lookups_total{result=\"hit\"}");
+        static obs::Counter& miss_total =
+            obs::MetricsRegistry::global().counter(
+                "smash_plan_cache_lookups_total{result=\"miss\"}");
+        (hit ? hit_total : miss_total).inc();
+        if (hit)
+            SMASH_TRACE_EVENT(obs::EventKind::kPlanCacheHit,
+                              static_cast<std::uint32_t>(kind));
+        else
+            SMASH_TRACE_EVENT(obs::EventKind::kPlanCacheMiss,
+                              static_cast<std::uint32_t>(kind));
+    }
+
     mutable std::mutex mutex_;
     mutable std::map<std::pair<int, Index>, PlanPtr> plans_;
     mutable std::uint64_t builds_ = 0;

@@ -1,0 +1,222 @@
+#include "obs/metrics.hh"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+namespace smash::obs
+{
+
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    std::array<std::uint64_t, kBuckets> snap;
+    std::uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        snap[static_cast<std::size_t>(i)] = bucketCount(i);
+        total += snap[static_cast<std::size_t>(i)];
+    }
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += snap[static_cast<std::size_t>(i)];
+        if (seen > rank) {
+            if (i == 0)
+                return 0.5;
+            if (i == kBuckets - 1)
+                // Open-ended overflow bucket: the lower bound is the
+                // only honest point estimate.
+                return static_cast<double>(std::uint64_t(1)
+                                           << (i - 1));
+            return static_cast<double>(std::uint64_t(1) << (i - 1)) *
+                1.5;
+        }
+    }
+    return 0; // unreachable
+}
+
+namespace
+{
+
+/** `base{labels}` split at the brace (labels keep no braces). */
+struct NameParts
+{
+    std::string_view base;
+    std::string_view labels; //!< empty when unlabeled
+};
+
+NameParts
+splitName(const std::string& name)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return {name, {}};
+    std::string_view labels(name);
+    labels.remove_prefix(brace + 1);
+    if (!labels.empty() && labels.back() == '}')
+        labels.remove_suffix(1);
+    return {std::string_view(name).substr(0, brace), labels};
+}
+
+/** `base{labels,extra}` (or `base{extra}` when unlabeled). */
+std::string
+withExtraLabel(const NameParts& parts, const std::string& suffix,
+               const std::string& extra)
+{
+    std::string out(parts.base);
+    out += suffix;
+    out += '{';
+    if (!parts.labels.empty()) {
+        out += parts.labels;
+        out += ',';
+    }
+    out += extra;
+    out += '}';
+    return out;
+}
+
+void
+typeLineIfNew(std::ostream& os, std::string& last_base,
+              const NameParts& parts, const char* type)
+{
+    if (last_base == parts.base)
+        return;
+    last_base = std::string(parts.base);
+    os << "# TYPE " << parts.base << ' ' << type << '\n';
+}
+
+} // namespace
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mutex;
+    // std::map: sorted iteration groups label variants of one base
+    // name together for exportText's # TYPE lines.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    delete impl_;
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    // Leaked intentionally: instruments are referenced from static
+    // locals all over the tree and from worker threads that may
+    // outlive any static-destruction order.
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto& slot = impl_->counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto& slot = impl_->gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto& slot = impl_->histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->counters.find(name);
+    return it == impl_->counters.end() ? 0 : it->second->value();
+}
+
+void
+MetricsRegistry::exportText(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::string last_base;
+    for (const auto& [name, c] : impl_->counters) {
+        const NameParts parts = splitName(name);
+        typeLineIfNew(os, last_base, parts, "counter");
+        os << name << ' ' << c->value() << '\n';
+    }
+    last_base.clear();
+    for (const auto& [name, g] : impl_->gauges) {
+        const NameParts parts = splitName(name);
+        typeLineIfNew(os, last_base, parts, "gauge");
+        os << name << ' ' << g->value() << '\n';
+    }
+    last_base.clear();
+    for (const auto& [name, h] : impl_->histograms) {
+        const NameParts parts = splitName(name);
+        typeLineIfNew(os, last_base, parts, "histogram");
+        // Cumulative buckets: only boundaries whose bucket holds
+        // something, plus the mandatory +Inf — keeps the exposition
+        // compact while staying valid Prometheus.
+        std::uint64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+            const std::uint64_t n = h->bucketCount(i);
+            if (n == 0)
+                continue;
+            cum += n;
+            os << withExtraLabel(
+                      parts, "_bucket",
+                      "le=\"" +
+                          std::to_string(Histogram::bucketBound(i)) +
+                          "\"")
+               << ' ' << cum << '\n';
+        }
+        const std::uint64_t total = h->count();
+        os << withExtraLabel(parts, "_bucket", "le=\"+Inf\"") << ' '
+           << total << '\n';
+        const std::string label_suffix = parts.labels.empty()
+            ? std::string()
+            : '{' + std::string(parts.labels) + '}';
+        os << parts.base << "_sum" << label_suffix << ' ' << h->sum()
+           << '\n';
+        os << parts.base << "_count" << label_suffix << ' ' << total
+           << '\n';
+    }
+}
+
+} // namespace smash::obs

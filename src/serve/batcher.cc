@@ -4,12 +4,30 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace smash::serve
 {
 
 namespace
 {
+
+/** Registry reason label of one FlushReason (obs::FlushReason). */
+obs::Counter&
+globalFlushCounter(int reason)
+{
+    static obs::Counter* by_reason[4] = {
+        &obs::MetricsRegistry::global().counter(
+            "smash_batcher_flushes_total{reason=\"size\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_batcher_flushes_total{reason=\"deadline\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_batcher_flushes_total{reason=\"priority\"}"),
+        &obs::MetricsRegistry::global().counter(
+            "smash_batcher_flushes_total{reason=\"manual\"}"),
+    };
+    return *by_reason[static_cast<std::size_t>(reason) % 4];
+}
 
 /** Best (numerically lowest) priority present in a batch. */
 Priority
@@ -68,9 +86,31 @@ Batcher::flushBy(const Request& request) const
 }
 
 void
+Batcher::noteFlush(obs::Counter& local, std::size_t batch_size,
+                   int reason)
+{
+    local.inc();
+    globalFlushCounter(reason).inc();
+    static obs::Histogram& width =
+        obs::MetricsRegistry::global().histogram(
+            "smash_batcher_flush_width");
+    width.record(batch_size);
+    SMASH_TRACE_EVENT(obs::EventKind::kBatchFlush,
+                      static_cast<std::uint32_t>(reason),
+                      static_cast<std::uint32_t>(batch_size));
+}
+
+void
 Batcher::enqueue(const QueueKey& key, Request request)
 {
     const Priority priority = request.options.priority;
+    static obs::Counter& enqueues =
+        obs::MetricsRegistry::global().counter(
+            "smash_batcher_enqueues_total");
+    enqueues.inc();
+    SMASH_TRACE_EVENT(obs::EventKind::kBatchEnqueue,
+                      static_cast<std::uint32_t>(key.op),
+                      static_cast<std::uint32_t>(priority));
     std::vector<Request> batch;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -89,11 +129,13 @@ Batcher::enqueue(const QueueKey& key, Request request)
             return;
         }
         batch.swap(q.pending);
-        if (full)
-            ++size_flushes_;
-        else
-            ++priority_flushes_;
     }
+    if (static_cast<Index>(batch.size()) >= max_batch_)
+        noteFlush(size_flushes_, batch.size(),
+                  static_cast<int>(obs::FlushReason::kSize));
+    else
+        noteFlush(priority_flushes_, batch.size(),
+                  static_cast<int>(obs::FlushReason::kPriority));
     // Full batch or a kHigh arrival: flush inline on the enqueuing
     // thread, outside the lock (the callback may enqueue pool work
     // or run compute).
@@ -111,7 +153,6 @@ Batcher::flushAll()
                 continue;
             due.emplace_back(key, std::move(q.pending));
             q.pending.clear();
-            ++manual_flushes_;
         }
     }
     // Priority-aware ordering: queues holding high-priority work
@@ -121,36 +162,11 @@ Batcher::flushAll()
                          return topPriority(a.second) <
                              topPriority(b.second);
                      });
-    for (auto& [key, batch] : due)
+    for (auto& [key, batch] : due) {
+        noteFlush(manual_flushes_, batch.size(),
+                  static_cast<int>(obs::FlushReason::kManual));
         flush_(key, std::move(batch));
-}
-
-std::uint64_t
-Batcher::sizeFlushes() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return size_flushes_;
-}
-
-std::uint64_t
-Batcher::deadlineFlushes() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return deadline_flushes_;
-}
-
-std::uint64_t
-Batcher::priorityFlushes() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return priority_flushes_;
-}
-
-std::uint64_t
-Batcher::manualFlushes() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return manual_flushes_;
+    }
 }
 
 void
@@ -184,7 +200,6 @@ Batcher::timerLoop()
             if (!q.pending.empty() && q.due <= now) {
                 due.emplace_back(key, std::move(q.pending));
                 q.pending.clear();
-                ++deadline_flushes_;
             }
         }
         std::stable_sort(due.begin(), due.end(),
@@ -193,8 +208,11 @@ Batcher::timerLoop()
                                  topPriority(b.second);
                          });
         lock.unlock();
-        for (auto& [key, batch] : due)
+        for (auto& [key, batch] : due) {
+            noteFlush(deadline_flushes_, batch.size(),
+                      static_cast<int>(obs::FlushReason::kDeadline));
             flush_(key, std::move(batch));
+        }
         lock.lock();
     }
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "serve/request.hh"
 
 namespace smash::serve
@@ -87,15 +88,29 @@ class Batcher
     void flushAll();
 
     Index maxBatch() const { return max_batch_; }
-    /** Batches flushed by reaching max_batch. */
-    std::uint64_t sizeFlushes() const;
+    /** Batches flushed by reaching max_batch. Per-instance read-
+     *  throughs over the obs counters (which also feed the global
+     *  smash_batcher_flushes_total{reason=...} series). */
+    std::uint64_t sizeFlushes() const { return size_flushes_.value(); }
     /** Batches flushed by the timer at a deadline. */
-    std::uint64_t deadlineFlushes() const;
+    std::uint64_t
+    deadlineFlushes() const
+    {
+        return deadline_flushes_.value();
+    }
     /** Batches flushed inline by a kHigh-priority arrival. */
-    std::uint64_t priorityFlushes() const;
+    std::uint64_t
+    priorityFlushes() const
+    {
+        return priority_flushes_.value();
+    }
     /** Batches flushed by explicit flushAll() calls (including the
      *  destructor's final sweep). */
-    std::uint64_t manualFlushes() const;
+    std::uint64_t
+    manualFlushes() const
+    {
+        return manual_flushes_.value();
+    }
 
   private:
     struct Queue
@@ -108,6 +123,10 @@ class Batcher
     /** Wait cap of one request, from its priority and deadline. */
     Clock::time_point flushBy(const Request& request) const;
     void timerLoop();
+    /** Count one flush: the per-instance counter (accessor API)
+     *  plus the process-global reason-labelled series and trace. */
+    void noteFlush(obs::Counter& local, std::size_t batch_size,
+                   int reason);
 
     const Index max_batch_;
     const std::chrono::microseconds max_delay_;
@@ -117,10 +136,12 @@ class Batcher
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::unordered_map<QueueKey, Queue, QueueKeyHash> queues_;
-    std::uint64_t size_flushes_ = 0;
-    std::uint64_t deadline_flushes_ = 0;
-    std::uint64_t priority_flushes_ = 0;
-    std::uint64_t manual_flushes_ = 0;
+    /** Per-instance flush counters (the accessor API above); the
+     *  same events also bump the registry's global series. */
+    obs::Counter size_flushes_;
+    obs::Counter deadline_flushes_;
+    obs::Counter priority_flushes_;
+    obs::Counter manual_flushes_;
     bool stop_ = false;
     std::thread timer_; //!< started in the ctor body, after validation
 };

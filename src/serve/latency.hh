@@ -1,25 +1,26 @@
 /**
  * @file
- * Lock-free latency accounting for the serving pipeline: a power-
- * of-two histogram of request latencies (submit → delivery), one per
- * priority class. record() is a single relaxed atomic increment on
- * the delivery path; percentile() scans the 48 buckets, so p50/p99
- * cost nothing until someone asks.
+ * Lock-free latency accounting for the serving pipeline: a thin
+ * microsecond-unit wrapper over obs::Histogram, one per priority
+ * class (and one per pipeline stage — see pipeline.hh). record() is
+ * two relaxed atomic adds on the delivery path; percentile() scans
+ * the 48 buckets, so p50/p99 cost nothing until someone asks.
  *
- * Resolution is the bucket width (powers of two in microseconds);
- * percentile() returns the geometric midpoint of the bucket holding
- * the requested rank — plenty for the throughput bench's p50/p99
- * report, and immune to reservoir-sampling bias under load.
+ * Resolution is the bucket width (powers of two in microseconds).
+ * percentileUs() follows obs::Histogram's exact semantics: 0 when
+ * empty, geometric bucket midpoint in the middle, and the bucket's
+ * lower bound for the open-ended top bucket — plenty for the
+ * throughput bench's p50/p99 report, and immune to
+ * reservoir-sampling bias under load.
  */
 
 #ifndef SMASH_SERVE_LATENCY_HH
 #define SMASH_SERVE_LATENCY_HH
 
-#include <array>
-#include <atomic>
-#include <bit>
 #include <chrono>
 #include <cstdint>
+
+#include "obs/metrics.hh"
 
 namespace smash::serve
 {
@@ -30,64 +31,34 @@ class LatencyHistogram
   public:
     /** Bucket i holds latencies in [2^(i-1), 2^i) microseconds
      *  (bucket 0: sub-microsecond); the top bucket is open-ended. */
-    static constexpr int kBuckets = 48;
+    static constexpr int kBuckets = obs::Histogram::kBuckets;
 
     void
     record(std::chrono::nanoseconds latency)
     {
-        const auto us = static_cast<std::uint64_t>(
-            latency.count() < 0 ? 0 : latency.count() / 1000);
-        int bucket = std::bit_width(us); // 0 for us == 0
-        if (bucket >= kBuckets)
-            bucket = kBuckets - 1;
-        counts_[static_cast<std::size_t>(bucket)].fetch_add(
-            1, std::memory_order_relaxed);
+        hist_.record(static_cast<std::uint64_t>(
+            latency.count() < 0 ? 0 : latency.count() / 1000));
     }
 
-    std::uint64_t
-    count() const
-    {
-        std::uint64_t total = 0;
-        for (const auto& c : counts_)
-            total += c.load(std::memory_order_relaxed);
-        return total;
-    }
+    std::uint64_t count() const { return hist_.count(); }
+
+    /** Total recorded microseconds (mean = sumUs()/count()). */
+    std::uint64_t sumUs() const { return hist_.sum(); }
 
     /**
-     * Latency (microseconds) at quantile @p q in [0, 1]: the
-     * geometric midpoint of the bucket containing the rank-q
-     * sample, 0 when nothing was recorded.
+     * Latency (microseconds) at quantile @p q in [0, 1]:
+     *  - nothing recorded      → 0
+     *  - rank in bucket 0      → 0.5 (sub-microsecond)
+     *  - middle buckets        → geometric midpoint 1.5 * 2^(i-1)
+     *  - top (overflow) bucket → its lower bound 2^(i-1)
      */
-    double
-    percentileUs(double q) const
-    {
-        std::array<std::uint64_t, kBuckets> snap;
-        std::uint64_t total = 0;
-        for (int i = 0; i < kBuckets; ++i) {
-            snap[static_cast<std::size_t>(i)] =
-                counts_[static_cast<std::size_t>(i)].load(
-                    std::memory_order_relaxed);
-            total += snap[static_cast<std::size_t>(i)];
-        }
-        if (total == 0)
-            return 0;
-        const auto rank = static_cast<std::uint64_t>(
-            q * static_cast<double>(total - 1));
-        std::uint64_t seen = 0;
-        for (int i = 0; i < kBuckets; ++i) {
-            seen += snap[static_cast<std::size_t>(i)];
-            if (seen > rank) {
-                if (i == 0)
-                    return 0.5;
-                // Midpoint of [2^(i-1), 2^i), geometrically.
-                return static_cast<double>(1ull << (i - 1)) * 1.5;
-            }
-        }
-        return 0; // unreachable
-    }
+    double percentileUs(double q) const { return hist_.percentile(q); }
+
+    /** The wrapped histogram (exposition plumbing). */
+    const obs::Histogram& histogram() const { return hist_; }
 
   private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    obs::Histogram hist_;
 };
 
 } // namespace smash::serve

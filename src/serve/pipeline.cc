@@ -8,6 +8,8 @@
 #include "common/parallel_exec.hh"
 #include "engine/dispatch.hh"
 #include "kernels/util.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace smash::serve
 {
@@ -23,6 +25,39 @@ storeMax(std::atomic<std::uint64_t>& stat, std::uint64_t v)
     while (prev < v && !stat.compare_exchange_weak(
                            prev, v, std::memory_order_relaxed)) {
     }
+}
+
+/** The registry's per-stage latency series (one histogram per
+ *  PipelineStage, resolved once). */
+obs::Histogram&
+globalStageHistogram(PipelineStage s)
+{
+    static obs::Histogram* by_stage[kNumPipelineStages] = {
+        &obs::MetricsRegistry::global().histogram(
+            "smash_pipeline_stage_latency_us{stage=\"admit\"}"),
+        &obs::MetricsRegistry::global().histogram(
+            "smash_pipeline_stage_latency_us{stage=\"prepare\"}"),
+        &obs::MetricsRegistry::global().histogram(
+            "smash_pipeline_stage_latency_us{stage=\"batch_wait\"}"),
+        &obs::MetricsRegistry::global().histogram(
+            "smash_pipeline_stage_latency_us{stage=\"compute\"}"),
+        &obs::MetricsRegistry::global().histogram(
+            "smash_pipeline_stage_latency_us{stage=\"deliver\"}"),
+    };
+    return *by_stage[static_cast<std::size_t>(s)];
+}
+
+/** Stage stamps can be unset (default time_point) on requests that
+ *  fail mid-pipeline; clamp the interval to zero then. */
+std::uint64_t
+stageUs(Request::Clock::time_point from, Request::Clock::time_point to)
+{
+    if (from == Request::Clock::time_point{} || to < from)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to -
+                                                              from)
+            .count());
 }
 
 } // namespace
@@ -55,6 +90,10 @@ Pipeline::postPrepare(const QueueKey& key, Request request,
     // a later kHigh arrival could otherwise flush ahead of an
     // earlier kBatch request still in stage 1).
     if (resolveEncodings(key, request, /*cached_only=*/true)) {
+        request.prepared = Request::Clock::now();
+        SMASH_TRACE_EVENT(obs::EventKind::kPipelinePrepare,
+                          static_cast<std::uint32_t>(key.op),
+                          /*cached=*/1);
         // On a throw the promise may already have moved on (enqueue
         // takes the request by value, so e.g. a flush that failed
         // mid-hand-off leaves it stateless); failOne tolerates that.
@@ -78,7 +117,13 @@ Pipeline::postPrepare(const QueueKey& key, Request request,
             // Encode/convert stage: first touch converts, later
             // touches return the cached encoding immediately. SpAdd
             // computes on the CSR masters of both operands.
+            const std::uint64_t t0 =
+                obs::traceEnabled() ? obs::traceNowNs() : 0;
             resolveEncodings(key, *req, /*cached_only=*/false);
+            req->prepared = Request::Clock::now();
+            SMASH_TRACE_SPAN(obs::EventKind::kPipelinePrepare, t0,
+                             static_cast<std::uint32_t>(key.op),
+                             /*cached=*/0);
             batcher.enqueue(key, std::move(*req));
             // After the hand-off: a drain waiting for the batcher
             // to hold everything in flight can flush it now.
@@ -142,6 +187,12 @@ Pipeline::postCompute(const QueueKey& key, std::vector<Request> batch)
 {
     if (batch.empty())
         return;
+    // The batch-wait stage ends here, when the flush hands the
+    // batch to the compute stage (not when the task gets a worker —
+    // queueing for a worker is part of the compute stage's cost).
+    const Request::Clock::time_point now = Request::Clock::now();
+    for (Request& r : batch)
+        r.flushed = now;
     auto shared =
         std::make_shared<std::vector<Request>>(std::move(batch));
     pool_.post([this, key, shared] {
@@ -161,6 +212,7 @@ void
 Pipeline::failOne(Request& request, const Status& status)
 {
     request.resolved = true;
+    SMASH_TRACE_EVENT(obs::EventKind::kPipelineDeliver, 0);
     try {
         request.fail(status);
     } catch (...) {
@@ -189,15 +241,43 @@ Pipeline::failRemaining(std::vector<Request>& batch,
         finish(n, false);
 }
 
+void
+Pipeline::recordStages(const Request& request,
+                       Request::Clock::time_point delivered)
+{
+    const struct
+    {
+        PipelineStage stage;
+        Request::Clock::time_point from;
+        Request::Clock::time_point to;
+    } spans[] = {
+        {PipelineStage::kAdmit, request.submitted, request.admitted},
+        {PipelineStage::kPrepare, request.admitted, request.prepared},
+        {PipelineStage::kBatchWait, request.prepared,
+         request.flushed},
+        {PipelineStage::kCompute, request.flushed, request.computed},
+        {PipelineStage::kDeliver, request.computed, delivered},
+    };
+    for (const auto& s : spans) {
+        const std::uint64_t us = stageUs(s.from, s.to);
+        stats_.stageLatency[static_cast<std::size_t>(s.stage)].record(
+            std::chrono::microseconds(us));
+        globalStageHistogram(s.stage).record(us);
+    }
+}
+
 template <typename T, typename Work>
 void
 Pipeline::deliver(Request& request, Work& work, T value)
 {
     request.resolved = true;
+    const Request::Clock::time_point now = Request::Clock::now();
     stats_
         .latencyByPriority[static_cast<std::size_t>(
             request.options.priority)]
-        .record(Request::Clock::now() - request.submitted);
+        .record(now - request.submitted);
+    recordStages(request, now);
+    SMASH_TRACE_EVENT(obs::EventKind::kPipelineDeliver, 1);
     work.result.set_value(Result<T>(std::move(value)));
     // Release the admission slot before finish(): the session may
     // tear its gate down the instant the in-flight count reaches
@@ -236,18 +316,28 @@ Pipeline::computeBatch(const QueueKey& key,
         return;
     batch.swap(live);
 
+    static obs::Counter& batches_total =
+        obs::MetricsRegistry::global().counter(
+            "smash_pipeline_batches_total");
+    batches_total.inc();
+    const auto width = static_cast<std::uint32_t>(batch.size());
+    const std::uint64_t t0 =
+        obs::traceEnabled() ? obs::traceNowNs() : 0;
     switch (key.op) {
       case OpClass::kSpmv:
         computeSpmv(key.matrix, batch);
-        return;
+        break;
       case OpClass::kSpmm:
         computeSpmm(key.matrix, batch);
-        return;
+        break;
       case OpClass::kSpadd:
         computeSpadd(key.matrix, batch);
-        return;
+        break;
+      default:
+        SMASH_PANIC("unknown op class");
     }
-    SMASH_PANIC("unknown op class");
+    SMASH_TRACE_SPAN(obs::EventKind::kPipelineCompute, t0,
+                     static_cast<std::uint32_t>(key.op), width);
 }
 
 void
@@ -277,6 +367,7 @@ Pipeline::computeSpmv(const std::string& matrix,
         }
         stats_.batches.fetch_add(1, std::memory_order_relaxed);
         storeMax(stats_.widestBatch, 1);
+        batch[0].computed = Request::Clock::now();
         auto shared = std::make_shared<std::vector<Request>>();
         shared->push_back(std::move(batch[0]));
         auto result = std::make_shared<std::vector<Value>>(std::move(y));
@@ -326,6 +417,12 @@ Pipeline::computeSpmv(const std::string& matrix,
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch, static_cast<std::uint64_t>(nrhs));
+    {
+        const Request::Clock::time_point done =
+            Request::Clock::now();
+        for (Request& r : batch)
+            r.computed = done;
+    }
 
     // Reduce/deliver stage: its own task, so this worker can pick
     // up the next batch while another thread scatters results out.
@@ -398,6 +495,12 @@ Pipeline::computeSpmm(const std::string& matrix,
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch,
              static_cast<std::uint64_t>(batch.size()));
+    {
+        const Request::Clock::time_point done =
+            Request::Clock::now();
+        for (Request& r : batch)
+            r.computed = done;
+    }
 
     // Deliver: slice each request's columns back out of the wide Y.
     auto shared =
@@ -448,6 +551,7 @@ Pipeline::computeSpadd(const std::string& matrix,
                 sim::NativeExec ne;
                 return eng::spadd(a->ref(), b->ref(), ne);
             }();
+            req.computed = Request::Clock::now();
             deliver(req, w, sum.as<fmt::CooMatrix>());
         } catch (const std::exception& ex) {
             failOne(req, Status(StatusCode::kInternal, ex.what()));
@@ -458,6 +562,13 @@ Pipeline::computeSpadd(const std::string& matrix,
 void
 Pipeline::finish(std::uint64_t n, bool ok)
 {
+    static obs::Counter& completed =
+        obs::MetricsRegistry::global().counter(
+            "smash_pipeline_requests_total{result=\"completed\"}");
+    static obs::Counter& failed =
+        obs::MetricsRegistry::global().counter(
+            "smash_pipeline_requests_total{result=\"failed\"}");
+    (ok ? completed : failed).add(n);
     if (!ok)
         stats_.failed.fetch_add(n, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);

@@ -66,6 +66,32 @@ enum class ComputeExec
                //!< mode: one batch uses every worker)
 };
 
+/** Stage boundaries of one delivered request's lifetime (the index
+ *  into PipelineStats::stageLatency). */
+enum class PipelineStage
+{
+    kAdmit = 0,     //!< submit → admission ticket granted
+    kPrepare = 1,   //!< admitted → encodings ready, in the batcher
+    kBatchWait = 2, //!< enqueued → batch flushed
+    kCompute = 3,   //!< flushed → kernel finished
+    kDeliver = 4,   //!< computed → promise fulfilled
+};
+
+inline constexpr std::size_t kNumPipelineStages = 5;
+
+inline const char*
+toString(PipelineStage s)
+{
+    switch (s) {
+      case PipelineStage::kAdmit: return "admit";
+      case PipelineStage::kPrepare: return "prepare";
+      case PipelineStage::kBatchWait: return "batch_wait";
+      case PipelineStage::kCompute: return "compute";
+      case PipelineStage::kDeliver: return "deliver";
+    }
+    return "unknown";
+}
+
 /** Monotonic counters published by the pipeline stages. */
 struct PipelineStats
 {
@@ -80,10 +106,38 @@ struct PipelineStats
     /** Submit→delivery latency per priority class. */
     LatencyHistogram latencyByPriority[kNumPriorities];
 
+    /** Per-stage latency of every delivered request (trace spans
+     *  aggregated; the same samples feed the registry's
+     *  smash_pipeline_stage_latency_us{stage=...} series). */
+    LatencyHistogram stageLatency[kNumPipelineStages];
+
     const LatencyHistogram&
     latency(Priority p) const
     {
         return latencyByPriority[static_cast<std::size_t>(p)];
+    }
+
+    const LatencyHistogram&
+    stage(PipelineStage s) const
+    {
+        return stageLatency[static_cast<std::size_t>(s)];
+    }
+
+    /** Queue-side time (admit + prepare + batch wait) of every
+     *  delivered request, in microseconds. */
+    std::uint64_t
+    queueUs() const
+    {
+        return stageLatency[0].sumUs() + stageLatency[1].sumUs() +
+            stageLatency[2].sumUs();
+    }
+
+    /** Compute-side time (compute + deliver) of every delivered
+     *  request, in microseconds. */
+    std::uint64_t
+    computeUs() const
+    {
+        return stageLatency[3].sumUs() + stageLatency[4].sumUs();
     }
 };
 
@@ -157,6 +211,9 @@ class Pipeline
     /** Resolve one delivered request: value, latency, accounting. */
     template <typename T, typename Work>
     void deliver(Request& request, Work& work, T value);
+    /** Record the request's per-stage latencies from its stamps. */
+    void recordStages(const Request& request,
+                      Request::Clock::time_point delivered);
     /** Fail every not-yet-resolved request in @p batch. */
     void failRemaining(std::vector<Request>& batch,
                        const Status& status);

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "engine/autoselect.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace smash::serve
 {
@@ -348,6 +350,12 @@ MatrixRegistry::runReencode(const std::string& name)
             ++s.reselects;
             s.reencodePending = false;
             s.profile.rebase();
+            static obs::Counter& swaps =
+                obs::MetricsRegistry::global().counter(
+                    "smash_registry_epoch_swaps_total");
+            swaps.inc();
+            SMASH_TRACE_EVENT(obs::EventKind::kEpochSwap,
+                              static_cast<std::uint32_t>(target));
             return;
         }
     }

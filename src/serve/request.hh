@@ -183,6 +183,13 @@ struct Request
     RequestOptions options{};
     Clock::time_point submitted{};                      //!< latency base
     Clock::time_point expiry = Clock::time_point::max(); //!< absolute
+    /** Trace stamps, set as the request crosses each pipeline
+     *  stage boundary (obs: per-stage latency histograms and the
+     *  queue-vs-compute breakdown in PipelineStats). */
+    Clock::time_point admitted{};  //!< passed the admission gate
+    Clock::time_point prepared{};  //!< encodings ready, handed over
+    Clock::time_point flushed{};   //!< batch left its queue
+    Clock::time_point computed{};  //!< kernel finished
     std::shared_ptr<void> ticket;                       //!< admission slot
     /** Promise already satisfied (pipeline-internal bookkeeping, so
      *  a failure sweep never double-resolves a delivered request). */

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace smash::serve
 {
@@ -109,6 +110,11 @@ Session::admit(const std::string& matrix, const RequestOptions& options,
             break;
         if (options.admission == Admission::kFailFast) {
             overloaded_.fetch_add(1, std::memory_order_relaxed);
+            static obs::Counter& rejects =
+                obs::MetricsRegistry::global().counter(
+                    "smash_admission_rejects_total{reason="
+                    "\"overloaded\"}");
+            rejects.inc();
             return {nullptr,
                     Status(StatusCode::kOverloaded,
                            "in-flight limit reached for '" + matrix +
@@ -133,6 +139,10 @@ Session::admit(const std::string& matrix, const RequestOptions& options,
     }
     ++gate_.total;
     ++gate_.perMatrix[matrix];
+    static obs::Gauge& inflight =
+        obs::MetricsRegistry::global().gauge(
+            "smash_admission_inflight");
+    inflight.add(1);
     // The ticket returns the slot when the envelope dies — at
     // delivery, expiry, or any failure path, without the pipeline
     // having to know about admission at all.
@@ -156,6 +166,10 @@ Session::release(const std::string& matrix)
         if (gate_.total > 0)
             --gate_.total;
     }
+    static obs::Gauge& inflight =
+        obs::MetricsRegistry::global().gauge(
+            "smash_admission_inflight");
+    inflight.add(-1);
     gate_.freed.notify_all();
 }
 
@@ -170,6 +184,9 @@ Session::launch(QueueKey key, const RequestOptions& options,
     envelope.options = options;
     envelope.submitted = now;
     envelope.expiry = expiry;
+    // The admit stage ends here: the gate granted a ticket (after
+    // blocking, for kBlock at capacity) and the envelope is built.
+    envelope.admitted = Request::Clock::now();
     envelope.ticket = std::move(ticket);
     envelope.work = std::move(work);
     pipeline_.postPrepare(key, std::move(envelope), batcher_);
