@@ -1,0 +1,445 @@
+/**
+ * @file
+ * net_loadgen — multi-process closed-loop load generator for
+ * smash_serverd, and the end-to-end smoke gate the CI server leg
+ * runs.
+ *
+ * Sweep mode (default): for each connection count in --conns, fork
+ * that many worker processes. Each worker opens one connection and
+ * runs a closed loop with --window pipelined SpMV requests
+ * outstanding; per-request latencies and status counts flow back to
+ * the parent over a pipe, which prints one table row per sweep
+ * point:
+ *
+ *   conns window   req/s   p50(us)   p99(us)        ok  overloaded
+ *
+ * Offered load is the closed-loop product conns x window; pushing
+ * it past the server's --max-inflight is how the p99 knee and the
+ * kOverloaded column appear.
+ *
+ * Smoke mode (--smoke): single process, four gates, exit 0 only if
+ * all hold —
+ *   1. ping round-trips;
+ *   2. remote SpMV answers are BIT-IDENTICAL to a local eng::spmv
+ *      over the same demo matrix (both sides build it from
+ *      net/demo_matrices.hh; dyadic values make the comparison
+ *      exact, not approximate);
+ *   3. a kBatch-priority fail-fast burst observes kOverloaded over
+ *      the wire (run the server with a small --max-inflight, the CI
+ *      leg uses 4) while at least one request still succeeds;
+ *   4. a 1 us deadline observes kDeadlineExceeded over the wire.
+ *
+ * Endpoint flags: --unix PATH | --tcp PORT [--host H] — exactly one
+ * transport. Sweep knobs: --conns A,B,... --window N --duration-ms D.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/dispatch.hh"
+#include "formats/csr_matrix.hh"
+#include "net/client.hh"
+#include "net/demo_matrices.hh"
+#include "sim/exec_model.hh"
+
+namespace
+{
+
+using namespace smash;
+using Clock = std::chrono::steady_clock;
+
+struct Endpoint
+{
+    std::string unixPath;
+    std::string host = "localhost";
+    int tcpPort = -1;
+};
+
+bool
+connectClient(net::Client& client, const Endpoint& ep,
+              std::string& error)
+{
+    if (!ep.unixPath.empty())
+        return client.connectUnixSocket(ep.unixPath, error);
+    return client.connectTcpSocket(
+        ep.host, static_cast<std::uint16_t>(ep.tcpPort), error);
+}
+
+/** Per-worker tallies shipped parent-ward over the pipe. */
+struct WorkerStats
+{
+    std::uint64_t ok = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t deadline = 0;
+    std::uint64_t other = 0;
+    std::vector<std::uint32_t> latencies_us; //!< ok requests only
+};
+
+/** Pipes are plain fds — read/write, not the socket helpers. */
+bool
+writeAll(int fd, const void* buf, std::size_t n)
+{
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t r = ::write(fd, p + sent, n - sent);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void* buf, std::size_t n)
+{
+    auto* p = static_cast<std::uint8_t*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return false;
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+/** Closed loop in a forked worker: keep @p window SpMV requests
+ *  outstanding until the deadline, then ship stats and _exit. */
+void
+runWorker(const Endpoint& ep, int pipe_fd, int duration_ms,
+          int window, int seed)
+{
+    WorkerStats stats;
+    net::Client client;
+    std::string error;
+    if (connectClient(client, ep, error)) {
+        std::unordered_map<std::uint64_t, Clock::time_point> sent;
+        const Clock::time_point end =
+            Clock::now() + std::chrono::milliseconds(duration_ms);
+        int variant = seed;
+        const auto sendOne = [&] {
+            serve::SpmvRequest req{"ranker",
+                                   net::demoVector(variant++), {}};
+            const std::uint64_t id = client.sendSpmv(req);
+            if (id != 0)
+                sent.emplace(id, Clock::now());
+            return id != 0;
+        };
+        for (int i = 0; i < window && sendOne(); ++i) {
+        }
+        while (!sent.empty()) {
+            const std::optional<net::Client::SpmvResponse> resp =
+                client.readSpmvResponse();
+            if (!resp)
+                break;
+            const Clock::time_point now = Clock::now();
+            const auto it = sent.find(resp->id);
+            switch (resp->result.status().code()) {
+              case serve::StatusCode::kOk:
+                  ++stats.ok;
+                  if (it != sent.end() &&
+                      stats.latencies_us.size() < (1u << 18))
+                      stats.latencies_us.push_back(
+                          static_cast<std::uint32_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::microseconds>(
+                                  now - it->second)
+                                  .count()));
+                  break;
+              case serve::StatusCode::kOverloaded:
+                  ++stats.overloaded;
+                  break;
+              case serve::StatusCode::kDeadlineExceeded:
+                  ++stats.deadline;
+                  break;
+              default:
+                  ++stats.other;
+                  break;
+            }
+            if (it != sent.end())
+                sent.erase(it);
+            if (now < end)
+                sendOne();
+        }
+    }
+    const std::uint64_t header[5] = {
+        stats.ok, stats.overloaded, stats.deadline, stats.other,
+        stats.latencies_us.size()};
+    writeAll(pipe_fd, header, sizeof(header));
+    if (!stats.latencies_us.empty())
+        writeAll(pipe_fd, stats.latencies_us.data(),
+                 stats.latencies_us.size() * sizeof(std::uint32_t));
+    ::close(pipe_fd);
+    ::_exit(0);
+}
+
+std::uint32_t
+percentile(std::vector<std::uint32_t>& v, double p)
+{
+    if (v.empty())
+        return 0;
+    const std::size_t at = std::min(
+        v.size() - 1,
+        static_cast<std::size_t>(p * double(v.size())));
+    std::nth_element(v.begin(), v.begin() + long(at), v.end());
+    return v[at];
+}
+
+/** One sweep point: fork @p conns workers, merge their stats. */
+bool
+runSweepPoint(const Endpoint& ep, int conns, int window,
+              int duration_ms)
+{
+    std::vector<pid_t> pids;
+    std::vector<int> read_fds;
+    for (int c = 0; c < conns; ++c) {
+        int fds[2];
+        if (::pipe(fds) != 0) {
+            std::cerr << "pipe: " << std::strerror(errno) << "\n";
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::cerr << "fork: " << std::strerror(errno) << "\n";
+            return false;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            for (int fd : read_fds)
+                ::close(fd);
+            runWorker(ep, fds[1], duration_ms, window, c * 9973);
+        }
+        ::close(fds[1]);
+        pids.push_back(pid);
+        read_fds.push_back(fds[0]);
+    }
+
+    WorkerStats total;
+    bool ok = true;
+    for (int fd : read_fds) {
+        std::uint64_t header[5];
+        if (!readAll(fd, header, sizeof(header))) {
+            ok = false;
+        } else {
+            total.ok += header[0];
+            total.overloaded += header[1];
+            total.deadline += header[2];
+            total.other += header[3];
+            std::vector<std::uint32_t> lat(header[4]);
+            if (!lat.empty() &&
+                !readAll(fd, lat.data(),
+                         lat.size() * sizeof(std::uint32_t)))
+                ok = false;
+            total.latencies_us.insert(total.latencies_us.end(),
+                                      lat.begin(), lat.end());
+        }
+        ::close(fd);
+    }
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+
+    const double secs = double(duration_ms) / 1000.0;
+    const double rate = double(total.ok) / secs;
+    std::printf("%5d %6d %9.0f %9u %9u %9llu %11llu\n", conns,
+                window, rate,
+                percentile(total.latencies_us, 0.50),
+                percentile(total.latencies_us, 0.99),
+                static_cast<unsigned long long>(total.ok),
+                static_cast<unsigned long long>(total.overloaded));
+    return ok && total.ok > 0;
+}
+
+/** Local bit-exact oracle for the demo "ranker" SpMV. */
+std::vector<Value>
+localSpmv(const fmt::CsrMatrix& csr, const std::vector<Value>& x)
+{
+    sim::NativeExec e;
+    std::vector<Value> y(static_cast<std::size_t>(csr.rows()),
+                         Value(0));
+    eng::spmv(csr, x, y, e);
+    return y;
+}
+
+int
+runSmoke(const Endpoint& ep)
+{
+    net::Client client;
+    std::string error;
+    if (!connectClient(client, ep, error)) {
+        std::cerr << "smoke: connect failed: " << error << "\n";
+        return 1;
+    }
+
+    // Gate 1: liveness.
+    const serve::Status pong = client.ping();
+    if (!pong.ok()) {
+        std::cerr << "smoke: ping failed: " << pong.message() << "\n";
+        return 1;
+    }
+
+    // Gate 2: remote results bit-identical to the local engine.
+    const fmt::CsrMatrix csr =
+        fmt::CsrMatrix::fromCoo(net::demoRanker());
+    for (int seed = 0; seed < 4; ++seed) {
+        const std::vector<Value> x = net::demoVector(seed);
+        serve::Result<std::vector<Value>> r =
+            client.spmv(serve::SpmvRequest{"ranker", x, {}});
+        if (!r.ok()) {
+            std::cerr << "smoke: spmv failed: "
+                      << r.status().message() << "\n";
+            return 1;
+        }
+        const std::vector<Value> expect = localSpmv(csr, x);
+        if (r.value().size() != expect.size() ||
+            std::memcmp(r.value().data(), expect.data(),
+                        expect.size() * sizeof(Value)) != 0) {
+            std::cerr << "smoke: remote spmv differs from local "
+                         "oracle (seed "
+                      << seed << ")\n";
+            return 1;
+        }
+    }
+
+    // Gate 3: the admission gate's kOverloaded survives the wire.
+    // kBatch priority keeps admitted requests parked in the batcher
+    // (batchDelay) while the fail-fast burst lands, so with a small
+    // server --max-inflight the burst must see both outcomes.
+    serve::RequestOptions burst_options;
+    burst_options.priority = serve::Priority::kBatch;
+    burst_options.admission = serve::Admission::kFailFast;
+    std::uint64_t burst_ok = 0, burst_overloaded = 0;
+    int outstanding = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (client.sendSpmv(serve::SpmvRequest{
+                "ranker", net::demoVector(i), burst_options}) != 0)
+            ++outstanding;
+    }
+    for (; outstanding > 0; --outstanding) {
+        const std::optional<net::Client::SpmvResponse> resp =
+            client.readSpmvResponse();
+        if (!resp) {
+            std::cerr << "smoke: burst read failed\n";
+            return 1;
+        }
+        if (resp->result.ok())
+            ++burst_ok;
+        else if (resp->result.status().code() ==
+                 serve::StatusCode::kOverloaded)
+            ++burst_overloaded;
+    }
+    if (burst_ok == 0 || burst_overloaded == 0) {
+        std::cerr << "smoke: burst saw ok=" << burst_ok
+                  << " overloaded=" << burst_overloaded
+                  << " (expected both > 0; run the server with a "
+                     "small --max-inflight, e.g. 4)\n";
+        return 1;
+    }
+
+    // Gate 4: kDeadlineExceeded survives the wire. A 1 us budget at
+    // kBatch priority expires in the batcher's flush delay, so the
+    // pipeline resolves it at the expiry check instead of computing.
+    serve::RequestOptions tight;
+    tight.priority = serve::Priority::kBatch;
+    tight.deadline = std::chrono::microseconds(1);
+    bool saw_deadline = false;
+    for (int i = 0; i < 8 && !saw_deadline; ++i) {
+        serve::Result<std::vector<Value>> r = client.spmv(
+            serve::SpmvRequest{"ranker", net::demoVector(i), tight});
+        saw_deadline = r.status().code() ==
+            serve::StatusCode::kDeadlineExceeded;
+    }
+    if (!saw_deadline) {
+        std::cerr << "smoke: no kDeadlineExceeded over the wire\n";
+        return 1;
+    }
+
+    std::cout << "smoke ok: ping, 4 bit-identical spmv round-trips, "
+              << "overloaded+ok burst (" << burst_ok << " ok, "
+              << burst_overloaded
+              << " overloaded), deadline observed\n";
+    return 0;
+}
+
+int
+usage(const char* argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " (--unix PATH | --tcp PORT [--host H]) [--smoke]\n"
+        << "       [--conns A,B,...] [--window N] [--duration-ms D]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Endpoint ep;
+    bool smoke = false;
+    std::vector<int> conns = {1, 2, 4, 8};
+    int window = 4;
+    int duration_ms = 2000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--unix" && has_value) {
+            ep.unixPath = argv[++i];
+        } else if (arg == "--tcp" && has_value) {
+            ep.tcpPort = std::atoi(argv[++i]);
+        } else if (arg == "--host" && has_value) {
+            ep.host = argv[++i];
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--window" && has_value) {
+            window = std::max(1, std::atoi(argv[++i]));
+        } else if (arg == "--duration-ms" && has_value) {
+            duration_ms = std::max(50, std::atoi(argv[++i]));
+        } else if (arg == "--conns" && has_value) {
+            conns.clear();
+            std::string list = argv[++i];
+            for (std::size_t at = 0; at < list.size();) {
+                const std::size_t comma = list.find(',', at);
+                const std::string tok =
+                    list.substr(at, comma - at);
+                if (const int n = std::atoi(tok.c_str()); n > 0)
+                    conns.push_back(n);
+                at = comma == std::string::npos ? list.size()
+                                                : comma + 1;
+            }
+            if (conns.empty())
+                return usage(argv[0]);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (ep.unixPath.empty() == (ep.tcpPort < 0))
+        return usage(argv[0]); // exactly one transport
+
+    if (smoke)
+        return runSmoke(ep);
+
+    std::printf("%5s %6s %9s %9s %9s %9s %11s\n", "conns", "window",
+                "req/s", "p50(us)", "p99(us)", "ok", "overloaded");
+    bool all_ok = true;
+    for (const int c : conns)
+        all_ok = runSweepPoint(ep, c, window, duration_ms) && all_ok;
+    return all_ok ? 0 : 1;
+}

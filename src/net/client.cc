@@ -1,0 +1,221 @@
+#include "net/client.hh"
+
+#include <utility>
+
+namespace smash::net
+{
+
+namespace
+{
+
+/** Transport/protocol failures surface as kInternal "net: ...". */
+serve::Status
+netError(const std::string& what)
+{
+    return serve::Status(serve::StatusCode::kInternal,
+                         "net: " + what);
+}
+
+} // namespace
+
+bool
+Client::connectUnixSocket(const std::string& path, std::string& error)
+{
+    fd_ = connectUnix(path, error);
+    return fd_.valid();
+}
+
+bool
+Client::connectTcpSocket(const std::string& host, std::uint16_t port,
+                         std::string& error)
+{
+    fd_ = connectTcp(host, port, error);
+    return fd_.valid();
+}
+
+std::uint64_t
+Client::sendFrame(Op op, const Buffer& payload)
+{
+    if (!fd_.valid())
+        return 0;
+    const std::uint64_t id = next_id_++;
+    const Buffer frame = frameMessage(op, id, payload);
+    if (!writeFull(fd_.get(), frame.data(), frame.size())) {
+        fd_.reset();
+        return 0;
+    }
+    return id;
+}
+
+bool
+Client::readFrame(std::uint64_t id, Op want, Buffer& payload,
+                  std::string& error)
+{
+    std::uint8_t header_bytes[kHeaderBytes];
+    const IoResult hr = readFull(fd_.get(), header_bytes, kHeaderBytes);
+    if (hr != IoResult::kOk) {
+        error = hr == IoResult::kEof ? "connection closed by server"
+                                     : "read failed";
+        fd_.reset();
+        return false;
+    }
+    FrameHeader header;
+    const std::optional<WireError> bad =
+        decodeHeader(header_bytes, kDefaultMaxFrameBytes, header);
+    if (bad) {
+        error = std::string("bad response header: ") + toString(*bad);
+        fd_.reset();
+        return false;
+    }
+    payload.resize(header.payloadBytes);
+    if (!payload.empty() &&
+        readFull(fd_.get(), payload.data(), payload.size()) !=
+            IoResult::kOk) {
+        error = "response truncated";
+        fd_.reset();
+        return false;
+    }
+    if (header.op == Op::kError) {
+        const std::optional<WireErrorMessage> wire =
+            decodeError(payload.data(), payload.size());
+        error = wire ? std::string("server protocol error: ") +
+                toString(wire->error) +
+                (wire->detail.empty() ? "" : ": " + wire->detail)
+                     : std::string("undecodable server error frame");
+        // A recoverable protocol error leaves the stream intact; the
+        // request it answers is dead either way, so surface it and
+        // keep the connection only when the server kept it.
+        if (!wire || !isRecoverable(wire->error))
+            fd_.reset();
+        return false;
+    }
+    if (header.op != want) {
+        error = std::string("unexpected response op: ") +
+            toString(header.op);
+        fd_.reset();
+        return false;
+    }
+    if (header.id != id) {
+        error = "response id does not echo the request";
+        fd_.reset();
+        return false;
+    }
+    return true;
+}
+
+serve::Status
+Client::ping()
+{
+    const std::uint64_t id = sendFrame(Op::kPing, Buffer());
+    if (id == 0)
+        return netError("send failed");
+    Buffer payload;
+    std::string error;
+    if (!readFrame(id, Op::kPong, payload, error))
+        return netError(error);
+    if (!payload.empty())
+        return netError("pong with a payload");
+    return serve::Status();
+}
+
+serve::Result<std::vector<Value>>
+Client::spmv(serve::SpmvRequest req)
+{
+    Buffer payload;
+    encodeSpmvRequest(req, payload);
+    const std::uint64_t id = sendFrame(Op::kSpmv, payload);
+    if (id == 0)
+        return netError("send failed");
+    std::string error;
+    if (!readFrame(id, Op::kSpmvResult, payload, error))
+        return netError(error);
+    auto result = decodeSpmvResult(payload.data(), payload.size());
+    if (!result) {
+        fd_.reset();
+        return netError("undecodable spmv result");
+    }
+    return std::move(*result);
+}
+
+serve::Result<fmt::DenseMatrix>
+Client::spmm(serve::SpmmRequest req)
+{
+    Buffer payload;
+    encodeSpmmRequest(req, payload);
+    const std::uint64_t id = sendFrame(Op::kSpmm, payload);
+    if (id == 0)
+        return netError("send failed");
+    std::string error;
+    if (!readFrame(id, Op::kSpmmResult, payload, error))
+        return netError(error);
+    auto result = decodeSpmmResult(payload.data(), payload.size());
+    if (!result) {
+        fd_.reset();
+        return netError("undecodable spmm result");
+    }
+    return std::move(*result);
+}
+
+serve::Result<fmt::CooMatrix>
+Client::spadd(serve::SpaddRequest req)
+{
+    Buffer payload;
+    encodeSpaddRequest(req, payload);
+    const std::uint64_t id = sendFrame(Op::kSpadd, payload);
+    if (id == 0)
+        return netError("send failed");
+    std::string error;
+    if (!readFrame(id, Op::kSpaddResult, payload, error))
+        return netError(error);
+    auto result = decodeSpaddResult(payload.data(), payload.size());
+    if (!result) {
+        fd_.reset();
+        return netError("undecodable spadd result");
+    }
+    return std::move(*result);
+}
+
+std::uint64_t
+Client::sendSpmv(const serve::SpmvRequest& req)
+{
+    Buffer payload;
+    encodeSpmvRequest(req, payload);
+    return sendFrame(Op::kSpmv, payload);
+}
+
+std::optional<Client::SpmvResponse>
+Client::readSpmvResponse()
+{
+    if (!fd_.valid())
+        return std::nullopt;
+    std::uint8_t header_bytes[kHeaderBytes];
+    if (readFull(fd_.get(), header_bytes, kHeaderBytes) !=
+        IoResult::kOk) {
+        fd_.reset();
+        return std::nullopt;
+    }
+    FrameHeader header;
+    if (decodeHeader(header_bytes, kDefaultMaxFrameBytes, header)) {
+        fd_.reset();
+        return std::nullopt;
+    }
+    Buffer payload(header.payloadBytes);
+    if (!payload.empty() &&
+        readFull(fd_.get(), payload.data(), payload.size()) !=
+            IoResult::kOk) {
+        fd_.reset();
+        return std::nullopt;
+    }
+    if (header.op != Op::kSpmvResult) {
+        fd_.reset();
+        return std::nullopt;
+    }
+    auto result = decodeSpmvResult(payload.data(), payload.size());
+    if (!result) {
+        fd_.reset();
+        return std::nullopt;
+    }
+    return SpmvResponse{header.id, std::move(*result)};
+}
+
+} // namespace smash::net

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * net::Client — the library side of the wire protocol: connect over
+ * a Unix-domain path or TCP, then speak the same typed surface as
+ * serve::Session, with every serve::Status (overload, deadline,
+ * shutdown, ...) arriving intact off the wire.
+ *
+ * Two usage shapes:
+ *
+ *   Synchronous:  spmv()/spmm()/spadd()/ping() send one request and
+ *     block for its response — the simple path for tools and tests.
+ *
+ *   Pipelined:    sendSpmv() queues a request without waiting;
+ *     readSpmvResponse() consumes the next response in arrival
+ *     order. The load generator uses this to keep a configurable
+ *     window of requests outstanding per connection, which is what
+ *     drives the server's admission gate into kOverloaded territory.
+ *
+ * Failure mapping: anything that breaks *transport or protocol* —
+ * connect/read/write failure, a malformed response, an Op::kError
+ * frame, a response id that doesn't echo the request — comes back
+ * as StatusCode::kInternal with a "net: ..." message. Application
+ * statuses pass through untouched; only the transport wrapper adds
+ * its own failure class.
+ *
+ * A Client is a single connection and is NOT thread-safe — one
+ * thread (or externally serialized threads) per client, which
+ * matches the load generator's one-client-per-process design.
+ */
+
+#ifndef SMASH_NET_CLIENT_HH
+#define SMASH_NET_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/codec.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "serve/request.hh"
+#include "serve/result.hh"
+
+namespace smash::net
+{
+
+/** One client connection to a smash_serverd endpoint. */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect over a Unix-domain socket. */
+    bool connectUnixSocket(const std::string& path,
+                           std::string& error);
+    /** Connect over TCP ("localhost" or a dotted quad). */
+    bool connectTcpSocket(const std::string& host,
+                          std::uint16_t port, std::string& error);
+
+    bool connected() const { return fd_.valid(); }
+    void close() { fd_.reset(); }
+
+    // --- Synchronous round-trips. ---
+
+    /** Liveness probe: kPing → kPong. */
+    serve::Status ping();
+    serve::Result<std::vector<Value>> spmv(serve::SpmvRequest req);
+    serve::Result<fmt::DenseMatrix> spmm(serve::SpmmRequest req);
+    serve::Result<fmt::CooMatrix> spadd(serve::SpaddRequest req);
+
+    // --- Pipelined SpMV (the load generator's inner loop). ---
+
+    /** Queue one SpMV without waiting; the returned id correlates
+     *  with readSpmvResponse(). 0 on a send failure. */
+    std::uint64_t sendSpmv(const serve::SpmvRequest& req);
+
+    /** One pipelined response (arrival order). */
+    struct SpmvResponse
+    {
+        std::uint64_t id = 0;
+        serve::Result<std::vector<Value>> result;
+    };
+
+    /** Block for the next SpMV response; nullopt when the transport
+     *  or protocol failed (connection is closed then). */
+    std::optional<SpmvResponse> readSpmvResponse();
+
+  private:
+    /** Send @p payload as (@p op, fresh id); 0 on failure. */
+    std::uint64_t sendFrame(Op op, const Buffer& payload);
+    /** Read one frame, expecting @p want (or kError) echoing @p id;
+     *  false + @p error on any transport/protocol failure. */
+    bool readFrame(std::uint64_t id, Op want, Buffer& payload,
+                   std::string& error);
+
+    Fd fd_;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace smash::net
+
+#endif // SMASH_NET_CLIENT_HH

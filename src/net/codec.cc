@@ -1,0 +1,479 @@
+#include "net/codec.hh"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace smash::net
+{
+
+namespace
+{
+
+/** Little-endian appender over a Buffer. */
+struct Writer
+{
+    Buffer& out;
+
+    void
+    u8(std::uint8_t v)
+    {
+        out.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(const std::string& s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out.insert(out.end(), s.begin(), s.end());
+    }
+};
+
+/**
+ * Bounds-checked little-endian cursor. Every accessor returns a
+ * default once a read ran past the end; callers check ok once at
+ * the finish line (and that the payload was fully consumed).
+ */
+struct Reader
+{
+    const std::uint8_t* p;
+    std::size_t n;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(std::size_t k)
+    {
+        if (!ok || n - pos < k) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return p[pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        std::uint16_t v = static_cast<std::uint16_t>(
+            p[pos] | (std::uint16_t(p[pos + 1]) << 8));
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(p[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(p[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (!need(len))
+            return {};
+        std::string s(reinterpret_cast<const char*>(p + pos), len);
+        pos += len;
+        return s;
+    }
+
+    /** A count of @p elem_bytes-wide elements still to come; fails
+     *  the read when the remaining payload cannot hold them (so a
+     *  hostile count cannot trigger a huge allocation). */
+    std::uint64_t
+    count(std::size_t elem_bytes)
+    {
+        const std::uint64_t c = u64();
+        if (!ok || c > (n - pos) / elem_bytes) {
+            ok = false;
+            return 0;
+        }
+        return c;
+    }
+
+    /** All payload bytes consumed, none missing. */
+    bool
+    finished() const
+    {
+        return ok && pos == n;
+    }
+};
+
+void
+encodeOptions(Writer& w, const serve::RequestOptions& options)
+{
+    w.u8(static_cast<std::uint8_t>(options.priority));
+    w.u8(static_cast<std::uint8_t>(options.admission));
+    w.u16(0);
+    w.u64(static_cast<std::uint64_t>(options.deadline.count()));
+}
+
+bool
+decodeOptions(Reader& r, serve::RequestOptions& options)
+{
+    const std::uint8_t priority = r.u8();
+    const std::uint8_t admission = r.u8();
+    const std::uint16_t pad = r.u16();
+    const std::uint64_t deadline = r.u64();
+    if (!r.ok || pad != 0 ||
+        priority >= static_cast<std::uint8_t>(serve::kNumPriorities) ||
+        admission > 1 ||
+        deadline > static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max()))
+        return false;
+    options.priority = static_cast<serve::Priority>(priority);
+    options.admission = static_cast<serve::Admission>(admission);
+    options.deadline =
+        std::chrono::microseconds(static_cast<std::int64_t>(deadline));
+    return true;
+}
+
+void
+encodeStatus(Writer& w, const serve::Status& status)
+{
+    w.u16(static_cast<std::uint16_t>(status.code()));
+    w.str(status.message());
+}
+
+bool
+decodeStatus(Reader& r, serve::Status& status)
+{
+    const std::uint16_t code = r.u16();
+    std::string message = r.str();
+    if (!r.ok ||
+        code > static_cast<std::uint16_t>(serve::StatusCode::kInternal))
+        return false;
+    status = serve::Status(static_cast<serve::StatusCode>(code),
+                           std::move(message));
+    return true;
+}
+
+void
+encodeDense(Writer& w, const fmt::DenseMatrix& m)
+{
+    w.u64(static_cast<std::uint64_t>(m.rows()));
+    w.u64(static_cast<std::uint64_t>(m.cols()));
+    for (const Value v : m.data())
+        w.f64(v);
+}
+
+std::optional<fmt::DenseMatrix>
+decodeDense(Reader& r)
+{
+    const std::int64_t rows = r.i64();
+    const std::int64_t cols = r.i64();
+    if (!r.ok || rows < 0 || cols < 0 ||
+        (cols > 0 &&
+         static_cast<std::uint64_t>(rows) > (r.n - r.pos) / 8 /
+             static_cast<std::uint64_t>(cols)))
+        return std::nullopt;
+    fmt::DenseMatrix m(rows, cols);
+    for (Value& v : m.data())
+        v = r.f64();
+    if (!r.ok)
+        return std::nullopt;
+    return m;
+}
+
+} // namespace
+
+Buffer
+frameMessage(Op op, std::uint64_t id, const Buffer& payload)
+{
+    Buffer frame(kHeaderBytes + payload.size());
+    FrameHeader header;
+    header.op = op;
+    header.id = id;
+    header.payloadBytes = payload.size();
+    encodeHeader(header, frame.data());
+    if (!payload.empty())
+        std::memcpy(frame.data() + kHeaderBytes, payload.data(),
+                    payload.size());
+    return frame;
+}
+
+void
+encodeSpmvRequest(const serve::SpmvRequest& req, Buffer& out)
+{
+    Writer w{out};
+    encodeOptions(w, req.options);
+    w.str(req.matrix);
+    w.u64(req.x.size());
+    for (const Value v : req.x)
+        w.f64(v);
+}
+
+std::optional<serve::SpmvRequest>
+decodeSpmvRequest(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::SpmvRequest req;
+    if (!decodeOptions(r, req.options))
+        return std::nullopt;
+    req.matrix = r.str();
+    const std::uint64_t count = r.count(8);
+    req.x.resize(count);
+    for (Value& v : req.x)
+        v = r.f64();
+    if (!r.finished())
+        return std::nullopt;
+    return req;
+}
+
+void
+encodeSpmmRequest(const serve::SpmmRequest& req, Buffer& out)
+{
+    Writer w{out};
+    encodeOptions(w, req.options);
+    w.str(req.matrix);
+    encodeDense(w, req.b);
+}
+
+std::optional<serve::SpmmRequest>
+decodeSpmmRequest(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::SpmmRequest req;
+    if (!decodeOptions(r, req.options))
+        return std::nullopt;
+    req.matrix = r.str();
+    std::optional<fmt::DenseMatrix> b = decodeDense(r);
+    if (!b || !r.finished())
+        return std::nullopt;
+    req.b = std::move(*b);
+    return req;
+}
+
+void
+encodeSpaddRequest(const serve::SpaddRequest& req, Buffer& out)
+{
+    Writer w{out};
+    encodeOptions(w, req.options);
+    w.str(req.a);
+    w.str(req.b);
+}
+
+std::optional<serve::SpaddRequest>
+decodeSpaddRequest(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::SpaddRequest req;
+    if (!decodeOptions(r, req.options))
+        return std::nullopt;
+    req.a = r.str();
+    req.b = r.str();
+    if (!r.finished())
+        return std::nullopt;
+    return req;
+}
+
+void
+encodeSpmvResult(const serve::Result<std::vector<Value>>& r,
+                 Buffer& out)
+{
+    Writer w{out};
+    encodeStatus(w, r.status());
+    if (!r.ok())
+        return;
+    const std::vector<Value>& y = r.value();
+    w.u64(y.size());
+    for (const Value v : y)
+        w.f64(v);
+}
+
+std::optional<serve::Result<std::vector<Value>>>
+decodeSpmvResult(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::Status status;
+    if (!decodeStatus(r, status))
+        return std::nullopt;
+    if (!status.ok()) {
+        if (!r.finished())
+            return std::nullopt;
+        return serve::Result<std::vector<Value>>(std::move(status));
+    }
+    const std::uint64_t count = r.count(8);
+    std::vector<Value> y(count);
+    for (Value& v : y)
+        v = r.f64();
+    if (!r.finished())
+        return std::nullopt;
+    return serve::Result<std::vector<Value>>(std::move(y));
+}
+
+void
+encodeSpmmResult(const serve::Result<fmt::DenseMatrix>& r, Buffer& out)
+{
+    Writer w{out};
+    encodeStatus(w, r.status());
+    if (r.ok())
+        encodeDense(w, r.value());
+}
+
+std::optional<serve::Result<fmt::DenseMatrix>>
+decodeSpmmResult(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::Status status;
+    if (!decodeStatus(r, status))
+        return std::nullopt;
+    if (!status.ok()) {
+        if (!r.finished())
+            return std::nullopt;
+        return serve::Result<fmt::DenseMatrix>(std::move(status));
+    }
+    std::optional<fmt::DenseMatrix> m = decodeDense(r);
+    if (!m || !r.finished())
+        return std::nullopt;
+    return serve::Result<fmt::DenseMatrix>(std::move(*m));
+}
+
+void
+encodeSpaddResult(const serve::Result<fmt::CooMatrix>& r, Buffer& out)
+{
+    Writer w{out};
+    encodeStatus(w, r.status());
+    if (!r.ok())
+        return;
+    const fmt::CooMatrix& m = r.value();
+    w.u64(static_cast<std::uint64_t>(m.rows()));
+    w.u64(static_cast<std::uint64_t>(m.cols()));
+    w.u64(static_cast<std::uint64_t>(m.nnz()));
+    for (const fmt::CooEntry& e : m.entries()) {
+        w.i64(e.row);
+        w.i64(e.col);
+        w.f64(e.value);
+    }
+}
+
+std::optional<serve::Result<fmt::CooMatrix>>
+decodeSpaddResult(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::Status status;
+    if (!decodeStatus(r, status))
+        return std::nullopt;
+    if (!status.ok()) {
+        if (!r.finished())
+            return std::nullopt;
+        return serve::Result<fmt::CooMatrix>(std::move(status));
+    }
+    const std::int64_t rows = r.i64();
+    const std::int64_t cols = r.i64();
+    if (!r.ok || rows < 0 || cols < 0)
+        return std::nullopt;
+    const std::uint64_t nnz = r.count(24);
+    fmt::CooMatrix m(rows, cols);
+    for (std::uint64_t i = 0; i < nnz; ++i) {
+        const Index row = r.i64();
+        const Index col = r.i64();
+        const Value value = r.f64();
+        if (!r.ok || row < 0 || row >= rows || col < 0 || col >= cols)
+            return std::nullopt;
+        // CooMatrix::add drops zero-valued entries — the same
+        // invariant the encoder's source object upheld, so the
+        // round-trip stays faithful for anything a server can emit.
+        m.add(row, col, value);
+    }
+    if (!r.finished())
+        return std::nullopt;
+    return serve::Result<fmt::CooMatrix>(std::move(m));
+}
+
+void
+encodeError(WireError error, const std::string& detail, Buffer& out)
+{
+    Writer w{out};
+    w.u16(static_cast<std::uint16_t>(error));
+    w.str(detail);
+}
+
+std::optional<WireErrorMessage>
+decodeError(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    WireErrorMessage msg;
+    const std::uint16_t code = r.u16();
+    msg.detail = r.str();
+    if (!r.finished() ||
+        code > static_cast<std::uint16_t>(WireError::kTruncated))
+        return std::nullopt;
+    msg.error = static_cast<WireError>(code);
+    return msg;
+}
+
+} // namespace smash::net

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Payload codecs: the typed serving surface (SpmvRequest /
+ * SpmmRequest / SpaddRequest and their serve::Result responses)
+ * serialized into frame payloads, so overload / deadline / shutdown
+ * semantics survive the wire intact.
+ *
+ * Layouts (all little-endian; str = u32 length + bytes; values are
+ * IEEE-754 bit patterns, indices two's-complement u64):
+ *
+ *   options   = u8 priority, u8 admission, u16 pad(0), u64 deadline_us
+ *   SpmvRequest  = options, str matrix, u64 n, n * f64
+ *   SpmmRequest  = options, str matrix, u64 rows, u64 cols,
+ *                  rows*cols * f64 (row-major)
+ *   SpaddRequest = options, str a, str b
+ *   status    = u16 code, str message
+ *   SpmvResult   = status [, u64 n, n * f64           when kOk]
+ *   SpmmResult   = status [, u64 rows, u64 cols, f64… when kOk]
+ *   SpaddResult  = status [, u64 rows, u64 cols, u64 nnz,
+ *                  nnz * (i64 row, i64 col, f64 value) when kOk]
+ *   error     = u16 WireError, str detail   (Op::kError payload)
+ *
+ * Every decoder is total: any byte string either decodes or returns
+ * failure — truncated fields, trailing garbage, out-of-range enum
+ * values, and length prefixes pointing past the payload end are all
+ * rejected without reading out of bounds. Round-trips are
+ * bit-identical: decode(encode(x)) == x for every representable
+ * value, and re-encoding a decoded payload reproduces the bytes.
+ */
+
+#ifndef SMASH_NET_CODEC_HH
+#define SMASH_NET_CODEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "serve/request.hh"
+#include "serve/result.hh"
+
+namespace smash::net
+{
+
+/** Payload under construction (appended behind a frame header by
+ *  the connection writers). */
+using Buffer = std::vector<std::uint8_t>;
+
+/** Encode @p header + @p payload into one contiguous frame. */
+Buffer frameMessage(Op op, std::uint64_t id, const Buffer& payload);
+
+// --- Requests (client encodes, server decodes). ---
+
+void encodeSpmvRequest(const serve::SpmvRequest& req, Buffer& out);
+void encodeSpmmRequest(const serve::SpmmRequest& req, Buffer& out);
+void encodeSpaddRequest(const serve::SpaddRequest& req, Buffer& out);
+
+std::optional<serve::SpmvRequest>
+decodeSpmvRequest(const std::uint8_t* p, std::size_t n);
+std::optional<serve::SpmmRequest>
+decodeSpmmRequest(const std::uint8_t* p, std::size_t n);
+std::optional<serve::SpaddRequest>
+decodeSpaddRequest(const std::uint8_t* p, std::size_t n);
+
+// --- Responses (server encodes, client decodes). ---
+
+void encodeSpmvResult(const serve::Result<std::vector<Value>>& r,
+                      Buffer& out);
+void encodeSpmmResult(const serve::Result<fmt::DenseMatrix>& r,
+                      Buffer& out);
+void encodeSpaddResult(const serve::Result<fmt::CooMatrix>& r,
+                       Buffer& out);
+
+std::optional<serve::Result<std::vector<Value>>>
+decodeSpmvResult(const std::uint8_t* p, std::size_t n);
+std::optional<serve::Result<fmt::DenseMatrix>>
+decodeSpmmResult(const std::uint8_t* p, std::size_t n);
+std::optional<serve::Result<fmt::CooMatrix>>
+decodeSpaddResult(const std::uint8_t* p, std::size_t n);
+
+// --- Protocol errors (Op::kError payload). ---
+
+/** One decoded kError frame. */
+struct WireErrorMessage
+{
+    WireError error = WireError::kMalformedPayload;
+    std::string detail;
+};
+
+void encodeError(WireError error, const std::string& detail,
+                 Buffer& out);
+std::optional<WireErrorMessage> decodeError(const std::uint8_t* p,
+                                            std::size_t n);
+
+} // namespace smash::net
+
+#endif // SMASH_NET_CODEC_HH

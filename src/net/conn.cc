@@ -1,0 +1,340 @@
+#include "net/conn.hh"
+
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace smash::net
+{
+
+namespace
+{
+
+obs::Counter&
+opCounter(Op op)
+{
+    // One counter per request op, resolved once (toString(Op) is a
+    // static string, so the label set is closed).
+    switch (op) {
+      case Op::kPing: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"ping\"}");
+          return c;
+      }
+      case Op::kSpmv: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"spmv\"}");
+          return c;
+      }
+      case Op::kSpmm: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"spmm\"}");
+          return c;
+      }
+      default: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"spadd\"}");
+          return c;
+      }
+    }
+}
+
+obs::Counter&
+wireErrorCounter()
+{
+    static obs::Counter& c = obs::MetricsRegistry::global().counter(
+        "smash_net_wire_errors_total");
+    return c;
+}
+
+obs::Histogram&
+rxBytesHistogram()
+{
+    static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+        "smash_net_frame_bytes{dir=\"rx\"}");
+    return h;
+}
+
+obs::Histogram&
+txBytesHistogram()
+{
+    static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+        "smash_net_frame_bytes{dir=\"tx\"}");
+    return h;
+}
+
+} // namespace
+
+const char*
+toString(Transport transport)
+{
+    return transport == Transport::kUnix ? "unix" : "tcp";
+}
+
+Conn::Conn(serve::Session& session, Fd fd, Transport transport,
+           const ConnLimits& limits)
+    : session_(session), fd_(std::move(fd)), transport_(transport),
+      limits_(limits)
+{
+}
+
+Conn::~Conn()
+{
+    // Normally the Server wakes + joins; this is the safety net for
+    // a connection dropped without an explicit shutdown.
+    if (thread_.joinable()) {
+        wake();
+        thread_.join();
+    }
+}
+
+void
+Conn::start()
+{
+    auto self = shared_from_this();
+    thread_ = std::thread([self] { self->serveLoop(); });
+}
+
+void
+Conn::wake()
+{
+    fd_.shutdownBoth();
+}
+
+void
+Conn::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Conn::serveLoop()
+{
+    SMASH_TRACE_EVENT(obs::EventKind::kNetConn, 1,
+                      static_cast<std::uint32_t>(transport_));
+    std::uint8_t header_bytes[kHeaderBytes];
+    Buffer payload;
+    for (;;) {
+        const IoResult hr =
+            readFull(fd_.get(), header_bytes, kHeaderBytes);
+        if (hr == IoResult::kEof)
+            break; // clean close on a frame boundary
+        if (hr != IoResult::kOk) {
+            // Mid-header disconnect (or a read error, e.g. our own
+            // shutdown during teardown): nothing to answer.
+            wireErrorCounter().inc();
+            break;
+        }
+
+        FrameHeader header;
+        const std::optional<WireError> bad =
+            decodeHeader(header_bytes, limits_.maxFrameBytes, header);
+        if (bad && !isRecoverable(*bad)) {
+            // The stream is poisoned (bad magic/version, or a length
+            // prefix that cannot be skipped). Best-effort error
+            // frame, then close.
+            wireErrorCounter().inc();
+            sendError(header.id, *bad, toString(*bad));
+            break;
+        }
+
+        // The header is intact, so the payload length is trustworthy
+        // — read it even when the op is unknown, to stay on a frame
+        // boundary.
+        payload.resize(header.payloadBytes);
+        const IoResult pr = payload.empty()
+            ? IoResult::kOk
+            : readFull(fd_.get(), payload.data(), payload.size());
+        if (pr != IoResult::kOk) {
+            wireErrorCounter().inc();
+            break; // mid-frame disconnect
+        }
+        SMASH_TRACE_EVENT(obs::EventKind::kNetFrameRx,
+                          static_cast<std::uint32_t>(header.op),
+                          static_cast<std::uint32_t>(
+                              header.payloadBytes));
+        rxBytesHistogram().record(kHeaderBytes + payload.size());
+
+        if (bad) { // recoverable: kUnknownOp from the header decode
+            wireErrorCounter().inc();
+            sendError(header.id, *bad, toString(*bad));
+            continue;
+        }
+        if (!handleFrame(header, payload))
+            break;
+    }
+    // The protocol is over (clean close, poisoned stream, or our own
+    // teardown): half-close via shutdown rather than close() — any
+    // in-flight completion callback still holds this fd, so the
+    // descriptor must stay reserved until the Conn dies, but the
+    // peer needs its EOF now (queued frames, e.g. the final kError,
+    // still flush before the FIN).
+    fd_.shutdownBoth();
+    SMASH_TRACE_EVENT(obs::EventKind::kNetConn, 0,
+                      static_cast<std::uint32_t>(transport_));
+    done_.store(true, std::memory_order_release);
+}
+
+bool
+Conn::handleFrame(const FrameHeader& header, const Buffer& payload)
+{
+    if (!isRequestOp(header.op)) {
+        // A known op, but one only servers send (kPong, results):
+        // answer like an unknown op and keep the connection — the
+        // frame boundary is intact.
+        wireErrorCounter().inc();
+        sendError(header.id, WireError::kUnknownOp,
+                  "response op sent to server");
+        return true;
+    }
+    opCounter(header.op).inc();
+
+    switch (header.op) {
+      case Op::kPing:
+          sendFrame(Op::kPong, header.id, Buffer());
+          return true;
+      case Op::kSpmv: {
+          auto req = decodeSpmvRequest(payload.data(), payload.size());
+          if (!req) {
+              wireErrorCounter().inc();
+              sendError(header.id, WireError::kMalformedPayload,
+                        "spmv request");
+              return true;
+          }
+          submitSpmv(header.id, std::move(*req));
+          return true;
+      }
+      case Op::kSpmm: {
+          auto req = decodeSpmmRequest(payload.data(), payload.size());
+          if (!req) {
+              wireErrorCounter().inc();
+              sendError(header.id, WireError::kMalformedPayload,
+                        "spmm request");
+              return true;
+          }
+          submitSpmm(header.id, std::move(*req));
+          return true;
+      }
+      default: {
+          auto req = decodeSpaddRequest(payload.data(), payload.size());
+          if (!req) {
+              wireErrorCounter().inc();
+              sendError(header.id, WireError::kMalformedPayload,
+                        "spadd request");
+              return true;
+          }
+          submitSpadd(header.id, std::move(*req));
+          return true;
+      }
+    }
+}
+
+bool
+Conn::connOverloaded() const
+{
+    return limits_.maxInflight > 0 &&
+        inflight_.load(std::memory_order_relaxed) >=
+        limits_.maxInflight;
+}
+
+void
+Conn::submitSpmv(std::uint64_t id, serve::SpmvRequest req)
+{
+    if (connOverloaded()) {
+        Buffer payload;
+        encodeSpmvResult(
+            serve::Status(serve::StatusCode::kOverloaded,
+                          "per-connection in-flight limit"),
+            payload);
+        sendFrame(Op::kSpmvResult, id, payload);
+        return;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    session_.submit(
+        std::move(req),
+        [self, id](serve::Result<std::vector<Value>> r) {
+            Buffer payload;
+            encodeSpmvResult(r, payload);
+            self->sendFrame(Op::kSpmvResult, id, payload);
+            self->inflight_.fetch_sub(1, std::memory_order_relaxed);
+        });
+}
+
+void
+Conn::submitSpmm(std::uint64_t id, serve::SpmmRequest req)
+{
+    if (connOverloaded()) {
+        Buffer payload;
+        encodeSpmmResult(
+            serve::Status(serve::StatusCode::kOverloaded,
+                          "per-connection in-flight limit"),
+            payload);
+        sendFrame(Op::kSpmmResult, id, payload);
+        return;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    session_.submit(std::move(req),
+                    [self, id](serve::Result<fmt::DenseMatrix> r) {
+                        Buffer payload;
+                        encodeSpmmResult(r, payload);
+                        self->sendFrame(Op::kSpmmResult, id, payload);
+                        self->inflight_.fetch_sub(
+                            1, std::memory_order_relaxed);
+                    });
+}
+
+void
+Conn::submitSpadd(std::uint64_t id, serve::SpaddRequest req)
+{
+    if (connOverloaded()) {
+        Buffer payload;
+        encodeSpaddResult(
+            serve::Status(serve::StatusCode::kOverloaded,
+                          "per-connection in-flight limit"),
+            payload);
+        sendFrame(Op::kSpaddResult, id, payload);
+        return;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    session_.submit(std::move(req),
+                    [self, id](serve::Result<fmt::CooMatrix> r) {
+                        Buffer payload;
+                        encodeSpaddResult(r, payload);
+                        self->sendFrame(Op::kSpaddResult, id, payload);
+                        self->inflight_.fetch_sub(
+                            1, std::memory_order_relaxed);
+                    });
+}
+
+void
+Conn::sendFrame(Op op, std::uint64_t id, const Buffer& payload)
+{
+    const Buffer frame = frameMessage(op, id, payload);
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (write_failed_)
+        return; // peer already gone; drop late responses quietly
+    if (!writeFull(fd_.get(), frame.data(), frame.size())) {
+        write_failed_ = true;
+        return;
+    }
+    SMASH_TRACE_EVENT(obs::EventKind::kNetFrameTx,
+                      static_cast<std::uint32_t>(op),
+                      static_cast<std::uint32_t>(payload.size()));
+    txBytesHistogram().record(frame.size());
+}
+
+void
+Conn::sendError(std::uint64_t id, WireError error,
+                const std::string& detail)
+{
+    Buffer payload;
+    encodeError(error, detail, payload);
+    sendFrame(Op::kError, id, payload);
+}
+
+} // namespace smash::net

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * One accepted connection: a read loop decoding frames into typed
+ * serve::Session submits, and a write side fed by the session's
+ * completion callbacks.
+ *
+ * Threading shape: the read loop owns the receive direction on its
+ * own thread (thread-per-connection; the frame/session split keeps
+ * the protocol state machine in handleFrame(), so an epoll loop can
+ * later drive the same code from a readiness event). Responses are
+ * written by whichever pipeline worker completes the request —
+ * sendFrame() serializes writers on a per-connection mutex, so
+ * frames never interleave on the stream and responses may legally
+ * arrive out of submission order (the request id is the correlation
+ * key).
+ *
+ * Teardown safety (the use-after-free this layer must not have):
+ * completion callbacks capture shared_ptr<Conn>, so a connection
+ * object outlives every in-flight request even when the client
+ * vanishes mid-stream — the late write then fails with EPIPE and is
+ * dropped. Admission slots are not leaked by a disconnect: tickets
+ * release when the pipeline resolves each request, which happens
+ * whether or not the response can still be written. The owning
+ * Server joins the read thread only after Session::close() has
+ * returned, by which point no callback can still be running (the
+ * session's documented close() contract).
+ *
+ * Per-connection overload: maxInflight bounds this connection's
+ * outstanding requests *before* the session's global admission gate
+ * — one flooding client hits its own kOverloaded wall instead of
+ * eating the whole gate.
+ */
+
+#ifndef SMASH_NET_CONN_HH
+#define SMASH_NET_CONN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/codec.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "serve/session.hh"
+
+namespace smash::net
+{
+
+/** Which listener a connection arrived on. */
+enum class Transport : std::uint32_t
+{
+    kUnix = 0,
+    kTcp = 1,
+};
+
+const char* toString(Transport transport);
+
+/** Per-connection protocol limits (from ServerOptions). */
+struct ConnLimits
+{
+    std::uint64_t maxFrameBytes = kDefaultMaxFrameBytes;
+    Index maxInflight = 0; //!< outstanding requests; 0 = unbounded
+};
+
+/** One accepted connection (lifetime: shared between the server's
+ *  connection table and in-flight completion callbacks). */
+class Conn : public std::enable_shared_from_this<Conn>
+{
+  public:
+    Conn(serve::Session& session, Fd fd, Transport transport,
+         const ConnLimits& limits);
+    ~Conn();
+
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    /** Launch the read-loop thread (requires a live shared_ptr —
+     *  callbacks bind shared_from_this()). */
+    void start();
+
+    /** Unblock a read loop parked in read(2) (both directions shut
+     *  down; in-flight responses are dropped from here on). */
+    void wake();
+
+    /** Join the read-loop thread (call after wake(), and only once
+     *  the session can no longer invoke this connection's
+     *  callbacks). */
+    void join();
+
+    /** The read loop has exited (reaping hint; the object may still
+     *  be pinned by in-flight callbacks). */
+    bool finished() const
+    {
+        return done_.load(std::memory_order_acquire);
+    }
+
+    /** Requests currently between submit and response write. */
+    Index inflight() const
+    {
+        return inflight_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveLoop();
+    /** Decode + dispatch one frame; false ends the connection. */
+    bool handleFrame(const FrameHeader& header, const Buffer& payload);
+    void submitSpmv(std::uint64_t id, serve::SpmvRequest req);
+    void submitSpmm(std::uint64_t id, serve::SpmmRequest req);
+    void submitSpadd(std::uint64_t id, serve::SpaddRequest req);
+    /** True when this connection is at its inflight cap (the
+     *  request is then answered kOverloaded without submitting). */
+    bool connOverloaded() const;
+    /** Serialize + write one frame (drops silently once the peer or
+     *  the write side is gone). */
+    void sendFrame(Op op, std::uint64_t id, const Buffer& payload);
+    void sendError(std::uint64_t id, WireError error,
+                   const std::string& detail);
+
+    serve::Session& session_;
+    Fd fd_;
+    const Transport transport_;
+    const ConnLimits limits_;
+    std::mutex write_mutex_;
+    bool write_failed_ = false; //!< guarded by write_mutex_
+    std::atomic<Index> inflight_{0};
+    std::atomic<bool> done_{false};
+    std::thread thread_;
+};
+
+} // namespace smash::net
+
+#endif // SMASH_NET_CONN_HH

@@ -1,0 +1,172 @@
+#include "net/frame.hh"
+
+namespace smash::net
+{
+
+namespace
+{
+
+void
+putU16(std::uint8_t* p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32(std::uint8_t* p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(std::uint8_t* p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+getU16(const std::uint8_t* p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (std::uint16_t(p[1]) << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+isKnownOp(std::uint16_t op)
+{
+    switch (static_cast<Op>(op)) {
+      case Op::kPing:
+      case Op::kSpmv:
+      case Op::kSpmm:
+      case Op::kSpadd:
+      case Op::kPong:
+      case Op::kSpmvResult:
+      case Op::kSpmmResult:
+      case Op::kSpaddResult:
+      case Op::kError:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const char*
+toString(Op op)
+{
+    switch (op) {
+      case Op::kPing: return "ping";
+      case Op::kSpmv: return "spmv";
+      case Op::kSpmm: return "spmm";
+      case Op::kSpadd: return "spadd";
+      case Op::kPong: return "pong";
+      case Op::kSpmvResult: return "spmv_result";
+      case Op::kSpmmResult: return "spmm_result";
+      case Op::kSpaddResult: return "spadd_result";
+      case Op::kError: return "error";
+    }
+    return "unknown";
+}
+
+bool
+isRequestOp(Op op)
+{
+    switch (op) {
+      case Op::kPing:
+      case Op::kSpmv:
+      case Op::kSpmm:
+      case Op::kSpadd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Op
+responseOf(Op request)
+{
+    switch (request) {
+      case Op::kPing: return Op::kPong;
+      case Op::kSpmv: return Op::kSpmvResult;
+      case Op::kSpmm: return Op::kSpmmResult;
+      case Op::kSpadd: return Op::kSpaddResult;
+      default: return Op::kError;
+    }
+}
+
+const char*
+toString(WireError error)
+{
+    switch (error) {
+      case WireError::kBadMagic: return "bad_magic";
+      case WireError::kBadVersion: return "bad_version";
+      case WireError::kUnknownOp: return "unknown_op";
+      case WireError::kOversized: return "oversized";
+      case WireError::kMalformedPayload: return "malformed_payload";
+      case WireError::kTruncated: return "truncated";
+    }
+    return "unknown";
+}
+
+bool
+isRecoverable(WireError error)
+{
+    return error == WireError::kUnknownOp ||
+        error == WireError::kMalformedPayload;
+}
+
+void
+encodeHeader(const FrameHeader& header, std::uint8_t* out)
+{
+    putU32(out, kWireMagic);
+    putU16(out + 4, header.version);
+    putU16(out + 6, static_cast<std::uint16_t>(header.op));
+    putU64(out + 8, header.id);
+    putU64(out + 16, header.payloadBytes);
+}
+
+std::optional<WireError>
+decodeHeader(const std::uint8_t* bytes, std::uint64_t max_payload,
+             FrameHeader& out)
+{
+    if (getU32(bytes) != kWireMagic)
+        return WireError::kBadMagic;
+    out.version = getU16(bytes + 4);
+    if (out.version != kWireVersion)
+        return WireError::kBadVersion;
+    const std::uint16_t op = getU16(bytes + 6);
+    out.id = getU64(bytes + 8);
+    out.payloadBytes = getU64(bytes + 16);
+    // Length before op: an unknown op with a sane length is
+    // recoverable (skip the payload, answer kError), but an insane
+    // length poisons the stream regardless of the op.
+    if (out.payloadBytes > max_payload)
+        return WireError::kOversized;
+    if (!isKnownOp(op))
+        return WireError::kUnknownOp;
+    out.op = static_cast<Op>(op);
+    return std::nullopt;
+}
+
+} // namespace smash::net

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The wire format's outermost layer: a fixed 24-byte, little-endian,
+ * length-prefixed frame header. Every message on a SMASH connection
+ * — request, response, ping, or protocol error — is one frame:
+ *
+ *   offset  size  field
+ *   0       4     magic    0x534D5348 ("SMSH")
+ *   4       2     version  protocol version (kWireVersion)
+ *   6       2     op       Op code (request or response)
+ *   8       8     id       request id, chosen by the client and
+ *                          echoed verbatim on the response
+ *   16      8     len      payload bytes following the header
+ *
+ * Framing errors are typed (WireError) and split into two classes:
+ * recoverable ones (unknown op, malformed payload) arrive on an
+ * intact frame boundary, so the server answers with an Op::kError
+ * frame and keeps the connection; unrecoverable ones (bad magic,
+ * bad version, oversized length prefix, mid-frame disconnect) mean
+ * the byte stream can no longer be trusted, so the server sends a
+ * best-effort kError frame and closes.
+ *
+ * Integers are encoded little-endian by explicit byte shifts (no
+ * struct punning), Values (doubles) as their IEEE-754 bit pattern —
+ * decode(encode(x)) is bit-identical for every payload, including
+ * NaNs. See docs/networking.md for the payload layouts.
+ */
+
+#ifndef SMASH_NET_FRAME_HH
+#define SMASH_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace smash::net
+{
+
+/** "SMSH" — rejects non-SMASH peers and desynced streams. */
+inline constexpr std::uint32_t kWireMagic = 0x534D5348;
+
+/** Bumped on any incompatible layout change. */
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/** Encoded size of a FrameHeader. */
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/** Default ceiling on one frame's payload (64 MiB); a length prefix
+ *  beyond the configured ceiling is kOversized — the stream is not
+ *  read further. */
+inline constexpr std::uint64_t kDefaultMaxFrameBytes =
+    std::uint64_t(64) << 20;
+
+/** Message kinds. Requests are < 128; a response's op is its
+ *  request's op | 0x80; kError answers any frame. */
+enum class Op : std::uint16_t
+{
+    kPing = 0,
+    kSpmv = 1,
+    kSpmm = 2,
+    kSpadd = 3,
+    kPong = 128,
+    kSpmvResult = 129,
+    kSpmmResult = 130,
+    kSpaddResult = 131,
+    kError = 255,
+};
+
+/** Stable short name ("spmv", "error", ...). */
+const char* toString(Op op);
+
+/** True for ops a client may send. */
+bool isRequestOp(Op op);
+
+/** The response op answering @p request (kError for unknowns). */
+Op responseOf(Op request);
+
+/** Typed protocol failure (the payload of an Op::kError frame and
+ *  the decoder's verdict on a bad header). Values are wire-stable. */
+enum class WireError : std::uint16_t
+{
+    kBadMagic = 0,        //!< first four bytes are not "SMSH"
+    kBadVersion = 1,      //!< version field != kWireVersion
+    kUnknownOp = 2,       //!< op code is not a known request
+    kOversized = 3,       //!< length prefix beyond the ceiling
+    kMalformedPayload = 4, //!< payload failed to decode
+    kTruncated = 5,       //!< peer vanished mid-frame
+};
+
+/** Stable short name ("bad_magic", ...). */
+const char* toString(WireError error);
+
+/** True when the connection can keep serving after @p error (the
+ *  failure arrived on an intact frame boundary). */
+bool isRecoverable(WireError error);
+
+/** Decoded frame header (magic checked and stripped). */
+struct FrameHeader
+{
+    std::uint16_t version = kWireVersion;
+    Op op = Op::kPing;
+    std::uint64_t id = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+/** Encode @p header into @p out[kHeaderBytes]. */
+void encodeHeader(const FrameHeader& header, std::uint8_t* out);
+
+/**
+ * Decode @p bytes[kHeaderBytes]. Returns the failure class —
+ * kBadMagic / kBadVersion / kOversized (length prefix beyond
+ * @p max_payload) / kUnknownOp (an op neither side defines) — or
+ * nullopt on success with @p out filled. The op-class check accepts
+ * both request and response ops; callers enforce direction.
+ */
+std::optional<WireError> decodeHeader(const std::uint8_t* bytes,
+                                      std::uint64_t max_payload,
+                                      FrameHeader& out);
+
+} // namespace smash::net
+
+#endif // SMASH_NET_FRAME_HH

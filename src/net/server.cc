@@ -1,0 +1,160 @@
+#include "net/server.hh"
+
+#include <utility>
+
+#include "obs/metrics.hh"
+
+namespace smash::net
+{
+
+namespace
+{
+
+obs::Gauge&
+openConnsGauge()
+{
+    static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+        "smash_net_connections_open");
+    return g;
+}
+
+obs::Counter&
+acceptedCounter(Transport transport)
+{
+    if (transport == Transport::kUnix) {
+        static obs::Counter& c = obs::MetricsRegistry::global().counter(
+            "smash_net_connections_total{transport=\"unix\"}");
+        return c;
+    }
+    static obs::Counter& c = obs::MetricsRegistry::global().counter(
+        "smash_net_connections_total{transport=\"tcp\"}");
+    return c;
+}
+
+} // namespace
+
+Server::Server(serve::MatrixRegistry& registry,
+               const ServerOptions& options)
+    : registry_(registry), options_(options),
+      session_(registry, options.session)
+{
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+bool
+Server::start(std::string& error)
+{
+    if (options_.unixPath.empty() && options_.tcpPort < 0) {
+        error = "no listener configured (need a unix path or a "
+                "tcp port)";
+        return false;
+    }
+    if (!options_.unixPath.empty()) {
+        unix_listener_ = listenUnix(options_.unixPath, error);
+        if (!unix_listener_.valid())
+            return false;
+    }
+    if (options_.tcpPort >= 0) {
+        tcp_listener_ = listenTcp(
+            static_cast<std::uint16_t>(options_.tcpPort), tcp_port_,
+            error);
+        if (!tcp_listener_.valid()) {
+            unix_listener_.reset();
+            return false;
+        }
+    }
+    if (unix_listener_.valid())
+        accept_threads_.emplace_back([this] {
+            acceptLoop(unix_listener_.get(), Transport::kUnix);
+        });
+    if (tcp_listener_.valid())
+        accept_threads_.emplace_back([this] {
+            acceptLoop(tcp_listener_.get(), Transport::kTcp);
+        });
+    return true;
+}
+
+void
+Server::acceptLoop(int listen_fd, Transport transport)
+{
+    const ConnLimits limits{options_.maxFrameBytes,
+                            options_.maxInflightPerConn};
+    while (!draining_.load(std::memory_order_acquire)) {
+        Fd fd = acceptConn(listen_fd);
+        if (!fd.valid())
+            break; // listener shut down (or hard failure)
+        if (draining_.load(std::memory_order_acquire))
+            break; // raced with beginShutdown(); drop the fd
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        acceptedCounter(transport).inc();
+        openConnsGauge().add(1);
+        auto conn = std::make_shared<Conn>(session_, std::move(fd),
+                                           transport, limits);
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            // Reap connections whose read loop already exited, so a
+            // long-lived server's table tracks live peers rather
+            // than its whole history.
+            std::erase_if(conns_,
+                          [](const std::shared_ptr<Conn>& c) {
+                              if (!c->finished())
+                                  return false;
+                              c->join();
+                              openConnsGauge().add(-1);
+                              return true;
+                          });
+            conns_.push_back(conn);
+        }
+        conn->start();
+    }
+}
+
+void
+Server::beginShutdown()
+{
+    if (draining_.exchange(true, std::memory_order_acq_rel))
+        return;
+    // Stop the accept loops first so no connection appears while the
+    // session drains...
+    unix_listener_.shutdownBoth();
+    tcp_listener_.shutdownBoth();
+    // ...then close the session. Connected clients keep getting
+    // typed responses: anything already admitted drains to its real
+    // result, everything submitted from here on resolves to
+    // kShuttingDown and is written back before the sockets die.
+    // close() returns only once the admission gate is empty, i.e.
+    // no completion callback (socket writer) is still running.
+    session_.close();
+}
+
+void
+Server::shutdown()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    beginShutdown();
+    for (std::thread& t : accept_threads_)
+        t.join();
+    accept_threads_.clear();
+    unix_listener_.reset();
+    tcp_listener_.reset();
+
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns.swap(conns_);
+    }
+    // Safe to join: beginShutdown()'s session close already
+    // guaranteed no callback still holds a connection's write path.
+    for (const std::shared_ptr<Conn>& c : conns) {
+        c->wake();
+        c->join();
+        openConnsGauge().add(-1);
+    }
+}
+
+} // namespace smash::net

@@ -1,0 +1,220 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace smash::net
+{
+
+namespace
+{
+
+std::string
+errnoString(const char* what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Loopback-or-dotted-quad resolver (no getaddrinfo: the server and
+ *  its clients speak IPv4 addresses, not names). */
+bool
+parseHost(const std::string& host, in_addr& out)
+{
+    if (host.empty() || host == "localhost")
+        return ::inet_pton(AF_INET, "127.0.0.1", &out) == 1;
+    return ::inet_pton(AF_INET, host.c_str(), &out) == 1;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Fd::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd
+listenUnix(const std::string& path, std::string& error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "unix socket path too long: " + path;
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoString("socket");
+        return Fd();
+    }
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoString(("bind " + path).c_str());
+        return Fd();
+    }
+    if (::listen(fd.get(), 128) != 0) {
+        error = errnoString("listen");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+listenTcp(std::uint16_t port, std::uint16_t& bound_port,
+          std::string& error)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoString("socket");
+        return Fd();
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoString("bind");
+        return Fd();
+    }
+    if (::listen(fd.get(), 128) != 0) {
+        error = errnoString("listen");
+        return Fd();
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0) {
+        error = errnoString("getsockname");
+        return Fd();
+    }
+    bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+Fd
+acceptConn(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR)
+            continue;
+        return Fd();
+    }
+}
+
+Fd
+connectUnix(const std::string& path, std::string& error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "unix socket path too long: " + path;
+        return Fd();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoString("socket");
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoString(("connect " + path).c_str());
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectTcp(const std::string& host, std::uint16_t port,
+           std::string& error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!parseHost(host, addr.sin_addr)) {
+        error = "cannot parse host address: " + host;
+        return Fd();
+    }
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoString("socket");
+        return Fd();
+    }
+    // Request/response frames are latency-bound and written whole;
+    // Nagle only adds delay on the small ones.
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoString("connect");
+        return Fd();
+    }
+    return fd;
+}
+
+IoResult
+readFull(int fd, void* buf, std::size_t n)
+{
+    auto* p = static_cast<std::uint8_t*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return got == 0 ? IoResult::kEof : IoResult::kTruncated;
+        if (errno == EINTR)
+            continue;
+        return IoResult::kError;
+    }
+    return IoResult::kOk;
+}
+
+bool
+writeFull(int fd, const void* buf, std::size_t n)
+{
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t r =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r > 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace smash::net

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Thin POSIX socket layer under the wire protocol: an RAII fd,
+ * listeners and connectors for the two supported transports
+ * (Unix-domain and TCP over loopback/interfaces), and exact-length
+ * read/write helpers with the failure taxonomy the framing layer
+ * needs — a clean EOF on a frame boundary is distinguished from a
+ * peer vanishing mid-frame.
+ *
+ * SIGPIPE never fires from this layer: every write goes through
+ * send(MSG_NOSIGNAL), so writing to a connection the peer already
+ * closed fails with EPIPE like any other I/O error instead of
+ * killing the process. (smash_serverd additionally ignores SIGPIPE
+ * process-wide, belt and braces.)
+ *
+ * All helpers retry EINTR. Errors are reported as errno strings via
+ * out-parameters — nothing in this layer throws.
+ */
+
+#ifndef SMASH_NET_SOCKET_HH
+#define SMASH_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace smash::net
+{
+
+/** Owning file descriptor (move-only; closes on destruction). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+    Fd&
+    operator=(Fd&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int get() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** ::shutdown(SHUT_RDWR) without closing: wakes a thread blocked
+     *  in accept/read on this fd from another thread, while keeping
+     *  the descriptor valid until the owner drops it. */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bind + listen on a Unix-domain socket at @p path (any stale
+ *  socket file there is unlinked first). Invalid Fd + @p error on
+ *  failure. */
+Fd listenUnix(const std::string& path, std::string& error);
+
+/** Bind + listen on TCP @p port (0 = ephemeral); @p bound_port
+ *  reports the actual port. */
+Fd listenTcp(std::uint16_t port, std::uint16_t& bound_port,
+             std::string& error);
+
+/** Accept one connection; invalid Fd when the listener was shut
+ *  down or failed. */
+Fd acceptConn(int listen_fd);
+
+Fd connectUnix(const std::string& path, std::string& error);
+Fd connectTcp(const std::string& host, std::uint16_t port,
+              std::string& error);
+
+/** Outcome of an exact-length read. */
+enum class IoResult
+{
+    kOk,       //!< all @p n bytes arrived
+    kEof,      //!< peer closed before the first byte (clean close)
+    kTruncated, //!< peer closed after some bytes (mid-message)
+    kError,    //!< read(2) failed
+};
+
+/** Read exactly @p n bytes (EINTR-safe). */
+IoResult readFull(int fd, void* buf, std::size_t n);
+
+/** Write exactly @p n bytes via send(MSG_NOSIGNAL); false on any
+ *  failure (including EPIPE from a vanished peer). */
+bool writeFull(int fd, const void* buf, std::size_t n);
+
+} // namespace smash::net
+
+#endif // SMASH_NET_SOCKET_HH

@@ -206,6 +206,9 @@ kindInfo(std::uint16_t kind)
       case EventKind::kPlanCacheHit: return {"hit", "plan_cache"};
       case EventKind::kPlanCacheMiss: return {"miss", "plan_cache"};
       case EventKind::kEpochSwap: return {"epoch_swap", "registry"};
+      case EventKind::kNetFrameRx: return {"rx", "net"};
+      case EventKind::kNetFrameTx: return {"tx", "net"};
+      case EventKind::kNetConn: return {"conn", "net"};
     }
     return {"unknown", "unknown"};
 }

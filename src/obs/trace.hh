@@ -60,6 +60,10 @@ enum class EventKind : std::uint16_t
     kPlanCacheHit = 9,    //!< plan served from cache (a0 kind)
     kPlanCacheMiss = 10,  //!< plan built cold (a0 kind)
     kEpochSwap = 11,      //!< registry re-encode epoch swap
+    kNetFrameRx = 12,     //!< wire frame read (a0 op, a1 bytes)
+    kNetFrameTx = 13,     //!< wire frame written (a0 op, a1 bytes)
+    kNetConn = 14,        //!< connection lifecycle (a0 1=open
+                          //!< 0=close, a1 transport)
 };
 
 /** Batcher flush reasons (kBatchFlush a0). */

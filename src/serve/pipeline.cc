@@ -278,10 +278,13 @@ Pipeline::deliver(Request& request, Work& work, T value)
         .record(now - request.submitted);
     recordStages(request, now);
     SMASH_TRACE_EVENT(obs::EventKind::kPipelineDeliver, 1);
-    work.result.set_value(Result<T>(std::move(value)));
-    // Release the admission slot before finish(): the session may
-    // tear its gate down the instant the in-flight count reaches
-    // zero, so the ticket must not outlive that accounting.
+    work.done.resolve(Result<T>(std::move(value)));
+    // Release the admission slot only after the completion resolved
+    // (promise satisfied or callback returned), and before finish():
+    // the session may tear its gate down the instant the in-flight
+    // count reaches zero, so the ticket must not outlive that
+    // accounting — and a completion callback must never still be
+    // running once Session::close() observes an empty gate.
     request.ticket.reset();
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     finish(1, true);

@@ -149,25 +149,59 @@ struct QueueKeyHash
     }
 };
 
-/** Payload + promise of one in-flight SpMV request. */
+/**
+ * Completion channel of one in-flight request: the future's promise
+ * by default, or — for remote completion, where the consumer is a
+ * socket writer rather than an in-process future holder — a
+ * callback. resolve() routes to whichever is set; the pipeline
+ * always resolves *before* releasing the admission ticket, so
+ * Session::close() returning guarantees every callback has returned
+ * (the wire layer's teardown safety rests on that ordering).
+ * Callbacks run on a pipeline worker (or inline on the submitting
+ * thread for validation/admission failures) and must not throw —
+ * an escaping exception is swallowed so it cannot take down the
+ * worker or strand the batch's remaining requests.
+ */
+template <typename T>
+struct Completion
+{
+    std::promise<Result<T>> result;
+    std::function<void(Result<T>)> onComplete;
+
+    void
+    resolve(Result<T> r)
+    {
+        if (onComplete) {
+            try {
+                onComplete(std::move(r));
+            } catch (...) {
+                // Callbacks must not throw; see above.
+            }
+            return;
+        }
+        result.set_value(std::move(r));
+    }
+};
+
+/** Payload + completion of one in-flight SpMV request. */
 struct SpmvWork
 {
     std::vector<Value> x;
-    std::promise<Result<std::vector<Value>>> result;
+    Completion<std::vector<Value>> done;
 };
 
-/** Payload + promise of one in-flight SpMM request. */
+/** Payload + completion of one in-flight SpMM request. */
 struct SpmmWork
 {
     fmt::DenseMatrix b;
-    std::promise<Result<fmt::DenseMatrix>> result;
+    Completion<fmt::DenseMatrix> done;
 };
 
-/** Payload + promise of one in-flight SpAdd request. */
+/** Payload + completion of one in-flight SpAdd request. */
 struct SpaddWork
 {
     std::string other; //!< the B operand's registry name
-    std::promise<Result<fmt::CooMatrix>> result;
+    Completion<fmt::CooMatrix> done;
 };
 
 /**
@@ -202,11 +236,11 @@ struct Request
         return static_cast<OpClass>(work.index());
     }
 
-    /** Resolve the promise (whichever op) with a failure status. */
+    /** Resolve the completion (whichever op) with a failure status. */
     void
     fail(const Status& status)
     {
-        std::visit([&](auto& w) { w.result.set_value(status); }, work);
+        std::visit([&](auto& w) { w.done.resolve(status); }, work);
         // Release the admission slot before the pipeline's finish()
         // accounting runs: teardown may proceed the instant the
         // in-flight count hits zero, so the gate must not be

@@ -165,12 +165,18 @@ Session::release(const std::string& matrix)
             gate_.perMatrix.erase(it);
         if (gate_.total > 0)
             --gate_.total;
+        // Notify while still holding the lock (teardown audit): the
+        // close() loop can only observe total == 0 after acquiring
+        // gate_.mutex, i.e. after this releaser has finished
+        // notifying and unlocked — so a dying Session can never
+        // destroy the condition variable out from under a
+        // notify_all() still in flight on a pool worker.
+        gate_.freed.notify_all();
     }
     static obs::Gauge& inflight =
         obs::MetricsRegistry::global().gauge(
             "smash_admission_inflight");
     inflight.add(-1);
-    gate_.freed.notify_all();
 }
 
 template <typename Work>
@@ -192,31 +198,93 @@ Session::launch(QueueKey key, const RequestOptions& options,
     pipeline_.postPrepare(key, std::move(envelope), batcher_);
 }
 
+Status
+Session::precheck(const SpmvRequest& req) const
+{
+    if (Status s = validateMatrix(req.matrix); !s.ok())
+        return s;
+    const Index cols = registry_.cols(req.matrix);
+    if (static_cast<Index>(req.x.size()) != cols)
+        return Status(
+            StatusCode::kInvalidOperand,
+            "operand for '" + req.matrix + "' has length " +
+                std::to_string(req.x.size()) + ", matrix has " +
+                std::to_string(cols) + " columns");
+    return Status();
+}
+
+Status
+Session::precheck(const SpmmRequest& req) const
+{
+    if (Status s = validateMatrix(req.matrix); !s.ok())
+        return s;
+    const Index cols = registry_.cols(req.matrix);
+    if (req.b.rows() != cols)
+        return Status(
+            StatusCode::kInvalidOperand,
+            "B block for '" + req.matrix + "' has " +
+                std::to_string(req.b.rows()) + " rows, matrix has " +
+                std::to_string(cols) + " columns");
+    if (req.b.cols() < 1)
+        return Status(StatusCode::kInvalidOperand,
+                      "B block carries no right-hand sides");
+    return Status();
+}
+
+Status
+Session::precheck(const SpaddRequest& req) const
+{
+    if (Status s = validateMatrix(req.a); !s.ok())
+        return s;
+    if (Status s = validateMatrix(req.b); !s.ok())
+        return s;
+    if (registry_.rows(req.a) != registry_.rows(req.b) ||
+        registry_.cols(req.a) != registry_.cols(req.b))
+        return Status(StatusCode::kInvalidOperand,
+                      "spadd operands '" + req.a + "' and '" + req.b +
+                          "' have different shapes");
+    return Status();
+}
+
 std::future<Result<std::vector<Value>>>
 Session::submit(SpmvRequest req)
 {
     const auto now = Request::Clock::now();
     const auto expiry = expiryOf(now, req.options);
-    if (Status s = validateMatrix(req.matrix); !s.ok())
+    if (Status s = precheck(req); !s.ok())
         return readyFuture<std::vector<Value>>(std::move(s));
-    const Index cols = registry_.cols(req.matrix);
-    if (static_cast<Index>(req.x.size()) != cols)
-        return readyFuture<std::vector<Value>>(Status(
-            StatusCode::kInvalidOperand,
-            "operand for '" + req.matrix + "' has length " +
-                std::to_string(req.x.size()) + ", matrix has " +
-                std::to_string(cols) + " columns"));
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket)
         return readyFuture<std::vector<Value>>(
             std::move(admitted.status));
     SpmvWork work{std::move(req.x), {}};
     std::future<Result<std::vector<Value>>> future =
-        work.result.get_future();
+        work.done.result.get_future();
     launch(QueueKey{std::move(req.matrix), OpClass::kSpmv},
            req.options, now, expiry, std::move(admitted.ticket),
            std::move(work));
     return future;
+}
+
+void
+Session::submit(SpmvRequest req, SpmvCallback done)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = precheck(req); !s.ok()) {
+        done(Result<std::vector<Value>>(std::move(s)));
+        return;
+    }
+    Admitted admitted = admit(req.matrix, req.options, expiry);
+    if (!admitted.ticket) {
+        done(Result<std::vector<Value>>(std::move(admitted.status)));
+        return;
+    }
+    SpmvWork work{std::move(req.x), {}};
+    work.done.onComplete = std::move(done);
+    launch(QueueKey{std::move(req.matrix), OpClass::kSpmv},
+           req.options, now, expiry, std::move(admitted.ticket),
+           std::move(work));
 }
 
 std::future<Result<fmt::DenseMatrix>>
@@ -224,30 +292,40 @@ Session::submit(SpmmRequest req)
 {
     const auto now = Request::Clock::now();
     const auto expiry = expiryOf(now, req.options);
-    if (Status s = validateMatrix(req.matrix); !s.ok())
+    if (Status s = precheck(req); !s.ok())
         return readyFuture<fmt::DenseMatrix>(std::move(s));
-    const Index cols = registry_.cols(req.matrix);
-    if (req.b.rows() != cols)
-        return readyFuture<fmt::DenseMatrix>(Status(
-            StatusCode::kInvalidOperand,
-            "B block for '" + req.matrix + "' has " +
-                std::to_string(req.b.rows()) + " rows, matrix has " +
-                std::to_string(cols) + " columns"));
-    if (req.b.cols() < 1)
-        return readyFuture<fmt::DenseMatrix>(
-            Status(StatusCode::kInvalidOperand,
-                   "B block carries no right-hand sides"));
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket)
         return readyFuture<fmt::DenseMatrix>(
             std::move(admitted.status));
     SpmmWork work{std::move(req.b), {}};
     std::future<Result<fmt::DenseMatrix>> future =
-        work.result.get_future();
+        work.done.result.get_future();
     launch(QueueKey{std::move(req.matrix), OpClass::kSpmm},
            req.options, now, expiry, std::move(admitted.ticket),
            std::move(work));
     return future;
+}
+
+void
+Session::submit(SpmmRequest req, SpmmCallback done)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = precheck(req); !s.ok()) {
+        done(Result<fmt::DenseMatrix>(std::move(s)));
+        return;
+    }
+    Admitted admitted = admit(req.matrix, req.options, expiry);
+    if (!admitted.ticket) {
+        done(Result<fmt::DenseMatrix>(std::move(admitted.status)));
+        return;
+    }
+    SpmmWork work{std::move(req.b), {}};
+    work.done.onComplete = std::move(done);
+    launch(QueueKey{std::move(req.matrix), OpClass::kSpmm},
+           req.options, now, expiry, std::move(admitted.ticket),
+           std::move(work));
 }
 
 std::future<Result<fmt::CooMatrix>>
@@ -255,25 +333,37 @@ Session::submit(SpaddRequest req)
 {
     const auto now = Request::Clock::now();
     const auto expiry = expiryOf(now, req.options);
-    if (Status s = validateMatrix(req.a); !s.ok())
+    if (Status s = precheck(req); !s.ok())
         return readyFuture<fmt::CooMatrix>(std::move(s));
-    if (Status s = validateMatrix(req.b); !s.ok())
-        return readyFuture<fmt::CooMatrix>(std::move(s));
-    if (registry_.rows(req.a) != registry_.rows(req.b) ||
-        registry_.cols(req.a) != registry_.cols(req.b))
-        return readyFuture<fmt::CooMatrix>(
-            Status(StatusCode::kInvalidOperand,
-                   "spadd operands '" + req.a + "' and '" + req.b +
-                       "' have different shapes"));
     Admitted admitted = admit(req.a, req.options, expiry);
     if (!admitted.ticket)
         return readyFuture<fmt::CooMatrix>(std::move(admitted.status));
     SpaddWork work{std::move(req.b), {}};
     std::future<Result<fmt::CooMatrix>> future =
-        work.result.get_future();
+        work.done.result.get_future();
     launch(QueueKey{std::move(req.a), OpClass::kSpadd}, req.options,
            now, expiry, std::move(admitted.ticket), std::move(work));
     return future;
+}
+
+void
+Session::submit(SpaddRequest req, SpaddCallback done)
+{
+    const auto now = Request::Clock::now();
+    const auto expiry = expiryOf(now, req.options);
+    if (Status s = precheck(req); !s.ok()) {
+        done(Result<fmt::CooMatrix>(std::move(s)));
+        return;
+    }
+    Admitted admitted = admit(req.a, req.options, expiry);
+    if (!admitted.ticket) {
+        done(Result<fmt::CooMatrix>(std::move(admitted.status)));
+        return;
+    }
+    SpaddWork work{std::move(req.b), {}};
+    work.done.onComplete = std::move(done);
+    launch(QueueKey{std::move(req.a), OpClass::kSpadd}, req.options,
+           now, expiry, std::move(admitted.ticket), std::move(work));
 }
 
 std::future<std::vector<Value>>

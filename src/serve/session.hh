@@ -96,6 +96,13 @@ struct SessionOptions
 class Session
 {
   public:
+    /** Completion callbacks of the remote-delivery submit overloads
+     *  (the network layer's socket writers). */
+    using SpmvCallback =
+        std::function<void(Result<std::vector<Value>>)>;
+    using SpmmCallback = std::function<void(Result<fmt::DenseMatrix>)>;
+    using SpaddCallback = std::function<void(Result<fmt::CooMatrix>)>;
+
     explicit Session(MatrixRegistry& registry,
                      const SessionOptions& options = {});
 
@@ -122,6 +129,26 @@ class Session
 
     /** Submit A + B over two registered matrices (same shape). */
     std::future<Result<fmt::CooMatrix>> submit(SpaddRequest req);
+
+    /**
+     * Remote-completion submits: instead of a future, the result is
+     * pushed through @p done — the channel the network front door
+     * uses to write responses back to a socket. Semantics match the
+     * future overloads exactly (same validation, admission, and
+     * status model); validation/admission failures invoke @p done
+     * inline on the calling thread, successes and pipeline failures
+     * invoke it on a pipeline worker. @p done must not throw.
+     *
+     * Teardown contract (load-bearing for connection teardown): a
+     * request's completion is always resolved *before* its admission
+     * ticket is released, and close() returns only once the
+     * admission gate is empty — so after close() returns, no
+     * callback is still running and none will run. Callers may then
+     * free whatever state their callbacks capture.
+     */
+    void submit(SpmvRequest req, SpmvCallback done);
+    void submit(SpmmRequest req, SpmmCallback done);
+    void submit(SpaddRequest req, SpaddCallback done);
 
     /**
      * Legacy SpMV entry — a shim over the typed path: statuses
@@ -182,6 +209,11 @@ class Session
 
     /** kNotFound/kInvalidOperand checks shared by the submits. */
     Status validateMatrix(const std::string& name) const;
+    /** Full pre-admission validation per op class (shared by the
+     *  future- and callback-returning submit overloads). */
+    Status precheck(const SpmvRequest& req) const;
+    Status precheck(const SpmmRequest& req) const;
+    Status precheck(const SpaddRequest& req) const;
     /** Take one in-flight slot (or block/deny per @p options). */
     Admitted admit(const std::string& matrix,
                    const RequestOptions& options,
