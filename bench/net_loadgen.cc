@@ -29,6 +29,11 @@
  *      leg uses 4) while at least one request still succeeds;
  *   4. a 1 us deadline observes kDeadlineExceeded over the wire.
  *
+ * Metrics mode (--metrics): fetch the server's Prometheus
+ * exposition over the wire (Op::kMetrics) and print it verbatim —
+ * the CI leg pipes this through grep to assert known families are
+ * live on a real endpoint.
+ *
  * Endpoint flags: --unix PATH | --tcp PORT [--host H] — exactly one
  * transport. Sweep knobs: --conns A,B,... --window N --duration-ms D.
  */
@@ -377,11 +382,30 @@ runSmoke(const Endpoint& ep)
 }
 
 int
+runMetrics(const Endpoint& ep)
+{
+    net::Client client;
+    std::string error;
+    if (!connectClient(client, ep, error)) {
+        std::cerr << "metrics: connect failed: " << error << "\n";
+        return 1;
+    }
+    const serve::Result<std::string> text = client.metrics();
+    if (!text.ok()) {
+        std::cerr << "metrics: " << text.status().message() << "\n";
+        return 1;
+    }
+    std::cout << text.value();
+    return 0;
+}
+
+int
 usage(const char* argv0)
 {
     std::cerr
         << "usage: " << argv0
-        << " (--unix PATH | --tcp PORT [--host H]) [--smoke]\n"
+        << " (--unix PATH | --tcp PORT [--host H]) "
+           "[--smoke | --metrics]\n"
         << "       [--conns A,B,...] [--window N] [--duration-ms D]\n";
     return 2;
 }
@@ -393,6 +417,7 @@ main(int argc, char** argv)
 {
     Endpoint ep;
     bool smoke = false;
+    bool metrics = false;
     std::vector<int> conns = {1, 2, 4, 8};
     int window = 4;
     int duration_ms = 2000;
@@ -408,6 +433,8 @@ main(int argc, char** argv)
             ep.host = argv[++i];
         } else if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
         } else if (arg == "--window" && has_value) {
             window = std::max(1, std::atoi(argv[++i]));
         } else if (arg == "--duration-ms" && has_value) {
@@ -433,6 +460,8 @@ main(int argc, char** argv)
     if (ep.unixPath.empty() == (ep.tcpPort < 0))
         return usage(argv[0]); // exactly one transport
 
+    if (metrics)
+        return runMetrics(ep);
     if (smoke)
         return runSmoke(ep);
 

@@ -14,6 +14,11 @@
  *                 oracle divergence or a nonsensical record
  *   --isa LEVEL   force the kernel ISA level (scalar|avx2|avx512);
  *                 exits 1 on a level the host cannot execute
+ *   --shards K    append sharded-vs-unsharded SpMV A/B rows: the
+ *                 same workload served scatter–gather through a
+ *                 K-band shard::ShardedMatrix (per-shard formats,
+ *                 NUMA-subset first-touch) vs the monolithic
+ *                 engine call; speedup = t_unsharded / t_sharded
  *   --out FILE    write the JSON there instead of stdout
  *   --metrics     after the suite, print the Prometheus text
  *                 exposition of every smash_* metric the run
@@ -39,6 +44,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -56,6 +62,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serve/session.hh"
+#include "shard/sharded_matrix.hh"
 #include "workloads/matrix_gen.hh"
 
 namespace smash::bench
@@ -147,6 +154,7 @@ run(int argc, char** argv)
 {
     bool smoke = false;
     bool metrics = false;
+    int shards = 0;
     std::string out_path;
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
@@ -154,6 +162,9 @@ run(int argc, char** argv)
             smoke = true;
         } else if (i > 0 && std::strcmp(argv[i], "--metrics") == 0) {
             metrics = true;
+        } else if (i > 0 && std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            shards = std::max(0, std::atoi(argv[++i]));
         } else if (i > 0 && std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
@@ -329,6 +340,50 @@ run(int argc, char** argv)
         }
         eng::setTileMode(eng::TileMode::kAuto);
         eng::setTileCols(0);
+    }
+
+    // --- Sharded vs unsharded SpMV A/B (--shards K). ---
+    // The same workload, scatter–gathered through a K-band
+    // ShardedMatrix (per-shard format selection, per-shard plan
+    // caches, NUMA-subset first-touch) against the monolithic
+    // engine call at each thread count. speedup is the honest
+    // t_unsharded / t_sharded ratio.
+    if (shards > 0) {
+        const shard::ShardedMatrix sm(
+            "bench", csr.as<fmt::CsrMatrix>(),
+            static_cast<Index>(shards));
+        std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
+        std::vector<int> shard_counts;
+        for (int t : {1, cli.threads})
+            if (std::find(shard_counts.begin(), shard_counts.end(),
+                          t) == shard_counts.end())
+                shard_counts.push_back(t);
+        for (int t : shard_counts) {
+            exec::ThreadPool pool(
+                exec::ThreadPool::Options{t, cli.pin});
+            exec::ParallelExec pe(pool);
+            eng::spmv(csr.ref(), x, y, pe); // warm plans + arenas
+            const double unsharded = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                eng::spmv(csr.ref(), x, y, pe);
+            });
+            std::fill(y.begin(), y.end(), Value(0));
+            sm.spmv(x, y, &pool); // warm per-shard plans
+            const double sharded = bestSeconds(reps, [&] {
+                std::fill(y.begin(), y.end(), Value(0));
+                sm.spmv(x, y, &pool);
+            });
+            max_err = std::max(max_err, maxAbsDiff(y, oracle));
+            Record r;
+            r.bench = "spmv_sharded";
+            r.format = "shards" + std::to_string(shards);
+            r.threads = t;
+            r.nsPerOp = sharded * 1e9;
+            r.speedup = unsharded / sharded;
+            r.isa = activeIsaName();
+            r.dispatch = "scatter_gather";
+            records.push_back(r);
+        }
     }
 
     // --- SpMM (CSR x CSC, 32 columns) ns/op. ---

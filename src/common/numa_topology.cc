@@ -1,0 +1,149 @@
+#include "common/numa_topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace smash::sys
+{
+
+namespace
+{
+
+/** Parse a sysfs cpulist ("0-3,8,10-11") into sorted CPU ids. */
+std::vector<int>
+parseCpuList(const std::string& text)
+{
+    std::vector<int> cpus;
+    std::stringstream ss(text);
+    std::string range;
+    while (std::getline(ss, range, ',')) {
+        if (range.empty() || !std::isdigit(static_cast<unsigned char>(range[0])))
+            continue;
+        const std::size_t dash = range.find('-');
+        char* end = nullptr;
+        const long lo = std::strtol(range.c_str(), &end, 10);
+        long hi = lo;
+        if (dash != std::string::npos)
+            hi = std::strtol(range.c_str() + dash + 1, &end, 10);
+        for (long c = lo; c <= hi && c - lo < 4096; ++c)
+            cpus.push_back(static_cast<int>(c));
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+int
+hardwareCpus()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+NumaNode
+fallbackNode()
+{
+    NumaNode n;
+    n.id = 0;
+    const int ncpu = hardwareCpus();
+    n.cpus.reserve(static_cast<std::size_t>(ncpu));
+    for (int c = 0; c < ncpu; ++c)
+        n.cpus.push_back(c);
+    return n;
+}
+
+}  // namespace
+
+int
+NumaTopology::cpuCount() const
+{
+    std::size_t n = 0;
+    for (const NumaNode& node : nodes_)
+        n += node.cpus.size();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::vector<int>
+NumaTopology::nodeMajorCpuOrder() const
+{
+    std::vector<int> order;
+    for (const NumaNode& node : nodes_)
+        order.insert(order.end(), node.cpus.begin(), node.cpus.end());
+    if (order.empty())
+        order.push_back(0);
+    return order;
+}
+
+std::vector<int>
+NumaTopology::shardCpus(int shard, int shards) const
+{
+    if (shards < 1)
+        shards = 1;
+    if (shard < 0)
+        shard = 0;
+    if (nodeCount() > 1) {
+        const NumaNode& n = node(shard % nodeCount());
+        if (!n.cpus.empty())
+            return n.cpus;
+    }
+    // 1-node host (or an empty node entry): round-robin the flat
+    // CPU list into `shards` interleaved subsets.
+    const std::vector<int> order = nodeMajorCpuOrder();
+    std::vector<int> cpus;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        if (static_cast<int>(i) % shards == shard % shards)
+            cpus.push_back(order[i]);
+    if (cpus.empty())
+        cpus.push_back(order[static_cast<std::size_t>(shard) % order.size()]);
+    return cpus;
+}
+
+int
+NumaTopology::shardNode(int shard) const
+{
+    if (shard < 0)
+        shard = 0;
+    return node(shard % nodeCount()).id;
+}
+
+NumaTopology
+NumaTopology::probeUncached()
+{
+    NumaTopology topo;
+#if defined(__linux__)
+    for (int id = 0; id < 1024; ++id) {
+        std::ifstream in("/sys/devices/system/node/node" +
+                         std::to_string(id) + "/cpulist");
+        if (!in.is_open()) {
+            if (id == 0)
+                break;  // no sysfs node tree at all
+            // Node ids are contiguous on Linux; stop at the first gap.
+            break;
+        }
+        std::string line;
+        std::getline(in, line);
+        NumaNode node;
+        node.id = id;
+        node.cpus = parseCpuList(line);
+        if (!node.cpus.empty())
+            topo.nodes_.push_back(std::move(node));
+    }
+#endif
+    if (topo.nodes_.empty())
+        topo.nodes_.push_back(fallbackNode());
+    return topo;
+}
+
+const NumaTopology&
+NumaTopology::probe()
+{
+    static const NumaTopology topo = probeUncached();
+    return topo;
+}
+
+}  // namespace smash::sys

@@ -1,0 +1,83 @@
+/**
+ * @file numa_topology.hh
+ * NUMA topology probe: which CPUs belong to which memory node.
+ *
+ * Linux exposes the node layout under /sys/devices/system/node/;
+ * probe() parses node<N>/cpulist once per process and caches the
+ * result. On hosts without that sysfs tree (single-node machines,
+ * containers, non-Linux platforms) the probe degrades to one node
+ * holding every CPU, so callers never need a special case: a
+ * 1-node topology simply makes every placement decision collapse
+ * to "anywhere".
+ *
+ * Consumers:
+ *  - exec::ThreadPool::pinWorkers() pins worker t to the t-th CPU
+ *    in *node-major* order (all of node 0's CPUs, then node 1's,
+ *    ...) so a pool smaller than the machine stays on few nodes.
+ *  - shard::ShardedMatrix derives each shard's CPU subset from the
+ *    node list (shard k -> node k mod nodes) and first-touches the
+ *    shard's arrays there.
+ */
+
+#ifndef SMASH_COMMON_NUMA_TOPOLOGY_HH_
+#define SMASH_COMMON_NUMA_TOPOLOGY_HH_
+
+#include <vector>
+
+namespace smash::sys
+{
+
+/** One memory node and the CPUs local to it. */
+struct NumaNode
+{
+    int id = 0;
+    std::vector<int> cpus;
+};
+
+class NumaTopology
+{
+  public:
+    /** Number of memory nodes (>= 1, even on the fallback path). */
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+    /** Total CPUs across all nodes (>= 1). */
+    int cpuCount() const;
+
+    const std::vector<NumaNode>& nodes() const { return nodes_; }
+
+    const NumaNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+
+    /**
+     * All CPU ids, node-major: node 0's CPUs in ascending order,
+     * then node 1's, and so on. On a 1-node host this is the
+     * identity order 0..cpuCount()-1, which keeps ThreadPool
+     * pinning byte-compatible with the pre-topology behaviour
+     * (worker t -> CPU t mod cpuCount).
+     */
+    std::vector<int> nodeMajorCpuOrder() const;
+
+    /**
+     * CPU subset for shard @p shard of @p shards total. With more
+     * than one node, shard k gets all of node (k mod nodes) — NUMA
+     * placement proper. On a 1-node host it degrades to
+     * round-robin: shard k gets CPUs {c : c mod shards == k} (or a
+     * single wrapped CPU when shards > cpuCount()). Never empty.
+     */
+    std::vector<int> shardCpus(int shard, int shards) const;
+
+    /** Node id shard @p shard maps to (k mod nodeCount). */
+    int shardNode(int shard) const;
+
+    /** The cached per-process topology (probed once, thread-safe). */
+    static const NumaTopology& probe();
+
+    /** Uncached sysfs read; exposed for tests. */
+    static NumaTopology probeUncached();
+
+  private:
+    std::vector<NumaNode> nodes_;
+};
+
+}  // namespace smash::sys
+
+#endif  // SMASH_COMMON_NUMA_TOPOLOGY_HH_

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "common/numa_topology.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -105,12 +106,17 @@ void
 ThreadPool::pinWorkers()
 {
 #if defined(__linux__)
-    const unsigned ncpu =
-        std::max(1u, std::thread::hardware_concurrency());
+    // Node-major CPU order from the NUMA probe: a pool smaller than
+    // the machine fills node 0 before spilling onto node 1, so its
+    // workers (and the arrays they first-touch) stay on few nodes.
+    // On a 1-node host the order is the identity, i.e. the classic
+    // "worker t -> CPU t mod ncpu" layout.
+    const std::vector<int> order =
+        sys::NumaTopology::probe().nodeMajorCpuOrder();
     for (std::size_t t = 0; t < workers_.size(); ++t) {
         cpu_set_t set;
         CPU_ZERO(&set);
-        CPU_SET(static_cast<int>(t % ncpu), &set);
+        CPU_SET(order[t % order.size()], &set);
         // Best-effort: a restricted cpuset (containers) may reject
         // the mask; the worker then keeps the inherited affinity.
         pthread_setaffinity_np(workers_[t].native_handle(),

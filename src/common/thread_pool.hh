@@ -22,7 +22,10 @@
  *
  * Workers may opt into CPU affinity pinning (Options::pinWorkers,
  * Linux pthread_setaffinity_np; a no-op elsewhere): worker t is
- * pinned to CPU t mod hardware_concurrency. Combined with sticky
+ * pinned to the t-th CPU in the NUMA probe's node-major order
+ * (common/numa_topology.hh) — node 0's CPUs first, then node 1's —
+ * which on a 1-node host reduces to the classic
+ * "CPU t mod hardware_concurrency" layout. Combined with sticky
  * chunk claiming this realizes the software half of the ROADMAP's
  * NUMA item — a matrix's partitions stay on the same cores across
  * requests. Each worker also owns a ScratchArena, bound to its

@@ -175,6 +175,24 @@ Client::spadd(serve::SpaddRequest req)
     return std::move(*result);
 }
 
+serve::Result<std::string>
+Client::metrics()
+{
+    const std::uint64_t id = sendFrame(Op::kMetrics, Buffer());
+    if (id == 0)
+        return netError("send failed");
+    Buffer payload;
+    std::string error;
+    if (!readFrame(id, Op::kMetricsResult, payload, error))
+        return netError(error);
+    auto result = decodeMetricsResult(payload.data(), payload.size());
+    if (!result) {
+        fd_.reset();
+        return netError("undecodable metrics result");
+    }
+    return std::move(*result);
+}
+
 std::uint64_t
 Client::sendSpmv(const serve::SpmvRequest& req)
 {

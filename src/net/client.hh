@@ -68,6 +68,9 @@ class Client
     serve::Result<std::vector<Value>> spmv(serve::SpmvRequest req);
     serve::Result<fmt::DenseMatrix> spmm(serve::SpmmRequest req);
     serve::Result<fmt::CooMatrix> spadd(serve::SpaddRequest req);
+    /** The server's metrics exposition (kMetrics → kMetricsResult):
+     *  obs::MetricsRegistry::exportText as one text blob. */
+    serve::Result<std::string> metrics();
 
     // --- Pipelined SpMV (the load generator's inner loop). ---
 

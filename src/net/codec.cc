@@ -455,6 +455,33 @@ decodeSpaddResult(const std::uint8_t* p, std::size_t n)
 }
 
 void
+encodeMetricsResult(const serve::Result<std::string>& r, Buffer& out)
+{
+    Writer w{out};
+    encodeStatus(w, r.status());
+    if (r.ok())
+        w.str(r.value());
+}
+
+std::optional<serve::Result<std::string>>
+decodeMetricsResult(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::Status status;
+    if (!decodeStatus(r, status))
+        return std::nullopt;
+    if (!status.ok()) {
+        if (!r.finished())
+            return std::nullopt;
+        return serve::Result<std::string>(std::move(status));
+    }
+    std::string text = r.str();
+    if (!r.finished())
+        return std::nullopt;
+    return serve::Result<std::string>(std::move(text));
+}
+
+void
 encodeError(WireError error, const std::string& detail, Buffer& out)
 {
     Writer w{out};

@@ -18,7 +18,11 @@
  *   SpmmResult   = status [, u64 rows, u64 cols, f64… when kOk]
  *   SpaddResult  = status [, u64 rows, u64 cols, u64 nnz,
  *                  nnz * (i64 row, i64 col, f64 value) when kOk]
+ *   MetricsResult = status [, str text when kOk]
  *   error     = u16 WireError, str detail   (Op::kError payload)
+ *
+ * An Op::kMetrics request carries no payload — the response's text
+ * is the registry's Prometheus exposition (obs::exportText).
  *
  * Every decoder is total: any byte string either decodes or returns
  * failure — truncated fields, trailing garbage, out-of-range enum
@@ -78,6 +82,11 @@ std::optional<serve::Result<fmt::DenseMatrix>>
 decodeSpmmResult(const std::uint8_t* p, std::size_t n);
 std::optional<serve::Result<fmt::CooMatrix>>
 decodeSpaddResult(const std::uint8_t* p, std::size_t n);
+
+void encodeMetricsResult(const serve::Result<std::string>& r,
+                         Buffer& out);
+std::optional<serve::Result<std::string>>
+decodeMetricsResult(const std::uint8_t* p, std::size_t n);
 
 // --- Protocol errors (Op::kError payload). ---
 

@@ -1,5 +1,6 @@
 #include "net/conn.hh"
 
+#include <sstream>
 #include <utility>
 
 #include "obs/metrics.hh"
@@ -30,6 +31,11 @@ opCounter(Op op)
       case Op::kSpmm: {
           static obs::Counter& c = obs::MetricsRegistry::global().counter(
               "smash_net_requests_total{op=\"spmm\"}");
+          return c;
+      }
+      case Op::kMetrics: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"metrics\"}");
           return c;
       }
       default: {
@@ -195,6 +201,18 @@ Conn::handleFrame(const FrameHeader& header, const Buffer& payload)
       case Op::kPing:
           sendFrame(Op::kPong, header.id, Buffer());
           return true;
+      case Op::kMetrics: {
+          // Answered inline, like kPing: the exposition is a
+          // registry snapshot, not pipeline work, and an observer
+          // must get through even when the session is saturated.
+          std::ostringstream text;
+          obs::MetricsRegistry::global().exportText(text);
+          Buffer payload;
+          encodeMetricsResult(
+              serve::Result<std::string>(text.str()), payload);
+          sendFrame(Op::kMetricsResult, header.id, payload);
+          return true;
+      }
       case Op::kSpmv: {
           auto req = decodeSpmvRequest(payload.data(), payload.size());
           if (!req) {

@@ -68,14 +68,22 @@ demoVector(Index seed)
     return x;
 }
 
-/** Populate @p registry with the demo set (see file comment). */
+/** Populate @p registry with the demo set (see file comment).
+ *  With @p shards > 1 the entries register as sharded matrices
+ *  (row-partitioned, per-shard formats) — answers stay bit-identical
+ *  to the unsharded registry, so clients need not know. */
 inline void
-populateDemoRegistry(serve::MatrixRegistry& registry)
+populateDemoRegistry(serve::MatrixRegistry& registry, Index shards = 1)
 {
-    registry.put("ranker", demoRanker());
-    registry.put("graph", demoMatrix(kDemoGraphDim, kDemoGraphDim, 6, 3));
-    registry.put("graph2",
-                 demoMatrix(kDemoGraphDim, kDemoGraphDim, 6, 11));
+    const auto add = [&](const std::string& name, fmt::CooMatrix coo) {
+        if (shards > 1)
+            registry.registerSharded(name, std::move(coo), shards);
+        else
+            registry.put(name, std::move(coo));
+    };
+    add("ranker", demoRanker());
+    add("graph", demoMatrix(kDemoGraphDim, kDemoGraphDim, 6, 3));
+    add("graph2", demoMatrix(kDemoGraphDim, kDemoGraphDim, 6, 11));
 }
 
 } // namespace smash::net

@@ -60,10 +60,12 @@ isKnownOp(std::uint16_t op)
       case Op::kSpmv:
       case Op::kSpmm:
       case Op::kSpadd:
+      case Op::kMetrics:
       case Op::kPong:
       case Op::kSpmvResult:
       case Op::kSpmmResult:
       case Op::kSpaddResult:
+      case Op::kMetricsResult:
       case Op::kError:
         return true;
     }
@@ -80,10 +82,12 @@ toString(Op op)
       case Op::kSpmv: return "spmv";
       case Op::kSpmm: return "spmm";
       case Op::kSpadd: return "spadd";
+      case Op::kMetrics: return "metrics";
       case Op::kPong: return "pong";
       case Op::kSpmvResult: return "spmv_result";
       case Op::kSpmmResult: return "spmm_result";
       case Op::kSpaddResult: return "spadd_result";
+      case Op::kMetricsResult: return "metrics_result";
       case Op::kError: return "error";
     }
     return "unknown";
@@ -97,6 +101,7 @@ isRequestOp(Op op)
       case Op::kSpmv:
       case Op::kSpmm:
       case Op::kSpadd:
+      case Op::kMetrics:
         return true;
       default:
         return false;
@@ -111,6 +116,7 @@ responseOf(Op request)
       case Op::kSpmv: return Op::kSpmvResult;
       case Op::kSpmm: return Op::kSpmmResult;
       case Op::kSpadd: return Op::kSpaddResult;
+      case Op::kMetrics: return Op::kMetricsResult;
       default: return Op::kError;
     }
 }

@@ -59,10 +59,12 @@ enum class Op : std::uint16_t
     kSpmv = 1,
     kSpmm = 2,
     kSpadd = 3,
+    kMetrics = 4,
     kPong = 128,
     kSpmvResult = 129,
     kSpmmResult = 130,
     kSpaddResult = 131,
+    kMetricsResult = 132,
     kError = 255,
 };
 

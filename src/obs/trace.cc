@@ -209,6 +209,9 @@ kindInfo(std::uint16_t kind)
       case EventKind::kNetFrameRx: return {"rx", "net"};
       case EventKind::kNetFrameTx: return {"tx", "net"};
       case EventKind::kNetConn: return {"conn", "net"};
+      case EventKind::kShardScatter: return {"scatter", "shard"};
+      case EventKind::kShardGather: return {"gather", "shard"};
+      case EventKind::kShardReencode: return {"reencode", "shard"};
     }
     return {"unknown", "unknown"};
 }
@@ -295,6 +298,16 @@ writeArgs(std::ostream& os, const TraceEvent& e)
         return;
       case EventKind::kEpochSwap:
         os << "{}";
+        return;
+      case EventKind::kShardScatter:
+        os << "{\"shards\": " << e.a0 << ", \"rhs\": " << e.a1 << "}";
+        return;
+      case EventKind::kShardGather:
+        os << "{\"shard\": " << e.a0 << ", \"rows\": " << e.a1 << "}";
+        return;
+      case EventKind::kShardReencode:
+        os << "{\"shard\": " << e.a0 << ", \"format\": " << e.a1
+           << "}";
         return;
     }
     os << "{}";

@@ -64,6 +64,12 @@ enum class EventKind : std::uint16_t
     kNetFrameTx = 13,     //!< wire frame written (a0 op, a1 bytes)
     kNetConn = 14,        //!< connection lifecycle (a0 1=open
                           //!< 0=close, a1 transport)
+    kShardScatter = 15,   //!< sharded compute fan-out (span;
+                          //!< a0 shards, a1 rhs width)
+    kShardGather = 16,    //!< one shard's slice copied into the
+                          //!< caller's y (a0 shard, a1 rows)
+    kShardReencode = 17,  //!< per-shard epoch swap (a0 shard,
+                          //!< a1 new format)
 };
 
 /** Batcher flush reasons (kBatchFlush a0). */

@@ -145,21 +145,39 @@ Pipeline::resolveEncodings(const QueueKey& key,
 {
     switch (key.op) {
       case OpClass::kSpmv:
-      case OpClass::kSpmm:
+      case OpClass::kSpmm: {
+        // Sharded entries prepare per shard: ready when every
+        // shard's encoding is built.
+        if (const auto sharded = registry_.sharded(key.matrix)) {
+            if (cached_only)
+                return sharded->allEncoded();
+            sharded->ensureEncoded();
+            return true;
+        }
         if (cached_only)
             return registry_.encodedIfCached(key.matrix) != nullptr;
         registry_.encoded(key.matrix);
         return true;
+      }
       case OpClass::kSpadd: {
         const std::string& other =
             std::get<SpaddWork>(request.work).other;
+        // A sharded primary operand merges straight off its shard
+        // masters — no encoding to prepare; the secondary still
+        // needs its whole-matrix CSR view (the registry serves one
+        // for sharded secondaries too, from the concatenated
+        // slices).
+        const bool a_sharded =
+            registry_.sharded(key.matrix) != nullptr;
         if (cached_only)
-            return registry_.encodedAsIfCached(key.matrix,
-                                               eng::Format::kCsr) !=
-                       nullptr &&
+            return (a_sharded ||
+                    registry_.encodedAsIfCached(key.matrix,
+                                                eng::Format::kCsr) !=
+                        nullptr) &&
                    registry_.encodedAsIfCached(
                        other, eng::Format::kCsr) != nullptr;
-        registry_.encodedAs(key.matrix, eng::Format::kCsr);
+        if (!a_sharded)
+            registry_.encodedAs(key.matrix, eng::Format::kCsr);
         registry_.encodedAs(other, eng::Format::kCsr);
         return true;
       }
@@ -347,26 +365,34 @@ void
 Pipeline::computeSpmv(const std::string& matrix,
                       std::vector<Request>& batch)
 {
-    // The shared_ptr pins this epoch's encoding for the whole
-    // compute: a concurrent mutation or drift re-encode swaps the
-    // registry slot without pulling the matrix out from under us.
+    // Sharded entries compute scatter–gather over their shards;
+    // otherwise the shared_ptr pins this epoch's encoding for the
+    // whole compute: a concurrent mutation or drift re-encode swaps
+    // the registry slot without pulling the matrix out from under
+    // us. (Each shard's encoding is pinned the same way, inside the
+    // shard layer.)
+    const std::shared_ptr<shard::ShardedMatrix> sharded =
+        registry_.sharded(matrix);
     const MatrixRegistry::EncodingPtr held =
-        registry_.encoded(matrix);
-    const eng::SparseMatrixAny& m = *held;
-    const Index rows = m.rows();
+        sharded ? nullptr : registry_.encoded(matrix);
+    const Index rows = sharded ? sharded->rows() : held->rows();
     const auto nrhs = static_cast<Index>(batch.size());
+    exec::ThreadPool* shard_pool =
+        compute_ == ComputeExec::kParallel ? &pool_ : nullptr;
 
     if (nrhs == 1) {
         // Unbatched: a literal single-RHS dispatch (this is the
         // baseline path the throughput bench compares against).
         auto& w = std::get<SpmvWork>(batch[0].work);
         std::vector<Value> y(static_cast<std::size_t>(rows), Value(0));
-        if (compute_ == ComputeExec::kParallel) {
+        if (sharded) {
+            sharded->spmv(w.x, y, shard_pool);
+        } else if (compute_ == ComputeExec::kParallel) {
             exec::ParallelExec pe(pool_);
-            eng::spmv(m.ref(), w.x, y, pe);
+            eng::spmv(held->ref(), w.x, y, pe);
         } else {
             sim::NativeExec ne;
-            eng::spmv(m.ref(), w.x, y, ne);
+            eng::spmv(held->ref(), w.x, y, ne);
         }
         stats_.batches.fetch_add(1, std::memory_order_relaxed);
         storeMax(stats_.widestBatch, 1);
@@ -386,7 +412,9 @@ Pipeline::computeSpmv(const std::string& matrix,
     // batch with one traversal of the sparse operand. Row-outer
     // loop order: X is row-major, so the writes stream through each
     // nrhs-wide row instead of striding one cache line per element.
-    const Index xlen = m.xLength();
+    // Sharded matrices take the logical height — each shard pads to
+    // its own format's granularity internally.
+    const Index xlen = sharded ? sharded->cols() : held->xLength();
     fmt::DenseMatrix x(xlen, nrhs);
     {
         std::vector<const Value*> sources(
@@ -411,12 +439,14 @@ Pipeline::computeSpmv(const std::string& matrix,
         }
     }
     auto y = std::make_shared<fmt::DenseMatrix>(rows, nrhs);
-    if (compute_ == ComputeExec::kParallel) {
+    if (sharded) {
+        sharded->spmvBatch(x, *y, shard_pool);
+    } else if (compute_ == ComputeExec::kParallel) {
         exec::ParallelExec pe(pool_);
-        eng::spmvBatch(m.ref(), x, *y, pe);
+        eng::spmvBatch(held->ref(), x, *y, pe);
     } else {
         sim::NativeExec ne;
-        eng::spmvBatch(m.ref(), x, *y, ne);
+        eng::spmvBatch(held->ref(), x, *y, ne);
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch, static_cast<std::uint64_t>(nrhs));
@@ -458,11 +488,12 @@ void
 Pipeline::computeSpmm(const std::string& matrix,
                       std::vector<Request>& batch)
 {
+    const std::shared_ptr<shard::ShardedMatrix> sharded =
+        registry_.sharded(matrix);
     const MatrixRegistry::EncodingPtr held =
-        registry_.encoded(matrix);
-    const eng::SparseMatrixAny& m = *held;
-    const Index rows = m.rows();
-    const Index xlen = m.xLength();
+        sharded ? nullptr : registry_.encoded(matrix);
+    const Index rows = sharded ? sharded->rows() : held->rows();
+    const Index xlen = sharded ? sharded->cols() : held->xLength();
 
     // Concatenate every request's dense block into one wide X: the
     // per-column arithmetic of the batched kernels is independent,
@@ -488,12 +519,15 @@ Pipeline::computeSpmm(const std::string& matrix,
         off += nc;
     }
     auto y = std::make_shared<fmt::DenseMatrix>(rows, total);
-    if (compute_ == ComputeExec::kParallel) {
+    if (sharded) {
+        sharded->spmvBatch(
+            x, *y, compute_ == ComputeExec::kParallel ? &pool_ : nullptr);
+    } else if (compute_ == ComputeExec::kParallel) {
         exec::ParallelExec pe(pool_);
-        eng::spmmBatch(m.ref(), x, *y, pe);
+        eng::spmmBatch(held->ref(), x, *y, pe);
     } else {
         sim::NativeExec ne;
-        eng::spmmBatch(m.ref(), x, *y, ne);
+        eng::spmmBatch(held->ref(), x, *y, ne);
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch,
@@ -539,9 +573,25 @@ Pipeline::computeSpadd(const std::string& matrix,
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     storeMax(stats_.widestBatch,
              static_cast<std::uint64_t>(batch.size()));
+    const std::shared_ptr<shard::ShardedMatrix> sharded =
+        registry_.sharded(matrix);
     for (Request& req : batch) {
         auto& w = std::get<SpaddWork>(req.work);
         try {
+            if (sharded) {
+                // Per-shard merge straight off the shard masters; the
+                // secondary operand still comes through the registry's
+                // whole-matrix CSR view.
+                const MatrixRegistry::EncodingPtr b =
+                    registry_.encodedAs(w.other, eng::Format::kCsr);
+                fmt::CooMatrix sum = sharded->spadd(
+                    b->as<fmt::CsrMatrix>(),
+                    compute_ == ComputeExec::kParallel ? &pool_
+                                                       : nullptr);
+                req.computed = Request::Clock::now();
+                deliver(req, w, std::move(sum));
+                continue;
+            }
             const MatrixRegistry::EncodingPtr a =
                 registry_.encodedAs(matrix, eng::Format::kCsr);
             const MatrixRegistry::EncodingPtr b =

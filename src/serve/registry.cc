@@ -68,6 +68,49 @@ MatrixRegistry::put(const std::string& name, fmt::CooMatrix coo,
                       format, build);
 }
 
+eng::Format
+MatrixRegistry::registerSharded(const std::string& name,
+                                fmt::CooMatrix coo, Index shards)
+{
+    return registerSharded(name, std::move(coo), shards,
+                           eng::SparseMatrixAny::BuildOptions());
+}
+
+eng::Format
+MatrixRegistry::registerSharded(
+    const std::string& name, fmt::CooMatrix coo, Index shards,
+    const eng::SparseMatrixAny::BuildOptions& build)
+{
+    if (!coo.isCanonical())
+        coo.canonicalize();
+    const fmt::CsrMatrix master = fmt::CsrMatrix::fromCoo(coo);
+    auto slot = std::make_unique<Slot>();
+    // The ShardedMatrix owns the content (per-shard masters,
+    // profiles, format choices, encodings); the slot's own master
+    // stays empty and its encodings map only caches whole-matrix
+    // materializations.
+    slot->sharded = std::make_shared<shard::ShardedMatrix>(
+        name, master, shards, build);
+    slot->chosen = slot->sharded->primaryFormat();
+    slot->pendingTarget = slot->chosen;
+    slot->build = build;
+    const eng::Format chosen = slot->chosen;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        slots_.emplace(name, std::move(slot)).second;
+    SMASH_CHECK(inserted, "registry already holds a matrix named '",
+                name, "'");
+    return chosen;
+}
+
+std::shared_ptr<shard::ShardedMatrix>
+MatrixRegistry::sharded(const std::string& name) const
+{
+    Slot& s = slot(name);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.sharded;
+}
+
 bool
 MatrixRegistry::contains(const std::string& name) const
 {
@@ -92,7 +135,7 @@ MatrixRegistry::rows(const std::string& name) const
     // lock (adopt() move-assigns the whole CsrMatrix).
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.master.rows();
+    return s.sharded ? s.sharded->rows() : s.master.rows();
 }
 
 Index
@@ -100,7 +143,7 @@ MatrixRegistry::cols(const std::string& name) const
 {
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.master.cols();
+    return s.sharded ? s.sharded->cols() : s.master.cols();
 }
 
 eng::Format
@@ -108,7 +151,7 @@ MatrixRegistry::format(const std::string& name) const
 {
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.chosen;
+    return s.sharded ? s.sharded->primaryFormat() : s.chosen;
 }
 
 MatrixRegistry::EncodingPtr
@@ -116,11 +159,18 @@ MatrixRegistry::encodedLocked(Slot& s, eng::Format format)
 {
     auto it = s.encodings.find(format);
     if (it == s.encodings.end()) {
+        // Sharded entries build whole-matrix views from the
+        // concatenated shard slices (bit-identical to the content
+        // the matrix was registered with, as mutated since); these
+        // serve ops that need a monolithic operand, e.g. SpAdd.
+        const fmt::CsrMatrix source =
+            s.sharded ? s.sharded->toCsr() : fmt::CsrMatrix();
         it = s.encodings
                  .emplace(format,
                           std::make_shared<const eng::SparseMatrixAny>(
                               eng::SparseMatrixAny::fromCsr(
-                                  s.master, format, s.build)))
+                                  s.sharded ? source : s.master,
+                                  format, s.build)))
                  .first;
         ++s.conversions;
     }
@@ -219,6 +269,36 @@ MatrixRegistry::finishMutation(Slot& s, bool structural,
     return true;
 }
 
+shard::DriftPolicy
+MatrixRegistry::shardPolicy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard::DriftPolicy policy;
+    policy.enabled = policy_.enabled;
+    policy.minChangedFraction = policy_.minChangedFraction;
+    policy.minChanged = policy_.minChanged;
+    policy.margin = policy_.margin;
+    return policy;
+}
+
+bool
+MatrixRegistry::finishShardedMutation(
+    Slot& s, const shard::ShardMutationOutcome& so,
+    UpdateOutcome& out)
+{
+    out.stats = so.stats;
+    out.reencodeScheduled = so.reencodeScheduled;
+    out.target = so.reencodeScheduled ? so.target : s.chosen;
+    if (so.stats.inserted + so.stats.removed + so.stats.updated >
+        0) {
+        // The shards already invalidated their own encodings; drop
+        // the slot's whole-matrix materializations too.
+        ++s.epoch;
+        s.encodings.clear();
+    }
+    return so.reencodeScheduled;
+}
+
 void
 MatrixRegistry::fireReencode(const std::string& name,
                              eng::Format target)
@@ -252,13 +332,20 @@ MatrixRegistry::applyUpdates(const std::string& name,
     bool fire = false;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
-        eng::StructureTracker& tracker = s.profile;
-        out.stats = eng::applyUpdates(
-            s.master, deltas,
-            [&tracker](Index r, Index c, bool inserted) {
-                tracker.onStructureChange(r, c, inserted);
-            });
-        fire = finishMutation(s, out.stats.structural() > 0, out);
+        if (s.sharded) {
+            fire = finishShardedMutation(
+                s, s.sharded->applyUpdates(deltas, shardPolicy()),
+                out);
+        } else {
+            eng::StructureTracker& tracker = s.profile;
+            out.stats = eng::applyUpdates(
+                s.master, deltas,
+                [&tracker](Index r, Index c, bool inserted) {
+                    tracker.onStructureChange(r, c, inserted);
+                });
+            fire =
+                finishMutation(s, out.stats.structural() > 0, out);
+        }
     }
     if (fire)
         fireReencode(name, out.target);
@@ -277,13 +364,22 @@ MatrixRegistry::replaceRows(const std::string& name,
     bool fire = false;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
-        eng::StructureTracker& tracker = s.profile;
-        out.stats = eng::replaceRows(
-            s.master, rows, replacement,
-            [&tracker](Index r, Index c, bool inserted) {
-                tracker.onStructureChange(r, c, inserted);
-            });
-        fire = finishMutation(s, out.stats.structural() > 0, out);
+        if (s.sharded) {
+            fire = finishShardedMutation(
+                s,
+                s.sharded->replaceRows(rows, replacement,
+                                       shardPolicy()),
+                out);
+        } else {
+            eng::StructureTracker& tracker = s.profile;
+            out.stats = eng::replaceRows(
+                s.master, rows, replacement,
+                [&tracker](Index r, Index c, bool inserted) {
+                    tracker.onStructureChange(r, c, inserted);
+                });
+            fire =
+                finishMutation(s, out.stats.structural() > 0, out);
+        }
     }
     if (fire)
         fireReencode(name, out.target);
@@ -297,8 +393,13 @@ MatrixRegistry::scaleValues(const std::string& name, Value factor)
     UpdateOutcome out;
     {
         std::lock_guard<std::mutex> lock(s.mutex);
-        out.stats = eng::scaleValues(s.master, factor);
-        finishMutation(s, false, out);
+        if (s.sharded) {
+            finishShardedMutation(s, s.sharded->scaleValues(factor),
+                                  out);
+        } else {
+            out.stats = eng::scaleValues(s.master, factor);
+            finishMutation(s, false, out);
+        }
     }
     return out;
 }
@@ -308,13 +409,33 @@ MatrixRegistry::profile(const std::string& name) const
 {
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.profile.stats();
+    // Sharded entries profile per band; shard 0 stands in for the
+    // whole-matrix view (use sharded()->profile(k) for the rest).
+    return s.sharded ? s.sharded->profile(0) : s.profile.stats();
 }
 
 void
 MatrixRegistry::runReencode(const std::string& name)
 {
     Slot& s = slot(name);
+    {
+        // Sharded entries re-encode per shard: only the bands whose
+        // drift crossed a boundary rebuild, each under its own
+        // epoch check.
+        std::shared_ptr<shard::ShardedMatrix> sharded;
+        {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            sharded = s.sharded;
+        }
+        if (sharded) {
+            const int swapped = sharded->runPendingReencodes();
+            if (swapped > 0) {
+                std::lock_guard<std::mutex> lock(s.mutex);
+                s.chosen = sharded->primaryFormat();
+            }
+            return;
+        }
+    }
     // A mutation may land while the new encoding builds (the build
     // runs with no lock held, so serving and updates continue). The
     // epoch check detects that; a few retries chase a busy matrix,
@@ -396,7 +517,8 @@ MatrixRegistry::conversions(const std::string& name) const
 {
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.conversions;
+    return s.sharded ? s.conversions + s.sharded->conversions()
+                     : s.conversions;
 }
 
 std::size_t
@@ -404,7 +526,8 @@ MatrixRegistry::reselects(const std::string& name) const
 {
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
-    return s.reselects;
+    return s.sharded ? s.reselects + s.sharded->reselects()
+                     : s.reselects;
 }
 
 MatrixInfo
@@ -413,6 +536,24 @@ MatrixRegistry::info(const std::string& name) const
     Slot& s = slot(name);
     std::lock_guard<std::mutex> lock(s.mutex);
     MatrixInfo out;
+    if (s.sharded) {
+        out.chosen = s.sharded->primaryFormat();
+        out.rows = s.sharded->rows();
+        out.cols = s.sharded->cols();
+        out.nnz = s.sharded->nnz();
+        out.conversions = s.conversions + s.sharded->conversions();
+        out.reselects = s.reselects + s.sharded->reselects();
+        out.epoch = s.epoch;
+        out.reencodePending = s.sharded->reencodePending();
+        out.shards = s.sharded->shardCount();
+        // The distinct formats currently live across the shards.
+        std::vector<eng::Format> formats = s.sharded->shardFormats();
+        std::sort(formats.begin(), formats.end());
+        formats.erase(std::unique(formats.begin(), formats.end()),
+                      formats.end());
+        out.cached = std::move(formats);
+        return out;
+    }
     out.chosen = s.chosen;
     out.rows = s.master.rows();
     out.cols = s.master.cols();

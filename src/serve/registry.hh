@@ -50,6 +50,7 @@
 #include "engine/matrix_any.hh"
 #include "engine/profile.hh"
 #include "formats/coo_matrix.hh"
+#include "shard/sharded_matrix.hh"
 
 namespace smash::serve
 {
@@ -79,6 +80,10 @@ struct MatrixInfo
     std::uint64_t epoch = 0;       //!< bumped by every mutation
     bool reencodePending = false;  //!< a re-encode is scheduled
     std::vector<eng::Format> cached; //!< formats currently encoded
+    /** Shard count for registerSharded() entries, 0 otherwise. For
+     *  sharded entries `chosen` is shard 0's format and `cached`
+     *  lists the distinct per-shard formats. */
+    Index shards = 0;
 };
 
 /** What one mutation call changed and triggered. */
@@ -119,6 +124,27 @@ class MatrixRegistry
     eng::Format put(const std::string& name, fmt::CooMatrix coo,
                     eng::Format format,
                     const eng::SparseMatrixAny::BuildOptions& build);
+
+    /**
+     * Register @p coo under @p name as a shard::ShardedMatrix
+     * row-partitioned into @p shards nnz-balanced bands, each with
+     * its own format selection, plan cache, drift detector, and
+     * NUMA placement. Requests route to the sharded scatter–gather
+     * paths transparently; mutations route deltas to the owning
+     * shard, and drift re-encodes run per shard (through the same
+     * async hook as whole-matrix re-encodes).
+     * @return shard 0's format (the entry's "primary")
+     */
+    eng::Format registerSharded(const std::string& name,
+                                fmt::CooMatrix coo, Index shards);
+    eng::Format registerSharded(
+        const std::string& name, fmt::CooMatrix coo, Index shards,
+        const eng::SparseMatrixAny::BuildOptions& build);
+
+    /** The entry's ShardedMatrix, or null when @p name was
+     *  registered unsharded. */
+    std::shared_ptr<shard::ShardedMatrix>
+    sharded(const std::string& name) const;
 
     bool contains(const std::string& name) const;
     Index rows(const std::string& name) const;
@@ -211,6 +237,12 @@ class MatrixRegistry
     struct Slot
     {
         fmt::CsrMatrix master;     //!< canonical content, mutable
+        /** Set for registerSharded() entries; the master above then
+         *  stays empty (the shards own the content) and encodings
+         *  in this map are whole-matrix materializations built from
+         *  the concatenated shard slices (the secondary-operand
+         *  path, e.g. SpAdd's CSR view). */
+        std::shared_ptr<shard::ShardedMatrix> sharded;
         eng::Format chosen;
         eng::SparseMatrixAny::BuildOptions build;
         eng::StructureTracker profile;
@@ -241,6 +273,15 @@ class MatrixRegistry
      *  scheduled the re-encode — the caller fires it through
      *  fireReencode() after the slot lock is released. */
     bool finishMutation(Slot& s, bool structural, UpdateOutcome& out);
+    /** The reselect policy as the shard layer's drift gate. */
+    shard::DriftPolicy shardPolicy() const;
+    /** Shared tail of the sharded mutation paths: fold the shard
+     *  outcome into @p out and invalidate the slot's whole-matrix
+     *  materializations (s.mutex must be held). Returns whether the
+     *  caller must fire the re-encode hook. */
+    bool finishShardedMutation(Slot& s,
+                               const shard::ShardMutationOutcome& so,
+                               UpdateOutcome& out);
     /** Dispatch one scheduled re-encode: through the installed hook
      *  (invoked under hook_mutex_, so clearReencodeHook() blocks
      *  until the invocation finishes — the hook target can never be

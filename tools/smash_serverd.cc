@@ -18,6 +18,10 @@
  *                            0 = unbounded)
  *   --max-inflight-per-conn N  per-connection cap (default 0)
  *   --max-batch N            batch coalescing cap (default 16)
+ *   --shards K               register the demo matrices sharded
+ *                            into K row bands (default 1 = plain);
+ *                            wire answers are bit-identical either
+ *                            way
  *
  * Lifecycle: runs until SIGINT/SIGTERM, then drains in flight
  * requests (clients see typed kShuttingDown for anything submitted
@@ -48,7 +52,8 @@ usage(const char* argv0)
     std::cerr << "usage: " << argv0
               << " [--unix PATH] [--tcp PORT] [--threads N]\n"
               << "       [--max-inflight N] "
-                 "[--max-inflight-per-conn N] [--max-batch N]\n"
+                 "[--max-inflight-per-conn N] [--max-batch N] "
+                 "[--shards K]\n"
               << "at least one of --unix / --tcp is required\n";
     return 2;
 }
@@ -72,6 +77,7 @@ main(int argc, char** argv)
     net::ServerOptions options;
     options.session.threads = 4;
     options.session.maxInflight = 64;
+    Index shards = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,6 +110,11 @@ main(int argc, char** argv)
             if (!ok || n < 1)
                 return usage(argv[0]);
             options.session.maxBatch = static_cast<Index>(n);
+        } else if (arg == "--shards" && has_value) {
+            const long n = parseLong(argv[++i], ok);
+            if (!ok || n < 1)
+                return usage(argv[0]);
+            shards = static_cast<Index>(n);
         } else {
             return usage(argv[0]);
         }
@@ -125,7 +136,7 @@ main(int argc, char** argv)
     pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
 
     serve::MatrixRegistry registry;
-    net::populateDemoRegistry(registry);
+    net::populateDemoRegistry(registry, shards);
 
     net::Server server(registry, options);
     std::string error;
