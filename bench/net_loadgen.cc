@@ -34,18 +34,36 @@
  * the CI leg pipes this through grep to assert known families are
  * live on a real endpoint.
  *
+ * Chaos mode (--chaos): self-contained resilience gate, no external
+ * server needed. Forks a child running an in-process net::Server
+ * with the fault injector armed (drops, delays, truncations, header
+ * bit-flips, short writes), a tiny admission gate, a tenant quota,
+ * the shed ladder, and a fast idle reaper — then hammers it from
+ * --chaos-threads RetryingClients. Exit 0 requires every request to
+ * eventually succeed BIT-IDENTICAL to the local oracle, the tenant
+ * in-flight gauge to drain to zero, and the child to exit 0 on
+ * SIGTERM. Prints the retry/reconnect tallies and the server's
+ * resilience counters.
+ *
  * Endpoint flags: --unix PATH | --tcp PORT [--host H] — exactly one
- * transport. Sweep knobs: --conns A,B,... --window N --duration-ms D.
+ * transport (chaos mode needs neither). Sweep knobs: --conns
+ * A,B,... --window N --duration-ms D. After a sweep the server's
+ * resilience counters (sheds, quota rejects, injected faults,
+ * reaped connections) are fetched and printed when present.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +72,9 @@
 #include "formats/csr_matrix.hh"
 #include "net/client.hh"
 #include "net/demo_matrices.hh"
+#include "net/fault.hh"
+#include "net/retry_client.hh"
+#include "net/server.hh"
 #include "sim/exec_model.hh"
 
 namespace
@@ -85,6 +106,7 @@ struct WorkerStats
     std::uint64_t ok = 0;
     std::uint64_t overloaded = 0;
     std::uint64_t deadline = 0;
+    std::uint64_t quota = 0;
     std::uint64_t other = 0;
     std::vector<std::uint32_t> latencies_us; //!< ok requests only
 };
@@ -171,6 +193,9 @@ runWorker(const Endpoint& ep, int pipe_fd, int duration_ms,
               case serve::StatusCode::kDeadlineExceeded:
                   ++stats.deadline;
                   break;
+              case serve::StatusCode::kQuotaExceeded:
+                  ++stats.quota;
+                  break;
               default:
                   ++stats.other;
                   break;
@@ -181,9 +206,9 @@ runWorker(const Endpoint& ep, int pipe_fd, int duration_ms,
                 sendOne();
         }
     }
-    const std::uint64_t header[5] = {
-        stats.ok, stats.overloaded, stats.deadline, stats.other,
-        stats.latencies_us.size()};
+    const std::uint64_t header[6] = {
+        stats.ok, stats.overloaded, stats.deadline, stats.quota,
+        stats.other, stats.latencies_us.size()};
     writeAll(pipe_fd, header, sizeof(header));
     if (!stats.latencies_us.empty())
         writeAll(pipe_fd, stats.latencies_us.data(),
@@ -236,15 +261,16 @@ runSweepPoint(const Endpoint& ep, int conns, int window,
     WorkerStats total;
     bool ok = true;
     for (int fd : read_fds) {
-        std::uint64_t header[5];
+        std::uint64_t header[6];
         if (!readAll(fd, header, sizeof(header))) {
             ok = false;
         } else {
             total.ok += header[0];
             total.overloaded += header[1];
             total.deadline += header[2];
-            total.other += header[3];
-            std::vector<std::uint32_t> lat(header[4]);
+            total.quota += header[3];
+            total.other += header[4];
+            std::vector<std::uint32_t> lat(header[5]);
             if (!lat.empty() &&
                 !readAll(fd, lat.data(),
                          lat.size() * sizeof(std::uint32_t)))
@@ -261,13 +287,42 @@ runSweepPoint(const Endpoint& ep, int conns, int window,
 
     const double secs = double(duration_ms) / 1000.0;
     const double rate = double(total.ok) / secs;
-    std::printf("%5d %6d %9.0f %9u %9u %9llu %11llu\n", conns,
+    std::printf("%5d %6d %9.0f %9u %9u %9llu %11llu %7llu\n", conns,
                 window, rate,
                 percentile(total.latencies_us, 0.50),
                 percentile(total.latencies_us, 0.99),
                 static_cast<unsigned long long>(total.ok),
-                static_cast<unsigned long long>(total.overloaded));
+                static_cast<unsigned long long>(total.overloaded),
+                static_cast<unsigned long long>(total.quota));
     return ok && total.ok > 0;
+}
+
+/** Fetch + print the server's resilience counter families (sheds,
+ *  quota rejects, injected faults, reaped conns), when any fired. */
+void
+printResilienceCounters(const Endpoint& ep)
+{
+    net::Client client;
+    std::string error;
+    if (!connectClient(client, ep, error))
+        return;
+    const serve::Result<std::string> text = client.metrics();
+    if (!text.ok())
+        return;
+    std::istringstream lines(text.value());
+    std::string line;
+    bool any = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("smash_shed", 0) == 0 ||
+            line.rfind("smash_tenant", 0) == 0 ||
+            line.rfind("smash_net_faults", 0) == 0 ||
+            line.rfind("smash_net_conns_reaped", 0) == 0) {
+            if (!any)
+                std::cout << "server resilience counters:\n";
+            any = true;
+            std::cout << "  " << line << "\n";
+        }
+    }
 }
 
 /** Local bit-exact oracle for the demo "ranker" SpMV. */
@@ -324,29 +379,41 @@ runSmoke(const Endpoint& ep)
     // Gate 3: the admission gate's kOverloaded survives the wire.
     // kBatch priority keeps admitted requests parked in the batcher
     // (batchDelay) while the fail-fast burst lands, so with a small
-    // server --max-inflight the burst must see both outcomes.
+    // server --max-inflight the burst must see both outcomes. The
+    // burst is sent in chunks with a full drain between them: a
+    // single 256-deep pipeline with no reads can deadlock both
+    // sides in sendto if scheduling lets most requests through —
+    // the OK responses (~1.5 KiB each) overflow the client's
+    // receive buffer, the server's writer blocks, the server stops
+    // reading, and the client is still blocked sending. Chunking
+    // bounds the un-drained response volume below any sane buffer
+    // while each chunk still out-paces a small --max-inflight.
     serve::RequestOptions burst_options;
     burst_options.priority = serve::Priority::kBatch;
     burst_options.admission = serve::Admission::kFailFast;
     std::uint64_t burst_ok = 0, burst_overloaded = 0;
-    int outstanding = 0;
-    for (int i = 0; i < 256; ++i) {
-        if (client.sendSpmv(serve::SpmvRequest{
-                "ranker", net::demoVector(i), burst_options}) != 0)
-            ++outstanding;
-    }
-    for (; outstanding > 0; --outstanding) {
-        const std::optional<net::Client::SpmvResponse> resp =
-            client.readSpmvResponse();
-        if (!resp) {
-            std::cerr << "smoke: burst read failed\n";
-            return 1;
+    constexpr int kBurstChunk = 32;
+    for (int base = 0; base < 256; base += kBurstChunk) {
+        int outstanding = 0;
+        for (int i = 0; i < kBurstChunk; ++i) {
+            if (client.sendSpmv(serve::SpmvRequest{
+                    "ranker", net::demoVector(base + i),
+                    burst_options}) != 0)
+                ++outstanding;
         }
-        if (resp->result.ok())
-            ++burst_ok;
-        else if (resp->result.status().code() ==
-                 serve::StatusCode::kOverloaded)
-            ++burst_overloaded;
+        for (; outstanding > 0; --outstanding) {
+            const std::optional<net::Client::SpmvResponse> resp =
+                client.readSpmvResponse();
+            if (!resp) {
+                std::cerr << "smoke: burst read failed\n";
+                return 1;
+            }
+            if (resp->result.ok())
+                ++burst_ok;
+            else if (resp->result.status().code() ==
+                     serve::StatusCode::kOverloaded)
+                ++burst_overloaded;
+        }
     }
     if (burst_ok == 0 || burst_overloaded == 0) {
         std::cerr << "smoke: burst saw ok=" << burst_ok
@@ -399,6 +466,196 @@ runMetrics(const Endpoint& ep)
     return 0;
 }
 
+/** The forked chaos server: fault injector armed, tight admission,
+ *  tenant quota, shed ladder, fast reaper. Signals readiness with
+ *  one byte on @p ready_fd, then drains on SIGTERM and exits 0. */
+void
+runChaosServer(int ready_fd, const std::string& sock_path,
+               const std::string& fault_spec)
+{
+    net::FaultConfig faults;
+    std::string error;
+    if (!net::parseFaultSpec(fault_spec, faults, error)) {
+        std::cerr << "chaos server: " << error << "\n";
+        ::_exit(1);
+    }
+    net::FaultInjector::global().configure(faults);
+
+    sigset_t stop_signals;
+    sigemptyset(&stop_signals);
+    sigaddset(&stop_signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+    serve::MatrixRegistry registry;
+    net::populateDemoRegistry(registry, 1);
+
+    net::ServerOptions options;
+    options.unixPath = sock_path;
+    options.session.threads = 2;
+    // Small gate + per-tenant quota: the chaos run must provoke
+    // kOverloaded and kQuotaExceeded, not just transport faults.
+    options.session.maxInflight = 8;
+    options.tenantQuota.ratePerSec = 2000;
+    options.tenantQuota.burst = 64;
+    options.tenantQuota.maxInflight = 6;
+    options.session.shed.queueTarget =
+        std::chrono::microseconds(20000);
+    options.idleTimeout = std::chrono::milliseconds(250);
+
+    net::Server server(registry, options);
+    if (!server.start(error)) {
+        std::cerr << "chaos server: " << error << "\n";
+        ::_exit(1);
+    }
+    const char ready = 'k';
+    writeAll(ready_fd, &ready, 1);
+    ::close(ready_fd);
+
+    int sig = 0;
+    sigwait(&stop_signals, &sig);
+    server.shutdown();
+    ::_exit(0);
+}
+
+int
+runChaos(int threads, int requests_per_thread,
+         const std::string& fault_spec)
+{
+    const std::string sock_path = "/tmp/smash_chaos_" +
+        std::to_string(::getpid()) + ".sock";
+
+    int ready_fds[2];
+    if (::pipe(ready_fds) != 0) {
+        std::cerr << "chaos: pipe: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+        std::cerr << "chaos: fork: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    if (child == 0) {
+        ::close(ready_fds[0]);
+        runChaosServer(ready_fds[1], sock_path, fault_spec);
+    }
+    ::close(ready_fds[1]);
+    char ready = 0;
+    if (!readAll(ready_fds[0], &ready, 1)) {
+        std::cerr << "chaos: server never became ready\n";
+        ::waitpid(child, nullptr, 0);
+        return 1;
+    }
+    ::close(ready_fds[0]);
+
+    const fmt::CsrMatrix csr =
+        fmt::CsrMatrix::fromCoo(net::demoRanker());
+
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> gave_up{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> reconnects{0};
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t)
+        workers.emplace_back([&, t] {
+            net::Endpoint ep;
+            ep.unixPath = sock_path;
+            net::RetryPolicy policy;
+            policy.maxAttempts = 6;
+            policy.initialBackoff = std::chrono::milliseconds(1);
+            policy.maxBackoff = std::chrono::milliseconds(40);
+            policy.jitterSeed = 77 + std::uint64_t(t);
+            policy.retryBudgetCap = 0; // chaos: retry to completion
+            net::RetryingClient rc(ep, policy,
+                                   "chaos-" + std::to_string(t));
+            for (int i = 0; i < requests_per_thread; ++i) {
+                const std::vector<Value> x =
+                    net::demoVector(t * 131 + i);
+                const std::vector<Value> expect = localSpmv(csr, x);
+                // RetryPolicy bounds one call; the outer loop keeps
+                // calling until the request set is complete (the
+                // battery's promise), with a wall-clock escape so a
+                // wedged server cannot hang the gate forever.
+                const Clock::time_point give_up_at =
+                    Clock::now() + std::chrono::seconds(30);
+                bool done = false;
+                while (!done && Clock::now() < give_up_at) {
+                    serve::Result<std::vector<Value>> r = rc.spmv(
+                        serve::SpmvRequest{"ranker", x, {}});
+                    if (!r.ok())
+                        continue;
+                    if (r.value().size() != expect.size() ||
+                        std::memcmp(r.value().data(), expect.data(),
+                                    expect.size() * sizeof(Value)) !=
+                            0)
+                        mismatches.fetch_add(1);
+                    completed.fetch_add(1);
+                    done = true;
+                }
+                if (!done) {
+                    gave_up.fetch_add(1);
+                    break;
+                }
+            }
+            retries.fetch_add(rc.stats().retries);
+            reconnects.fetch_add(rc.stats().reconnects);
+        });
+    for (std::thread& w : workers)
+        w.join();
+
+    // Leak probe before teardown: with every response resolved the
+    // tenant in-flight gauge must read 0 on a fresh scrape.
+    bool leak = false;
+    bool probed = false;
+    {
+        Endpoint ep;
+        ep.unixPath = sock_path;
+        // The probe connection eats injected faults too — retry the
+        // scrape on a fresh connection until one gets through.
+        for (int attempt = 0; attempt < 8 && !probed; ++attempt) {
+            net::Client probe;
+            std::string error;
+            if (!connectClient(probe, ep, error))
+                continue;
+            const serve::Result<std::string> text = probe.metrics();
+            if (!text.ok())
+                continue;
+            probed = true;
+            std::istringstream lines(text.value());
+            std::string line;
+            while (std::getline(lines, line)) {
+                if (line.rfind("smash_tenant_inflight ", 0) == 0 &&
+                    line != "smash_tenant_inflight 0")
+                    leak = true;
+            }
+        }
+        printResilienceCounters(ep);
+    }
+
+    ::kill(child, SIGTERM);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    const bool clean_exit =
+        WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+    const std::uint64_t expected =
+        std::uint64_t(threads) * std::uint64_t(requests_per_thread);
+    std::cout << "chaos: " << completed.load() << "/" << expected
+              << " requests completed, " << mismatches.load()
+              << " mismatches, " << retries.load() << " retries, "
+              << reconnects.load() << " reconnects, child "
+              << (clean_exit ? "exited 0" : "EXITED ABNORMALLY")
+              << (leak ? ", TENANT SLOT LEAK" : "") << "\n";
+    ::unlink(sock_path.c_str());
+
+    const bool pass = completed.load() == expected &&
+        mismatches.load() == 0 && gave_up.load() == 0 && clean_exit &&
+        probed && !leak;
+    std::cout << (pass ? "chaos ok\n" : "chaos FAILED\n");
+    return pass ? 0 : 1;
+}
+
 int
 usage(const char* argv0)
 {
@@ -406,7 +663,9 @@ usage(const char* argv0)
         << "usage: " << argv0
         << " (--unix PATH | --tcp PORT [--host H]) "
            "[--smoke | --metrics]\n"
-        << "       [--conns A,B,...] [--window N] [--duration-ms D]\n";
+        << "       [--conns A,B,...] [--window N] [--duration-ms D]\n"
+        << "       | --chaos [--chaos-threads T] "
+           "[--chaos-requests N] [--chaos-faults SPEC]\n";
     return 2;
 }
 
@@ -418,6 +677,12 @@ main(int argc, char** argv)
     Endpoint ep;
     bool smoke = false;
     bool metrics = false;
+    bool chaos = false;
+    int chaos_threads = 4;
+    int chaos_requests = 150;
+    std::string chaos_faults =
+        "drop=0.03,delay=0.03:1,truncate=0.03,bitflip=0.03,"
+        "short=0.08,seed=42";
     std::vector<int> conns = {1, 2, 4, 8};
     int window = 4;
     int duration_ms = 2000;
@@ -435,6 +700,14 @@ main(int argc, char** argv)
             smoke = true;
         } else if (arg == "--metrics") {
             metrics = true;
+        } else if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--chaos-threads" && has_value) {
+            chaos_threads = std::max(1, std::atoi(argv[++i]));
+        } else if (arg == "--chaos-requests" && has_value) {
+            chaos_requests = std::max(1, std::atoi(argv[++i]));
+        } else if (arg == "--chaos-faults" && has_value) {
+            chaos_faults = argv[++i];
         } else if (arg == "--window" && has_value) {
             window = std::max(1, std::atoi(argv[++i]));
         } else if (arg == "--duration-ms" && has_value) {
@@ -457,6 +730,8 @@ main(int argc, char** argv)
             return usage(argv[0]);
         }
     }
+    if (chaos) // self-contained: forks its own server
+        return runChaos(chaos_threads, chaos_requests, chaos_faults);
     if (ep.unixPath.empty() == (ep.tcpPort < 0))
         return usage(argv[0]); // exactly one transport
 
@@ -465,10 +740,12 @@ main(int argc, char** argv)
     if (smoke)
         return runSmoke(ep);
 
-    std::printf("%5s %6s %9s %9s %9s %9s %11s\n", "conns", "window",
-                "req/s", "p50(us)", "p99(us)", "ok", "overloaded");
+    std::printf("%5s %6s %9s %9s %9s %9s %11s %7s\n", "conns",
+                "window", "req/s", "p50(us)", "p99(us)", "ok",
+                "overloaded", "quota");
     bool all_ok = true;
     for (const int c : conns)
         all_ok = runSweepPoint(ep, c, window, duration_ms) && all_ok;
+    printResilienceCounters(ep);
     return all_ok ? 0 : 1;
 }

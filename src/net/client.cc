@@ -33,6 +33,12 @@ Client::connectTcpSocket(const std::string& host, std::uint16_t port,
     return fd_.valid();
 }
 
+bool
+Client::setReceiveTimeout(std::chrono::microseconds timeout)
+{
+    return fd_.valid() && setRecvTimeout(fd_.get(), timeout);
+}
+
 std::uint64_t
 Client::sendFrame(Op op, const Buffer& payload)
 {
@@ -55,7 +61,8 @@ Client::readFrame(std::uint64_t id, Op want, Buffer& payload,
     const IoResult hr = readFull(fd_.get(), header_bytes, kHeaderBytes);
     if (hr != IoResult::kOk) {
         error = hr == IoResult::kEof ? "connection closed by server"
-                                     : "read failed";
+            : hr == IoResult::kTimeout ? "receive timeout"
+                                       : "read failed";
         fd_.reset();
         return false;
     }
@@ -116,6 +123,25 @@ Client::ping()
     if (!payload.empty())
         return netError("pong with a payload");
     return serve::Status();
+}
+
+serve::Status
+Client::hello(const std::string& tenant)
+{
+    Buffer payload;
+    encodeHelloRequest(tenant, payload);
+    const std::uint64_t id = sendFrame(Op::kHello, payload);
+    if (id == 0)
+        return netError("send failed");
+    std::string error;
+    if (!readFrame(id, Op::kHelloResult, payload, error))
+        return netError(error);
+    auto status = decodeHelloResult(payload.data(), payload.size());
+    if (!status) {
+        fd_.reset();
+        return netError("undecodable hello result");
+    }
+    return *status;
 }
 
 serve::Result<std::vector<Value>>

@@ -31,6 +31,7 @@
 #ifndef SMASH_NET_CLIENT_HH
 #define SMASH_NET_CLIENT_HH
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -61,10 +62,20 @@ class Client
     bool connected() const { return fd_.valid(); }
     void close() { fd_.reset(); }
 
+    /** Arm SO_RCVTIMEO on the connection (0 disarms): a response
+     *  slower than @p timeout fails the call with a "net: receive
+     *  timeout" kInternal and closes the connection (the stream
+     *  position is undefined after a timeout — see socket.hh). */
+    bool setReceiveTimeout(std::chrono::microseconds timeout);
+
     // --- Synchronous round-trips. ---
 
     /** Liveness probe: kPing → kPong. */
     serve::Status ping();
+
+    /** Tenant handshake (kHello): every later request on this
+     *  connection is charged to @p tenant's quota. */
+    serve::Status hello(const std::string& tenant);
     serve::Result<std::vector<Value>> spmv(serve::SpmvRequest req);
     serve::Result<fmt::DenseMatrix> spmm(serve::SpmmRequest req);
     serve::Result<fmt::CooMatrix> spadd(serve::SpaddRequest req);

@@ -214,7 +214,8 @@ decodeStatus(Reader& r, serve::Status& status)
     const std::uint16_t code = r.u16();
     std::string message = r.str();
     if (!r.ok ||
-        code > static_cast<std::uint16_t>(serve::StatusCode::kInternal))
+        code > static_cast<std::uint16_t>(
+                   serve::StatusCode::kQuotaExceeded))
         return false;
     status = serve::Status(static_cast<serve::StatusCode>(code),
                            std::move(message));
@@ -263,6 +264,40 @@ frameMessage(Op op, std::uint64_t id, const Buffer& payload)
         std::memcpy(frame.data() + kHeaderBytes, payload.data(),
                     payload.size());
     return frame;
+}
+
+void
+encodeHelloRequest(const std::string& tenant, Buffer& out)
+{
+    Writer w{out};
+    w.str(tenant);
+}
+
+std::optional<std::string>
+decodeHelloRequest(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    std::string tenant = r.str();
+    if (!r.finished())
+        return std::nullopt;
+    return tenant;
+}
+
+void
+encodeHelloResult(const serve::Status& status, Buffer& out)
+{
+    Writer w{out};
+    encodeStatus(w, status);
+}
+
+std::optional<serve::Status>
+decodeHelloResult(const std::uint8_t* p, std::size_t n)
+{
+    Reader r{p, n};
+    serve::Status status;
+    if (!decodeStatus(r, status) || !r.finished())
+        return std::nullopt;
+    return status;
 }
 
 void

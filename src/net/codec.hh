@@ -9,6 +9,8 @@
  * IEEE-754 bit patterns, indices two's-complement u64):
  *
  *   options   = u8 priority, u8 admission, u16 pad(0), u64 deadline_us
+ *   HelloRequest = str tenant
+ *   HelloResult  = status
  *   SpmvRequest  = options, str matrix, u64 n, n * f64
  *   SpmmRequest  = options, str matrix, u64 rows, u64 cols,
  *                  rows*cols * f64 (row-major)
@@ -56,6 +58,12 @@ Buffer frameMessage(Op op, std::uint64_t id, const Buffer& payload);
 
 // --- Requests (client encodes, server decodes). ---
 
+/** kHello payload: the tenant name this connection's requests are
+ *  charged to (TenantGovernor quotas). */
+void encodeHelloRequest(const std::string& tenant, Buffer& out);
+std::optional<std::string> decodeHelloRequest(const std::uint8_t* p,
+                                              std::size_t n);
+
 void encodeSpmvRequest(const serve::SpmvRequest& req, Buffer& out);
 void encodeSpmmRequest(const serve::SpmmRequest& req, Buffer& out);
 void encodeSpaddRequest(const serve::SpaddRequest& req, Buffer& out);
@@ -87,6 +95,12 @@ void encodeMetricsResult(const serve::Result<std::string>& r,
                          Buffer& out);
 std::optional<serve::Result<std::string>>
 decodeMetricsResult(const std::uint8_t* p, std::size_t n);
+
+/** kHelloResult payload: just a status (kOk acknowledges the
+ *  tenant; quota denials arrive per-request, not here). */
+void encodeHelloResult(const serve::Status& status, Buffer& out);
+std::optional<serve::Status> decodeHelloResult(const std::uint8_t* p,
+                                               std::size_t n);
 
 // --- Protocol errors (Op::kError payload). ---
 

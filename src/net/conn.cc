@@ -1,8 +1,12 @@
 #include "net/conn.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "net/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -36,6 +40,11 @@ opCounter(Op op)
       case Op::kMetrics: {
           static obs::Counter& c = obs::MetricsRegistry::global().counter(
               "smash_net_requests_total{op=\"metrics\"}");
+          return c;
+      }
+      case Op::kHello: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_requests_total{op=\"hello\"}");
           return c;
       }
       default: {
@@ -78,11 +87,23 @@ toString(Transport transport)
     return transport == Transport::kUnix ? "unix" : "tcp";
 }
 
-Conn::Conn(serve::Session& session, Fd fd, Transport transport,
-           const ConnLimits& limits)
-    : session_(session), fd_(std::move(fd)), transport_(transport),
-      limits_(limits)
+std::int64_t
+monotonicNs()
 {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Conn::Conn(serve::Session& session, Fd fd, Transport transport,
+           const ConnLimits& limits, serve::TenantGovernor* governor)
+    : session_(session), fd_(std::move(fd)), transport_(transport),
+      limits_(limits), governor_(governor)
+{
+    // A fresh connection starts its idle clock at accept time, not
+    // at epoch — otherwise the reaper would kill it before its
+    // first frame.
+    last_activity_ns_.store(monotonicNs(), std::memory_order_relaxed);
 }
 
 Conn::~Conn()
@@ -162,6 +183,14 @@ Conn::serveLoop()
                           static_cast<std::uint32_t>(
                               header.payloadBytes));
         rxBytesHistogram().record(kHeaderBytes + payload.size());
+        touch();
+
+        auto& injector = FaultInjector::global();
+        if (injector.enabled()) {
+            const auto rx_delay = injector.nextRxDelay();
+            if (rx_delay.count() > 0)
+                std::this_thread::sleep_for(rx_delay);
+        }
 
         if (bad) { // recoverable: kUnknownOp from the header decode
             wireErrorCounter().inc();
@@ -201,6 +230,25 @@ Conn::handleFrame(const FrameHeader& header, const Buffer& payload)
       case Op::kPing:
           sendFrame(Op::kPong, header.id, Buffer());
           return true;
+      case Op::kHello: {
+          // Tenant handshake: every later request on this connection
+          // is charged to the named tenant's shared quota. tenant_
+          // is only touched here, on the read-loop thread, before
+          // any request naming it can be submitted.
+          auto tenant =
+              decodeHelloRequest(payload.data(), payload.size());
+          if (!tenant) {
+              wireErrorCounter().inc();
+              sendError(header.id, WireError::kMalformedPayload,
+                        "hello request");
+              return true;
+          }
+          tenant_ = std::move(*tenant);
+          Buffer out;
+          encodeHelloResult(serve::Status(), out);
+          sendFrame(Op::kHelloResult, header.id, out);
+          return true;
+      }
       case Op::kMetrics: {
           // Answered inline, like kPing: the exposition is a
           // registry snapshot, not pipeline work, and an observer
@@ -257,6 +305,20 @@ Conn::connOverloaded() const
         limits_.maxInflight;
 }
 
+serve::TenantGovernor::Admitted
+Conn::admitTenant()
+{
+    if (governor_ == nullptr)
+        return {nullptr, serve::Status()};
+    return governor_->admit(tenant_);
+}
+
+void
+Conn::touch()
+{
+    last_activity_ns_.store(monotonicNs(), std::memory_order_relaxed);
+}
+
 void
 Conn::submitSpmv(std::uint64_t id, serve::SpmvRequest req)
 {
@@ -269,11 +331,22 @@ Conn::submitSpmv(std::uint64_t id, serve::SpmvRequest req)
         sendFrame(Op::kSpmvResult, id, payload);
         return;
     }
+    auto admitted = admitTenant();
+    if (!admitted.status.ok()) {
+        Buffer payload;
+        encodeSpmvResult(admitted.status, payload);
+        sendFrame(Op::kSpmvResult, id, payload);
+        return;
+    }
     inflight_.fetch_add(1, std::memory_order_relaxed);
     auto self = shared_from_this();
+    // The tenant ticket rides in the completion: the in-flight slot
+    // returns only once the response is resolved, like the session's
+    // own admission ticket.
     session_.submit(
         std::move(req),
-        [self, id](serve::Result<std::vector<Value>> r) {
+        [self, id, ticket = std::move(admitted.ticket)](
+            serve::Result<std::vector<Value>> r) {
             Buffer payload;
             encodeSpmvResult(r, payload);
             self->sendFrame(Op::kSpmvResult, id, payload);
@@ -293,10 +366,18 @@ Conn::submitSpmm(std::uint64_t id, serve::SpmmRequest req)
         sendFrame(Op::kSpmmResult, id, payload);
         return;
     }
+    auto admitted = admitTenant();
+    if (!admitted.status.ok()) {
+        Buffer payload;
+        encodeSpmmResult(admitted.status, payload);
+        sendFrame(Op::kSpmmResult, id, payload);
+        return;
+    }
     inflight_.fetch_add(1, std::memory_order_relaxed);
     auto self = shared_from_this();
     session_.submit(std::move(req),
-                    [self, id](serve::Result<fmt::DenseMatrix> r) {
+                    [self, id, ticket = std::move(admitted.ticket)](
+                        serve::Result<fmt::DenseMatrix> r) {
                         Buffer payload;
                         encodeSpmmResult(r, payload);
                         self->sendFrame(Op::kSpmmResult, id, payload);
@@ -317,10 +398,18 @@ Conn::submitSpadd(std::uint64_t id, serve::SpaddRequest req)
         sendFrame(Op::kSpaddResult, id, payload);
         return;
     }
+    auto admitted = admitTenant();
+    if (!admitted.status.ok()) {
+        Buffer payload;
+        encodeSpaddResult(admitted.status, payload);
+        sendFrame(Op::kSpaddResult, id, payload);
+        return;
+    }
     inflight_.fetch_add(1, std::memory_order_relaxed);
     auto self = shared_from_this();
     session_.submit(std::move(req),
-                    [self, id](serve::Result<fmt::CooMatrix> r) {
+                    [self, id, ticket = std::move(admitted.ticket)](
+                        serve::Result<fmt::CooMatrix> r) {
                         Buffer payload;
                         encodeSpaddResult(r, payload);
                         self->sendFrame(Op::kSpaddResult, id, payload);
@@ -332,14 +421,62 @@ Conn::submitSpadd(std::uint64_t id, serve::SpaddRequest req)
 void
 Conn::sendFrame(Op op, std::uint64_t id, const Buffer& payload)
 {
-    const Buffer frame = frameMessage(op, id, payload);
+    Buffer frame = frameMessage(op, id, payload);
+
+    auto fault = FaultInjector::TxFault::kNone;
+    auto& injector = FaultInjector::global();
+    if (injector.enabled()) {
+        fault = injector.nextTxFault();
+        if (fault == FaultInjector::TxFault::kDelay) {
+            // Sleep before taking the write mutex so a delayed frame
+            // stalls only its own response, not every writer on this
+            // connection.
+            std::this_thread::sleep_for(injector.config().delay);
+            fault = FaultInjector::TxFault::kNone;
+        } else if (fault == FaultInjector::TxFault::kBitFlip) {
+            // Header bits only — payload corruption would be
+            // undetectable on a checksum-less wire (see fault.hh).
+            const std::uint32_t bit = injector.nextHeaderBit();
+            frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+            fault = FaultInjector::TxFault::kNone;
+        }
+    }
+
     std::lock_guard<std::mutex> lock(write_mutex_);
     if (write_failed_)
         return; // peer already gone; drop late responses quietly
-    if (!writeFull(fd_.get(), frame.data(), frame.size())) {
+    if (fault == FaultInjector::TxFault::kDrop) {
+        // Swallow the response and kill the stream: the client sees
+        // an EOF with a request outstanding and must reconnect.
+        write_failed_ = true;
+        fd_.shutdownBoth();
+        return;
+    }
+    if (fault == FaultInjector::TxFault::kTruncate) {
+        // Half a frame, then FIN: the client's next read ends
+        // mid-message (kTruncated).
+        writeFull(fd_.get(), frame.data(), frame.size() / 2);
+        write_failed_ = true;
+        fd_.shutdownBoth();
+        return;
+    }
+    bool ok = true;
+    if (fault == FaultInjector::TxFault::kShortWrite) {
+        // Dribble the frame out a few bytes per send: must be
+        // invisible to a correct reader (readFull reassembles).
+        constexpr std::size_t kChunk = 7;
+        for (std::size_t off = 0; ok && off < frame.size();
+             off += kChunk)
+            ok = writeFull(fd_.get(), frame.data() + off,
+                           std::min(kChunk, frame.size() - off));
+    } else {
+        ok = writeFull(fd_.get(), frame.data(), frame.size());
+    }
+    if (!ok) {
         write_failed_ = true;
         return;
     }
+    touch();
     SMASH_TRACE_EVENT(obs::EventKind::kNetFrameTx,
                       static_cast<std::uint32_t>(op),
                       static_cast<std::uint32_t>(payload.size()));

@@ -44,6 +44,7 @@
 #include "net/frame.hh"
 #include "net/socket.hh"
 #include "serve/session.hh"
+#include "serve/tenant.hh"
 
 namespace smash::net
 {
@@ -57,6 +58,10 @@ enum class Transport : std::uint32_t
 
 const char* toString(Transport transport);
 
+/** Monotonic nanoseconds — the shared clock behind Conn activity
+ *  stamps and the server reaper's idle scan. */
+std::int64_t monotonicNs();
+
 /** Per-connection protocol limits (from ServerOptions). */
 struct ConnLimits
 {
@@ -69,8 +74,11 @@ struct ConnLimits
 class Conn : public std::enable_shared_from_this<Conn>
 {
   public:
+    /** @p governor (nullable) charges this connection's requests to
+     *  its kHello-named tenant ("" until the handshake). */
     Conn(serve::Session& session, Fd fd, Transport transport,
-         const ConnLimits& limits);
+         const ConnLimits& limits,
+         serve::TenantGovernor* governor = nullptr);
     ~Conn();
 
     Conn(const Conn&) = delete;
@@ -102,6 +110,19 @@ class Conn : public std::enable_shared_from_this<Conn>
         return inflight_.load(std::memory_order_relaxed);
     }
 
+    /** Idle (no frame activity, nothing in flight) for longer than
+     *  @p timeout as of @p now_ns — the server reaper's predicate.
+     *  A connection with in-flight work is never idle: a silent
+     *  peer awaiting a slow compute keeps its socket. */
+    bool idleLongerThan(std::int64_t now_ns,
+                        std::chrono::nanoseconds timeout) const
+    {
+        return inflight() == 0 &&
+            now_ns - last_activity_ns_.load(
+                         std::memory_order_relaxed) >=
+            timeout.count();
+    }
+
   private:
     void serveLoop();
     /** Decode + dispatch one frame; false ends the connection. */
@@ -117,14 +138,23 @@ class Conn : public std::enable_shared_from_this<Conn>
     void sendFrame(Op op, std::uint64_t id, const Buffer& payload);
     void sendError(std::uint64_t id, WireError error,
                    const std::string& detail);
+    /** Tenant quota check (between the per-conn cap and the session
+     *  gate); on denial answers the typed result itself and returns
+     *  a denied Admitted. */
+    serve::TenantGovernor::Admitted admitTenant();
+    /** Stamp frame activity now (reaper idle clock). */
+    void touch();
 
     serve::Session& session_;
     Fd fd_;
     const Transport transport_;
     const ConnLimits limits_;
+    serve::TenantGovernor* const governor_;
+    std::string tenant_; //!< kHello-named; read-loop thread only
     std::mutex write_mutex_;
     bool write_failed_ = false; //!< guarded by write_mutex_
     std::atomic<Index> inflight_{0};
+    std::atomic<std::int64_t> last_activity_ns_{0};
     std::atomic<bool> done_{false};
     std::thread thread_;
 };

@@ -1,0 +1,244 @@
+#include "net/fault.hh"
+
+#include <cstdlib>
+
+#include "net/frame.hh"
+#include "obs/metrics.hh"
+
+namespace smash::net
+{
+
+namespace
+{
+
+obs::Counter&
+faultCounter(FaultInjector::TxFault kind)
+{
+    switch (kind) {
+      case FaultInjector::TxFault::kDrop: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_faults_total{kind=\"drop\"}");
+          return c;
+      }
+      case FaultInjector::TxFault::kDelay: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_faults_total{kind=\"delay\"}");
+          return c;
+      }
+      case FaultInjector::TxFault::kTruncate: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_faults_total{kind=\"truncate\"}");
+          return c;
+      }
+      case FaultInjector::TxFault::kBitFlip: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_faults_total{kind=\"bitflip\"}");
+          return c;
+      }
+      default: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_net_faults_total{kind=\"short_write\"}");
+          return c;
+      }
+    }
+}
+
+/** "key=value" splitter for parseFaultSpec. */
+bool
+parseRate(const std::string& value, double& out)
+{
+    char* end = nullptr;
+    out = std::strtod(value.c_str(), &end);
+    return end != value.c_str() && *end == '\0' && out >= 0 &&
+        out <= 1.0;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string& spec, FaultConfig& out,
+               std::string& error)
+{
+    FaultConfig config;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "fault spec item without '=': " + item;
+            return false;
+        }
+        const std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key == "seed") {
+            char* end = nullptr;
+            config.seed = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                error = "bad fault seed: " + value;
+                return false;
+            }
+            continue;
+        }
+        if (key == "delay") {
+            // Optional ":N" suffix: delay duration in milliseconds.
+            const std::size_t colon = value.find(':');
+            if (colon != std::string::npos) {
+                char* end = nullptr;
+                const long ms =
+                    std::strtol(value.c_str() + colon + 1, &end, 10);
+                if (end == value.c_str() + colon + 1 || *end != '\0' ||
+                    ms < 0) {
+                    error = "bad delay duration: " + value;
+                    return false;
+                }
+                config.delay = std::chrono::milliseconds(ms);
+                value = value.substr(0, colon);
+            }
+            if (!parseRate(value, config.delayRate)) {
+                error = "bad delay rate: " + value;
+                return false;
+            }
+            continue;
+        }
+        double rate = 0;
+        if (!parseRate(value, rate)) {
+            error = "bad fault rate for '" + key + "': " + value;
+            return false;
+        }
+        if (key == "drop")
+            config.dropRate = rate;
+        else if (key == "truncate")
+            config.truncateRate = rate;
+        else if (key == "bitflip")
+            config.bitflipRate = rate;
+        else if (key == "short")
+            config.shortWriteRate = rate;
+        else {
+            error = "unknown fault kind: " + key;
+            return false;
+        }
+    }
+    out = config;
+    return true;
+}
+
+FaultInjector&
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const FaultConfig& config)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        config_ = config;
+        rng_.store(config.seed ? config.seed : 1,
+                   std::memory_order_relaxed);
+        injected_.store(0, std::memory_order_relaxed);
+    }
+    enabled_.store(config.any(), std::memory_order_release);
+}
+
+bool
+FaultInjector::configureFromEnv(std::string& error)
+{
+    const char* spec = std::getenv("SMASH_NET_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return true; // unset: leave as-is
+    FaultConfig config;
+    if (!parseFaultSpec(spec, config, error))
+        return false;
+    configure(config);
+    return true;
+}
+
+FaultConfig
+FaultInjector::config() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_;
+}
+
+std::uint64_t
+FaultInjector::nextRand()
+{
+    // xorshift64 over one atomic word: deterministic sequence from
+    // the seed, lock-free under concurrent rollers.
+    std::uint64_t x = rng_.load(std::memory_order_relaxed);
+    for (;;) {
+        std::uint64_t y = x;
+        y ^= y << 13;
+        y ^= y >> 7;
+        y ^= y << 17;
+        if (rng_.compare_exchange_weak(x, y,
+                                       std::memory_order_relaxed))
+            return y;
+    }
+}
+
+double
+FaultInjector::uniform()
+{
+    return static_cast<double>(nextRand() >> 11) * 0x1p-53;
+}
+
+FaultInjector::TxFault
+FaultInjector::nextTxFault()
+{
+    FaultConfig config;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        config = config_;
+    }
+    const double roll = uniform();
+    double edge = config.dropRate;
+    TxFault fault = TxFault::kNone;
+    if (roll < edge)
+        fault = TxFault::kDrop;
+    else if (roll < (edge += config.truncateRate))
+        fault = TxFault::kTruncate;
+    else if (roll < (edge += config.bitflipRate))
+        fault = TxFault::kBitFlip;
+    else if (roll < (edge += config.shortWriteRate))
+        fault = TxFault::kShortWrite;
+    else if (roll < (edge += config.delayRate))
+        fault = TxFault::kDelay;
+    if (fault != TxFault::kNone) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        faultCounter(fault).inc();
+    }
+    return fault;
+}
+
+std::chrono::milliseconds
+FaultInjector::nextRxDelay()
+{
+    FaultConfig config;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        config = config_;
+    }
+    if (config.delayRate <= 0 || uniform() >= config.delayRate)
+        return std::chrono::milliseconds(0);
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    faultCounter(TxFault::kDelay).inc();
+    return config.delay;
+}
+
+std::uint32_t
+FaultInjector::nextHeaderBit()
+{
+    return static_cast<std::uint32_t>(nextRand() %
+                                      (kHeaderBytes * 8));
+}
+
+} // namespace smash::net

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * net::FaultInjector — deliberate wire-level failures for the chaos
+ * battery (and for operators reproducing field incidents).
+ *
+ * The injector hooks the server's frame paths: every outbound frame
+ * rolls one die and may be dropped, delayed, truncated mid-frame,
+ * header-bit-flipped, or dribbled out in short writes; inbound
+ * frames may be delayed before processing. Configured by API
+ * (configure()) or environment (SMASH_NET_FAULTS, a spec string —
+ * see parseFaultSpec). Disabled it costs one relaxed atomic load
+ * per frame.
+ *
+ * Fault matrix (what the client must survive; docs/resilience.md):
+ *
+ *   drop        response never written, connection shut down →
+ *               client sees EOF, reconnects, retries
+ *   delay       response written late → exercises client timeouts
+ *               without killing the stream
+ *   truncate    half a frame then shutdown → client sees a
+ *               mid-frame EOF (kTruncated), reconnects
+ *   bitflip     one random bit of the 24-byte header corrupted →
+ *               client detects bad magic/version/op, an id that
+ *               echoes nothing, or a length mismatch, and resets
+ *   short-write frame dribbled out a few bytes per send → must be
+ *               invisible (readFull reassembles); exercises partial
+ *               read/write handling
+ *
+ * Bit flips target ONLY the header, never the payload: the wire has
+ * no checksum, so a payload flip would silently corrupt a result —
+ * exactly the failure the chaos battery's bit-identical assertion
+ * exists to rule out. Every header corruption is detectable (magic,
+ * version, op, id echo, and length are all validated by the client;
+ * a length flip at worst desyncs the stream, which the client's
+ * receive timeout catches), so injected faults can fail requests
+ * but never falsify them.
+ *
+ * The RNG is a seeded xorshift64 (deterministic sequence; under
+ * concurrency the interleaving varies but the fault mix converges
+ * to the configured rates). Fired faults count into
+ * `smash_net_faults_total{kind=...}`.
+ *
+ * Process-global (FaultInjector::global()) because the hook sits in
+ * Conn's write path where plumbing a per-server pointer through
+ * every call adds nothing: a chaos run owns its process.
+ */
+
+#ifndef SMASH_NET_FAULT_HH
+#define SMASH_NET_FAULT_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace smash::net
+{
+
+/** Per-frame fault probabilities (all default 0 = never). */
+struct FaultConfig
+{
+    double dropRate = 0;
+    double delayRate = 0;
+    std::chrono::milliseconds delay{1}; //!< applied per delay fault
+    double truncateRate = 0;
+    double bitflipRate = 0; //!< header bits only (see file comment)
+    double shortWriteRate = 0;
+    std::uint64_t seed = 1;
+
+    bool
+    any() const
+    {
+        return dropRate > 0 || delayRate > 0 || truncateRate > 0 ||
+            bitflipRate > 0 || shortWriteRate > 0;
+    }
+};
+
+/**
+ * Parse a fault spec string:
+ *   "drop=0.05,delay=0.02:2,truncate=0.05,bitflip=0.05,short=0.1,seed=7"
+ * (delay's optional ":N" is milliseconds). False + @p error on any
+ * unknown key or out-of-range value. The same format feeds
+ * SMASH_NET_FAULTS and smash_serverd --faults.
+ */
+bool parseFaultSpec(const std::string& spec, FaultConfig& out,
+                    std::string& error);
+
+/** The process-wide injector (disabled until configured). */
+class FaultInjector
+{
+  public:
+    /** What to do to one outbound frame. */
+    enum class TxFault
+    {
+        kNone,
+        kDrop,
+        kDelay,
+        kTruncate,
+        kBitFlip,
+        kShortWrite,
+    };
+
+    static FaultInjector& global();
+
+    /** Replace the configuration ({} or !any() disables). */
+    void configure(const FaultConfig& config);
+    void disable() { configure(FaultConfig{}); }
+
+    /** Configure from $SMASH_NET_FAULTS if set; false + @p error on
+     *  a malformed spec (unset leaves the injector untouched). */
+    bool configureFromEnv(std::string& error);
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_acquire);
+    }
+
+    FaultConfig config() const;
+
+    /** Roll the dice for one outbound frame (counts fired kinds). */
+    TxFault nextTxFault();
+    /** Delay (possibly zero) to apply before processing one inbound
+     *  frame. */
+    std::chrono::milliseconds nextRxDelay();
+    /** Which bit of the kHeaderBytes-byte header a kBitFlip flips. */
+    std::uint32_t nextHeaderBit();
+
+    /** Total faults fired since the last configure(). */
+    std::uint64_t
+    injected() const
+    {
+        return injected_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    FaultInjector() = default;
+
+    std::uint64_t nextRand();
+    double uniform(); //!< in [0, 1)
+
+    mutable std::mutex mutex_;
+    FaultConfig config_; //!< guarded by mutex_
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> rng_{1};
+    std::atomic<std::uint64_t> injected_{0};
+};
+
+} // namespace smash::net
+
+#endif // SMASH_NET_FAULT_HH

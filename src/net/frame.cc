@@ -61,11 +61,13 @@ isKnownOp(std::uint16_t op)
       case Op::kSpmm:
       case Op::kSpadd:
       case Op::kMetrics:
+      case Op::kHello:
       case Op::kPong:
       case Op::kSpmvResult:
       case Op::kSpmmResult:
       case Op::kSpaddResult:
       case Op::kMetricsResult:
+      case Op::kHelloResult:
       case Op::kError:
         return true;
     }
@@ -83,11 +85,13 @@ toString(Op op)
       case Op::kSpmm: return "spmm";
       case Op::kSpadd: return "spadd";
       case Op::kMetrics: return "metrics";
+      case Op::kHello: return "hello";
       case Op::kPong: return "pong";
       case Op::kSpmvResult: return "spmv_result";
       case Op::kSpmmResult: return "spmm_result";
       case Op::kSpaddResult: return "spadd_result";
       case Op::kMetricsResult: return "metrics_result";
+      case Op::kHelloResult: return "hello_result";
       case Op::kError: return "error";
     }
     return "unknown";
@@ -102,6 +106,7 @@ isRequestOp(Op op)
       case Op::kSpmm:
       case Op::kSpadd:
       case Op::kMetrics:
+      case Op::kHello:
         return true;
       default:
         return false;
@@ -117,6 +122,7 @@ responseOf(Op request)
       case Op::kSpmm: return Op::kSpmmResult;
       case Op::kSpadd: return Op::kSpaddResult;
       case Op::kMetrics: return Op::kMetricsResult;
+      case Op::kHello: return Op::kHelloResult;
       default: return Op::kError;
     }
 }

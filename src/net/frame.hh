@@ -60,11 +60,13 @@ enum class Op : std::uint16_t
     kSpmm = 2,
     kSpadd = 3,
     kMetrics = 4,
+    kHello = 5, //!< tenant handshake (names this connection's tenant)
     kPong = 128,
     kSpmvResult = 129,
     kSpmmResult = 130,
     kSpaddResult = 131,
     kMetricsResult = 132,
+    kHelloResult = 133,
     kError = 255,
 };
 

@@ -1,0 +1,107 @@
+#include "net/http_metrics.hh"
+
+#include <chrono>
+#include <sstream>
+#include <sys/socket.h>
+#include <utility>
+
+#include "obs/metrics.hh"
+
+namespace smash::net
+{
+
+namespace
+{
+
+/** A client gets this long to deliver its request line + headers;
+ *  a slow or half-open scraper must not wedge the serial loop. */
+constexpr std::chrono::milliseconds kRequestTimeout{500};
+/** Request size cap — a scrape request is a few hundred bytes. */
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+void
+respond(int fd, const std::string& status_line, const std::string& body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.0 " << status_line << "\r\n"
+        << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    const std::string text = out.str();
+    writeFull(fd, text.data(), text.size());
+}
+
+} // namespace
+
+bool
+HttpMetricsListener::start(std::uint16_t port, std::string& error)
+{
+    listener_ = listenTcp(port, port_, error);
+    if (!listener_.valid())
+        return false;
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+HttpMetricsListener::stop()
+{
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+    listener_.shutdownBoth();
+    if (thread_.joinable())
+        thread_.join();
+    listener_.reset();
+}
+
+void
+HttpMetricsListener::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        Fd fd = acceptConn(listener_.get());
+        if (!fd.valid())
+            break; // listener shut down
+        if (stopping_.load(std::memory_order_acquire))
+            break;
+        handleConn(std::move(fd));
+    }
+}
+
+void
+HttpMetricsListener::handleConn(Fd fd)
+{
+    setRecvTimeout(fd.get(),
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       kRequestTimeout));
+    // Read until the header terminator; a scrape request fits in one
+    // or two segments, so byte-at-a-time parsing is not worth more
+    // code than this chunked scan.
+    std::string request;
+    char chunk[1024];
+    while (request.find("\r\n\r\n") == std::string::npos) {
+        if (request.size() >= kMaxRequestBytes)
+            return; // oversized: drop without answering
+        const ssize_t r = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+        if (r <= 0)
+            return; // timeout, EOF, or error: drop
+        request.append(chunk, static_cast<std::size_t>(r));
+    }
+
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(0, line_end);
+    // Accept "GET /metrics" and "GET /metrics?..." with any HTTP
+    // version tail; everything else 404s.
+    const bool is_metrics = line.rfind("GET /metrics", 0) == 0 &&
+        (line.size() == 12 || line[12] == ' ' || line[12] == '?');
+    if (!is_metrics) {
+        respond(fd.get(), "404 Not Found", "not found\n");
+        return;
+    }
+    std::ostringstream body;
+    obs::MetricsRegistry::global().exportText(body);
+    respond(fd.get(), "200 OK", body.str());
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace smash::net

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * net::HttpMetricsListener — a deliberately tiny HTTP/1.0 shim so
+ * stock Prometheus (or plain curl) can scrape the registry without
+ * speaking the SMASH frame protocol.
+ *
+ * One accept thread, connections handled serially: a scrape is a
+ * few-millisecond read-respond-close exchange, and the endpoint is
+ * for one or two pollers, not traffic. Only `GET /metrics` exists;
+ * everything else is 404, anything malformed or slower than the
+ * per-connection receive timeout is dropped. The response carries
+ * the text exposition format (version 0.0.4), Content-Length, and
+ * `Connection: close` — no keep-alive, no chunking, no TLS.
+ *
+ * This listener is bolted on next to the frame protocol's own
+ * kMetrics op (which stays the canonical in-band path); it shares
+ * nothing with the Server but the process-global registry.
+ */
+
+#ifndef SMASH_NET_HTTP_METRICS_HH
+#define SMASH_NET_HTTP_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/socket.hh"
+
+namespace smash::net
+{
+
+/** Serial single-purpose HTTP listener for GET /metrics. */
+class HttpMetricsListener
+{
+  public:
+    HttpMetricsListener() = default;
+    ~HttpMetricsListener() { stop(); }
+
+    HttpMetricsListener(const HttpMetricsListener&) = delete;
+    HttpMetricsListener& operator=(const HttpMetricsListener&) = delete;
+
+    /** Bind TCP @p port (0 = ephemeral, read back via port()) and
+     *  start serving. False + @p error on bind failure. */
+    bool start(std::uint16_t port, std::string& error);
+
+    /** Stop accepting and join (idempotent). */
+    void stop();
+
+    std::uint16_t port() const { return port_; }
+
+    /** Scrapes answered 200 so far. */
+    std::uint64_t scrapes() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveLoop();
+    void handleConn(Fd fd);
+
+    Fd listener_;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+};
+
+} // namespace smash::net
+
+#endif // SMASH_NET_HTTP_METRICS_HH

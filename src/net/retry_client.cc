@@ -1,0 +1,236 @@
+#include "net/retry_client.hh"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <variant>
+
+namespace smash::net
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+RetryingClient::RetryingClient(const Endpoint& endpoint,
+                               const RetryPolicy& policy,
+                               std::string tenant)
+    : endpoint_(endpoint), policy_(policy), tenant_(std::move(tenant)),
+      budget_(policy.retryBudgetCap),
+      rng_(policy.jitterSeed ? policy.jitterSeed : 1)
+{
+}
+
+bool
+RetryingClient::connectOnce(std::string& error)
+{
+    const bool ok = endpoint_.unixPath.empty()
+        ? client_.connectTcpSocket(
+              endpoint_.host,
+              static_cast<std::uint16_t>(endpoint_.tcpPort), error)
+        : client_.connectUnixSocket(endpoint_.unixPath, error);
+    if (!ok)
+        return false;
+    if (!tenant_.empty()) {
+        // Replay the tenant handshake on every dial: quotas follow
+        // the tenant, not the connection, so a reconnect must not
+        // demote us to the anonymous tenant.
+        const serve::Status hello = client_.hello(tenant_);
+        if (!hello.ok()) {
+            client_.close();
+            error = "hello: " + hello.toString();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+RetryingClient::ensureConnected(std::string& error)
+{
+    if (client_.connected())
+        return true;
+    if (ever_connected_)
+        stats_.reconnects++;
+    if (!connectOnce(error))
+        return false;
+    ever_connected_ = true;
+    return true;
+}
+
+bool
+RetryingClient::retryable(const serve::Status& status)
+{
+    switch (status.code()) {
+      case serve::StatusCode::kOverloaded:
+      case serve::StatusCode::kQuotaExceeded:
+          return true;
+      case serve::StatusCode::kInternal:
+          // Only the transport wrapper's own failures (client.hh's
+          // "net: ..." class); a compute-stage kInternal is a real
+          // answer and retrying it just repeats the failure.
+          return status.message().rfind("net: ", 0) == 0;
+      default:
+          return false;
+    }
+}
+
+double
+RetryingClient::uniform()
+{
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return static_cast<double>(rng_ >> 11) * 0x1p-53;
+}
+
+std::chrono::milliseconds
+RetryingClient::backoff(int retry)
+{
+    // Full jitter: uniform in [0, min(max, initial * mult^(n-1))].
+    double ceiling =
+        static_cast<double>(policy_.initialBackoff.count());
+    for (int i = 1; i < retry; ++i)
+        ceiling *= policy_.multiplier;
+    ceiling = std::min(
+        ceiling, static_cast<double>(policy_.maxBackoff.count()));
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(ceiling * uniform()));
+}
+
+template <typename T, typename Attempt>
+serve::Result<T>
+RetryingClient::withRetry(Attempt&& attempt)
+{
+    stats_.calls++;
+    const bool bounded = policy_.callTimeout.count() > 0;
+    const Clock::time_point deadline =
+        Clock::now() + policy_.callTimeout;
+
+    serve::Result<T> last = serve::Status(
+        serve::StatusCode::kInternal, "net: no attempt made");
+    for (int n = 1; n <= std::max(policy_.maxAttempts, 1); ++n) {
+        std::chrono::microseconds remaining{0};
+        if (bounded) {
+            remaining =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline - Clock::now());
+            if (remaining.count() <= 0) {
+                stats_.exhausted++;
+                return serve::Status(
+                    serve::StatusCode::kDeadlineExceeded,
+                    "call timeout after " + std::to_string(n - 1) +
+                        " attempt(s): " + last.status().toString());
+            }
+        }
+
+        std::string error;
+        if (!ensureConnected(error)) {
+            last = serve::Status(serve::StatusCode::kInternal,
+                                 "net: connect: " + error);
+        } else {
+            if (bounded)
+                // Deadline propagation: the attempt may not outlive
+                // the call budget. The attempt's request deadline
+                // (set by the caller below) covers server-side
+                // queueing; SO_RCVTIMEO is the client-side backstop
+                // when the server cannot answer at all.
+                client_.setReceiveTimeout(remaining);
+            last = attempt(remaining);
+            if (last.ok())
+                break;
+        }
+        if (!retryable(last.status()))
+            break;
+        if (n >= policy_.maxAttempts) {
+            stats_.exhausted++;
+            break;
+        }
+        if (policy_.retryBudgetCap > 0) {
+            if (budget_ < 1.0) {
+                // Dry bank: surface the failure instead of joining
+                // a retry storm against a struggling server.
+                stats_.budgetDenied++;
+                break;
+            }
+            budget_ -= 1.0;
+        }
+        stats_.retries++;
+        const auto pause = backoff(n);
+        if (pause.count() > 0)
+            std::this_thread::sleep_for(pause);
+    }
+    if (last.ok() && policy_.retryBudgetCap > 0)
+        budget_ = std::min(budget_ + policy_.retryBudgetPerSuccess,
+                           policy_.retryBudgetCap);
+    return last;
+}
+
+serve::Status
+RetryingClient::ping()
+{
+    auto r = withRetry<std::monostate>(
+        [this](std::chrono::microseconds) -> serve::Result<std::monostate> {
+            const serve::Status s = client_.ping();
+            if (!s.ok())
+                return s;
+            return std::monostate{};
+        });
+    return r.ok() ? serve::Status() : r.status();
+}
+
+serve::Result<std::vector<Value>>
+RetryingClient::spmv(serve::SpmvRequest req)
+{
+    return withRetry<std::vector<Value>>(
+        [this, &req](std::chrono::microseconds remaining) {
+            serve::SpmvRequest attempt = req;
+            if (remaining.count() > 0 &&
+                (attempt.options.deadline.count() == 0 ||
+                 attempt.options.deadline > remaining))
+                attempt.options.deadline = remaining;
+            return client_.spmv(std::move(attempt));
+        });
+}
+
+serve::Result<fmt::DenseMatrix>
+RetryingClient::spmm(serve::SpmmRequest req)
+{
+    return withRetry<fmt::DenseMatrix>(
+        [this, &req](std::chrono::microseconds remaining) {
+            serve::SpmmRequest attempt = req;
+            if (remaining.count() > 0 &&
+                (attempt.options.deadline.count() == 0 ||
+                 attempt.options.deadline > remaining))
+                attempt.options.deadline = remaining;
+            return client_.spmm(std::move(attempt));
+        });
+}
+
+serve::Result<fmt::CooMatrix>
+RetryingClient::spadd(serve::SpaddRequest req)
+{
+    return withRetry<fmt::CooMatrix>(
+        [this, &req](std::chrono::microseconds remaining) {
+            serve::SpaddRequest attempt = req;
+            if (remaining.count() > 0 &&
+                (attempt.options.deadline.count() == 0 ||
+                 attempt.options.deadline > remaining))
+                attempt.options.deadline = remaining;
+            return client_.spadd(std::move(attempt));
+        });
+}
+
+serve::Result<std::string>
+RetryingClient::metrics()
+{
+    return withRetry<std::string>(
+        [this](std::chrono::microseconds) {
+            return client_.metrics();
+        });
+}
+
+} // namespace smash::net

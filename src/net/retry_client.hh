@@ -1,0 +1,136 @@
+/**
+ * @file
+ * net::RetryingClient — the resilient wrapper every production
+ * caller should hold instead of a raw net::Client.
+ *
+ * What it adds over Client:
+ *
+ *   reconnect   — a broken connection (EOF from a server restart or
+ *       the idle reaper, a truncated frame, a poisoned stream) is
+ *       transparently re-dialed, the tenant handshake replayed, and
+ *       the call retried. The raw Client closes its fd on every
+ *       transport failure, so "reconnect" and "retry" are one path.
+ *   backoff     — kOverloaded (admission gate or shed ladder) and
+ *       kQuotaExceeded (tenant governor) answers retry after
+ *       capped exponential backoff with full jitter, so a fleet of
+ *       clients spreads out instead of retrying in lockstep.
+ *   timeouts    — RetryPolicy::callTimeout bounds one *call* (all
+ *       attempts + backoffs). The remaining budget is propagated:
+ *       each attempt arms SO_RCVTIMEO with what is left, and the
+ *       server sees it as the request deadline, so work that cannot
+ *       answer in time dies server-side as kDeadlineExceeded
+ *       instead of computing into a void.
+ *   retry budget — retries spend from a token budget refilled by
+ *       successes (RetryPolicy::retryBudgetPerSuccess, capped at
+ *       retryBudgetCap). When the budget is dry, failures surface
+ *       immediately: a hard-down server gets back its capacity
+ *       instead of a retry storm.
+ *
+ * Non-retryable statuses (kNotFound, kInvalidOperand,
+ * kShuttingDown, kDeadlineExceeded, real kInternal from a compute
+ * stage) pass through on the first answer — retrying cannot fix
+ * them.
+ *
+ * Like Client, an instance is a single connection and NOT
+ * thread-safe.
+ */
+
+#ifndef SMASH_NET_RETRY_CLIENT_HH
+#define SMASH_NET_RETRY_CLIENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+
+namespace smash::net
+{
+
+/** Where to (re)connect: a Unix path when non-empty, else TCP. */
+struct Endpoint
+{
+    std::string unixPath;
+    std::string host = "localhost";
+    int tcpPort = -1;
+};
+
+/** Retry/backoff/timeout tuning of one RetryingClient. */
+struct RetryPolicy
+{
+    /** Attempts per call, the first included. */
+    int maxAttempts = 4;
+    std::chrono::milliseconds initialBackoff{2};
+    std::chrono::milliseconds maxBackoff{200};
+    double multiplier = 2.0;
+    std::uint64_t jitterSeed = 1;
+    /** Banked retry tokens (each retry spends 1; 0 disables the
+     *  budget mechanism entirely). The bank starts full. */
+    double retryBudgetCap = 50;
+    /** Tokens earned back per successful call. */
+    double retryBudgetPerSuccess = 0.1;
+    /** Wall-clock bound on one call including backoffs; 0 = none. */
+    std::chrono::milliseconds callTimeout{0};
+};
+
+/** Reconnecting, backing-off, budget-capped client. */
+class RetryingClient
+{
+  public:
+    /** @p tenant is replayed as the kHello handshake after every
+     *  (re)connect; "" skips the handshake (anonymous tenant). */
+    RetryingClient(const Endpoint& endpoint,
+                   const RetryPolicy& policy = {},
+                   std::string tenant = "");
+
+    RetryingClient(const RetryingClient&) = delete;
+    RetryingClient& operator=(const RetryingClient&) = delete;
+
+    serve::Status ping();
+    serve::Result<std::vector<Value>> spmv(serve::SpmvRequest req);
+    serve::Result<fmt::DenseMatrix> spmm(serve::SpmmRequest req);
+    serve::Result<fmt::CooMatrix> spadd(serve::SpaddRequest req);
+    serve::Result<std::string> metrics();
+
+    /** What the resilience machinery did so far. */
+    struct Stats
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t retries = 0;    //!< extra attempts made
+        std::uint64_t reconnects = 0; //!< re-dials (initial excluded)
+        std::uint64_t budgetDenied = 0; //!< retries skipped, dry bank
+        std::uint64_t exhausted = 0; //!< calls failed out of attempts
+    };
+
+    const Stats& stats() const { return stats_; }
+
+    /** The underlying connection (tests poke it to force EOFs). */
+    Client& raw() { return client_; }
+
+  private:
+    bool connectOnce(std::string& error);
+    /** Dial + handshake if the connection is down; false when the
+     *  endpoint cannot be reached right now. */
+    bool ensureConnected(std::string& error);
+    static bool retryable(const serve::Status& status);
+    /** Full-jitter backoff for retry number @p retry (1-based). */
+    std::chrono::milliseconds backoff(int retry);
+    double uniform(); //!< in [0, 1)
+
+    template <typename T, typename Attempt>
+    serve::Result<T> withRetry(Attempt&& attempt);
+
+    const Endpoint endpoint_;
+    const RetryPolicy policy_;
+    const std::string tenant_;
+    Client client_;
+    bool ever_connected_ = false;
+    double budget_;
+    std::uint64_t rng_;
+    Stats stats_;
+};
+
+} // namespace smash::net
+
+#endif // SMASH_NET_RETRY_CLIENT_HH

@@ -32,6 +32,8 @@
 #define SMASH_NET_SERVER_HH
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,9 +42,11 @@
 #include <vector>
 
 #include "net/conn.hh"
+#include "net/http_metrics.hh"
 #include "net/socket.hh"
 #include "serve/registry.hh"
 #include "serve/session.hh"
+#include "serve/tenant.hh"
 
 namespace smash::net
 {
@@ -63,6 +67,18 @@ struct ServerOptions
     Index maxInflightPerConn = 0;
     /** Per-frame payload ceiling (kOversized beyond it). */
     std::uint64_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Default per-tenant quota (applies to every tenant that has no
+     *  setQuota() override, including the anonymous tenant "");
+     *  all-zero disables quota enforcement. */
+    serve::TenantQuota tenantQuota{};
+    /** Connections idle (no frames, nothing in flight) this long are
+     *  reaped — their sockets shut down and threads joined. 0
+     *  disables the reaper. Guards against half-open peers pinning
+     *  threads forever. */
+    std::chrono::milliseconds idleTimeout{0};
+    /** HTTP GET /metrics listener port: -1 disables, 0 binds an
+     *  ephemeral port (read back via httpMetricsPort()). */
+    int httpMetricsPort = -1;
 };
 
 /** Socket front door over a borrowed MatrixRegistry (which must
@@ -97,27 +113,53 @@ class Server
     /** The owned session (tests poke stats/overload counters). */
     serve::Session& session() { return session_; }
 
+    /** The tenant governor (tests probe slot/token balances). */
+    serve::TenantGovernor& governor() { return governor_; }
+
+    /** Actual HTTP metrics port (after start(); meaningful with
+     *  httpMetricsPort=0). 0 when the listener is disabled. */
+    std::uint16_t httpMetricsPort() const
+    {
+        return http_metrics_.port();
+    }
+
     /** Connections accepted over the server's lifetime. */
     std::uint64_t connectionsAccepted() const
     {
         return accepted_.load(std::memory_order_relaxed);
     }
 
+    /** Idle/half-open connections reaped over the lifetime. */
+    std::uint64_t connectionsReaped() const
+    {
+        return reaped_.load(std::memory_order_relaxed);
+    }
+
   private:
     void acceptLoop(int listen_fd, Transport transport);
+    void reaperLoop();
 
     serve::MatrixRegistry& registry_;
     const ServerOptions options_;
+    // Declared before session_: completion callbacks hold governor
+    // tickets, and the session's destructor (drain) must run while
+    // the governor is still alive.
+    serve::TenantGovernor governor_;
     serve::Session session_;
     Fd unix_listener_;
     Fd tcp_listener_;
     std::uint16_t tcp_port_ = 0;
+    HttpMetricsListener http_metrics_;
     std::vector<std::thread> accept_threads_;
+    std::thread reaper_thread_;
+    std::mutex reaper_mutex_;
+    std::condition_variable reaper_cv_;
     std::mutex conns_mutex_;
     std::vector<std::shared_ptr<Conn>> conns_;
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopped_{false};
     std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> reaped_{0};
 };
 
 } // namespace smash::net

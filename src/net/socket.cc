@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -178,6 +179,17 @@ connectTcp(const std::string& host, std::uint16_t port,
     return fd;
 }
 
+bool
+setRecvTimeout(int fd, std::chrono::microseconds timeout)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000);
+    tv.tv_usec =
+        static_cast<suseconds_t>(timeout.count() % 1'000'000);
+    return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0;
+}
+
 IoResult
 readFull(int fd, void* buf, std::size_t n)
 {
@@ -193,6 +205,8 @@ readFull(int fd, void* buf, std::size_t n)
             return got == 0 ? IoResult::kEof : IoResult::kTruncated;
         if (errno == EINTR)
             continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoResult::kTimeout; // armed via setRecvTimeout
         return IoResult::kError;
     }
     return IoResult::kOk;

@@ -20,6 +20,7 @@
 #ifndef SMASH_NET_SOCKET_HH
 #define SMASH_NET_SOCKET_HH
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -91,10 +92,18 @@ enum class IoResult
     kEof,      //!< peer closed before the first byte (clean close)
     kTruncated, //!< peer closed after some bytes (mid-message)
     kError,    //!< read(2) failed
+    kTimeout,  //!< SO_RCVTIMEO expired (see setRecvTimeout)
 };
 
 /** Read exactly @p n bytes (EINTR-safe). */
 IoResult readFull(int fd, void* buf, std::size_t n);
+
+/** Arm (or with @p timeout == 0 disarm) SO_RCVTIMEO on @p fd:
+ *  a read blocked longer than @p timeout fails with kTimeout.
+ *  The stream position is then undefined (a frame may be half
+ *  read), so callers treat a timeout like any transport failure —
+ *  drop the connection and (if retrying) reconnect. */
+bool setRecvTimeout(int fd, std::chrono::microseconds timeout);
 
 /** Write exactly @p n bytes via send(MSG_NOSIGNAL); false on any
  *  failure (including EPIPE from a vanished peer). */

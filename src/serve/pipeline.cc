@@ -10,6 +10,7 @@
 #include "kernels/util.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/shed.hh"
 
 namespace smash::serve
 {
@@ -63,8 +64,9 @@ stageUs(Request::Clock::time_point from, Request::Clock::time_point to)
 } // namespace
 
 Pipeline::Pipeline(MatrixRegistry& registry, exec::ThreadPool& pool,
-                   ComputeExec compute)
-    : registry_(registry), pool_(pool), compute_(compute)
+                   ComputeExec compute, OverloadShedder* shedder)
+    : registry_(registry), pool_(pool), compute_(compute),
+      shedder_(shedder)
 {}
 
 Pipeline::~Pipeline()
@@ -295,6 +297,12 @@ Pipeline::deliver(Request& request, Work& work, T value)
             request.options.priority)]
         .record(now - request.submitted);
     recordStages(request, now);
+    // The queue-side span (submit → batch flush) is the degradation
+    // ladder's latency signal: it grows under pressure well before
+    // compute time does.
+    if (shedder_)
+        shedder_->noteQueueLatency(
+            stageUs(request.submitted, request.flushed));
     SMASH_TRACE_EVENT(obs::EventKind::kPipelineDeliver, 1);
     work.done.resolve(Result<T>(std::move(value)));
     // Release the admission slot only after the completion resolved

@@ -57,6 +57,8 @@
 namespace smash::serve
 {
 
+class OverloadShedder;
+
 /** How the compute stage executes one batch. */
 enum class ComputeExec
 {
@@ -145,8 +147,10 @@ struct PipelineStats
 class Pipeline
 {
   public:
+    /** @p shedder (optional) receives each delivered request's
+     *  queue-side latency — the degradation ladder's EWMA signal. */
     Pipeline(MatrixRegistry& registry, exec::ThreadPool& pool,
-             ComputeExec compute);
+             ComputeExec compute, OverloadShedder* shedder = nullptr);
 
     Pipeline(const Pipeline&) = delete;
     Pipeline& operator=(const Pipeline&) = delete;
@@ -226,6 +230,7 @@ class Pipeline
     MatrixRegistry& registry_;
     exec::ThreadPool& pool_;
     const ComputeExec compute_;
+    OverloadShedder* const shedder_;
     PipelineStats stats_;
 
     /** A request reached its batcher (drainWait wake signal). */

@@ -14,6 +14,9 @@
  *   kDeadlineExceeded — deadline passed while queued or blocked
  *   kShuttingDown     — session closed before the request ran
  *   kInternal         — a stage failed (conversion/compute error)
+ *   kQuotaExceeded    — the tenant's rate or in-flight quota denied
+ *                       the request (TenantGovernor, before the
+ *                       session's admission gate)
  */
 
 #ifndef SMASH_SERVE_RESULT_HH
@@ -38,6 +41,9 @@ enum class StatusCode
     kDeadlineExceeded,
     kShuttingDown,
     kInternal,
+    // Appended after kInternal so the wire encoding (u16 of this
+    // enum) stays stable across protocol versions.
+    kQuotaExceeded,
 };
 
 /** Short stable name ("ok", "not_found", ...). */
@@ -52,6 +58,7 @@ toString(StatusCode code)
       case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
       case StatusCode::kShuttingDown: return "shutting_down";
       case StatusCode::kInternal: return "internal";
+      case StatusCode::kQuotaExceeded: return "quota_exceeded";
     }
     return "unknown";
 }

@@ -45,7 +45,8 @@ Session::Session(MatrixRegistry& registry, const SessionOptions& options)
     : registry_(registry), options_(options),
       pool_(exec::ThreadPool::Options{options.threads,
                                       options.pinWorkers}),
-      pipeline_(registry, pool_, options.compute),
+      shedder_(options.shed, options.maxInflight),
+      pipeline_(registry, pool_, options.compute, &shedder_),
       batcher_(options.maxBatch, options.maxDelay,
                resolveBatchDelay(options),
                [this](const QueueKey& key, std::vector<Request> batch) {
@@ -83,6 +84,24 @@ Session::validateMatrix(const std::string& name) const
         return Status(StatusCode::kNotFound,
                       "no matrix registered as '" + name + "'");
     return Status();
+}
+
+Status
+Session::shedCheck(const RequestOptions& options)
+{
+    if (!shedder_.enabled())
+        return Status();
+    shedder_.noteInflight(
+        inflight_now_.load(std::memory_order_relaxed));
+    if (shedder_.admit(options.priority))
+        return Status();
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    // kOverloaded (not a new code): retrying clients already back
+    // off on it, and to a caller "shed by the ladder" and "gate
+    // full" are the same instruction — come back later.
+    return Status(StatusCode::kOverloaded,
+                  "shed at degradation level " +
+                      std::to_string(shedder_.level()));
 }
 
 Session::Admitted
@@ -139,6 +158,7 @@ Session::admit(const std::string& matrix, const RequestOptions& options,
     }
     ++gate_.total;
     ++gate_.perMatrix[matrix];
+    inflight_now_.store(gate_.total, std::memory_order_relaxed);
     static obs::Gauge& inflight =
         obs::MetricsRegistry::global().gauge(
             "smash_admission_inflight");
@@ -165,6 +185,7 @@ Session::release(const std::string& matrix)
             gate_.perMatrix.erase(it);
         if (gate_.total > 0)
             --gate_.total;
+        inflight_now_.store(gate_.total, std::memory_order_relaxed);
         // Notify while still holding the lock (teardown audit): the
         // close() loop can only observe total == 0 after acquiring
         // gate_.mutex, i.e. after this releaser has finished
@@ -253,6 +274,8 @@ Session::submit(SpmvRequest req)
     const auto expiry = expiryOf(now, req.options);
     if (Status s = precheck(req); !s.ok())
         return readyFuture<std::vector<Value>>(std::move(s));
+    if (Status s = shedCheck(req.options); !s.ok())
+        return readyFuture<std::vector<Value>>(std::move(s));
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket)
         return readyFuture<std::vector<Value>>(
@@ -275,6 +298,10 @@ Session::submit(SpmvRequest req, SpmvCallback done)
         done(Result<std::vector<Value>>(std::move(s)));
         return;
     }
+    if (Status s = shedCheck(req.options); !s.ok()) {
+        done(Result<std::vector<Value>>(std::move(s)));
+        return;
+    }
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket) {
         done(Result<std::vector<Value>>(std::move(admitted.status)));
@@ -293,6 +320,8 @@ Session::submit(SpmmRequest req)
     const auto now = Request::Clock::now();
     const auto expiry = expiryOf(now, req.options);
     if (Status s = precheck(req); !s.ok())
+        return readyFuture<fmt::DenseMatrix>(std::move(s));
+    if (Status s = shedCheck(req.options); !s.ok())
         return readyFuture<fmt::DenseMatrix>(std::move(s));
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket)
@@ -316,6 +345,10 @@ Session::submit(SpmmRequest req, SpmmCallback done)
         done(Result<fmt::DenseMatrix>(std::move(s)));
         return;
     }
+    if (Status s = shedCheck(req.options); !s.ok()) {
+        done(Result<fmt::DenseMatrix>(std::move(s)));
+        return;
+    }
     Admitted admitted = admit(req.matrix, req.options, expiry);
     if (!admitted.ticket) {
         done(Result<fmt::DenseMatrix>(std::move(admitted.status)));
@@ -335,6 +368,8 @@ Session::submit(SpaddRequest req)
     const auto expiry = expiryOf(now, req.options);
     if (Status s = precheck(req); !s.ok())
         return readyFuture<fmt::CooMatrix>(std::move(s));
+    if (Status s = shedCheck(req.options); !s.ok())
+        return readyFuture<fmt::CooMatrix>(std::move(s));
     Admitted admitted = admit(req.a, req.options, expiry);
     if (!admitted.ticket)
         return readyFuture<fmt::CooMatrix>(std::move(admitted.status));
@@ -352,6 +387,10 @@ Session::submit(SpaddRequest req, SpaddCallback done)
     const auto now = Request::Clock::now();
     const auto expiry = expiryOf(now, req.options);
     if (Status s = precheck(req); !s.ok()) {
+        done(Result<fmt::CooMatrix>(std::move(s)));
+        return;
+    }
+    if (Status s = shedCheck(req.options); !s.ok()) {
         done(Result<fmt::CooMatrix>(std::move(s)));
         return;
     }

@@ -69,6 +69,7 @@
 #include "serve/registry.hh"
 #include "serve/request.hh"
 #include "serve/result.hh"
+#include "serve/shed.hh"
 
 namespace smash::serve
 {
@@ -90,6 +91,10 @@ struct SessionOptions
      *  see exec::ThreadPool::Options::pinWorkers). Keeps a served
      *  matrix's sticky partitions resident on the same cores. */
     bool pinWorkers = false;
+    /** Graceful-degradation ladder (shed.hh): under sustained
+     *  overload the session sheds kBatch first, then kNormal, kHigh
+     *  last. Default-disabled (queueTarget == 0). */
+    ShedOptions shed{};
 };
 
 /** One serving endpoint over a (possibly shared) registry. */
@@ -188,6 +193,10 @@ class Session
     int threads() const { return pool_.size(); }
     Index maxBatch() const { return batcher_.maxBatch(); }
     const Batcher& batcher() const { return batcher_; }
+    /** The degradation ladder (tests/operators force levels and
+     *  read the current one through this). */
+    OverloadShedder& shedder() { return shedder_; }
+    const OverloadShedder& shedder() const { return shedder_; }
 
   private:
     /** Admission gate state (in-flight slot accounting). */
@@ -209,6 +218,10 @@ class Session
 
     /** kNotFound/kInvalidOperand checks shared by the submits. */
     Status validateMatrix(const std::string& name) const;
+    /** Degradation-ladder gate (between precheck and admission):
+     *  kOverloaded when the current shed level drops @p options'
+     *  priority class. */
+    Status shedCheck(const RequestOptions& options);
     /** Full pre-admission validation per op class (shared by the
      *  future- and callback-returning submit overloads). */
     Status precheck(const SpmvRequest& req) const;
@@ -230,10 +243,13 @@ class Session
     MatrixRegistry& registry_;
     const SessionOptions options_;
     exec::ThreadPool pool_;
+    OverloadShedder shedder_; //!< before the pipeline feeding it
     Pipeline pipeline_;
     Batcher batcher_; //!< declared after the pipeline it flushes into
     Gate gate_;
     std::atomic<std::uint64_t> overloaded_{0};
+    /** Mirror of gate_.total for the shedder's lock-free signal. */
+    std::atomic<Index> inflight_now_{0};
 };
 
 } // namespace smash::serve

@@ -1,0 +1,171 @@
+#include "serve/shed.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace smash::serve
+{
+
+namespace
+{
+
+obs::Gauge&
+shedLevelGauge()
+{
+    static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+        "smash_shed_level");
+    return g;
+}
+
+obs::Counter&
+shedCounter(Priority priority)
+{
+    switch (priority) {
+      case Priority::kHigh: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_shed_total{priority=\"high\"}");
+          return c;
+      }
+      case Priority::kNormal: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_shed_total{priority=\"normal\"}");
+          return c;
+      }
+      default: {
+          static obs::Counter& c = obs::MetricsRegistry::global().counter(
+              "smash_shed_total{priority=\"batch\"}");
+          return c;
+      }
+    }
+}
+
+/** The lowest ladder level that sheds @p priority: kBatch goes
+ *  first (level 1), kHigh survives to the end (level 3). */
+int
+shedAtLevel(Priority priority)
+{
+    switch (priority) {
+      case Priority::kBatch: return 1;
+      case Priority::kNormal: return 2;
+      case Priority::kHigh: return 3;
+    }
+    return 3;
+}
+
+} // namespace
+
+OverloadShedder::OverloadShedder(const ShedOptions& options,
+                                 Index max_inflight)
+    : options_(options), max_inflight_(max_inflight)
+{
+}
+
+void
+OverloadShedder::noteQueueLatency(std::uint64_t us)
+{
+    if (options_.queueTarget.count() <= 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (last_sample_ == Clock::time_point{})
+        ewma_us_ = static_cast<double>(us);
+    else
+        ewma_us_ = options_.alpha * static_cast<double>(us) +
+            (1.0 - options_.alpha) * ewma_us_;
+    last_sample_ = Clock::now();
+}
+
+double
+OverloadShedder::queueEwmaUs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ewma_us_;
+}
+
+void
+OverloadShedder::publishLevel(int level)
+{
+    const int prev = level_.exchange(level, std::memory_order_relaxed);
+    if (prev != level)
+        shedLevelGauge().add(level - prev);
+}
+
+void
+OverloadShedder::forceLevel(int level)
+{
+    forced_.store(level, std::memory_order_relaxed);
+    if (level >= 0) {
+        publishLevel(std::min(level, 3));
+    } else {
+        // Back to automatic: restart from calm rather than keeping
+        // the pinned level (the next reevaluate climbs if pressure
+        // is still real).
+        std::lock_guard<std::mutex> lock(mutex_);
+        ewma_us_ = 0;
+        last_sample_ = Clock::time_point{};
+        last_step_ = Clock::now();
+        publishLevel(0);
+    }
+}
+
+void
+OverloadShedder::reevaluate(Clock::time_point now)
+{
+    // No delivered sample for a while (possibly because the ladder
+    // itself is shedding everything): decay the EWMA geometrically
+    // per hold interval so a blackout cannot latch on stale signal.
+    if (last_sample_ != Clock::time_point{} &&
+        options_.hold.count() > 0) {
+        while (now - last_sample_ >= options_.hold) {
+            ewma_us_ *= 0.5;
+            last_sample_ += options_.hold;
+        }
+    }
+
+    double score = 0;
+    if (options_.queueTarget.count() > 0)
+        score = std::max(
+            score,
+            ewma_us_ /
+                static_cast<double>(options_.queueTarget.count()));
+    if (max_inflight_ > 0 && options_.inflightHigh > 0)
+        score = std::max(
+            score, static_cast<double>(inflight_.load(
+                       std::memory_order_relaxed)) /
+                (static_cast<double>(max_inflight_) *
+                 options_.inflightHigh));
+
+    const int level = level_.load(std::memory_order_relaxed);
+    if (now - last_step_ < options_.hold)
+        return; // dwell: at most one step per hold interval
+    if (score >= 1.0 && level < 3) {
+        publishLevel(level + 1);
+        last_step_ = now;
+    } else if (score < options_.stepDownRatio && level > 0) {
+        publishLevel(level - 1);
+        last_step_ = now;
+    }
+}
+
+bool
+OverloadShedder::admit(Priority priority)
+{
+    const int forced = forced_.load(std::memory_order_relaxed);
+    int level;
+    if (forced >= 0) {
+        level = std::min(forced, 3);
+    } else {
+        if (options_.queueTarget.count() <= 0)
+            return true; // ladder disabled
+        std::lock_guard<std::mutex> lock(mutex_);
+        reevaluate(Clock::now());
+        level = level_.load(std::memory_order_relaxed);
+    }
+    if (level < shedAtLevel(priority))
+        return true;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shedCounter(priority).inc();
+    return false;
+}
+
+} // namespace smash::serve

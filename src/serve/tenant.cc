@@ -1,0 +1,163 @@
+#include "serve/tenant.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace smash::serve
+{
+
+namespace
+{
+
+obs::Counter&
+rejectCounter(bool rate)
+{
+    if (rate) {
+        static obs::Counter& c = obs::MetricsRegistry::global().counter(
+            "smash_tenant_rejects_total{reason=\"rate\"}");
+        return c;
+    }
+    static obs::Counter& c = obs::MetricsRegistry::global().counter(
+        "smash_tenant_rejects_total{reason=\"inflight\"}");
+    return c;
+}
+
+obs::Gauge&
+tenantInflightGauge()
+{
+    static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+        "smash_tenant_inflight");
+    return g;
+}
+
+} // namespace
+
+TenantGovernor::TenantGovernor(const TenantQuota& defaults)
+    : defaults_(defaults)
+{
+}
+
+double
+TenantGovernor::burstOf(const TenantQuota& quota)
+{
+    if (quota.burst > 0)
+        return quota.burst;
+    return std::max(quota.ratePerSec, 1.0);
+}
+
+void
+TenantGovernor::refill(TenantState& state, Clock::time_point now)
+{
+    if (state.quota.ratePerSec <= 0)
+        return;
+    const double dt =
+        std::chrono::duration<double>(now - state.lastRefill).count();
+    if (dt > 0) {
+        state.tokens = std::min(burstOf(state.quota),
+                                state.tokens +
+                                    dt * state.quota.ratePerSec);
+        state.lastRefill = now;
+    }
+}
+
+TenantGovernor::TenantState&
+TenantGovernor::stateLocked(const std::string& tenant)
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        TenantState state;
+        state.quota = defaults_;
+        state.tokens = burstOf(state.quota);
+        state.lastRefill = Clock::now();
+        it = tenants_.emplace(tenant, state).first;
+    }
+    return it->second;
+}
+
+void
+TenantGovernor::setQuota(const std::string& tenant,
+                         const TenantQuota& quota)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantState& state = stateLocked(tenant);
+    state.quota = quota;
+    state.tokens = burstOf(quota);
+    state.lastRefill = Clock::now();
+}
+
+TenantGovernor::Admitted
+TenantGovernor::admit(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantState& state = stateLocked(tenant);
+    refill(state, Clock::now());
+    if (state.quota.ratePerSec > 0 && state.tokens < 1.0) {
+        rejects_.fetch_add(1, std::memory_order_relaxed);
+        rejectCounter(/*rate=*/true).inc();
+        return {nullptr,
+                Status(StatusCode::kQuotaExceeded,
+                       "tenant '" + tenant + "' rate limit (" +
+                           std::to_string(state.quota.ratePerSec) +
+                           " req/s)")};
+    }
+    if (state.quota.maxInflight > 0 &&
+        state.inflight >= state.quota.maxInflight) {
+        rejects_.fetch_add(1, std::memory_order_relaxed);
+        rejectCounter(/*rate=*/false).inc();
+        return {nullptr,
+                Status(StatusCode::kQuotaExceeded,
+                       "tenant '" + tenant + "' in-flight limit (" +
+                           std::to_string(state.quota.maxInflight) +
+                           ")")};
+    }
+    if (state.quota.ratePerSec > 0)
+        state.tokens -= 1.0;
+    ++state.inflight;
+    tenantInflightGauge().add(1);
+    // The ticket returns the slot when the request's completion
+    // resolves — whichever path (delivery, expiry, shed, shutdown)
+    // the envelope dies on.
+    std::shared_ptr<void> ticket(
+        new std::string(tenant), [this](void* p) {
+            auto* name = static_cast<std::string*>(p);
+            release(*name);
+            delete name;
+        });
+    return {std::move(ticket), Status()};
+}
+
+void
+TenantGovernor::release(const std::string& tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = tenants_.find(tenant);
+        if (it != tenants_.end() && it->second.inflight > 0)
+            --it->second.inflight;
+    }
+    tenantInflightGauge().add(-1);
+}
+
+Index
+TenantGovernor::inflightOf(const std::string& tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.inflight;
+}
+
+double
+TenantGovernor::tokensOf(const std::string& tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return burstOf(defaults_);
+    TenantState state = it->second;
+    refill(state, Clock::now());
+    return state.quota.ratePerSec > 0 ? state.tokens
+                                      : burstOf(state.quota);
+}
+
+} // namespace smash::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * serve::TenantGovernor — per-tenant quotas in front of the
+ * admission gate.
+ *
+ * The network layer's kHello handshake names a tenant per
+ * connection; every request on that connection is then charged to
+ * the tenant, and the governor enforces two independent quotas
+ * *shared across all of the tenant's connections*:
+ *
+ *   token bucket  — TenantQuota::ratePerSec requests/second with a
+ *       burst depth of TenantQuota::burst tokens. Each admitted
+ *       request consumes one token; an empty bucket answers
+ *       kQuotaExceeded immediately (quota denials never block —
+ *       the retrying client's backoff is the wait).
+ *   in-flight cap — at most TenantQuota::maxInflight requests
+ *       between admit and completion, across every connection the
+ *       tenant holds. A slot is held by an RAII ticket and returns
+ *       when the request's completion resolves.
+ *
+ * Order in the admission stack (conn.cc): per-connection in-flight
+ * cap → tenant governor → session admission gate. A rejected
+ * request never touches the session, so a noisy tenant cannot eat
+ * gate slots that other tenants' admitted work needs.
+ *
+ * Connections that never send kHello are charged to the default
+ * tenant "" under the same default quota. A zero-valued quota field
+ * means "unlimited" for that dimension; a fully-zero TenantQuota
+ * makes the governor a pass-through (it still counts in-flight for
+ * the leak probes the chaos tests run).
+ *
+ * Thread-safety: all methods are safe from any thread; state is one
+ * mutex-guarded map (quota decisions are control-plane work next to
+ * a kernel invocation, so a single lock is not the bottleneck).
+ */
+
+#ifndef SMASH_SERVE_TENANT_HH
+#define SMASH_SERVE_TENANT_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "serve/result.hh"
+
+namespace smash::serve
+{
+
+/** Quota of one tenant (0 = unlimited per field). */
+struct TenantQuota
+{
+    double ratePerSec = 0; //!< token-bucket refill rate
+    /** Bucket depth; 0 defaults to max(ratePerSec, 1) so a plain
+     *  rate limit still absorbs a one-second burst. */
+    double burst = 0;
+    Index maxInflight = 0; //!< across all the tenant's connections
+
+    bool
+    limited() const
+    {
+        return ratePerSec > 0 || maxInflight > 0;
+    }
+};
+
+/** Shared quota enforcement for every tenant of one server. */
+class TenantGovernor
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit TenantGovernor(const TenantQuota& defaults = {});
+
+    TenantGovernor(const TenantGovernor&) = delete;
+    TenantGovernor& operator=(const TenantGovernor&) = delete;
+
+    /** Override the default quota for one named tenant (takes
+     *  effect on its next admit; resets its bucket to the new
+     *  burst). */
+    void setQuota(const std::string& tenant, const TenantQuota& quota);
+
+    /** Outcome of one quota check: a ticket holding the tenant's
+     *  in-flight slot, or the kQuotaExceeded status denying it. */
+    struct Admitted
+    {
+        std::shared_ptr<void> ticket; //!< null when denied
+        Status status;
+    };
+
+    /** Charge one request to @p tenant: take a token and an
+     *  in-flight slot, or deny with kQuotaExceeded. Never blocks. */
+    Admitted admit(const std::string& tenant);
+
+    // --- Probes (tests verify no token/slot leaks through these). ---
+
+    /** The tenant's current in-flight count (0 for never-seen). */
+    Index inflightOf(const std::string& tenant) const;
+    /** The tenant's current token balance after refill (full burst
+     *  for never-seen tenants). */
+    double tokensOf(const std::string& tenant) const;
+    /** Total quota denials (both dimensions). */
+    std::uint64_t rejects() const
+    {
+        return rejects_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct TenantState
+    {
+        TenantQuota quota;
+        double tokens = 0;
+        Clock::time_point lastRefill{};
+        Index inflight = 0;
+    };
+
+    /** Find-or-create @p tenant's state (mutex_ held). */
+    TenantState& stateLocked(const std::string& tenant);
+    static double burstOf(const TenantQuota& quota);
+    static void refill(TenantState& state, Clock::time_point now);
+    void release(const std::string& tenant);
+
+    mutable std::mutex mutex_;
+    TenantQuota defaults_;
+    std::unordered_map<std::string, TenantState> tenants_;
+    std::atomic<std::uint64_t> rejects_{0};
+};
+
+} // namespace smash::serve
+
+#endif // SMASH_SERVE_TENANT_HH

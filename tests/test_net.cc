@@ -3,7 +3,7 @@
  * Protocol and fault battery for the network front door (src/net/):
  *
  *   Codec round-trips — header fields, every request/result payload,
- *   all seven serve::Status codes, empty and degenerate payloads,
+ *   every serve::Status code, empty and degenerate payloads,
  *   frames at the size ceiling; decode(encode(x)) is required to be
  *   bit-identical (memcmp on the value bytes), and re-encoding a
  *   decoded payload must reproduce the input bytes.
@@ -88,6 +88,7 @@ const serve::StatusCode kAllStatusCodes[] = {
     serve::StatusCode::kDeadlineExceeded,
     serve::StatusCode::kShuttingDown,
     serve::StatusCode::kInternal,
+    serve::StatusCode::kQuotaExceeded,
 };
 
 // --------------------------------------------------------------
@@ -99,8 +100,9 @@ TEST(NetFrame, HeaderRoundTripAllOps)
     const net::Op ops[] = {
         net::Op::kPing,        net::Op::kSpmv,
         net::Op::kSpmm,        net::Op::kSpadd,
-        net::Op::kPong,        net::Op::kSpmvResult,
-        net::Op::kSpmmResult,  net::Op::kSpaddResult,
+        net::Op::kHello,       net::Op::kPong,
+        net::Op::kSpmvResult,  net::Op::kSpmmResult,
+        net::Op::kSpaddResult, net::Op::kHelloResult,
         net::Op::kError,
     };
     for (const net::Op op : ops) {
@@ -274,6 +276,32 @@ TEST(NetCodec, SpaddRequestRoundTrip)
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->a, "graph");
     EXPECT_EQ(out->b, "graph2");
+}
+
+TEST(NetCodec, HelloRoundTrip)
+{
+    for (const std::string tenant :
+         {std::string(""), std::string("team-a"),
+          std::string(400, 'x')}) {
+        net::Buffer bytes;
+        net::encodeHelloRequest(tenant, bytes);
+        const auto out =
+            net::decodeHelloRequest(bytes.data(), bytes.size());
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, tenant);
+    }
+    for (const serve::StatusCode code : kAllStatusCodes) {
+        net::Buffer bytes;
+        net::encodeHelloResult(
+            code == serve::StatusCode::kOk
+                ? serve::Status()
+                : serve::Status(code, "m"),
+            bytes);
+        const auto out =
+            net::decodeHelloResult(bytes.data(), bytes.size());
+        ASSERT_TRUE(out.has_value()) << toString(code);
+        EXPECT_EQ(out->code(), code);
+    }
 }
 
 TEST(NetCodec, SpmvResultAllStatusesSurviveTheWire)

@@ -22,6 +22,20 @@
  *                            into K row bands (default 1 = plain);
  *                            wire answers are bit-identical either
  *                            way
+ *   --idle-timeout MS        reap connections idle this long
+ *                            (default 30000; 0 disables the reaper)
+ *   --http-metrics PORT      HTTP GET /metrics listener; 0 binds an
+ *                            ephemeral port and prints it
+ *   --tenant-rate R          default per-tenant token-bucket rate,
+ *                            requests/second (0 = unlimited)
+ *   --tenant-burst B         token-bucket depth (0 = max(rate, 1))
+ *   --tenant-inflight N      per-tenant in-flight cap across all of
+ *                            the tenant's connections (0 = none)
+ *   --shed-target-us US      queue-latency EWMA target arming the
+ *                            degradation ladder (0 = disabled)
+ *   --faults SPEC            arm the fault injector (chaos testing;
+ *                            see net/fault.hh for the spec format).
+ *                            $SMASH_NET_FAULTS works too.
  *
  * Lifecycle: runs until SIGINT/SIGTERM, then drains in flight
  * requests (clients see typed kShuttingDown for anything submitted
@@ -41,6 +55,7 @@
 #include <string>
 
 #include "net/demo_matrices.hh"
+#include "net/fault.hh"
 #include "net/server.hh"
 
 namespace
@@ -54,8 +69,21 @@ usage(const char* argv0)
               << "       [--max-inflight N] "
                  "[--max-inflight-per-conn N] [--max-batch N] "
                  "[--shards K]\n"
+              << "       [--idle-timeout MS] [--http-metrics PORT] "
+                 "[--shed-target-us US]\n"
+              << "       [--tenant-rate R] [--tenant-burst B] "
+                 "[--tenant-inflight N] [--faults SPEC]\n"
               << "at least one of --unix / --tcp is required\n";
     return 2;
+}
+
+double
+parseDouble(const char* s, bool& ok)
+{
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    ok = end != s && *end == '\0';
+    return v;
 }
 
 long
@@ -77,6 +105,9 @@ main(int argc, char** argv)
     net::ServerOptions options;
     options.session.threads = 4;
     options.session.maxInflight = 64;
+    // Default reaper: a half-open peer may pin a thread for at most
+    // 30s. Tests and co-located clients can lower or disable it.
+    options.idleTimeout = std::chrono::milliseconds(30000);
     Index shards = 1;
 
     for (int i = 1; i < argc; ++i) {
@@ -115,12 +146,61 @@ main(int argc, char** argv)
             if (!ok || n < 1)
                 return usage(argv[0]);
             shards = static_cast<Index>(n);
+        } else if (arg == "--idle-timeout" && has_value) {
+            const long ms = parseLong(argv[++i], ok);
+            if (!ok || ms < 0)
+                return usage(argv[0]);
+            options.idleTimeout = std::chrono::milliseconds(ms);
+        } else if (arg == "--http-metrics" && has_value) {
+            const long port = parseLong(argv[++i], ok);
+            if (!ok || port < 0 || port > 65535)
+                return usage(argv[0]);
+            options.httpMetricsPort = static_cast<int>(port);
+        } else if (arg == "--tenant-rate" && has_value) {
+            const double r = parseDouble(argv[++i], ok);
+            if (!ok || r < 0)
+                return usage(argv[0]);
+            options.tenantQuota.ratePerSec = r;
+        } else if (arg == "--tenant-burst" && has_value) {
+            const double b = parseDouble(argv[++i], ok);
+            if (!ok || b < 0)
+                return usage(argv[0]);
+            options.tenantQuota.burst = b;
+        } else if (arg == "--tenant-inflight" && has_value) {
+            const long n = parseLong(argv[++i], ok);
+            if (!ok || n < 0)
+                return usage(argv[0]);
+            options.tenantQuota.maxInflight = static_cast<Index>(n);
+        } else if (arg == "--shed-target-us" && has_value) {
+            const long us = parseLong(argv[++i], ok);
+            if (!ok || us < 0)
+                return usage(argv[0]);
+            options.session.shed.queueTarget =
+                std::chrono::microseconds(us);
+        } else if (arg == "--faults" && has_value) {
+            net::FaultConfig faults;
+            std::string fault_error;
+            if (!net::parseFaultSpec(argv[++i], faults, fault_error)) {
+                std::cerr << "smash_serverd: " << fault_error << "\n";
+                return 2;
+            }
+            net::FaultInjector::global().configure(faults);
         } else {
             return usage(argv[0]);
         }
     }
     if (options.unixPath.empty() && options.tcpPort < 0)
         return usage(argv[0]);
+
+    {
+        std::string fault_error;
+        if (!net::FaultInjector::global().configureFromEnv(
+                fault_error)) {
+            std::cerr << "smash_serverd: SMASH_NET_FAULTS: "
+                      << fault_error << "\n";
+            return 2;
+        }
+    }
 
     // Belt and braces with the socket layer's MSG_NOSIGNAL: no
     // vanished client may kill the daemon.
@@ -148,6 +228,11 @@ main(int argc, char** argv)
         std::cout << "listening unix " << options.unixPath << "\n";
     if (options.tcpPort >= 0)
         std::cout << "listening tcp " << server.tcpPort() << "\n";
+    if (options.httpMetricsPort >= 0)
+        std::cout << "listening http " << server.httpMetricsPort()
+                  << "\n";
+    if (net::FaultInjector::global().enabled())
+        std::cout << "fault injection armed\n";
     std::cout.flush();
 
     int sig = 0;
